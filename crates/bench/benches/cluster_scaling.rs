@@ -1,0 +1,85 @@
+//! Section V (multi-KNL), quantified: the paper discusses data and model
+//! parallelism qualitatively and leaves evaluation as future work. This
+//! bench runs both regimes over 1/2/4/8 simulated KNLs and checks the two
+//! claims: (1) under data parallelism the runtime's advantage over the
+//! recommendation is preserved unchanged on every node; (2) under model
+//! parallelism each node sees fewer ready operations, so Strategy 3's
+//! co-running opportunity shrinks.
+
+use nnrt_bench::{ExperimentRecord, Table};
+use nnrt_cluster::{DataParallelTrainer, ModelParallelTrainer};
+
+fn main() {
+    let mut record = ExperimentRecord::new(
+        "cluster_scaling",
+        "Multi-KNL data/model parallelism (the paper's Section V)",
+    );
+
+    // --- Data parallelism: DCGAN, global batch 64 ---
+    let mut t = Table::new([
+        "nodes", "compute (ms)", "all-reduce (ms)", "total (ms)", "runtime vs rec",
+    ]);
+    for nodes in [1u32, 2, 4, 8] {
+        let trainer = DataParallelTrainer::new(nodes);
+        let ours = trainer.step(64, |b| nnrt_models::dcgan(b).graph);
+        let rec = trainer.step_recommendation(64, |b| nnrt_models::dcgan(b).graph);
+        let adv = rec.total_secs / ours.total_secs;
+        t.row([
+            nodes.to_string(),
+            format!("{:.1}", ours.compute_secs * 1e3),
+            format!("{:.2}", ours.sync_secs * 1e3),
+            format!("{:.1}", ours.total_secs * 1e3),
+            format!("{adv:.2}x"),
+        ]);
+        record.push(&format!("dp_advantage_{nodes}"), adv, f64::NAN);
+    }
+    t.print("Data parallelism (DCGAN, global batch 64, ring all-reduce over Aries)");
+
+    // --- Model parallelism: Inception-v3 over partitions ---
+    let g = nnrt_models::inception_v3(8).graph;
+    let mut t = Table::new([
+        "partitions", "total (ms)", "transfer (ms)", "avg co-running ops/node",
+    ]);
+    for nodes in [1u32, 2, 4, 8] {
+        let report = ModelParallelTrainer::new(nodes).step(&g);
+        let avg: f64 =
+            report.avg_corunning.iter().sum::<f64>() / report.avg_corunning.len() as f64;
+        t.row([
+            nodes.to_string(),
+            format!("{:.1}", report.total_secs * 1e3),
+            format!("{:.2}", report.transfer_secs * 1e3),
+            format!("{avg:.2}"),
+        ]);
+        record.push(&format!("mp_corun_{nodes}"), avg, f64::NAN);
+    }
+    t.print("Model parallelism (Inception-v3, contiguous pipeline partitions)");
+
+    // --- Pipelined model parallelism (GPipe-style microbatching) ---
+    let mut t = Table::new(["partitions", "microbatches", "total (ms)", "efficiency"]);
+    for (nodes, micro) in [(4u32, 1u32), (4, 4), (4, 8), (8, 8)] {
+        let report = ModelParallelTrainer::new(nodes).step_pipelined(&g, micro);
+        t.row([
+            nodes.to_string(),
+            micro.to_string(),
+            format!("{:.1}", report.total_secs * 1e3),
+            format!("{:.0}%", report.efficiency * 100.0),
+        ]);
+        record.push(
+            &format!("pipeline_{nodes}x{micro}_ms"),
+            report.total_secs * 1e3,
+            f64::NAN,
+        );
+    }
+    t.print("Pipelined model parallelism (microbatching amortizes the fill/drain bubble)");
+
+    record.notes(
+        "Claim 1 holds: the per-node runtime needs no changes and its \
+         advantage over the recommendation persists (and grows - smaller \
+         shards are overhead-dominated, which the runtime tunes away) at \
+         every node count. Claim 2 is weak in our graphs: partitioning \
+         shrinks the ready pool, but the optimizer fan-out in the tail \
+         partition keeps average co-running roughly flat rather than \
+         falling.",
+    );
+    record.write();
+}

@@ -1,0 +1,82 @@
+//! Figure 5 — GPU intra-op parallelism (Section VII): execution time of
+//! BiasAdd and MaxPooling as (a) the threads-per-block and (b) the
+//! thread-block count vary. The paper reports up to 18% / 11% away from
+//! TensorFlow's defaults (1024 threads/block, 56 blocks).
+
+use nnrt_bench::paper::{FIG5_MAX_DELTA_BLOCKS, FIG5_MAX_DELTA_TPB};
+use nnrt_bench::{ExperimentRecord, Table};
+use nnrt_gpu::{gpu_op, GpuModel, GpuOpKind, LaunchConfig};
+
+fn main() {
+    let m = GpuModel::p100();
+    let ops = [GpuOpKind::BiasAdd, GpuOpKind::MaxPooling];
+    let mut record = ExperimentRecord::new("fig5", "GPU intra-op parallelism sweeps");
+
+    // (a) threads per block, 56 blocks.
+    let tpb_grid = [64u32, 128, 1024, 2048, 4096, 16384];
+    let mut ta = Table::new(
+        std::iter::once("threads/block".to_string())
+            .chain(ops.iter().map(|k| format!("{} (s/10k runs)", k.name()))),
+    );
+    let mut max_delta_tpb = 0.0f64;
+    for &tpb in &tpb_grid {
+        let mut row = vec![tpb.to_string()];
+        for kind in ops {
+            let t = m.time(&gpu_op(kind), LaunchConfig { threads_per_block: tpb, num_blocks: 56 });
+            row.push(format!("{:.2}", t * 1e4));
+        }
+        ta.row(row);
+    }
+    for kind in ops {
+        let times: Vec<f64> = tpb_grid
+            .iter()
+            .map(|&tpb| m.time(&gpu_op(kind), LaunchConfig { threads_per_block: tpb, num_blocks: 56 }))
+            .collect();
+        let default = times[2];
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        max_delta_tpb = max_delta_tpb.max(default / best - 1.0);
+    }
+    ta.print("Figure 5a: execution time vs. threads per block (56 blocks)");
+
+    // (b) thread blocks, 1024 threads per block.
+    let nb_grid = [14u32, 56, 112, 224, 896];
+    let mut tb = Table::new(
+        std::iter::once("blocks".to_string())
+            .chain(ops.iter().map(|k| format!("{} (s/10k runs)", k.name()))),
+    );
+    let mut max_delta_nb = 0.0f64;
+    for &nb in &nb_grid {
+        let mut row = vec![nb.to_string()];
+        for kind in ops {
+            let t = m.time(&gpu_op(kind), LaunchConfig { threads_per_block: 1024, num_blocks: nb });
+            row.push(format!("{:.2}", t * 1e4));
+        }
+        tb.row(row);
+    }
+    for kind in ops {
+        let times: Vec<f64> = nb_grid
+            .iter()
+            .map(|&nb| m.time(&gpu_op(kind), LaunchConfig { threads_per_block: 1024, num_blocks: nb }))
+            .collect();
+        let default = times[1];
+        let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        max_delta_nb = max_delta_nb.max(default / best - 1.0);
+    }
+    tb.print("Figure 5b: execution time vs. thread-block count (1024 threads/block)");
+
+    println!(
+        "\nMax default-vs-best deltas: threads/block {:.0}% (paper: {:.0}%), blocks {:.0}% (paper: {:.0}%)",
+        max_delta_tpb * 100.0,
+        FIG5_MAX_DELTA_TPB * 100.0,
+        max_delta_nb * 100.0,
+        FIG5_MAX_DELTA_BLOCKS * 100.0
+    );
+    record.push("max_delta_tpb", max_delta_tpb, FIG5_MAX_DELTA_TPB);
+    record.push("max_delta_blocks", max_delta_nb, FIG5_MAX_DELTA_BLOCKS);
+    record.notes(
+        "TensorFlow's default launch configuration is beatable on both axes, \
+         by roughly the paper's margins; bandwidth-bound ops are insensitive \
+         to the block count once enough threads are resident.",
+    );
+    record.write();
+}

@@ -1,0 +1,92 @@
+//! Criterion micro-benchmarks of the library's own hot paths: the cost
+//! model, the discrete-event engine, the hill-climbing profiler, scheduler
+//! decisions over a full training step, and the real CPU kernels.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use nnrt_graph::{work_profile, OpAux, OpKind, Shape};
+use nnrt_manycore::{
+    CostModel, Engine, KnlCostModel, PlacementRequest, SharingMode, Topology,
+};
+use nnrt_sched::{HillClimbConfig, HillClimbModel, Measurer, OpCatalog, Runtime, RuntimeConfig};
+use std::hint::black_box;
+
+fn bench_cost_model(c: &mut Criterion) {
+    let m = KnlCostModel::knl();
+    let prof = work_profile(
+        OpKind::Conv2DBackpropFilter,
+        &Shape::nhwc(32, 8, 8, 384),
+        &OpAux::conv(3, 1, 384),
+    );
+    c.bench_function("cost_model_solo_time", |b| {
+        b.iter(|| m.solo_time(black_box(&prof), black_box(26), SharingMode::Compact))
+    });
+    c.bench_function("cost_model_optimal_68", |b| {
+        b.iter(|| m.optimal(black_box(&prof), 68))
+    });
+}
+
+fn bench_engine(c: &mut Criterion) {
+    let cost = KnlCostModel::knl();
+    let prof = work_profile(
+        OpKind::Conv2D,
+        &Shape::nhwc(32, 8, 8, 384),
+        &OpAux::conv(3, 1, 384),
+    );
+    c.bench_function("engine_launch_drain_8_jobs", |b| {
+        b.iter_batched(
+            || Engine::new(Topology::knl(), cost.params().clone()),
+            |mut e| {
+                for i in 0..8 {
+                    e.launch(
+                        prof,
+                        0.005,
+                        &PlacementRequest::primary(8, SharingMode::Compact),
+                        i,
+                    )
+                    .unwrap();
+                }
+                e.drain()
+            },
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+fn bench_profiler_and_runtime(c: &mut Criterion) {
+    let spec = nnrt_models::dcgan(64);
+    let catalog = OpCatalog::new(&spec.graph);
+    c.bench_function("hillclimb_fit_dcgan", |b| {
+        b.iter_batched(
+            || Measurer::new(KnlCostModel::knl(), nnrt_manycore::NoiseModel::none(), 1),
+            |mut m| HillClimbModel::fit(&catalog, &mut m, HillClimbConfig::default()),
+            BatchSize::SmallInput,
+        )
+    });
+    let rt = Runtime::prepare(&spec.graph, KnlCostModel::knl(), RuntimeConfig::default());
+    c.bench_function("runtime_step_dcgan", |b| b.iter(|| rt.run_step(black_box(&spec.graph))));
+}
+
+fn bench_kernels(c: &mut Criterion) {
+    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let x = nnrt_kernels::Tensor::sequence(&[4, 16, 16, 16], 1.0);
+    let f = nnrt_kernels::Tensor::sequence(&[3, 3, 16, 16], 0.5);
+    c.bench_function("kernel_conv2d_4x16x16x16", |b| {
+        b.iter(|| nnrt_kernels::conv::conv2d(black_box(threads), &x, &f, 1))
+    });
+    let a = vec![1.0f32; 128 * 128];
+    let bmat = vec![0.5f32; 128 * 128];
+    c.bench_function("kernel_matmul_128", |b| {
+        b.iter_batched(
+            || vec![0.0f32; 128 * 128],
+            |mut cbuf| nnrt_kernels::matmul::matmul(threads, &a, &bmat, &mut cbuf, 128, 128, 128),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_cost_model, bench_engine, bench_profiler_and_runtime, bench_kernels
+}
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Table I — whole-model speedups over the TensorFlow-guide recommendation
+//! (inter=1, intra=68) across a grid of uniform (inter, intra) settings, for
+//! ResNet-50 and DCGAN.
+
+use nnrt_bench::paper::TABLE1;
+use nnrt_bench::setup::{speedup, Bench};
+use nnrt_bench::{ExperimentRecord, Table};
+
+fn main() {
+    let resnet = Bench::new(nnrt_models::resnet50(64));
+    let dcgan = Bench::new(nnrt_models::dcgan(64));
+    let rec_resnet = resnet.recommendation().total_secs;
+    let rec_dcgan = dcgan.recommendation().total_secs;
+    println!(
+        "Recommendation step times: ResNet-50 {:.0} ms (paper: 1382), DCGAN {:.0} ms (paper: 524)",
+        rec_resnet * 1e3,
+        rec_dcgan * 1e3
+    );
+
+    let mut record =
+        ExperimentRecord::new("table1", "Uniform (inter, intra) parallelism grid speedups");
+    let mut table = Table::new([
+        "inter", "intra", "ResNet-50 (ours)", "ResNet-50 (paper)", "DCGAN (ours)", "DCGAN (paper)",
+    ]);
+    for &(inter, intra, paper_r, paper_d) in &TABLE1 {
+        let sr = speedup(rec_resnet, resnet.uniform(inter, intra).total_secs);
+        let sd = speedup(rec_dcgan, dcgan.uniform(inter, intra).total_secs);
+        table.row([
+            inter.to_string(),
+            intra.to_string(),
+            format!("{sr:.2}"),
+            format!("{paper_r:.2}"),
+            format!("{sd:.2}"),
+            format!("{paper_d:.2}"),
+        ]);
+        record.push(&format!("resnet_{inter}_{intra}"), sr, paper_r);
+        record.push(&format!("dcgan_{inter}_{intra}"), sd, paper_d);
+    }
+    table.print("Table I: speedup over the recommendation per (inter, intra)");
+    record.notes(
+        "Shape: 136-thread columns collapse (~0.3-0.6x), (2,34) is the best cell, \
+         34-thread cells mildly beat 68. Known deviation: our (2,68)/(4,68) cells \
+         are below the paper's (the simulator shares SMT contexts less favourably \
+         than the real KNL did for whole-model runs).",
+    );
+    record.write();
+}

@@ -1,0 +1,64 @@
+//! Table III — three ways to run two convolution backprops on
+//! `(32,8,8,2048)`: serially at 68 threads each, co-run on hyper-thread
+//! siblings (68+68), or co-run on an even core split (34+34). The paper
+//! measures 1.00 / 1.03 / 1.38.
+
+use nnrt_bench::paper::TABLE3;
+use nnrt_bench::{ExperimentRecord, Table};
+use nnrt_graph::{work_profile, OpAux, OpKind, Shape};
+use nnrt_manycore::{
+    CostModel, Engine, KnlCostModel, PlacementRequest, SharingMode, Topology,
+};
+
+fn main() {
+    let cost = KnlCostModel::knl();
+    let shape = Shape::nhwc(32, 8, 8, 2048);
+    let aux = OpAux::conv(3, 1, 2048);
+    let cbf = work_profile(OpKind::Conv2DBackpropFilter, &shape, &aux);
+    let cbi = work_profile(OpKind::Conv2DBackpropInput, &shape, &aux);
+
+    let t = |prof, p| cost.solo_time(&prof, p, SharingMode::Compact);
+
+    // Strategy 1: serial, 68 threads each.
+    let serial = t(cbf, 68) + t(cbi, 68);
+
+    // Strategy 2: hyper-threaded co-run (68 cores each, SMT siblings).
+    let ht_span = {
+        let mut e = Engine::new(Topology::knl(), cost.params().clone());
+        e.launch(cbf, t(cbf, 68), &PlacementRequest::primary(68, SharingMode::Compact), 1)
+            .unwrap();
+        e.launch(cbi, t(cbi, 68), &PlacementRequest::hyper_thread(68), 2).unwrap();
+        e.drain().last().unwrap().finish
+    };
+
+    // Strategy 3: thread control, an even 34 + 34 core split.
+    let split_span = {
+        let mut e = Engine::new(Topology::knl(), cost.params().clone());
+        e.launch(cbf, t(cbf, 34), &PlacementRequest::primary(34, SharingMode::Compact), 1)
+            .unwrap();
+        e.launch(cbi, t(cbi, 34), &PlacementRequest::primary(34, SharingMode::Compact), 2)
+            .unwrap();
+        e.drain().last().unwrap().finish
+    };
+
+    let ours = [1.0, serial / ht_span, serial / split_span];
+    let mut record = ExperimentRecord::new("table3", "Co-running two conv backprops");
+    let mut table = Table::new(["strategy", "time (s/1000)", "speedup (ours)", "speedup (paper)"]);
+    let times = [serial, ht_span, split_span];
+    for (i, &(name, paper)) in TABLE3.iter().enumerate() {
+        table.row([
+            name.to_string(),
+            format!("{:.1}", times[i] * 1000.0),
+            format!("{:.2}", ours[i]),
+            format!("{paper:.2}"),
+        ]);
+        record.push(name, ours[i], paper);
+    }
+    table.print("Table III: co-run strategies for Conv2DBackpropFilter + Conv2DBackpropInput");
+    record.notes(
+        "Ordering reproduced: the 34+34 core split wins big, hyper-threading \
+         barely beats serial. Individual ops lose throughput when co-run, yet \
+         the span shrinks — the paper's Observation 3.",
+    );
+    record.write();
+}

@@ -1,0 +1,120 @@
+//! Calibration dashboard: prints the key reproduction quantities next to the
+//! paper's values so cost-model constants can be tuned quickly.
+//!
+//! Run with `cargo run --release -p nnrt-bench --bin calibrate`.
+
+use nnrt_bench::setup::{speedup, Bench};
+use nnrt_bench::Table;
+use nnrt_manycore::{CostModel, SharingMode};
+use nnrt_sched::{manual_optimization, RuntimeConfig};
+
+/// Per-kind serial-time totals at 34 vs 68 threads, plus time-weighted
+/// optimum, to locate calibration pressure points.
+fn analyze() {
+    for bench in [Bench::new(nnrt_models::resnet50(64)), Bench::new(nnrt_models::dcgan(64))] {
+        println!("\n--- {} per-kind 34-vs-68 analysis ---", bench.spec.name);
+        let mut per_kind: std::collections::BTreeMap<&str, (f64, f64, f64, f64)> =
+            Default::default();
+        for (_, op) in bench.spec.graph.iter() {
+            let prof = nnrt_graph::work_profile(op.kind, &op.shape, &op.aux);
+            let t34 = bench.cost.solo_time(&prof, 34, SharingMode::Compact);
+            let t68 = bench.cost.solo_time(&prof, 68, SharingMode::Compact);
+            let (popt, _, topt) = bench.cost.optimal(&prof, 68);
+            let e = per_kind.entry(op.kind.name()).or_insert((0.0, 0.0, 0.0, 0.0));
+            e.0 += t34;
+            e.1 += t68;
+            e.2 += topt;
+            e.3 += popt as f64 * t68; // time-weighted optimum
+        }
+        let mut rows: Vec<_> = per_kind.into_iter().collect();
+        rows.sort_by(|a, b| b.1 .1.partial_cmp(&a.1 .1).unwrap());
+        println!("{:24} {:>9} {:>9} {:>9} {:>6}", "kind", "t34(ms)", "t68(ms)", "topt(ms)", "p*~");
+        for (kind, (t34, t68, topt, pw)) in rows.iter().take(12) {
+            println!(
+                "{:24} {:9.1} {:9.1} {:9.1} {:6.0}",
+                kind,
+                t34 * 1e3,
+                t68 * 1e3,
+                topt * 1e3,
+                pw / t68
+            );
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|a| a == "--quick");
+
+    if args.iter().any(|a| a == "--analyze") {
+        analyze();
+        return;
+    }
+
+    // --- Table I: parallelism grid on ResNet-50 and DCGAN ---
+    let resnet = Bench::new(nnrt_models::resnet50(64));
+    let dcgan = Bench::new(nnrt_models::dcgan(64));
+    let rec_resnet = resnet.recommendation().total_secs;
+    let rec_dcgan = dcgan.recommendation().total_secs;
+    println!(
+        "step time under recommendation: ResNet-50 {:.0} ms (paper 1382), DCGAN {:.0} ms (paper 524)",
+        rec_resnet * 1e3,
+        rec_dcgan * 1e3
+    );
+    let mut t1 = Table::new(["inter", "intra", "resnet(ours)", "resnet(paper)", "dcgan(ours)", "dcgan(paper)"]);
+    for &(inter, intra, pr, pd) in &nnrt_bench::paper::TABLE1 {
+        let sr = speedup(rec_resnet, resnet.uniform(inter, intra).total_secs);
+        let sd = speedup(rec_dcgan, dcgan.uniform(inter, intra).total_secs);
+        t1.row([
+            inter.to_string(),
+            intra.to_string(),
+            format!("{sr:.2}"),
+            format!("{pr:.2}"),
+            format!("{sd:.2}"),
+            format!("{pd:.2}"),
+        ]);
+    }
+    t1.print("Table I calibration");
+
+    if quick {
+        return;
+    }
+
+    // --- Figure 3: strategy ablation on all four models ---
+    let mut t3 = Table::new([
+        "model", "s12(ours)", "s12(paper)", "s3(ours)", "s3(paper)", "s4(ours)", "s4(paper)",
+        "full(ours)", "full(paper)", "manual(ours)", "manual(paper)",
+    ]);
+    for (bench, &(name, p12, p3, p4, pfull, pmanual)) in
+        Bench::paper_models().iter().zip(&nnrt_bench::paper::FIG3)
+    {
+        let rec = bench.recommendation().total_secs;
+        let s12 = bench.runtime(RuntimeConfig::s12_only()).run_step(&bench.spec.graph).total_secs;
+        let s123 = bench.runtime(RuntimeConfig::s123()).run_step(&bench.spec.graph).total_secs;
+        let full = bench.ours().total_secs;
+        let (mcfg, manual) = manual_optimization(&bench.spec.graph, &bench.catalog, &bench.cost);
+        t3.row([
+            name.to_string(),
+            format!("{:.2}", rec / s12),
+            format!("{p12:.2}"),
+            format!("{:.2}", s12 / s123),
+            format!("{p3:.2}"),
+            format!("{:.2}", s123 / full),
+            format!("{p4:.2}"),
+            format!("{:.2}", rec / full),
+            format!("{pfull:.2}"),
+            format!("{:.2} ({},{})", rec / manual.total_secs, mcfg.inter_op, mcfg.intra_op),
+            format!("{pmanual:.2}"),
+        ]);
+    }
+    t3.print("Figure 3 calibration");
+
+    // --- Table VI: top-5 ops under recommendation ---
+    for bench in Bench::paper_models() {
+        let rec = bench.recommendation();
+        println!("\n{} top-5 kinds under recommendation (step {:.0} ms):", bench.spec.name, rec.total_secs * 1e3);
+        for &(kind, secs, n) in rec.top_kinds(5) {
+            println!("  {kind:24} {:8.1} ms  x{n}", secs * 1e3);
+        }
+    }
+}

@@ -1,0 +1,20 @@
+//! # nnrt-bench
+//!
+//! The benchmark harness that regenerates every table and figure of the
+//! paper's evaluation. Each `benches/*.rs` target (run via `cargo bench`)
+//! prints the measured rows side-by-side with the paper's reference values
+//! and appends a machine-readable JSON record under `experiments/`.
+//!
+//! The library half holds the shared pieces: an aligned-table printer, the
+//! paper's reference numbers, the JSON record writer, and model/runtime
+//! setup helpers.
+
+#![warn(missing_docs)]
+
+pub mod paper;
+pub mod record;
+pub mod setup;
+pub mod table;
+
+pub use record::ExperimentRecord;
+pub use table::Table;

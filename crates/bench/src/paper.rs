@@ -1,0 +1,141 @@
+//! The paper's published numbers, kept next to the measured ones in every
+//! bench's output so the shape comparison is visible at a glance.
+
+/// Table I — whole-model speedups over the recommendation (inter=1,
+/// intra=68) for (inter, intra) grid cells. `(inter, intra, resnet, dcgan)`.
+pub const TABLE1: [(u32, u32, f64, f64); 9] = [
+    (1, 34, 0.98, 1.21),
+    (1, 68, 1.00, 1.00),
+    (1, 136, 0.61, 0.50),
+    (2, 34, 1.27, 1.28),
+    (2, 68, 1.14, 1.04),
+    (2, 136, 0.34, 0.42),
+    (4, 34, 1.18, 1.21),
+    (4, 68, 0.45, 0.93),
+    (4, 136, 0.29, 0.36),
+];
+
+/// One Table II row: `(op name, shape, paper optimum, paper variance %)`.
+pub type Table2Row = (&'static str, (usize, usize, usize, usize), u32, f64);
+
+/// Table II — optimal thread counts per (op, input size).
+pub const TABLE2: [Table2Row; 9] = [
+    ("Conv2DBackpropFilter", (32, 8, 8, 384), 26, 17.3),
+    ("Conv2DBackpropFilter", (32, 17, 17, 384), 42, 10.2),
+    ("Conv2DBackpropFilter", (32, 8, 8, 2048), 68, 0.0),
+    ("Conv2DBackpropInput", (32, 8, 8, 384), 36, 9.8),
+    ("Conv2DBackpropInput", (32, 17, 17, 384), 56, 2.3),
+    ("Conv2DBackpropInput", (32, 8, 8, 2048), 68, 0.0),
+    ("Conv2D", (32, 8, 8, 384), 45, 11.1),
+    ("Conv2D", (32, 17, 17, 384), 63, 3.5),
+    ("Conv2D", (32, 8, 8, 2048), 66, 2.0),
+];
+
+/// Table III — co-run strategies for two conv backprops on (32,8,8,2048):
+/// `(strategy, paper speedup)`.
+pub const TABLE3: [(&str, f64); 3] = [
+    ("Serial execution (68 threads each)", 1.00),
+    ("Co-run with hyper-threading (68+68)", 1.03),
+    ("Co-run with threads control (34+34)", 1.38),
+];
+
+/// Table IV — regression accuracy per (N, regressor): the paper's best cell
+/// is 67% (k-NN at N=4); everything is far below the hill climber.
+pub const TABLE4_BEST_ACCURACY: f64 = 0.67;
+
+/// Table V — hill-climb prediction accuracy per model and stride x.
+/// `(model, x=2, x=4, x=8, x=16)` in percent.
+pub const TABLE5: [(&str, f64, f64, f64, f64); 4] = [
+    ("ResNet-50", 98.13, 95.45, 83.42, 31.12),
+    ("DCGAN", 97.16, 94.43, 51.54, 10.14),
+    ("Inception-v3", 97.91, 94.22, 73.21, 21.21),
+    ("LSTM", 95.56, 90.45, 41.34, 11.03),
+];
+
+/// Figure 3 — ablation speedups per model:
+/// `(model, s12 vs rec, s3 vs s12, s4 vs s3, ours vs rec, manual vs rec)`.
+pub const FIG3: [(&str, f64, f64, f64, f64, f64); 4] = [
+    ("ResNet-50", 1.02, 1.35, 1.08, 1.49, 1.41),
+    ("DCGAN", 1.12, 1.15, 1.04, 1.34, 1.27),
+    ("Inception-v3", 1.02, 1.07, 1.07, 1.17, 1.19),
+    ("LSTM", 1.14, 1.25, 1.00, 1.43, 1.41),
+];
+
+/// One Table VI row: `(op, paper recommendation ms, paper speedup)`.
+pub type Table6Row = (&'static str, f64, f64);
+
+/// Table VI — top-5 op kinds per model with their S1+2 speedups.
+pub const TABLE6: [(&str, [Table6Row; 5]); 4] = [
+    (
+        "ResNet-50",
+        [
+            ("Conv2DBackpropFilter", 158.0, 1.08),
+            ("InputConversion", 131.0, 1.07),
+            ("Tile", 107.0, 1.02),
+            ("Mul", 103.0, 1.03),
+            ("ToTf", 79.0, 1.01),
+        ],
+    ),
+    (
+        "DCGAN",
+        [
+            ("Conv2DBackpropInput", 164.0, 1.14),
+            ("Conv2DBackpropFilter", 133.0, 1.21),
+            ("ApplyAdam", 84.0, 1.17),
+            ("BiasAddGrad", 26.0, 1.17),
+            ("FusedBatchNorm", 15.0, 1.03),
+        ],
+    ),
+    (
+        "Inception-v3",
+        [
+            ("AvgPool", 759.0, 1.04),
+            ("Tile", 539.0, 1.01),
+            ("Conv2DBackpropFilter", 479.0, 1.01),
+            ("MaxPooling", 455.0, 1.08),
+            ("InputConversion", 416.0, 1.01),
+        ],
+    ),
+    (
+        "LSTM",
+        [
+            ("SparseSoftmaxCross", 11.71, 1.34),
+            ("BiasAddGrad", 2.03, 1.03),
+            ("Mul", 1.36, 1.25),
+            ("AddN", 1.02, 1.17),
+            ("MatMul", 0.95, 1.02),
+        ],
+    ),
+];
+
+/// Figure 4 — average number of co-running ops over 6000 mid-step events:
+/// `(model, with S3 only, with S3+S4)`.
+pub const FIG4: [(&str, f64, f64); 3] = [
+    ("ResNet-50", 1.61, 1.89),
+    ("DCGAN", 1.62, 2.04),
+    ("Inception-v3", 1.52, 1.74),
+];
+
+/// Figure 5 — GPU intra-op parallelism: max performance deltas the paper
+/// reports (18% over threads/block, 11% over #blocks).
+pub const FIG5_MAX_DELTA_TPB: f64 = 0.18;
+
+/// Figure 5b counterpart for thread-block counts.
+pub const FIG5_MAX_DELTA_BLOCKS: f64 = 0.11;
+
+/// Table VII — GPU co-run speedups per op: `(op, paper speedup)`.
+pub const TABLE7: [(&str, f64); 5] = [
+    ("Conv2DBackpropFilter", 1.78),
+    ("Conv2DBackpropInput", 1.84),
+    ("Conv2D", 1.91),
+    ("BiasAdd", 1.79),
+    ("MaxPooling", 1.75),
+];
+
+/// Paper manual-optimization grid picks: `(model, inter, intra)`.
+pub const MANUAL_PICKS: [(&str, u32, u32); 4] = [
+    ("ResNet-50", 4, 16),
+    ("DCGAN", 2, 34),
+    ("Inception-v3", 2, 68),
+    ("LSTM", 2, 2),
+];

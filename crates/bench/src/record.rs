@@ -1,0 +1,97 @@
+//! Machine-readable experiment records.
+//!
+//! Every bench appends a JSON record under `<workspace>/experiments/`, which
+//! `EXPERIMENTS.md` summarizes. Records carry the experiment id, the measured
+//! values and the paper's reference values.
+
+use serde::{Deserialize, Serialize};
+use std::path::PathBuf;
+
+/// One experiment's reproduction record.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ExperimentRecord {
+    /// Experiment id, e.g. `"table3"` or `"fig4"`.
+    pub id: String,
+    /// Human description.
+    pub description: String,
+    /// Named measured values.
+    pub measured: Vec<(String, f64)>,
+    /// Named paper reference values.
+    pub paper: Vec<(String, f64)>,
+    /// Free-form notes on shape fidelity.
+    pub notes: String,
+}
+
+impl ExperimentRecord {
+    /// A new record.
+    pub fn new(id: &str, description: &str) -> Self {
+        ExperimentRecord {
+            id: id.to_string(),
+            description: description.to_string(),
+            measured: Vec::new(),
+            paper: Vec::new(),
+            notes: String::new(),
+        }
+    }
+
+    /// Adds one measured/paper value pair.
+    pub fn push(&mut self, name: &str, measured: f64, paper: f64) -> &mut Self {
+        self.measured.push((name.to_string(), measured));
+        self.paper.push((name.to_string(), paper));
+        self
+    }
+
+    /// Sets the shape-fidelity notes.
+    pub fn notes(&mut self, notes: &str) -> &mut Self {
+        self.notes = notes.to_string();
+        self
+    }
+
+    /// Directory where records are written (`<workspace>/experiments`).
+    pub fn dir() -> PathBuf {
+        let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+        manifest.parent().and_then(|p| p.parent()).unwrap_or(&manifest).join("experiments")
+    }
+
+    /// Writes the record as `experiments/<id>.json`. Failures are printed,
+    /// not fatal — record-keeping must never fail a bench.
+    pub fn write(&self) {
+        let dir = Self::dir();
+        if let Err(e) = std::fs::create_dir_all(&dir) {
+            eprintln!("experiment record: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(format!("{}.json", self.id));
+        match serde_json::to_string_pretty(self) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("experiment record: cannot write {}: {e}", path.display());
+                } else {
+                    println!("[record written: {}]", path.display());
+                }
+            }
+            Err(e) => eprintln!("experiment record: serialize failed: {e}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrip() {
+        let mut r = ExperimentRecord::new("test", "unit test record");
+        r.push("a", 1.0, 2.0).notes("n");
+        let json = serde_json::to_string(&r).unwrap();
+        let back: ExperimentRecord = serde_json::from_str(&json).unwrap();
+        assert_eq!(back.id, "test");
+        assert_eq!(back.measured[0].1, 1.0);
+        assert_eq!(back.paper[0].1, 2.0);
+    }
+
+    #[test]
+    fn dir_points_into_workspace() {
+        assert!(ExperimentRecord::dir().ends_with("experiments"));
+    }
+}

@@ -1,0 +1,74 @@
+//! Shared setup: models, baselines and runtimes used by several benches.
+
+use nnrt_manycore::KnlCostModel;
+use nnrt_models::ModelSpec;
+use nnrt_sched::{OpCatalog, Runtime, RuntimeConfig, StepReport, TfExecutor, TfExecutorConfig};
+
+/// A model together with its catalog and cost model, ready to execute.
+pub struct Bench {
+    /// The model.
+    pub spec: ModelSpec,
+    /// Its op catalog.
+    pub catalog: OpCatalog,
+    /// The simulated machine.
+    pub cost: KnlCostModel,
+}
+
+impl Bench {
+    /// Wraps a model spec with the default KNL.
+    pub fn new(spec: ModelSpec) -> Self {
+        let catalog = OpCatalog::new(&spec.graph);
+        Bench { spec, catalog, cost: KnlCostModel::knl() }
+    }
+
+    /// The paper's four models at their paper batch sizes.
+    pub fn paper_models() -> Vec<Bench> {
+        nnrt_models::paper_models().into_iter().map(Bench::new).collect()
+    }
+
+    /// One step under the TensorFlow-guide recommendation (inter=1, intra=68).
+    pub fn recommendation(&self) -> StepReport {
+        TfExecutor::new(TfExecutorConfig::recommendation()).run_step(
+            &self.spec.graph,
+            &self.catalog,
+            &self.cost,
+        )
+    }
+
+    /// One step under an arbitrary uniform configuration.
+    pub fn uniform(&self, inter: u32, intra: u32) -> StepReport {
+        TfExecutor::new(TfExecutorConfig { inter_op: inter, intra_op: intra }).run_step(
+            &self.spec.graph,
+            &self.catalog,
+            &self.cost,
+        )
+    }
+
+    /// A prepared runtime under `config`.
+    pub fn runtime(&self, config: RuntimeConfig) -> Runtime {
+        Runtime::prepare(&self.spec.graph, self.cost.clone(), config)
+    }
+
+    /// One step under our full runtime (all four strategies).
+    pub fn ours(&self) -> StepReport {
+        self.runtime(RuntimeConfig::default()).run_step(&self.spec.graph)
+    }
+}
+
+/// Formats a speedup as the paper prints it.
+pub fn speedup(baseline: f64, measured: f64) -> f64 {
+    baseline / measured
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_setup_runs_a_small_model() {
+        let b = Bench::new(nnrt_models::dcgan(8));
+        let rec = b.recommendation();
+        assert!(rec.total_secs > 0.0);
+        assert_eq!(rec.nodes_executed, b.spec.graph.len());
+    }
+}

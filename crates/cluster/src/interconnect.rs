@@ -1,0 +1,66 @@
+//! The inter-node network model (Cori's Aries dragonfly, coarse-grained).
+
+use serde::{Deserialize, Serialize};
+
+/// A simple latency + bandwidth interconnect.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Interconnect {
+    /// Per-message latency, seconds.
+    pub latency: f64,
+    /// Per-node injection bandwidth, bytes/s.
+    pub bandwidth: f64,
+}
+
+impl Interconnect {
+    /// Cori's Aries interconnect, roughly: ~1.3 µs latency, ~8 GB/s
+    /// injection bandwidth per node.
+    pub fn aries() -> Self {
+        Interconnect { latency: 1.3e-6, bandwidth: 8.0e9 }
+    }
+
+    /// Time for a point-to-point transfer of `bytes`.
+    pub fn transfer(&self, bytes: f64) -> f64 {
+        assert!(bytes >= 0.0 && bytes.is_finite());
+        self.latency + bytes / self.bandwidth
+    }
+
+    /// Time for a ring all-reduce of `bytes` across `nodes` participants:
+    /// `2 (n-1)` steps, each moving `bytes / n`.
+    pub fn ring_allreduce(&self, bytes: f64, nodes: u32) -> f64 {
+        assert!(nodes >= 1, "need at least one node");
+        if nodes == 1 {
+            return 0.0;
+        }
+        let steps = 2 * (nodes - 1);
+        steps as f64 * (self.latency + (bytes / nodes as f64) / self.bandwidth)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_node_allreduce_is_free() {
+        assert_eq!(Interconnect::aries().ring_allreduce(1e9, 1), 0.0);
+    }
+
+    #[test]
+    fn allreduce_scales_gently_with_nodes() {
+        // Ring all-reduce total bytes moved per node approaches 2x the
+        // payload regardless of node count; latency adds per step.
+        let net = Interconnect::aries();
+        let t2 = net.ring_allreduce(1e8, 2);
+        let t8 = net.ring_allreduce(1e8, 8);
+        // Bandwidth term: 2*(n-1)/n * bytes/bw -> 1x at n=2, 1.75x at n=8.
+        assert!(t8 < t2 * 2.0, "ring all-reduce must not blow up: {t2} vs {t8}");
+        assert!(t8 > t2);
+    }
+
+    #[test]
+    fn transfer_has_latency_floor() {
+        let net = Interconnect::aries();
+        assert!(net.transfer(0.0) >= net.latency);
+        assert!(net.transfer(8e9) > 1.0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # nnrt-cluster
+//!
+//! Multi-KNL training — the paper's Section V, implemented rather than left
+//! as future work.
+//!
+//! The paper argues its runtime needs no changes on multiple KNLs:
+//!
+//! * **Data parallelism** duplicates the model; each node runs the runtime
+//!   on its own batch shard, then gradients synchronize (here: a ring
+//!   all-reduce over the interconnect). "Our runtime system can work on
+//!   individual KNLs without any change."
+//! * **Model parallelism** partitions the operations across nodes; each node
+//!   schedules fewer operations, so "we have less opportunities to co-run
+//!   operations, but our control over intra-op parallelism should remain
+//!   the same."
+//!
+//! This crate simulates both regimes on top of the per-node runtime and lets
+//! the two claims be checked quantitatively (see the `cluster_scaling`
+//! bench and the crate tests).
+
+#![warn(missing_docs)]
+
+pub mod data_parallel;
+pub mod interconnect;
+pub mod model_parallel;
+
+pub use data_parallel::{DataParallelReport, DataParallelTrainer};
+pub use interconnect::Interconnect;
+pub use model_parallel::{partition_graph, ModelParallelReport, ModelParallelTrainer, Partition};

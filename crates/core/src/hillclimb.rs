@@ -1,0 +1,352 @@
+//! The hill-climbing performance model (§III-C of the paper).
+//!
+//! For every `(kind, shape)` key the profiler starts at one thread, measures,
+//! increases the thread count by a stride `x`, and keeps climbing while the
+//! measured time decreases. It does this twice — once with tile cache
+//! sharing, once without (the paper: "we run the operation twice with two
+//! training steps: one step with cache sharing between threads, and the
+//! other without"). Predictions for untested thread counts come from linear
+//! interpolation between the sampled points; thread counts beyond the last
+//! sample are extrapolated with the slope of the last sampled segment (the
+//! climb saw the curve start rising and stopped; the rise it observed is its
+//! only information about the tail).
+//!
+//! Accuracy degrades as the stride grows (Table V): coarse strides skip the
+//! optimum, stop early, and interpolate across the curve's steep left limb.
+
+use crate::measure::{Measurer, OpCatalog};
+use crate::plan::PerfModel;
+use nnrt_graph::OpKey;
+use nnrt_manycore::SharingMode;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Hill-climbing profiler configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct HillClimbConfig {
+    /// The stride `x` (the paper evaluates 2, 4, 8, 16; 4 is the default
+    /// trade-off between accuracy and profiling steps).
+    pub interval: u32,
+    /// Maximum thread count to explore (68 = one per physical core).
+    pub max_threads: u32,
+}
+
+impl Default for HillClimbConfig {
+    fn default() -> Self {
+        HillClimbConfig { interval: 4, max_threads: 68 }
+    }
+}
+
+/// The sampled time-vs-threads curve of one key under one sharing mode.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Curve {
+    /// `(threads, measured seconds)`, strictly increasing in threads.
+    pub samples: Vec<(u32, f64)>,
+}
+
+impl Curve {
+    /// Linear interpolation between samples; clamps on the left, and
+    /// extrapolates past the last sample with the final segment's slope
+    /// (never below a tenth of the sampled minimum, to stay positive).
+    pub fn interpolate(&self, threads: u32) -> Option<f64> {
+        let s = &self.samples;
+        if s.is_empty() {
+            return None;
+        }
+        if threads <= s[0].0 {
+            return Some(s[0].1);
+        }
+        if threads >= s[s.len() - 1].0 {
+            let (p1, t1) = s[s.len() - 1];
+            if threads == p1 || s.len() < 2 {
+                return Some(t1);
+            }
+            let (p0, t0) = s[s.len() - 2];
+            let slope = (t1 - t0) / (p1 - p0) as f64;
+            let floor = 0.1 * self.best().map_or(t1, |(_, t)| t);
+            return Some((t1 + slope * (threads - p1) as f64).max(floor));
+        }
+        let i = s.partition_point(|&(p, _)| p < threads);
+        let (p0, t0) = s[i - 1];
+        let (p1, t1) = s[i];
+        if p0 == threads {
+            return Some(t0);
+        }
+        let f = (threads - p0) as f64 / (p1 - p0) as f64;
+        Some(t0 + f * (t1 - t0))
+    }
+
+    /// The sampled minimum.
+    pub fn best(&self) -> Option<(u32, f64)> {
+        self.samples
+            .iter()
+            .copied()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+    }
+}
+
+/// The fitted hill-climbing performance model.
+#[derive(Debug, Clone, Default)]
+pub struct HillClimbModel {
+    curves: HashMap<OpKey, [Curve; 2]>, // [Compact, Scatter]
+    /// Profiling cost: total standalone measurements taken.
+    pub measurements: u64,
+    /// Profiling cost: equivalent profiling training steps
+    /// (the paper's `N <= C/x * 2`).
+    pub profiling_steps: u32,
+}
+
+fn mode_index(mode: SharingMode) -> usize {
+    match mode {
+        SharingMode::Compact => 0,
+        SharingMode::Scatter => 1,
+    }
+}
+
+impl HillClimbModel {
+    /// Profiles every key of `catalog` with the hill-climbing search.
+    pub fn fit(catalog: &OpCatalog, measurer: &mut Measurer, cfg: HillClimbConfig) -> Self {
+        let before = measurer.measurements_taken();
+        let mut curves = HashMap::new();
+        let mut longest_climb = 0u32;
+        for key in catalog.keys() {
+            let profile = *catalog.profile_of_key(key).expect("key from catalog");
+            // A profiling step observes every instance of the key, so a key
+            // with many instances measures with much less noise.
+            let reps = catalog.key_count(key).max(1);
+            let mut pair: [Curve; 2] = [Curve { samples: vec![] }, Curve { samples: vec![] }];
+            for mode in SharingMode::ALL {
+                let mut samples: Vec<(u32, f64)> = Vec::new();
+                let mut p = 1u32;
+                let mut prev = measurer.measure_averaged(&profile, p, mode, reps);
+                samples.push((p, prev));
+                loop {
+                    let next = p + cfg.interval;
+                    if next > cfg.max_threads {
+                        break;
+                    }
+                    let t = measurer.measure_averaged(&profile, next, mode, reps);
+                    samples.push((next, t));
+                    p = next;
+                    if t > prev {
+                        break; // the climb saw the curve rise: stop.
+                    }
+                    prev = t;
+                }
+                longest_climb = longest_climb.max(samples.len() as u32);
+                pair[mode_index(mode)] = Curve { samples };
+            }
+            curves.insert(key.clone(), pair);
+        }
+        HillClimbModel {
+            curves,
+            measurements: measurer.measurements_taken() - before,
+            // One profiling step runs every op once at one (threads, mode):
+            // the number of steps equals the longest climb, times two modes.
+            profiling_steps: longest_climb * 2,
+        }
+    }
+
+    /// The sampled curve for a key and mode, if profiled.
+    pub fn curve(&self, key: &OpKey, mode: SharingMode) -> Option<&Curve> {
+        self.curves.get(key).map(|pair| &pair[mode_index(mode)])
+    }
+
+    /// Number of profiled keys.
+    pub fn len(&self) -> usize {
+        self.curves.len()
+    }
+
+    /// Whether no key was profiled.
+    pub fn is_empty(&self) -> bool {
+        self.curves.is_empty()
+    }
+
+    /// The paper's Table V metric: "the average prediction accuracy for all
+    /// operations". Per operation (key × sharing mode), accuracy is
+    /// `1 − mean |ŷ−y|/y` over the *untested* thread counts within the
+    /// curve's sampled range, clamped at 0 — the paper predicts untested
+    /// cases "based on a linear interpolation between the execution times"
+    /// of tested neighbours, so a coarse stride interpolates straight across
+    /// the curve's steep left limb and over skipped optima, zeroing those
+    /// operations' accuracies entirely (the x = 16 collapse). The returned
+    /// value is the mean over operations.
+    pub fn accuracy(&self, catalog: &OpCatalog, measurer: &Measurer, max_threads: u32) -> f64 {
+        let mut per_op_acc = 0.0;
+        let mut ops = 0u64;
+        for key in catalog.keys() {
+            let Some(pair) = self.curves.get(key) else { continue };
+            let profile = *catalog.profile_of_key(key).expect("key from catalog");
+            for mode in SharingMode::ALL {
+                let curve = &pair[mode_index(mode)];
+                let sampled: std::collections::HashSet<u32> =
+                    curve.samples.iter().map(|&(p, _)| p).collect();
+                let hi = curve.samples.last().map(|&(p, _)| p).unwrap_or(0).min(max_threads);
+                let mut total = 0.0;
+                let mut n = 0u64;
+                for p in 1..=hi {
+                    if sampled.contains(&p) {
+                        continue;
+                    }
+                    let Some(pred) = curve.interpolate(p) else { continue };
+                    let truth = measurer.true_time(&profile, p, mode);
+                    total += ((pred - truth) / truth).abs();
+                    n += 1;
+                }
+                if n > 0 {
+                    per_op_acc += (1.0 - total / n as f64).max(0.0);
+                    ops += 1;
+                }
+            }
+        }
+        if ops == 0 {
+            return 0.0;
+        }
+        per_op_acc / ops as f64
+    }
+}
+
+impl PerfModel for HillClimbModel {
+    fn predict(&self, key: &OpKey, threads: u32, mode: SharingMode) -> Option<f64> {
+        self.curve(key, mode)?.interpolate(threads)
+    }
+
+    fn best(&self, key: &OpKey) -> Option<(u32, SharingMode, f64)> {
+        let pair = self.curves.get(key)?;
+        let mut best: Option<(u32, SharingMode, f64)> = None;
+        for mode in SharingMode::ALL {
+            if let Some((p, t)) = pair[mode_index(mode)].best() {
+                if best.is_none_or(|b| t < b.2) {
+                    best = Some((p, mode, t));
+                }
+            }
+        }
+        best
+    }
+
+    fn candidates(&self, key: &OpKey, n: usize) -> Vec<(u32, SharingMode, f64)> {
+        let Some(pair) = self.curves.get(key) else {
+            return Vec::new();
+        };
+        let mut all: Vec<(u32, SharingMode, f64)> = Vec::new();
+        for mode in SharingMode::ALL {
+            for &(p, t) in &pair[mode_index(mode)].samples {
+                all.push((p, mode, t));
+            }
+        }
+        all.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+        // Distinct thread counts only: a candidate set of {26-compact,
+        // 26-scatter, 30-compact} offers less scheduling freedom than
+        // {26, 22, 30}.
+        let mut seen = std::collections::HashSet::new();
+        all.retain(|&(p, _, _)| seen.insert(p));
+        all.truncate(n);
+        all
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnrt_graph::{DataflowGraph, OpAux, OpInstance, OpKind, Shape};
+    use nnrt_manycore::{KnlCostModel, NoiseModel};
+
+    fn conv_catalog() -> OpCatalog {
+        let mut g = DataflowGraph::new();
+        g.add(
+            OpInstance::with_aux(
+                OpKind::Conv2DBackpropFilter,
+                Shape::nhwc(32, 8, 8, 384),
+                OpAux::conv(3, 1, 384),
+            ),
+            &[],
+        );
+        OpCatalog::new(&g)
+    }
+
+    fn fit(interval: u32, noise: NoiseModel) -> (HillClimbModel, Measurer, OpCatalog) {
+        let catalog = conv_catalog();
+        let mut m = Measurer::new(KnlCostModel::knl(), noise, 123);
+        let model = HillClimbModel::fit(
+            &catalog,
+            &mut m,
+            HillClimbConfig { interval, max_threads: 68 },
+        );
+        (model, m, catalog)
+    }
+
+    #[test]
+    fn finds_the_convex_minimum() {
+        let (model, m, catalog) = fit(2, NoiseModel::none());
+        let key = catalog.keys()[0].clone();
+        let (p, _, _) = model.best(&key).unwrap();
+        // Ground truth optimum (paper: 26 for this op and shape).
+        let prof = *catalog.profile_of_key(&key).unwrap();
+        let (true_p, _, _) =
+            nnrt_manycore::CostModel::optimal(m.cost_model(), &prof, 68);
+        assert!(
+            (p as i64 - true_p as i64).abs() <= 2,
+            "hill climb found {p}, truth {true_p}"
+        );
+    }
+
+    #[test]
+    fn fine_stride_is_highly_accurate() {
+        let (model, m, catalog) = fit(2, NoiseModel::none());
+        let acc = model.accuracy(&catalog, &m, 68);
+        assert!(acc > 0.93, "x=2 accuracy should be ~95%+, got {acc:.3}");
+    }
+
+    #[test]
+    fn accuracy_degrades_with_stride() {
+        let (m2, meas2, cat) = fit(2, NoiseModel::none());
+        let (m16, meas16, _) = fit(16, NoiseModel::none());
+        let a2 = m2.accuracy(&cat, &meas2, 68);
+        let a16 = m16.accuracy(&cat, &meas16, 68);
+        assert!(
+            a2 > a16 + 0.05,
+            "stride 16 must be clearly worse: x2={a2:.3} x16={a16:.3}"
+        );
+    }
+
+    #[test]
+    fn coarse_stride_uses_fewer_measurements() {
+        let (m2, ..) = fit(2, NoiseModel::none());
+        let (m16, ..) = fit(16, NoiseModel::none());
+        assert!(m16.measurements < m2.measurements);
+        assert!(m16.profiling_steps < m2.profiling_steps);
+    }
+
+    #[test]
+    fn interpolation_brackets_and_clamps() {
+        let c = Curve { samples: vec![(1, 10.0), (5, 2.0), (9, 4.0)] };
+        assert_eq!(c.interpolate(1), Some(10.0));
+        assert_eq!(c.interpolate(3), Some(6.0));
+        assert_eq!(c.interpolate(5), Some(2.0));
+        assert_eq!(c.interpolate(7), Some(3.0));
+        // Extrapolated with the last segment's slope (0.5/thread).
+        assert_eq!(c.interpolate(13), Some(6.0));
+        assert_eq!(c.best(), Some((5, 2.0)));
+    }
+
+    #[test]
+    fn candidates_are_sorted_and_distinct() {
+        let (model, _, catalog) = fit(4, NoiseModel::none());
+        let key = catalog.keys()[0].clone();
+        let cands = model.candidates(&key, 3);
+        assert_eq!(cands.len(), 3);
+        assert!(cands[0].2 <= cands[1].2 && cands[1].2 <= cands[2].2);
+        let mut ps: Vec<u32> = cands.iter().map(|c| c.0).collect();
+        ps.dedup();
+        assert_eq!(ps.len(), 3, "thread counts must be distinct: {ps:?}");
+    }
+
+    #[test]
+    fn unknown_key_predicts_none() {
+        let (model, ..) = fit(4, NoiseModel::none());
+        let other = (OpKind::Mul, Shape::vec1(5));
+        assert!(model.predict(&other, 4, SharingMode::Compact).is_none());
+        assert!(model.best(&other).is_none());
+        assert!(model.candidates(&other, 3).is_empty());
+    }
+}

@@ -1,0 +1,193 @@
+//! The dynamic-profiling harness.
+//!
+//! During the first few training steps the runtime runs operations standalone
+//! (serially, to avoid interference — §III-B "we run the operations in serial
+//! ... to ensure accuracy of feature collection") and measures their
+//! execution time under chosen thread counts and affinities. On the simulated
+//! machine a "measurement" is the cost model's solo time perturbed by the
+//! duration-dependent [`NoiseModel`].
+
+use nnrt_graph::{op_key, DataflowGraph, NodeId, OpKey};
+use nnrt_manycore::{CostModel, KnlCostModel, NoiseModel, SharingMode, WorkProfile};
+use rand::SeedableRng;
+use rand_chacha::ChaCha8Rng;
+use std::collections::HashMap;
+
+/// Per-graph cache of work profiles, indexed both by node and by op key.
+#[derive(Debug, Clone)]
+pub struct OpCatalog {
+    by_node: Vec<WorkProfile>,
+    by_key: HashMap<OpKey, WorkProfile>,
+    counts: HashMap<OpKey, usize>,
+    keys: Vec<OpKey>,
+}
+
+impl OpCatalog {
+    /// Builds the catalog for `graph`.
+    pub fn new(graph: &DataflowGraph) -> Self {
+        let mut by_node = Vec::with_capacity(graph.len());
+        let mut by_key: HashMap<OpKey, WorkProfile> = HashMap::new();
+        let mut counts: HashMap<OpKey, usize> = HashMap::new();
+        for (_, op) in graph.iter() {
+            let profile = nnrt_graph::work_profile(op.kind, &op.shape, &op.aux);
+            let key = op_key(op.kind, &op.shape);
+            by_key.entry(key.clone()).or_insert(profile);
+            *counts.entry(key).or_default() += 1;
+            by_node.push(profile);
+        }
+        let mut keys: Vec<OpKey> = by_key.keys().cloned().collect();
+        keys.sort();
+        OpCatalog { by_node, by_key, counts, keys }
+    }
+
+    /// Number of instances of `key` in the graph (0 if absent). One
+    /// profiling step observes every instance, so a key with many instances
+    /// yields an effectively averaged, lower-noise measurement.
+    pub fn key_count(&self, key: &OpKey) -> usize {
+        self.counts.get(key).copied().unwrap_or(0)
+    }
+
+    /// Profile of a node.
+    pub fn profile(&self, node: NodeId) -> &WorkProfile {
+        &self.by_node[node.0 as usize]
+    }
+
+    /// Profile of an op key (any instance with that kind and shape).
+    pub fn profile_of_key(&self, key: &OpKey) -> Option<&WorkProfile> {
+        self.by_key.get(key)
+    }
+
+    /// All distinct keys, sorted (deterministic iteration order).
+    pub fn keys(&self) -> &[OpKey] {
+        &self.keys
+    }
+}
+
+/// Measures standalone operation runs on the simulated machine.
+///
+/// Owns the ground-truth cost model, the measurement noise and a seeded RNG;
+/// everything downstream (profilers, schedulers) sees only noisy
+/// measurements, as a real runtime would.
+#[derive(Debug, Clone)]
+pub struct Measurer {
+    cost: KnlCostModel,
+    noise: NoiseModel,
+    rng: ChaCha8Rng,
+    measurements: u64,
+}
+
+impl Measurer {
+    /// A measurer over `cost` with `noise`, seeded deterministically.
+    pub fn new(cost: KnlCostModel, noise: NoiseModel, seed: u64) -> Self {
+        Measurer { cost, noise, rng: ChaCha8Rng::seed_from_u64(seed), measurements: 0 }
+    }
+
+    /// The ground-truth cost model (used by executors to derive *actual*
+    /// durations; profilers must go through [`Measurer::measure`] instead).
+    pub fn cost_model(&self) -> &KnlCostModel {
+        &self.cost
+    }
+
+    /// One noisy standalone measurement.
+    pub fn measure(&mut self, profile: &WorkProfile, threads: u32, mode: SharingMode) -> f64 {
+        self.measurements += 1;
+        let t = self.cost.solo_time(profile, threads, mode);
+        self.noise.observe(t, &mut self.rng)
+    }
+
+    /// The mean of `samples` noisy measurements — what a profiling step
+    /// observes for an op key that has `samples` instances in the graph
+    /// (each instance is one observation of the same configuration).
+    pub fn measure_averaged(
+        &mut self,
+        profile: &WorkProfile,
+        threads: u32,
+        mode: SharingMode,
+        samples: usize,
+    ) -> f64 {
+        let samples = samples.clamp(1, 32);
+        let mut total = 0.0;
+        for _ in 0..samples {
+            total += self.measure(profile, threads, mode);
+        }
+        total / samples as f64
+    }
+
+    /// The exact (noise-free) time — ground truth for accuracy evaluation.
+    pub fn true_time(&self, profile: &WorkProfile, threads: u32, mode: SharingMode) -> f64 {
+        self.cost.solo_time(profile, threads, mode)
+    }
+
+    /// Number of measurements taken so far (profiling cost accounting).
+    pub fn measurements_taken(&self) -> u64 {
+        self.measurements
+    }
+
+    /// Maximum threads the machine supports with one context per core.
+    pub fn max_threads(&self) -> u32 {
+        self.cost.topology().num_cores()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnrt_graph::{OpKind, Shape};
+
+    fn small_graph() -> DataflowGraph {
+        let mut g = DataflowGraph::new();
+        let a = g.add_op(OpKind::Conv2D, Shape::nhwc(8, 16, 16, 32), &[]);
+        let _b = g.add_op(OpKind::Relu, Shape::nhwc(8, 16, 16, 32), &[a]);
+        let _c = g.add_op(OpKind::Conv2D, Shape::nhwc(8, 16, 16, 32), &[a]);
+        g
+    }
+
+    #[test]
+    fn catalog_dedups_keys() {
+        let g = small_graph();
+        let cat = OpCatalog::new(&g);
+        assert_eq!(cat.keys().len(), 2, "two Conv2D instances share one key");
+        assert!(cat.profile_of_key(&(OpKind::Conv2D, Shape::nhwc(8, 16, 16, 32))).is_some());
+        assert!(cat.profile_of_key(&(OpKind::Mul, Shape::vec1(1))).is_none());
+    }
+
+    #[test]
+    fn measurement_is_noisy_but_near_truth() {
+        let cat = OpCatalog::new(&small_graph());
+        let prof = *cat.profile(NodeId(0));
+        let mut m = Measurer::new(KnlCostModel::knl(), NoiseModel::default(), 42);
+        let truth = m.true_time(&prof, 16, SharingMode::Compact);
+        let mut sum = 0.0;
+        for _ in 0..200 {
+            sum += m.measure(&prof, 16, SharingMode::Compact);
+        }
+        let mean = sum / 200.0;
+        assert!((mean - truth).abs() / truth < 0.05);
+        assert_eq!(m.measurements_taken(), 200);
+    }
+
+    #[test]
+    fn noiseless_measurer_is_exact() {
+        let cat = OpCatalog::new(&small_graph());
+        let prof = *cat.profile(NodeId(0));
+        let mut m = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 0);
+        assert_eq!(
+            m.measure(&prof, 8, SharingMode::Scatter),
+            m.true_time(&prof, 8, SharingMode::Scatter)
+        );
+    }
+
+    #[test]
+    fn determinism_under_seed() {
+        let cat = OpCatalog::new(&small_graph());
+        let prof = *cat.profile(NodeId(0));
+        let mut a = Measurer::new(KnlCostModel::knl(), NoiseModel::default(), 7);
+        let mut b = Measurer::new(KnlCostModel::knl(), NoiseModel::default(), 7);
+        for p in 1..20 {
+            assert_eq!(
+                a.measure(&prof, p, SharingMode::Compact),
+                b.measure(&prof, p, SharingMode::Compact)
+            );
+        }
+    }
+}

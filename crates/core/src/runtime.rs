@@ -1,0 +1,396 @@
+//! The full runtime (§III-A, Figure 2 of the paper).
+//!
+//! A training job runs `TS` steps; the first few are *profiling steps* in
+//! which the hill-climbing performance model is fitted, and every later step
+//! executes under Strategies 1–4. [`Runtime::prepare`] performs the profiling
+//! phase, [`Runtime::run_step`] executes one training step and returns a
+//! [`StepReport`].
+
+use crate::exec::ExecContext;
+use crate::feedback::InterferenceLog;
+use crate::hillclimb::{HillClimbConfig, HillClimbModel};
+use crate::measure::{Measurer, OpCatalog};
+use crate::plan::{PlanPolicy, ThreadPlan};
+use crate::scheduler::{next_launch, SchedulerConfig};
+use nnrt_graph::{DataflowGraph, OpKind};
+use nnrt_manycore::{EngineEvent, KnlCostModel, NoiseModel};
+use serde::{Deserialize, Serialize};
+
+/// Which strategies the runtime applies (the paper's ablation of Figure 3).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeConfig {
+    /// Strategy 1: per-(kind, shape) optimal intra-op parallelism.
+    pub s1: bool,
+    /// Strategy 2: one thread count per kind (largest-instance rule).
+    pub s2: bool,
+    /// Strategy 3: co-run operations into idle cores.
+    pub s3: bool,
+    /// Strategy 4: hyper-thread co-runs under full-width ops.
+    pub s4: bool,
+    /// Hill-climbing profiler settings.
+    pub hillclimb: HillClimbConfig,
+    /// Candidates per op for Strategy 3 (paper: 3).
+    pub candidates: usize,
+    /// S2/S3 consistency tolerance in threads (paper: 2).
+    pub s2_tolerance: u32,
+    /// Prefer the fewest-threads fitting candidate over the fastest one.
+    pub prefer_fewest_threads: bool,
+    /// Framework-default intra-op parallelism for non-tunable ops (68).
+    pub default_intra: u32,
+    /// Measurement-noise seed for the profiling steps.
+    pub seed: u64,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig {
+            s1: true,
+            s2: true,
+            s3: true,
+            s4: true,
+            hillclimb: HillClimbConfig::default(),
+            candidates: 3,
+            s2_tolerance: 2,
+            prefer_fewest_threads: true,
+            default_intra: 68,
+            seed: 0xC0DE,
+        }
+    }
+}
+
+impl RuntimeConfig {
+    /// Strategies 1+2 only (Figure 3a).
+    pub fn s12_only() -> Self {
+        RuntimeConfig { s3: false, s4: false, ..Default::default() }
+    }
+
+    /// Strategies 1+2+3 (Figure 3b).
+    pub fn s123() -> Self {
+        RuntimeConfig { s4: false, ..Default::default() }
+    }
+}
+
+/// The outcome of executing one training step.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct StepReport {
+    /// Wall-clock seconds of the step on the simulated machine.
+    pub total_secs: f64,
+    /// Per-op-kind `(kind, accumulated busy seconds, instance count)`,
+    /// sorted by time descending (the paper's Table VI rows).
+    pub per_kind: Vec<(OpKind, f64, usize)>,
+    /// Engine event trace (empty unless trace recording was enabled).
+    pub trace: Vec<EngineEvent>,
+    /// Per-node timing records: when each op ran, what the policy predicted,
+    /// and the interference-free nominal (always collected).
+    pub timings: Vec<crate::exec::NodeTiming>,
+    /// Number of operations executed.
+    pub nodes_executed: usize,
+}
+
+impl StepReport {
+    /// Accumulated time of one kind, if it ran.
+    pub fn kind_time(&self, kind: OpKind) -> Option<f64> {
+        self.per_kind.iter().find(|&&(k, _, _)| k == kind).map(|&(_, t, _)| t)
+    }
+
+    /// The `n` most time-consuming kinds.
+    pub fn top_kinds(&self, n: usize) -> &[(OpKind, f64, usize)] {
+        &self.per_kind[..n.min(self.per_kind.len())]
+    }
+}
+
+/// The prepared runtime for one model graph.
+///
+/// ```
+/// use nnrt_graph::{DataflowGraph, OpAux, OpInstance, OpKind, Shape};
+/// use nnrt_manycore::KnlCostModel;
+/// use nnrt_sched::{Runtime, RuntimeConfig};
+///
+/// // Two independent convolutions: the runtime profiles them, picks their
+/// // thread counts, and co-runs them (Strategy 3).
+/// let mut g = DataflowGraph::new();
+/// let op = OpInstance::with_aux(
+///     OpKind::Conv2DBackpropFilter,
+///     Shape::nhwc(32, 8, 8, 384),
+///     OpAux::conv(3, 1, 384),
+/// );
+/// g.add(op.clone(), &[]);
+/// g.add(op, &[]);
+///
+/// let rt = Runtime::prepare(&g, KnlCostModel::knl(), RuntimeConfig::default());
+/// let report = rt.run_step(&g);
+/// assert_eq!(report.nodes_executed, 2);
+/// assert!(report.total_secs > 0.0);
+/// ```
+pub struct Runtime {
+    config: RuntimeConfig,
+    cost: KnlCostModel,
+    catalog: OpCatalog,
+    /// The hill-climb model, when prepared the normal way (kept for its
+    /// profiling-cost accounting; `perf_model` is what scheduling uses).
+    model: Option<HillClimbModel>,
+    perf_model: Box<dyn crate::plan::PerfModel>,
+    plan: ThreadPlan,
+    record_trace: bool,
+    feedback: InterferenceLog,
+}
+
+impl Runtime {
+    /// Profiles `graph` (the paper's first few training steps) with the
+    /// hill-climbing model and builds the thread plan. This is the
+    /// expensive, once-per-model phase; its cost is
+    /// `model().profiling_steps` simulated steps.
+    pub fn prepare(graph: &DataflowGraph, cost: KnlCostModel, config: RuntimeConfig) -> Self {
+        let catalog = OpCatalog::new(graph);
+        let mut measurer = Measurer::new(cost.clone(), NoiseModel::default(), config.seed);
+        let model = HillClimbModel::fit(&catalog, &mut measurer, config.hillclimb);
+        let plan = Self::build_plan(&model, &catalog, &config);
+        Runtime {
+            config,
+            cost,
+            catalog,
+            perf_model: Box::new(model.clone()),
+            model: Some(model),
+            plan,
+            record_trace: false,
+            feedback: InterferenceLog::new(),
+        }
+    }
+
+    /// Builds a runtime around an arbitrary fitted performance model — e.g.
+    /// the regression baseline, to reproduce the paper's finding that
+    /// "using the most accurate regression model to direct NN model
+    /// training" loses ~30%.
+    pub fn prepare_with_model(
+        graph: &DataflowGraph,
+        cost: KnlCostModel,
+        config: RuntimeConfig,
+        perf_model: Box<dyn crate::plan::PerfModel>,
+    ) -> Self {
+        let catalog = OpCatalog::new(graph);
+        let plan = Self::build_plan(perf_model.as_ref(), &catalog, &config);
+        Runtime {
+            config,
+            cost,
+            catalog,
+            perf_model,
+            model: None,
+            plan,
+            record_trace: false,
+            feedback: InterferenceLog::new(),
+        }
+    }
+
+    fn build_plan(
+        model: &dyn crate::plan::PerfModel,
+        catalog: &OpCatalog,
+        config: &RuntimeConfig,
+    ) -> ThreadPlan {
+        let policy = match (config.s1, config.s2) {
+            (true, true) => PlanPolicy::PerKindLargest,
+            (true, false) => PlanPolicy::PerShape,
+            _ => PlanPolicy::Default,
+        };
+        ThreadPlan::build(model, catalog.keys(), policy, config.default_intra)
+    }
+
+    /// Enables event-trace recording in step reports (Figure 4).
+    pub fn record_trace(&mut self, on: bool) {
+        self.record_trace = on;
+    }
+
+    /// The fitted hill-climbing model (absent when the runtime was prepared
+    /// with [`Runtime::prepare_with_model`]).
+    pub fn model(&self) -> &HillClimbModel {
+        self.model.as_ref().expect("runtime was prepared with a custom performance model")
+    }
+
+    /// The thread plan in force.
+    pub fn plan(&self) -> &ThreadPlan {
+        &self.plan
+    }
+
+    /// The op catalog.
+    pub fn catalog(&self) -> &OpCatalog {
+        &self.catalog
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.config
+    }
+
+    /// Executes one training step of `graph` under the configured strategies.
+    ///
+    /// `graph` must be the same graph (or a graph with identical keys) as the
+    /// one profiled in [`Runtime::prepare`].
+    pub fn run_step(&self, graph: &DataflowGraph) -> StepReport {
+        let catalog = OpCatalog::new(graph);
+        let sched = SchedulerConfig {
+            corun: self.config.s3,
+            hyper_thread: self.config.s4,
+            candidates: self.config.candidates,
+            s2_tolerance: self.config.s2_tolerance,
+            prefer_fewest_threads: self.config.prefer_fewest_threads,
+        };
+        let mut ctx = ExecContext::new(graph, &catalog, &self.cost, self.record_trace);
+        loop {
+            while let Some(decision) =
+                next_launch(&ctx, &self.plan, self.perf_model.as_ref(), &sched, &self.feedback)
+            {
+                ctx.launch(decision.launch, decision.predicted);
+            }
+            if !ctx.advance() {
+                break;
+            }
+        }
+        let report = ctx.finish();
+        debug_assert_eq!(report.nodes_executed, graph.len(), "every op must execute");
+        report
+    }
+
+    /// The interference-feedback log accumulated by
+    /// [`Runtime::run_step_adaptive`].
+    pub fn feedback(&self) -> &InterferenceLog {
+        &self.feedback
+    }
+
+    /// Executes one step and then folds its timing records into the
+    /// interference log, so later steps avoid co-run pairings that hurt —
+    /// the adaptation the paper's §III-D discussion describes. Returns the
+    /// report and the number of newly denied kind pairs.
+    pub fn run_step_adaptive(&mut self, graph: &DataflowGraph) -> (StepReport, usize) {
+        let report = self.run_step(graph);
+        let new_denials = self.feedback.observe(graph, &report);
+        (report, new_denials)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tf_baseline::{TfExecutor, TfExecutorConfig};
+    use nnrt_graph::{DataflowGraph, OpAux, OpInstance, OpKind, Shape};
+
+    /// A small ResNet-ish slice: a chain of conv blocks whose backward
+    /// produces sibling backprops, plus a fan-out of optimizer updates.
+    fn mini_graph() -> DataflowGraph {
+        let mut g = DataflowGraph::new();
+        let mut prev: Option<nnrt_graph::NodeId> = None;
+        let mut grads = Vec::new();
+        for _ in 0..6 {
+            let deps: Vec<_> = prev.into_iter().collect();
+            let conv = g.add(
+                OpInstance::with_aux(
+                    OpKind::Conv2D,
+                    Shape::nhwc(32, 8, 8, 384),
+                    OpAux::conv(3, 1, 384),
+                ),
+                &deps,
+            );
+            let relu = g.add(OpInstance::new(OpKind::Relu, Shape::nhwc(32, 8, 8, 384)), &[conv]);
+            prev = Some(relu);
+        }
+        let top = prev.unwrap();
+        let mut grad = top;
+        for _ in 0..6 {
+            let cbf = g.add(
+                OpInstance::with_aux(
+                    OpKind::Conv2DBackpropFilter,
+                    Shape::nhwc(32, 8, 8, 384),
+                    OpAux::conv(3, 1, 384),
+                ),
+                &[grad],
+            );
+            let cbi = g.add(
+                OpInstance::with_aux(
+                    OpKind::Conv2DBackpropInput,
+                    Shape::nhwc(32, 8, 8, 384),
+                    OpAux::conv(3, 1, 384),
+                ),
+                &[grad],
+            );
+            grads.push(cbf);
+            grad = cbi;
+        }
+        for &wg in &grads {
+            g.add(OpInstance::new(OpKind::ApplyAdam, Shape::vec1(1_327_104)), &[wg]);
+        }
+        g
+    }
+
+    fn recommendation_time(g: &DataflowGraph) -> f64 {
+        let catalog = OpCatalog::new(g);
+        let cost = KnlCostModel::knl();
+        TfExecutor::new(TfExecutorConfig::recommendation())
+            .run_step(g, &catalog, &cost)
+            .total_secs
+    }
+
+    #[test]
+    fn full_runtime_beats_recommendation() {
+        let g = mini_graph();
+        let baseline = recommendation_time(&g);
+        let rt = Runtime::prepare(&g, KnlCostModel::knl(), RuntimeConfig::default());
+        let ours = rt.run_step(&g).total_secs;
+        assert!(
+            ours < baseline,
+            "runtime ({ours:.4}s) must beat the recommendation ({baseline:.4}s)"
+        );
+    }
+
+    #[test]
+    fn strategies_compose_monotonically_on_corun_heavy_graph() {
+        let g = mini_graph();
+        let s12 = Runtime::prepare(&g, KnlCostModel::knl(), RuntimeConfig::s12_only())
+            .run_step(&g)
+            .total_secs;
+        let s123 = Runtime::prepare(&g, KnlCostModel::knl(), RuntimeConfig::s123())
+            .run_step(&g)
+            .total_secs;
+        assert!(
+            s123 < s12,
+            "S3 must help a graph with sibling backprops: {s123:.4} vs {s12:.4}"
+        );
+    }
+
+    #[test]
+    fn every_node_executes_exactly_once() {
+        let g = mini_graph();
+        let rt = Runtime::prepare(&g, KnlCostModel::knl(), RuntimeConfig::default());
+        let report = rt.run_step(&g);
+        assert_eq!(report.nodes_executed, g.len());
+        let counted: usize = report.per_kind.iter().map(|&(_, _, n)| n).sum();
+        assert_eq!(counted, g.len());
+    }
+
+    #[test]
+    fn trace_recording_is_optional() {
+        let g = mini_graph();
+        let mut rt = Runtime::prepare(&g, KnlCostModel::knl(), RuntimeConfig::default());
+        assert!(rt.run_step(&g).trace.is_empty());
+        rt.record_trace(true);
+        let report = rt.run_step(&g);
+        assert_eq!(report.trace.len(), 2 * g.len(), "one start + one finish per op");
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let g = mini_graph();
+        let rt = Runtime::prepare(&g, KnlCostModel::knl(), RuntimeConfig::default());
+        let a = rt.run_step(&g).total_secs;
+        let b = rt.run_step(&g).total_secs;
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn report_queries() {
+        let g = mini_graph();
+        let rt = Runtime::prepare(&g, KnlCostModel::knl(), RuntimeConfig::default());
+        let report = rt.run_step(&g);
+        assert!(report.kind_time(OpKind::Conv2D).unwrap() > 0.0);
+        assert!(report.kind_time(OpKind::MaxPool).is_none());
+        assert!(report.top_kinds(3).len() == 3);
+        assert!(report.top_kinds(100).len() <= report.per_kind.len());
+    }
+}

@@ -1,0 +1,449 @@
+//! Strategies 3 & 4: the co-run scheduler (§III-D of the paper).
+//!
+//! Whenever cores idle (an op finished, or the step just started) the
+//! scheduler examines the ready operations:
+//!
+//! * **Strategy 3** — each ready op offers up to three *candidate* thread
+//!   counts (its most performant sampled configurations). A candidate may
+//!   launch if it (a) fits into the idle cores and (b) is predicted to finish
+//!   no later than the ongoing operations (so co-running never stretches the
+//!   makespan). Among fitting candidates of an op the scheduler prefers the
+//!   one using the *fewest* threads — the paper's example picks 18 threads
+//!   over 20 to leave idle cores for further co-runs.
+//! * **S2/S3 consistency** — if the chosen candidate's thread count differs
+//!   from the Strategy-2 planned count by more than a tolerance (paper: 2),
+//!   the planned count is used instead, avoiding disruptive concurrency
+//!   changes.
+//! * **Strategy 4** — when a full-width op owns all cores, the smallest
+//!   ready operations (shortest serial time) ride the second hardware thread
+//!   of the busy cores.
+//! * Fallback — when the machine is idle and nothing fits "without
+//!   decreasing system throughput", the most time-consuming ready op runs.
+
+use crate::exec::{ExecContext, Launch};
+use crate::feedback::InterferenceLog;
+use crate::plan::{PerfModel, ThreadPlan};
+use nnrt_graph::{op_key, NodeId};
+use nnrt_manycore::{CostModel, SharingMode, SlotPreference};
+use serde::{Deserialize, Serialize};
+
+/// Scheduler knobs (paper values by default).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerConfig {
+    /// Strategy 3 on/off.
+    pub corun: bool,
+    /// Strategy 4 on/off (requires `corun`).
+    pub hyper_thread: bool,
+    /// Number of candidate thread counts per ready op ("three" in §III-D,
+    /// "an empirical number").
+    pub candidates: usize,
+    /// Maximum |candidate - planned| thread difference before Strategy 2's
+    /// count overrides the candidate ("2" in §III-D, "an empirical value").
+    pub s2_tolerance: u32,
+    /// Among fitting candidates, prefer the one with the fewest threads
+    /// (the paper's choice: release cores for more co-running) rather than
+    /// the fastest one. Ablation A3 flips this.
+    pub prefer_fewest_threads: bool,
+}
+
+impl Default for SchedulerConfig {
+    fn default() -> Self {
+        SchedulerConfig {
+            corun: true,
+            hyper_thread: true,
+            candidates: 3,
+            s2_tolerance: 2,
+            prefer_fewest_threads: true,
+        }
+    }
+}
+
+/// One scheduling decision: what to launch next, with its predicted duration.
+pub(crate) struct Decision {
+    pub launch: Launch,
+    pub predicted: f64,
+}
+
+/// Picks the next launch, or `None` to wait for a completion. `deny` is the
+/// interference-feedback log (§III-D discussion): a ready op never co-runs
+/// with a kind it has been observed to clash with.
+pub(crate) fn next_launch(
+    ctx: &ExecContext<'_>,
+    plan: &ThreadPlan,
+    model: &dyn PerfModel,
+    cfg: &SchedulerConfig,
+    deny: &InterferenceLog,
+) -> Option<Decision> {
+    let ready: Vec<NodeId> = ctx.tracker.ready().collect();
+    if ready.is_empty() {
+        return None;
+    }
+    let running_kinds: Vec<nnrt_graph::OpKind> = ctx
+        .engine
+        .running()
+        .map(|(_, tag)| ctx.graph.op(NodeId(tag as u32)).kind)
+        .collect();
+    let allowed = |kind: nnrt_graph::OpKind| -> bool {
+        running_kinds.iter().all(|&r| !deny.is_denied(kind, r))
+    };
+
+    if !cfg.corun {
+        // Serial discipline (inter-op = 1): FIFO with planned thread counts.
+        if ctx.engine.num_running() > 0 {
+            return None;
+        }
+        let node = ready[0];
+        return Some(planned_decision(ctx, plan, model, node));
+    }
+
+    let free = ctx.engine.free_cores();
+    if ctx.engine.num_running() == 0 {
+        // Idle machine: run the most time-consuming ready op (fallback rule).
+        let node = ready
+            .iter()
+            .copied()
+            .max_by(|&a, &b| {
+                let ta = predicted_planned_time(ctx, plan, model, a);
+                let tb = predicted_planned_time(ctx, plan, model, b);
+                ta.partial_cmp(&tb).unwrap()
+            })
+            .expect("ready non-empty");
+        return Some(planned_decision(ctx, plan, model, node));
+    }
+
+    // Strategy 3: find a candidate that fits the idle cores and does not
+    // outlast the ongoing ops.
+    if free > 0 {
+        let max_remaining = ctx.predicted_max_remaining().unwrap_or(0.0);
+        for &node in &ready {
+            if !allowed(ctx.graph.op(node).kind) {
+                continue;
+            }
+            let key = op_key(ctx.graph.op(node).kind, &ctx.graph.op(node).shape);
+            let mut cands = candidate_set(ctx, plan, model, node, cfg);
+            if cfg.prefer_fewest_threads {
+                // Fewest threads first: maximize room for further co-runs
+                // (the paper picks 18 threads over the faster 20).
+                cands.sort_by_key(|&(threads, _, _)| threads);
+            } else {
+                cands.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+            }
+            for (threads, mode, predicted) in cands {
+                if threads <= free && predicted <= max_remaining {
+                    let _ = &key;
+                    return Some(Decision {
+                        launch: Launch { node, threads, mode, slot: SlotPreference::Primary },
+                        predicted,
+                    });
+                }
+            }
+        }
+    }
+
+    // Strategy 4: a full-width op owns every core; co-run the smallest ready
+    // ops on the spare hardware threads.
+    if cfg.hyper_thread && free == 0 {
+        let full_width = ctx
+            .engine
+            .topology()
+            .num_cores();
+        let ht_room = ctx.engine.ht_capacity();
+        if ht_room > 0 {
+            // Only when an operation genuinely spans every core (the paper:
+            // "when the runtime finds an operation using 68 cores") — small
+            // co-running ops filling the machine are not an S4 situation.
+            let wide_running = ctx.engine.widest_running_cores() >= full_width;
+            if wide_running {
+                let node = ready
+                    .iter()
+                    .copied()
+                    .filter(|&n| allowed(ctx.graph.op(n).kind))
+                    .min_by(|&a, &b| {
+                        let ta = serial_time(ctx, model, a);
+                        let tb = serial_time(ctx, model, b);
+                        ta.partial_cmp(&tb).unwrap()
+                    })?;
+                let key = op_key(ctx.graph.op(node).kind, &ctx.graph.op(node).shape);
+                let (planned_threads, _) = plan.threads_for(&key);
+                let threads = planned_threads.min(ht_room).max(1);
+                let predicted = model
+                    .predict(&key, threads, SharingMode::Compact)
+                    .unwrap_or_else(|| serial_time(ctx, model, node));
+                // Throughput guards: the scavenger must not outlast the
+                // running ops, and the wide op must keep (an estimated)
+                // >= 85% of its throughput under the SMT pairing. A bad
+                // pairing would be "unexpectedly low performance of
+                // individual operations" — exactly what the paper's
+                // discussion says the runtime should avoid.
+                let max_remaining = ctx.predicted_max_remaining().unwrap_or(0.0);
+                let wide_ok = ctx
+                    .widest_running_profile()
+                    .map(|wide| {
+                        let small = ctx.catalog.profile(node);
+                        let ratio = ctx.cost.params().core_share_ratio(&[
+                            (wide.cache_pressure, wide.mem_intensity, 1),
+                            (small.cache_pressure, small.mem_intensity, 1),
+                        ]);
+                        ratio >= 0.85
+                    })
+                    .unwrap_or(false);
+                if predicted <= max_remaining && wide_ok {
+                    return Some(Decision {
+                        launch: Launch {
+                            node,
+                            threads,
+                            mode: SharingMode::Compact,
+                            slot: SlotPreference::HyperThread,
+                        },
+                        predicted,
+                    });
+                }
+            }
+        }
+    }
+
+    None
+}
+
+/// The candidate `(threads, mode, predicted)` set of a ready op, with the
+/// S2-consistency override applied.
+fn candidate_set(
+    ctx: &ExecContext<'_>,
+    plan: &ThreadPlan,
+    model: &dyn PerfModel,
+    node: NodeId,
+    cfg: &SchedulerConfig,
+) -> Vec<(u32, SharingMode, f64)> {
+    let op = ctx.graph.op(node);
+    let key = op_key(op.kind, &op.shape);
+    if !op.kind.is_tunable() {
+        // Eigen ops: the framework default is the only option.
+        let (threads, mode) = plan.threads_for(&key);
+        let predicted = model
+            .predict(&key, threads, mode)
+            .unwrap_or_else(|| ctx.cost.solo_time(ctx.catalog.profile(node), threads, mode));
+        return vec![(threads, mode, predicted)];
+    }
+    let (planned_threads, planned_mode) = plan.threads_for(&key);
+    let mut cands = model.candidates(&key, cfg.candidates);
+    if cands.is_empty() {
+        let predicted = ctx.cost.solo_time(ctx.catalog.profile(node), planned_threads, planned_mode);
+        return vec![(planned_threads, planned_mode, predicted)];
+    }
+    for cand in &mut cands {
+        if cand.0.abs_diff(planned_threads) > cfg.s2_tolerance {
+            // Disruptive concurrency change: fall back to the planned count.
+            let t = model
+                .predict(&key, planned_threads, planned_mode)
+                .unwrap_or(cand.2);
+            *cand = (planned_threads, planned_mode, t);
+        }
+    }
+    cands.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
+    cands.dedup_by_key(|c| c.0);
+    cands
+}
+
+/// Decision for launching `node` with its planned configuration.
+fn planned_decision(
+    ctx: &ExecContext<'_>,
+    plan: &ThreadPlan,
+    model: &dyn PerfModel,
+    node: NodeId,
+) -> Decision {
+    let op = ctx.graph.op(node);
+    let key = op_key(op.kind, &op.shape);
+    let (threads, mode) = plan.threads_for(&key);
+    let max = ctx.engine.topology().num_cores() * ctx.engine.topology().smt_per_core;
+    let threads = threads.min(max).max(1);
+    let predicted = model
+        .predict(&key, threads, mode)
+        .unwrap_or_else(|| ctx.cost.solo_time(ctx.catalog.profile(node), threads, mode));
+    Decision {
+        launch: Launch { node, threads, mode, slot: SlotPreference::Primary },
+        predicted,
+    }
+}
+
+fn predicted_planned_time(
+    ctx: &ExecContext<'_>,
+    plan: &ThreadPlan,
+    model: &dyn PerfModel,
+    node: NodeId,
+) -> f64 {
+    planned_decision(ctx, plan, model, node).predicted
+}
+
+/// Predicted serial (1-thread) time — Strategy 4's "small operation" metric.
+fn serial_time(ctx: &ExecContext<'_>, model: &dyn PerfModel, node: NodeId) -> f64 {
+    let op = ctx.graph.op(node);
+    let key = op_key(op.kind, &op.shape);
+    model
+        .predict(&key, 1, SharingMode::Compact)
+        .unwrap_or_else(|| ctx.cost.solo_time(ctx.catalog.profile(node), 1, SharingMode::Compact))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::ExecContext;
+    use crate::hillclimb::{HillClimbConfig, HillClimbModel};
+    use crate::measure::{Measurer, OpCatalog};
+    use crate::plan::{PlanPolicy, ThreadPlan};
+    use nnrt_graph::{DataflowGraph, OpAux, OpInstance, OpKind, Shape};
+    use nnrt_manycore::{KnlCostModel, NoiseModel};
+
+    fn conv(shape: Shape) -> OpInstance {
+        let c = shape.channels();
+        OpInstance::with_aux(OpKind::Conv2D, shape, OpAux::conv(3, 1, c))
+    }
+
+    fn cbf(shape: Shape) -> OpInstance {
+        let c = shape.channels();
+        OpInstance::with_aux(OpKind::Conv2DBackpropFilter, shape, OpAux::conv(3, 1, c))
+    }
+
+    /// Two independent backprop-filter ops (planned ~25 threads each): the
+    /// canonical co-run pair with room for both on 68 cores.
+    fn pair_graph() -> DataflowGraph {
+        let mut g = DataflowGraph::new();
+        g.add(cbf(Shape::nhwc(32, 8, 8, 384)), &[]);
+        g.add(cbf(Shape::nhwc(32, 8, 8, 384)), &[]);
+        g
+    }
+
+    fn fitted(g: &DataflowGraph) -> (OpCatalog, HillClimbModel, ThreadPlan, KnlCostModel) {
+        let catalog = OpCatalog::new(g);
+        let cost = KnlCostModel::knl();
+        let mut m = Measurer::new(cost.clone(), NoiseModel::none(), 3);
+        let model = HillClimbModel::fit(&catalog, &mut m, HillClimbConfig::default());
+        let plan = ThreadPlan::build(&model, catalog.keys(), PlanPolicy::PerKindLargest, 68);
+        (catalog, model, plan, cost)
+    }
+
+    #[test]
+    fn serial_discipline_launches_one_at_a_time() {
+        let g = pair_graph();
+        let (catalog, model, plan, cost) = fitted(&g);
+        let cfg = SchedulerConfig { corun: false, hyper_thread: false, ..Default::default() };
+        let mut ctx = ExecContext::new(&g, &catalog, &cost, false);
+        let d1 = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).expect("first launch");
+        let predicted = d1.predicted;
+        ctx.launch(d1.launch, predicted);
+        assert!(
+            next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).is_none(),
+            "serial mode must not co-run"
+        );
+        assert!(ctx.advance());
+        assert!(next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).is_some());
+    }
+
+    #[test]
+    fn corun_launches_a_fitting_sibling() {
+        let g = pair_graph();
+        let (catalog, model, plan, cost) = fitted(&g);
+        let cfg = SchedulerConfig::default();
+        let mut ctx = ExecContext::new(&g, &catalog, &cost, false);
+        // Idle machine: most time-consuming op launches with planned threads.
+        let d1 = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).expect("first");
+        let p1 = d1.launch.threads;
+        assert!(p1 < 68, "planned conv threads should leave idle cores, got {p1}");
+        let pred = d1.predicted;
+        ctx.launch(d1.launch, pred);
+        // The sibling fits into the leftover cores (same predicted time).
+        let d2 = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).expect("sibling co-runs");
+        assert!(d2.launch.threads <= 68 - p1);
+        assert_eq!(d2.launch.slot, SlotPreference::Primary);
+    }
+
+    #[test]
+    fn corun_respects_throughput_condition() {
+        // A short op running + a much longer ready op: the long op must NOT
+        // co-run (it would outlast the ongoing one).
+        let mut g = DataflowGraph::new();
+        g.add(conv(Shape::nhwc(4, 8, 8, 64)), &[]); // tiny
+        g.add(conv(Shape::nhwc(64, 17, 17, 512)), &[]); // huge
+        let (catalog, model, plan, cost) = fitted(&g);
+        let cfg = SchedulerConfig::default();
+        let mut ctx = ExecContext::new(&g, &catalog, &cost, false);
+        // Idle-machine rule: the HUGE op launches first (most time-consuming).
+        let d1 = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).expect("first");
+        assert_eq!(ctx.graph.op(d1.launch.node).shape, Shape::nhwc(64, 17, 17, 512));
+        let pred = d1.predicted;
+        ctx.launch(d1.launch, pred);
+        // The tiny op fits and finishes earlier: it may co-run.
+        if let Some(d2) = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()) {
+            assert!(d2.predicted <= pred);
+        }
+    }
+
+    #[test]
+    fn s2_tolerance_overrides_distant_candidates() {
+        let g = pair_graph();
+        let (catalog, model, plan, cost) = fitted(&g);
+        let ctx = ExecContext::new(&g, &catalog, &cost, false);
+        let tight = SchedulerConfig { s2_tolerance: 0, ..Default::default() };
+        let d = next_launch(&ctx, &plan, &model, &tight, &InterferenceLog::new()).expect("launch");
+        let key = nnrt_graph::op_key(
+            ctx.graph.op(d.launch.node).kind,
+            &ctx.graph.op(d.launch.node).shape,
+        );
+        let (planned, _) = plan.threads_for(&key);
+        assert_eq!(d.launch.threads, planned, "tolerance 0 must pin to the plan");
+    }
+
+    #[test]
+    fn eigen_ops_keep_the_framework_default() {
+        let mut g = DataflowGraph::new();
+        g.add(OpInstance::new(OpKind::Tile, Shape::nhwc(32, 32, 32, 64)), &[]);
+        let (catalog, model, plan, cost) = fitted(&g);
+        let ctx = ExecContext::new(&g, &catalog, &cost, false);
+        let d = next_launch(&ctx, &plan, &model, &SchedulerConfig::default(), &InterferenceLog::new()).expect("launch");
+        assert_eq!(d.launch.threads, 68, "non-tunable kinds run at the default");
+    }
+
+    #[test]
+    fn nothing_ready_means_no_launch() {
+        let mut g = DataflowGraph::new();
+        let a = g.add(conv(Shape::nhwc(8, 8, 8, 64)), &[]);
+        g.add(conv(Shape::nhwc(8, 8, 8, 64)), &[a]); // depends on a
+        let (catalog, model, plan, cost) = fitted(&g);
+        let cfg = SchedulerConfig::default();
+        let mut ctx = ExecContext::new(&g, &catalog, &cost, false);
+        let d = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).unwrap();
+        let pred = d.predicted;
+        ctx.launch(d.launch, pred);
+        // The successor is not ready while its predecessor runs.
+        assert!(next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).is_none());
+    }
+
+    #[test]
+    fn s4_triggers_only_under_a_full_width_op() {
+        // A full-width Eigen op + small tunable ops ready: Strategy 4 may
+        // place a scavenger on hyper-thread slots.
+        let mut g = DataflowGraph::new();
+        g.add(OpInstance::new(OpKind::Tile, Shape::nhwc(64, 64, 64, 64)), &[]);
+        for _ in 0..3 {
+            g.add(conv(Shape::nhwc(2, 4, 4, 16)), &[]);
+        }
+        let (catalog, model, plan, cost) = fitted(&g);
+        let cfg = SchedulerConfig::default();
+        let mut ctx = ExecContext::new(&g, &catalog, &cost, false);
+        // Launch the wide op (it is the most time-consuming).
+        let d = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).unwrap();
+        assert_eq!(d.launch.threads, 68);
+        let pred = d.predicted;
+        ctx.launch(d.launch, pred);
+        // Free cores = 0; any further launch must be an HT scavenger.
+        if let Some(d2) = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()) {
+            assert_eq!(d2.launch.slot, SlotPreference::HyperThread);
+        }
+        // With S4 disabled, nothing launches at all.
+        let no_s4 = SchedulerConfig { hyper_thread: false, ..cfg };
+        let mut ctx2 = ExecContext::new(&g, &catalog, &cost, false);
+        let d = next_launch(&ctx2, &plan, &model, &no_s4, &InterferenceLog::new()).unwrap();
+        let pred = d.predicted;
+        ctx2.launch(d.launch, pred);
+        assert!(next_launch(&ctx2, &plan, &model, &no_s4, &InterferenceLog::new()).is_none());
+    }
+}

@@ -1,0 +1,143 @@
+//! The 26 hardware performance events collectible on the simulated KNL.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of distinct hardware events (as on the paper's KNL: 26).
+pub const NUM_EVENTS: usize = 26;
+
+/// A hardware performance event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // names are self-describing counter identifiers
+pub enum PerfEvent {
+    CpuCycles,
+    Instructions,
+    LlcReferences,
+    LlcMisses,
+    L1Hits,
+    L1Misses,
+    L2Hits,
+    L2Misses,
+    BranchInstructions,
+    ConditionalBranches,
+    BranchMisses,
+    DtlbMisses,
+    ItlbMisses,
+    StalledCyclesFrontend,
+    StalledCyclesBackend,
+    BusCycles,
+    RefCycles,
+    MemLoads,
+    MemStores,
+    PrefetchHits,
+    PrefetchMisses,
+    VectorInstructions,
+    FpOperations,
+    PageFaults,
+    ContextSwitches,
+    UncoreReads,
+}
+
+impl PerfEvent {
+    /// All events in a fixed order (index = position in a counts array).
+    pub const ALL: [PerfEvent; NUM_EVENTS] = [
+        PerfEvent::CpuCycles,
+        PerfEvent::Instructions,
+        PerfEvent::LlcReferences,
+        PerfEvent::LlcMisses,
+        PerfEvent::L1Hits,
+        PerfEvent::L1Misses,
+        PerfEvent::L2Hits,
+        PerfEvent::L2Misses,
+        PerfEvent::BranchInstructions,
+        PerfEvent::ConditionalBranches,
+        PerfEvent::BranchMisses,
+        PerfEvent::DtlbMisses,
+        PerfEvent::ItlbMisses,
+        PerfEvent::StalledCyclesFrontend,
+        PerfEvent::StalledCyclesBackend,
+        PerfEvent::BusCycles,
+        PerfEvent::RefCycles,
+        PerfEvent::MemLoads,
+        PerfEvent::MemStores,
+        PerfEvent::PrefetchHits,
+        PerfEvent::PrefetchMisses,
+        PerfEvent::VectorInstructions,
+        PerfEvent::FpOperations,
+        PerfEvent::PageFaults,
+        PerfEvent::ContextSwitches,
+        PerfEvent::UncoreReads,
+    ];
+
+    /// Index of this event in [`PerfEvent::ALL`].
+    pub fn index(self) -> usize {
+        PerfEvent::ALL.iter().position(|&e| e == self).expect("event in ALL")
+    }
+}
+
+/// Hardware counter groups: events within a group can be collected together
+/// in one profiling step, events in different groups cannot (the paper needs
+/// "at least four training steps to collect those events separately").
+pub const EVENT_GROUPS: [&[PerfEvent]; 4] = [
+    &[
+        PerfEvent::CpuCycles,
+        PerfEvent::Instructions,
+        PerfEvent::LlcReferences,
+        PerfEvent::LlcMisses,
+        PerfEvent::L1Hits,
+        PerfEvent::L1Misses,
+        PerfEvent::L2Hits,
+    ],
+    &[
+        PerfEvent::L2Misses,
+        PerfEvent::BranchInstructions,
+        PerfEvent::ConditionalBranches,
+        PerfEvent::BranchMisses,
+        PerfEvent::DtlbMisses,
+        PerfEvent::ItlbMisses,
+    ],
+    &[
+        PerfEvent::StalledCyclesFrontend,
+        PerfEvent::StalledCyclesBackend,
+        PerfEvent::BusCycles,
+        PerfEvent::RefCycles,
+        PerfEvent::MemLoads,
+        PerfEvent::MemStores,
+        PerfEvent::PrefetchHits,
+    ],
+    &[
+        PerfEvent::PrefetchMisses,
+        PerfEvent::VectorInstructions,
+        PerfEvent::FpOperations,
+        PerfEvent::PageFaults,
+        PerfEvent::ContextSwitches,
+        PerfEvent::UncoreReads,
+    ],
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_has_26_distinct_events() {
+        let mut v = PerfEvent::ALL.to_vec();
+        v.sort();
+        v.dedup();
+        assert_eq!(v.len(), NUM_EVENTS);
+    }
+
+    #[test]
+    fn groups_partition_the_events() {
+        let mut seen: Vec<PerfEvent> = EVENT_GROUPS.iter().flat_map(|g| g.iter().copied()).collect();
+        seen.sort();
+        seen.dedup();
+        assert_eq!(seen.len(), NUM_EVENTS, "groups must cover every event exactly once");
+    }
+
+    #[test]
+    fn index_roundtrip() {
+        for (i, e) in PerfEvent::ALL.iter().enumerate() {
+            assert_eq!(e.index(), i);
+        }
+    }
+}

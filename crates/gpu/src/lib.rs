@@ -1,0 +1,31 @@
+//! # nnrt-gpu
+//!
+//! The Section VII preliminary-study substrate: an occupancy-level simulator
+//! of an Nvidia Tesla P100 (56 SMs, 3584 FP32 cores, 4 MB L2, HBM2).
+//!
+//! The paper studies two things on GPU:
+//!
+//! * **Intra-op parallelism** (Figure 5): execution time of `BiasAdd` and
+//!   `MaxPooling` as the threads-per-block and thread-block counts vary —
+//!   up to 18% and 11% away from TensorFlow's defaults (1024 threads/block,
+//!   56 blocks).
+//! * **Inter-op parallelism** (Table VII): running two instances of an op on
+//!   two CUDA streams, 1.75–1.91× faster than serial execution, because a
+//!   single instance does not saturate the device.
+//!
+//! The model is deliberately occupancy-level: time = bottleneck of a compute
+//! term and a bandwidth term, both scaled by how much of the device the
+//! launch configuration actually engages; streams contend only for what the
+//! device runs out of.
+
+#![warn(missing_docs)]
+
+pub mod model;
+pub mod ops;
+pub mod streams;
+pub mod tuner;
+
+pub use model::{GpuModel, GpuSpec, LaunchConfig};
+pub use ops::{gpu_op, GpuKernel, GpuOpKind};
+pub use streams::{schedule_streams, StreamSchedule, Submission};
+pub use tuner::{tune_exhaustive, tune_independent, GpuTuneResult};

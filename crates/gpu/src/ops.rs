@@ -1,0 +1,112 @@
+//! The five GPU operations of the paper's Section VII, at Inception-v3-like
+//! input sizes ("we use input data sizes in the NN model Inception-v3").
+
+use serde::{Deserialize, Serialize};
+
+/// Operation kinds studied on GPU (Table VII).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+#[allow(missing_docs)]
+pub enum GpuOpKind {
+    Conv2DBackpropFilter,
+    Conv2DBackpropInput,
+    Conv2D,
+    BiasAdd,
+    MaxPooling,
+}
+
+impl GpuOpKind {
+    /// All five, in Table VII order.
+    pub const ALL: [GpuOpKind; 5] = [
+        GpuOpKind::Conv2DBackpropFilter,
+        GpuOpKind::Conv2DBackpropInput,
+        GpuOpKind::Conv2D,
+        GpuOpKind::BiasAdd,
+        GpuOpKind::MaxPooling,
+    ];
+
+    /// Paper-facing name.
+    pub fn name(self) -> &'static str {
+        match self {
+            GpuOpKind::Conv2DBackpropFilter => "Conv2DBackpropFilter",
+            GpuOpKind::Conv2DBackpropInput => "Conv2DBackpropInput",
+            GpuOpKind::Conv2D => "Conv2D",
+            GpuOpKind::BiasAdd => "BiasAdd",
+            GpuOpKind::MaxPooling => "MaxPooling",
+        }
+    }
+}
+
+/// A GPU kernel's work description.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct GpuKernel {
+    /// Kind, for reports.
+    pub kind: GpuOpKind,
+    /// FP32 operations.
+    pub flops: f64,
+    /// HBM traffic, bytes.
+    pub bytes: f64,
+    /// Achieved fraction of peak FP32 under ideal occupancy (cuDNN-class
+    /// kernels reach ~0.55; simple elementwise kernels are bandwidth-bound).
+    pub eff: f64,
+}
+
+/// The paper's ops on Inception-v3-sized inputs (`(32,17,17,384)`-class
+/// feature maps, 3×3 kernels).
+pub fn gpu_op(kind: GpuOpKind) -> GpuKernel {
+    let n = 32.0f64;
+    let hw = 17.0 * 17.0;
+    let c = 384.0;
+    let elems = n * hw * c;
+    match kind {
+        GpuOpKind::Conv2D => GpuKernel {
+            kind,
+            flops: 2.0 * elems * 9.0 * c,
+            bytes: 4.0 * elems * 3.0,
+            eff: 0.55,
+        },
+        GpuOpKind::Conv2DBackpropFilter => GpuKernel {
+            kind,
+            flops: 2.0 * elems * 9.0 * c,
+            bytes: 4.0 * elems * 3.2,
+            eff: 0.45,
+        },
+        GpuOpKind::Conv2DBackpropInput => GpuKernel {
+            kind,
+            flops: 2.0 * elems * 9.0 * c,
+            bytes: 4.0 * elems * 3.0,
+            eff: 0.50,
+        },
+        GpuOpKind::BiasAdd => GpuKernel {
+            kind,
+            flops: elems,
+            bytes: 4.0 * elems * 2.0,
+            eff: 0.2,
+        },
+        GpuOpKind::MaxPooling => GpuKernel {
+            kind,
+            // Window compares are cheap ALU work; the kernel is
+            // bandwidth-bound at any reasonable occupancy.
+            flops: elems * 9.0,
+            bytes: 4.0 * elems * 1.2,
+            eff: 0.6,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn convs_are_compute_heavy_elementwise_are_not() {
+        let conv = gpu_op(GpuOpKind::Conv2D);
+        let bias = gpu_op(GpuOpKind::BiasAdd);
+        assert!(conv.flops / conv.bytes > 100.0 * (bias.flops / bias.bytes));
+    }
+
+    #[test]
+    fn names_match_paper() {
+        assert_eq!(GpuOpKind::MaxPooling.name(), "MaxPooling");
+        assert_eq!(GpuOpKind::ALL.len(), 5);
+    }
+}

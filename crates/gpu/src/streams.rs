@@ -1,0 +1,127 @@
+//! A small inter-op scheduler for GPU streams — the CPU runtime's Strategy 3
+//! transplanted to the device, as the paper's Section VII proposes: since a
+//! single kernel rarely saturates the GPU, pack ready kernels onto streams
+//! while their combined resource demand fits.
+
+use crate::model::{GpuModel, LaunchConfig};
+use crate::ops::GpuKernel;
+use serde::{Deserialize, Serialize};
+
+/// One kernel submission.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Submission {
+    /// The kernel.
+    pub kernel: GpuKernel,
+    /// Its launch configuration.
+    pub config: LaunchConfig,
+}
+
+/// Result of scheduling a batch of independent kernels.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StreamSchedule {
+    /// Makespan of the whole batch, seconds.
+    pub makespan: f64,
+    /// Serial (single-stream) execution time, for comparison.
+    pub serial: f64,
+    /// Waves of concurrently-issued kernels (indices into the input).
+    pub waves: Vec<Vec<usize>>,
+}
+
+/// Greedy demand-packing scheduler: sorts kernels by demand (descending),
+/// then first-fit packs them into waves whose total demand stays near 1;
+/// each wave runs on concurrent streams with the co-run contention model.
+pub fn schedule_streams(model: &GpuModel, subs: &[Submission]) -> StreamSchedule {
+    let serial: f64 = subs.iter().map(|s| model.time(&s.kernel, s.config)).sum();
+    if subs.is_empty() {
+        return StreamSchedule { makespan: 0.0, serial, waves: Vec::new() };
+    }
+    let mut order: Vec<usize> = (0..subs.len()).collect();
+    let demand: Vec<f64> = subs.iter().map(|s| model.demand(&s.kernel, s.config)).collect();
+    order.sort_by(|&a, &b| demand[b].partial_cmp(&demand[a]).unwrap());
+
+    let mut waves: Vec<(Vec<usize>, f64)> = Vec::new();
+    for idx in order {
+        let placed = waves
+            .iter_mut()
+            .find(|(_, d)| *d + demand[idx] <= 1.15) // mild oversubscription, as streams allow
+            .map(|(wave, d)| {
+                wave.push(idx);
+                *d += demand[idx];
+            });
+        if placed.is_none() {
+            waves.push((vec![idx], demand[idx]));
+        }
+    }
+
+    // A wave's duration: every member slowed by the wave's total demand
+    // overflow, as in the two-stream co-run model.
+    let mut makespan = 0.0;
+    for (wave, total_demand) in &waves {
+        let contention = total_demand.max(1.0);
+        let longest = wave
+            .iter()
+            .map(|&i| model.time(&subs[i].kernel, subs[i].config))
+            .fold(0.0f64, f64::max);
+        makespan += longest * contention;
+    }
+    StreamSchedule { makespan, serial, waves: waves.into_iter().map(|(w, _)| w).collect() }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gpu_op, GpuOpKind};
+
+    fn batch() -> Vec<Submission> {
+        GpuOpKind::ALL
+            .iter()
+            .flat_map(|&k| {
+                std::iter::repeat_n(
+                    Submission { kernel: gpu_op(k), config: LaunchConfig::tf_default() },
+                    2,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn packing_beats_serial_execution() {
+        let m = GpuModel::p100();
+        let sched = schedule_streams(&m, &batch());
+        assert!(
+            sched.makespan < sched.serial * 0.75,
+            "stream packing should clearly win: {} vs {}",
+            sched.makespan,
+            sched.serial
+        );
+    }
+
+    #[test]
+    fn every_kernel_is_scheduled_exactly_once() {
+        let m = GpuModel::p100();
+        let subs = batch();
+        let sched = schedule_streams(&m, &subs);
+        let mut seen: Vec<usize> = sched.waves.iter().flatten().copied().collect();
+        seen.sort_unstable();
+        assert_eq!(seen, (0..subs.len()).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_batch() {
+        let m = GpuModel::p100();
+        let sched = schedule_streams(&m, &[]);
+        assert_eq!(sched.makespan, 0.0);
+        assert!(sched.waves.is_empty());
+    }
+
+    #[test]
+    fn waves_respect_the_demand_budget() {
+        let m = GpuModel::p100();
+        let subs = batch();
+        let sched = schedule_streams(&m, &subs);
+        for wave in &sched.waves {
+            let d: f64 = wave.iter().map(|&i| m.demand(&subs[i].kernel, subs[i].config)).sum();
+            assert!(d <= 1.15 + 1e-9, "wave demand {d}");
+        }
+    }
+}

@@ -1,0 +1,147 @@
+//! The paper's §VII-B future work, implemented: hill-climbing launch-config
+//! search on GPU with the two intra-op parallelism dimensions treated
+//! *independently* ("the optimal number of thread blocks seems to be
+//! independent of the optimal number of threads per block"), which reduces
+//! the search space from `O(n²)` to `O(2n)`; plus the coarse-stride
+//! optimization ("little performance difference between a large number of
+//! threads per block and a small one ... allows us to use a rather large
+//! interval").
+
+use crate::model::{GpuModel, LaunchConfig};
+use crate::ops::GpuKernel;
+use serde::{Deserialize, Serialize};
+
+/// Outcome of a GPU launch-config search.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct GpuTuneResult {
+    /// The configuration found.
+    pub config: LaunchConfig,
+    /// Its (modelled) execution time, seconds.
+    pub secs: f64,
+    /// Launch configurations evaluated.
+    pub evaluations: u32,
+}
+
+/// Doubling ladders for the two dimensions (the paper's "rather large
+/// interval" — a multiplicative stride).
+fn tpb_ladder() -> Vec<u32> {
+    vec![32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
+}
+
+fn blocks_ladder(sms: u32) -> Vec<u32> {
+    vec![sms / 4, sms / 2, sms, 2 * sms, 4 * sms, 8 * sms, 16 * sms]
+}
+
+/// Hill-climbs one axis of the launch configuration: walks the ladder while
+/// the time keeps improving, stops at the first rise (the same algorithm as
+/// the CPU profiler, on a multiplicative grid).
+fn climb_axis<F>(ladder: &[u32], mut time_at: F) -> (u32, f64, u32)
+where
+    F: FnMut(u32) -> f64,
+{
+    let mut best = (ladder[0], time_at(ladder[0]));
+    let mut evals = 1;
+    let mut prev = best.1;
+    for &v in &ladder[1..] {
+        let t = time_at(v);
+        evals += 1;
+        if t < best.1 {
+            best = (v, t);
+        }
+        if t > prev {
+            break;
+        }
+        prev = t;
+    }
+    (best.0, best.1, evals)
+}
+
+/// Tunes `kernel`'s launch configuration in `O(2n)`: first the
+/// threads-per-block axis at the default block count, then the block axis at
+/// the winning threads-per-block.
+///
+/// ```
+/// use nnrt_gpu::{gpu_op, tune_independent, GpuModel, GpuOpKind, LaunchConfig};
+///
+/// let model = GpuModel::p100();
+/// let kernel = gpu_op(GpuOpKind::BiasAdd);
+/// let tuned = tune_independent(&model, &kernel);
+/// assert!(tuned.secs <= model.time(&kernel, LaunchConfig::tf_default()));
+/// ```
+pub fn tune_independent(model: &GpuModel, kernel: &GpuKernel) -> GpuTuneResult {
+    let sms = model.spec().sms;
+    let default = LaunchConfig::tf_default();
+    let (tpb, _, e1) = climb_axis(&tpb_ladder(), |t| {
+        model.time(kernel, LaunchConfig { threads_per_block: t, num_blocks: default.num_blocks })
+    });
+    let (nb, secs, e2) = climb_axis(&blocks_ladder(sms), |b| {
+        model.time(kernel, LaunchConfig { threads_per_block: tpb, num_blocks: b })
+    });
+    GpuTuneResult {
+        config: LaunchConfig { threads_per_block: tpb, num_blocks: nb },
+        secs,
+        evaluations: e1 + e2,
+    }
+}
+
+/// Exhaustive `O(n²)` search over the same ladders — the baseline the paper
+/// wants to avoid.
+pub fn tune_exhaustive(model: &GpuModel, kernel: &GpuKernel) -> GpuTuneResult {
+    let sms = model.spec().sms;
+    let mut best: Option<(LaunchConfig, f64)> = None;
+    let mut evals = 0;
+    for &tpb in &tpb_ladder() {
+        for &nb in &blocks_ladder(sms) {
+            let cfg = LaunchConfig { threads_per_block: tpb, num_blocks: nb };
+            let t = model.time(kernel, cfg);
+            evals += 1;
+            if best.is_none_or(|(_, b)| t < b) {
+                best = Some((cfg, t));
+            }
+        }
+    }
+    let (config, secs) = best.expect("non-empty grid");
+    GpuTuneResult { config, secs, evaluations: evals }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops::{gpu_op, GpuOpKind};
+
+    #[test]
+    fn independent_search_is_near_exhaustive_with_far_fewer_evals() {
+        let m = GpuModel::p100();
+        for kind in GpuOpKind::ALL {
+            let k = gpu_op(kind);
+            let fast = tune_independent(&m, &k);
+            let full = tune_exhaustive(&m, &k);
+            assert!(
+                fast.secs <= full.secs * 1.08,
+                "{kind:?}: O(2n) result {:.2e}s vs exhaustive {:.2e}s",
+                fast.secs,
+                full.secs
+            );
+            assert!(
+                fast.evaluations * 3 < full.evaluations,
+                "{kind:?}: O(2n) must probe far fewer configs ({} vs {})",
+                fast.evaluations,
+                full.evaluations
+            );
+        }
+    }
+
+    #[test]
+    fn tuned_config_beats_the_default() {
+        let m = GpuModel::p100();
+        for kind in GpuOpKind::ALL {
+            let k = gpu_op(kind);
+            let tuned = tune_independent(&m, &k);
+            let default = m.time(&k, LaunchConfig::tf_default());
+            assert!(
+                tuned.secs <= default * 1.0001,
+                "{kind:?}: tuning must never lose to the default"
+            );
+        }
+    }
+}

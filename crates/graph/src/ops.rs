@@ -1,0 +1,273 @@
+//! The operation catalog.
+//!
+//! Kinds mirror the TensorFlow-on-KNL ops the paper names: the three
+//! convolution ops of Figure 1/Table II, the MKL-DNN layout-conversion ops
+//! (`InputConversion`, `ToTf`) that show up among ResNet-50's most
+//! time-consuming operations (Table VI), poolings, batch-norm, the LSTM cell
+//! ops, and optimizer updates.
+//!
+//! Each kind is implemented by one of two backends, matching §IV-A of the
+//! paper: **MKL-DNN** ops parallelize with OpenMP and can have their intra-op
+//! parallelism changed cheaply at runtime, while **Eigen** ops decompose into
+//! a task queue and are expensive to re-configure — the paper's runtime (and
+//! ours) therefore only tunes the MKL-DNN ops, which cover >70% of training
+//! time.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Which library implements an op kind on KNL.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Backend {
+    /// OpenMP-parallelized MKL-DNN primitive: intra-op parallelism can be
+    /// changed per instance with negligible overhead.
+    MklDnn,
+    /// Eigen task-based op: re-configuring intra-op parallelism costs >10%,
+    /// so the runtime leaves these at the framework default.
+    Eigen,
+}
+
+/// Kinds of dataflow operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+#[allow(missing_docs)] // variant names are the TensorFlow op names
+pub enum OpKind {
+    Conv2D,
+    Conv2DBackpropFilter,
+    Conv2DBackpropInput,
+    MatMul,
+    BiasAdd,
+    BiasAddGrad,
+    Relu,
+    ReluGrad,
+    LeakyRelu,
+    MaxPool,
+    MaxPoolGrad,
+    AvgPool,
+    AvgPoolGrad,
+    FusedBatchNorm,
+    FusedBatchNormGrad,
+    Add,
+    AddN,
+    Mul,
+    Sub,
+    Tile,
+    Concat,
+    Split,
+    Reshape,
+    Transpose,
+    Pad,
+    Softmax,
+    SparseSoftmaxCrossEntropy,
+    ApplyAdam,
+    ApplyGradientDescent,
+    InputConversion,
+    ToTf,
+    Identity,
+    Sum,
+    Mean,
+    Sigmoid,
+    SigmoidGrad,
+    Tanh,
+    TanhGrad,
+}
+
+impl OpKind {
+    /// Every kind, for exhaustive iteration in tests and profilers.
+    pub const ALL: [OpKind; 38] = [
+        OpKind::Conv2D,
+        OpKind::Conv2DBackpropFilter,
+        OpKind::Conv2DBackpropInput,
+        OpKind::MatMul,
+        OpKind::BiasAdd,
+        OpKind::BiasAddGrad,
+        OpKind::Relu,
+        OpKind::ReluGrad,
+        OpKind::LeakyRelu,
+        OpKind::MaxPool,
+        OpKind::MaxPoolGrad,
+        OpKind::AvgPool,
+        OpKind::AvgPoolGrad,
+        OpKind::FusedBatchNorm,
+        OpKind::FusedBatchNormGrad,
+        OpKind::Add,
+        OpKind::AddN,
+        OpKind::Mul,
+        OpKind::Sub,
+        OpKind::Tile,
+        OpKind::Concat,
+        OpKind::Split,
+        OpKind::Reshape,
+        OpKind::Transpose,
+        OpKind::Pad,
+        OpKind::Softmax,
+        OpKind::SparseSoftmaxCrossEntropy,
+        OpKind::ApplyAdam,
+        OpKind::ApplyGradientDescent,
+        OpKind::InputConversion,
+        OpKind::ToTf,
+        OpKind::Identity,
+        OpKind::Sum,
+        OpKind::Mean,
+        OpKind::Sigmoid,
+        OpKind::SigmoidGrad,
+        OpKind::Tanh,
+        OpKind::TanhGrad,
+    ];
+
+    /// The library that implements this kind (see module docs).
+    pub fn backend(self) -> Backend {
+        use OpKind::*;
+        match self {
+            Conv2D | Conv2DBackpropFilter | Conv2DBackpropInput | MatMul | BiasAdd
+            | BiasAddGrad | Relu | ReluGrad | LeakyRelu | MaxPool | MaxPoolGrad | AvgPool
+            | AvgPoolGrad | FusedBatchNorm | FusedBatchNormGrad | Softmax
+            | SparseSoftmaxCrossEntropy | ApplyAdam | InputConversion | ToTf | Mul | AddN => {
+                Backend::MklDnn
+            }
+            Add | Sub | Tile | Concat | Split | Reshape | Transpose | Pad
+            | ApplyGradientDescent | Identity | Sum | Mean | Sigmoid | SigmoidGrad | Tanh
+            | TanhGrad => Backend::Eigen,
+        }
+    }
+
+    /// Whether the runtime may change this op's intra-op parallelism
+    /// per-instance (MKL-DNN ops only, per the paper §IV-A).
+    pub fn is_tunable(self) -> bool {
+        self.backend() == Backend::MklDnn
+    }
+
+    /// TensorFlow-style op name.
+    pub fn name(self) -> &'static str {
+        use OpKind::*;
+        match self {
+            Conv2D => "Conv2D",
+            Conv2DBackpropFilter => "Conv2DBackpropFilter",
+            Conv2DBackpropInput => "Conv2DBackpropInput",
+            MatMul => "MatMul",
+            BiasAdd => "BiasAdd",
+            BiasAddGrad => "BiasAddGrad",
+            Relu => "Relu",
+            ReluGrad => "ReluGrad",
+            LeakyRelu => "LeakyRelu",
+            MaxPool => "MaxPooling",
+            MaxPoolGrad => "MaxPoolGrad",
+            AvgPool => "AvgPool",
+            AvgPoolGrad => "AvgPoolGrad",
+            FusedBatchNorm => "FusedBatchNorm",
+            FusedBatchNormGrad => "FusedBatchNormGrad",
+            Add => "Add",
+            AddN => "AddN",
+            Mul => "Mul",
+            Sub => "Sub",
+            Tile => "Tile",
+            Concat => "Concat",
+            Split => "Split",
+            Reshape => "Reshape",
+            Transpose => "Transpose",
+            Pad => "Pad",
+            Softmax => "Softmax",
+            SparseSoftmaxCrossEntropy => "SparseSoftmaxCross",
+            ApplyAdam => "ApplyAdam",
+            ApplyGradientDescent => "ApplyGradientDescent",
+            InputConversion => "InputConversion",
+            ToTf => "ToTf",
+            Identity => "Identity",
+            Sum => "Sum",
+            Mean => "Mean",
+            Sigmoid => "Sigmoid",
+            SigmoidGrad => "SigmoidGrad",
+            Tanh => "Tanh",
+            TanhGrad => "TanhGrad",
+        }
+    }
+}
+
+impl fmt::Display for OpKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Kind-specific attributes beyond the primary input shape.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct OpAux {
+    /// Convolution / pooling kernel height.
+    pub kernel_h: usize,
+    /// Convolution / pooling kernel width.
+    pub kernel_w: usize,
+    /// Stride (same in both spatial dimensions).
+    pub stride: usize,
+    /// Output channels for convolutions; inner dimension for matmuls.
+    pub c_out: usize,
+}
+
+impl Default for OpAux {
+    fn default() -> Self {
+        OpAux { kernel_h: 1, kernel_w: 1, stride: 1, c_out: 0 }
+    }
+}
+
+impl OpAux {
+    /// Attributes of a square convolution: `k`×`k` kernel, `stride`, `c_out`
+    /// output channels.
+    pub fn conv(k: usize, stride: usize, c_out: usize) -> Self {
+        OpAux { kernel_h: k, kernel_w: k, stride, c_out }
+    }
+
+    /// Attributes of a square pooling window.
+    pub fn pool(k: usize, stride: usize) -> Self {
+        OpAux { kernel_h: k, kernel_w: k, stride, c_out: 0 }
+    }
+
+    /// Attributes of a matmul `(m,k) x (k,n)`: `c_out` carries `n`.
+    pub fn matmul(n: usize) -> Self {
+        OpAux { kernel_h: 1, kernel_w: 1, stride: 1, c_out: n }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_kinds_have_distinct_names() {
+        let mut names: Vec<&str> = OpKind::ALL.iter().map(|k| k.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before);
+        assert_eq!(before, 38);
+    }
+
+    #[test]
+    fn paper_conv_ops_are_tunable() {
+        assert!(OpKind::Conv2D.is_tunable());
+        assert!(OpKind::Conv2DBackpropFilter.is_tunable());
+        assert!(OpKind::Conv2DBackpropInput.is_tunable());
+        assert!(OpKind::SparseSoftmaxCrossEntropy.is_tunable());
+    }
+
+    #[test]
+    fn eigen_ops_are_not_tunable() {
+        assert!(!OpKind::Tile.is_tunable());
+        assert!(!OpKind::Reshape.is_tunable());
+        assert!(!OpKind::Identity.is_tunable());
+    }
+
+    #[test]
+    fn display_matches_paper_names() {
+        assert_eq!(OpKind::MaxPool.to_string(), "MaxPooling");
+        assert_eq!(OpKind::SparseSoftmaxCrossEntropy.to_string(), "SparseSoftmaxCross");
+        assert_eq!(OpKind::ToTf.to_string(), "ToTf");
+    }
+
+    #[test]
+    fn aux_constructors() {
+        let a = OpAux::conv(3, 1, 256);
+        assert_eq!((a.kernel_h, a.kernel_w, a.stride, a.c_out), (3, 3, 1, 256));
+        let p = OpAux::pool(2, 2);
+        assert_eq!((p.kernel_h, p.stride), (2, 2));
+        let m = OpAux::matmul(1024);
+        assert_eq!(m.c_out, 1024);
+    }
+}

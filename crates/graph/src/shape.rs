@@ -1,0 +1,131 @@
+//! Tensor shapes.
+//!
+//! Shapes follow the paper's notation: a convolution input is NHWC, e.g.
+//! `par_input (32,8,8,384)` is a batch of 32 feature maps of 8×8 spatial
+//! extent and 384 channels. Matrices are `(rows, cols)`.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// A tensor shape: an ordered list of dimension extents.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct Shape(pub Vec<usize>);
+
+impl Shape {
+    /// A 4-d NHWC shape (batch, height, width, channels).
+    pub fn nhwc(n: usize, h: usize, w: usize, c: usize) -> Self {
+        Shape(vec![n, h, w, c])
+    }
+
+    /// A 2-d matrix shape (rows, cols).
+    pub fn mat(rows: usize, cols: usize) -> Self {
+        Shape(vec![rows, cols])
+    }
+
+    /// A 1-d vector shape.
+    pub fn vec1(n: usize) -> Self {
+        Shape(vec![n])
+    }
+
+    /// A scalar.
+    pub fn scalar() -> Self {
+        Shape(vec![])
+    }
+
+    /// Rank of the tensor.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Total number of elements (1 for a scalar).
+    pub fn elements(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Size in bytes assuming `f32` elements.
+    pub fn bytes_f32(&self) -> usize {
+        self.elements() * 4
+    }
+
+    /// Batch dimension (first), 1 for scalars.
+    pub fn batch(&self) -> usize {
+        self.0.first().copied().unwrap_or(1)
+    }
+
+    /// Spatial extent `h * w` of an NHWC shape; 1 for lower ranks.
+    pub fn spatial(&self) -> usize {
+        if self.rank() == 4 {
+            self.0[1] * self.0[2]
+        } else {
+            1
+        }
+    }
+
+    /// Channel dimension (last), 1 for scalars.
+    pub fn channels(&self) -> usize {
+        self.0.last().copied().unwrap_or(1)
+    }
+
+    /// Dimension `i`, or 1 if out of range (convenient for shape math).
+    pub fn dim(&self, i: usize) -> usize {
+        self.0.get(i).copied().unwrap_or(1)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_par_input_shape() {
+        let s = Shape::nhwc(32, 8, 8, 384);
+        assert_eq!(s.elements(), 32 * 8 * 8 * 384);
+        assert_eq!(s.batch(), 32);
+        assert_eq!(s.spatial(), 64);
+        assert_eq!(s.channels(), 384);
+        assert_eq!(s.to_string(), "(32,8,8,384)");
+    }
+
+    #[test]
+    fn scalar_and_vector() {
+        assert_eq!(Shape::scalar().elements(), 1);
+        assert_eq!(Shape::scalar().rank(), 0);
+        assert_eq!(Shape::vec1(10).elements(), 10);
+        assert_eq!(Shape::vec1(10).channels(), 10);
+    }
+
+    #[test]
+    fn bytes_and_dims() {
+        let s = Shape::mat(128, 256);
+        assert_eq!(s.bytes_f32(), 128 * 256 * 4);
+        assert_eq!(s.dim(0), 128);
+        assert_eq!(s.dim(1), 256);
+        assert_eq!(s.dim(7), 1);
+        assert_eq!(s.spatial(), 1);
+    }
+}

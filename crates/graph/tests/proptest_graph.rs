@@ -1,0 +1,100 @@
+//! Property tests: graph construction, ready-tracking and work profiles.
+
+use nnrt_graph::{DataflowGraph, NodeId, OpAux, OpInstance, OpKind, ReadyTracker, Shape};
+use proptest::prelude::*;
+
+fn arb_kind() -> impl Strategy<Value = OpKind> {
+    proptest::sample::select(OpKind::ALL.to_vec())
+}
+
+fn arb_graph() -> impl Strategy<Value = DataflowGraph> {
+    proptest::collection::vec((arb_kind(), 1usize..=32, 0usize..=4, 0u32..1000), 1..=60).prop_map(
+        |nodes| {
+            let mut g = DataflowGraph::new();
+            for (i, (kind, dim, ndeps, salt)) in nodes.into_iter().enumerate() {
+                let mut deps: Vec<NodeId> = (0..ndeps.min(i))
+                    .map(|d| NodeId(((salt as usize + d * 31) % i.max(1)) as u32))
+                    .collect();
+                deps.sort_unstable();
+                deps.dedup();
+                g.add(
+                    OpInstance::with_aux(
+                        kind,
+                        Shape::nhwc(2, dim, dim, 16),
+                        OpAux::conv(3, 1, 16),
+                    ),
+                    &deps,
+                );
+            }
+            g
+        },
+    )
+}
+
+proptest! {
+    #[test]
+    fn constructed_graphs_always_validate(g in arb_graph()) {
+        prop_assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn fifo_drain_completes_every_node_once(g in arb_graph()) {
+        let mut t = ReadyTracker::new(&g);
+        let mut done = vec![false; g.len()];
+        while let Some(n) = t.pop_fifo() {
+            prop_assert!(!done[n.0 as usize], "node {} dispatched twice", n.0);
+            // Every predecessor must already be complete.
+            for p in g.preds(n) {
+                prop_assert!(done[p.0 as usize], "dependency violated");
+            }
+            done[n.0 as usize] = true;
+            t.complete(&g, n);
+        }
+        prop_assert!(t.all_done());
+        prop_assert!(done.iter().all(|&d| d));
+    }
+
+    #[test]
+    fn critical_path_is_bounded(g in arb_graph()) {
+        let cp = g.critical_path_len();
+        prop_assert!(cp >= 1);
+        prop_assert!(cp <= g.len());
+    }
+
+    #[test]
+    fn every_profile_is_valid_and_deterministic(
+        kind in arb_kind(),
+        n in 1usize..=64,
+        hw in 1usize..=64,
+        c in 1usize..=512,
+        k in 1usize..=7,
+        stride in 1usize..=3,
+    ) {
+        let shape = Shape::nhwc(n, hw, hw, c);
+        let aux = OpAux::conv(k, stride, c);
+        let a = nnrt_graph::work_profile(kind, &shape, &aux);
+        prop_assert!(a.validate().is_ok(), "{kind:?} {shape}: {:?}", a.validate());
+        let b = nnrt_graph::work_profile(kind, &shape, &aux);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bigger_batches_never_shrink_work(
+        kind in arb_kind(),
+        batch in 1usize..=32,
+    ) {
+        let small = nnrt_graph::work_profile(
+            kind,
+            &Shape::nhwc(batch, 16, 16, 64),
+            &OpAux::conv(3, 1, 64),
+        );
+        let large = nnrt_graph::work_profile(
+            kind,
+            &Shape::nhwc(batch * 2, 16, 16, 64),
+            &OpAux::conv(3, 1, 64),
+        );
+        prop_assert!(large.flops >= small.flops);
+        prop_assert!(large.bytes >= small.bytes);
+        prop_assert!(large.parallel_slack >= small.parallel_slack - 1e-12);
+    }
+}

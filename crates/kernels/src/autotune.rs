@@ -1,0 +1,120 @@
+//! The paper's hill-climbing concurrency search, against *real* kernels.
+//!
+//! Same algorithm as `nnrt-sched`'s simulated profiler — start at one
+//! thread, climb by a stride, stop at the first slowdown — but measuring
+//! `std::time::Instant` on the host machine. This is what makes the crate a
+//! practical auto-tuner and not just a reproduction artifact.
+
+use std::time::Instant;
+
+/// Outcome of a hill-climbing thread search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TuneResult {
+    /// Best thread count found.
+    pub best_threads: usize,
+    /// Measured seconds at the best count.
+    pub best_secs: f64,
+    /// Every `(threads, seconds)` sample taken, in visit order.
+    pub samples: Vec<(usize, f64)>,
+}
+
+/// Hill-climbs the thread count for `work`, a closure that runs the kernel
+/// once with the given thread count. `interval` is the paper's stride `x`,
+/// `max_threads` the search bound; each point is measured `reps` times and
+/// the minimum taken (the usual wall-clock de-noising).
+pub fn hill_climb_threads<F>(
+    mut work: F,
+    interval: usize,
+    max_threads: usize,
+    reps: usize,
+) -> TuneResult
+where
+    F: FnMut(usize),
+{
+    assert!(interval >= 1, "interval must be >= 1");
+    assert!(max_threads >= 1, "max_threads must be >= 1");
+    let reps = reps.max(1);
+    let mut measure = |threads: usize| -> f64 {
+        let mut best = f64::INFINITY;
+        for _ in 0..reps {
+            let t0 = Instant::now();
+            work(threads);
+            best = best.min(t0.elapsed().as_secs_f64());
+        }
+        best
+    };
+    let mut samples = Vec::new();
+    let mut threads = 1usize;
+    let mut prev = measure(threads);
+    samples.push((threads, prev));
+    loop {
+        let next = threads + interval;
+        if next > max_threads {
+            break;
+        }
+        let t = measure(next);
+        samples.push((next, t));
+        threads = next;
+        if t > prev {
+            break;
+        }
+        prev = t;
+    }
+    let &(best_threads, best_secs) = samples
+        .iter()
+        .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
+        .expect("at least one sample");
+    TuneResult { best_threads, best_secs, samples }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_minimum_of_synthetic_curve() {
+        // Fake "kernel": sleep-free deterministic curve with minimum at 6
+        // threads, fed through a virtual clock by making work() busy-wait
+        // proportionally. To keep the test fast and robust we don't use real
+        // time at all — we call the climber's internals through a curve.
+        let curve = |p: usize| ((p as f64 - 6.0).powi(2) + 10.0) * 1e-5;
+        // Busy-spin long enough that timing noise stays well under curve
+        // differences (>= 10us steps).
+        let result = hill_climb_threads(
+            |p| {
+                let target = curve(p);
+                let t0 = Instant::now();
+                while t0.elapsed().as_secs_f64() < target {
+                    std::hint::spin_loop();
+                }
+            },
+            2,
+            16,
+            3,
+        );
+        assert!(
+            (5..=9).contains(&result.best_threads),
+            "expected ~6-7 threads, got {} (samples {:?})",
+            result.best_threads,
+            result.samples
+        );
+        // Stopped before exhausting the range.
+        assert!(result.samples.len() < 9);
+    }
+
+    #[test]
+    fn real_kernel_tunes_without_panicking() {
+        let a = vec![1.0f32; 64 * 64];
+        let b = vec![2.0f32; 64 * 64];
+        let mut c = vec![0.0f32; 64 * 64];
+        let result = hill_climb_threads(
+            |threads| crate::matmul::matmul(threads, &a, &b, &mut c, 64, 64, 64),
+            2,
+            8,
+            2,
+        );
+        assert!(result.best_threads >= 1);
+        assert!(result.best_secs > 0.0);
+        assert!(!result.samples.is_empty());
+    }
+}

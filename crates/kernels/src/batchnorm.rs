@@ -1,0 +1,135 @@
+//! Fused batch normalization (inference + training forward) over NHWC.
+
+use crate::pool::parallel_map_reduce;
+use crate::tensor::Tensor;
+
+/// Per-channel mean and (biased) variance of an NHWC tensor.
+pub fn batch_moments(threads: usize, input: &Tensor) -> (Vec<f32>, Vec<f32>) {
+    assert_eq!(input.shape().len(), 4, "input must be NHWC");
+    let c = input.shape()[3];
+    let rows = input.len() / c.max(1);
+    let x = input.data();
+    let (sum, sum_sq) = parallel_map_reduce(
+        threads,
+        rows,
+        |range| {
+            let mut s = vec![0.0f64; c];
+            let mut s2 = vec![0.0f64; c];
+            for r in range {
+                for (j, &v) in x[r * c..(r + 1) * c].iter().enumerate() {
+                    s[j] += v as f64;
+                    s2[j] += (v as f64) * (v as f64);
+                }
+            }
+            (s, s2)
+        },
+        |(mut a, mut a2), (b, b2)| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            for (x, y) in a2.iter_mut().zip(&b2) {
+                *x += y;
+            }
+            (a, a2)
+        },
+        (vec![0.0f64; c], vec![0.0f64; c]),
+    );
+    let n = rows as f64;
+    let mean: Vec<f32> = sum.iter().map(|&s| (s / n) as f32).collect();
+    let var: Vec<f32> = sum_sq
+        .iter()
+        .zip(&mean)
+        .map(|(&s2, &m)| ((s2 / n) - (m as f64) * (m as f64)).max(0.0) as f32)
+        .collect();
+    (mean, var)
+}
+
+/// Fused batch-norm forward: `y = gamma * (x - mean) / sqrt(var + eps) + beta`,
+/// with the batch statistics computed internally (training mode).
+pub fn fused_batch_norm(
+    threads: usize,
+    input: &Tensor,
+    gamma: &[f32],
+    beta: &[f32],
+    eps: f32,
+) -> Tensor {
+    let c = input.shape()[3];
+    assert_eq!(gamma.len(), c, "gamma per channel");
+    assert_eq!(beta.len(), c, "beta per channel");
+    let (mean, var) = batch_moments(threads, input);
+    let scale: Vec<f32> = gamma
+        .iter()
+        .zip(&var)
+        .map(|(&g, &v)| g / (v + eps).sqrt())
+        .collect();
+    let shift: Vec<f32> = beta
+        .iter()
+        .zip(&mean)
+        .zip(&scale)
+        .map(|((&b, &m), &s)| b - m * s)
+        .collect();
+    let mut out = input.clone();
+    let data = out.data_mut();
+    let rows = data.len() / c.max(1);
+    let chunk_rows = rows.div_ceil(threads.clamp(1, rows.max(1))).max(1);
+    std::thread::scope(|s| {
+        for band in data.chunks_mut(chunk_rows * c) {
+            let (scale, shift) = (&scale, &shift);
+            s.spawn(move || {
+                for row in band.chunks_mut(c) {
+                    for ((v, &sc), &sh) in row.iter_mut().zip(scale).zip(shift) {
+                        *v = *v * sc + sh;
+                    }
+                }
+            });
+        }
+    });
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn normalized_output_has_zero_mean_unit_var() {
+        let x = Tensor::sequence(&[4, 6, 6, 3], 2.0);
+        let out = fused_batch_norm(3, &x, &[1.0; 3], &[0.0; 3], 1e-5);
+        let (mean, var) = batch_moments(1, &out);
+        for (m, v) in mean.iter().zip(&var) {
+            assert!(m.abs() < 1e-4, "mean {m}");
+            assert!((v - 1.0).abs() < 1e-2, "var {v}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_shift_and_scale() {
+        let x = Tensor::sequence(&[2, 4, 4, 2], 1.0);
+        let out = fused_batch_norm(2, &x, &[2.0, 0.5], &[10.0, -1.0], 1e-5);
+        let (mean, var) = batch_moments(1, &out);
+        assert!((mean[0] - 10.0).abs() < 1e-3);
+        assert!((mean[1] + 1.0).abs() < 1e-3);
+        assert!((var[0] - 4.0).abs() < 0.05);
+        assert!((var[1] - 0.25).abs() < 0.01);
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let x = Tensor::sequence(&[3, 5, 5, 4], 1.5);
+        let base = fused_batch_norm(1, &x, &[1.0; 4], &[0.5; 4], 1e-5);
+        for threads in [2, 4, 8] {
+            let other = fused_batch_norm(threads, &x, &[1.0; 4], &[0.5; 4], 1e-5);
+            assert!(base.max_abs_diff(&other) < 1e-5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn constant_channel_stays_constant() {
+        // A channel with zero variance must map to beta everywhere.
+        let x = Tensor::from_vec(&[1, 2, 2, 1], vec![3.0; 4]);
+        let out = fused_batch_norm(1, &x, &[1.0], &[7.0], 1e-5);
+        for v in out.data() {
+            assert!((v - 7.0).abs() < 1e-3);
+        }
+    }
+}

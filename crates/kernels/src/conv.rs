@@ -1,0 +1,365 @@
+//! Direct 2-D convolution kernels (NHWC, HWIO filters, SAME padding).
+
+use crate::tensor::Tensor;
+
+fn out_dim(i: usize, stride: usize) -> usize {
+    i.div_ceil(stride)
+}
+
+/// Checks shapes and returns `(n, h, w, cin, kh, kw, cout, ho, wo)`.
+fn geometry(
+    input: &Tensor,
+    filter: &Tensor,
+    stride: usize,
+) -> (usize, usize, usize, usize, usize, usize, usize, usize, usize) {
+    assert_eq!(input.shape().len(), 4, "input must be NHWC");
+    assert_eq!(filter.shape().len(), 4, "filter must be HWIO");
+    assert!(stride >= 1, "stride must be >= 1");
+    let (n, h, w, cin) =
+        (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (kh, kw, fcin, cout) =
+        (filter.shape()[0], filter.shape()[1], filter.shape()[2], filter.shape()[3]);
+    assert_eq!(cin, fcin, "channel mismatch: input {cin} vs filter {fcin}");
+    (n, h, w, cin, kh, kw, cout, out_dim(h, stride), out_dim(w, stride))
+}
+
+/// Forward convolution with SAME padding. Parallel over output rows.
+pub fn conv2d(threads: usize, input: &Tensor, filter: &Tensor, stride: usize) -> Tensor {
+    let (n, h, w, cin, kh, kw, cout, ho, wo) = geometry(input, filter, stride);
+    let mut out = Tensor::zeros(&[n, ho, wo, cout]);
+    let pad_h = (kh - 1) / 2;
+    let pad_w = (kw - 1) / 2;
+    let x = input.data();
+    let f = filter.data();
+    let row_elems = wo * cout;
+    let bands: Vec<(usize, &mut [f32])> = {
+        let rows = n * ho;
+        let chunk = rows.div_ceil(threads.clamp(1, rows.max(1))).max(1);
+        out.data_mut()
+            .chunks_mut(chunk * row_elems)
+            .enumerate()
+            .map(|(i, band)| (i * chunk, band))
+            .collect()
+    };
+    let nbands = bands.len();
+    std::thread::scope(|s| {
+        for (row0, band) in bands {
+            let mut work = move || {
+                for (r, orow) in band.chunks_mut(row_elems).enumerate() {
+                    let global = row0 + r;
+                    let (b, oy) = (global / ho, global % ho);
+                    for ox in 0..wo {
+                        let ocell = &mut orow[ox * cout..(ox + 1) * cout];
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky).wrapping_sub(pad_h);
+                            if iy >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx).wrapping_sub(pad_w);
+                                if ix >= w {
+                                    continue;
+                                }
+                                let xbase = ((b * h + iy) * w + ix) * cin;
+                                let fbase = (ky * kw + kx) * cin * cout;
+                                for ci in 0..cin {
+                                    let xv = x[xbase + ci];
+                                    let frow = &f[fbase + ci * cout..fbase + (ci + 1) * cout];
+                                    for (ov, &fv) in ocell.iter_mut().zip(frow) {
+                                        *ov += xv * fv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            if nbands == 1 {
+                work();
+            } else {
+                s.spawn(work);
+            }
+        }
+    });
+    out
+}
+
+/// Gradient w.r.t. the filter. Parallel over the filter's `cout` dimension
+/// is awkward with HWIO layout; instead each worker accumulates a private
+/// filter gradient over a slice of the batch, merged at the end (a classic
+/// parallel reduction — the serializing part the paper's cost model charges
+/// `Conv2DBackpropFilter` extra `serial_secs` for).
+pub fn conv2d_backprop_filter(
+    threads: usize,
+    input: &Tensor,
+    grad_out: &Tensor,
+    kh: usize,
+    kw: usize,
+    stride: usize,
+) -> Tensor {
+    assert_eq!(input.shape().len(), 4);
+    assert_eq!(grad_out.shape().len(), 4);
+    let (n, h, w, cin) =
+        (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (gn, ho, wo, cout) = (
+        grad_out.shape()[0],
+        grad_out.shape()[1],
+        grad_out.shape()[2],
+        grad_out.shape()[3],
+    );
+    assert_eq!(n, gn, "batch mismatch");
+    assert_eq!(ho, out_dim(h, stride), "grad_out height mismatch");
+    assert_eq!(wo, out_dim(w, stride), "grad_out width mismatch");
+    let pad_h = (kh - 1) / 2;
+    let pad_w = (kw - 1) / 2;
+    let x = input.data();
+    let g = grad_out.data();
+    let filter_len = kh * kw * cin * cout;
+
+    let partial = crate::pool::parallel_map_reduce(
+        threads,
+        n,
+        |batch_range| {
+            let mut df = vec![0.0f32; filter_len];
+            for b in batch_range {
+                for oy in 0..ho {
+                    for ox in 0..wo {
+                        let gbase = ((b * ho + oy) * wo + ox) * cout;
+                        for ky in 0..kh {
+                            let iy = (oy * stride + ky).wrapping_sub(pad_h);
+                            if iy >= h {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ix = (ox * stride + kx).wrapping_sub(pad_w);
+                                if ix >= w {
+                                    continue;
+                                }
+                                let xbase = ((b * h + iy) * w + ix) * cin;
+                                let fbase = (ky * kw + kx) * cin * cout;
+                                for ci in 0..cin {
+                                    let xv = x[xbase + ci];
+                                    let drow =
+                                        &mut df[fbase + ci * cout..fbase + (ci + 1) * cout];
+                                    let grow = &g[gbase..gbase + cout];
+                                    for (dv, &gv) in drow.iter_mut().zip(grow) {
+                                        *dv += xv * gv;
+                                    }
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            df
+        },
+        |mut acc, part| {
+            for (a, p) in acc.iter_mut().zip(&part) {
+                *a += p;
+            }
+            acc
+        },
+        vec![0.0f32; filter_len],
+    );
+    Tensor::from_vec(&[kh, kw, cin, cout], partial)
+}
+
+/// Gradient w.r.t. the input. Parallel over input rows.
+pub fn conv2d_backprop_input(
+    threads: usize,
+    input_shape: &[usize],
+    filter: &Tensor,
+    grad_out: &Tensor,
+    stride: usize,
+) -> Tensor {
+    assert_eq!(input_shape.len(), 4);
+    let (n, h, w, cin) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
+    let (kh, kw, fcin, cout) =
+        (filter.shape()[0], filter.shape()[1], filter.shape()[2], filter.shape()[3]);
+    assert_eq!(cin, fcin, "channel mismatch");
+    let (ho, wo) = (out_dim(h, stride), out_dim(w, stride));
+    assert_eq!(grad_out.shape(), &[n, ho, wo, cout], "grad_out shape mismatch");
+    let pad_h = (kh - 1) / 2;
+    let pad_w = (kw - 1) / 2;
+    let f = filter.data();
+    let g = grad_out.data();
+    let mut dx = Tensor::zeros(&[n, h, w, cin]);
+    let row_elems = w * cin;
+    let bands: Vec<(usize, &mut [f32])> = {
+        let rows = n * h;
+        let chunk = rows.div_ceil(threads.clamp(1, rows.max(1))).max(1);
+        dx.data_mut()
+            .chunks_mut(chunk * row_elems)
+            .enumerate()
+            .map(|(i, band)| (i * chunk, band))
+            .collect()
+    };
+    let nbands = bands.len();
+    std::thread::scope(|s| {
+        for (row0, band) in bands {
+            let mut work = move || {
+                for (r, xrow) in band.chunks_mut(row_elems).enumerate() {
+                    let global = row0 + r;
+                    let (b, iy) = (global / h, global % h);
+                    for ix in 0..w {
+                        let xcell = &mut xrow[ix * cin..(ix + 1) * cin];
+                        // All output positions whose window covers (iy, ix).
+                        for ky in 0..kh {
+                            let oy_num = iy + pad_h;
+                            if oy_num < ky || (oy_num - ky) % stride != 0 {
+                                continue;
+                            }
+                            let oy = (oy_num - ky) / stride;
+                            if oy >= ho {
+                                continue;
+                            }
+                            for kx in 0..kw {
+                                let ox_num = ix + pad_w;
+                                if ox_num < kx || (ox_num - kx) % stride != 0 {
+                                    continue;
+                                }
+                                let ox = (ox_num - kx) / stride;
+                                if ox >= wo {
+                                    continue;
+                                }
+                                let gbase = ((b * ho + oy) * wo + ox) * cout;
+                                let fbase = (ky * kw + kx) * cin * cout;
+                                for (ci, xv) in xcell.iter_mut().enumerate() {
+                                    let frow =
+                                        &f[fbase + ci * cout..fbase + (ci + 1) * cout];
+                                    let grow = &g[gbase..gbase + cout];
+                                    let mut s = 0.0;
+                                    for (&fv, &gv) in frow.iter().zip(grow) {
+                                        s += fv * gv;
+                                    }
+                                    *xv += s;
+                                }
+                            }
+                        }
+                    }
+                }
+            };
+            if nbands == 1 {
+                work();
+            } else {
+                s.spawn(work);
+            }
+        }
+    });
+    dx
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_input() -> Tensor {
+        Tensor::sequence(&[2, 5, 5, 3], 1.0)
+    }
+
+    fn small_filter() -> Tensor {
+        Tensor::sequence(&[3, 3, 3, 4], 0.5)
+    }
+
+    #[test]
+    fn forward_thread_counts_agree() {
+        let x = small_input();
+        let f = small_filter();
+        let base = conv2d(1, &x, &f, 1);
+        for threads in [2, 3, 8] {
+            let out = conv2d(threads, &x, &f, 1);
+            assert!(base.max_abs_diff(&out) < 1e-5, "threads={threads}");
+        }
+        assert_eq!(base.shape(), &[2, 5, 5, 4]);
+    }
+
+    #[test]
+    fn forward_strided_shape() {
+        let x = small_input();
+        let f = small_filter();
+        let out = conv2d(2, &x, &f, 2);
+        assert_eq!(out.shape(), &[2, 3, 3, 4]);
+    }
+
+    #[test]
+    fn identity_kernel_preserves_input() {
+        // 1x1 filter = identity over channels when set to the unit matrix.
+        let x = small_input();
+        let mut f = Tensor::zeros(&[1, 1, 3, 3]);
+        for c in 0..3 {
+            let idx = c * 3 + c;
+            f.data_mut()[idx] = 1.0;
+        }
+        let out = conv2d(4, &x, &f, 1);
+        assert!(x.max_abs_diff(&out) < 1e-6);
+    }
+
+    #[test]
+    fn backprop_filter_matches_numeric_gradient() {
+        // d/dF of sum(conv(x, F)) == conv_backprop_filter(x, ones).
+        let x = Tensor::sequence(&[1, 4, 4, 2], 1.0);
+        let f = Tensor::sequence(&[3, 3, 2, 2], 0.5);
+        let ones = {
+            let out = conv2d(1, &x, &f, 1);
+            Tensor::from_vec(out.shape(), vec![1.0; out.len()])
+        };
+        let analytic = conv2d_backprop_filter(3, &x, &ones, 3, 3, 1);
+        let eps = 1e-2f32;
+        for idx in [0usize, 7, 17, 35] {
+            let mut fp = f.clone();
+            fp.data_mut()[idx] += eps;
+            let mut fm = f.clone();
+            fm.data_mut()[idx] -= eps;
+            let lp: f32 = conv2d(1, &x, &fp, 1).data().iter().sum();
+            let lm: f32 = conv2d(1, &x, &fm, 1).data().iter().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[idx];
+            assert!(
+                (a - numeric).abs() < 2e-2,
+                "filter grad [{idx}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn backprop_input_matches_numeric_gradient() {
+        let x = Tensor::sequence(&[1, 4, 4, 2], 1.0);
+        let f = Tensor::sequence(&[3, 3, 2, 2], 0.5);
+        let ones = {
+            let out = conv2d(1, &x, &f, 1);
+            Tensor::from_vec(out.shape(), vec![1.0; out.len()])
+        };
+        let analytic = conv2d_backprop_input(2, x.shape(), &f, &ones, 1);
+        let eps = 1e-2f32;
+        for idx in [0usize, 5, 13, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let lp: f32 = conv2d(1, &xp, &f, 1).data().iter().sum();
+            let lm: f32 = conv2d(1, &xm, &f, 1).data().iter().sum();
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[idx];
+            assert!(
+                (a - numeric).abs() < 2e-2,
+                "input grad [{idx}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+
+    #[test]
+    fn backprop_thread_counts_agree() {
+        let x = Tensor::sequence(&[2, 6, 6, 3], 1.0);
+        let f = Tensor::sequence(&[3, 3, 3, 4], 0.5);
+        let gout = {
+            let out = conv2d(1, &x, &f, 2);
+            Tensor::sequence(out.shape(), 1.0)
+        };
+        let df1 = conv2d_backprop_filter(1, &x, &gout, 3, 3, 2);
+        let df4 = conv2d_backprop_filter(4, &x, &gout, 3, 3, 2);
+        assert!(df1.max_abs_diff(&df4) < 1e-4);
+        let dx1 = conv2d_backprop_input(1, x.shape(), &f, &gout, 2);
+        let dx4 = conv2d_backprop_input(4, x.shape(), &f, &gout, 2);
+        assert!(dx1.max_abs_diff(&dx4) < 1e-4);
+    }
+}

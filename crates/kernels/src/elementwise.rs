@@ -1,0 +1,253 @@
+//! Element-wise kernels, bias ops and the Adam update.
+
+use crate::pool::parallel_map_reduce;
+
+/// Generic in-place map over `data` with `threads` workers.
+pub fn map_inplace<F>(threads: usize, data: &mut [f32], f: F)
+where
+    F: Fn(f32) -> f32 + Sync,
+{
+    let n = data.len();
+    let threads = threads.clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        let mut rest = &mut data[..];
+        let mut first = true;
+        while !rest.is_empty() {
+            let take = chunk.min(rest.len());
+            let (band, tail) = rest.split_at_mut(take);
+            rest = tail;
+            let f = &f;
+            if first && rest.is_empty() {
+                for v in band.iter_mut() {
+                    *v = f(*v);
+                }
+            } else {
+                s.spawn(move || {
+                    for v in band.iter_mut() {
+                        *v = f(*v);
+                    }
+                });
+            }
+            first = false;
+        }
+    });
+}
+
+/// `out[i] = f(a[i], b[i])`.
+pub fn zip_map<F>(threads: usize, a: &[f32], b: &[f32], out: &mut [f32], f: F)
+where
+    F: Fn(f32, f32) -> f32 + Sync,
+{
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.len(), out.len());
+    let n = out.len();
+    let threads = threads.clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        for (i, band) in out.chunks_mut(chunk).enumerate() {
+            let lo = i * chunk;
+            let (abandon, bband) = (&a[lo..lo + band.len()], &b[lo..lo + band.len()]);
+            let f = &f;
+            s.spawn(move || {
+                for ((o, &x), &y) in band.iter_mut().zip(abandon).zip(bband) {
+                    *o = f(x, y);
+                }
+            });
+        }
+    });
+}
+
+/// ReLU in place.
+pub fn relu(threads: usize, data: &mut [f32]) {
+    map_inplace(threads, data, |v| v.max(0.0));
+}
+
+/// Logistic sigmoid in place.
+pub fn sigmoid(threads: usize, data: &mut [f32]) {
+    map_inplace(threads, data, |v| 1.0 / (1.0 + (-v).exp()));
+}
+
+/// Hyperbolic tangent in place.
+pub fn tanh(threads: usize, data: &mut [f32]) {
+    map_inplace(threads, data, f32::tanh);
+}
+
+/// Adds a per-channel bias to an `[rows, channels]`-flattened activation.
+pub fn bias_add(threads: usize, data: &mut [f32], bias: &[f32]) {
+    let c = bias.len();
+    assert!(c > 0 && data.len().is_multiple_of(c), "data not a multiple of channels");
+    let rows = data.len() / c;
+    let chunk_rows = rows.div_ceil(threads.clamp(1, rows.max(1))).max(1);
+    std::thread::scope(|s| {
+        for band in data.chunks_mut(chunk_rows * c) {
+            s.spawn(move || {
+                for row in band.chunks_mut(c) {
+                    for (v, &b) in row.iter_mut().zip(bias) {
+                        *v += b;
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Per-channel reduction of a gradient (`BiasAddGrad`).
+pub fn bias_add_grad(threads: usize, grad: &[f32], channels: usize) -> Vec<f32> {
+    assert!(channels > 0 && grad.len().is_multiple_of(channels));
+    let rows = grad.len() / channels;
+    parallel_map_reduce(
+        threads,
+        rows,
+        |range| {
+            let mut acc = vec![0.0f32; channels];
+            for r in range {
+                for (a, &g) in acc.iter_mut().zip(&grad[r * channels..(r + 1) * channels]) {
+                    *a += g;
+                }
+            }
+            acc
+        },
+        |mut a, b| {
+            for (x, y) in a.iter_mut().zip(&b) {
+                *x += y;
+            }
+            a
+        },
+        vec![0.0f32; channels],
+    )
+}
+
+/// One Adam step over a parameter vector (all state updated in place).
+#[allow(clippy::too_many_arguments)]
+pub fn adam_step(
+    threads: usize,
+    param: &mut [f32],
+    grad: &[f32],
+    m: &mut [f32],
+    v: &mut [f32],
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    step: u32,
+) {
+    assert_eq!(param.len(), grad.len());
+    assert_eq!(param.len(), m.len());
+    assert_eq!(param.len(), v.len());
+    let bc1 = 1.0 - beta1.powi(step.max(1) as i32);
+    let bc2 = 1.0 - beta2.powi(step.max(1) as i32);
+    let n = param.len();
+    let threads = threads.clamp(1, n.max(1));
+    let chunk = n.div_ceil(threads).max(1);
+    std::thread::scope(|s| {
+        let mut p_rest = &mut param[..];
+        let mut m_rest = &mut m[..];
+        let mut v_rest = &mut v[..];
+        let mut lo = 0usize;
+        while !p_rest.is_empty() {
+            let take = chunk.min(p_rest.len());
+            let (pb, pt) = p_rest.split_at_mut(take);
+            let (mb, mt) = m_rest.split_at_mut(take);
+            let (vb, vt) = v_rest.split_at_mut(take);
+            p_rest = pt;
+            m_rest = mt;
+            v_rest = vt;
+            let gband = &grad[lo..lo + take];
+            lo += take;
+            s.spawn(move || {
+                for (((p, g), mm), vv) in pb.iter_mut().zip(gband).zip(mb).zip(vb) {
+                    *mm = beta1 * *mm + (1.0 - beta1) * g;
+                    *vv = beta2 * *vv + (1.0 - beta2) * g * g;
+                    let mhat = *mm / bc1;
+                    let vhat = *vv / bc2;
+                    *p -= lr * mhat / (vhat.sqrt() + eps);
+                }
+            });
+        }
+    });
+}
+
+/// Sum of all elements (parallel reduction helper used in losses).
+pub fn sum(threads: usize, data: &[f32]) -> f64 {
+    parallel_map_reduce(
+        threads,
+        data.len(),
+        |r| r.map(|i| data[i] as f64).sum::<f64>(),
+        |a, b| a + b,
+        0.0,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn relu_and_friends() {
+        let mut v = vec![-1.0f32, 0.0, 2.0, -3.5];
+        relu(2, &mut v);
+        assert_eq!(v, vec![0.0, 0.0, 2.0, 0.0]);
+        let mut s = vec![0.0f32];
+        sigmoid(1, &mut s);
+        assert!((s[0] - 0.5).abs() < 1e-6);
+        let mut t = vec![0.0f32];
+        tanh(1, &mut t);
+        assert_eq!(t[0], 0.0);
+    }
+
+    #[test]
+    fn zip_map_multiplies() {
+        let a = vec![1.0f32, 2.0, 3.0];
+        let b = vec![4.0f32, 5.0, 6.0];
+        let mut out = vec![0.0f32; 3];
+        zip_map(2, &a, &b, &mut out, |x, y| x * y);
+        assert_eq!(out, vec![4.0, 10.0, 18.0]);
+    }
+
+    #[test]
+    fn bias_roundtrip() {
+        let mut data = vec![0.0f32; 6];
+        bias_add(3, &mut data, &[1.0, 2.0]);
+        assert_eq!(data, vec![1.0, 2.0, 1.0, 2.0, 1.0, 2.0]);
+        let grads = bias_add_grad(2, &data, 2);
+        assert_eq!(grads, vec![3.0, 6.0]);
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        // Minimize f(p) = p^2 from p=5.
+        let mut p = vec![5.0f32];
+        let mut m = vec![0.0f32];
+        let mut v = vec![0.0f32];
+        for step in 1..=500 {
+            let g = vec![2.0 * p[0]];
+            adam_step(1, &mut p, &g, &mut m, &mut v, 0.05, 0.9, 0.999, 1e-8, step);
+        }
+        assert!(p[0].abs() < 0.1, "Adam should approach the minimum, got {}", p[0]);
+    }
+
+    #[test]
+    fn adam_thread_counts_agree() {
+        let n = 1000;
+        let grad: Vec<f32> = (0..n).map(|i| (i as f32 * 0.01).sin()).collect();
+        let run = |threads: usize| {
+            let mut p: Vec<f32> = (0..n).map(|i| i as f32 * 0.001).collect();
+            let mut m = vec![0.0f32; n];
+            let mut v = vec![0.0f32; n];
+            adam_step(threads, &mut p, &grad, &mut m, &mut v, 0.01, 0.9, 0.999, 1e-8, 1);
+            p
+        };
+        let base = run(1);
+        for threads in [2, 7, 32] {
+            assert_eq!(base, run(threads), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn sum_matches_serial() {
+        let data: Vec<f32> = (0..10_000).map(|i| (i % 13) as f32 - 6.0).collect();
+        let serial: f64 = data.iter().map(|&v| v as f64).sum();
+        assert!((sum(8, &data) - serial).abs() < 1e-6);
+    }
+}

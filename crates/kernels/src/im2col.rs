@@ -1,0 +1,124 @@
+//! im2col convolution: lower the convolution to one big matmul, the
+//! transformation MKL-DNN and cuDNN historically used. Trades memory (the
+//! patch matrix is `k²·cin` times the input) for a single cache-friendly
+//! GEMM; on large channel counts it typically beats the direct loops.
+
+use crate::matmul::matmul;
+use crate::pool::parallel_for;
+use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+/// Lowers NHWC `input` to the im2col patch matrix of shape
+/// `[n*ho*wo, kh*kw*cin]` for a `k`×`k`/`stride` convolution with SAME
+/// padding.
+pub fn im2col(threads: usize, input: &Tensor, k: usize, stride: usize) -> Tensor {
+    assert_eq!(input.shape().len(), 4, "input must be NHWC");
+    let (n, h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (ho, wo) = (h.div_ceil(stride), w.div_ceil(stride));
+    let pad = (k - 1) / 2;
+    let row_len = k * k * c;
+    let x = input.data();
+    let out: Vec<AtomicU32> =
+        (0..n * ho * wo * row_len).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+    parallel_for(threads, n * ho * wo, |rows| {
+        for r in rows {
+            let ox = r % wo;
+            let rest = r / wo;
+            let oy = rest % ho;
+            let b = rest / ho;
+            let base = r * row_len;
+            for ky in 0..k {
+                let iy = (oy * stride + ky).wrapping_sub(pad);
+                for kx in 0..k {
+                    let ix = (ox * stride + kx).wrapping_sub(pad);
+                    let dst = base + (ky * k + kx) * c;
+                    if iy < h && ix < w {
+                        let src = ((b * h + iy) * w + ix) * c;
+                        for ch in 0..c {
+                            out[dst + ch].store(x[src + ch].to_bits(), Ordering::Relaxed);
+                        }
+                    }
+                    // Out-of-bounds taps stay zero (SAME padding).
+                }
+            }
+        }
+    });
+    Tensor::from_vec(
+        &[n * ho * wo, row_len],
+        out.into_iter().map(|a| f32::from_bits(a.into_inner())).collect(),
+    )
+}
+
+/// Convolution via im2col + GEMM; numerically equivalent to
+/// [`crate::conv::conv2d`].
+pub fn conv2d_im2col(threads: usize, input: &Tensor, filter: &Tensor, stride: usize) -> Tensor {
+    let (kh, kw, cin, cout) =
+        (filter.shape()[0], filter.shape()[1], filter.shape()[2], filter.shape()[3]);
+    assert_eq!(kh, kw, "im2col path assumes square kernels");
+    assert_eq!(cin, input.shape()[3], "channel mismatch");
+    let (n, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
+    let (ho, wo) = (h.div_ceil(stride), w.div_ceil(stride));
+    let patches = im2col(threads, input, kh, stride);
+    let m = n * ho * wo;
+    let kdim = kh * kw * cin;
+    let mut out = vec![0.0f32; m * cout];
+    // The HWIO filter is already laid out as a [kdim, cout] matrix.
+    matmul(threads, patches.data(), filter.data(), &mut out, m, kdim, cout);
+    Tensor::from_vec(&[n, ho, wo, cout], out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::conv::conv2d;
+
+    #[test]
+    fn matches_direct_convolution() {
+        let x = Tensor::sequence(&[2, 7, 7, 5], 1.0);
+        let f = Tensor::sequence(&[3, 3, 5, 4], 0.5);
+        for stride in [1usize, 2] {
+            let direct = conv2d(2, &x, &f, stride);
+            let lowered = conv2d_im2col(3, &x, &f, stride);
+            assert_eq!(direct.shape(), lowered.shape(), "stride={stride}");
+            assert!(
+                direct.max_abs_diff(&lowered) < 1e-4,
+                "stride={stride}: max diff {}",
+                direct.max_abs_diff(&lowered)
+            );
+        }
+    }
+
+    #[test]
+    fn patch_matrix_shape_and_padding() {
+        let x = Tensor::from_vec(&[1, 2, 2, 1], vec![1.0, 2.0, 3.0, 4.0]);
+        let p = im2col(1, &x, 3, 1);
+        assert_eq!(p.shape(), &[4, 9]);
+        // Top-left output's patch: pad row + pad col, centre = 1.0.
+        let first = &p.data()[..9];
+        assert_eq!(first[4], 1.0, "centre tap");
+        assert_eq!(first[0], 0.0, "padded corner");
+        assert_eq!(first[5], 2.0);
+        assert_eq!(first[7], 3.0);
+        assert_eq!(first[8], 4.0);
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let x = Tensor::sequence(&[1, 6, 6, 3], 1.0);
+        let f = Tensor::sequence(&[3, 3, 3, 2], 0.5);
+        let base = conv2d_im2col(1, &x, &f, 1);
+        for threads in [2, 4, 8] {
+            assert!(base.max_abs_diff(&conv2d_im2col(threads, &x, &f, 1)) < 1e-5);
+        }
+    }
+
+    #[test]
+    fn one_by_one_kernel_is_a_plain_matmul() {
+        let x = Tensor::sequence(&[2, 4, 4, 8], 1.0);
+        let f = Tensor::sequence(&[1, 1, 8, 16], 0.5);
+        let out = conv2d_im2col(2, &x, &f, 1);
+        assert_eq!(out.shape(), &[2, 4, 4, 16]);
+        let direct = conv2d(1, &x, &f, 1);
+        assert!(direct.max_abs_diff(&out) < 1e-4);
+    }
+}

@@ -1,0 +1,36 @@
+//! # nnrt-kernels
+//!
+//! Real, runnable CPU kernels for the operations the paper schedules —
+//! convolution (forward and both backprops), matmul, pooling, element-wise
+//! ops, softmax/cross-entropy and the Adam update — all parallelized over an
+//! exact, caller-chosen thread count.
+//!
+//! This crate is the host-machine counterpart of the simulated MKL-DNN ops:
+//! it lets the same hill-climbing auto-tuner (`autotune`) run against *real*
+//! hardware, so the library is useful beyond the paper reproduction. Every
+//! kernel takes `threads: usize` explicitly — exactly the knob the paper's
+//! runtime turns.
+//!
+//! Parallelism uses `std::thread::scope`, so kernels borrow their
+//! inputs/outputs safely with no `unsafe` anywhere in the crate. (Per-call
+//! thread spawning costs a few microseconds per thread — the very
+//! "thread spawning overhead" the paper's Figure 1 attributes poor op
+//! scalability to; the auto-tuner sees it like the real runtime would.)
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod autotune;
+pub mod batchnorm;
+pub mod conv;
+pub mod elementwise;
+pub mod im2col;
+pub mod matmul;
+pub mod pool;
+pub mod pooling;
+pub mod softmax;
+pub mod tensor;
+
+pub use autotune::{hill_climb_threads, TuneResult};
+pub use pool::parallel_for;
+pub use tensor::Tensor;

@@ -1,0 +1,180 @@
+//! Parallel dense matmul `C = A * B`.
+
+/// `C[m,n] = A[m,k] * B[k,n]`, parallelized over rows of `C` with `threads`
+/// workers. Inner loops are ordered `i-k-j` for unit-stride access to `B`
+/// and `C` (auto-vectorizable).
+///
+/// ```
+/// let a = [1.0, 2.0, 3.0, 4.0]; // 2x2
+/// let b = [5.0, 6.0, 7.0, 8.0]; // 2x2
+/// let mut c = [0.0f32; 4];
+/// nnrt_kernels::matmul::matmul(2, &a, &b, &mut c, 2, 2, 2);
+/// assert_eq!(c, [19.0, 22.0, 43.0, 50.0]);
+/// ```
+///
+/// # Panics
+/// Panics on dimension mismatch.
+pub fn matmul(
+    threads: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), m * k, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    if c.is_empty() {
+        return;
+    }
+    // Split C into disjoint row bands, one mutable slice per worker chunk.
+    let bands: Vec<(usize, &mut [f32])> = {
+        let chunk = m.div_ceil(threads.clamp(1, m.max(1)));
+        c.chunks_mut(chunk.max(1) * n)
+            .enumerate()
+            .map(|(i, band)| (i * chunk.max(1), band))
+            .collect()
+    };
+    let nbands = bands.len();
+    std::thread::scope(|s| {
+        for (row0, band) in bands {
+            if nbands == 1 {
+                matmul_band(a, b, band, row0, k, n);
+            } else {
+                s.spawn(move || matmul_band(a, b, band, row0, k, n));
+            }
+        }
+    });
+}
+
+fn matmul_band(a: &[f32], b: &[f32], c_band: &mut [f32], row0: usize, k: usize, n: usize) {
+    let rows = c_band.len() / n;
+    for i in 0..rows {
+        let arow = &a[(row0 + i) * k..(row0 + i + 1) * k];
+        let crow = &mut c_band[i * n..(i + 1) * n];
+        crow.fill(0.0);
+        for (kk, &aik) in arow.iter().enumerate() {
+            let brow = &b[kk * n..(kk + 1) * n];
+            for (cv, &bv) in crow.iter_mut().zip(brow) {
+                *cv += aik * bv;
+            }
+        }
+    }
+}
+
+/// `C[m,n] = A^T[k,m]^T * B[k,n]` — i.e. `A` is stored `[k, m]` and used
+/// transposed (the dW computation of a dense layer).
+pub fn matmul_at_b(
+    threads: usize,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    assert_eq!(a.len(), k * m, "A shape mismatch");
+    assert_eq!(b.len(), k * n, "B shape mismatch");
+    assert_eq!(c.len(), m * n, "C shape mismatch");
+    if c.is_empty() {
+        return;
+    }
+    // Disjoint row bands of C, one per worker.
+    let bands: Vec<(usize, &mut [f32])> = {
+        let chunk = m.div_ceil(threads.clamp(1, m.max(1)));
+        c.chunks_mut(chunk.max(1) * n)
+            .enumerate()
+            .map(|(i, band)| (i * chunk.max(1), band))
+            .collect()
+    };
+    let nbands = bands.len();
+    std::thread::scope(|s| {
+        for (row0, band) in bands {
+            let mut work = move || {
+                let rows = band.len() / n;
+                for i in 0..rows {
+                    let crow = &mut band[i * n..(i + 1) * n];
+                    crow.fill(0.0);
+                    for kk in 0..k {
+                        let aik = a[kk * m + row0 + i];
+                        let brow = &b[kk * n..(kk + 1) * n];
+                        for (cv, &bv) in crow.iter_mut().zip(brow) {
+                            *cv += aik * bv;
+                        }
+                    }
+                }
+            };
+            if nbands == 1 {
+                work();
+            } else {
+                s.spawn(work);
+            }
+        }
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn reference(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+        let mut c = vec![0.0f32; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for kk in 0..k {
+                    s += a[i * k + kk] * b[kk * n + j];
+                }
+                c[i * n + j] = s;
+            }
+        }
+        c
+    }
+
+    #[test]
+    fn matches_reference_for_all_thread_counts() {
+        let (m, k, n) = (13, 17, 19);
+        let a: Vec<f32> = (0..m * k).map(|i| (i % 7) as f32 - 3.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| (i % 5) as f32 * 0.5).collect();
+        let expect = reference(&a, &b, m, k, n);
+        for threads in [1, 2, 3, 8, 64] {
+            let mut c = vec![0.0f32; m * n];
+            matmul(threads, &a, &b, &mut c, m, k, n);
+            assert_eq!(c, expect, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn transposed_variant_matches() {
+        let (m, k, n) = (6, 9, 4);
+        // A stored [k, m].
+        let a_t: Vec<f32> = (0..k * m).map(|i| (i % 11) as f32 - 5.0).collect();
+        // Reference: transpose to [m, k] then multiply.
+        let mut a = vec![0.0f32; m * k];
+        for kk in 0..k {
+            for i in 0..m {
+                a[i * k + kk] = a_t[kk * m + i];
+            }
+        }
+        let b: Vec<f32> = (0..k * n).map(|i| i as f32 * 0.1).collect();
+        let expect = reference(&a, &b, m, k, n);
+        for threads in [1, 4] {
+            let mut c = vec![0.0f32; m * n];
+            matmul_at_b(threads, &a_t, &b, &mut c, m, k, n);
+            for (x, y) in c.iter().zip(&expect) {
+                assert!((x - y).abs() < 1e-4, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let mut c = vec![0.0f32; 0];
+        matmul(4, &[], &[], &mut c, 0, 0, 0);
+        let mut c1 = vec![0.0f32; 1];
+        matmul(4, &[2.0], &[3.0], &mut c1, 1, 1, 1);
+        assert_eq!(c1[0], 6.0);
+    }
+}

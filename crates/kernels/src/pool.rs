@@ -1,0 +1,122 @@
+//! Thread-count-exact parallel iteration.
+
+use std::ops::Range;
+
+/// Runs `f` over `0..n`, split into at most `threads` contiguous chunks, one
+/// chunk per worker (the calling thread processes the first chunk).
+///
+/// `threads` is clamped to `[1, n]`; `threads == 1` runs inline with zero
+/// overhead. Panics in workers propagate to the caller.
+pub fn parallel_for<F>(threads: usize, n: usize, f: F)
+where
+    F: Fn(Range<usize>) + Sync,
+{
+    if n == 0 {
+        return;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        f(0..n);
+        return;
+    }
+    let chunk = n.div_ceil(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        for t in 1..threads {
+            let lo = t * chunk;
+            if lo >= n {
+                break;
+            }
+            let hi = ((t + 1) * chunk).min(n);
+            s.spawn(move || f(lo..hi));
+        }
+        f(0..chunk.min(n));
+    });
+}
+
+/// Like [`parallel_for`] but each worker produces a partial result, which are
+/// then merged serially — the shape of a parallel reduction.
+pub fn parallel_map_reduce<T, F, M>(threads: usize, n: usize, f: F, mut merge: M, init: T) -> T
+where
+    T: Send,
+    F: Fn(Range<usize>) -> T + Sync,
+    M: FnMut(T, T) -> T,
+{
+    if n == 0 {
+        return init;
+    }
+    let threads = threads.clamp(1, n);
+    if threads == 1 {
+        return merge(init, f(0..n));
+    }
+    let chunk = n.div_ceil(threads);
+    let mut partials: Vec<T> = Vec::with_capacity(threads);
+    std::thread::scope(|s| {
+        let f = &f;
+        let mut handles = Vec::new();
+        for t in 1..threads {
+            let lo = t * chunk;
+            if lo >= n {
+                break;
+            }
+            let hi = ((t + 1) * chunk).min(n);
+            handles.push(s.spawn(move || f(lo..hi)));
+        }
+        partials.push(f(0..chunk.min(n)));
+        for h in handles {
+            partials.push(h.join().expect("worker panicked"));
+        }
+    });
+    partials.into_iter().fold(init, &mut merge)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn covers_every_index_exactly_once() {
+        let n = 1003;
+        let counts: Vec<AtomicUsize> = (0..n).map(|_| AtomicUsize::new(0)).collect();
+        for threads in [1, 2, 3, 7, 16, 64, 2000] {
+            for c in &counts {
+                c.store(0, Ordering::Relaxed);
+            }
+            parallel_for(threads, n, |range| {
+                for i in range {
+                    counts[i].fetch_add(1, Ordering::Relaxed);
+                }
+            });
+            assert!(
+                counts.iter().all(|c| c.load(Ordering::Relaxed) == 1),
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_items_is_a_noop() {
+        parallel_for(4, 0, |_| panic!("must not be called"));
+    }
+
+    #[test]
+    fn map_reduce_sums() {
+        let total = parallel_map_reduce(
+            8,
+            10_000,
+            |r| r.map(|i| i as u64).sum::<u64>(),
+            |a, b| a + b,
+            0u64,
+        );
+        assert_eq!(total, 10_000u64 * 9_999 / 2);
+    }
+
+    #[test]
+    fn single_thread_matches_multi() {
+        let f = |r: Range<usize>| r.map(|i| (i * i) as u64).sum::<u64>();
+        let a = parallel_map_reduce(1, 5000, f, |x, y| x + y, 0);
+        let b = parallel_map_reduce(13, 5000, f, |x, y| x + y, 0);
+        assert_eq!(a, b);
+    }
+}

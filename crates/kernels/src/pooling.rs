@@ -1,0 +1,252 @@
+//! Max/avg pooling (NHWC, SAME-style ceil output, window clipped at edges).
+
+use crate::pool::parallel_for;
+use crate::tensor::Tensor;
+use std::sync::atomic::{AtomicU32, Ordering};
+
+fn pooled<Fin, Fout>(
+    threads: usize,
+    input: &Tensor,
+    k: usize,
+    stride: usize,
+    init: f32,
+    fold: Fin,
+    finish: Fout,
+) -> Tensor
+where
+    Fin: Fn(f32, f32) -> f32 + Sync,
+    Fout: Fn(f32, usize) -> f32 + Sync,
+{
+    assert_eq!(input.shape().len(), 4, "input must be NHWC");
+    assert!(k >= 1 && stride >= 1);
+    let (n, h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (ho, wo) = (h.div_ceil(stride), w.div_ceil(stride));
+    let x = input.data();
+    // Atomic f32 via bit-casting lets parallel_for write disjoint cells
+    // without banding; each index is written exactly once.
+    let out: Vec<AtomicU32> = (0..n * ho * wo * c).map(|_| AtomicU32::new(0)).collect();
+    parallel_for(threads, n * ho * wo, |cells| {
+        for cell in cells {
+            let ci = cell % wo;
+            let rest = cell / wo;
+            let oy = rest % ho;
+            let b = rest / ho;
+            for ch in 0..c {
+                let mut acc = init;
+                let mut count = 0usize;
+                for ky in 0..k {
+                    let iy = oy * stride + ky;
+                    if iy >= h {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = ci * stride + kx;
+                        if ix >= w {
+                            continue;
+                        }
+                        acc = fold(acc, x[((b * h + iy) * w + ix) * c + ch]);
+                        count += 1;
+                    }
+                }
+                let v = finish(acc, count.max(1));
+                out[((b * ho + oy) * wo + ci) * c + ch].store(v.to_bits(), Ordering::Relaxed);
+            }
+        }
+    });
+    Tensor::from_vec(
+        &[n, ho, wo, c],
+        out.into_iter().map(|a| f32::from_bits(a.into_inner())).collect(),
+    )
+}
+
+/// Max pooling over `k`×`k` windows.
+pub fn max_pool2d(threads: usize, input: &Tensor, k: usize, stride: usize) -> Tensor {
+    pooled(threads, input, k, stride, f32::NEG_INFINITY, f32::max, |acc, _| acc)
+}
+
+/// Average pooling over `k`×`k` windows (edge windows average fewer cells).
+pub fn avg_pool2d(threads: usize, input: &Tensor, k: usize, stride: usize) -> Tensor {
+    pooled(threads, input, k, stride, 0.0, |a, b| a + b, |acc, cnt| acc / cnt as f32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn max_pool_basics() {
+        // 1x4x4x1 with values 0..16; 2x2/2 max pool -> [[5,7],[13,15]].
+        let x = Tensor::from_vec(&[1, 4, 4, 1], (0..16).map(|v| v as f32).collect());
+        let out = max_pool2d(2, &x, 2, 2);
+        assert_eq!(out.shape(), &[1, 2, 2, 1]);
+        assert_eq!(out.data(), &[5.0, 7.0, 13.0, 15.0]);
+    }
+
+    #[test]
+    fn avg_pool_basics() {
+        let x = Tensor::from_vec(&[1, 2, 2, 1], vec![1.0, 3.0, 5.0, 7.0]);
+        let out = avg_pool2d(1, &x, 2, 2);
+        assert_eq!(out.data(), &[4.0]);
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let x = Tensor::sequence(&[3, 9, 9, 5], 1.0);
+        let base = max_pool2d(1, &x, 3, 2);
+        for threads in [2, 4, 16] {
+            assert_eq!(base, max_pool2d(threads, &x, 3, 2), "threads={threads}");
+        }
+        let base = avg_pool2d(1, &x, 3, 2);
+        for threads in [2, 4, 16] {
+            assert!(base.max_abs_diff(&avg_pool2d(threads, &x, 3, 2)) < 1e-6);
+        }
+    }
+
+    #[test]
+    fn edge_windows_clip() {
+        // 3x3 input, 2x2/2 pooling: output 2x2, edge windows smaller.
+        let x = Tensor::from_vec(&[1, 3, 3, 1], (1..=9).map(|v| v as f32).collect());
+        let avg = avg_pool2d(1, &x, 2, 2);
+        assert_eq!(avg.shape(), &[1, 2, 2, 1]);
+        // Top-left: (1+2+4+5)/4 = 3.0 ; top-right: (3+6)/2 = 4.5
+        assert_eq!(avg.data()[0], 3.0);
+        assert_eq!(avg.data()[1], 4.5);
+        // Bottom-right: just 9.
+        assert_eq!(avg.data()[3], 9.0);
+    }
+}
+
+/// Gradient of max pooling: routes each output gradient to the argmax cell
+/// of its window (ties go to the first maximum, as in most frameworks).
+pub fn max_pool2d_grad(
+    threads: usize,
+    input: &Tensor,
+    grad_out: &Tensor,
+    k: usize,
+    stride: usize,
+) -> Tensor {
+    assert_eq!(input.shape().len(), 4);
+    let (n, h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (ho, wo) = (h.div_ceil(stride), w.div_ceil(stride));
+    assert_eq!(grad_out.shape(), &[n, ho, wo, c], "grad_out shape mismatch");
+    let x = input.data();
+    let g = grad_out.data();
+    // Each input cell can receive gradient from several windows when
+    // stride < k; accumulate atomically via bit-cast CAS loops.
+    let dx: Vec<AtomicU32> = (0..input.len()).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+    parallel_for(threads, n * ho * wo, |cells| {
+        for cell in cells {
+            let ox = cell % wo;
+            let rest = cell / wo;
+            let oy = rest % ho;
+            let b = rest / ho;
+            for ch in 0..c {
+                let mut best = f32::NEG_INFINITY;
+                let mut best_idx = None;
+                for ky in 0..k {
+                    let iy = oy * stride + ky;
+                    if iy >= h {
+                        continue;
+                    }
+                    for kx in 0..k {
+                        let ix = ox * stride + kx;
+                        if ix >= w {
+                            continue;
+                        }
+                        let idx = ((b * h + iy) * w + ix) * c + ch;
+                        if x[idx] > best {
+                            best = x[idx];
+                            best_idx = Some(idx);
+                        }
+                    }
+                }
+                if let Some(idx) = best_idx {
+                    let gv = g[((b * ho + oy) * wo + ox) * c + ch];
+                    // CAS accumulation of an f32 stored as bits.
+                    let slot = &dx[idx];
+                    let mut cur = slot.load(Ordering::Relaxed);
+                    loop {
+                        let new = (f32::from_bits(cur) + gv).to_bits();
+                        match slot.compare_exchange_weak(
+                            cur,
+                            new,
+                            Ordering::Relaxed,
+                            Ordering::Relaxed,
+                        ) {
+                            Ok(_) => break,
+                            Err(actual) => cur = actual,
+                        }
+                    }
+                }
+            }
+        }
+    });
+    Tensor::from_vec(
+        input.shape(),
+        dx.into_iter().map(|a| f32::from_bits(a.into_inner())).collect(),
+    )
+}
+
+#[cfg(test)]
+mod grad_tests {
+    use super::*;
+
+    #[test]
+    fn routes_gradient_to_the_argmax() {
+        // 1x2x2x1 input, 2x2/2 pool: one window, max at index 3.
+        let x = Tensor::from_vec(&[1, 2, 2, 1], vec![1.0, 2.0, 3.0, 9.0]);
+        let gout = Tensor::from_vec(&[1, 1, 1, 1], vec![5.0]);
+        let dx = max_pool2d_grad(2, &x, &gout, 2, 2);
+        assert_eq!(dx.data(), &[0.0, 0.0, 0.0, 5.0]);
+    }
+
+    #[test]
+    fn matches_numeric_gradient() {
+        let x = Tensor::sequence(&[1, 4, 4, 2], 1.0);
+        let out = max_pool2d(1, &x, 2, 2);
+        let gout = Tensor::from_vec(out.shape(), vec![1.0; out.len()]);
+        let analytic = max_pool2d_grad(3, &x, &gout, 2, 2);
+        let eps = 1e-3f32;
+        for idx in [0usize, 5, 9, 21, 31] {
+            let mut xp = x.clone();
+            xp.data_mut()[idx] += eps;
+            let mut xm = x.clone();
+            xm.data_mut()[idx] -= eps;
+            let fp: f32 = max_pool2d(1, &xp, 2, 2).data().iter().sum();
+            let fm: f32 = max_pool2d(1, &xm, 2, 2).data().iter().sum();
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (analytic.data()[idx] - numeric).abs() < 1e-2,
+                "dx[{idx}]: analytic {} vs numeric {numeric}",
+                analytic.data()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_thread_counts_agree() {
+        let x = Tensor::sequence(&[2, 6, 6, 3], 1.0);
+        let out = max_pool2d(1, &x, 3, 2);
+        let gout = Tensor::sequence(out.shape(), 1.0);
+        let base = max_pool2d_grad(1, &x, &gout, 3, 2);
+        for threads in [2, 4, 8] {
+            let other = max_pool2d_grad(threads, &x, &gout, 3, 2);
+            assert!(base.max_abs_diff(&other) < 1e-5, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn overlapping_windows_accumulate() {
+        // stride 1 < k 2: interior maxima receive gradient from several
+        // windows.
+        let x = Tensor::from_vec(
+            &[1, 3, 3, 1],
+            vec![0.0, 0.0, 0.0, 0.0, 9.0, 0.0, 0.0, 0.0, 0.0],
+        );
+        let out = max_pool2d(1, &x, 2, 1);
+        let gout = Tensor::from_vec(out.shape(), vec![1.0; out.len()]);
+        let dx = max_pool2d_grad(2, &x, &gout, 2, 1);
+        // The centre cell wins all four 2x2 windows that cover it.
+        assert_eq!(dx.data()[4], 4.0);
+    }
+}

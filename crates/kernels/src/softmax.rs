@@ -1,0 +1,156 @@
+//! Row-wise softmax and sparse cross-entropy loss.
+
+use crate::pool::parallel_map_reduce;
+
+/// Row-wise softmax of a `[rows, classes]` matrix, written to `out`.
+pub fn softmax(threads: usize, logits: &[f32], out: &mut [f32], classes: usize) {
+    assert!(classes > 0 && logits.len().is_multiple_of(classes));
+    assert_eq!(logits.len(), out.len());
+    let rows = logits.len() / classes;
+    let chunk_rows = rows.div_ceil(threads.clamp(1, rows.max(1))).max(1);
+    std::thread::scope(|s| {
+        for (i, band) in out.chunks_mut(chunk_rows * classes).enumerate() {
+            let lo = i * chunk_rows * classes;
+            let in_band = &logits[lo..lo + band.len()];
+            s.spawn(move || {
+                for (orow, irow) in band.chunks_mut(classes).zip(in_band.chunks(classes)) {
+                    let max = irow.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                    let mut denom = 0.0f32;
+                    for (o, &x) in orow.iter_mut().zip(irow) {
+                        let e = (x - max).exp();
+                        *o = e;
+                        denom += e;
+                    }
+                    for o in orow.iter_mut() {
+                        *o /= denom;
+                    }
+                }
+            });
+        }
+    });
+}
+
+/// Mean sparse cross-entropy of `[rows, classes]` logits against integer
+/// labels; also writes `d logits` (softmax minus one-hot, scaled by 1/rows)
+/// into `grad`.
+pub fn sparse_softmax_cross_entropy(
+    threads: usize,
+    logits: &[f32],
+    labels: &[usize],
+    grad: &mut [f32],
+    classes: usize,
+) -> f32 {
+    assert!(classes > 0 && logits.len().is_multiple_of(classes));
+    assert_eq!(logits.len(), grad.len());
+    let rows = logits.len() / classes;
+    assert_eq!(labels.len(), rows, "one label per row");
+    assert!(labels.iter().all(|&l| l < classes), "label out of range");
+    softmax(threads, logits, grad, classes);
+    let scale = 1.0 / rows as f32;
+    // Loss reduction over rows, then fix up the gradient's label entries.
+    let loss = parallel_map_reduce(
+        threads,
+        rows,
+        |range| {
+            let mut acc = 0.0f64;
+            for r in range {
+                let p = grad[r * classes + labels[r]].max(1e-30);
+                acc += -(p.ln() as f64);
+            }
+            acc
+        },
+        |a, b| a + b,
+        0.0,
+    ) as f32
+        * scale;
+    // grad = (softmax - onehot) / rows.
+    let chunk_rows = rows.div_ceil(threads.clamp(1, rows.max(1))).max(1);
+    std::thread::scope(|s| {
+        for (i, band) in grad.chunks_mut(chunk_rows * classes).enumerate() {
+            let row0 = i * chunk_rows;
+            let lbl = &labels[row0..(row0 + band.len() / classes).min(rows)];
+            s.spawn(move || {
+                for (r, row) in band.chunks_mut(classes).enumerate() {
+                    row[lbl[r]] -= 1.0;
+                    for v in row.iter_mut() {
+                        *v *= scale;
+                    }
+                }
+            });
+        }
+    });
+    loss
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let logits: Vec<f32> = (0..60).map(|i| (i % 7) as f32 - 3.0).collect();
+        let mut out = vec![0.0f32; 60];
+        softmax(4, &logits, &mut out, 10);
+        for row in out.chunks(10) {
+            let s: f32 = row.iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+            assert!(row.iter().all(|&p| p > 0.0));
+        }
+    }
+
+    #[test]
+    fn uniform_logits_give_ln_classes_loss() {
+        let logits = vec![0.0f32; 4 * 10];
+        let labels = vec![3usize, 1, 0, 9];
+        let mut grad = vec![0.0f32; 40];
+        let loss = sparse_softmax_cross_entropy(2, &logits, &labels, &mut grad, 10);
+        assert!((loss - (10.0f32).ln()).abs() < 1e-5);
+        // Gradient sums to zero per row.
+        for row in grad.chunks(10) {
+            let s: f32 = row.iter().sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_numeric() {
+        let logits: Vec<f32> = vec![0.2, -0.5, 1.0, 0.0, 0.3, -0.2];
+        let labels = vec![2usize, 0];
+        let mut grad = vec![0.0f32; 6];
+        sparse_softmax_cross_entropy(1, &logits, &labels, &mut grad, 3);
+        let eps = 1e-3f32;
+        for idx in 0..6 {
+            let mut lp = logits.clone();
+            lp[idx] += eps;
+            let mut lm = logits.clone();
+            lm[idx] -= eps;
+            let mut scratch = vec![0.0f32; 6];
+            let fp = sparse_softmax_cross_entropy(1, &lp, &labels, &mut scratch, 3);
+            let fm = sparse_softmax_cross_entropy(1, &lm, &labels, &mut scratch, 3);
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!(
+                (grad[idx] - numeric).abs() < 1e-3,
+                "d logits[{idx}]: analytic {} vs numeric {numeric}",
+                grad[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn thread_counts_agree() {
+        let rows = 37;
+        let classes = 11;
+        let logits: Vec<f32> = (0..rows * classes).map(|i| ((i * 31 % 17) as f32) * 0.1).collect();
+        let labels: Vec<usize> = (0..rows).map(|r| r % classes).collect();
+        let mut g1 = vec![0.0f32; rows * classes];
+        let l1 = sparse_softmax_cross_entropy(1, &logits, &labels, &mut g1, classes);
+        for threads in [2, 5, 16] {
+            let mut g = vec![0.0f32; rows * classes];
+            let l = sparse_softmax_cross_entropy(threads, &logits, &labels, &mut g, classes);
+            assert!((l - l1).abs() < 1e-5);
+            for (a, b) in g.iter().zip(&g1) {
+                assert!((a - b).abs() < 1e-6);
+            }
+        }
+    }
+}

@@ -1,0 +1,123 @@
+//! A minimal owned `f32` tensor with NHWC indexing.
+
+/// Dense row-major tensor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Zero tensor of `shape`.
+    pub fn zeros(shape: &[usize]) -> Self {
+        let n = shape.iter().product();
+        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+    }
+
+    /// Tensor from existing data.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not match the shape's element count.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length does not match shape {shape:?}"
+        );
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// A deterministic pseudo-random tensor (for tests/examples; no RNG dep).
+    pub fn sequence(shape: &[usize], scale: f32) -> Self {
+        let n: usize = shape.iter().product();
+        let data = (0..n)
+            .map(|i| {
+                // A cheap splitmix-style scramble mapped to [-1, 1).
+                let mut x = i as u64;
+                x = x.wrapping_mul(0x9E3779B97F4A7C15).rotate_left(31);
+                x = x.wrapping_mul(0xBF58476D1CE4E5B9);
+                ((x >> 40) as f32 / 8388608.0 - 1.0) * scale
+            })
+            .collect();
+        Tensor { shape: shape.to_vec(), data }
+    }
+
+    /// The shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor has no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Immutable data.
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable data.
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// NHWC flat index.
+    #[inline]
+    pub fn nhwc(&self, n: usize, h: usize, w: usize, c: usize) -> usize {
+        debug_assert_eq!(self.shape.len(), 4);
+        let (sh, sw, sc) = (self.shape[1], self.shape[2], self.shape[3]);
+        debug_assert!(n < self.shape[0] && h < sh && w < sw && c < sc);
+        ((n * sh + h) * sw + w) * sc + c
+    }
+
+    /// Maximum absolute difference to another tensor.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        self.data
+            .iter()
+            .zip(&other.data)
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f32::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn indexing_is_row_major_nhwc() {
+        let t = Tensor::zeros(&[2, 3, 4, 5]);
+        assert_eq!(t.nhwc(0, 0, 0, 0), 0);
+        assert_eq!(t.nhwc(0, 0, 0, 4), 4);
+        assert_eq!(t.nhwc(0, 0, 1, 0), 5);
+        assert_eq!(t.nhwc(0, 1, 0, 0), 20);
+        assert_eq!(t.nhwc(1, 0, 0, 0), 60);
+        assert_eq!(t.len(), 120);
+    }
+
+    #[test]
+    fn sequence_is_deterministic_and_bounded() {
+        let a = Tensor::sequence(&[4, 4, 4, 4], 0.5);
+        let b = Tensor::sequence(&[4, 4, 4, 4], 0.5);
+        assert_eq!(a, b);
+        assert!(a.data().iter().all(|v| v.abs() <= 0.5));
+        // Not all equal.
+        assert!(a.data().iter().any(|&v| v != a.data()[0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "data length")]
+    fn from_vec_validates() {
+        Tensor::from_vec(&[2, 2], vec![0.0; 5]);
+    }
+}

@@ -1,0 +1,132 @@
+//! Property tests for the real CPU kernels: thread-count invariance (the
+//! core guarantee — any concurrency choice computes the same answer) and
+//! agreement with naive references.
+
+use nnrt_kernels::conv::{conv2d, conv2d_backprop_filter, conv2d_backprop_input};
+use nnrt_kernels::elementwise::{bias_add, bias_add_grad, relu};
+use nnrt_kernels::matmul::matmul;
+use nnrt_kernels::pooling::{avg_pool2d, max_pool2d};
+use nnrt_kernels::softmax::sparse_softmax_cross_entropy;
+use nnrt_kernels::Tensor;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_thread_invariant(
+        m in 1usize..=12,
+        k in 1usize..=12,
+        n in 1usize..=12,
+        threads in 1usize..=16,
+    ) {
+        let a: Vec<f32> = (0..m * k).map(|i| ((i % 9) as f32) - 4.0).collect();
+        let b: Vec<f32> = (0..k * n).map(|i| ((i % 5) as f32) * 0.25).collect();
+        let mut c1 = vec![0.0f32; m * n];
+        let mut ct = vec![0.0f32; m * n];
+        matmul(1, &a, &b, &mut c1, m, k, n);
+        matmul(threads, &a, &b, &mut ct, m, k, n);
+        prop_assert_eq!(c1, ct);
+    }
+
+    #[test]
+    fn conv_and_backprops_thread_invariant(
+        nb in 1usize..=3,
+        hw in 3usize..=8,
+        cin in 1usize..=4,
+        cout in 1usize..=4,
+        stride in 1usize..=2,
+        threads in 2usize..=8,
+    ) {
+        let x = Tensor::sequence(&[nb, hw, hw, cin], 1.0);
+        let f = Tensor::sequence(&[3, 3, cin, cout], 0.5);
+        let base = conv2d(1, &x, &f, stride);
+        let multi = conv2d(threads, &x, &f, stride);
+        prop_assert!(base.max_abs_diff(&multi) < 1e-5);
+
+        let gout = Tensor::sequence(base.shape(), 0.3);
+        let df1 = conv2d_backprop_filter(1, &x, &gout, 3, 3, stride);
+        let dft = conv2d_backprop_filter(threads, &x, &gout, 3, 3, stride);
+        prop_assert!(df1.max_abs_diff(&dft) < 1e-4);
+
+        let dx1 = conv2d_backprop_input(1, x.shape(), &f, &gout, stride);
+        let dxt = conv2d_backprop_input(threads, x.shape(), &f, &gout, stride);
+        prop_assert!(dx1.max_abs_diff(&dxt) < 1e-4);
+    }
+
+    #[test]
+    fn pooling_thread_invariant_and_bounded(
+        nb in 1usize..=3,
+        hw in 2usize..=9,
+        c in 1usize..=5,
+        k in 1usize..=3,
+        stride in 1usize..=3,
+        threads in 2usize..=8,
+    ) {
+        let x = Tensor::sequence(&[nb, hw, hw, c], 2.0);
+        let m1 = max_pool2d(1, &x, k, stride);
+        let mt = max_pool2d(threads, &x, k, stride);
+        prop_assert_eq!(&m1, &mt);
+        let a1 = avg_pool2d(1, &x, k, stride);
+        let at = avg_pool2d(threads, &x, k, stride);
+        prop_assert!(a1.max_abs_diff(&at) < 1e-6);
+        // Pooled maxima bound pooled averages.
+        for (mx, av) in m1.data().iter().zip(a1.data()) {
+            prop_assert!(mx + 1e-6 >= *av);
+        }
+        // Max pooling output values all exist in the input.
+        for v in m1.data() {
+            prop_assert!(x.data().contains(v));
+        }
+    }
+
+    #[test]
+    fn relu_idempotent_and_nonnegative(vals in proptest::collection::vec(-10.0f32..10.0, 1..=200), threads in 1usize..=8) {
+        let mut a = vals.clone();
+        relu(threads, &mut a);
+        prop_assert!(a.iter().all(|&v| v >= 0.0));
+        let mut b = a.clone();
+        relu(threads, &mut b);
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn bias_grad_is_column_sum(rows in 1usize..=20, c in 1usize..=8, threads in 1usize..=8) {
+        let data: Vec<f32> = (0..rows * c).map(|i| ((i % 13) as f32) - 6.0).collect();
+        let grads = bias_add_grad(threads, &data, c);
+        for (j, g) in grads.iter().enumerate() {
+            let expect: f32 = (0..rows).map(|r| data[r * c + j]).sum();
+            prop_assert!((g - expect).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn bias_add_then_grad_roundtrip(rows in 1usize..=16, c in 1usize..=6) {
+        let mut data = vec![0.0f32; rows * c];
+        let bias: Vec<f32> = (0..c).map(|j| j as f32 + 1.0).collect();
+        bias_add(4, &mut data, &bias);
+        let grads = bias_add_grad(4, &data, c);
+        for (j, g) in grads.iter().enumerate() {
+            prop_assert!((g - bias[j] * rows as f32).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_loss_nonnegative_and_thread_invariant(
+        rows in 1usize..=12,
+        classes in 2usize..=9,
+        threads in 2usize..=8,
+    ) {
+        let logits: Vec<f32> = (0..rows * classes).map(|i| ((i * 37 % 19) as f32) * 0.2 - 1.9).collect();
+        let labels: Vec<usize> = (0..rows).map(|r| (r * 3) % classes).collect();
+        let mut g1 = vec![0.0f32; rows * classes];
+        let l1 = sparse_softmax_cross_entropy(1, &logits, &labels, &mut g1, classes);
+        prop_assert!(l1 >= 0.0);
+        let mut gt = vec![0.0f32; rows * classes];
+        let lt = sparse_softmax_cross_entropy(threads, &logits, &labels, &mut gt, classes);
+        prop_assert!((l1 - lt).abs() < 1e-5);
+        for (a, b) in g1.iter().zip(&gt) {
+            prop_assert!((a - b).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,477 @@
+//! Analytical cost model: solo execution time of an operation under a given
+//! intra-op thread count and cache-sharing mode.
+//!
+//! The model is built so the time-vs-threads curve has exactly the features
+//! the paper observes on KNL (Figure 1, Tables I–III):
+//!
+//! * **Convex** in the thread count: adding threads first helps
+//!   (parallelizable work splits) and then hurts (thread spawn / barrier
+//!   overhead, saturation of the op's *parallel slack*).
+//! * The minimum sits at a **shape-dependent** thread count: larger inputs
+//!   have more slack, so their optimum moves right (Table II).
+//! * **Hyper-threading** (more than one context per core within one op)
+//!   barely increases throughput for cache-hungry kernels but pays full
+//!   per-thread overhead, so a 136-thread configuration is roughly twice as
+//!   slow as 68 threads (Table I).
+//! * A **bandwidth wall**: memory-bound ops cannot run faster than
+//!   `bytes / mcdram_bw` no matter the thread count.
+//!
+//! The shape of the saturation curve is `speed(p) = p / (1 + (p/P)^q)` with
+//! `q = 1.5` by default; its maximum (ignoring linear overheads) is at
+//! `p = 2^(2/3)·P ≈ 1.587·P`, and the right limb past the peak is *shallow*
+//! (the paper's Table II reports only 17% loss at 68 threads for an op whose
+//! optimum is 26). Use [`KnlParams::slack_for_peak`] to derive a profile's
+//! `parallel_slack` from the thread count where the real kernel peaks.
+
+use crate::placement::SharingMode;
+use crate::topology::Topology;
+use crate::workload::WorkProfile;
+use serde::{Deserialize, Serialize};
+
+/// A model that predicts the *solo* (no co-runners) execution time of a work
+/// profile for any thread count and sharing mode.
+pub trait CostModel {
+    /// The machine the model describes.
+    fn topology(&self) -> &Topology;
+
+    /// Solo execution time in seconds of `profile` run with `threads`
+    /// software threads under tile-sharing `mode`.
+    fn solo_time(&self, profile: &WorkProfile, threads: u32, mode: SharingMode) -> f64;
+
+    /// Exhaustive search for the fastest `(threads, mode, time)` over
+    /// `1..=max_threads`.
+    fn optimal(&self, profile: &WorkProfile, max_threads: u32) -> (u32, SharingMode, f64) {
+        let mut best = (1u32, SharingMode::Scatter, f64::INFINITY);
+        for p in 1..=max_threads {
+            for mode in SharingMode::ALL {
+                let t = self.solo_time(profile, p, mode);
+                if t < best.2 {
+                    best = (p, mode, t);
+                }
+            }
+        }
+        best
+    }
+}
+
+/// Tunable constants of the KNL cost model.
+///
+/// The defaults are calibrated (see `crates/bench`) so the reproduction
+/// benches land in the paper's reported bands; they are exposed so ablations
+/// and tests can perturb them.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KnlParams {
+    /// Peak single-precision arithmetic rate of one core, flop/s
+    /// (KNL: 1.4 GHz × 2 VPUs × 16 lanes × 2 (FMA) ≈ 89.6 Gflop/s).
+    pub core_peak_flops: f64,
+    /// Memory bandwidth achievable by a single thread, bytes/s.
+    pub single_thread_bw: f64,
+    /// Aggregate MCDRAM bandwidth (cache mode), bytes/s.
+    pub mcdram_bw: f64,
+    /// Cost of waking the OpenMP team, seconds; scales with `ln(1 + p)`
+    /// (tree wake-up), so it is a few microseconds even at 68 threads.
+    pub spawn_cost: f64,
+    /// Per-thread fork-join barrier cost, seconds; multiplied by the SMT
+    /// depth (stacked contexts synchronize slower).
+    pub barrier_cost: f64,
+    /// Multiplicative slowdown per extra same-op SMT context per core,
+    /// scaled by cache pressure: two contexts of one cache-hungry kernel
+    /// thrash each other's working set (`1 + smt_thrash * (d-1) * pressure`).
+    /// This is what makes a 136-thread op roughly twice as slow as 68
+    /// (Table I).
+    pub smt_thrash: f64,
+    /// Exponent of the parallel-slack saturation curve (`q`; 1.5 by default,
+    /// which gives the shallow right limb the paper's Table II reports).
+    pub sat_exponent: f64,
+    /// Fractional time reduction per unit of positive cache affinity when
+    /// threads share a tile (compact mode).
+    pub sharing_gain: f64,
+    /// Total-throughput multipliers of stacking 1..=4 SMT contexts of a
+    /// *cache-neutral* workload on one core. Scaled down by cache pressure.
+    pub smt_peak: [f64; 4],
+    /// Time penalty charged by the executor when an op kind's thread count
+    /// changes between consecutive instances (cache thrash + pool resize);
+    /// seconds. Motivates the paper's Strategy 2.
+    pub reconfig_cost: f64,
+    /// Strength of cross-job memory-bandwidth interference (dimensionless;
+    /// used by the engine, kept here so one struct holds all knobs).
+    pub bw_interference: f64,
+    /// Strength of cross-job cache/mesh interference: co-running with a
+    /// cache-hungry op slows a job even when they share no core (L2 sloshing
+    /// through the mesh, directory traffic). Used by the engine.
+    pub cache_interference: f64,
+}
+
+impl Default for KnlParams {
+    fn default() -> Self {
+        KnlParams {
+            core_peak_flops: 89.6e9,
+            single_thread_bw: 12.0e9,
+            mcdram_bw: 380.0e9,
+            spawn_cost: 1.5e-6,
+            barrier_cost: 0.06e-6,
+            smt_thrash: 0.7,
+            sat_exponent: 1.5,
+            sharing_gain: 0.07,
+            smt_peak: [1.0, 1.5, 1.72, 1.85],
+            reconfig_cost: 110.0e-6,
+            bw_interference: 2.2,
+            cache_interference: 0.3,
+        }
+    }
+}
+
+impl KnlParams {
+    /// Total core throughput (in units of one context's solo throughput) when
+    /// `depth` contexts of workloads with average cache pressure `pressure`
+    /// are stacked on one core.
+    pub fn smt_yield(&self, depth: u32, pressure: f64) -> f64 {
+        let d = depth.clamp(1, 4) as usize;
+        let peak = self.smt_peak[d - 1];
+        // A cache-pressured pair keeps some of the SMT benefit on KNL's
+        // in-order cores (latency hiding) — this is what leaves Table III's
+        // hyper-threaded co-run a ~3% win — but the retention decays
+        // geometrically with extra contexts: four convolutions stacked on one
+        // core thrash the caches into the ground (Table I's (4,68) cell).
+        let retention = (1.0 - 0.6 * pressure.clamp(0.0, 1.0)).powi(d as i32 - 1);
+        1.0 + (peak - 1.0) * retention
+    }
+
+    /// Issue-slot demand of one context as a function of its memory
+    /// intensity: a memory-stalled streaming op barely uses the pipeline.
+    pub fn issue_demand(mem_intensity: f64) -> f64 {
+        0.25 + 0.75 * (1.0 - mem_intensity.clamp(0.0, 1.0))
+    }
+
+    /// Throughput ratio every resident of one core gets when contexts of
+    /// *different* jobs share it. `residents` are `(cache_pressure,
+    /// mem_intensity, contexts)` tuples. Capacity is the SMT yield minus a
+    /// cross-job cache-thrash term; residents are scaled proportionally when
+    /// their combined issue demand exceeds it.
+    pub fn core_share_ratio(&self, residents: &[(f64, f64, u32)]) -> f64 {
+        let total_ctx: u32 = residents.iter().map(|&(_, _, c)| c).sum();
+        if total_ctx == 0 {
+            return 1.0;
+        }
+        let avg_pressure: f64 = residents
+            .iter()
+            .map(|&(p, _, c)| p * c as f64)
+            .sum::<f64>()
+            / total_ctx as f64;
+        let min_pressure =
+            residents.iter().map(|&(p, _, _)| p).fold(1.0, f64::min);
+        // Cross-job thrash grows sub-linearly with extra contexts (the first
+        // foreign working set does most of the damage).
+        let capacity = (self.smt_yield(total_ctx, avg_pressure)
+            - 0.3 * ((total_ctx - 1) as f64).sqrt() * min_pressure)
+            .max(0.2);
+        let demand: f64 = residents
+            .iter()
+            .map(|&(_, m, c)| Self::issue_demand(m) * c as f64)
+            .sum();
+        (capacity / demand).min(1.0)
+    }
+
+    /// The ratio one job would get on a core it holds *exclusively* with
+    /// `ctx` of its own contexts — the baseline its nominal duration already
+    /// prices in (via `smt_thrash`), so cross-job slowdowns are measured
+    /// relative to it.
+    pub fn exclusive_share_ratio(&self, pressure: f64, mem_intensity: f64, ctx: u32) -> f64 {
+        if ctx <= 1 {
+            return 1.0;
+        }
+        let capacity = self.smt_yield(ctx, pressure);
+        let demand = Self::issue_demand(mem_intensity) * ctx as f64;
+        (capacity / demand).min(1.0)
+    }
+
+    /// The `parallel_slack` value that puts the saturation curve's peak at
+    /// `p_star` threads (the maximum of `p / (1 + (p/P)^q)` is at
+    /// `p = (q/(q-1))^(1/q) · ... ` — for the default `q = 1.5` it reduces to
+    /// `p = 2^(2/3)·P`). Linear overheads pull the realized optimum slightly
+    /// below `p_star`.
+    pub fn slack_for_peak(&self, p_star: f64) -> f64 {
+        let q = self.sat_exponent;
+        // Peak of p/(1+(p/P)^q) is at p = P * (1/(q-1))^(1/q).
+        let factor = (1.0 / (q - 1.0)).powf(1.0 / q);
+        (p_star / factor).max(1.0)
+    }
+}
+
+/// The KNL cost model: [`KnlParams`] + [`Topology`].
+///
+/// ```
+/// use nnrt_manycore::{CostModel, KnlCostModel, SharingMode, WorkProfile};
+///
+/// let model = KnlCostModel::knl();
+/// let op = WorkProfile::compute_bound(5.0e9);
+/// // The time-vs-threads curve is convex: an interior optimum exists.
+/// let (threads, _, best) = model.optimal(&op, 68);
+/// assert!(threads > 1 && threads <= 68);
+/// assert!(best < model.solo_time(&op, 1, SharingMode::Compact));
+/// ```
+#[derive(Debug, Clone)]
+pub struct KnlCostModel {
+    topo: Topology,
+    params: KnlParams,
+}
+
+impl KnlCostModel {
+    /// Model with the paper's machine and default calibration.
+    pub fn knl() -> Self {
+        KnlCostModel { topo: Topology::knl(), params: KnlParams::default() }
+    }
+
+    /// Model over a custom topology / parameter set.
+    pub fn new(topo: Topology, params: KnlParams) -> Self {
+        KnlCostModel { topo, params }
+    }
+
+    /// The tunable constants.
+    pub fn params(&self) -> &KnlParams {
+        &self.params
+    }
+
+    /// Mutable access for calibration and ablations.
+    pub fn params_mut(&mut self) -> &mut KnlParams {
+        &mut self.params
+    }
+
+    /// Single-thread (serial) execution time of `profile`.
+    pub fn serial_time(&self, profile: &WorkProfile) -> f64 {
+        let t_arith = profile.flops / (self.params.core_peak_flops * profile.eff);
+        let t_mem = profile.bytes / self.params.single_thread_bw;
+        t_arith + t_mem + profile.serial_secs
+    }
+
+    /// Fraction of this placement's threads that share a tile with a sibling
+    /// thread of the same op.
+    fn tile_share_fraction(&self, threads: u32, mode: SharingMode) -> f64 {
+        if threads < 2 {
+            return 0.0;
+        }
+        let tiles = self.topo.tiles;
+        match mode {
+            SharingMode::Compact => {
+                // Pairwise packing: only a trailing odd thread is unpaired.
+                let paired = threads - (threads % 2);
+                paired as f64 / threads as f64
+            }
+            SharingMode::Scatter => {
+                // One per tile until every tile has one; the wrap-around
+                // threads then do share.
+                if threads <= tiles {
+                    0.0
+                } else {
+                    let wrapped = threads - tiles;
+                    (2 * wrapped.min(tiles)) as f64 / threads as f64
+                }
+            }
+        }
+    }
+}
+
+impl CostModel for KnlCostModel {
+    fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    fn solo_time(&self, profile: &WorkProfile, threads: u32, mode: SharingMode) -> f64 {
+        assert!(threads >= 1, "threads must be >= 1");
+        debug_assert!(profile.validate().is_ok(), "invalid profile: {profile:?}");
+        let p = &self.params;
+        let ncores = self.topo.num_cores();
+
+        let t1 = self.serial_time(profile);
+        let t_serial = profile.serial_secs.min(t1);
+        let t_par = (t1 - t_serial).max(0.0);
+
+        // Software side: partitioning the work into `threads` chunks pays a
+        // saturation cost past the op's parallel slack (finer chunks, false
+        // sharing, deeper reduction trees). The curve peaks near
+        // `1.587 * slack` and declines gently after — but never below the
+        // single-thread rate: a statically-chunked OpenMP kernel degrades to
+        // roughly serial execution plus the (separately charged) team
+        // overheads, it does not get arbitrarily slower with more threads.
+        let slack = profile.parallel_slack;
+        let raw = |t: f64| t / (1.0 + (t / slack).powf(p.sat_exponent));
+        let curve = raw(threads as f64).max(raw(1.0));
+
+        // Hardware side: stacked SMT contexts of a cache-hungry op add almost
+        // no core throughput, so an oversubscribed op cannot exceed this cap.
+        let cores_used = threads.min(ncores);
+        let depth = threads.div_ceil(cores_used);
+        let hw_cap = cores_used as f64 * p.smt_yield(depth, profile.cache_pressure);
+
+        let speed = curve.min(hw_cap).max(1e-9);
+
+        // Same-op SMT stacking thrashes the per-core caches multiplicatively.
+        let thrash = 1.0 + p.smt_thrash * (depth - 1) as f64 * profile.cache_pressure;
+
+        // Bandwidth wall.
+        let t_bw_floor = profile.bytes / p.mcdram_bw;
+        let t_parallel = (t_par * thrash / speed).max(t_bw_floor);
+
+        // Tile sharing helps ops with positive affinity, hurts negative ones.
+        let share = self.tile_share_fraction(threads, mode);
+        let sharing_factor = 1.0 - p.sharing_gain * profile.cache_affinity * share;
+
+        // Thread management overheads: a logarithmic team wake-up plus a
+        // small linear barrier term (microseconds even at full width).
+        let overhead = p.spawn_cost * (1.0 + threads as f64).ln()
+            + p.barrier_cost * threads as f64 * depth as f64;
+
+        t_serial + t_parallel * sharing_factor + overhead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> KnlCostModel {
+        KnlCostModel::knl()
+    }
+
+    /// A conv-like profile whose speed peaks around `target` threads.
+    fn conv_profile(flops: f64, target_threads: f64) -> WorkProfile {
+        WorkProfile {
+            flops,
+            bytes: flops * 0.02,
+            eff: 0.4,
+            serial_secs: 3e-4,
+            parallel_slack: KnlParams::default().slack_for_peak(target_threads),
+            cache_affinity: 0.5,
+            mem_intensity: 0.3,
+            cache_pressure: 0.9,
+        }
+    }
+
+    #[test]
+    fn curve_is_convex_and_has_interior_optimum() {
+        let m = model();
+        let prof = conv_profile(5.4e9, 26.0);
+        let times: Vec<f64> =
+            (1..=68).map(|p| m.solo_time(&prof, p, SharingMode::Compact)).collect();
+        let (argmin, _) = times
+            .iter()
+            .enumerate()
+            .min_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .unwrap();
+        let p_star = argmin as u32 + 1;
+        assert!(
+            (20..=33).contains(&p_star),
+            "optimum {p_star} should be near the 26-thread target"
+        );
+        // Decreasing before the optimum, increasing after — up to a 1%
+        // tolerance for the tile-pairing parity wiggle (odd thread counts
+        // leave one thread unpaired in compact mode).
+        for w in times[..argmin].windows(2) {
+            assert!(w[0] > w[1] * 0.99, "should decrease before optimum: {w:?}");
+        }
+        for w in times[argmin..].windows(2) {
+            assert!(w[1] > w[0] * 0.99, "should increase after optimum: {w:?}");
+        }
+    }
+
+    #[test]
+    fn larger_work_moves_optimum_right() {
+        let m = model();
+        // Same kind, bigger shape: more flops AND more slack, like the
+        // paper's (32,8,8,384) -> (32,8,8,2048) transition.
+        let small = conv_profile(5.4e9, 26.0);
+        let large = conv_profile(2.9e10, 68.0);
+        let (p_small, _, _) = m.optimal(&small, 68);
+        let (p_large, _, _) = m.optimal(&large, 68);
+        assert!(
+            p_large > p_small + 10,
+            "bigger input should use many more threads ({p_small} vs {p_large})"
+        );
+    }
+
+    #[test]
+    fn oversubscription_is_much_slower() {
+        let m = model();
+        let prof = conv_profile(2.9e10, 68.0);
+        let t68 = m.solo_time(&prof, 68, SharingMode::Compact);
+        let t136 = m.solo_time(&prof, 136, SharingMode::Compact);
+        let t272 = m.solo_time(&prof, 272, SharingMode::Compact);
+        assert!(t136 > t68 * 1.15, "136 threads should clearly lose to 68");
+        assert!(t272 > t136, "272 threads should lose to 136");
+    }
+
+    #[test]
+    fn positive_affinity_prefers_compact() {
+        let m = model();
+        let mut prof = conv_profile(5.4e9, 26.0);
+        prof.cache_affinity = 0.8;
+        let tc = m.solo_time(&prof, 26, SharingMode::Compact);
+        let ts = m.solo_time(&prof, 26, SharingMode::Scatter);
+        assert!(tc < ts);
+        prof.cache_affinity = -0.8;
+        let tc = m.solo_time(&prof, 26, SharingMode::Compact);
+        let ts = m.solo_time(&prof, 26, SharingMode::Scatter);
+        assert!(ts < tc);
+    }
+
+    #[test]
+    fn sharing_mode_irrelevant_for_single_thread() {
+        let m = model();
+        let prof = conv_profile(5.4e9, 26.0);
+        let tc = m.solo_time(&prof, 1, SharingMode::Compact);
+        let ts = m.solo_time(&prof, 1, SharingMode::Scatter);
+        assert_eq!(tc, ts);
+    }
+
+    #[test]
+    fn memory_bound_op_hits_bandwidth_wall() {
+        let m = model();
+        let prof = WorkProfile::memory_bound(4e8);
+        let floor = 4e8 / m.params().mcdram_bw;
+        let t = m.solo_time(&prof, 40, SharingMode::Scatter);
+        assert!(t >= floor, "cannot beat the bandwidth wall");
+    }
+
+    #[test]
+    fn serial_part_never_parallelizes() {
+        let m = model();
+        let mut prof = conv_profile(1e8, 60.0);
+        prof.serial_secs = 5e-3;
+        let t = m.solo_time(&prof, 68, SharingMode::Compact);
+        assert!(t >= 5e-3);
+    }
+
+    #[test]
+    fn smt_yield_ranges() {
+        let p = KnlParams::default();
+        assert_eq!(p.smt_yield(1, 0.5), 1.0);
+        assert!(p.smt_yield(2, 0.0) > p.smt_yield(2, 0.9));
+        assert!(p.smt_yield(4, 0.0) > p.smt_yield(2, 0.0));
+        // Fully cache-pressured workloads gain almost nothing from deep SMT.
+        assert!(p.smt_yield(4, 1.0) < 1.1);
+        assert!(p.smt_yield(4, 1.0) >= 1.0);
+        // ...but a pressured *pair* retains a small win (Table III: 1.03x).
+        assert!(p.smt_yield(2, 0.9) > 1.15);
+    }
+
+    #[test]
+    fn tiny_ops_prefer_few_threads() {
+        let m = model();
+        // An LSTM-cell-sized matmul: ~1 Mflop.
+        let prof = WorkProfile {
+            flops: 1.0e6,
+            bytes: 2.0e5,
+            eff: 0.25,
+            serial_secs: 5e-6,
+            parallel_slack: 4.0,
+            cache_affinity: 0.2,
+            mem_intensity: 0.3,
+            cache_pressure: 0.5,
+        };
+        let (p_star, _, _) = m.optimal(&prof, 68);
+        assert!(p_star <= 8, "tiny op should use very few threads, got {p_star}");
+        let t1 = m.solo_time(&prof, 1, SharingMode::Scatter);
+        let t68 = m.solo_time(&prof, 68, SharingMode::Scatter);
+        assert!(t68 > t1, "68 threads should be slower than serial for a tiny op");
+    }
+}

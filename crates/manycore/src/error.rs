@@ -1,0 +1,53 @@
+//! Error type for machine construction, placement and engine operations.
+
+use std::fmt;
+
+/// Errors produced by the simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MachineError {
+    /// Topology parameters are inconsistent.
+    InvalidTopology(String),
+    /// A placement request could not be satisfied with the free contexts.
+    PlacementUnsatisfiable {
+        /// Threads the caller asked for.
+        requested: u32,
+        /// Hardware contexts currently available under the request's policy.
+        available: u32,
+    },
+    /// A job id was used after the job finished or was never launched.
+    UnknownJob(u64),
+    /// A request carried an invalid parameter (zero threads, NaN work, …).
+    InvalidRequest(String),
+    /// The engine was asked to advance but no job is running.
+    NothingRunning,
+}
+
+impl fmt::Display for MachineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MachineError::InvalidTopology(msg) => write!(f, "invalid topology: {msg}"),
+            MachineError::PlacementUnsatisfiable { requested, available } => write!(
+                f,
+                "placement unsatisfiable: requested {requested} threads, {available} contexts available"
+            ),
+            MachineError::UnknownJob(id) => write!(f, "unknown job id {id}"),
+            MachineError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            MachineError::NothingRunning => write!(f, "no job is running"),
+        }
+    }
+}
+
+impl std::error::Error for MachineError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = MachineError::PlacementUnsatisfiable { requested: 70, available: 4 };
+        let s = e.to_string();
+        assert!(s.contains("70"));
+        assert!(s.contains("4"));
+    }
+}

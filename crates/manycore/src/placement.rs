@@ -1,0 +1,399 @@
+//! Thread-to-core placement: affinity modes and the context allocator.
+//!
+//! The paper enforces thread affinity explicitly: threads with continuous IDs
+//! are put on the same tile when the operation benefits from L2 sharing
+//! (*compact*), or spread one per tile when it does not (*scatter*). The
+//! hill-climbing profiler measures both modes for every thread count.
+//!
+//! A [`Placement`] records which cores a job occupies and how many SMT
+//! contexts it uses on each; the [`CoreMap`] allocator hands placements out
+//! and tracks per-core occupancy.
+
+use crate::error::MachineError;
+use crate::topology::{CoreId, Topology};
+use serde::{Deserialize, Serialize};
+
+/// How a job's threads are distributed across tiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SharingMode {
+    /// Threads with adjacent IDs share a tile (two per tile): they share the
+    /// L2, which helps ops whose neighbouring iterations touch the same data.
+    Compact,
+    /// One thread per tile (up to the tile count): no L2 sharing, more
+    /// aggregate cache per thread.
+    Scatter,
+}
+
+impl SharingMode {
+    /// Both modes, in the order the profiler explores them.
+    pub const ALL: [SharingMode; 2] = [SharingMode::Compact, SharingMode::Scatter];
+}
+
+/// Which SMT context a job's threads should prefer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SlotPreference {
+    /// Use the first free context on an otherwise-free core (the normal case).
+    Primary,
+    /// Deliberately ride the *second* hardware thread of already-busy cores —
+    /// the paper's Strategy 4 (hyper-threading co-run of small operations).
+    HyperThread,
+    /// TensorFlow-style placement: no partitioning, threads land round-robin
+    /// on the least-loaded cores regardless of who else is there (the OS
+    /// scheduler's behaviour when an inter-op pool oversubscribes the
+    /// machine). Used by the baseline executor.
+    Shared,
+}
+
+/// A request for hardware contexts.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlacementRequest {
+    /// Number of software threads to place (one per context).
+    pub threads: u32,
+    /// Tile-sharing mode.
+    pub mode: SharingMode,
+    /// Primary contexts or hyper-thread contexts of busy cores.
+    pub slot: SlotPreference,
+}
+
+impl PlacementRequest {
+    /// A primary-slot request, the common case.
+    pub fn primary(threads: u32, mode: SharingMode) -> Self {
+        PlacementRequest { threads, mode, slot: SlotPreference::Primary }
+    }
+
+    /// A hyper-thread request used by Strategy 4.
+    pub fn hyper_thread(threads: u32) -> Self {
+        PlacementRequest { threads, mode: SharingMode::Compact, slot: SlotPreference::HyperThread }
+    }
+
+    /// A TensorFlow-style shared request used by the baseline executor.
+    pub fn shared(threads: u32) -> Self {
+        PlacementRequest { threads, mode: SharingMode::Compact, slot: SlotPreference::Shared }
+    }
+}
+
+/// The contexts actually granted to a job.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Placement {
+    /// Software threads placed.
+    pub threads: u32,
+    /// Sharing mode the placement was allocated under.
+    pub mode: SharingMode,
+    /// Cores used, each with the number of this job's contexts on that core.
+    pub cores: Vec<(CoreId, u32)>,
+    /// Whether this placement rides hyper-thread slots of busy cores.
+    pub hyper_thread: bool,
+}
+
+impl Placement {
+    /// Number of distinct physical cores the job touches.
+    pub fn num_cores(&self) -> u32 {
+        self.cores.len() as u32
+    }
+
+    /// Maximum contexts-per-core of the placement (1 unless oversubscribed).
+    pub fn smt_depth(&self) -> u32 {
+        self.cores.iter().map(|&(_, n)| n).max().unwrap_or(0)
+    }
+
+    /// Total hardware contexts held.
+    pub fn num_contexts(&self) -> u32 {
+        self.cores.iter().map(|&(_, n)| n).sum()
+    }
+}
+
+/// Tracks per-core context occupancy and allocates placements.
+#[derive(Debug, Clone)]
+pub struct CoreMap {
+    topo: Topology,
+    /// Contexts in use on each core, `0..=smt_per_core`.
+    used: Vec<u32>,
+}
+
+impl CoreMap {
+    /// An empty machine with the given topology.
+    pub fn new(topo: Topology) -> Self {
+        let cores = topo.num_cores() as usize;
+        CoreMap { topo, used: vec![0; cores] }
+    }
+
+    /// The topology this map allocates over.
+    pub fn topology(&self) -> &Topology {
+        &self.topo
+    }
+
+    /// Number of cores with no contexts in use.
+    pub fn free_cores(&self) -> u32 {
+        self.used.iter().filter(|&&u| u == 0).count() as u32
+    }
+
+    /// Number of completely free contexts across the machine.
+    pub fn free_contexts(&self) -> u32 {
+        self.used.iter().map(|&u| self.topo.smt_per_core - u).sum()
+    }
+
+    /// Number of cores with exactly one busy context (candidates for a
+    /// hyper-thread placement). Restricting scavengers to the *second*
+    /// context keeps Strategy 4 from piling jobs three and four deep onto a
+    /// core, which would throttle the wide op it is trying to ride along.
+    pub fn ht_capacity(&self) -> u32 {
+        self.used.iter().filter(|&&u| u == 1).count() as u32
+    }
+
+    /// Contexts in use on `core`.
+    pub fn used_on(&self, core: CoreId) -> u32 {
+        self.used[core.0 as usize]
+    }
+
+    /// Allocates a placement for `req`, marking the contexts busy.
+    ///
+    /// * `Primary` requests take whole free cores: compact mode fills tiles
+    ///   pairwise in id order (so adjacent threads share a tile); scatter mode
+    ///   takes one core per tile first, wrapping to second cores only after
+    ///   every tile has one. If the request exceeds the number of free cores,
+    ///   extra threads stack as additional SMT contexts on the allocated cores
+    ///   (round-robin), which is how a 136-thread op lands on 68 cores.
+    /// * `HyperThread` requests take one free context on each of the busiest
+    ///   partially-used cores, never touching a fully free core.
+    pub fn allocate(&mut self, req: &PlacementRequest) -> Result<Placement, MachineError> {
+        if req.threads == 0 {
+            return Err(MachineError::InvalidRequest("threads must be >= 1".into()));
+        }
+        match req.slot {
+            SlotPreference::Primary => self.allocate_primary(req),
+            SlotPreference::HyperThread => self.allocate_ht(req),
+            SlotPreference::Shared => self.allocate_shared(req),
+        }
+    }
+
+    fn free_core_order(&self, mode: SharingMode) -> Vec<CoreId> {
+        let n = self.topo.num_cores();
+        let free: Vec<CoreId> =
+            (0..n).map(CoreId).filter(|c| self.used[c.0 as usize] == 0).collect();
+        match mode {
+            // Pairwise in id order: cores 0,1 share tile 0, etc.
+            SharingMode::Compact => free,
+            // One per tile first: order by (index within tile, tile id).
+            SharingMode::Scatter => {
+                let mut order = free;
+                let cpt = self.topo.cores_per_tile;
+                order.sort_by_key(|c| (c.0 % cpt, c.0 / cpt));
+                order
+            }
+        }
+    }
+
+    fn allocate_primary(&mut self, req: &PlacementRequest) -> Result<Placement, MachineError> {
+        let order = self.free_core_order(req.mode);
+        if order.is_empty() {
+            return Err(MachineError::PlacementUnsatisfiable {
+                requested: req.threads,
+                available: 0,
+            });
+        }
+        let ncores = (req.threads as usize).min(order.len());
+        let chosen = &order[..ncores];
+        // Distribute threads round-robin over the chosen cores; depth is
+        // bounded by the SMT width.
+        let max_depth = self.topo.smt_per_core;
+        let mut counts = vec![0u32; ncores];
+        let mut remaining = req.threads;
+        'outer: for depth in 0..max_depth {
+            let _ = depth;
+            for c in counts.iter_mut() {
+                if remaining == 0 {
+                    break 'outer;
+                }
+                *c += 1;
+                remaining -= 1;
+            }
+        }
+        if remaining > 0 {
+            // More threads than contexts on the free cores: clamp (software
+            // oversubscription beyond SMT contexts is modelled by the cost
+            // model's overhead term, not by the allocator).
+            counts[0] += remaining;
+        }
+        let cores: Vec<(CoreId, u32)> = chosen.iter().copied().zip(counts).collect();
+        for &(core, n) in &cores {
+            self.used[core.0 as usize] =
+                (self.used[core.0 as usize] + n).min(self.topo.smt_per_core);
+        }
+        Ok(Placement { threads: req.threads, mode: req.mode, cores, hyper_thread: false })
+    }
+
+    fn allocate_ht(&mut self, req: &PlacementRequest) -> Result<Placement, MachineError> {
+        let mut candidates: Vec<CoreId> = (0..self.topo.num_cores())
+            .map(CoreId)
+            .filter(|c| self.used[c.0 as usize] == 1)
+            .collect();
+        if (candidates.len() as u32) < req.threads {
+            return Err(MachineError::PlacementUnsatisfiable {
+                requested: req.threads,
+                available: candidates.len() as u32,
+            });
+        }
+        candidates.truncate(req.threads as usize);
+        for &core in &candidates {
+            self.used[core.0 as usize] += 1;
+        }
+        Ok(Placement {
+            threads: req.threads,
+            mode: req.mode,
+            cores: candidates.into_iter().map(|c| (c, 1)).collect(),
+            hyper_thread: true,
+        })
+    }
+
+    fn allocate_shared(&mut self, req: &PlacementRequest) -> Result<Placement, MachineError> {
+        // Least-loaded cores first, core id as tiebreak (deterministic).
+        let mut order: Vec<CoreId> = (0..self.topo.num_cores()).map(CoreId).collect();
+        order.sort_by_key(|c| (self.used[c.0 as usize], c.0));
+        let mut counts: Vec<u32> = vec![0; order.len()];
+        let mut remaining = req.threads;
+        'outer: loop {
+            let mut placed_any = false;
+            for (i, core) in order.iter().enumerate() {
+                if remaining == 0 {
+                    break 'outer;
+                }
+                let occupied = self.used[core.0 as usize] + counts[i];
+                if occupied < self.topo.smt_per_core {
+                    counts[i] += 1;
+                    remaining -= 1;
+                    placed_any = true;
+                }
+            }
+            if !placed_any {
+                // Machine contexts exhausted: the surplus threads timeshare;
+                // the cost model's overhead term accounts for them, the
+                // allocator only records the contexts actually held.
+                break;
+            }
+        }
+        let cores: Vec<(CoreId, u32)> = order
+            .iter()
+            .zip(&counts)
+            .filter(|&(_, &n)| n > 0)
+            .map(|(&c, &n)| (c, n))
+            .collect();
+        if cores.is_empty() {
+            return Err(MachineError::PlacementUnsatisfiable {
+                requested: req.threads,
+                available: 0,
+            });
+        }
+        for &(core, n) in &cores {
+            self.used[core.0 as usize] += n;
+        }
+        Ok(Placement { threads: req.threads, mode: req.mode, cores, hyper_thread: false })
+    }
+
+    /// Returns a placement's contexts to the free pool.
+    pub fn release(&mut self, placement: &Placement) {
+        for &(core, n) in &placement.cores {
+            let u = &mut self.used[core.0 as usize];
+            *u = u.saturating_sub(n);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn knl_map() -> CoreMap {
+        CoreMap::new(Topology::knl())
+    }
+
+    #[test]
+    fn compact_fills_tiles_pairwise() {
+        let mut m = knl_map();
+        let p = m.allocate(&PlacementRequest::primary(4, SharingMode::Compact)).unwrap();
+        let cores: Vec<u32> = p.cores.iter().map(|&(c, _)| c.0).collect();
+        assert_eq!(cores, vec![0, 1, 2, 3]);
+        assert_eq!(p.smt_depth(), 1);
+    }
+
+    #[test]
+    fn scatter_spreads_one_per_tile() {
+        let mut m = knl_map();
+        let p = m.allocate(&PlacementRequest::primary(4, SharingMode::Scatter)).unwrap();
+        let cores: Vec<u32> = p.cores.iter().map(|&(c, _)| c.0).collect();
+        // One core per tile: even core ids first.
+        assert_eq!(cores, vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn scatter_wraps_to_second_cores_after_34() {
+        let mut m = knl_map();
+        let p = m.allocate(&PlacementRequest::primary(40, SharingMode::Scatter)).unwrap();
+        let cores: Vec<u32> = p.cores.iter().map(|&(c, _)| c.0).collect();
+        assert_eq!(cores.len(), 40);
+        // First 34 are the even (first-in-tile) cores.
+        assert!(cores[..34].iter().all(|c| c % 2 == 0));
+        // The remainder are second-in-tile cores.
+        assert!(cores[34..].iter().all(|c| c % 2 == 1));
+    }
+
+    #[test]
+    fn oversubscribed_request_stacks_smt() {
+        let mut m = knl_map();
+        let p = m.allocate(&PlacementRequest::primary(136, SharingMode::Compact)).unwrap();
+        assert_eq!(p.num_cores(), 68);
+        assert_eq!(p.smt_depth(), 2);
+        assert_eq!(p.num_contexts(), 136);
+        assert_eq!(m.free_cores(), 0);
+    }
+
+    #[test]
+    fn ht_allocation_uses_busy_cores_only() {
+        let mut m = knl_map();
+        let big = m.allocate(&PlacementRequest::primary(68, SharingMode::Compact)).unwrap();
+        assert_eq!(m.free_cores(), 0);
+        let small = m.allocate(&PlacementRequest::hyper_thread(8)).unwrap();
+        assert!(small.hyper_thread);
+        assert_eq!(small.num_cores(), 8);
+        for &(c, _) in &small.cores {
+            assert_eq!(m.used_on(c), 2);
+        }
+        m.release(&small);
+        m.release(&big);
+        assert_eq!(m.free_cores(), 68);
+    }
+
+    #[test]
+    fn ht_allocation_fails_on_empty_machine() {
+        let mut m = knl_map();
+        assert!(m.allocate(&PlacementRequest::hyper_thread(1)).is_err());
+    }
+
+    #[test]
+    fn release_restores_capacity() {
+        let mut m = knl_map();
+        let p1 = m.allocate(&PlacementRequest::primary(34, SharingMode::Scatter)).unwrap();
+        let p2 = m.allocate(&PlacementRequest::primary(34, SharingMode::Scatter)).unwrap();
+        assert_eq!(m.free_cores(), 0);
+        m.release(&p1);
+        m.release(&p2);
+        assert_eq!(m.free_cores(), 68);
+        assert_eq!(m.free_contexts(), 272);
+    }
+
+    #[test]
+    fn zero_threads_rejected() {
+        let mut m = knl_map();
+        assert!(m.allocate(&PlacementRequest::primary(0, SharingMode::Compact)).is_err());
+    }
+
+    #[test]
+    fn two_jobs_partition_the_machine() {
+        let mut m = knl_map();
+        let a = m.allocate(&PlacementRequest::primary(34, SharingMode::Compact)).unwrap();
+        let b = m.allocate(&PlacementRequest::primary(34, SharingMode::Compact)).unwrap();
+        let mut all: Vec<u32> = a.cores.iter().chain(b.cores.iter()).map(|&(c, _)| c.0).collect();
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), 68, "no core is shared between the two jobs");
+    }
+}

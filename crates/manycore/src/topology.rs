@@ -1,0 +1,133 @@
+//! Machine topology: tiles, cores and SMT hardware contexts.
+//!
+//! The default topology mirrors the Xeon Phi 7250 used throughout the paper
+//! (34 tiles × 2 cores × 4 SMT contexts = 272 logical CPUs), but every count
+//! is a parameter so smaller or larger machines can be simulated.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a physical core, in `0..topology.num_cores()`.
+///
+/// Cores are numbered tile-major: cores `2t` and `2t + 1` belong to tile `t`
+/// (for the default two cores per tile).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct CoreId(pub u32);
+
+/// Identifier of a tile (a group of cores sharing the last-level cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct TileId(pub u32);
+
+/// Static description of the simulated manycore processor.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Topology {
+    /// Number of tiles (34 on KNL).
+    pub tiles: u32,
+    /// Cores per tile (2 on KNL); cores in a tile share the L2 cache.
+    pub cores_per_tile: u32,
+    /// SMT hardware contexts per core (4 on KNL).
+    pub smt_per_core: u32,
+}
+
+impl Default for Topology {
+    fn default() -> Self {
+        Self::knl()
+    }
+}
+
+impl Topology {
+    /// The Xeon Phi 7250 topology the paper evaluates on.
+    pub fn knl() -> Self {
+        Topology { tiles: 34, cores_per_tile: 2, smt_per_core: 4 }
+    }
+
+    /// A small topology, handy for exhaustive tests.
+    pub fn tiny(tiles: u32) -> Self {
+        Topology { tiles, cores_per_tile: 2, smt_per_core: 2 }
+    }
+
+    /// Total number of physical cores.
+    pub fn num_cores(&self) -> u32 {
+        self.tiles * self.cores_per_tile
+    }
+
+    /// Total number of hardware contexts (logical CPUs).
+    pub fn num_contexts(&self) -> u32 {
+        self.num_cores() * self.smt_per_core
+    }
+
+    /// Tile that owns `core`.
+    pub fn tile_of(&self, core: CoreId) -> TileId {
+        debug_assert!(core.0 < self.num_cores());
+        TileId(core.0 / self.cores_per_tile)
+    }
+
+    /// Cores belonging to `tile`, in id order.
+    pub fn cores_of(&self, tile: TileId) -> impl Iterator<Item = CoreId> + '_ {
+        debug_assert!(tile.0 < self.tiles);
+        let base = tile.0 * self.cores_per_tile;
+        (base..base + self.cores_per_tile).map(CoreId)
+    }
+
+    /// Whether two cores share a last-level cache (same tile).
+    pub fn share_llc(&self, a: CoreId, b: CoreId) -> bool {
+        self.tile_of(a) == self.tile_of(b)
+    }
+
+    /// Validates internal consistency; topologies built from literals are
+    /// always valid, but deserialized ones may not be.
+    pub fn validate(&self) -> Result<(), crate::MachineError> {
+        if self.tiles == 0 || self.cores_per_tile == 0 || self.smt_per_core == 0 {
+            return Err(crate::MachineError::InvalidTopology(
+                "tiles, cores_per_tile and smt_per_core must all be nonzero".into(),
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knl_counts() {
+        let t = Topology::knl();
+        assert_eq!(t.num_cores(), 68);
+        assert_eq!(t.num_contexts(), 272);
+        assert_eq!(t.tiles, 34);
+    }
+
+    #[test]
+    fn tile_mapping_is_pairwise() {
+        let t = Topology::knl();
+        assert_eq!(t.tile_of(CoreId(0)), TileId(0));
+        assert_eq!(t.tile_of(CoreId(1)), TileId(0));
+        assert_eq!(t.tile_of(CoreId(2)), TileId(1));
+        assert_eq!(t.tile_of(CoreId(67)), TileId(33));
+    }
+
+    #[test]
+    fn cores_of_roundtrip() {
+        let t = Topology::knl();
+        for tile in 0..t.tiles {
+            for core in t.cores_of(TileId(tile)) {
+                assert_eq!(t.tile_of(core), TileId(tile));
+            }
+        }
+    }
+
+    #[test]
+    fn share_llc_same_tile_only() {
+        let t = Topology::knl();
+        assert!(t.share_llc(CoreId(0), CoreId(1)));
+        assert!(!t.share_llc(CoreId(1), CoreId(2)));
+        assert!(t.share_llc(CoreId(66), CoreId(67)));
+    }
+
+    #[test]
+    fn validate_rejects_zero() {
+        let t = Topology { tiles: 0, cores_per_tile: 2, smt_per_core: 4 };
+        assert!(t.validate().is_err());
+        assert!(Topology::knl().validate().is_ok());
+    }
+}

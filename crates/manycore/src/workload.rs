@@ -1,0 +1,135 @@
+//! Machine-independent description of one operation instance's work.
+//!
+//! A [`WorkProfile`] is everything the cost model needs to know about an
+//! operation: how much arithmetic it performs, how much memory it moves, how
+//! much of it parallelizes, and how it behaves under cache sharing. Profiles
+//! are produced by `nnrt-graph` from (operation kind, tensor shape) pairs, so
+//! this crate stays independent of any particular framework's op catalog.
+
+use serde::{Deserialize, Serialize};
+
+/// The work an operation instance performs, as seen by the cost model.
+///
+/// All fields are *intrinsic* to the operation; nothing here depends on the
+/// machine or on the thread count it will eventually run with.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct WorkProfile {
+    /// Floating-point operations the op performs (single precision).
+    pub flops: f64,
+    /// Bytes moved to/from memory (reads + writes of inputs/outputs).
+    pub bytes: f64,
+    /// Fraction of the op's useful-work throughput relative to the machine's
+    /// peak per-core arithmetic rate (kernel efficiency, `0 < eff <= 1`).
+    pub eff: f64,
+    /// Absolute non-parallelizable time in seconds (kernel setup, layout
+    /// decisions, reductions that must serialize).
+    pub serial_secs: f64,
+    /// Parallel *slack*: the thread count at which adding threads stops
+    /// helping and starts hurting (the `P` of the saturation curve). Derived
+    /// from the shape — e.g. a convolution with a small spatial extent has
+    /// little slack, which is why the paper's Conv2DBackpropFilter on
+    /// `(32,8,8,384)` peaks at 26 threads.
+    pub parallel_slack: f64,
+    /// Benefit (positive) or harm (negative) of placing two of this op's
+    /// threads on the same tile so they share the L2. Range `[-1, 1]`;
+    /// multiplies a small gain factor in the cost model.
+    pub cache_affinity: f64,
+    /// Pressure this op puts on the shared MCDRAM bandwidth, in `[0, 1]`
+    /// (1 = a pure streaming op that saturates its share of bandwidth).
+    pub mem_intensity: f64,
+    /// Pressure on private caches, in `[0, 1]`; high pressure makes SMT
+    /// sharing of a core nearly useless (the paper's Table III: hyper-thread
+    /// co-run of two convolutions only gains 3%).
+    pub cache_pressure: f64,
+}
+
+impl WorkProfile {
+    /// A profile with reasonable defaults for a compute-bound kernel of
+    /// `flops` floating point operations. Intended for tests and examples.
+    pub fn compute_bound(flops: f64) -> Self {
+        WorkProfile {
+            flops,
+            bytes: flops * 0.05,
+            eff: 0.4,
+            serial_secs: 2e-5,
+            parallel_slack: 64.0,
+            cache_affinity: 0.4,
+            mem_intensity: 0.25,
+            cache_pressure: 0.9,
+        }
+    }
+
+    /// A profile with reasonable defaults for a memory-bound (streaming)
+    /// kernel that moves `bytes` bytes. Intended for tests and examples.
+    pub fn memory_bound(bytes: f64) -> Self {
+        WorkProfile {
+            flops: bytes / 8.0,
+            bytes,
+            eff: 0.3,
+            serial_secs: 1e-5,
+            parallel_slack: 24.0,
+            cache_affinity: -0.2,
+            mem_intensity: 0.9,
+            cache_pressure: 0.4,
+        }
+    }
+
+    /// Checks field ranges; returns a human-readable complaint on the first
+    /// violation found.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.flops.is_finite() || self.flops < 0.0 {
+            return Err(format!("flops must be finite and >= 0, got {}", self.flops));
+        }
+        if !self.bytes.is_finite() || self.bytes < 0.0 {
+            return Err(format!("bytes must be finite and >= 0, got {}", self.bytes));
+        }
+        if !(self.eff > 0.0 && self.eff <= 1.0) {
+            return Err(format!("eff must be in (0, 1], got {}", self.eff));
+        }
+        if !self.serial_secs.is_finite() || self.serial_secs < 0.0 {
+            return Err(format!("serial_secs must be finite and >= 0, got {}", self.serial_secs));
+        }
+        if self.parallel_slack.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater)
+            && self.parallel_slack != 1.0
+        {
+            return Err(format!("parallel_slack must be >= 1, got {}", self.parallel_slack));
+        }
+        if !(-1.0..=1.0).contains(&self.cache_affinity) {
+            return Err(format!("cache_affinity must be in [-1, 1], got {}", self.cache_affinity));
+        }
+        if !(0.0..=1.0).contains(&self.mem_intensity) {
+            return Err(format!("mem_intensity must be in [0, 1], got {}", self.mem_intensity));
+        }
+        if !(0.0..=1.0).contains(&self.cache_pressure) {
+            return Err(format!("cache_pressure must be in [0, 1], got {}", self.cache_pressure));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_validate() {
+        WorkProfile::compute_bound(1e9).validate().unwrap();
+        WorkProfile::memory_bound(1e8).validate().unwrap();
+    }
+
+    #[test]
+    fn validate_catches_bad_fields() {
+        let mut p = WorkProfile::compute_bound(1e9);
+        p.eff = 0.0;
+        assert!(p.validate().is_err());
+        let mut p = WorkProfile::compute_bound(1e9);
+        p.parallel_slack = 0.5;
+        assert!(p.validate().is_err());
+        let mut p = WorkProfile::compute_bound(1e9);
+        p.flops = f64::NAN;
+        assert!(p.validate().is_err());
+        let mut p = WorkProfile::compute_bound(1e9);
+        p.cache_affinity = 1.5;
+        assert!(p.validate().is_err());
+    }
+}

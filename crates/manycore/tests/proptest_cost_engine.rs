@@ -1,0 +1,102 @@
+//! Property tests on the cost model and engine invariants.
+
+use nnrt_manycore::{
+    CostModel, Engine, KnlCostModel, KnlParams, NoiseModel, PlacementRequest, SharingMode,
+    Topology, WorkProfile,
+};
+use proptest::prelude::*;
+use rand::SeedableRng;
+
+fn arb_profile() -> impl Strategy<Value = WorkProfile> {
+    (
+        1e5f64..1e11,     // flops
+        1e3f64..1e9,      // bytes
+        0.05f64..1.0,     // eff
+        0.0f64..1e-3,     // serial secs
+        1.0f64..80.0,     // slack
+        -1.0f64..1.0,     // affinity
+        0.0f64..1.0,      // mem intensity
+        0.0f64..1.0,      // cache pressure
+    )
+        .prop_map(|(flops, bytes, eff, serial, slack, aff, mem, press)| WorkProfile {
+            flops,
+            bytes,
+            eff,
+            serial_secs: serial,
+            parallel_slack: slack,
+            cache_affinity: aff,
+            mem_intensity: mem,
+            cache_pressure: press,
+        })
+}
+
+proptest! {
+    #[test]
+    fn solo_time_is_positive_and_finite(profile in arb_profile(), threads in 1u32..=272) {
+        let m = KnlCostModel::knl();
+        for mode in SharingMode::ALL {
+            let t = m.solo_time(&profile, threads, mode);
+            prop_assert!(t.is_finite());
+            prop_assert!(t > 0.0);
+        }
+    }
+
+    #[test]
+    fn solo_time_exceeds_physical_floors(profile in arb_profile(), threads in 1u32..=68) {
+        // No schedule can beat the bandwidth wall or the serial fraction.
+        let m = KnlCostModel::knl();
+        let t = m.solo_time(&profile, threads, SharingMode::Compact);
+        prop_assert!(t >= profile.bytes / m.params().mcdram_bw);
+        prop_assert!(t >= profile.serial_secs.min(m.serial_time(&profile)));
+    }
+
+    #[test]
+    fn optimal_is_no_worse_than_any_probe(profile in arb_profile(), probe in 1u32..=68) {
+        let m = KnlCostModel::knl();
+        let (_, _, best) = m.optimal(&profile, 68);
+        for mode in SharingMode::ALL {
+            prop_assert!(best <= m.solo_time(&profile, probe, mode) + 1e-15);
+        }
+    }
+
+    #[test]
+    fn corun_never_speeds_jobs_up(
+        a in arb_profile(),
+        b in arb_profile(),
+        threads_a in 1u32..=34,
+        threads_b in 1u32..=34,
+    ) {
+        // Interference can only stretch a job relative to running alone.
+        let m = KnlCostModel::knl();
+        let ta = m.solo_time(&a, threads_a, SharingMode::Compact);
+        let tb = m.solo_time(&b, threads_b, SharingMode::Compact);
+        let mut e = Engine::new(Topology::knl(), KnlParams::default());
+        e.launch(a, ta, &PlacementRequest::primary(threads_a, SharingMode::Compact), 0).unwrap();
+        e.launch(b, tb, &PlacementRequest::primary(threads_b, SharingMode::Compact), 1).unwrap();
+        for o in e.drain() {
+            let nominal = if o.tag == 0 { ta } else { tb };
+            prop_assert!(o.finish - o.start >= nominal - 1e-12,
+                "job {} ran faster co-scheduled ({} < {nominal})", o.tag, o.finish - o.start);
+        }
+    }
+
+    #[test]
+    fn noise_observations_are_positive(secs in 1e-7f64..10.0, seed in 0u64..1000) {
+        let n = NoiseModel::default();
+        let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+        for _ in 0..20 {
+            let o = n.observe(secs, &mut rng);
+            prop_assert!(o > 0.0);
+            prop_assert!(o.is_finite());
+        }
+    }
+
+    #[test]
+    fn core_share_ratio_bounded(
+        residents in proptest::collection::vec((0.0f64..1.0, 0.0f64..1.0, 1u32..=2), 1..=4)
+    ) {
+        let p = KnlParams::default();
+        let r = p.core_share_ratio(&residents);
+        prop_assert!(r > 0.0 && r <= 1.0, "ratio {r}");
+    }
+}

@@ -1,0 +1,22 @@
+//! Prints structural statistics of the built-in training-step graphs.
+//!
+//! Run with: `cargo run -p nnrt-models --example sizes`
+
+fn main() {
+    println!(
+        "{:15} {:>7} {:>9} {:>14} {:>12}",
+        "model", "nodes", "critpath", "distinct keys", "flops"
+    );
+    let mut specs = nnrt_models::paper_models();
+    specs.push(nnrt_models::transformer(8));
+    for m in specs {
+        println!(
+            "{:15} {:>7} {:>9} {:>14} {:>12.2e}",
+            m.name,
+            m.graph.len(),
+            m.graph.critical_path_len(),
+            m.graph.distinct_keys().len(),
+            m.graph.total_flops()
+        );
+    }
+}

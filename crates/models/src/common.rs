@@ -1,0 +1,480 @@
+//! Shared building blocks: convolution units with forward + backward
+//! emission, dense layers, and optimizer fan-out.
+
+use nnrt_graph::{DataflowGraph, NodeId, OpAux, OpInstance, OpKind, Shape};
+
+/// Activation applied after a layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Act {
+    /// No activation.
+    None,
+    /// Rectified linear unit.
+    Relu,
+    /// Leaky ReLU (DCGAN's discriminator).
+    LeakyRelu,
+    /// Hyperbolic tangent (DCGAN's generator output).
+    Tanh,
+    /// Logistic sigmoid.
+    Sigmoid,
+}
+
+impl Act {
+    fn fwd_kind(self) -> Option<OpKind> {
+        match self {
+            Act::None => None,
+            Act::Relu => Some(OpKind::Relu),
+            Act::LeakyRelu => Some(OpKind::LeakyRelu),
+            Act::Tanh => Some(OpKind::Tanh),
+            Act::Sigmoid => Some(OpKind::Sigmoid),
+        }
+    }
+
+    fn bwd_kind(self) -> Option<OpKind> {
+        match self {
+            Act::None => None,
+            Act::Relu | Act::LeakyRelu => Some(OpKind::ReluGrad),
+            Act::Tanh => Some(OpKind::TanhGrad),
+            Act::Sigmoid => Some(OpKind::SigmoidGrad),
+        }
+    }
+}
+
+/// Configuration of one convolution unit.
+#[derive(Debug, Clone, Copy)]
+pub struct ConvCfg {
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width (Inception-v3 uses 1×7 and 7×1 factorized kernels).
+    pub kw: usize,
+    /// Stride.
+    pub stride: usize,
+    /// Output channels.
+    pub c_out: usize,
+    /// Emit a BiasAdd.
+    pub bias: bool,
+    /// Emit a FusedBatchNorm (and its backward with the Tile/Mul broadcast
+    /// helpers the paper's Table VI surfaces).
+    pub bn: bool,
+    /// Activation.
+    pub act: Act,
+    /// Emit an `InputConversion` before the conv (TF -> MKL layout) — the
+    /// boundary ops MKL-DNN inserts around its primitives.
+    pub convert_in: bool,
+}
+
+impl ConvCfg {
+    /// A ResNet/Inception-style conv: BN + ReLU, no bias.
+    pub fn bn_relu(k: usize, stride: usize, c_out: usize) -> Self {
+        ConvCfg { kh: k, kw: k, stride, c_out, bias: false, bn: true, act: Act::Relu, convert_in: true }
+    }
+
+    /// A rectangular-kernel BN+ReLU conv (Inception's factorized 1×7 / 7×1).
+    pub fn rect(kh: usize, kw: usize, stride: usize, c_out: usize) -> Self {
+        ConvCfg { kh, kw, stride, c_out, bias: false, bn: true, act: Act::Relu, convert_in: true }
+    }
+
+    /// A plain conv with bias and the given activation.
+    pub fn biased(k: usize, stride: usize, c_out: usize, act: Act) -> Self {
+        ConvCfg { kh: k, kw: k, stride, c_out, bias: true, bn: false, act, convert_in: true }
+    }
+}
+
+/// Everything the backward pass needs to know about an emitted conv unit.
+#[derive(Debug, Clone)]
+pub struct ConvRec {
+    cfg: ConvCfg,
+    in_shape: Shape,
+    out_shape: Shape,
+}
+
+/// Output of a conv unit's backward emission.
+#[derive(Debug, Clone)]
+pub struct BwdOut {
+    /// The node producing the gradient w.r.t. the unit's input.
+    pub grad_in: NodeId,
+    /// Weight-gradient producing nodes, with the weight tensor shapes
+    /// (consumed by [`emit_optimizer`]).
+    pub weight_grads: Vec<(Shape, NodeId)>,
+}
+
+/// Output spatial shape of a strided conv/pool over `s`.
+pub fn out_shape(s: &Shape, stride: usize, c_out: usize) -> Shape {
+    Shape::nhwc(
+        s.batch(),
+        s.dim(1).div_ceil(stride),
+        s.dim(2).div_ceil(stride),
+        c_out,
+    )
+}
+
+/// Emits the forward ops of one conv unit after `input`; returns the output
+/// node, the output shape and the record for backward emission.
+pub fn conv_forward(
+    g: &mut DataflowGraph,
+    input: NodeId,
+    in_shape: &Shape,
+    cfg: ConvCfg,
+) -> (NodeId, Shape, ConvRec) {
+    let aux = OpAux { kernel_h: cfg.kh, kernel_w: cfg.kw, stride: cfg.stride, c_out: cfg.c_out };
+    let o_shape = out_shape(in_shape, cfg.stride, cfg.c_out);
+    let mut cur = input;
+    if cfg.convert_in {
+        cur = g.add(
+            OpInstance::new(OpKind::InputConversion, in_shape.clone()),
+            &[cur],
+        );
+    }
+    cur = g.add(OpInstance::with_aux(OpKind::Conv2D, in_shape.clone(), aux), &[cur]);
+    if cfg.bias {
+        cur = g.add(OpInstance::new(OpKind::BiasAdd, o_shape.clone()), &[cur]);
+    }
+    if cfg.bn {
+        cur = g.add(OpInstance::new(OpKind::FusedBatchNorm, o_shape.clone()), &[cur]);
+    }
+    if let Some(k) = cfg.act.fwd_kind() {
+        cur = g.add(OpInstance::new(k, o_shape.clone()), &[cur]);
+    }
+    let rec = ConvRec { cfg, in_shape: in_shape.clone(), out_shape: o_shape.clone() };
+    (cur, o_shape, rec)
+}
+
+/// Emits the backward ops of a conv unit given the gradient `grad` flowing in
+/// from downstream. `need_grad_in` controls whether a `Conv2DBackpropInput`
+/// is emitted (the first layer of a network does not need one, exactly as in
+/// TensorFlow).
+pub fn conv_backward(
+    g: &mut DataflowGraph,
+    rec: &ConvRec,
+    grad: NodeId,
+    need_grad_in: bool,
+) -> BwdOut {
+    conv_backward_opts(g, rec, grad, need_grad_in, true)
+}
+
+/// Like [`conv_backward`] but with weight gradients optional: a GAN
+/// generator's backward pass flows *through* the discriminator without
+/// computing the discriminator's weight gradients.
+pub fn conv_backward_opts(
+    g: &mut DataflowGraph,
+    rec: &ConvRec,
+    grad: NodeId,
+    need_grad_in: bool,
+    need_weight_grads: bool,
+) -> BwdOut {
+    let cfg = rec.cfg;
+    let aux = OpAux { kernel_h: cfg.kh, kernel_w: cfg.kw, stride: cfg.stride, c_out: cfg.c_out };
+    let mut cur = grad;
+    let mut weight_grads = Vec::new();
+
+    if let Some(k) = cfg.act.bwd_kind() {
+        cur = g.add(OpInstance::new(k, rec.out_shape.clone()), &[cur]);
+    }
+    if cfg.bn {
+        // FusedBatchNormGrad produces dX plus dGamma/dBeta; the broadcast of
+        // the per-channel scale back over the feature map shows up as the
+        // Tile and Mul ops of the paper's Table VI.
+        let bng = g.add(OpInstance::new(OpKind::FusedBatchNormGrad, rec.out_shape.clone()), &[cur]);
+        let tile = g.add(OpInstance::new(OpKind::Tile, rec.out_shape.clone()), &[bng]);
+        cur = g.add(OpInstance::new(OpKind::Mul, rec.out_shape.clone()), &[tile]);
+        let c = rec.out_shape.channels();
+        weight_grads.push((Shape::vec1(c), bng)); // gamma
+        weight_grads.push((Shape::vec1(c), bng)); // beta
+    }
+    if cfg.bias {
+        let bg = g.add(OpInstance::new(OpKind::BiasAddGrad, rec.out_shape.clone()), &[cur]);
+        weight_grads.push((Shape::vec1(rec.out_shape.channels()), bg));
+    }
+
+    // The two convolution backprops are siblings: both consume the incoming
+    // gradient (Table III's co-run pair).
+    let mut last = cur;
+    if need_weight_grads {
+        let cbf = g.add(
+            OpInstance::with_aux(OpKind::Conv2DBackpropFilter, rec.in_shape.clone(), aux),
+            &[cur],
+        );
+        let filter_elems = cfg.kh * cfg.kw * rec.in_shape.channels() * cfg.c_out;
+        weight_grads.push((Shape::vec1(filter_elems), cbf));
+        last = cbf;
+    }
+
+    let grad_in = if need_grad_in {
+        let cbi = g.add(
+            OpInstance::with_aux(OpKind::Conv2DBackpropInput, rec.in_shape.clone(), aux),
+            &[cur],
+        );
+        // Leaving the MKL domain: convert the gradient back to TF layout.
+        g.add(OpInstance::new(OpKind::ToTf, rec.in_shape.clone()), &[cbi])
+    } else {
+        last
+    };
+    BwdOut { grad_in, weight_grads }
+}
+
+/// Record of a transposed-convolution (deconvolution) unit — DCGAN's
+/// generator layers. The forward op *is* a `Conv2DBackpropInput` (that is how
+/// TensorFlow implements `conv2d_transpose`), which is why the paper finds
+/// `Conv2DBackpropInput` to be DCGAN's most time-consuming operation.
+#[derive(Debug, Clone)]
+pub struct DeconvRec {
+    cfg: ConvCfg,
+    in_shape: Shape,
+    out_shape: Shape,
+}
+
+/// Emits a deconv unit upsampling `in_shape` by `cfg.stride` into
+/// `cfg.c_out` channels.
+pub fn deconv_forward(
+    g: &mut DataflowGraph,
+    input: NodeId,
+    in_shape: &Shape,
+    cfg: ConvCfg,
+) -> (NodeId, Shape, DeconvRec) {
+    let o_shape = Shape::nhwc(
+        in_shape.batch(),
+        in_shape.dim(1) * cfg.stride,
+        in_shape.dim(2) * cfg.stride,
+        cfg.c_out,
+    );
+    // The transposed conv's cost is driven by the large (output) tensor.
+    let aux = OpAux {
+        kernel_h: cfg.kh,
+        kernel_w: cfg.kw,
+        stride: 1,
+        c_out: in_shape.channels(),
+    };
+    let mut cur = input;
+    if cfg.convert_in {
+        cur = g.add(OpInstance::new(OpKind::InputConversion, in_shape.clone()), &[cur]);
+    }
+    cur = g.add(
+        OpInstance::with_aux(OpKind::Conv2DBackpropInput, o_shape.clone(), aux),
+        &[cur],
+    );
+    if cfg.bias {
+        cur = g.add(OpInstance::new(OpKind::BiasAdd, o_shape.clone()), &[cur]);
+    }
+    if cfg.bn {
+        cur = g.add(OpInstance::new(OpKind::FusedBatchNorm, o_shape.clone()), &[cur]);
+    }
+    if let Some(k) = cfg.act.fwd_kind() {
+        cur = g.add(OpInstance::new(k, o_shape.clone()), &[cur]);
+    }
+    let rec = DeconvRec { cfg, in_shape: in_shape.clone(), out_shape: o_shape.clone() };
+    (cur, o_shape, rec)
+}
+
+/// Backward of a deconv: the input gradient is a plain `Conv2D` over the
+/// output gradient; the filter gradient is a `Conv2DBackpropFilter`.
+pub fn deconv_backward(
+    g: &mut DataflowGraph,
+    rec: &DeconvRec,
+    grad: NodeId,
+    need_grad_in: bool,
+) -> BwdOut {
+    let cfg = rec.cfg;
+    let aux = OpAux {
+        kernel_h: cfg.kh,
+        kernel_w: cfg.kw,
+        stride: cfg.stride,
+        c_out: rec.in_shape.channels(),
+    };
+    let mut cur = grad;
+    let mut weight_grads = Vec::new();
+    if let Some(k) = cfg.act.bwd_kind() {
+        cur = g.add(OpInstance::new(k, rec.out_shape.clone()), &[cur]);
+    }
+    if cfg.bn {
+        let bng =
+            g.add(OpInstance::new(OpKind::FusedBatchNormGrad, rec.out_shape.clone()), &[cur]);
+        let c = rec.out_shape.channels();
+        weight_grads.push((Shape::vec1(c), bng));
+        weight_grads.push((Shape::vec1(c), bng));
+        cur = bng;
+    }
+    if cfg.bias {
+        let bg = g.add(OpInstance::new(OpKind::BiasAddGrad, rec.out_shape.clone()), &[cur]);
+        weight_grads.push((Shape::vec1(rec.out_shape.channels()), bg));
+    }
+    let cbf = g.add(
+        OpInstance::with_aux(OpKind::Conv2DBackpropFilter, rec.out_shape.clone(), aux),
+        &[cur],
+    );
+    let filter_elems = cfg.kh * cfg.kw * rec.in_shape.channels() * cfg.c_out;
+    weight_grads.push((Shape::vec1(filter_elems), cbf));
+    let grad_in = if need_grad_in {
+        g.add(OpInstance::with_aux(OpKind::Conv2D, rec.out_shape.clone(), aux), &[cur])
+    } else {
+        cbf
+    };
+    BwdOut { grad_in, weight_grads }
+}
+
+/// Record of a dense (fully-connected) layer for backward emission.
+#[derive(Debug, Clone)]
+pub struct DenseRec {
+    in_features: usize,
+    out_features: usize,
+    batch: usize,
+    act: Act,
+}
+
+/// Emits a dense layer `batch x in_features -> batch x out_features`.
+pub fn dense_forward(
+    g: &mut DataflowGraph,
+    input: NodeId,
+    batch: usize,
+    in_features: usize,
+    out_features: usize,
+    act: Act,
+) -> (NodeId, DenseRec) {
+    let mut cur = g.add(
+        OpInstance::with_aux(
+            OpKind::MatMul,
+            Shape::mat(batch, in_features),
+            OpAux::matmul(out_features),
+        ),
+        &[input],
+    );
+    cur = g.add(OpInstance::new(OpKind::BiasAdd, Shape::mat(batch, out_features)), &[cur]);
+    if let Some(k) = act.fwd_kind() {
+        cur = g.add(OpInstance::new(k, Shape::mat(batch, out_features)), &[cur]);
+    }
+    (cur, DenseRec { in_features, out_features, batch, act })
+}
+
+/// Emits the backward of a dense layer; the dW and dX matmuls are siblings.
+pub fn dense_backward(g: &mut DataflowGraph, rec: &DenseRec, grad: NodeId) -> BwdOut {
+    let mut cur = grad;
+    if let Some(k) = rec.act.bwd_kind() {
+        cur = g.add(OpInstance::new(k, Shape::mat(rec.batch, rec.out_features)), &[cur]);
+    }
+    let bg = g.add(OpInstance::new(OpKind::BiasAddGrad, Shape::mat(rec.batch, rec.out_features)), &[cur]);
+    // dW = X^T * dY : (in_features, batch) x (batch, out_features)
+    let dw = g.add(
+        OpInstance::with_aux(
+            OpKind::MatMul,
+            Shape::mat(rec.in_features, rec.batch),
+            OpAux::matmul(rec.out_features),
+        ),
+        &[cur],
+    );
+    // dX = dY * W^T : (batch, out_features) x (out_features, in_features)
+    let dx = g.add(
+        OpInstance::with_aux(
+            OpKind::MatMul,
+            Shape::mat(rec.batch, rec.out_features),
+            OpAux::matmul(rec.in_features),
+        ),
+        &[cur],
+    );
+    BwdOut {
+        grad_in: dx,
+        weight_grads: vec![
+            (Shape::vec1(rec.in_features * rec.out_features), dw),
+            (Shape::vec1(rec.out_features), bg),
+        ],
+    }
+}
+
+/// Emits one optimizer update per weight gradient. All updates are mutually
+/// independent — the fan-out the paper's Strategies 3/4 exploit at the end of
+/// a step.
+pub fn emit_optimizer(
+    g: &mut DataflowGraph,
+    kind: OpKind,
+    weight_grads: &[(Shape, NodeId)],
+) -> Vec<NodeId> {
+    weight_grads
+        .iter()
+        .map(|(shape, grad)| g.add(OpInstance::new(kind, shape.clone()), &[*grad]))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conv_roundtrip_produces_sibling_backprops() {
+        let mut g = DataflowGraph::new();
+        let src = g.add_op(OpKind::Identity, Shape::nhwc(8, 16, 16, 32), &[]);
+        let (out, oshape, rec) =
+            conv_forward(&mut g, src, &Shape::nhwc(8, 16, 16, 32), ConvCfg::bn_relu(3, 1, 64));
+        assert_eq!(oshape, Shape::nhwc(8, 16, 16, 64));
+        let bwd = conv_backward(&mut g, &rec, out, true);
+        g.validate().unwrap();
+        // Find the CBF and CBI nodes: they must share a predecessor.
+        let cbf = g
+            .iter()
+            .find(|(_, op)| op.kind == OpKind::Conv2DBackpropFilter)
+            .map(|(id, _)| id)
+            .unwrap();
+        let cbi = g
+            .iter()
+            .find(|(_, op)| op.kind == OpKind::Conv2DBackpropInput)
+            .map(|(id, _)| id)
+            .unwrap();
+        assert_eq!(g.preds(cbf), g.preds(cbi), "CBF and CBI must be siblings");
+        // Filter grad + gamma + beta.
+        assert_eq!(bwd.weight_grads.len(), 3);
+    }
+
+    #[test]
+    fn strided_conv_halves_spatial() {
+        let s = out_shape(&Shape::nhwc(4, 32, 32, 16), 2, 64);
+        assert_eq!(s, Shape::nhwc(4, 16, 16, 64));
+    }
+
+    #[test]
+    fn first_layer_skips_backprop_input() {
+        let mut g = DataflowGraph::new();
+        let src = g.add_op(OpKind::Identity, Shape::nhwc(8, 16, 16, 3), &[]);
+        let (out, _, rec) = conv_forward(
+            &mut g,
+            src,
+            &Shape::nhwc(8, 16, 16, 3),
+            ConvCfg::biased(3, 1, 32, Act::Relu),
+        );
+        conv_backward(&mut g, &rec, out, false);
+        assert!(
+            !g.iter().any(|(_, op)| op.kind == OpKind::Conv2DBackpropInput),
+            "first layer should not compute an input gradient"
+        );
+    }
+
+    #[test]
+    fn sigmoid_activation_roundtrips() {
+        let mut g = DataflowGraph::new();
+        let src = g.add_op(OpKind::Identity, Shape::mat(8, 16), &[]);
+        let (out, rec) = dense_forward(&mut g, src, 8, 16, 4, Act::Sigmoid);
+        dense_backward(&mut g, &rec, out);
+        assert!(g.iter().any(|(_, op)| op.kind == OpKind::Sigmoid));
+        assert!(g.iter().any(|(_, op)| op.kind == OpKind::SigmoidGrad));
+    }
+
+    #[test]
+    fn dense_backward_has_two_matmuls() {
+        let mut g = DataflowGraph::new();
+        let src = g.add_op(OpKind::Identity, Shape::mat(32, 128), &[]);
+        let (out, rec) = dense_forward(&mut g, src, 32, 128, 10, Act::None);
+        let bwd = dense_backward(&mut g, &rec, out);
+        assert_eq!(bwd.weight_grads.len(), 2);
+        let matmuls = g.iter().filter(|(_, op)| op.kind == OpKind::MatMul).count();
+        assert_eq!(matmuls, 3, "fwd + dW + dX");
+    }
+
+    #[test]
+    fn optimizer_fans_out_independently() {
+        let mut g = DataflowGraph::new();
+        let src = g.add_op(OpKind::Identity, Shape::vec1(10), &[]);
+        let grads: Vec<(Shape, NodeId)> =
+            (0..5).map(|_| (Shape::vec1(100), src)).collect();
+        let updates = emit_optimizer(&mut g, OpKind::ApplyAdam, &grads);
+        assert_eq!(updates.len(), 5);
+        for u in &updates {
+            assert_eq!(g.preds(*u).len(), 1);
+            assert!(g.succs(*u).is_empty());
+        }
+    }
+}

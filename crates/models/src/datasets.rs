@@ -1,0 +1,70 @@
+//! Synthetic dataset descriptors.
+//!
+//! The paper trains on CIFAR-10, MNIST, ImageNet and PTB. The scheduler only
+//! ever sees tensor *shapes*, so a dataset here is its input geometry and
+//! label space; batches are shape generators.
+
+use nnrt_graph::Shape;
+
+/// Geometry of a training dataset.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Dataset {
+    /// Display name.
+    pub name: &'static str,
+    /// Input height (or sequence length for text).
+    pub height: usize,
+    /// Input width (1 for text).
+    pub width: usize,
+    /// Input channels (vocabulary embedding width for text).
+    pub channels: usize,
+    /// Number of target classes (vocabulary size for text).
+    pub classes: usize,
+}
+
+impl Dataset {
+    /// Shape of one input batch.
+    pub fn batch_shape(&self, batch: usize) -> Shape {
+        Shape::nhwc(batch, self.height, self.width, self.channels)
+    }
+
+    /// Shape of one logits batch.
+    pub fn logits_shape(&self, batch: usize) -> Shape {
+        Shape::mat(batch, self.classes)
+    }
+}
+
+/// CIFAR-10: 32×32 RGB, 10 classes (ResNet-50's dataset in the paper).
+pub fn cifar10() -> Dataset {
+    Dataset { name: "CIFAR-10", height: 32, width: 32, channels: 3, classes: 10 }
+}
+
+/// MNIST: 28×28 grayscale, 10 classes (DCGAN's dataset).
+pub fn mnist() -> Dataset {
+    Dataset { name: "MNIST", height: 28, width: 28, channels: 1, classes: 10 }
+}
+
+/// ImageNet: 299×299 RGB as Inception-v3 consumes it, 1000 classes.
+pub fn imagenet_299() -> Dataset {
+    Dataset { name: "ImageNet", height: 299, width: 299, channels: 3, classes: 1000 }
+}
+
+/// Penn Treebank: sequence length 20, embedding 200, 10k vocabulary
+/// (the "small" configuration of the classic TensorFlow PTB model).
+pub fn ptb() -> Dataset {
+    Dataset { name: "PTB", height: 20, width: 1, channels: 200, classes: 10_000 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_are_consistent() {
+        let d = cifar10();
+        assert_eq!(d.batch_shape(64), Shape::nhwc(64, 32, 32, 3));
+        assert_eq!(d.logits_shape(64), Shape::mat(64, 10));
+        assert_eq!(ptb().classes, 10_000);
+        assert_eq!(imagenet_299().height, 299);
+        assert_eq!(mnist().channels, 1);
+    }
+}

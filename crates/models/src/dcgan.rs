@@ -1,0 +1,220 @@
+//! DCGAN on MNIST (the paper's configuration: batch 64).
+//!
+//! Generator: 100-d noise → dense to 4×4×512 → three stride-2 transposed
+//! convolutions up to 32×32×1 (tanh) — the carpedm20 DCGAN architecture the
+//! paper uses (MNIST digits padded to a 32×32 grid). Discriminator: three
+//! stride-2 convolutions with LeakyReLU, then a dense logit. One step runs
+//! the discriminator on a real and a fake batch, updates D, and updates G
+//! through D — the standard alternating step fused into one graph.
+//!
+//! Because transposed convolutions *are* `Conv2DBackpropInput`, that op
+//! dominates DCGAN exactly as the paper's Table VI reports.
+
+use crate::common::{
+    conv_backward_opts, conv_forward, deconv_backward, deconv_forward,
+    dense_backward, dense_forward, emit_optimizer, Act, ConvCfg, ConvRec, DenseRec,
+};
+use crate::datasets;
+use crate::ModelSpec;
+use nnrt_graph::{DataflowGraph, NodeId, OpAux, OpInstance, OpKind, Shape};
+
+struct Discriminator {
+    conv1: ConvRec,
+    conv2: ConvRec,
+    conv3: ConvRec,
+    dense: DenseRec,
+    flat: Shape,
+}
+
+/// One forward pass of the discriminator; emitted twice (real and fake
+/// batches), as TensorFlow does with shared variables.
+fn discriminator_forward(
+    g: &mut DataflowGraph,
+    image: NodeId,
+    batch: usize,
+) -> (NodeId, Discriminator) {
+    let in_shape = Shape::nhwc(batch, 32, 32, 1);
+    let (c1, s1, r1) = conv_forward(
+        g,
+        image,
+        &in_shape,
+        ConvCfg::biased(5, 2, 64, Act::LeakyRelu),
+    );
+    let (c2, s2, r2) = conv_forward(
+        g,
+        c1,
+        &s1,
+        ConvCfg { kh: 5, kw: 5, stride: 2, c_out: 128, bias: true, bn: true, act: Act::LeakyRelu, convert_in: true },
+    );
+    let (c3, s3, r3) = conv_forward(
+        g,
+        c2,
+        &s2,
+        ConvCfg { kh: 5, kw: 5, stride: 2, c_out: 256, bias: true, bn: true, act: Act::LeakyRelu, convert_in: true },
+    );
+    let flat_features = s3.spatial() * s3.channels();
+    let flat = g.add(OpInstance::new(OpKind::Reshape, s3.clone()), &[c3]);
+    let (logit, dense) = dense_forward(g, flat, batch, flat_features, 1, Act::None);
+    (logit, Discriminator { conv1: r1, conv2: r2, conv3: r3, dense, flat: s3 })
+}
+
+/// Backward through one discriminator instance. `weights` selects whether D's
+/// weight gradients are produced (true for the D update, false when G's
+/// gradient merely flows through).
+fn discriminator_backward(
+    g: &mut DataflowGraph,
+    d: &Discriminator,
+    grad: NodeId,
+    weights: bool,
+    need_grad_in: bool,
+) -> (Option<NodeId>, Vec<(Shape, NodeId)>) {
+    let mut wg = Vec::new();
+    let dense_bwd = dense_backward(g, &d.dense, grad);
+    if weights {
+        wg.extend(dense_bwd.weight_grads);
+    }
+    let unflat = g.add(OpInstance::new(OpKind::Reshape, d.flat.clone()), &[dense_bwd.grad_in]);
+    let b3 = conv_backward_opts(g, &d.conv3, unflat, true, weights);
+    if weights {
+        wg.extend(b3.weight_grads);
+    }
+    let b2 = conv_backward_opts(g, &d.conv2, b3.grad_in, true, weights);
+    if weights {
+        wg.extend(b2.weight_grads);
+    }
+    let b1 = conv_backward_opts(g, &d.conv1, b2.grad_in, need_grad_in, weights);
+    if weights {
+        wg.extend(b1.weight_grads);
+    }
+    (need_grad_in.then_some(b1.grad_in), wg)
+}
+
+/// Builds one DCGAN training step at the given batch size.
+pub fn dcgan(batch: usize) -> ModelSpec {
+    let d = datasets::mnist();
+    let _ = d;
+    let mut g = DataflowGraph::new();
+
+    // ---- Generator forward ----
+    let noise = g.add_op(OpKind::Identity, Shape::mat(batch, 100), &[]);
+    let (proj, proj_rec) = dense_forward(&mut g, noise, batch, 100, 4 * 4 * 512, Act::None);
+    let proj_shape = Shape::nhwc(batch, 4, 4, 512);
+    let reshaped = g.add(OpInstance::new(OpKind::Reshape, proj_shape.clone()), &[proj]);
+    let bn0 = g.add(OpInstance::new(OpKind::FusedBatchNorm, proj_shape.clone()), &[reshaped]);
+    let act0 = g.add(OpInstance::new(OpKind::Relu, proj_shape.clone()), &[bn0]);
+
+    let (g1, s1, dr1) = deconv_forward(
+        &mut g,
+        act0,
+        &proj_shape,
+        ConvCfg { kh: 5, kw: 5, stride: 2, c_out: 256, bias: true, bn: true, act: Act::Relu, convert_in: true },
+    );
+    let (g2, s2, dr2) = deconv_forward(
+        &mut g,
+        g1,
+        &s1,
+        ConvCfg { kh: 5, kw: 5, stride: 2, c_out: 128, bias: true, bn: true, act: Act::Relu, convert_in: true },
+    );
+    let (fake, _s3, dr3) = deconv_forward(
+        &mut g,
+        g2,
+        &s2,
+        ConvCfg { kh: 5, kw: 5, stride: 2, c_out: 1, bias: true, bn: false, act: Act::Tanh, convert_in: true },
+    );
+
+    // ---- Discriminator forward on real and fake ----
+    let real = g.add_op(OpKind::Identity, Shape::nhwc(batch, 32, 32, 1), &[]);
+    let (logit_real, d_real) = discriminator_forward(&mut g, real, batch);
+    let (logit_fake, d_fake) = discriminator_forward(&mut g, fake, batch);
+
+    // ---- Losses (sigmoid cross-entropy on the logits) ----
+    let loss_real = g.add(
+        OpInstance::new(OpKind::SparseSoftmaxCrossEntropy, Shape::mat(batch, 2)),
+        &[logit_real],
+    );
+    let loss_fake = g.add(
+        OpInstance::new(OpKind::SparseSoftmaxCrossEntropy, Shape::mat(batch, 2)),
+        &[logit_fake],
+    );
+    let loss_g = g.add(
+        OpInstance::new(OpKind::SparseSoftmaxCrossEntropy, Shape::mat(batch, 2)),
+        &[logit_fake],
+    );
+
+    // ---- Discriminator update: grads from both batches, accumulated ----
+    let (_, wg_real) = discriminator_backward(&mut g, &d_real, loss_real, true, false);
+    let (_, wg_fake) = discriminator_backward(&mut g, &d_fake, loss_fake, true, false);
+    let mut d_grads: Vec<(Shape, NodeId)> = Vec::new();
+    for ((shape, a), (_, b)) in wg_real.into_iter().zip(wg_fake) {
+        let sum = g.add(
+            OpInstance::with_aux(OpKind::AddN, shape.clone(), OpAux { c_out: 2, ..OpAux::default() }),
+            &[a, b],
+        );
+        d_grads.push((shape, sum));
+    }
+    emit_optimizer(&mut g, OpKind::ApplyAdam, &d_grads);
+
+    // ---- Generator update: gradient flows through D(fake), then G ----
+    let (fake_grad, _) = discriminator_backward(&mut g, &d_fake, loss_g, false, true);
+    let fake_grad = fake_grad.expect("generator path needs the input gradient");
+    let mut g_grads = Vec::new();
+    let b3 = deconv_backward(&mut g, &dr3, fake_grad, true);
+    g_grads.extend(b3.weight_grads);
+    let b2 = deconv_backward(&mut g, &dr2, b3.grad_in, true);
+    g_grads.extend(b2.weight_grads);
+    let b1 = deconv_backward(&mut g, &dr1, b2.grad_in, true);
+    g_grads.extend(b1.weight_grads);
+    // Through the projection: ReluGrad + BNGrad + dense backward.
+    let rg = g.add(OpInstance::new(OpKind::ReluGrad, proj_shape.clone()), &[b1.grad_in]);
+    let bng = g.add(OpInstance::new(OpKind::FusedBatchNormGrad, proj_shape.clone()), &[rg]);
+    g_grads.push((Shape::vec1(512), bng));
+    g_grads.push((Shape::vec1(512), bng));
+    let unflat = g.add(OpInstance::new(OpKind::Reshape, proj_shape), &[bng]);
+    let proj_bwd = dense_backward(&mut g, &proj_rec, unflat);
+    g_grads.extend(proj_bwd.weight_grads);
+    emit_optimizer(&mut g, OpKind::ApplyAdam, &g_grads);
+
+    ModelSpec { name: "DCGAN", batch, graph: g }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deconvs_make_backprop_input_prominent() {
+        let m = dcgan(64);
+        let cbi = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::Conv2DBackpropInput)
+            .count();
+        assert!(cbi >= 3, "the generator's three deconvs are Conv2DBackpropInput ops");
+    }
+
+    #[test]
+    fn discriminator_runs_twice() {
+        let m = dcgan(64);
+        // 2 D instances x 3 convs = 6 forward Conv2D, plus 3 Conv2D from the
+        // deconv backward path.
+        let convs = m.graph.iter().filter(|(_, op)| op.kind == OpKind::Conv2D).count();
+        assert_eq!(convs, 9);
+    }
+
+    #[test]
+    fn addn_accumulates_d_gradients() {
+        let m = dcgan(64);
+        let addn = m.graph.iter().filter(|(_, op)| op.kind == OpKind::AddN).count();
+        // D: conv1 (W,b), conv2+conv3 (W,gamma,beta,b each), dense (W,b): 12.
+        assert_eq!(addn, 12);
+    }
+
+    #[test]
+    fn valid_and_sized() {
+        let m = dcgan(64);
+        m.graph.validate().unwrap();
+        assert!(m.graph.len() > 80, "got {}", m.graph.len());
+        let adams = m.graph.iter().filter(|(_, op)| op.kind == OpKind::ApplyAdam).count();
+        assert!(adams >= 14, "both G and D must be updated, got {adams} updates");
+    }
+}

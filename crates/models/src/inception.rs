@@ -1,0 +1,340 @@
+//! Inception-v3 on ImageNet (the paper's configuration: batch 16,
+//! 299×299 inputs).
+//!
+//! The standard architecture: a five-conv stem with two max-pools, three
+//! Inception-A modules at 35×35, a grid reduction, four Inception-B modules
+//! at 17×17 (factorized 1×7/7×1 convolutions), a second reduction, two
+//! Inception-C modules at 8×8, global average pooling and the classifier.
+//! The auxiliary classifier head is omitted (it does not change the
+//! scheduling structure; the four-way branch fan-out of every module is what
+//! creates the paper's inter-op parallelism).
+//!
+//! `AvgPool` instances inside every module's pooling branch are what makes
+//! `AvgPool` Inception-v3's most time-consuming op kind in the paper's
+//! Table VI.
+
+use crate::common::{
+    conv_backward, conv_forward, dense_backward, dense_forward, emit_optimizer, Act, ConvCfg,
+    ConvRec,
+};
+use crate::datasets;
+use crate::ModelSpec;
+use nnrt_graph::{DataflowGraph, NodeId, OpAux, OpInstance, OpKind, Shape};
+
+/// One branch spec: conv layers `(kh, kw, stride, c_out)` plus an optional leading pool.
+pub(crate) type BranchSpec<'a> = (&'a [(usize, usize, usize, usize)], Option<OpKind>);
+
+/// A chain of convs forming one branch of a module.
+struct Branch {
+    convs: Vec<ConvRec>,
+    /// An `AvgPool`/`MaxPool` at the head of the branch, if any.
+    pool: Option<(OpKind, Shape)>,
+}
+
+/// One inception module: parallel branches concatenated.
+struct Module {
+    branches: Vec<Branch>,
+    in_shape: Shape,
+    out_shape: Shape,
+}
+
+struct Ctx {
+    g: DataflowGraph,
+    modules: Vec<Module>,
+    stem: Vec<ConvRec>,
+}
+
+impl Ctx {
+    fn conv_chain(
+        &mut self,
+        mut cur: NodeId,
+        mut shape: Shape,
+        specs: &[(usize, usize, usize, usize)], // (kh, kw, stride, c_out)
+        pool_first: Option<OpKind>,
+    ) -> (NodeId, Shape, Branch) {
+        let mut pool = None;
+        if let Some(kind) = pool_first {
+            cur = self.g.add(
+                OpInstance::with_aux(kind, shape.clone(), OpAux::pool(3, 1)),
+                &[cur],
+            );
+            pool = Some((kind, shape.clone()));
+        }
+        let mut convs = Vec::new();
+        for &(kh, kw, stride, c_out) in specs {
+            let (n, s, rec) = conv_forward(&mut self.g, cur, &shape, ConvCfg::rect(kh, kw, stride, c_out));
+            cur = n;
+            shape = s;
+            convs.push(rec);
+        }
+        (cur, shape, Branch { convs, pool })
+    }
+
+    /// Emits a module made of parallel branches, concatenated channel-wise.
+    fn module(
+        &mut self,
+        input: NodeId,
+        in_shape: &Shape,
+        branches: &[BranchSpec<'_>],
+    ) -> (NodeId, Shape) {
+        let mut outs = Vec::new();
+        let mut c_total = 0;
+        let mut spatial = (in_shape.dim(1), in_shape.dim(2));
+        let mut built = Vec::new();
+        for (specs, pool) in branches {
+            let (n, s, b) = self.conv_chain(input, in_shape.clone(), specs, *pool);
+            c_total += s.channels();
+            spatial = (s.dim(1), s.dim(2));
+            outs.push(n);
+            built.push(b);
+        }
+        let out_shape = Shape::nhwc(in_shape.batch(), spatial.0, spatial.1, c_total);
+        let cat = self.g.add(OpInstance::new(OpKind::Concat, out_shape.clone()), &outs);
+        self.modules.push(Module {
+            branches: built,
+            in_shape: in_shape.clone(),
+            out_shape: out_shape.clone(),
+        });
+        (cat, out_shape)
+    }
+}
+
+/// Backward of one module: split the concat gradient, run each branch's convs
+/// in reverse (branches in parallel), and merge with an `AddN`.
+fn module_backward(
+    g: &mut DataflowGraph,
+    m: &Module,
+    grad: NodeId,
+    weight_grads: &mut Vec<(Shape, NodeId)>,
+) -> NodeId {
+    let split = g.add(OpInstance::new(OpKind::Split, m.out_shape.clone()), &[grad]);
+    let mut branch_grads = Vec::new();
+    for b in &m.branches {
+        let mut cur = split;
+        for rec in b.convs.iter().rev() {
+            let out = conv_backward(g, rec, cur, true);
+            cur = out.grad_in;
+            weight_grads.extend(out.weight_grads);
+        }
+        if let Some((kind, shape)) = &b.pool {
+            let grad_kind = match kind {
+                OpKind::AvgPool => OpKind::AvgPoolGrad,
+                _ => OpKind::MaxPoolGrad,
+            };
+            cur = g.add(
+                OpInstance::with_aux(grad_kind, shape.clone(), OpAux::pool(3, 1)),
+                &[cur],
+            );
+        }
+        branch_grads.push(cur);
+    }
+    g.add(
+        OpInstance::with_aux(
+            OpKind::AddN,
+            m.in_shape.clone(),
+            OpAux { c_out: branch_grads.len(), ..OpAux::default() },
+        ),
+        &branch_grads,
+    )
+}
+
+/// Builds one Inception-v3 training step at the given batch size.
+pub fn inception_v3(batch: usize) -> ModelSpec {
+    let d = datasets::imagenet_299();
+    let mut ctx = Ctx { g: DataflowGraph::new(), modules: Vec::new(), stem: Vec::new() };
+    let in_shape = d.batch_shape(batch);
+    let input = ctx.g.add_op(OpKind::Identity, in_shape.clone(), &[]);
+
+    // ---- Stem ----
+    let stem_specs: [(usize, usize, usize); 5] = [
+        (3, 2, 32),  // 299 -> 150
+        (3, 1, 32),
+        (3, 1, 64),
+        (1, 1, 80),
+        (3, 1, 192),
+    ];
+    let mut cur = input;
+    let mut shape = in_shape;
+    let mut pool_shapes: Vec<Shape> = Vec::new();
+    for (i, &(k, s, c)) in stem_specs.iter().enumerate() {
+        let (n, sh, rec) = conv_forward(&mut ctx.g, cur, &shape, ConvCfg::bn_relu(k, s, c));
+        cur = n;
+        shape = sh;
+        ctx.stem.push(rec);
+        // Max-pools after the 3rd and 5th stem convs (73x73 and 35x35 grids).
+        if i == 2 || i == 4 {
+            let pooled = Shape::nhwc(shape.batch(), shape.dim(1) / 2, shape.dim(2) / 2, shape.channels());
+            cur = ctx.g.add(
+                OpInstance::with_aux(OpKind::MaxPool, shape.clone(), OpAux::pool(3, 2)),
+                &[cur],
+            );
+            pool_shapes.push(shape.clone());
+            shape = pooled;
+        }
+    }
+    // Force the canonical 35x35 grid (stride arithmetic above is approximate).
+    shape = Shape::nhwc(batch, 35, 35, 192);
+
+    // ---- 3 x Inception-A at 35x35 ----
+    let pool = Some(OpKind::AvgPool);
+    for pool_c in [32usize, 64, 64] {
+        let spec_1x1: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 64)];
+        let spec_5x5: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 48), (5, 5, 1, 64)];
+        let spec_3x3: &[(usize, usize, usize, usize)] =
+            &[(1, 1, 1, 64), (3, 3, 1, 96), (3, 3, 1, 96)];
+        let spec_pool: &[(usize, usize, usize, usize)] = &[(1, 1, 1, pool_c)];
+        let (n, s) = ctx.module(
+            cur,
+            &shape,
+            &[(spec_1x1, None), (spec_5x5, None), (spec_3x3, None), (spec_pool, pool)],
+        );
+        cur = n;
+        shape = s;
+    }
+
+    // ---- Reduction-A: 35x35 -> 17x17 ----
+    {
+        let b1: &[(usize, usize, usize, usize)] = &[(3, 3, 2, 384)];
+        let b2: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 64), (3, 3, 1, 96), (3, 3, 2, 96)];
+        let b3: &[(usize, usize, usize, usize)] = &[(3, 3, 2, 288)]; // stands in for the stride-2 max-pool branch
+        let (n, s) = ctx.module(cur, &shape, &[(b1, None), (b2, None), (b3, None)]);
+        cur = n;
+        shape = Shape::nhwc(batch, 17, 17, s.channels());
+    }
+
+    // ---- 4 x Inception-B at 17x17 with factorized 7x7 ----
+    for c7 in [128usize, 160, 160, 192] {
+        let b1: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 192)];
+        let b2: &[(usize, usize, usize, usize)] =
+            &[(1, 1, 1, c7), (1, 7, 1, c7), (7, 1, 1, 192)];
+        let b3: &[(usize, usize, usize, usize)] = &[
+            (1, 1, 1, c7),
+            (7, 1, 1, c7),
+            (1, 7, 1, c7),
+            (7, 1, 1, c7),
+            (1, 7, 1, 192),
+        ];
+        let b4: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 192)];
+        let (n, s) = ctx.module(
+            cur,
+            &shape,
+            &[(b1, None), (b2, None), (b3, None), (b4, Some(OpKind::AvgPool))],
+        );
+        cur = n;
+        shape = s;
+    }
+
+    // ---- Reduction-B: 17x17 -> 8x8 ----
+    {
+        let b1: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 192), (3, 3, 2, 320)];
+        let b2: &[(usize, usize, usize, usize)] =
+            &[(1, 1, 1, 192), (1, 7, 1, 192), (7, 1, 1, 192), (3, 3, 2, 192)];
+        let b3: &[(usize, usize, usize, usize)] = &[(3, 3, 2, 768)];
+        let (n, s) = ctx.module(cur, &shape, &[(b1, None), (b2, None), (b3, None)]);
+        cur = n;
+        shape = Shape::nhwc(batch, 8, 8, s.channels());
+    }
+
+    // ---- 2 x Inception-C at 8x8 ----
+    for _ in 0..2 {
+        let b1: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 320)];
+        let b2: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 384), (1, 3, 1, 384), (3, 1, 1, 384)];
+        let b3: &[(usize, usize, usize, usize)] =
+            &[(1, 1, 1, 448), (3, 3, 1, 384), (1, 3, 1, 384), (3, 1, 1, 384)];
+        let b4: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 192)];
+        let (n, s) = ctx.module(
+            cur,
+            &shape,
+            &[(b1, None), (b2, None), (b3, None), (b4, Some(OpKind::AvgPool))],
+        );
+        cur = n;
+        shape = s;
+    }
+
+    // ---- Head ----
+    let g = &mut ctx.g;
+    let pooled = g.add(
+        OpInstance::with_aux(OpKind::AvgPool, shape.clone(), OpAux::pool(8, 8)),
+        &[cur],
+    );
+    let feat = shape.channels();
+    let mean = g.add(OpInstance::new(OpKind::Mean, Shape::mat(batch, feat)), &[pooled]);
+    let (logits, dense_rec) = dense_forward(g, mean, batch, feat, d.classes, Act::None);
+    let loss = g.add(
+        OpInstance::new(OpKind::SparseSoftmaxCrossEntropy, Shape::mat(batch, d.classes)),
+        &[logits],
+    );
+
+    // ---- Backward ----
+    let mut weight_grads = Vec::new();
+    let dense_bwd = dense_backward(g, &dense_rec, loss);
+    weight_grads.extend(dense_bwd.weight_grads);
+    let mut grad = g.add(OpInstance::new(OpKind::Tile, shape.clone()), &[dense_bwd.grad_in]);
+    grad = g.add(
+        OpInstance::with_aux(OpKind::AvgPoolGrad, shape, OpAux::pool(8, 8)),
+        &[grad],
+    );
+    let modules = std::mem::take(&mut ctx.modules);
+    for m in modules.iter().rev() {
+        grad = module_backward(g, m, grad, &mut weight_grads);
+    }
+    // Stem backward, with the two max-pool grads interleaved.
+    let stem = std::mem::take(&mut ctx.stem);
+    for (i, rec) in stem.iter().enumerate().rev() {
+        if i == 2 || i == 4 {
+            let pshape = pool_shapes[if i == 2 { 0 } else { 1 }].clone();
+            grad = g.add(
+                OpInstance::with_aux(OpKind::MaxPoolGrad, pshape, OpAux::pool(3, 2)),
+                &[grad],
+            );
+        }
+        let out = conv_backward(g, rec, grad, i != 0);
+        grad = out.grad_in;
+        weight_grads.extend(out.weight_grads);
+    }
+
+    emit_optimizer(g, OpKind::ApplyAdam, &weight_grads);
+    ModelSpec { name: "Inception-v3", batch, graph: ctx.g }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_many_convolutions() {
+        let m = inception_v3(16);
+        let convs = m.graph.iter().filter(|(_, op)| op.kind == OpKind::Conv2D).count();
+        assert!(
+            (80..=110).contains(&convs),
+            "Inception-v3 has ~94 convs, got {convs}"
+        );
+    }
+
+    #[test]
+    fn avgpool_everywhere() {
+        // Paper Table VI: AvgPool is Inception-v3's most expensive op kind.
+        let m = inception_v3(16);
+        let pools = m.graph.iter().filter(|(_, op)| op.kind == OpKind::AvgPool).count();
+        assert!(pools >= 8, "got {pools}");
+    }
+
+    #[test]
+    fn modules_create_branch_parallelism() {
+        let m = inception_v3(16);
+        // Width: the graph must be far from a chain.
+        let cp = m.graph.critical_path_len();
+        assert!(
+            (cp as f64) < 0.6 * m.graph.len() as f64,
+            "critical path {cp} of {} nodes leaves no branch parallelism",
+            m.graph.len()
+        );
+    }
+
+    #[test]
+    fn valid_and_large() {
+        let m = inception_v3(16);
+        m.graph.validate().unwrap();
+        assert!(m.graph.len() > 1000, "got {}", m.graph.len());
+    }
+}

@@ -1,0 +1,275 @@
+//! A 2-layer LSTM language model on PTB (the paper's configuration:
+//! batch 20, sequence length 20, hidden size 200, 10k vocabulary — the
+//! classic TensorFlow PTB "small" model).
+//!
+//! The step is dominated by the `SparseSoftmaxCross` over the vocabulary —
+//! exactly the paper's Table VI — while the per-timestep cell ops are tiny
+//! matmuls and element-wise gates that barely scale (manual tuning picks an
+//! intra-op parallelism of 2). Time steps chain serially, so the co-run
+//! opportunities come from the gate fan-out inside each cell and the
+//! end-of-step gradient accumulation.
+
+use crate::common::emit_optimizer;
+use crate::datasets;
+use crate::ModelSpec;
+use nnrt_graph::{DataflowGraph, NodeId, OpAux, OpInstance, OpKind, Shape};
+
+const LAYERS: usize = 2;
+const SEQ: usize = 20;
+const HIDDEN: usize = 200;
+
+struct CellFwd {
+    h: NodeId,
+    c: NodeId,
+    /// Pre-activation node (the BiasAdd); the backward cell hangs off it.
+    gates: NodeId,
+}
+
+fn cell_forward(
+    g: &mut DataflowGraph,
+    batch: usize,
+    x: NodeId,
+    h_prev: Option<NodeId>,
+    c_prev: Option<NodeId>,
+) -> CellFwd {
+    let h_shape = Shape::mat(batch, HIDDEN);
+    let cat_shape = Shape::mat(batch, 2 * HIDDEN);
+    let gates_shape = Shape::mat(batch, 4 * HIDDEN);
+
+    let mut cat_deps = vec![x];
+    if let Some(h) = h_prev {
+        cat_deps.push(h);
+    }
+    let cat = g.add(OpInstance::new(OpKind::Concat, cat_shape.clone()), &cat_deps);
+    let mm = g.add(
+        OpInstance::with_aux(OpKind::MatMul, cat_shape, OpAux::matmul(4 * HIDDEN)),
+        &[cat],
+    );
+    let gates = g.add(OpInstance::new(OpKind::BiasAdd, gates_shape.clone()), &[mm]);
+    let split = g.add(OpInstance::new(OpKind::Split, gates_shape), &[gates]);
+    let i = g.add(OpInstance::new(OpKind::Sigmoid, h_shape.clone()), &[split]);
+    let f = g.add(OpInstance::new(OpKind::Sigmoid, h_shape.clone()), &[split]);
+    let o = g.add(OpInstance::new(OpKind::Sigmoid, h_shape.clone()), &[split]);
+    let ghat = g.add(OpInstance::new(OpKind::Tanh, h_shape.clone()), &[split]);
+    let ig = g.add(OpInstance::new(OpKind::Mul, h_shape.clone()), &[i, ghat]);
+    let c = if let Some(cp) = c_prev {
+        let fc = g.add(OpInstance::new(OpKind::Mul, h_shape.clone()), &[f, cp]);
+        g.add(OpInstance::new(OpKind::Add, h_shape.clone()), &[fc, ig])
+    } else {
+        ig
+    };
+    let tc = g.add(OpInstance::new(OpKind::Tanh, h_shape.clone()), &[c]);
+    let h = g.add(OpInstance::new(OpKind::Mul, h_shape.clone()), &[o, tc]);
+    CellFwd { h, c, gates }
+}
+
+/// Backward of one cell: consumes dh (+ optional dc from the later step) and
+/// produces (dx, dh_prev, dc_prev) plus this step's weight-gradient matmul.
+fn cell_backward(
+    g: &mut DataflowGraph,
+    batch: usize,
+    fwd: &CellFwd,
+    dh: NodeId,
+    dc_next: Option<NodeId>,
+) -> (NodeId, NodeId, NodeId, NodeId) {
+    let h_shape = Shape::mat(batch, HIDDEN);
+    let cat_shape = Shape::mat(batch, 2 * HIDDEN);
+    let gates_shape = Shape::mat(batch, 4 * HIDDEN);
+
+    // dh -> do, d(tanh c); fold in dc from the next step.
+    let do_ = g.add(OpInstance::new(OpKind::Mul, h_shape.clone()), &[dh]);
+    let dtc = g.add(OpInstance::new(OpKind::TanhGrad, h_shape.clone()), &[dh, fwd.c]);
+    let dc = match dc_next {
+        Some(next) => g.add(OpInstance::new(OpKind::Add, h_shape.clone()), &[dtc, next]),
+        None => dtc,
+    };
+    // dc -> di, df, dghat, dc_prev.
+    let di = g.add(OpInstance::new(OpKind::Mul, h_shape.clone()), &[dc]);
+    let df = g.add(OpInstance::new(OpKind::Mul, h_shape.clone()), &[dc]);
+    let dg = g.add(OpInstance::new(OpKind::Mul, h_shape.clone()), &[dc]);
+    let dc_prev = g.add(OpInstance::new(OpKind::Mul, h_shape.clone()), &[dc]);
+    // Through the gate nonlinearities.
+    let dsi = g.add(OpInstance::new(OpKind::SigmoidGrad, h_shape.clone()), &[di]);
+    let dsf = g.add(OpInstance::new(OpKind::SigmoidGrad, h_shape.clone()), &[df]);
+    let dso = g.add(OpInstance::new(OpKind::SigmoidGrad, h_shape.clone()), &[do_]);
+    let dtg = g.add(OpInstance::new(OpKind::TanhGrad, h_shape.clone()), &[dg]);
+    // Reassemble the 4H gate gradient; depends on the forward pre-activation.
+    let dgates = g.add(
+        OpInstance::new(OpKind::Concat, gates_shape.clone()),
+        &[dsi, dsf, dso, dtg, fwd.gates],
+    );
+    let dbias = g.add(OpInstance::new(OpKind::BiasAddGrad, gates_shape), &[dgates]);
+    // dW = cat^T * dgates ; dcat = dgates * W^T (siblings).
+    let dw = g.add(
+        OpInstance::with_aux(
+            OpKind::MatMul,
+            Shape::mat(2 * HIDDEN, batch),
+            OpAux::matmul(4 * HIDDEN),
+        ),
+        &[dgates],
+    );
+    let dcat = g.add(
+        OpInstance::with_aux(OpKind::MatMul, Shape::mat(batch, 4 * HIDDEN), OpAux::matmul(2 * HIDDEN)),
+        &[dgates],
+    );
+    // Split dcat into dx and dh_prev.
+    let dx = g.add(OpInstance::new(OpKind::Split, cat_shape.clone()), &[dcat]);
+    let dh_prev = g.add(OpInstance::new(OpKind::Split, cat_shape), &[dcat]);
+    let _ = dbias;
+    (dx, dh_prev, dc_prev, dw)
+}
+
+/// Builds one LSTM-PTB training step at the given batch size.
+pub fn lstm(batch: usize) -> ModelSpec {
+    let d = datasets::ptb();
+    let mut g = DataflowGraph::new();
+
+    // Embedded input sequence; one Split per timestep.
+    let seq_src = g.add_op(OpKind::Identity, Shape::mat(batch, SEQ * HIDDEN), &[]);
+    let xs: Vec<NodeId> = (0..SEQ)
+        .map(|_| g.add(OpInstance::new(OpKind::Split, Shape::mat(batch, HIDDEN)), &[seq_src]))
+        .collect();
+
+    // Forward through layers and time.
+    let mut layer_inputs = xs;
+    let mut fwd: Vec<Vec<CellFwd>> = Vec::new();
+    for _layer in 0..LAYERS {
+        let mut states: Vec<CellFwd> = Vec::with_capacity(SEQ);
+        let mut h_prev: Option<NodeId> = None;
+        let mut c_prev: Option<NodeId> = None;
+        for &x in &layer_inputs {
+            let cell = cell_forward(&mut g, batch, x, h_prev, c_prev);
+            h_prev = Some(cell.h);
+            c_prev = Some(cell.c);
+            states.push(cell);
+        }
+        layer_inputs = states.iter().map(|c| c.h).collect();
+        fwd.push(states);
+    }
+
+    // Head: project every timestep's output to the vocabulary, one loss.
+    let flat_h = g.add(
+        OpInstance::new(OpKind::Concat, Shape::mat(batch * SEQ, HIDDEN)),
+        &layer_inputs,
+    );
+    let logits = g.add(
+        OpInstance::with_aux(OpKind::MatMul, Shape::mat(batch * SEQ, HIDDEN), OpAux::matmul(d.classes)),
+        &[flat_h],
+    );
+    let loss = g.add(
+        OpInstance::new(OpKind::SparseSoftmaxCrossEntropy, Shape::mat(batch * SEQ, d.classes)),
+        &[logits],
+    );
+
+    // Backward: softmax projection first.
+    let dproj_w = g.add(
+        OpInstance::with_aux(OpKind::MatMul, Shape::mat(HIDDEN, batch * SEQ), OpAux::matmul(d.classes)),
+        &[loss],
+    );
+    let dflat = g.add(
+        OpInstance::with_aux(OpKind::MatMul, Shape::mat(batch * SEQ, d.classes), OpAux::matmul(HIDDEN)),
+        &[loss],
+    );
+    // Per-timestep dh for the top layer.
+    let dhs: Vec<NodeId> = (0..SEQ)
+        .map(|_| g.add(OpInstance::new(OpKind::Split, Shape::mat(batch, HIDDEN)), &[dflat]))
+        .collect();
+
+    // Backward through layers (top first) and time (last step first).
+    let mut dw_per_layer: Vec<Vec<NodeId>> = vec![Vec::new(); LAYERS];
+    let mut dh_from_above = dhs;
+    for layer in (0..LAYERS).rev() {
+        let mut dx_below: Vec<NodeId> = Vec::with_capacity(SEQ);
+        let mut dh_chain: Option<NodeId> = None;
+        let mut dc_chain: Option<NodeId> = None;
+        for t in (0..SEQ).rev() {
+            let dh_total = match dh_chain {
+                Some(chain) => g.add(
+                    OpInstance::new(OpKind::Add, Shape::mat(batch, HIDDEN)),
+                    &[dh_from_above[t], chain],
+                ),
+                None => dh_from_above[t],
+            };
+            let (dx, dh_prev, dc_prev, dw) =
+                cell_backward(&mut g, batch, &fwd[layer][t], dh_total, dc_chain);
+            dh_chain = Some(dh_prev);
+            dc_chain = Some(dc_prev);
+            dx_below.push(dx);
+            dw_per_layer[layer].push(dw);
+        }
+        dx_below.reverse();
+        dh_from_above = dx_below;
+    }
+
+    // Accumulate per-timestep weight grads, then SGD updates.
+    let mut weight_grads = Vec::new();
+    for dws in &dw_per_layer {
+        let w_shape = Shape::vec1(2 * HIDDEN * 4 * HIDDEN);
+        let acc = g.add(
+            OpInstance::with_aux(OpKind::AddN, w_shape.clone(), OpAux { c_out: SEQ, ..OpAux::default() }),
+            dws,
+        );
+        weight_grads.push((w_shape, acc));
+        weight_grads.push((Shape::vec1(4 * HIDDEN), acc));
+    }
+    weight_grads.push((Shape::vec1(HIDDEN * d.classes), dproj_w));
+    emit_optimizer(&mut g, OpKind::ApplyGradientDescent, &weight_grads);
+
+    ModelSpec { name: "LSTM", batch, graph: g }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparse_softmax_dominance() {
+        let m = lstm(20);
+        let loss_ops = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::SparseSoftmaxCrossEntropy)
+            .count();
+        assert_eq!(loss_ops, 1);
+        // The loss op must be by far the largest op in the graph.
+        let loss_elems = m
+            .graph
+            .iter()
+            .find(|(_, op)| op.kind == OpKind::SparseSoftmaxCrossEntropy)
+            .map(|(_, op)| op.shape.elements())
+            .unwrap();
+        assert_eq!(loss_elems, 400 * 10_000);
+    }
+
+    #[test]
+    fn timesteps_chain_serially() {
+        let m = lstm(20);
+        // 2 layers x 20 steps of ~13 fwd + ~16 bwd ops each imposes a long
+        // critical path relative to a conv net of similar node count.
+        assert!(m.graph.critical_path_len() > 150, "got {}", m.graph.critical_path_len());
+    }
+
+    #[test]
+    fn cell_counts() {
+        let m = lstm(20);
+        let matmuls = m.graph.iter().filter(|(_, op)| op.kind == OpKind::MatMul).count();
+        // fwd: 40 cells; bwd: 2 per cell; head: 1 fwd + 2 bwd.
+        assert_eq!(matmuls, 40 + 80 + 3);
+        let addn = m.graph.iter().filter(|(_, op)| op.kind == OpKind::AddN).count();
+        assert_eq!(addn, LAYERS);
+    }
+
+    #[test]
+    fn uses_sgd_not_adam() {
+        let m = lstm(20);
+        assert!(m.graph.iter().any(|(_, op)| op.kind == OpKind::ApplyGradientDescent));
+        assert!(!m.graph.iter().any(|(_, op)| op.kind == OpKind::ApplyAdam));
+    }
+
+    #[test]
+    fn valid_graph() {
+        let m = lstm(20);
+        m.graph.validate().unwrap();
+        assert!(m.graph.len() > 1000, "got {}", m.graph.len());
+    }
+}

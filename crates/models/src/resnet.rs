@@ -1,0 +1,206 @@
+//! ResNet-50 on CIFAR-10 (the paper's configuration: batch 64).
+//!
+//! CIFAR-style stem (3×3 conv, no max-pool), then the standard
+//! [3, 4, 6, 3] bottleneck stages with output channels 256/512/1024/2048 and
+//! spatial extents 32/16/8/4. One training step = forward, backward and an
+//! Adam update per weight tensor (53 convolutions, their batch-norms, and the
+//! final classifier).
+
+use crate::common::{
+    conv_backward, conv_forward, dense_backward, dense_forward, emit_optimizer, Act, BwdOut,
+    ConvCfg, ConvRec,
+};
+use crate::datasets;
+use crate::ModelSpec;
+use nnrt_graph::{DataflowGraph, NodeId, OpInstance, OpKind, Shape};
+
+struct Block {
+    path: Vec<ConvRec>,
+    skip: Option<ConvRec>,
+    in_shape: Shape,
+    out_shape: Shape,
+}
+
+fn bottleneck(
+    g: &mut DataflowGraph,
+    input: NodeId,
+    in_shape: &Shape,
+    c_out: usize,
+    stride: usize,
+    project: bool,
+) -> (NodeId, Shape, Block) {
+    let c_mid = c_out / 4;
+    let (a, s1, r1) = conv_forward(g, input, in_shape, ConvCfg::bn_relu(1, 1, c_mid));
+    let (b, s2, r2) = conv_forward(g, a, &s1, ConvCfg::bn_relu(3, stride, c_mid));
+    // The expanding 1x1 conv has BN but no activation before the residual add.
+    let mut expand_cfg = ConvCfg::bn_relu(1, 1, c_out);
+    expand_cfg.act = Act::None;
+    let (c, s3, r3) = conv_forward(g, b, &s2, expand_cfg);
+
+    let (skip_node, skip_rec) = if project {
+        let mut proj_cfg = ConvCfg::bn_relu(1, stride, c_out);
+        proj_cfg.act = Act::None;
+        let (p, _, pr) = conv_forward(g, input, in_shape, proj_cfg);
+        (p, Some(pr))
+    } else {
+        (input, None)
+    };
+
+    let add = g.add(OpInstance::new(OpKind::Add, s3.clone()), &[c, skip_node]);
+    let relu = g.add(OpInstance::new(OpKind::Relu, s3.clone()), &[add]);
+    let block = Block {
+        path: vec![r1, r2, r3],
+        skip: skip_rec,
+        in_shape: in_shape.clone(),
+        out_shape: s3.clone(),
+    };
+    (relu, s3, block)
+}
+
+fn block_backward(g: &mut DataflowGraph, blk: &Block, grad: NodeId) -> BwdOut {
+    let rg = g.add(OpInstance::new(OpKind::ReluGrad, blk.out_shape.clone()), &[grad]);
+    // Gradient flows down both the conv path and the skip in parallel.
+    let mut weight_grads = Vec::new();
+    let mut cur = rg;
+    for rec in blk.path.iter().rev() {
+        let out = conv_backward(g, rec, cur, true);
+        cur = out.grad_in;
+        weight_grads.extend(out.weight_grads);
+    }
+    let skip_grad = match &blk.skip {
+        Some(rec) => {
+            let out = conv_backward(g, rec, rg, true);
+            weight_grads.extend(out.weight_grads);
+            out.grad_in
+        }
+        None => rg,
+    };
+    let merged = g.add(OpInstance::new(OpKind::Add, blk.in_shape.clone()), &[cur, skip_grad]);
+    BwdOut { grad_in: merged, weight_grads }
+}
+
+/// Builds one ResNet-50 training step at the given batch size.
+pub fn resnet50(batch: usize) -> ModelSpec {
+    let d = datasets::cifar10();
+    let mut g = DataflowGraph::new();
+    let in_shape = d.batch_shape(batch);
+    let input = g.add_op(OpKind::Identity, in_shape.clone(), &[]);
+
+    // Stem.
+    let (mut cur, mut shape, stem_rec) =
+        conv_forward(&mut g, input, &in_shape, ConvCfg::bn_relu(3, 1, 64));
+
+    // Stages: (blocks, channels, first stride).
+    let stages: [(usize, usize, usize); 4] =
+        [(3, 256, 1), (4, 512, 2), (6, 1024, 2), (3, 2048, 2)];
+    let mut blocks: Vec<Block> = Vec::new();
+    for (nblocks, c_out, stride) in stages {
+        for i in 0..nblocks {
+            let (s, first) = if i == 0 { (stride, true) } else { (1, false) };
+            let (n, sh, blk) = bottleneck(&mut g, cur, &shape, c_out, s, first);
+            cur = n;
+            shape = sh;
+            blocks.push(blk);
+        }
+    }
+
+    // Head: global average pool -> dense -> loss.
+    let pooled = g.add(OpInstance::new(OpKind::Mean, shape.clone()), &[cur]);
+    let feat = shape.channels();
+    let (logits, dense_rec) = dense_forward(&mut g, pooled, batch, feat, d.classes, Act::None);
+    let loss = g.add(
+        OpInstance::new(OpKind::SparseSoftmaxCrossEntropy, Shape::mat(batch, d.classes)),
+        &[logits],
+    );
+
+    // Backward.
+    let mut weight_grads = Vec::new();
+    let dense_bwd = dense_backward(&mut g, &dense_rec, loss);
+    weight_grads.extend(dense_bwd.weight_grads);
+    // Mean backward: broadcast the pooled gradient over the spatial extent.
+    let mut grad =
+        g.add(OpInstance::new(OpKind::Tile, shape.clone()), &[dense_bwd.grad_in]);
+    for blk in blocks.iter().rev() {
+        let out = block_backward(&mut g, blk, grad);
+        grad = out.grad_in;
+        weight_grads.extend(out.weight_grads);
+    }
+    let stem_bwd = conv_backward(&mut g, &stem_rec, grad, false);
+    weight_grads.extend(stem_bwd.weight_grads);
+
+    emit_optimizer(&mut g, OpKind::ApplyAdam, &weight_grads);
+    ModelSpec { name: "ResNet-50", batch, graph: g }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn has_53_convolutions() {
+        let m = resnet50(64);
+        let convs =
+            m.graph.iter().filter(|(_, op)| op.kind == OpKind::Conv2D).count();
+        // stem + 16 blocks x 3 + 4 projections.
+        assert_eq!(convs, 53);
+    }
+
+    #[test]
+    fn backprops_match_convs() {
+        let m = resnet50(64);
+        let cbf = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::Conv2DBackpropFilter)
+            .count();
+        let cbi = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::Conv2DBackpropInput)
+            .count();
+        assert_eq!(cbf, 53, "every conv needs a filter gradient");
+        assert_eq!(cbi, 52, "every conv except the stem needs an input gradient");
+    }
+
+    #[test]
+    fn table6_op_kinds_present() {
+        // The paper's Table VI lists these among ResNet-50's top ops.
+        let m = resnet50(64);
+        for kind in [
+            OpKind::Conv2DBackpropFilter,
+            OpKind::InputConversion,
+            OpKind::Tile,
+            OpKind::Mul,
+            OpKind::ToTf,
+        ] {
+            assert!(
+                m.graph.iter().any(|(_, op)| op.kind == kind),
+                "missing {kind}"
+            );
+        }
+    }
+
+    #[test]
+    fn adam_updates_cover_all_weights() {
+        let m = resnet50(64);
+        let adams = m.graph.iter().filter(|(_, op)| op.kind == OpKind::ApplyAdam).count();
+        // 53 filters + 53 gammas + 53 betas + dense W + dense b.
+        assert_eq!(adams, 53 * 3 + 2);
+    }
+
+    #[test]
+    fn graph_is_valid_and_deep() {
+        let m = resnet50(64);
+        m.graph.validate().unwrap();
+        assert!(m.graph.critical_path_len() > 100);
+        assert!(m.graph.len() > 700, "got {}", m.graph.len());
+    }
+
+    #[test]
+    fn batch_size_scales_shapes_not_structure() {
+        let a = resnet50(16);
+        let b = resnet50(64);
+        assert_eq!(a.graph.len(), b.graph.len());
+        assert!(b.graph.total_flops() > a.graph.total_flops() * 3.0);
+    }
+}

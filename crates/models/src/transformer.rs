@@ -1,0 +1,201 @@
+//! A Transformer encoder (BERT-base-like), beyond the paper's four models.
+//!
+//! The paper motivates its runtime with the expectation that "future NN
+//! models could involve more diverse and larger number of operations"; the
+//! Transformer is exactly that future: per layer, a multi-head attention
+//! block (Q/K/V projections, per-head score and context matmuls, softmax),
+//! residual adds with layer normalization, and a two-matmul feed-forward
+//! block — dozens of small-to-medium matmuls per layer with wide head-level
+//! fan-out, a scheduling profile quite unlike the conv nets.
+
+use crate::common::{dense_backward, dense_forward, emit_optimizer, Act, DenseRec};
+use crate::ModelSpec;
+use nnrt_graph::{DataflowGraph, NodeId, OpAux, OpInstance, OpKind, Shape};
+
+const LAYERS: usize = 12;
+const HEADS: usize = 12;
+const D_MODEL: usize = 768;
+const D_FF: usize = 3072;
+const SEQ: usize = 128;
+
+struct AttnFwd {
+    q: DenseRec,
+    k: DenseRec,
+    v: DenseRec,
+    out: DenseRec,
+    ff1: DenseRec,
+    ff2: DenseRec,
+}
+
+/// Layer normalization stand-in: a Mean (statistics) + Mul (scale) + Add
+/// (shift) triple over the token activations.
+fn layer_norm(g: &mut DataflowGraph, input: NodeId, rows: usize) -> NodeId {
+    let shape = Shape::mat(rows, D_MODEL);
+    let stats = g.add(OpInstance::new(OpKind::Mean, shape.clone()), &[input]);
+    let scaled = g.add(OpInstance::new(OpKind::Mul, shape.clone()), &[stats]);
+    g.add(OpInstance::new(OpKind::Add, shape), &[scaled])
+}
+
+/// One encoder layer forward; returns the output node and backward records.
+fn encoder_layer(g: &mut DataflowGraph, input: NodeId, rows: usize) -> (NodeId, AttnFwd) {
+    let d_head = D_MODEL / HEADS;
+    // Q, K, V projections are siblings: head-level inter-op parallelism.
+    let (q, qr) = dense_forward(g, input, rows, D_MODEL, D_MODEL, Act::None);
+    let (k, kr) = dense_forward(g, input, rows, D_MODEL, D_MODEL, Act::None);
+    let (v, vr) = dense_forward(g, input, rows, D_MODEL, D_MODEL, Act::None);
+
+    // Per-head attention: scores = Q K^T (seq x seq per head), softmax,
+    // context = scores V. All heads are mutually independent.
+    let mut heads = Vec::with_capacity(HEADS);
+    for _ in 0..HEADS {
+        let scores = g.add(
+            OpInstance::with_aux(OpKind::MatMul, Shape::mat(SEQ, d_head), OpAux::matmul(SEQ)),
+            &[q, k],
+        );
+        let probs = g.add(OpInstance::new(OpKind::Softmax, Shape::mat(SEQ, SEQ)), &[scores]);
+        let context = g.add(
+            OpInstance::with_aux(OpKind::MatMul, Shape::mat(SEQ, SEQ), OpAux::matmul(d_head)),
+            &[probs, v],
+        );
+        heads.push(context);
+    }
+    let concat = g.add(OpInstance::new(OpKind::Concat, Shape::mat(rows, D_MODEL)), &heads);
+    let (proj, outr) = dense_forward(g, concat, rows, D_MODEL, D_MODEL, Act::None);
+    let res1 = g.add(OpInstance::new(OpKind::Add, Shape::mat(rows, D_MODEL)), &[proj, input]);
+    let norm1 = layer_norm(g, res1, rows);
+
+    // Feed-forward block.
+    let (ff_mid, ff1r) = dense_forward(g, norm1, rows, D_MODEL, D_FF, Act::Relu);
+    let (ff_out, ff2r) = dense_forward(g, ff_mid, rows, D_FF, D_MODEL, Act::None);
+    let res2 = g.add(OpInstance::new(OpKind::Add, Shape::mat(rows, D_MODEL)), &[ff_out, norm1]);
+    let norm2 = layer_norm(g, res2, rows);
+
+    (norm2, AttnFwd { q: qr, k: kr, v: vr, out: outr, ff1: ff1r, ff2: ff2r })
+}
+
+/// Builds one training step of a 12-layer Transformer encoder with a masked
+/// token prediction head, at the given batch size (sequence length 128).
+pub fn transformer(batch: usize) -> ModelSpec {
+    let rows = batch * SEQ;
+    let mut g = DataflowGraph::new();
+    let input = g.add_op(OpKind::Identity, Shape::mat(rows, D_MODEL), &[]);
+
+    let mut cur = input;
+    let mut layers = Vec::with_capacity(LAYERS);
+    for _ in 0..LAYERS {
+        let (out, rec) = encoder_layer(&mut g, cur, rows);
+        cur = out;
+        layers.push(rec);
+    }
+    // Vocabulary head (30k tokens, as BERT).
+    let vocab = 30_000;
+    let (logits, head) = dense_forward(&mut g, cur, rows, D_MODEL, vocab, Act::None);
+    let loss = g.add(
+        OpInstance::new(OpKind::SparseSoftmaxCrossEntropy, Shape::mat(rows, vocab)),
+        &[logits],
+    );
+
+    // Backward: head, then layers in reverse. Gate gradients flow through
+    // each block's dense layers; attention internals backprop as the two
+    // matmul siblings per head.
+    let mut weight_grads = Vec::new();
+    let head_bwd = dense_backward(&mut g, &head, loss);
+    weight_grads.extend(head_bwd.weight_grads);
+    let mut grad = head_bwd.grad_in;
+    let d_head = D_MODEL / HEADS;
+    for rec in layers.iter().rev() {
+        let ff2 = dense_backward(&mut g, &rec.ff2, grad);
+        weight_grads.extend(ff2.weight_grads);
+        let ff1 = dense_backward(&mut g, &rec.ff1, ff2.grad_in);
+        weight_grads.extend(ff1.weight_grads);
+        let out = dense_backward(&mut g, &rec.out, ff1.grad_in);
+        weight_grads.extend(out.weight_grads);
+        // Per-head backward matmul pairs (dScores, dContext), independent.
+        let mut head_grads = Vec::with_capacity(HEADS);
+        for _ in 0..HEADS {
+            let d_ctx = g.add(
+                OpInstance::with_aux(OpKind::MatMul, Shape::mat(SEQ, SEQ), OpAux::matmul(d_head)),
+                &[out.grad_in],
+            );
+            let d_probs = g.add(
+                OpInstance::with_aux(OpKind::MatMul, Shape::mat(SEQ, d_head), OpAux::matmul(SEQ)),
+                &[out.grad_in],
+            );
+            let d_soft = g.add(OpInstance::new(OpKind::SigmoidGrad, Shape::mat(SEQ, SEQ)), &[d_probs]);
+            let merged = g.add(OpInstance::new(OpKind::Add, Shape::mat(SEQ, d_head)), &[d_ctx, d_soft]);
+            head_grads.push(merged);
+        }
+        let d_heads = g.add(
+            OpInstance::with_aux(
+                OpKind::AddN,
+                Shape::mat(rows, D_MODEL),
+                OpAux { c_out: HEADS, ..OpAux::default() },
+            ),
+            &head_grads,
+        );
+        // Q/K/V backward are siblings too.
+        let qb = dense_backward(&mut g, &rec.q, d_heads);
+        let kb = dense_backward(&mut g, &rec.k, d_heads);
+        let vb = dense_backward(&mut g, &rec.v, d_heads);
+        weight_grads.extend(qb.weight_grads);
+        weight_grads.extend(kb.weight_grads);
+        weight_grads.extend(vb.weight_grads);
+        let merged = g.add(
+            OpInstance::with_aux(
+                OpKind::AddN,
+                Shape::mat(rows, D_MODEL),
+                OpAux { c_out: 3, ..OpAux::default() },
+            ),
+            &[qb.grad_in, kb.grad_in, vb.grad_in],
+        );
+        grad = merged;
+    }
+    emit_optimizer(&mut g, OpKind::ApplyAdam, &weight_grads);
+    ModelSpec { name: "Transformer", batch, graph: g }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_counts() {
+        let m = transformer(8);
+        m.graph.validate().unwrap();
+        // 12 layers x (3 QKV + out + 2 FF) + head = 73 forward dense matmuls,
+        // plus 2 bwd matmuls each, plus per-head attention matmuls.
+        let matmuls = m.graph.iter().filter(|(_, op)| op.kind == OpKind::MatMul).count();
+        assert!(matmuls > 500, "got {matmuls}");
+        let softmaxes = m.graph.iter().filter(|(_, op)| op.kind == OpKind::Softmax).count();
+        assert_eq!(softmaxes, LAYERS * HEADS);
+    }
+
+    #[test]
+    fn head_fanout_creates_width() {
+        let m = transformer(8);
+        let cp = m.graph.critical_path_len();
+        assert!(
+            (cp as f64) < 0.30 * m.graph.len() as f64,
+            "head-level fan-out should leave a wide graph: cp {cp} of {}",
+            m.graph.len()
+        );
+    }
+
+    #[test]
+    fn runtime_beats_recommendation_on_the_transformer() {
+        use nnrt_manycore::KnlCostModel;
+        use nnrt_sched::{OpCatalog, Runtime, RuntimeConfig, TfExecutor, TfExecutorConfig};
+        let m = transformer(4);
+        let catalog = OpCatalog::new(&m.graph);
+        let cost = KnlCostModel::knl();
+        let rec = TfExecutor::new(TfExecutorConfig::recommendation())
+            .run_step(&m.graph, &catalog, &cost);
+        let ours = Runtime::prepare(&m.graph, cost, RuntimeConfig::default()).run_step(&m.graph);
+        assert!(
+            ours.total_secs < rec.total_secs,
+            "the runtime must generalize to attention models: {} vs {}",
+            ours.total_secs,
+            rec.total_secs
+        );
+    }
+}

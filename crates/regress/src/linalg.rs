@@ -1,0 +1,218 @@
+//! Minimal dense linear algebra: row-major matrices, normal equations and a
+//! pivoted Gaussian solver. Just enough for OLS and Theil-Sen subset fits.
+
+/// A dense row-major matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f64>,
+}
+
+impl Matrix {
+    /// Zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// Builds from nested rows.
+    ///
+    /// # Panics
+    /// Panics on ragged input.
+    pub fn from_rows(rows: &[Vec<f64>]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |v| v.len());
+        let mut data = Vec::with_capacity(r * c);
+        for row in rows {
+            assert_eq!(row.len(), c, "ragged rows");
+            data.extend_from_slice(row);
+        }
+        Matrix { rows: r, cols: c, data }
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element accessor.
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f64 {
+        self.data[r * self.cols + c]
+    }
+
+    /// Element setter.
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f64) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// `A^T A` (Gram matrix), the left side of the normal equations.
+    pub fn gram(&self) -> Matrix {
+        let mut out = Matrix::zeros(self.cols, self.cols);
+        for i in 0..self.cols {
+            for j in i..self.cols {
+                let mut s = 0.0;
+                for r in 0..self.rows {
+                    s += self.get(r, i) * self.get(r, j);
+                }
+                out.set(i, j, s);
+                out.set(j, i, s);
+            }
+        }
+        out
+    }
+
+    /// `A^T y`.
+    pub fn t_mul_vec(&self, y: &[f64]) -> Vec<f64> {
+        assert_eq!(y.len(), self.rows);
+        let mut out = vec![0.0; self.cols];
+        for (r, &yr) in y.iter().enumerate() {
+            for (c, o) in out.iter_mut().enumerate() {
+                *o += self.get(r, c) * yr;
+            }
+        }
+        out
+    }
+}
+
+/// Solves `A x = b` by Gaussian elimination with partial pivoting. `A` must
+/// be square. Returns `None` if the system is (numerically) singular.
+pub fn solve(a: &Matrix, b: &[f64]) -> Option<Vec<f64>> {
+    let n = a.rows();
+    assert_eq!(a.cols(), n, "solve needs a square matrix");
+    assert_eq!(b.len(), n);
+    let mut m = a.clone();
+    let mut rhs = b.to_vec();
+    for col in 0..n {
+        // Pivot.
+        let (pivot_row, pivot_val) = (col..n)
+            .map(|r| (r, m.get(r, col).abs()))
+            .max_by(|a, b| a.1.partial_cmp(&b.1).unwrap())?;
+        if pivot_val < 1e-12 {
+            return None;
+        }
+        if pivot_row != col {
+            for c in 0..n {
+                let tmp = m.get(col, c);
+                m.set(col, c, m.get(pivot_row, c));
+                m.set(pivot_row, c, tmp);
+            }
+            rhs.swap(col, pivot_row);
+        }
+        // Eliminate below.
+        for r in col + 1..n {
+            let f = m.get(r, col) / m.get(col, col);
+            if f == 0.0 {
+                continue;
+            }
+            for c in col..n {
+                let v = m.get(r, c) - f * m.get(col, c);
+                m.set(r, c, v);
+            }
+            rhs[r] -= f * rhs[col];
+        }
+    }
+    // Back-substitution.
+    let mut x = vec![0.0; n];
+    for r in (0..n).rev() {
+        let mut s = rhs[r];
+        for (c, &xc) in x.iter().enumerate().take(n).skip(r + 1) {
+            s -= m.get(r, c) * xc;
+        }
+        x[r] = s / m.get(r, r);
+    }
+    Some(x)
+}
+
+/// Least-squares fit of `X beta = y` (with an intercept column appended) via
+/// ridge-damped normal equations. Returns `beta` of length `dim + 1` with the
+/// intercept last.
+pub fn least_squares(x: &[Vec<f64>], y: &[f64], ridge: f64) -> Option<Vec<f64>> {
+    let n = x.len();
+    let dim = x.first()?.len();
+    let mut design = Matrix::zeros(n, dim + 1);
+    for (r, row) in x.iter().enumerate() {
+        for (c, &v) in row.iter().enumerate() {
+            design.set(r, c, v);
+        }
+        design.set(r, dim, 1.0);
+    }
+    let mut gram = design.gram();
+    for i in 0..dim + 1 {
+        gram.set(i, i, gram.get(i, i) + ridge);
+    }
+    let rhs = design.t_mul_vec(y);
+    solve(&gram, &rhs)
+}
+
+/// Median of a slice (averaging the two middle elements for even lengths).
+/// Returns 0.0 for an empty slice.
+pub fn median(values: &mut [f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let n = values.len();
+    if n % 2 == 1 {
+        values[n / 2]
+    } else {
+        0.5 * (values[n / 2 - 1] + values[n / 2])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_identity() {
+        let mut a = Matrix::zeros(3, 3);
+        for i in 0..3 {
+            a.set(i, i, 1.0);
+        }
+        let x = solve(&a, &[1.0, 2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn solve_known_system() {
+        // 2x + y = 5 ; x - y = 1  => x = 2, y = 1
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, -1.0]]);
+        let x = solve(&a, &[5.0, 1.0]).unwrap();
+        assert!((x[0] - 2.0).abs() < 1e-12);
+        assert!((x[1] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_singular_is_none() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]);
+        assert!(solve(&a, &[1.0, 2.0]).is_none());
+    }
+
+    #[test]
+    fn least_squares_recovers_plane() {
+        // y = 3a - 2b + 7
+        let x: Vec<Vec<f64>> = (0..30)
+            .map(|i| vec![(i % 6) as f64, (i / 6) as f64])
+            .collect();
+        let y: Vec<f64> = x.iter().map(|r| 3.0 * r[0] - 2.0 * r[1] + 7.0).collect();
+        let beta = least_squares(&x, &y, 1e-9).unwrap();
+        assert!((beta[0] - 3.0).abs() < 1e-6);
+        assert!((beta[1] + 2.0).abs() < 1e-6);
+        assert!((beta[2] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn median_variants() {
+        assert_eq!(median(&mut []), 0.0);
+        assert_eq!(median(&mut [3.0]), 3.0);
+        assert_eq!(median(&mut [3.0, 1.0]), 2.0);
+        assert_eq!(median(&mut [5.0, 1.0, 3.0]), 3.0);
+    }
+}

@@ -1,0 +1,79 @@
+//! Evaluation metrics: the paper's modeling *accuracy*
+//! `1 - (1/n) * Σ |ŷᵢ - yᵢ| / yᵢ` and the coefficient of determination R².
+
+/// The paper's accuracy metric (§III-B). Targets with `y == 0` are skipped.
+/// Each row's relative error is capped at 1 (a prediction off by more than
+/// 100% reads as "0% accurate" for that row rather than dragging the mean
+/// negative), and the mean is clamped below at 0.
+pub fn mape_accuracy(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&p, &a) in pred.iter().zip(actual) {
+        if a == 0.0 {
+            continue;
+        }
+        total += ((p - a) / a).abs().min(1.0);
+        n += 1;
+    }
+    if n == 0 {
+        return 0.0;
+    }
+    (1.0 - total / n as f64).max(0.0)
+}
+
+/// Coefficient of determination R².
+pub fn r_squared(pred: &[f64], actual: &[f64]) -> f64 {
+    assert_eq!(pred.len(), actual.len());
+    if actual.is_empty() {
+        return 0.0;
+    }
+    let mean = actual.iter().sum::<f64>() / actual.len() as f64;
+    let ss_tot: f64 = actual.iter().map(|&a| (a - mean).powi(2)).sum();
+    let ss_res: f64 = pred.iter().zip(actual).map(|(&p, &a)| (a - p).powi(2)).sum();
+    if ss_tot == 0.0 {
+        return if ss_res == 0.0 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_predictions() {
+        let y = [1.0, 2.0, 3.0];
+        assert!((mape_accuracy(&y, &y) - 1.0).abs() < 1e-12);
+        assert!((r_squared(&y, &y) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_with_known_error() {
+        // 10% relative error on every point => accuracy 0.9.
+        let actual = [10.0, 20.0, 40.0];
+        let pred = [11.0, 22.0, 44.0];
+        assert!((mape_accuracy(&pred, &actual) - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn accuracy_clamps_at_zero() {
+        let actual = [1.0];
+        let pred = [100.0];
+        assert_eq!(mape_accuracy(&pred, &actual), 0.0);
+    }
+
+    #[test]
+    fn zero_targets_skipped() {
+        let actual = [0.0, 10.0];
+        let pred = [5.0, 10.0];
+        assert!((mape_accuracy(&pred, &actual) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn r2_of_mean_predictor_is_zero() {
+        let actual = [1.0, 2.0, 3.0];
+        let pred = [2.0, 2.0, 2.0];
+        assert!(r_squared(&pred, &actual).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,67 @@
+//! Simulated ResNet-50 training on the 68-core KNL: runs several training
+//! steps under the recommendation, under Strategies 1+2 only, and under the
+//! full runtime, and prints a per-kind breakdown plus co-running statistics —
+//! the whole paper pipeline on one model.
+//!
+//! Run with: `cargo run --release --example resnet_training`
+
+use nnrt::prelude::*;
+use nnrt::sched::{CorunStats, OpCatalog};
+
+fn main() {
+    let spec = resnet50(64);
+    println!(
+        "{}: {} ops per training step, {} distinct (kind, shape) keys\n",
+        spec.name,
+        spec.graph.len(),
+        spec.graph.distinct_keys().len()
+    );
+
+    let catalog = OpCatalog::new(&spec.graph);
+    let cost = KnlCostModel::knl();
+
+    // The baseline the paper compares against.
+    let rec = TfExecutor::new(TfExecutorConfig::recommendation())
+        .run_step(&spec.graph, &catalog, &cost);
+    println!("recommendation step time: {:.0} ms", rec.total_secs * 1e3);
+    println!("top op kinds under the recommendation:");
+    for &(kind, secs, n) in rec.top_kinds(5) {
+        println!("  {:24} {:7.1} ms  ({n} instances)", kind.to_string(), secs * 1e3);
+    }
+
+    // Profile once, then train: the profiling steps are a tiny fraction of a
+    // real training job's thousands of steps (the paper: < 0.05%).
+    let mut runtime = Runtime::prepare(&spec.graph, cost, RuntimeConfig::default());
+    runtime.record_trace(true);
+    println!(
+        "\nprofiled {} keys in ~{} profiling steps",
+        spec.graph.distinct_keys().len(),
+        runtime.model().profiling_steps
+    );
+
+    let mut last = None;
+    for step in 1..=3 {
+        let report = runtime.run_step(&spec.graph);
+        let stats = CorunStats::middle_window(&report.trace, 6000);
+        println!(
+            "step {step}: {:.0} ms  (speedup {:.2}x, avg co-running ops {:.2}, max {})",
+            report.total_secs * 1e3,
+            rec.total_secs / report.total_secs,
+            stats.avg_corunning,
+            stats.max_corunning
+        );
+        last = Some(report);
+    }
+
+    let report = last.expect("ran steps");
+    println!("\ntop op kinds under our runtime:");
+    for &(kind, secs, n) in report.top_kinds(5) {
+        let rec_time = rec.kind_time(kind).unwrap_or(secs);
+        println!(
+            "  {:24} {:7.1} ms  ({n} instances, {:.2}x vs recommendation)",
+            kind.to_string(),
+            secs * 1e3,
+            rec_time / secs
+        );
+    }
+}

@@ -1,0 +1,200 @@
+//! `nnrt` — command-line front end to the runtime.
+//!
+//! ```text
+//! nnrt compare <model> [batch]   one step: recommendation vs strategies 1-4
+//! nnrt profile <model> [batch]   hill-climb profile: per-key optima
+//! nnrt grid <model> [batch]      uniform (inter, intra) grid sweep
+//! nnrt plan <model> [batch]      the thread plan Strategies 1+2 install
+//! nnrt trace <model> [batch]     write a chrome://tracing JSON of one step
+//! nnrt gpu                       Section VII launch-config tuning + streams
+//! nnrt models                    list the built-in models
+//! ```
+//!
+//! Models: `resnet50` (batch 64), `dcgan` (64), `inception` (16), `lstm` (20),
+//! and beyond the paper: `transformer` (8).
+
+use nnrt::prelude::*;
+use nnrt::sched::OpCatalog;
+use std::process::ExitCode;
+
+fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
+    let spec = match name {
+        "resnet50" | "resnet-50" => resnet50(batch.unwrap_or(64)),
+        "dcgan" => dcgan(batch.unwrap_or(64)),
+        "inception" | "inception-v3" | "inception_v3" => inception_v3(batch.unwrap_or(16)),
+        "lstm" => lstm(batch.unwrap_or(20)),
+        "transformer" | "bert" => nnrt::models::transformer(batch.unwrap_or(8)),
+        _ => return None,
+    };
+    Some(spec)
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: nnrt <compare|profile|grid|plan|trace> <model> [batch]\n       nnrt gpu | nnrt models\n\
+         models: resnet50, dcgan, inception, lstm, transformer"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(cmd) = args.first().map(String::as_str) else {
+        return usage();
+    };
+    match cmd {
+        "models" => {
+            for m in nnrt::models::paper_models() {
+                println!(
+                    "{:14} batch {:3}   {:5} ops, {:4} distinct keys, critical path {}",
+                    m.name,
+                    m.batch,
+                    m.graph.len(),
+                    m.graph.distinct_keys().len(),
+                    m.graph.critical_path_len()
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        "gpu" => {
+            let m = nnrt::gpu::GpuModel::p100();
+            println!("P100 launch-config tuning (O(2n) independent-axis search):");
+            for kind in nnrt::gpu::GpuOpKind::ALL {
+                let k = nnrt::gpu::gpu_op(kind);
+                let tuned = nnrt::gpu::tune_independent(&m, &k);
+                let default = m.time(&k, nnrt::gpu::LaunchConfig::tf_default());
+                println!(
+                    "  {:22} default {:9.1} us -> tuned {:9.1} us ({} t/b, {} blocks, {} evals)",
+                    kind.name(),
+                    default * 1e6,
+                    tuned.secs * 1e6,
+                    tuned.config.threads_per_block,
+                    tuned.config.num_blocks,
+                    tuned.evaluations
+                );
+            }
+            let subs: Vec<nnrt::gpu::Submission> = nnrt::gpu::GpuOpKind::ALL
+                .iter()
+                .map(|&k| nnrt::gpu::Submission {
+                    kernel: nnrt::gpu::gpu_op(k),
+                    config: nnrt::gpu::LaunchConfig::tf_default(),
+                })
+                .collect();
+            let sched = nnrt::gpu::schedule_streams(&m, &subs);
+            println!(
+                "stream packing of the 5 ops: serial {:.1} us -> {:.1} us ({} waves)",
+                sched.serial * 1e6,
+                sched.makespan * 1e6,
+                sched.waves.len()
+            );
+            ExitCode::SUCCESS
+        }
+        "compare" | "profile" | "grid" | "plan" | "trace" => {
+            let Some(name) = args.get(1) else { return usage() };
+            let batch = args.get(2).and_then(|b| b.parse().ok());
+            let Some(spec) = model_by_name(name, batch) else {
+                eprintln!("unknown model '{name}'");
+                return usage();
+            };
+            run_model_command(cmd, &spec);
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}
+
+fn run_model_command(cmd: &str, spec: &ModelSpec) {
+    let catalog = OpCatalog::new(&spec.graph);
+    let cost = KnlCostModel::knl();
+    match cmd {
+        "compare" => {
+            let rec = TfExecutor::new(TfExecutorConfig::recommendation())
+                .run_step(&spec.graph, &catalog, &cost);
+            let rt = Runtime::prepare(&spec.graph, cost, RuntimeConfig::default());
+            let ours = rt.run_step(&spec.graph);
+            println!("{} (batch {}): {} ops", spec.name, spec.batch, spec.graph.len());
+            println!("  recommendation (1, 68): {:8.1} ms", rec.total_secs * 1e3);
+            println!(
+                "  strategies 1-4:         {:8.1} ms   ({:.2}x)",
+                ours.total_secs * 1e3,
+                rec.total_secs / ours.total_secs
+            );
+            println!("  top kinds (ours):");
+            for &(kind, secs, n) in ours.top_kinds(5) {
+                println!("    {:24} {:8.1} ms  x{n}", kind.to_string(), secs * 1e3);
+            }
+        }
+        "profile" => {
+            let rt = Runtime::prepare(&spec.graph, cost, RuntimeConfig::default());
+            println!(
+                "{}: profiled {} keys in ~{} steps ({} measurements)",
+                spec.name,
+                catalog.keys().len(),
+                rt.model().profiling_steps,
+                rt.model().measurements
+            );
+            let mut rows: Vec<_> = catalog
+                .keys()
+                .iter()
+                .filter_map(|key| rt.model().best(key).map(|b| (key.clone(), b)))
+                .collect();
+            rows.sort_by(|a, b| b.1 .2.partial_cmp(&a.1 .2).unwrap());
+            for (key, (threads, mode, secs)) in rows.iter().take(15) {
+                println!(
+                    "  {:24} {:18} -> {:2} threads ({:?}), {:9.3} ms",
+                    key.0.to_string(),
+                    key.1.to_string(),
+                    threads,
+                    mode,
+                    secs * 1e3
+                );
+            }
+            if rows.len() > 15 {
+                println!("  ... and {} more keys", rows.len() - 15);
+            }
+        }
+        "grid" => {
+            let rec = TfExecutor::new(TfExecutorConfig::recommendation())
+                .run_step(&spec.graph, &catalog, &cost)
+                .total_secs;
+            println!("{}: speedup over (1, 68) = {:.1} ms", spec.name, rec * 1e3);
+            println!("{:>6} {:>6} {:>9}", "inter", "intra", "speedup");
+            for inter in [1u32, 2, 4] {
+                for intra in [16u32, 34, 68, 136] {
+                    let t = TfExecutor::new(TfExecutorConfig { inter_op: inter, intra_op: intra })
+                        .run_step(&spec.graph, &catalog, &cost)
+                        .total_secs;
+                    println!("{inter:>6} {intra:>6} {:>8.2}x", rec / t);
+                }
+            }
+        }
+        "trace" => {
+            let mut rt = Runtime::prepare(&spec.graph, cost, RuntimeConfig::default());
+            rt.record_trace(true);
+            let report = rt.run_step(&spec.graph);
+            let json = nnrt::sched::export_chrome_trace(&spec.graph, &report.timings);
+            let path = format!("{}_trace.json", spec.name.to_lowercase().replace('-', "_"));
+            std::fs::write(&path, json).expect("write trace file");
+            println!(
+                "{}: wrote {path} ({} ops, step {:.1} ms) — open in chrome://tracing or Perfetto",
+                spec.name,
+                report.timings.len(),
+                report.total_secs * 1e3
+            );
+        }
+        "plan" => {
+            let rt = Runtime::prepare(&spec.graph, cost, RuntimeConfig::default());
+            println!("{}: Strategy 1+2 thread plan (per kind, largest instance):", spec.name);
+            let mut seen = std::collections::BTreeSet::new();
+            for key in catalog.keys() {
+                if !key.0.is_tunable() || !seen.insert(key.0) {
+                    continue;
+                }
+                let (threads, mode) = rt.plan().threads_for(key);
+                println!("  {:24} -> {threads:2} threads ({mode:?})", key.0.to_string());
+            }
+            println!("  (non-MKL kinds stay at the framework default of 68)");
+        }
+        _ => unreachable!(),
+    }
+}

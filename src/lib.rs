@@ -1,0 +1,46 @@
+//! # nnrt — Runtime Concurrency Control and Operation Scheduling for NN Training
+//!
+//! A from-scratch Rust reproduction of Liu, Li, Kestor & Vetter,
+//! *"Runtime Concurrency Control and Operation Scheduling for High Performance
+//! Neural Network Training"*, IPDPS 2019 (arXiv:1810.08955).
+//!
+//! This facade crate re-exports the workspace members:
+//!
+//! * [`manycore`] — KNL-like discrete-event manycore simulator + cost model.
+//! * [`graph`] — dataflow graphs of NN training operations.
+//! * [`models`] — training-step graph builders (ResNet-50, DCGAN,
+//!   Inception-v3, LSTM).
+//! * [`counters`] — simulated hardware performance-event counters.
+//! * [`regress`] — from-scratch regression models (the paper's rejected
+//!   performance-model baseline).
+//! * [`sched`] — the paper's contribution: hill-climbing performance model
+//!   and the four co-run scheduling strategies.
+//! * [`kernels`] — real parallel CPU kernels on a controllable thread pool,
+//!   for running the same auto-tuning loop on the host machine.
+//! * [`gpu`] — the Section VII preliminary-study GPU simulator.
+//! * [`cluster`] — multi-KNL data/model parallelism (the paper's Section V,
+//!   implemented rather than left as future work).
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
+
+pub use nnrt_cluster as cluster;
+pub use nnrt_counters as counters;
+pub use nnrt_gpu as gpu;
+pub use nnrt_graph as graph;
+pub use nnrt_kernels as kernels;
+pub use nnrt_manycore as manycore;
+pub use nnrt_models as models;
+pub use nnrt_regress as regress;
+pub use nnrt_sched as sched;
+
+/// Commonly used items, re-exported flat.
+pub mod prelude {
+    pub use nnrt_graph::{DataflowGraph, OpInstance, OpKind, Shape};
+    pub use nnrt_manycore::{
+        CostModel, Engine, KnlCostModel, KnlParams, NoiseModel, SharingMode, Topology, WorkProfile,
+    };
+    pub use nnrt_models::{dcgan, inception_v3, lstm, resnet50, ModelSpec};
+    pub use nnrt_sched::{
+        HillClimbModel, PerfModel, Runtime, RuntimeConfig, StepReport, TfExecutor, TfExecutorConfig,
+    };
+}

@@ -1,0 +1,126 @@
+//! Integration tests for the adaptive interference feedback (§III-D
+//! discussion) and serde round-trips of the public data types.
+
+use nnrt::prelude::*;
+use nnrt_graph::{DataflowGraph, OpAux, OpInstance};
+
+#[test]
+fn adaptive_steps_never_regress_catastrophically() {
+    // Run several adaptive steps on ResNet-50: denials may accumulate, and
+    // the step time must stay in the same band (adaptation must not wreck
+    // the schedule).
+    let spec = resnet50(16);
+    let mut rt = Runtime::prepare(&spec.graph, KnlCostModel::knl(), RuntimeConfig::default());
+    let (first, _) = rt.run_step_adaptive(&spec.graph);
+    let mut last = first.total_secs;
+    for _ in 0..3 {
+        let (report, _new) = rt.run_step_adaptive(&spec.graph);
+        last = report.total_secs;
+    }
+    assert!(
+        last <= first.total_secs * 1.15,
+        "adaptation must not slow the step down materially: {} -> {}",
+        first.total_secs,
+        last
+    );
+}
+
+#[test]
+fn feedback_denies_pairs_when_predictions_are_bad() {
+    // Force bad predictions by directing the runtime with a model that
+    // wildly underestimates everything: every co-run overlap then looks like
+    // interference, and denials accumulate.
+    use nnrt::manycore::SharingMode;
+    use nnrt::sched::PerfModel;
+    use nnrt_graph::OpKey;
+
+    struct Underestimator;
+    impl PerfModel for Underestimator {
+        fn predict(&self, _key: &OpKey, _threads: u32, _mode: SharingMode) -> Option<f64> {
+            Some(1e-7) // everything "should" take 0.1 us
+        }
+        fn best(&self, _key: &OpKey) -> Option<(u32, SharingMode, f64)> {
+            Some((16, SharingMode::Compact, 1e-7))
+        }
+        fn candidates(&self, _key: &OpKey, _n: usize) -> Vec<(u32, SharingMode, f64)> {
+            vec![(16, SharingMode::Compact, 1e-7), (12, SharingMode::Compact, 1.1e-7)]
+        }
+    }
+
+    let mut g = DataflowGraph::new();
+    for _ in 0..6 {
+        g.add(
+            OpInstance::with_aux(
+                OpKind::Conv2DBackpropFilter,
+                Shape::nhwc(32, 8, 8, 384),
+                OpAux::conv(3, 1, 384),
+            ),
+            &[],
+        );
+        g.add(OpInstance::new(OpKind::Tile, Shape::nhwc(32, 8, 8, 384)), &[]);
+    }
+    let mut rt = Runtime::prepare_with_model(
+        &g,
+        KnlCostModel::knl(),
+        RuntimeConfig::default(),
+        Box::new(Underestimator),
+    );
+    assert!(rt.feedback().is_empty());
+    let (_, new_denials) = rt.run_step_adaptive(&g);
+    assert!(
+        new_denials > 0,
+        "wild underestimates with overlapping kinds must produce denials"
+    );
+    assert!(!rt.feedback().is_empty());
+}
+
+#[test]
+fn serde_roundtrips() {
+    // DataflowGraph.
+    let spec = dcgan(8);
+    let json = serde_json::to_string(&spec.graph).unwrap();
+    let back: DataflowGraph = serde_json::from_str(&json).unwrap();
+    back.validate().unwrap();
+    assert_eq!(back.len(), spec.graph.len());
+    assert_eq!(back.distinct_keys(), spec.graph.distinct_keys());
+
+    // StepReport (with trace + timings).
+    let mut rt = Runtime::prepare(&spec.graph, KnlCostModel::knl(), RuntimeConfig::default());
+    rt.record_trace(true);
+    let report = rt.run_step(&spec.graph);
+    let json = serde_json::to_string(&report).unwrap();
+    let back: StepReport = serde_json::from_str(&json).unwrap();
+    assert_eq!(back.total_secs, report.total_secs);
+    assert_eq!(back.trace.len(), report.trace.len());
+    assert_eq!(back.timings.len(), report.timings.len());
+
+    // Configs and machine types.
+    let cfg = RuntimeConfig::default();
+    let back: RuntimeConfig =
+        serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+    assert_eq!(back, cfg);
+    let params = KnlParams::default();
+    let back: KnlParams =
+        serde_json::from_str(&serde_json::to_string(&params).unwrap()).unwrap();
+    assert_eq!(back, params);
+    let topo = Topology::knl();
+    let back: Topology = serde_json::from_str(&serde_json::to_string(&topo).unwrap()).unwrap();
+    assert_eq!(back, topo);
+}
+
+#[test]
+fn chrome_trace_of_a_real_step_is_valid_json() {
+    let spec = lstm(20);
+    let mut rt = Runtime::prepare(&spec.graph, KnlCostModel::knl(), RuntimeConfig::default());
+    rt.record_trace(true);
+    let report = rt.run_step(&spec.graph);
+    let json = nnrt::sched::export_chrome_trace(&spec.graph, &report.timings);
+    let parsed: serde_json::Value = serde_json::from_str(&json).unwrap();
+    let events = parsed["traceEvents"].as_array().unwrap();
+    assert_eq!(events.len(), spec.graph.len());
+    // Every event has positive duration and a lane.
+    for e in events {
+        assert!(e["dur"].as_f64().unwrap() > 0.0);
+        assert!(e["tid"].as_u64().unwrap() >= 1);
+    }
+}

@@ -1,0 +1,137 @@
+//! End-to-end integration: build each paper model, profile it, execute a
+//! training step under every executor, and validate both performance claims
+//! and scheduling legality.
+
+use nnrt::prelude::*;
+use nnrt::sched::OpCatalog;
+use std::collections::HashMap;
+
+fn models() -> Vec<ModelSpec> {
+    // Smaller batches than the paper's keep the test fast; the invariants
+    // are batch-independent.
+    vec![resnet50(16), dcgan(16), inception_v3(4), lstm(20)]
+}
+
+#[test]
+fn runtime_beats_recommendation_on_every_model() {
+    for spec in models() {
+        let catalog = OpCatalog::new(&spec.graph);
+        let cost = KnlCostModel::knl();
+        let rec = TfExecutor::new(TfExecutorConfig::recommendation())
+            .run_step(&spec.graph, &catalog, &cost);
+        let rt = Runtime::prepare(&spec.graph, cost, RuntimeConfig::default());
+        let ours = rt.run_step(&spec.graph);
+        assert_eq!(ours.nodes_executed, spec.graph.len(), "{}", spec.name);
+        assert!(
+            ours.total_secs < rec.total_secs,
+            "{}: runtime ({:.4}s) must beat the recommendation ({:.4}s)",
+            spec.name,
+            ours.total_secs,
+            rec.total_secs
+        );
+    }
+}
+
+#[test]
+fn executed_schedule_respects_dependencies() {
+    // Record the full event trace and verify that no operation starts before
+    // every one of its predecessors finished.
+    let spec = resnet50(16);
+    let mut rt = Runtime::prepare(&spec.graph, KnlCostModel::knl(), RuntimeConfig::default());
+    rt.record_trace(true);
+    let report = rt.run_step(&spec.graph);
+    let mut started: HashMap<u64, f64> = HashMap::new();
+    let mut finished: HashMap<u64, f64> = HashMap::new();
+    for ev in &report.trace {
+        match ev.kind {
+            nnrt::manycore::EventKind::Start => {
+                assert!(
+                    started.insert(ev.tag, ev.time).is_none(),
+                    "op {} started twice",
+                    ev.tag
+                );
+            }
+            nnrt::manycore::EventKind::Finish => {
+                assert!(finished.insert(ev.tag, ev.time).is_none());
+            }
+        }
+    }
+    assert_eq!(started.len(), spec.graph.len());
+    assert_eq!(finished.len(), spec.graph.len());
+    let eps = 1e-9;
+    for (id, _) in spec.graph.iter() {
+        let s = started[&(id.0 as u64)];
+        for pred in spec.graph.preds(id) {
+            let f = finished[&(pred.0 as u64)];
+            assert!(
+                s + eps >= f,
+                "op {} started at {s} before predecessor {} finished at {f}",
+                id.0,
+                pred.0
+            );
+        }
+    }
+}
+
+#[test]
+fn strategies_never_lose_catastrophically() {
+    // Every ablation stage must stay within a small factor of the strongest
+    // configuration — a scheduling bug typically shows up as a multi-x loss.
+    for spec in models() {
+        let cost = KnlCostModel::knl();
+        let full =
+            Runtime::prepare(&spec.graph, cost.clone(), RuntimeConfig::default())
+                .run_step(&spec.graph)
+                .total_secs;
+        for cfg in [RuntimeConfig::s12_only(), RuntimeConfig::s123()] {
+            let t = Runtime::prepare(&spec.graph, cost.clone(), cfg)
+                .run_step(&spec.graph)
+                .total_secs;
+            assert!(
+                t < full * 3.0,
+                "{}: partial-strategy step {t:.4}s vs full {full:.4}s",
+                spec.name
+            );
+        }
+    }
+}
+
+#[test]
+fn manual_optimization_bounds_the_uniform_grid() {
+    let spec = dcgan(16);
+    let catalog = OpCatalog::new(&spec.graph);
+    let cost = KnlCostModel::knl();
+    let (cfg, best) = nnrt::sched::manual_optimization(&spec.graph, &catalog, &cost);
+    // The returned config must actually reproduce its reported time.
+    let again = TfExecutor::new(cfg).run_step(&spec.graph, &catalog, &cost);
+    assert!((again.total_secs - best.total_secs).abs() < 1e-12);
+    // And beat the recommendation (the grid includes it).
+    let rec = TfExecutor::new(TfExecutorConfig::recommendation())
+        .run_step(&spec.graph, &catalog, &cost);
+    assert!(best.total_secs <= rec.total_secs);
+}
+
+#[test]
+fn profiling_cost_is_bounded() {
+    // The paper: N <= C/x * 2 profiling steps.
+    let spec = lstm(20);
+    let rt = Runtime::prepare(&spec.graph, KnlCostModel::knl(), RuntimeConfig::default());
+    let x = rt.config().hillclimb.interval;
+    let c = 68;
+    assert!(
+        rt.model().profiling_steps <= (c / x + 1) * 2,
+        "profiling steps {} exceed the paper's bound",
+        rt.model().profiling_steps
+    );
+}
+
+#[test]
+fn step_reports_are_deterministic_and_consistent() {
+    let spec = dcgan(16);
+    let rt = Runtime::prepare(&spec.graph, KnlCostModel::knl(), RuntimeConfig::default());
+    let a = rt.run_step(&spec.graph);
+    let b = rt.run_step(&spec.graph);
+    assert_eq!(a.total_secs, b.total_secs);
+    let per_kind_total: usize = a.per_kind.iter().map(|&(_, _, n)| n).sum();
+    assert_eq!(per_kind_total, spec.graph.len());
+}

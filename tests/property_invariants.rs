@@ -1,0 +1,114 @@
+//! Property-based integration tests: random dataflow graphs must execute
+//! legally and completely under every executor, and random co-run workloads
+//! must conserve work in the engine.
+
+use nnrt::prelude::*;
+use nnrt::sched::OpCatalog;
+use nnrt_graph::{DataflowGraph, NodeId, OpAux, OpInstance};
+use proptest::prelude::*;
+
+/// A random DAG of 1..=40 ops drawn from a mixed catalog; edges only point
+/// backward, so the graph is valid by construction.
+fn arb_graph() -> impl Strategy<Value = DataflowGraph> {
+    let kinds = prop_oneof![
+        Just(OpKind::Conv2D),
+        Just(OpKind::Conv2DBackpropFilter),
+        Just(OpKind::MatMul),
+        Just(OpKind::Relu),
+        Just(OpKind::Tile),
+        Just(OpKind::ApplyAdam),
+        Just(OpKind::BiasAddGrad),
+    ];
+    let node = (kinds, 1usize..=64, 1usize..=32, 0usize..=3);
+    proptest::collection::vec(node, 1..=40).prop_map(|nodes| {
+        let mut g = DataflowGraph::new();
+        for (i, (kind, a, b, ndeps)) in nodes.into_iter().enumerate() {
+            let shape = Shape::nhwc(4, a, a, b * 8);
+            let deps: Vec<NodeId> = (0..ndeps.min(i))
+                .map(|d| NodeId(((i * 7 + d * 13) % i.max(1)) as u32))
+                .collect();
+            let mut deps = deps;
+            deps.sort_unstable();
+            deps.dedup();
+            g.add(OpInstance::with_aux(kind, shape, OpAux::conv(3, 1, b * 8)), &deps);
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn runtime_executes_every_random_graph(g in arb_graph()) {
+        let cfg = RuntimeConfig {
+            hillclimb: nnrt::sched::HillClimbConfig { interval: 8, max_threads: 68 },
+            ..RuntimeConfig::default()
+        };
+        let rt = Runtime::prepare(&g, KnlCostModel::knl(), cfg);
+        let report = rt.run_step(&g);
+        prop_assert_eq!(report.nodes_executed, g.len());
+        prop_assert!(report.total_secs.is_finite());
+        prop_assert!(report.total_secs >= 0.0);
+    }
+
+    #[test]
+    fn baseline_and_runtime_run_the_same_ops(g in arb_graph()) {
+        let catalog = OpCatalog::new(&g);
+        let cost = KnlCostModel::knl();
+        let rec = TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&g, &catalog, &cost);
+        prop_assert_eq!(rec.nodes_executed, g.len());
+        let per_kind: usize = rec.per_kind.iter().map(|&(_, _, n)| n).sum();
+        prop_assert_eq!(per_kind, g.len());
+    }
+
+    #[test]
+    fn step_time_dominates_critical_path_and_bounded_by_serial(g in arb_graph()) {
+        // The step can never beat the critical path's best-case time, nor
+        // lose to fully serial execution at planned thread counts by more
+        // than the interference margin.
+        let catalog = OpCatalog::new(&g);
+        let cost = KnlCostModel::knl();
+        let serial_sum: f64 = g
+            .iter()
+            .map(|(id, _)| {
+                nnrt::manycore::CostModel::solo_time(
+                    &cost,
+                    catalog.profile(id),
+                    68,
+                    nnrt::manycore::SharingMode::Compact,
+                )
+            })
+            .sum();
+        let rec = TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&g, &catalog, &cost);
+        prop_assert!((rec.total_secs - serial_sum).abs() < serial_sum * 1e-9 + 1e-12,
+            "inter=1 must be exactly serial: {} vs {}", rec.total_secs, serial_sum);
+    }
+
+    #[test]
+    fn engine_conserves_work_for_isolated_jobs(
+        durations in proptest::collection::vec(1e-5f64..1e-2, 1..=8)
+    ) {
+        // Non-interfering jobs (no memory pressure, no shared cores, no
+        // cache footprint) finish exactly at their nominal durations.
+        use nnrt::manycore::{Engine, PlacementRequest, SharingMode, Topology, WorkProfile, KnlParams};
+        let mut e = Engine::new(Topology::knl(), KnlParams::default());
+        let mut profile = WorkProfile::compute_bound(1e8);
+        profile.mem_intensity = 0.0;
+        profile.cache_pressure = 0.0;
+        let jobs: Vec<_> = durations
+            .iter()
+            .enumerate()
+            .map(|(i, &d)| {
+                e.launch(profile, d, &PlacementRequest::primary(8, SharingMode::Compact), i as u64)
+                    .unwrap()
+            })
+            .collect();
+        prop_assert_eq!(jobs.len(), durations.len());
+        let outcomes = e.drain();
+        for o in outcomes {
+            let expected = durations[o.tag as usize];
+            prop_assert!(((o.finish - o.start) - expected).abs() < 1e-12);
+        }
+    }
+}
