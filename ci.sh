@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Local CI: format check, lints, then the tier-1 and workspace test suites.
+# Everything runs offline against the vendored path dependencies.
+set -euo pipefail
+cd "$(dirname "$0")"
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "== cargo clippy (warnings denied) =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== tier-1: cargo build --release && cargo test -q =="
+cargo build --release --offline
+cargo test -q --offline
+
+echo "== workspace tests =="
+cargo test --workspace -q --offline
+
+echo "CI green."

@@ -14,7 +14,11 @@ fn main() {
         "Strategy 3 candidate count and selection-preference ablation",
     );
     let mut table = Table::new([
-        "model", "1 cand", "3 cands (paper)", "5 cands", "3 cands, fastest-first",
+        "model",
+        "1 cand",
+        "3 cands (paper)",
+        "5 cands",
+        "3 cands, fastest-first",
     ]);
     for bench in Bench::paper_models() {
         let rec = bench.recommendation().total_secs;

@@ -13,7 +13,11 @@ fn main() {
         "Online Strategies 1-4 vs an omniscient offline packer",
     );
     let mut table = Table::new([
-        "model", "recommendation (ms)", "strategies 1-4 (ms)", "oracle (ms)", "online captures",
+        "model",
+        "recommendation (ms)",
+        "strategies 1-4 (ms)",
+        "oracle (ms)",
+        "online captures",
     ]);
     for bench in Bench::paper_models() {
         let rec = bench.recommendation().total_secs;

@@ -15,7 +15,11 @@ fn main() {
         "Runtime directed by the regression model instead of the hill climber",
     );
     let mut table = Table::new([
-        "model", "hill-climb (speedup)", "regression (speedup)", "regression loss", "paper loss",
+        "model",
+        "hill-climb (speedup)",
+        "regression (speedup)",
+        "regression loss",
+        "paper loss",
     ]);
     let all = Bench::paper_models();
     for (i, bench) in all.iter().enumerate() {
@@ -63,7 +67,11 @@ fn main() {
             format!("{:.2}", rec / hc),
             format!("{:.2}", rec / reg_secs),
             format!("{loss:.0}%"),
-            if bench.spec.name == "ResNet-50" { "30%".to_string() } else { "-".to_string() },
+            if bench.spec.name == "ResNet-50" {
+                "30%".to_string()
+            } else {
+                "-".to_string()
+            },
         ]);
         record.push(&format!("{}_loss_pct", bench.spec.name), loss, 30.0);
     }

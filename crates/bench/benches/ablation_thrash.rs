@@ -16,20 +16,37 @@ fn main() {
         "Strategy 1 alone vs. Strategies 1+2 vs. 1+2 with an expensive reconfiguration",
     );
     let mut table = Table::new([
-        "model", "S1 only", "S1+2 (paper)", "S1 only, 4x reconfig cost", "S1+2, 4x reconfig cost",
+        "model",
+        "S1 only",
+        "S1+2 (paper)",
+        "S1 only, 4x reconfig cost",
+        "S1+2, 4x reconfig cost",
     ]);
     for bench in Bench::paper_models() {
         let rec = bench.recommendation().total_secs;
-        let serial = RuntimeConfig { s3: false, s4: false, ..RuntimeConfig::default() };
+        let serial = RuntimeConfig {
+            s3: false,
+            s4: false,
+            ..RuntimeConfig::default()
+        };
         let run = |s2: bool, reconfig_mult: f64| {
             let mut cost = KnlCostModel::knl();
             cost.params_mut().reconfig_cost *= reconfig_mult;
-            let cfg = RuntimeConfig { s1: true, s2, ..serial };
+            let cfg = RuntimeConfig {
+                s1: true,
+                s2,
+                ..serial
+            };
             rec / Runtime::prepare(&bench.spec.graph, cost, cfg)
                 .run_step(&bench.spec.graph)
                 .total_secs
         };
-        let (s1, s12, s1x4, s12x4) = (run(false, 1.0), run(true, 1.0), run(false, 4.0), run(true, 4.0));
+        let (s1, s12, s1x4, s12x4) = (
+            run(false, 1.0),
+            run(true, 1.0),
+            run(false, 4.0),
+            run(true, 4.0),
+        );
         table.row([
             bench.spec.name.to_string(),
             format!("{s1:.2}"),

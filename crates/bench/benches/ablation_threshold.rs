@@ -15,7 +15,10 @@ fn main() {
     for bench in Bench::paper_models() {
         let rec = bench.recommendation().total_secs;
         let run = |tol: u32| {
-            let cfg = RuntimeConfig { s2_tolerance: tol, ..RuntimeConfig::default() };
+            let cfg = RuntimeConfig {
+                s2_tolerance: tol,
+                ..RuntimeConfig::default()
+            };
             rec / bench.runtime(cfg).run_step(&bench.spec.graph).total_secs
         };
         let (t0, t2, t8, tinf) = (run(0), run(2), run(8), run(u32::MAX));

@@ -17,7 +17,11 @@ fn main() {
 
     // --- Data parallelism: DCGAN, global batch 64 ---
     let mut t = Table::new([
-        "nodes", "compute (ms)", "all-reduce (ms)", "total (ms)", "runtime vs rec",
+        "nodes",
+        "compute (ms)",
+        "all-reduce (ms)",
+        "total (ms)",
+        "runtime vs rec",
     ]);
     for nodes in [1u32, 2, 4, 8] {
         let trainer = DataParallelTrainer::new(nodes);
@@ -38,12 +42,14 @@ fn main() {
     // --- Model parallelism: Inception-v3 over partitions ---
     let g = nnrt_models::inception_v3(8).graph;
     let mut t = Table::new([
-        "partitions", "total (ms)", "transfer (ms)", "avg co-running ops/node",
+        "partitions",
+        "total (ms)",
+        "transfer (ms)",
+        "avg co-running ops/node",
     ]);
     for nodes in [1u32, 2, 4, 8] {
         let report = ModelParallelTrainer::new(nodes).step(&g);
-        let avg: f64 =
-            report.avg_corunning.iter().sum::<f64>() / report.avg_corunning.len() as f64;
+        let avg: f64 = report.avg_corunning.iter().sum::<f64>() / report.avg_corunning.len() as f64;
         t.row([
             nodes.to_string(),
             format!("{:.1}", report.total_secs * 1e3),

@@ -37,7 +37,13 @@ fn main() {
         "fig1",
         "Time-vs-threads curves of Conv2DBackpropFilter/Input and Conv2D",
     );
-    let mut summary = Table::new(["op", "optimum (ours)", "optimum (paper)", "loss@68 (ours)", "loss@68 (paper)"]);
+    let mut summary = Table::new([
+        "op",
+        "optimum (ours)",
+        "optimum (paper)",
+        "loss@68 (ours)",
+        "loss@68 (paper)",
+    ]);
     let paper_loss = [17.3, 9.8, 11.1];
     for (i, (kind, paper_opt)) in ops.iter().enumerate() {
         let prof = work_profile(*kind, &shape, &aux);

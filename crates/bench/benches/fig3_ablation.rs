@@ -11,26 +11,37 @@ fn main() {
     let mut record = ExperimentRecord::new("fig3", "Strategy ablation speedups");
     let mut table = Table::new([
         "model",
-        "S1+2 (ours)", "(paper)",
-        "S3 (ours)", "(paper)",
-        "S4 (ours)", "(paper)",
-        "full (ours)", "(paper)",
-        "manual (ours)", "(paper)",
+        "S1+2 (ours)",
+        "(paper)",
+        "S3 (ours)",
+        "(paper)",
+        "S4 (ours)",
+        "(paper)",
+        "full (ours)",
+        "(paper)",
+        "manual (ours)",
+        "(paper)",
     ]);
-    for (bench, &(name, p12, p3, p4, pfull, pmanual)) in
-        Bench::paper_models().iter().zip(&FIG3)
-    {
+    for (bench, &(name, p12, p3, p4, pfull, pmanual)) in Bench::paper_models().iter().zip(&FIG3) {
         assert_eq!(bench.spec.name, name);
         let rec = bench.recommendation().total_secs;
         let s12 = bench
             .runtime(RuntimeConfig::s12_only())
             .run_step(&bench.spec.graph)
             .total_secs;
-        let s123 = bench.runtime(RuntimeConfig::s123()).run_step(&bench.spec.graph).total_secs;
+        let s123 = bench
+            .runtime(RuntimeConfig::s123())
+            .run_step(&bench.spec.graph)
+            .total_secs;
         let full = bench.ours().total_secs;
         let (mcfg, manual) = manual_optimization(&bench.spec.graph, &bench.catalog, &bench.cost);
-        let (g12, g3, g4, gfull, gman) =
-            (rec / s12, s12 / s123, s123 / full, rec / full, rec / manual.total_secs);
+        let (g12, g3, g4, gfull, gman) = (
+            rec / s12,
+            s12 / s123,
+            s123 / full,
+            rec / full,
+            rec / manual.total_secs,
+        );
         table.row([
             name.to_string(),
             format!("{g12:.2}"),

@@ -11,7 +11,13 @@ use nnrt_sched::{CorunStats, RuntimeConfig};
 fn main() {
     let mut record = ExperimentRecord::new("fig4", "Co-running op counts per event");
     let mut table = Table::new([
-        "model", "events", "avg S3 (ours)", "(paper)", "avg S3+S4 (ours)", "(paper)", "max (ours)",
+        "model",
+        "events",
+        "avg S3 (ours)",
+        "(paper)",
+        "avg S3+S4 (ours)",
+        "(paper)",
+        "max (ours)",
     ]);
     for (bench, &(name, paper_s3, paper_s4)) in Bench::paper_models()
         .iter()
@@ -23,7 +29,10 @@ fn main() {
             let mut rt = bench.runtime(cfg);
             rt.record_trace(true);
             let report = rt.run_step(&bench.spec.graph);
-            (CorunStats::middle_window(&report.trace, 6000), report.trace.len())
+            (
+                CorunStats::middle_window(&report.trace, 6000),
+                report.trace.len(),
+            )
         };
         let (s3, _) = stats(RuntimeConfig::s123());
         let (s4, events) = stats(RuntimeConfig::default());

@@ -22,7 +22,13 @@ fn main() {
     for &tpb in &tpb_grid {
         let mut row = vec![tpb.to_string()];
         for kind in ops {
-            let t = m.time(&gpu_op(kind), LaunchConfig { threads_per_block: tpb, num_blocks: 56 });
+            let t = m.time(
+                &gpu_op(kind),
+                LaunchConfig {
+                    threads_per_block: tpb,
+                    num_blocks: 56,
+                },
+            );
             row.push(format!("{:.2}", t * 1e4));
         }
         ta.row(row);
@@ -30,7 +36,15 @@ fn main() {
     for kind in ops {
         let times: Vec<f64> = tpb_grid
             .iter()
-            .map(|&tpb| m.time(&gpu_op(kind), LaunchConfig { threads_per_block: tpb, num_blocks: 56 }))
+            .map(|&tpb| {
+                m.time(
+                    &gpu_op(kind),
+                    LaunchConfig {
+                        threads_per_block: tpb,
+                        num_blocks: 56,
+                    },
+                )
+            })
             .collect();
         let default = times[2];
         let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -48,7 +62,13 @@ fn main() {
     for &nb in &nb_grid {
         let mut row = vec![nb.to_string()];
         for kind in ops {
-            let t = m.time(&gpu_op(kind), LaunchConfig { threads_per_block: 1024, num_blocks: nb });
+            let t = m.time(
+                &gpu_op(kind),
+                LaunchConfig {
+                    threads_per_block: 1024,
+                    num_blocks: nb,
+                },
+            );
             row.push(format!("{:.2}", t * 1e4));
         }
         tb.row(row);
@@ -56,7 +76,15 @@ fn main() {
     for kind in ops {
         let times: Vec<f64> = nb_grid
             .iter()
-            .map(|&nb| m.time(&gpu_op(kind), LaunchConfig { threads_per_block: 1024, num_blocks: nb }))
+            .map(|&nb| {
+                m.time(
+                    &gpu_op(kind),
+                    LaunchConfig {
+                        threads_per_block: 1024,
+                        num_blocks: nb,
+                    },
+                )
+            })
             .collect();
         let default = times[1];
         let best = times.iter().cloned().fold(f64::INFINITY, f64::min);

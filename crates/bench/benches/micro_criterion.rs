@@ -4,9 +4,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
 use nnrt_graph::{work_profile, OpAux, OpKind, Shape};
-use nnrt_manycore::{
-    CostModel, Engine, KnlCostModel, PlacementRequest, SharingMode, Topology,
-};
+use nnrt_manycore::{CostModel, Engine, KnlCostModel, PlacementRequest, SharingMode, Topology};
 use nnrt_sched::{HillClimbConfig, HillClimbModel, Measurer, OpCatalog, Runtime, RuntimeConfig};
 use std::hint::black_box;
 
@@ -63,11 +61,15 @@ fn bench_profiler_and_runtime(c: &mut Criterion) {
         )
     });
     let rt = Runtime::prepare(&spec.graph, KnlCostModel::knl(), RuntimeConfig::default());
-    c.bench_function("runtime_step_dcgan", |b| b.iter(|| rt.run_step(black_box(&spec.graph))));
+    c.bench_function("runtime_step_dcgan", |b| {
+        b.iter(|| rt.run_step(black_box(&spec.graph)))
+    });
 }
 
 fn bench_kernels(c: &mut Criterion) {
-    let threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let threads = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let x = nnrt_kernels::Tensor::sequence(&[4, 16, 16, 16], 1.0);
     let f = nnrt_kernels::Tensor::sequence(&[3, 3, 16, 16], 0.5);
     c.bench_function("kernel_conv2d_4x16x16x16", |b| {

@@ -20,7 +20,12 @@ fn main() {
     let mut record =
         ExperimentRecord::new("table1", "Uniform (inter, intra) parallelism grid speedups");
     let mut table = Table::new([
-        "inter", "intra", "ResNet-50 (ours)", "ResNet-50 (paper)", "DCGAN (ours)", "DCGAN (paper)",
+        "inter",
+        "intra",
+        "ResNet-50 (ours)",
+        "ResNet-50 (paper)",
+        "DCGAN (ours)",
+        "DCGAN (paper)",
     ]);
     for &(inter, intra, paper_r, paper_d) in &TABLE1 {
         let sr = speedup(rec_resnet, resnet.uniform(inter, intra).total_secs);

@@ -23,7 +23,12 @@ fn main() {
         "Optimal thread count and default-vs-best variance per input size",
     );
     let mut table = Table::new([
-        "op", "input", "opt (ours)", "opt (paper)", "variance (ours)", "variance (paper)",
+        "op",
+        "input",
+        "opt (ours)",
+        "opt (paper)",
+        "variance (ours)",
+        "variance (paper)",
     ]);
     for &(name, (n, h, w, c), paper_opt, paper_var) in &TABLE2 {
         let kind = kind_by_name(name);
@@ -40,7 +45,11 @@ fn main() {
             format!("{variance:.1}%"),
             format!("{paper_var:.1}%"),
         ]);
-        record.push(&format!("{name}_{n}x{h}x{w}x{c}_opt"), p_star as f64, paper_opt as f64);
+        record.push(
+            &format!("{name}_{n}x{h}x{w}x{c}_opt"),
+            p_star as f64,
+            paper_opt as f64,
+        );
         record.push(&format!("{name}_{n}x{h}x{w}x{c}_var"), variance, paper_var);
     }
     table.print("Table II: input size vs. optimal intra-op parallelism");

@@ -6,9 +6,7 @@
 use nnrt_bench::paper::TABLE3;
 use nnrt_bench::{ExperimentRecord, Table};
 use nnrt_graph::{work_profile, OpAux, OpKind, Shape};
-use nnrt_manycore::{
-    CostModel, Engine, KnlCostModel, PlacementRequest, SharingMode, Topology,
-};
+use nnrt_manycore::{CostModel, Engine, KnlCostModel, PlacementRequest, SharingMode, Topology};
 
 fn main() {
     let cost = KnlCostModel::knl();
@@ -25,25 +23,46 @@ fn main() {
     // Strategy 2: hyper-threaded co-run (68 cores each, SMT siblings).
     let ht_span = {
         let mut e = Engine::new(Topology::knl(), cost.params().clone());
-        e.launch(cbf, t(cbf, 68), &PlacementRequest::primary(68, SharingMode::Compact), 1)
+        e.launch(
+            cbf,
+            t(cbf, 68),
+            &PlacementRequest::primary(68, SharingMode::Compact),
+            1,
+        )
+        .unwrap();
+        e.launch(cbi, t(cbi, 68), &PlacementRequest::hyper_thread(68), 2)
             .unwrap();
-        e.launch(cbi, t(cbi, 68), &PlacementRequest::hyper_thread(68), 2).unwrap();
         e.drain().last().unwrap().finish
     };
 
     // Strategy 3: thread control, an even 34 + 34 core split.
     let split_span = {
         let mut e = Engine::new(Topology::knl(), cost.params().clone());
-        e.launch(cbf, t(cbf, 34), &PlacementRequest::primary(34, SharingMode::Compact), 1)
-            .unwrap();
-        e.launch(cbi, t(cbi, 34), &PlacementRequest::primary(34, SharingMode::Compact), 2)
-            .unwrap();
+        e.launch(
+            cbf,
+            t(cbf, 34),
+            &PlacementRequest::primary(34, SharingMode::Compact),
+            1,
+        )
+        .unwrap();
+        e.launch(
+            cbi,
+            t(cbi, 34),
+            &PlacementRequest::primary(34, SharingMode::Compact),
+            2,
+        )
+        .unwrap();
         e.drain().last().unwrap().finish
     };
 
     let ours = [1.0, serial / ht_span, serial / split_span];
     let mut record = ExperimentRecord::new("table3", "Co-running two conv backprops");
-    let mut table = Table::new(["strategy", "time (s/1000)", "speedup (ours)", "speedup (paper)"]);
+    let mut table = Table::new([
+        "strategy",
+        "time (s/1000)",
+        "speedup (ours)",
+        "speedup (paper)",
+    ]);
     let times = [serial, ht_span, split_span];
     for (i, &(name, paper)) in TABLE3.iter().enumerate() {
         table.row([

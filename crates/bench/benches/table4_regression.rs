@@ -30,7 +30,13 @@ fn main() {
     let mut record =
         ExperimentRecord::new("table4", "Regression model accuracy/R2 per (N, regressor)");
     let mut table = Table::new([
-        "N", "metric", "Gradient Boosting", "K-Neighbors", "TSR", "OLS", "PAR",
+        "N",
+        "metric",
+        "Gradient Boosting",
+        "K-Neighbors",
+        "TSR",
+        "OLS",
+        "PAR",
     ]);
     let mut best_cell = 0.0f64;
     for &n in &[1usize, 4, 8, 16] {
@@ -51,7 +57,9 @@ fn main() {
             let name = make;
             let factory = move |seed: u64| -> Box<dyn nnrt_regress::Regressor> {
                 match name {
-                    "Gradient Boosting" => Box::new(nnrt_regress::GradientBoosting::new(80, 3, 0.1, seed)),
+                    "Gradient Boosting" => {
+                        Box::new(nnrt_regress::GradientBoosting::new(80, 3, 0.1, seed))
+                    }
                     "K-Neighbors" => Box::new(nnrt_regress::KnnRegressor::new(5)),
                     "TSR" => Box::new(nnrt_regress::TheilSen::new(200, seed)),
                     "OLS" => Box::new(nnrt_regress::Ols::new()),
@@ -63,7 +71,11 @@ fn main() {
             best_cell = best_cell.max(acc);
             acc_row.push(format!("{:.0}%", acc * 100.0));
             r2_row.push(format!("{r2:.3}"));
-            record.push(&format!("acc_n{n}_{}", name.replace(' ', "_")), acc, f64::NAN);
+            record.push(
+                &format!("acc_n{n}_{}", name.replace(' ', "_")),
+                acc,
+                f64::NAN,
+            );
         }
         table.row(acc_row);
         table.row(r2_row);
@@ -74,7 +86,11 @@ fn main() {
         best_cell * 100.0,
         nnrt_bench::paper::TABLE4_BEST_ACCURACY * 100.0
     );
-    record.push("best_cell", best_cell, nnrt_bench::paper::TABLE4_BEST_ACCURACY);
+    record.push(
+        "best_cell",
+        best_cell,
+        nnrt_bench::paper::TABLE4_BEST_ACCURACY,
+    );
     record.notes(
         "The finding reproduces: counter-feature regression stays far below the \
          hill-climbing model's accuracy, because short ops measure noisily and \

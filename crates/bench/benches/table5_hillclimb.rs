@@ -26,7 +26,10 @@ fn main() {
             let model = HillClimbModel::fit(
                 &catalog,
                 &mut measurer,
-                HillClimbConfig { interval: x, max_threads: 68 },
+                HillClimbConfig {
+                    interval: x,
+                    max_threads: 68,
+                },
             );
             let acc = model.accuracy(&catalog, &measurer, 68) * 100.0;
             row.push(format!("{acc:.1}%"));

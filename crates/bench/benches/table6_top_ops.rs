@@ -15,9 +15,16 @@ fn main() {
     for (bench, &(pname, paper_rows)) in Bench::paper_models().iter().zip(&TABLE6) {
         assert_eq!(bench.spec.name, pname);
         let rec = bench.recommendation();
-        let tuned = bench.runtime(RuntimeConfig::s12_only()).run_step(&bench.spec.graph);
+        let tuned = bench
+            .runtime(RuntimeConfig::s12_only())
+            .run_step(&bench.spec.graph);
         let mut table = Table::new([
-            "op (ours)", "ms (ours)", "speedup (ours)", "op (paper)", "ms (paper)", "speedup (paper)",
+            "op (ours)",
+            "ms (ours)",
+            "speedup (ours)",
+            "op (paper)",
+            "ms (paper)",
+            "speedup (paper)",
         ]);
         for (i, &(kind, t_rec, count)) in rec.top_kinds(5).iter().enumerate() {
             let t_tuned = tuned.kind_time(kind).unwrap_or(t_rec);

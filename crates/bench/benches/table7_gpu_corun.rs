@@ -10,7 +10,11 @@ fn main() {
     let cfg = LaunchConfig::tf_default();
     let mut record = ExperimentRecord::new("table7", "GPU two-stream co-run speedups");
     let mut table = Table::new([
-        "op", "serial (s/10k)", "co-run (s/10k)", "speedup (ours)", "speedup (paper)",
+        "op",
+        "serial (s/10k)",
+        "co-run (s/10k)",
+        "speedup (ours)",
+        "speedup (paper)",
     ]);
     for (kind, &(pname, paper)) in GpuOpKind::ALL.iter().zip(&TABLE7) {
         assert_eq!(kind.name(), pname);

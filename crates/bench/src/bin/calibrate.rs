@@ -11,7 +11,10 @@ use nnrt_sched::{manual_optimization, RuntimeConfig};
 /// Per-kind serial-time totals at 34 vs 68 threads, plus time-weighted
 /// optimum, to locate calibration pressure points.
 fn analyze() {
-    for bench in [Bench::new(nnrt_models::resnet50(64)), Bench::new(nnrt_models::dcgan(64))] {
+    for bench in [
+        Bench::new(nnrt_models::resnet50(64)),
+        Bench::new(nnrt_models::dcgan(64)),
+    ] {
         println!("\n--- {} per-kind 34-vs-68 analysis ---", bench.spec.name);
         let mut per_kind: std::collections::BTreeMap<&str, (f64, f64, f64, f64)> =
             Default::default();
@@ -20,7 +23,9 @@ fn analyze() {
             let t34 = bench.cost.solo_time(&prof, 34, SharingMode::Compact);
             let t68 = bench.cost.solo_time(&prof, 68, SharingMode::Compact);
             let (popt, _, topt) = bench.cost.optimal(&prof, 68);
-            let e = per_kind.entry(op.kind.name()).or_insert((0.0, 0.0, 0.0, 0.0));
+            let e = per_kind
+                .entry(op.kind.name())
+                .or_insert((0.0, 0.0, 0.0, 0.0));
             e.0 += t34;
             e.1 += t68;
             e.2 += topt;
@@ -28,7 +33,10 @@ fn analyze() {
         }
         let mut rows: Vec<_> = per_kind.into_iter().collect();
         rows.sort_by(|a, b| b.1 .1.partial_cmp(&a.1 .1).unwrap());
-        println!("{:24} {:>9} {:>9} {:>9} {:>6}", "kind", "t34(ms)", "t68(ms)", "topt(ms)", "p*~");
+        println!(
+            "{:24} {:>9} {:>9} {:>9} {:>6}",
+            "kind", "t34(ms)", "t68(ms)", "topt(ms)", "p*~"
+        );
         for (kind, (t34, t68, topt, pw)) in rows.iter().take(12) {
             println!(
                 "{:24} {:9.1} {:9.1} {:9.1} {:6.0}",
@@ -61,7 +69,14 @@ fn main() {
         rec_resnet * 1e3,
         rec_dcgan * 1e3
     );
-    let mut t1 = Table::new(["inter", "intra", "resnet(ours)", "resnet(paper)", "dcgan(ours)", "dcgan(paper)"]);
+    let mut t1 = Table::new([
+        "inter",
+        "intra",
+        "resnet(ours)",
+        "resnet(paper)",
+        "dcgan(ours)",
+        "dcgan(paper)",
+    ]);
     for &(inter, intra, pr, pd) in &nnrt_bench::paper::TABLE1 {
         let sr = speedup(rec_resnet, resnet.uniform(inter, intra).total_secs);
         let sd = speedup(rec_dcgan, dcgan.uniform(inter, intra).total_secs);
@@ -82,15 +97,30 @@ fn main() {
 
     // --- Figure 3: strategy ablation on all four models ---
     let mut t3 = Table::new([
-        "model", "s12(ours)", "s12(paper)", "s3(ours)", "s3(paper)", "s4(ours)", "s4(paper)",
-        "full(ours)", "full(paper)", "manual(ours)", "manual(paper)",
+        "model",
+        "s12(ours)",
+        "s12(paper)",
+        "s3(ours)",
+        "s3(paper)",
+        "s4(ours)",
+        "s4(paper)",
+        "full(ours)",
+        "full(paper)",
+        "manual(ours)",
+        "manual(paper)",
     ]);
     for (bench, &(name, p12, p3, p4, pfull, pmanual)) in
         Bench::paper_models().iter().zip(&nnrt_bench::paper::FIG3)
     {
         let rec = bench.recommendation().total_secs;
-        let s12 = bench.runtime(RuntimeConfig::s12_only()).run_step(&bench.spec.graph).total_secs;
-        let s123 = bench.runtime(RuntimeConfig::s123()).run_step(&bench.spec.graph).total_secs;
+        let s12 = bench
+            .runtime(RuntimeConfig::s12_only())
+            .run_step(&bench.spec.graph)
+            .total_secs;
+        let s123 = bench
+            .runtime(RuntimeConfig::s123())
+            .run_step(&bench.spec.graph)
+            .total_secs;
         let full = bench.ours().total_secs;
         let (mcfg, manual) = manual_optimization(&bench.spec.graph, &bench.catalog, &bench.cost);
         t3.row([
@@ -103,7 +133,12 @@ fn main() {
             format!("{p4:.2}"),
             format!("{:.2}", rec / full),
             format!("{pfull:.2}"),
-            format!("{:.2} ({},{})", rec / manual.total_secs, mcfg.inter_op, mcfg.intra_op),
+            format!(
+                "{:.2} ({},{})",
+                rec / manual.total_secs,
+                mcfg.inter_op,
+                mcfg.intra_op
+            ),
             format!("{pmanual:.2}"),
         ]);
     }
@@ -112,7 +147,11 @@ fn main() {
     // --- Table VI: top-5 ops under recommendation ---
     for bench in Bench::paper_models() {
         let rec = bench.recommendation();
-        println!("\n{} top-5 kinds under recommendation (step {:.0} ms):", bench.spec.name, rec.total_secs * 1e3);
+        println!(
+            "\n{} top-5 kinds under recommendation (step {:.0} ms):",
+            bench.spec.name,
+            rec.total_secs * 1e3
+        );
         for &(kind, secs, n) in rec.top_kinds(5) {
             println!("  {kind:24} {:8.1} ms  x{n}", secs * 1e3);
         }

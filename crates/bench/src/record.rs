@@ -50,7 +50,11 @@ impl ExperimentRecord {
     /// Directory where records are written (`<workspace>/experiments`).
     pub fn dir() -> PathBuf {
         let manifest = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
-        manifest.parent().and_then(|p| p.parent()).unwrap_or(&manifest).join("experiments")
+        manifest
+            .parent()
+            .and_then(|p| p.parent())
+            .unwrap_or(&manifest)
+            .join("experiments")
     }
 
     /// Writes the record as `experiments/<id>.json`. Failures are printed,

@@ -18,12 +18,19 @@ impl Bench {
     /// Wraps a model spec with the default KNL.
     pub fn new(spec: ModelSpec) -> Self {
         let catalog = OpCatalog::new(&spec.graph);
-        Bench { spec, catalog, cost: KnlCostModel::knl() }
+        Bench {
+            spec,
+            catalog,
+            cost: KnlCostModel::knl(),
+        }
     }
 
     /// The paper's four models at their paper batch sizes.
     pub fn paper_models() -> Vec<Bench> {
-        nnrt_models::paper_models().into_iter().map(Bench::new).collect()
+        nnrt_models::paper_models()
+            .into_iter()
+            .map(Bench::new)
+            .collect()
     }
 
     /// One step under the TensorFlow-guide recommendation (inter=1, intra=68).
@@ -37,11 +44,11 @@ impl Bench {
 
     /// One step under an arbitrary uniform configuration.
     pub fn uniform(&self, inter: u32, intra: u32) -> StepReport {
-        TfExecutor::new(TfExecutorConfig { inter_op: inter, intra_op: intra }).run_step(
-            &self.spec.graph,
-            &self.catalog,
-            &self.cost,
-        )
+        TfExecutor::new(TfExecutorConfig {
+            inter_op: inter,
+            intra_op: intra,
+        })
+        .run_step(&self.spec.graph, &self.catalog, &self.cost)
     }
 
     /// A prepared runtime under `config`.
@@ -51,7 +58,8 @@ impl Bench {
 
     /// One step under our full runtime (all four strategies).
     pub fn ours(&self) -> StepReport {
-        self.runtime(RuntimeConfig::default()).run_step(&self.spec.graph)
+        self.runtime(RuntimeConfig::default())
+            .run_step(&self.spec.graph)
     }
 }
 

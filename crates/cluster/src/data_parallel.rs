@@ -17,9 +17,7 @@ use serde::{Deserialize, Serialize};
 pub fn param_bytes(graph: &DataflowGraph) -> f64 {
     graph
         .iter()
-        .filter(|(_, op)| {
-            matches!(op.kind, OpKind::ApplyAdam | OpKind::ApplyGradientDescent)
-        })
+        .filter(|(_, op)| matches!(op.kind, OpKind::ApplyAdam | OpKind::ApplyGradientDescent))
         .map(|(_, op)| op.shape.bytes_f32() as f64)
         .sum()
 }
@@ -126,7 +124,10 @@ mod tests {
             ours.total_secs,
             rec.total_secs
         );
-        assert_eq!(ours.sync_secs, rec.sync_secs, "same gradients, same all-reduce");
+        assert_eq!(
+            ours.sync_secs, rec.sync_secs,
+            "same gradients, same all-reduce"
+        );
     }
 
     #[test]

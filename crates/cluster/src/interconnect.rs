@@ -15,7 +15,10 @@ impl Interconnect {
     /// Cori's Aries interconnect, roughly: ~1.3 µs latency, ~8 GB/s
     /// injection bandwidth per node.
     pub fn aries() -> Self {
-        Interconnect { latency: 1.3e-6, bandwidth: 8.0e9 }
+        Interconnect {
+            latency: 1.3e-6,
+            bandwidth: 8.0e9,
+        }
     }
 
     /// Time for a point-to-point transfer of `bytes`.
@@ -53,7 +56,10 @@ mod tests {
         let t2 = net.ring_allreduce(1e8, 2);
         let t8 = net.ring_allreduce(1e8, 8);
         // Bandwidth term: 2*(n-1)/n * bytes/bw -> 1x at n=2, 1.75x at n=8.
-        assert!(t8 < t2 * 2.0, "ring all-reduce must not blow up: {t2} vs {t8}");
+        assert!(
+            t8 < t2 * 2.0,
+            "ring all-reduce must not blow up: {t2} vs {t8}"
+        );
         assert!(t8 > t2);
     }
 

@@ -106,12 +106,17 @@ impl<'a> ExecContext<'a> {
         }
         let removed = self.tracker.take(launch.node);
         debug_assert!(removed, "launched node {:?} was not ready", launch.node);
-        let request = PlacementRequest { threads: launch.threads, mode: launch.mode, slot: launch.slot };
+        let request = PlacementRequest {
+            threads: launch.threads,
+            mode: launch.mode,
+            slot: launch.slot,
+        };
         let job = self
             .engine
             .launch(profile, nominal, &request, launch.node.0 as u64)
             .expect("engine accepts a validated launch");
-        self.predictions.insert(job, (self.engine.now(), predicted.max(nominal)));
+        self.predictions
+            .insert(job, (self.engine.now(), predicted.max(nominal)));
     }
 
     /// Advances to the next completion; returns `false` when nothing ran.
@@ -124,8 +129,11 @@ impl<'a> ExecContext<'a> {
         let e = self.per_kind.entry(kind).or_insert((0.0, 0));
         e.0 += outcome.finish - outcome.start;
         e.1 += 1;
-        let predicted =
-            self.predictions.remove(&outcome.job).map(|(_, d)| d).unwrap_or(outcome.nominal);
+        let predicted = self
+            .predictions
+            .remove(&outcome.job)
+            .map(|(_, d)| d)
+            .unwrap_or(outcome.nominal);
         self.timings.push(NodeTiming {
             node: outcome.tag as u32,
             start: outcome.start,
@@ -156,8 +164,11 @@ impl<'a> ExecContext<'a> {
     /// Finalizes the step into a report.
     pub fn finish(mut self) -> StepReport {
         let total_secs = self.engine.now();
-        let mut per_kind: Vec<(OpKind, f64, usize)> =
-            self.per_kind.into_iter().map(|(k, (t, n))| (k, t, n)).collect();
+        let mut per_kind: Vec<(OpKind, f64, usize)> = self
+            .per_kind
+            .into_iter()
+            .map(|(k, (t, n))| (k, t, n))
+            .collect();
         per_kind.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
         StepReport {
             total_secs,
@@ -238,7 +249,12 @@ mod tests {
             let nominal = cost.solo_time(catalog.profile(node), t, SharingMode::Compact);
             expected += nominal;
             ctx.launch(
-                Launch { node, threads: t, mode: SharingMode::Compact, slot: SlotPreference::Primary },
+                Launch {
+                    node,
+                    threads: t,
+                    mode: SharingMode::Compact,
+                    slot: SlotPreference::Primary,
+                },
                 nominal,
             );
         }

@@ -29,7 +29,10 @@ pub struct InterferenceLog {
 
 impl Default for InterferenceLog {
     fn default() -> Self {
-        InterferenceLog { slowdown_threshold: 2.5, denied: HashSet::new() }
+        InterferenceLog {
+            slowdown_threshold: 2.5,
+            denied: HashSet::new(),
+        }
     }
 }
 
@@ -111,27 +114,39 @@ mod tests {
 
     fn two_kind_graph() -> DataflowGraph {
         let mut g = DataflowGraph::new();
-        g.add(OpInstance::new(OpKind::Conv2D, Shape::nhwc(1, 4, 4, 8)), &[]);
+        g.add(
+            OpInstance::new(OpKind::Conv2D, Shape::nhwc(1, 4, 4, 8)),
+            &[],
+        );
         g.add(OpInstance::new(OpKind::Tile, Shape::vec1(64)), &[]);
         g
     }
 
     fn timing(node: u32, start: f64, finish: f64, predicted: f64) -> NodeTiming {
-        NodeTiming { node, start, finish, predicted, nominal: predicted }
+        NodeTiming {
+            node,
+            start,
+            finish,
+            predicted,
+            nominal: predicted,
+        }
     }
 
     #[test]
     fn overlapping_slowdown_denies_the_pair() {
         let g = two_kind_graph();
-        let mut log = InterferenceLog { slowdown_threshold: 1.3, ..Default::default() };
+        let mut log = InterferenceLog {
+            slowdown_threshold: 1.3,
+            ..Default::default()
+        };
         // Node 0 predicted 1.0s but took 2.0s while node 1 overlapped.
-        let report = report_with(vec![
-            timing(0, 0.0, 2.0, 1.0),
-            timing(1, 0.5, 1.5, 1.0),
-        ]);
+        let report = report_with(vec![timing(0, 0.0, 2.0, 1.0), timing(1, 0.5, 1.5, 1.0)]);
         assert_eq!(log.observe(&g, &report), 1);
         assert!(log.is_denied(OpKind::Conv2D, OpKind::Tile));
-        assert!(log.is_denied(OpKind::Tile, OpKind::Conv2D), "denial is symmetric");
+        assert!(
+            log.is_denied(OpKind::Tile, OpKind::Conv2D),
+            "denial is symmetric"
+        );
         // Observing again adds nothing.
         assert_eq!(log.observe(&g, &report), 0);
     }
@@ -162,13 +177,16 @@ mod tests {
     #[test]
     fn same_kind_pairs_stay_allowed() {
         let mut g = DataflowGraph::new();
-        g.add(OpInstance::new(OpKind::Conv2D, Shape::nhwc(1, 4, 4, 8)), &[]);
-        g.add(OpInstance::new(OpKind::Conv2D, Shape::nhwc(1, 4, 4, 8)), &[]);
+        g.add(
+            OpInstance::new(OpKind::Conv2D, Shape::nhwc(1, 4, 4, 8)),
+            &[],
+        );
+        g.add(
+            OpInstance::new(OpKind::Conv2D, Shape::nhwc(1, 4, 4, 8)),
+            &[],
+        );
         let mut log = InterferenceLog::new();
-        let report = report_with(vec![
-            timing(0, 0.0, 2.0, 1.0),
-            timing(1, 0.0, 2.0, 1.0),
-        ]);
+        let report = report_with(vec![timing(0, 0.0, 2.0, 1.0), timing(1, 0.0, 2.0, 1.0)]);
         assert_eq!(log.observe(&g, &report), 0);
         assert!(!log.is_denied(OpKind::Conv2D, OpKind::Conv2D));
     }

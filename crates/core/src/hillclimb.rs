@@ -16,7 +16,7 @@
 
 use crate::measure::{Measurer, OpCatalog};
 use crate::plan::PerfModel;
-use nnrt_graph::OpKey;
+use nnrt_graph::{OpKey, OpKind, Shape};
 use nnrt_manycore::SharingMode;
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
@@ -33,7 +33,10 @@ pub struct HillClimbConfig {
 
 impl Default for HillClimbConfig {
     fn default() -> Self {
-        HillClimbConfig { interval: 4, max_threads: 68 }
+        HillClimbConfig {
+            interval: 4,
+            max_threads: 68,
+        }
     }
 }
 
@@ -85,6 +88,27 @@ impl Curve {
     }
 }
 
+/// One profiled key's curve pair in exportable form — the unit a profile
+/// store persists and a warm-started job imports.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct KeyProfile {
+    /// Operation kind of the key.
+    pub kind: OpKind,
+    /// Input shape of the key.
+    pub shape: Shape,
+    /// Curve measured with tile-cache sharing (compact placement).
+    pub compact: Curve,
+    /// Curve measured without sharing (scatter placement).
+    pub scatter: Curve,
+}
+
+impl KeyProfile {
+    /// The `(kind, shape)` key these curves belong to.
+    pub fn key(&self) -> OpKey {
+        (self.kind, self.shape.clone())
+    }
+}
+
 /// The fitted hill-climbing performance model.
 #[derive(Debug, Clone, Default)]
 pub struct HillClimbModel {
@@ -104,46 +128,112 @@ fn mode_index(mode: SharingMode) -> usize {
 }
 
 impl HillClimbModel {
+    /// Climbs one key's curve pair. Returns the curves and the longest climb
+    /// length (in samples) across the two sharing modes.
+    fn climb_key(
+        catalog: &OpCatalog,
+        key: &OpKey,
+        measurer: &mut Measurer,
+        cfg: HillClimbConfig,
+    ) -> ([Curve; 2], u32) {
+        let profile = *catalog.profile_of_key(key).expect("key from catalog");
+        // A profiling step observes every instance of the key, so a key
+        // with many instances measures with much less noise.
+        let reps = catalog.key_count(key).max(1);
+        let mut pair: [Curve; 2] = [Curve { samples: vec![] }, Curve { samples: vec![] }];
+        let mut longest_climb = 0u32;
+        for mode in SharingMode::ALL {
+            let mut samples: Vec<(u32, f64)> = Vec::new();
+            let mut p = 1u32;
+            let mut prev = measurer.measure_averaged(&profile, p, mode, reps);
+            samples.push((p, prev));
+            loop {
+                let next = p + cfg.interval;
+                if next > cfg.max_threads {
+                    break;
+                }
+                let t = measurer.measure_averaged(&profile, next, mode, reps);
+                samples.push((next, t));
+                p = next;
+                if t > prev {
+                    break; // the climb saw the curve rise: stop.
+                }
+                prev = t;
+            }
+            longest_climb = longest_climb.max(samples.len() as u32);
+            pair[mode_index(mode)] = Curve { samples };
+        }
+        (pair, longest_climb)
+    }
+
     /// Profiles every key of `catalog` with the hill-climbing search.
     pub fn fit(catalog: &OpCatalog, measurer: &mut Measurer, cfg: HillClimbConfig) -> Self {
+        let mut model = HillClimbModel::default();
+        model.fit_missing(catalog, measurer, cfg);
+        model
+    }
+
+    /// Profiles only the keys of `catalog` the model does not yet cover —
+    /// the warm-start path: a job whose keys were already measured (by an
+    /// earlier job on the same machine) skips those climbs entirely, and
+    /// `profiling_steps`/`measurements` grow only by the incremental cost.
+    /// Returns the number of newly profiled keys.
+    pub fn fit_missing(
+        &mut self,
+        catalog: &OpCatalog,
+        measurer: &mut Measurer,
+        cfg: HillClimbConfig,
+    ) -> usize {
         let before = measurer.measurements_taken();
-        let mut curves = HashMap::new();
         let mut longest_climb = 0u32;
+        let mut new_keys = 0usize;
         for key in catalog.keys() {
-            let profile = *catalog.profile_of_key(key).expect("key from catalog");
-            // A profiling step observes every instance of the key, so a key
-            // with many instances measures with much less noise.
-            let reps = catalog.key_count(key).max(1);
-            let mut pair: [Curve; 2] = [Curve { samples: vec![] }, Curve { samples: vec![] }];
-            for mode in SharingMode::ALL {
-                let mut samples: Vec<(u32, f64)> = Vec::new();
-                let mut p = 1u32;
-                let mut prev = measurer.measure_averaged(&profile, p, mode, reps);
-                samples.push((p, prev));
-                loop {
-                    let next = p + cfg.interval;
-                    if next > cfg.max_threads {
-                        break;
-                    }
-                    let t = measurer.measure_averaged(&profile, next, mode, reps);
-                    samples.push((next, t));
-                    p = next;
-                    if t > prev {
-                        break; // the climb saw the curve rise: stop.
-                    }
-                    prev = t;
-                }
-                longest_climb = longest_climb.max(samples.len() as u32);
-                pair[mode_index(mode)] = Curve { samples };
+            if self.curves.contains_key(key) {
+                continue;
             }
-            curves.insert(key.clone(), pair);
+            let (pair, climb) = Self::climb_key(catalog, key, measurer, cfg);
+            longest_climb = longest_climb.max(climb);
+            self.curves.insert(key.clone(), pair);
+            new_keys += 1;
         }
-        HillClimbModel {
-            curves,
-            measurements: measurer.measurements_taken() - before,
-            // One profiling step runs every op once at one (threads, mode):
-            // the number of steps equals the longest climb, times two modes.
-            profiling_steps: longest_climb * 2,
+        self.measurements += measurer.measurements_taken() - before;
+        // One profiling step runs every op once at one (threads, mode): the
+        // number of steps equals the longest climb, times two modes. Keys
+        // climb concurrently within a step, so the incremental cost of this
+        // fit is the longest *new* climb only.
+        self.profiling_steps += longest_climb * 2;
+        new_keys
+    }
+
+    /// Whether `key` already has a fitted curve pair.
+    pub fn contains(&self, key: &OpKey) -> bool {
+        self.curves.contains_key(key)
+    }
+
+    /// Exports every profiled key's curves, sorted by key (deterministic
+    /// output for persistence and byte-identical snapshots).
+    pub fn export(&self) -> Vec<KeyProfile> {
+        let mut out: Vec<KeyProfile> = self
+            .curves
+            .iter()
+            .map(|((kind, shape), pair)| KeyProfile {
+                kind: *kind,
+                shape: shape.clone(),
+                compact: pair[0].clone(),
+                scatter: pair[1].clone(),
+            })
+            .collect();
+        out.sort_by_key(|a| a.key());
+        out
+    }
+
+    /// Imports previously exported curves, overwriting any entry already
+    /// present for the same key. Imported curves were paid for by whoever
+    /// measured them: they add nothing to `measurements`/`profiling_steps`.
+    pub fn import<'a>(&mut self, profiles: impl IntoIterator<Item = &'a KeyProfile>) {
+        for p in profiles {
+            self.curves
+                .insert(p.key(), [p.compact.clone(), p.scatter.clone()]);
         }
     }
 
@@ -175,20 +265,29 @@ impl HillClimbModel {
         let mut per_op_acc = 0.0;
         let mut ops = 0u64;
         for key in catalog.keys() {
-            let Some(pair) = self.curves.get(key) else { continue };
+            let Some(pair) = self.curves.get(key) else {
+                continue;
+            };
             let profile = *catalog.profile_of_key(key).expect("key from catalog");
             for mode in SharingMode::ALL {
                 let curve = &pair[mode_index(mode)];
                 let sampled: std::collections::HashSet<u32> =
                     curve.samples.iter().map(|&(p, _)| p).collect();
-                let hi = curve.samples.last().map(|&(p, _)| p).unwrap_or(0).min(max_threads);
+                let hi = curve
+                    .samples
+                    .last()
+                    .map(|&(p, _)| p)
+                    .unwrap_or(0)
+                    .min(max_threads);
                 let mut total = 0.0;
                 let mut n = 0u64;
                 for p in 1..=hi {
                     if sampled.contains(&p) {
                         continue;
                     }
-                    let Some(pred) = curve.interpolate(p) else { continue };
+                    let Some(pred) = curve.interpolate(p) else {
+                        continue;
+                    };
                     let truth = measurer.true_time(&profile, p, mode);
                     total += ((pred - truth) / truth).abs();
                     n += 1;
@@ -270,7 +369,10 @@ mod tests {
         let model = HillClimbModel::fit(
             &catalog,
             &mut m,
-            HillClimbConfig { interval, max_threads: 68 },
+            HillClimbConfig {
+                interval,
+                max_threads: 68,
+            },
         );
         (model, m, catalog)
     }
@@ -282,8 +384,7 @@ mod tests {
         let (p, _, _) = model.best(&key).unwrap();
         // Ground truth optimum (paper: 26 for this op and shape).
         let prof = *catalog.profile_of_key(&key).unwrap();
-        let (true_p, _, _) =
-            nnrt_manycore::CostModel::optimal(m.cost_model(), &prof, 68);
+        let (true_p, _, _) = nnrt_manycore::CostModel::optimal(m.cost_model(), &prof, 68);
         assert!(
             (p as i64 - true_p as i64).abs() <= 2,
             "hill climb found {p}, truth {true_p}"
@@ -319,7 +420,9 @@ mod tests {
 
     #[test]
     fn interpolation_brackets_and_clamps() {
-        let c = Curve { samples: vec![(1, 10.0), (5, 2.0), (9, 4.0)] };
+        let c = Curve {
+            samples: vec![(1, 10.0), (5, 2.0), (9, 4.0)],
+        };
         assert_eq!(c.interpolate(1), Some(10.0));
         assert_eq!(c.interpolate(3), Some(6.0));
         assert_eq!(c.interpolate(5), Some(2.0));
@@ -339,6 +442,56 @@ mod tests {
         let mut ps: Vec<u32> = cands.iter().map(|c| c.0).collect();
         ps.dedup();
         assert_eq!(ps.len(), 3, "thread counts must be distinct: {ps:?}");
+    }
+
+    #[test]
+    fn export_import_roundtrips_and_is_sorted() {
+        let (model, _, catalog) = fit(4, NoiseModel::none());
+        let exported = model.export();
+        assert_eq!(exported.len(), model.len());
+        let keys: Vec<_> = exported.iter().map(|p| p.key()).collect();
+        let mut sorted = keys.clone();
+        sorted.sort();
+        assert_eq!(keys, sorted, "export must be key-sorted");
+
+        let mut warm = HillClimbModel::default();
+        warm.import(&exported);
+        let key = catalog.keys()[0].clone();
+        assert!(warm.contains(&key));
+        assert_eq!(
+            warm.curve(&key, SharingMode::Compact),
+            model.curve(&key, SharingMode::Compact)
+        );
+        assert_eq!(warm.profiling_steps, 0, "imports cost nothing");
+        assert_eq!(warm.measurements, 0);
+    }
+
+    #[test]
+    fn fit_missing_skips_known_keys() {
+        let catalog = conv_catalog();
+        let mut m = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
+        let cfg = HillClimbConfig {
+            interval: 4,
+            max_threads: 68,
+        };
+        let cold = HillClimbModel::fit(&catalog, &mut m, cfg);
+
+        // Fully warm: nothing to climb, zero incremental cost.
+        let mut warm = HillClimbModel::default();
+        warm.import(&cold.export());
+        let mut m2 = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
+        let new_keys = warm.fit_missing(&catalog, &mut m2, cfg);
+        assert_eq!(new_keys, 0);
+        assert_eq!(warm.profiling_steps, 0);
+        assert_eq!(m2.measurements_taken(), 0);
+
+        // Cold fit through fit_missing matches plain fit.
+        let mut m3 = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
+        let mut scratch = HillClimbModel::default();
+        let fresh = scratch.fit_missing(&catalog, &mut m3, cfg);
+        assert_eq!(fresh, catalog.keys().len());
+        assert_eq!(scratch.profiling_steps, cold.profiling_steps);
+        assert_eq!(scratch.measurements, cold.measurements);
     }
 
     #[test]

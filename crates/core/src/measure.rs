@@ -37,7 +37,12 @@ impl OpCatalog {
         }
         let mut keys: Vec<OpKey> = by_key.keys().cloned().collect();
         keys.sort();
-        OpCatalog { by_node, by_key, counts, keys }
+        OpCatalog {
+            by_node,
+            by_key,
+            counts,
+            keys,
+        }
     }
 
     /// Number of instances of `key` in the graph (0 if absent). One
@@ -79,7 +84,12 @@ pub struct Measurer {
 impl Measurer {
     /// A measurer over `cost` with `noise`, seeded deterministically.
     pub fn new(cost: KnlCostModel, noise: NoiseModel, seed: u64) -> Self {
-        Measurer { cost, noise, rng: ChaCha8Rng::seed_from_u64(seed), measurements: 0 }
+        Measurer {
+            cost,
+            noise,
+            rng: ChaCha8Rng::seed_from_u64(seed),
+            measurements: 0,
+        }
     }
 
     /// The ground-truth cost model (used by executors to derive *actual*
@@ -147,7 +157,9 @@ mod tests {
         let g = small_graph();
         let cat = OpCatalog::new(&g);
         assert_eq!(cat.keys().len(), 2, "two Conv2D instances share one key");
-        assert!(cat.profile_of_key(&(OpKind::Conv2D, Shape::nhwc(8, 16, 16, 32))).is_some());
+        assert!(cat
+            .profile_of_key(&(OpKind::Conv2D, Shape::nhwc(8, 16, 16, 32)))
+            .is_some());
         assert!(cat.profile_of_key(&(OpKind::Mul, Shape::vec1(1))).is_none());
     }
 

@@ -51,7 +51,11 @@ impl OracleScheduler {
                     })
                     .collect();
                 best.sort_by(|a, b| b.3.partial_cmp(&a.3).unwrap());
-                let cap = if self.max_corun == 0 { usize::MAX } else { self.max_corun };
+                let cap = if self.max_corun == 0 {
+                    usize::MAX
+                } else {
+                    self.max_corun
+                };
                 let slots = cap.saturating_sub(ctx.engine.num_running());
                 for (n, p, mode, t) in best.into_iter().take(slots) {
                     let free = ctx.engine.free_cores();
@@ -67,7 +71,12 @@ impl OracleScheduler {
                         cost.solo_time(catalog.profile(n), threads, mode)
                     };
                     ctx.launch(
-                        Launch { node: n, threads, mode, slot: SlotPreference::Primary },
+                        Launch {
+                            node: n,
+                            threads,
+                            mode,
+                            slot: SlotPreference::Primary,
+                        },
                         t,
                     );
                 }
@@ -93,8 +102,11 @@ mod tests {
         let cost = KnlCostModel::knl();
         let oracle = OracleScheduler::new().run_step(&spec.graph, &catalog, &cost);
         assert_eq!(oracle.nodes_executed, spec.graph.len());
-        let rec = TfExecutor::new(TfExecutorConfig::recommendation())
-            .run_step(&spec.graph, &catalog, &cost);
+        let rec = TfExecutor::new(TfExecutorConfig::recommendation()).run_step(
+            &spec.graph,
+            &catalog,
+            &cost,
+        );
         assert!(oracle.total_secs < rec.total_secs);
     }
 
@@ -106,8 +118,8 @@ mod tests {
         let catalog = OpCatalog::new(&spec.graph);
         let cost = KnlCostModel::knl();
         let oracle = OracleScheduler::new().run_step(&spec.graph, &catalog, &cost);
-        let ours = Runtime::prepare(&spec.graph, cost, RuntimeConfig::default())
-            .run_step(&spec.graph);
+        let ours =
+            Runtime::prepare(&spec.graph, cost, RuntimeConfig::default()).run_step(&spec.graph);
         assert!(
             ours.total_secs < oracle.total_secs * 2.0,
             "online {} vs oracle {}",
@@ -124,8 +136,7 @@ mod tests {
         let catalog = OpCatalog::new(&spec.graph);
         let cost = KnlCostModel::knl();
         let unlimited = OracleScheduler::new().run_step(&spec.graph, &catalog, &cost);
-        let capped =
-            OracleScheduler { max_corun: 5 }.run_step(&spec.graph, &catalog, &cost);
+        let capped = OracleScheduler { max_corun: 5 }.run_step(&spec.graph, &catalog, &cost);
         // The paper: "we seldom have more than five operations ready" —
         // capping at 5 should barely matter.
         assert!(capped.total_secs <= unlimited.total_secs * 1.15);

@@ -88,15 +88,17 @@ impl ThreadPlan {
                     if let Some(&(threads, mode, _)) = kind_best.get(&key.0) {
                         // The per-key predicted time still comes from the
                         // model so Strategy 3 reasons about *this* shape.
-                        let t = model
-                            .predict(key, threads, mode)
-                            .unwrap_or(f64::INFINITY);
+                        let t = model.predict(key, threads, mode).unwrap_or(f64::INFINITY);
                         assignments.insert(key.clone(), (threads, mode, t));
                     }
                 }
             }
         }
-        ThreadPlan { assignments, default_intra, policy }
+        ThreadPlan {
+            assignments,
+            default_intra,
+            policy,
+        }
     }
 
     /// A trivial plan (framework default) that needs no model.
@@ -143,9 +145,9 @@ mod tests {
 
     impl PerfModel for Fake {
         fn predict(&self, key: &OpKey, threads: u32, _mode: SharingMode) -> Option<f64> {
-            self.0.get(key).map(|&(best, _, t)| {
-                t * (1.0 + 0.02 * (threads as f64 - best as f64).abs())
-            })
+            self.0
+                .get(key)
+                .map(|&(best, _, t)| t * (1.0 + 0.02 * (threads as f64 - best as f64).abs()))
         }
         fn best(&self, key: &OpKey) -> Option<(u32, SharingMode, f64)> {
             self.0.get(key).copied()

@@ -110,19 +110,26 @@ pub fn build_dataset(
             row.extend(feature_vector(&counts));
         }
         for &case in &cfg.target_cases {
-            labels
-                .entry(case)
-                .or_default()
-                .push(measurer.measure(&profile, case, SharingMode::Compact));
-            truth
-                .entry(case)
-                .or_default()
-                .push(measurer.true_time(&profile, case, SharingMode::Compact));
+            labels.entry(case).or_default().push(measurer.measure(
+                &profile,
+                case,
+                SharingMode::Compact,
+            ));
+            truth.entry(case).or_default().push(measurer.true_time(
+                &profile,
+                case,
+                SharingMode::Compact,
+            ));
         }
         keys.push(key.clone());
         rows.push(row);
     }
-    RegressionDataset { keys, rows, labels, truth }
+    RegressionDataset {
+        keys,
+        rows,
+        labels,
+        truth,
+    }
 }
 
 /// Accuracy and R² of one regressor family over train/test datasets,
@@ -141,10 +148,11 @@ pub fn evaluate_regressor(
         if kept.is_empty() {
             continue;
         }
-        let project =
-            |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
-                rows.iter().map(|r| kept.iter().map(|&j| r[j]).collect()).collect()
-            };
+        let project = |rows: &[Vec<f64>]| -> Vec<Vec<f64>> {
+            rows.iter()
+                .map(|r| kept.iter().map(|&j| r[j]).collect())
+                .collect()
+        };
         let xtr = project(&train.rows);
         let xte = project(&test.rows);
         let mut model = make(cfg.seed ^ case as u64);
@@ -157,7 +165,10 @@ pub fn evaluate_regressor(
     if all_preds.is_empty() {
         return (0.0, 0.0);
     }
-    (mape_accuracy(&all_preds, &all_truth), r_squared(&all_preds, &all_truth))
+    (
+        mape_accuracy(&all_preds, &all_truth),
+        r_squared(&all_preds, &all_truth),
+    )
 }
 
 /// A regression model usable as a (bad) [`PerfModel`] — what "using the most
@@ -201,11 +212,18 @@ impl RegressionModel {
             .cloned()
             .zip(dataset.rows.iter().cloned())
             .collect();
-        RegressionModel { cfg, cases, features }
+        RegressionModel {
+            cfg,
+            cases,
+            features,
+        }
     }
 
     fn nearest_case(&self, threads: u32) -> Option<u32> {
-        self.cases.keys().copied().min_by_key(|&c| c.abs_diff(threads))
+        self.cases
+            .keys()
+            .copied()
+            .min_by_key(|&c| c.abs_diff(threads))
     }
 
     /// Registers feature rows for additional op keys (profiled with the same
@@ -244,7 +262,10 @@ impl PerfModel for RegressionModel {
         let mut all: Vec<(u32, SharingMode, f64)> = self
             .cases
             .keys()
-            .filter_map(|&c| self.predict(key, c, SharingMode::Compact).map(|t| (c, SharingMode::Compact, t)))
+            .filter_map(|&c| {
+                self.predict(key, c, SharingMode::Compact)
+                    .map(|t| (c, SharingMode::Compact, t))
+            })
             .collect();
         all.sort_by(|a, b| a.2.partial_cmp(&b.2).unwrap());
         all.truncate(n);
@@ -337,7 +358,10 @@ mod tests {
             &|_| Box::new(Ols::new()) as Box<dyn Regressor>,
             &cfg,
         );
-        assert!(acc < 0.93, "regression accuracy should be visibly below the hill climber, got {acc:.3}");
+        assert!(
+            acc < 0.93,
+            "regression accuracy should be visibly below the hill climber, got {acc:.3}"
+        );
     }
 
     #[test]

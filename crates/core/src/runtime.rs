@@ -61,12 +61,19 @@ impl Default for RuntimeConfig {
 impl RuntimeConfig {
     /// Strategies 1+2 only (Figure 3a).
     pub fn s12_only() -> Self {
-        RuntimeConfig { s3: false, s4: false, ..Default::default() }
+        RuntimeConfig {
+            s3: false,
+            s4: false,
+            ..Default::default()
+        }
     }
 
     /// Strategies 1+2+3 (Figure 3b).
     pub fn s123() -> Self {
-        RuntimeConfig { s4: false, ..Default::default() }
+        RuntimeConfig {
+            s4: false,
+            ..Default::default()
+        }
     }
 }
 
@@ -90,7 +97,10 @@ pub struct StepReport {
 impl StepReport {
     /// Accumulated time of one kind, if it ran.
     pub fn kind_time(&self, kind: OpKind) -> Option<f64> {
-        self.per_kind.iter().find(|&&(k, _, _)| k == kind).map(|&(_, t, _)| t)
+        self.per_kind
+            .iter()
+            .find(|&&(k, _, _)| k == kind)
+            .map(|&(_, t, _)| t)
     }
 
     /// The `n` most time-consuming kinds.
@@ -157,6 +167,36 @@ impl Runtime {
         }
     }
 
+    /// Like [`Runtime::prepare`], but warm-started from curves measured
+    /// earlier on the same machine (e.g. by a previous job via
+    /// [`HillClimbModel::export`]): keys covered by `warm` skip profiling and
+    /// only the remainder is climbed. `model().profiling_steps` then reflects
+    /// only this job's incremental profiling cost — zero when every key is
+    /// already known.
+    pub fn prepare_warm(
+        graph: &DataflowGraph,
+        cost: KnlCostModel,
+        config: RuntimeConfig,
+        warm: &[crate::hillclimb::KeyProfile],
+    ) -> Self {
+        let catalog = OpCatalog::new(graph);
+        let mut measurer = Measurer::new(cost.clone(), NoiseModel::default(), config.seed);
+        let mut model = HillClimbModel::default();
+        model.import(warm);
+        model.fit_missing(&catalog, &mut measurer, config.hillclimb);
+        let plan = Self::build_plan(&model, &catalog, &config);
+        Runtime {
+            config,
+            cost,
+            catalog,
+            perf_model: Box::new(model.clone()),
+            model: Some(model),
+            plan,
+            record_trace: false,
+            feedback: InterferenceLog::new(),
+        }
+    }
+
     /// Builds a runtime around an arbitrary fitted performance model — e.g.
     /// the regression baseline, to reproduce the paper's finding that
     /// "using the most accurate regression model to direct NN model
@@ -202,7 +242,9 @@ impl Runtime {
     /// The fitted hill-climbing model (absent when the runtime was prepared
     /// with [`Runtime::prepare_with_model`]).
     pub fn model(&self) -> &HillClimbModel {
-        self.model.as_ref().expect("runtime was prepared with a custom performance model")
+        self.model
+            .as_ref()
+            .expect("runtime was prepared with a custom performance model")
     }
 
     /// The thread plan in force.
@@ -235,9 +277,13 @@ impl Runtime {
         };
         let mut ctx = ExecContext::new(graph, &catalog, &self.cost, self.record_trace);
         loop {
-            while let Some(decision) =
-                next_launch(&ctx, &self.plan, self.perf_model.as_ref(), &sched, &self.feedback)
-            {
+            while let Some(decision) = next_launch(
+                &ctx,
+                &self.plan,
+                self.perf_model.as_ref(),
+                &sched,
+                &self.feedback,
+            ) {
                 ctx.launch(decision.launch, decision.predicted);
             }
             if !ctx.advance() {
@@ -288,7 +334,10 @@ mod tests {
                 ),
                 &deps,
             );
-            let relu = g.add(OpInstance::new(OpKind::Relu, Shape::nhwc(32, 8, 8, 384)), &[conv]);
+            let relu = g.add(
+                OpInstance::new(OpKind::Relu, Shape::nhwc(32, 8, 8, 384)),
+                &[conv],
+            );
             prev = Some(relu);
         }
         let top = prev.unwrap();
@@ -314,7 +363,10 @@ mod tests {
             grad = cbi;
         }
         for &wg in &grads {
-            g.add(OpInstance::new(OpKind::ApplyAdam, Shape::vec1(1_327_104)), &[wg]);
+            g.add(
+                OpInstance::new(OpKind::ApplyAdam, Shape::vec1(1_327_104)),
+                &[wg],
+            );
         }
         g
     }
@@ -371,7 +423,11 @@ mod tests {
         assert!(rt.run_step(&g).trace.is_empty());
         rt.record_trace(true);
         let report = rt.run_step(&g);
-        assert_eq!(report.trace.len(), 2 * g.len(), "one start + one finish per op");
+        assert_eq!(
+            report.trace.len(),
+            2 * g.len(),
+            "one start + one finish per op"
+        );
     }
 
     #[test]

@@ -132,7 +132,12 @@ pub(crate) fn next_launch(
                 if threads <= free && predicted <= max_remaining {
                     let _ = &key;
                     return Some(Decision {
-                        launch: Launch { node, threads, mode, slot: SlotPreference::Primary },
+                        launch: Launch {
+                            node,
+                            threads,
+                            mode,
+                            slot: SlotPreference::Primary,
+                        },
                         predicted,
                     });
                 }
@@ -143,10 +148,7 @@ pub(crate) fn next_launch(
     // Strategy 4: a full-width op owns every core; co-run the smallest ready
     // ops on the spare hardware threads.
     if cfg.hyper_thread && free == 0 {
-        let full_width = ctx
-            .engine
-            .topology()
-            .num_cores();
+        let full_width = ctx.engine.topology().num_cores();
         let ht_room = ctx.engine.ht_capacity();
         if ht_room > 0 {
             // Only when an operation genuinely spans every core (the paper:
@@ -227,7 +229,9 @@ fn candidate_set(
     let (planned_threads, planned_mode) = plan.threads_for(&key);
     let mut cands = model.candidates(&key, cfg.candidates);
     if cands.is_empty() {
-        let predicted = ctx.cost.solo_time(ctx.catalog.profile(node), planned_threads, planned_mode);
+        let predicted =
+            ctx.cost
+                .solo_time(ctx.catalog.profile(node), planned_threads, planned_mode);
         return vec![(planned_threads, planned_mode, predicted)];
     }
     for cand in &mut cands {
@@ -260,7 +264,12 @@ fn planned_decision(
         .predict(&key, threads, mode)
         .unwrap_or_else(|| ctx.cost.solo_time(ctx.catalog.profile(node), threads, mode));
     Decision {
-        launch: Launch { node, threads, mode, slot: SlotPreference::Primary },
+        launch: Launch {
+            node,
+            threads,
+            mode,
+            slot: SlotPreference::Primary,
+        },
         predicted,
     }
 }
@@ -280,7 +289,10 @@ fn serial_time(ctx: &ExecContext<'_>, model: &dyn PerfModel, node: NodeId) -> f6
     let key = op_key(op.kind, &op.shape);
     model
         .predict(&key, 1, SharingMode::Compact)
-        .unwrap_or_else(|| ctx.cost.solo_time(ctx.catalog.profile(node), 1, SharingMode::Compact))
+        .unwrap_or_else(|| {
+            ctx.cost
+                .solo_time(ctx.catalog.profile(node), 1, SharingMode::Compact)
+        })
 }
 
 #[cfg(test)]
@@ -325,9 +337,14 @@ mod tests {
     fn serial_discipline_launches_one_at_a_time() {
         let g = pair_graph();
         let (catalog, model, plan, cost) = fitted(&g);
-        let cfg = SchedulerConfig { corun: false, hyper_thread: false, ..Default::default() };
+        let cfg = SchedulerConfig {
+            corun: false,
+            hyper_thread: false,
+            ..Default::default()
+        };
         let mut ctx = ExecContext::new(&g, &catalog, &cost, false);
-        let d1 = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).expect("first launch");
+        let d1 =
+            next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).expect("first launch");
         let predicted = d1.predicted;
         ctx.launch(d1.launch, predicted);
         assert!(
@@ -347,11 +364,15 @@ mod tests {
         // Idle machine: most time-consuming op launches with planned threads.
         let d1 = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).expect("first");
         let p1 = d1.launch.threads;
-        assert!(p1 < 68, "planned conv threads should leave idle cores, got {p1}");
+        assert!(
+            p1 < 68,
+            "planned conv threads should leave idle cores, got {p1}"
+        );
         let pred = d1.predicted;
         ctx.launch(d1.launch, pred);
         // The sibling fits into the leftover cores (same predicted time).
-        let d2 = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).expect("sibling co-runs");
+        let d2 = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new())
+            .expect("sibling co-runs");
         assert!(d2.launch.threads <= 68 - p1);
         assert_eq!(d2.launch.slot, SlotPreference::Primary);
     }
@@ -368,7 +389,10 @@ mod tests {
         let mut ctx = ExecContext::new(&g, &catalog, &cost, false);
         // Idle-machine rule: the HUGE op launches first (most time-consuming).
         let d1 = next_launch(&ctx, &plan, &model, &cfg, &InterferenceLog::new()).expect("first");
-        assert_eq!(ctx.graph.op(d1.launch.node).shape, Shape::nhwc(64, 17, 17, 512));
+        assert_eq!(
+            ctx.graph.op(d1.launch.node).shape,
+            Shape::nhwc(64, 17, 17, 512)
+        );
         let pred = d1.predicted;
         ctx.launch(d1.launch, pred);
         // The tiny op fits and finishes earlier: it may co-run.
@@ -382,23 +406,39 @@ mod tests {
         let g = pair_graph();
         let (catalog, model, plan, cost) = fitted(&g);
         let ctx = ExecContext::new(&g, &catalog, &cost, false);
-        let tight = SchedulerConfig { s2_tolerance: 0, ..Default::default() };
+        let tight = SchedulerConfig {
+            s2_tolerance: 0,
+            ..Default::default()
+        };
         let d = next_launch(&ctx, &plan, &model, &tight, &InterferenceLog::new()).expect("launch");
         let key = nnrt_graph::op_key(
             ctx.graph.op(d.launch.node).kind,
             &ctx.graph.op(d.launch.node).shape,
         );
         let (planned, _) = plan.threads_for(&key);
-        assert_eq!(d.launch.threads, planned, "tolerance 0 must pin to the plan");
+        assert_eq!(
+            d.launch.threads, planned,
+            "tolerance 0 must pin to the plan"
+        );
     }
 
     #[test]
     fn eigen_ops_keep_the_framework_default() {
         let mut g = DataflowGraph::new();
-        g.add(OpInstance::new(OpKind::Tile, Shape::nhwc(32, 32, 32, 64)), &[]);
+        g.add(
+            OpInstance::new(OpKind::Tile, Shape::nhwc(32, 32, 32, 64)),
+            &[],
+        );
         let (catalog, model, plan, cost) = fitted(&g);
         let ctx = ExecContext::new(&g, &catalog, &cost, false);
-        let d = next_launch(&ctx, &plan, &model, &SchedulerConfig::default(), &InterferenceLog::new()).expect("launch");
+        let d = next_launch(
+            &ctx,
+            &plan,
+            &model,
+            &SchedulerConfig::default(),
+            &InterferenceLog::new(),
+        )
+        .expect("launch");
         assert_eq!(d.launch.threads, 68, "non-tunable kinds run at the default");
     }
 
@@ -422,7 +462,10 @@ mod tests {
         // A full-width Eigen op + small tunable ops ready: Strategy 4 may
         // place a scavenger on hyper-thread slots.
         let mut g = DataflowGraph::new();
-        g.add(OpInstance::new(OpKind::Tile, Shape::nhwc(64, 64, 64, 64)), &[]);
+        g.add(
+            OpInstance::new(OpKind::Tile, Shape::nhwc(64, 64, 64, 64)),
+            &[],
+        );
         for _ in 0..3 {
             g.add(conv(Shape::nhwc(2, 4, 4, 16)), &[]);
         }
@@ -439,7 +482,10 @@ mod tests {
             assert_eq!(d2.launch.slot, SlotPreference::HyperThread);
         }
         // With S4 disabled, nothing launches at all.
-        let no_s4 = SchedulerConfig { hyper_thread: false, ..cfg };
+        let no_s4 = SchedulerConfig {
+            hyper_thread: false,
+            ..cfg
+        };
         let mut ctx2 = ExecContext::new(&g, &catalog, &cost, false);
         let d = next_launch(&ctx2, &plan, &model, &no_s4, &InterferenceLog::new()).unwrap();
         let pred = d.predicted;

@@ -26,7 +26,10 @@ impl TfExecutorConfig {
     /// The TensorFlow performance guide's recommendation on the paper's KNL:
     /// one op at a time, 68 threads (one per physical core).
     pub fn recommendation() -> Self {
-        TfExecutorConfig { inter_op: 1, intra_op: 68 }
+        TfExecutorConfig {
+            inter_op: 1,
+            intra_op: 68,
+        }
     }
 }
 
@@ -40,7 +43,10 @@ pub struct TfExecutor {
 impl TfExecutor {
     /// Executor with the given uniform parallelism.
     pub fn new(cfg: TfExecutorConfig) -> Self {
-        TfExecutor { cfg, record_trace: false }
+        TfExecutor {
+            cfg,
+            record_trace: false,
+        }
     }
 
     /// Enables event-trace recording in the reports.
@@ -101,9 +107,15 @@ pub fn manual_optimization(
     let mut best: Option<(TfExecutorConfig, StepReport)> = None;
     for inter in inters {
         for intra in intras {
-            let cfg = TfExecutorConfig { inter_op: inter, intra_op: intra };
+            let cfg = TfExecutorConfig {
+                inter_op: inter,
+                intra_op: intra,
+            };
             let report = TfExecutor::new(cfg).run_step(graph, catalog, cost);
-            if best.as_ref().is_none_or(|(_, b)| report.total_secs < b.total_secs) {
+            if best
+                .as_ref()
+                .is_none_or(|(_, b)| report.total_secs < b.total_secs)
+            {
                 best = Some((cfg, report));
             }
         }
@@ -154,8 +166,8 @@ mod tests {
         let g = chain_graph(4);
         let catalog = OpCatalog::new(&g);
         let cost = KnlCostModel::knl();
-        let report = TfExecutor::new(TfExecutorConfig::recommendation())
-            .run_step(&g, &catalog, &cost);
+        let report =
+            TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&g, &catalog, &cost);
         assert_eq!(report.nodes_executed, 4);
         let one = cost.solo_time(
             catalog.profile(nnrt_graph::NodeId(0)),
@@ -170,10 +182,16 @@ mod tests {
         let g = wide_graph(4);
         let catalog = OpCatalog::new(&g);
         let cost = KnlCostModel::knl();
-        let serial = TfExecutor::new(TfExecutorConfig { inter_op: 1, intra_op: 34 })
-            .run_step(&g, &catalog, &cost);
-        let overlapped = TfExecutor::new(TfExecutorConfig { inter_op: 2, intra_op: 34 })
-            .run_step(&g, &catalog, &cost);
+        let serial = TfExecutor::new(TfExecutorConfig {
+            inter_op: 1,
+            intra_op: 34,
+        })
+        .run_step(&g, &catalog, &cost);
+        let overlapped = TfExecutor::new(TfExecutorConfig {
+            inter_op: 2,
+            intra_op: 34,
+        })
+        .run_step(&g, &catalog, &cost);
         assert!(
             overlapped.total_secs < serial.total_secs * 0.75,
             "two 34-thread ops should overlap on 68 cores: {} vs {}",
@@ -187,12 +205,18 @@ mod tests {
         let g = chain_graph(3);
         let catalog = OpCatalog::new(&g);
         let cost = KnlCostModel::knl();
-        let t68 = TfExecutor::new(TfExecutorConfig { inter_op: 1, intra_op: 68 })
-            .run_step(&g, &catalog, &cost)
-            .total_secs;
-        let t136 = TfExecutor::new(TfExecutorConfig { inter_op: 1, intra_op: 136 })
-            .run_step(&g, &catalog, &cost)
-            .total_secs;
+        let t68 = TfExecutor::new(TfExecutorConfig {
+            inter_op: 1,
+            intra_op: 68,
+        })
+        .run_step(&g, &catalog, &cost)
+        .total_secs;
+        let t136 = TfExecutor::new(TfExecutorConfig {
+            inter_op: 1,
+            intra_op: 136,
+        })
+        .run_step(&g, &catalog, &cost)
+        .total_secs;
         assert!(t136 > t68 * 1.1, "136 threads should lose: {t136} vs {t68}");
     }
 
@@ -201,8 +225,8 @@ mod tests {
         let g = chain_graph(5);
         let catalog = OpCatalog::new(&g);
         let cost = KnlCostModel::knl();
-        let report = TfExecutor::new(TfExecutorConfig::recommendation())
-            .run_step(&g, &catalog, &cost);
+        let report =
+            TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&g, &catalog, &cost);
         assert_eq!(report.per_kind.len(), 1);
         let (kind, total, count) = report.per_kind[0];
         assert_eq!(kind, OpKind::Conv2D);
@@ -215,12 +239,14 @@ mod tests {
         let g = wide_graph(6);
         let catalog = OpCatalog::new(&g);
         let cost = KnlCostModel::knl();
-        let rec = TfExecutor::new(TfExecutorConfig::recommendation())
-            .run_step(&g, &catalog, &cost);
+        let rec = TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&g, &catalog, &cost);
         let (best_cfg, best) = manual_optimization(&g, &catalog, &cost);
         assert!(best.total_secs <= rec.total_secs);
         // For a wide graph of mid-sized convs, co-running must win.
-        assert!(best_cfg.inter_op > 1, "manual tuning should pick inter_op > 1");
+        assert!(
+            best_cfg.inter_op > 1,
+            "manual tuning should pick inter_op > 1"
+        );
     }
 
     #[test]
@@ -228,8 +254,8 @@ mod tests {
         let g = DataflowGraph::new();
         let catalog = OpCatalog::new(&g);
         let cost = KnlCostModel::knl();
-        let report = TfExecutor::new(TfExecutorConfig::recommendation())
-            .run_step(&g, &catalog, &cost);
+        let report =
+            TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&g, &catalog, &cost);
         assert_eq!(report.total_secs, 0.0);
         assert_eq!(report.nodes_executed, 0);
     }

@@ -22,7 +22,11 @@ impl CorunStats {
     /// Computes stats over the whole trace.
     pub fn from_trace(trace: &[EngineEvent]) -> Self {
         if trace.is_empty() {
-            return CorunStats { events: 0, avg_corunning: 0.0, max_corunning: 0 };
+            return CorunStats {
+                events: 0,
+                avg_corunning: 0.0,
+                max_corunning: 0,
+            };
         }
         let sum: u64 = trace.iter().map(|e| e.corunning as u64).sum();
         CorunStats {
@@ -54,7 +58,13 @@ mod tests {
     use nnrt_manycore::{EventKind, JobId};
 
     fn ev(time: f64, corunning: u32) -> EngineEvent {
-        EngineEvent { time, kind: EventKind::Start, job: JobId(0), tag: 0, corunning }
+        EngineEvent {
+            time,
+            kind: EventKind::Start,
+            job: JobId(0),
+            tag: 0,
+            corunning,
+        }
     }
 
     #[test]
@@ -75,11 +85,17 @@ mod tests {
 
     #[test]
     fn middle_window_centers() {
-        let trace: Vec<EngineEvent> = (0..100).map(|i| ev(i as f64, if (40..60).contains(&i) { 5 } else { 1 })).collect();
+        let trace: Vec<EngineEvent> = (0..100)
+            .map(|i| ev(i as f64, if (40..60).contains(&i) { 5 } else { 1 }))
+            .collect();
         let s = CorunStats::middle_window(&trace, 20);
         assert_eq!(s.events, 20);
         assert_eq!(s.max_corunning, 5);
-        assert!(s.avg_corunning > 4.0, "window must land on the middle: {}", s.avg_corunning);
+        assert!(
+            s.avg_corunning > 4.0,
+            "window must land on the middle: {}",
+            s.avg_corunning
+        );
     }
 
     #[test]
@@ -105,7 +121,10 @@ pub fn export_chrome_trace(
     let mut events = Vec::with_capacity(timings.len());
     for idx in order {
         let t = &timings[idx];
-        let lane = match lane_free_at.iter().position(|&free| free <= t.start + 1e-12) {
+        let lane = match lane_free_at
+            .iter()
+            .position(|&free| free <= t.start + 1e-12)
+        {
             Some(l) => {
                 lane_free_at[l] = t.finish;
                 l
@@ -142,18 +161,30 @@ mod chrome_tests {
     use nnrt_graph::{DataflowGraph, OpInstance, OpKind, Shape};
 
     fn timing(node: u32, start: f64, finish: f64) -> NodeTiming {
-        NodeTiming { node, start, finish, predicted: finish - start, nominal: finish - start }
+        NodeTiming {
+            node,
+            start,
+            finish,
+            predicted: finish - start,
+            nominal: finish - start,
+        }
     }
 
     #[test]
     fn exports_valid_json_with_lanes() {
         let mut g = DataflowGraph::new();
-        g.add(OpInstance::new(OpKind::Conv2D, Shape::nhwc(1, 2, 2, 4)), &[]);
+        g.add(
+            OpInstance::new(OpKind::Conv2D, Shape::nhwc(1, 2, 2, 4)),
+            &[],
+        );
         g.add(OpInstance::new(OpKind::Relu, Shape::nhwc(1, 2, 2, 4)), &[]);
         g.add(OpInstance::new(OpKind::Mul, Shape::vec1(16)), &[]);
         // Ops 0 and 1 overlap (two lanes); op 2 reuses lane 1.
-        let timings =
-            vec![timing(0, 0.0, 2.0), timing(1, 1.0, 3.0), timing(2, 2.5, 4.0)];
+        let timings = vec![
+            timing(0, 0.0, 2.0),
+            timing(1, 1.0, 3.0),
+            timing(2, 2.5, 4.0),
+        ];
         let json = super::export_chrome_trace(&g, &timings);
         let parsed: serde_json::Value = serde_json::from_str(&json).expect("valid JSON");
         let events = parsed["traceEvents"].as_array().unwrap();

@@ -22,7 +22,11 @@ fn catalog_of(ops: Vec<(OpKind, usize, usize)>) -> OpCatalog {
     let mut g = DataflowGraph::new();
     for (kind, hw, c) in ops {
         g.add(
-            OpInstance::with_aux(kind, Shape::nhwc(8, hw, hw, c * 8), OpAux::conv(3, 1, c * 8)),
+            OpInstance::with_aux(
+                kind,
+                Shape::nhwc(8, hw, hw, c * 8),
+                OpAux::conv(3, 1, c * 8),
+            ),
             &[],
         );
     }

@@ -70,7 +70,10 @@ impl PerfEvent {
 
     /// Index of this event in [`PerfEvent::ALL`].
     pub fn index(self) -> usize {
-        PerfEvent::ALL.iter().position(|&e| e == self).expect("event in ALL")
+        PerfEvent::ALL
+            .iter()
+            .position(|&e| e == self)
+            .expect("event in ALL")
     }
 }
 
@@ -128,10 +131,17 @@ mod tests {
 
     #[test]
     fn groups_partition_the_events() {
-        let mut seen: Vec<PerfEvent> = EVENT_GROUPS.iter().flat_map(|g| g.iter().copied()).collect();
+        let mut seen: Vec<PerfEvent> = EVENT_GROUPS
+            .iter()
+            .flat_map(|g| g.iter().copied())
+            .collect();
         seen.sort();
         seen.dedup();
-        assert_eq!(seen.len(), NUM_EVENTS, "groups must cover every event exactly once");
+        assert_eq!(
+            seen.len(),
+            NUM_EVENTS,
+            "groups must cover every event exactly once"
+        );
     }
 
     #[test]

@@ -22,8 +22,10 @@ pub fn feature_vector(counts: &EventCounts) -> Vec<f64> {
 
 /// Names of the features, for reports.
 pub fn feature_names() -> Vec<String> {
-    let mut v: Vec<String> =
-        PerfEvent::ALL.iter().map(|e| format!("{e:?}/instr")).collect();
+    let mut v: Vec<String> = PerfEvent::ALL
+        .iter()
+        .map(|e| format!("{e:?}/instr"))
+        .collect();
     v.push("exec_time".to_string());
     v
 }

@@ -166,8 +166,7 @@ mod tests {
             let mut rng = ChaCha8Rng::seed_from_u64(3);
             let vals: Vec<f64> = (0..300)
                 .map(|_| {
-                    sample_counts(&profile(), 32, secs, &noise, &mut rng)
-                        .get(PerfEvent::LlcMisses)
+                    sample_counts(&profile(), 32, secs, &noise, &mut rng).get(PerfEvent::LlcMisses)
                 })
                 .collect();
             let mean = vals.iter().sum::<f64>() / vals.len() as f64;

@@ -73,7 +73,10 @@ pub struct LaunchConfig {
 impl LaunchConfig {
     /// TensorFlow's default on the paper's platform.
     pub fn tf_default() -> Self {
-        LaunchConfig { threads_per_block: 1024, num_blocks: 56 }
+        LaunchConfig {
+            threads_per_block: 1024,
+            num_blocks: 56,
+        }
     }
 }
 
@@ -86,7 +89,9 @@ pub struct GpuModel {
 impl GpuModel {
     /// Model over a P100.
     pub fn p100() -> Self {
-        GpuModel { spec: GpuSpec::p100() }
+        GpuModel {
+            spec: GpuSpec::p100(),
+        }
     }
 
     /// Model over a custom device.
@@ -110,7 +115,9 @@ impl GpuModel {
         let wave_eff = nb as f64 / (waves * s.sms) as f64;
 
         // Latency hiding: resident warps per active SM.
-        let blocks_per_sm = nb.div_ceil(s.sms).min((s.max_threads_per_sm / tpb_eff).max(1));
+        let blocks_per_sm = nb
+            .div_ceil(s.sms)
+            .min((s.max_threads_per_sm / tpb_eff).max(1));
         let warps = (blocks_per_sm * tpb_eff.div_ceil(32)).min(64) as f64;
         let latency_hiding = warps / (warps + self.spec.warp_half_saturation);
         wave_eff * latency_hiding
@@ -121,19 +128,21 @@ impl GpuModel {
     pub fn bandwidth_fraction(&self, cfg: LaunchConfig) -> f64 {
         let s = &self.spec;
         let tpb_eff = cfg.threads_per_block.clamp(1, s.max_threads_per_block) as f64;
-        let resident = (cfg.num_blocks.max(1) as f64 * tpb_eff)
-            .min((s.sms * s.max_threads_per_sm) as f64);
+        let resident =
+            (cfg.num_blocks.max(1) as f64 * tpb_eff).min((s.sms * s.max_threads_per_sm) as f64);
         resident / (resident + s.bw_half_saturation)
     }
 
     /// Execution time of `kernel` under `cfg`, seconds.
     pub fn time(&self, kernel: &crate::ops::GpuKernel, cfg: LaunchConfig) -> f64 {
         let s = &self.spec;
-        assert!(cfg.threads_per_block >= 1 && cfg.num_blocks >= 1, "degenerate launch config");
+        assert!(
+            cfg.threads_per_block >= 1 && cfg.num_blocks >= 1,
+            "degenerate launch config"
+        );
         let u = self.utilization(cfg).max(1e-6);
         let t_compute = kernel.flops / (s.peak_flops() * kernel.eff * u);
-        let t_mem = kernel.bytes
-            / (s.hbm_bw * s.kernel_bw_ceiling * self.bandwidth_fraction(cfg));
+        let t_mem = kernel.bytes / (s.hbm_bw * s.kernel_bw_ceiling * self.bandwidth_fraction(cfg));
         // Oversized logical blocks (the paper sweeps threads/block to 16384,
         // 16x the hardware maximum) grid-stride inside the SM: a couple of
         // doublings amortize block scheduling and improve locality — the
@@ -162,8 +171,8 @@ impl GpuModel {
         let compute_share = kernel.flops / s.peak_flops() / t;
         let bw_share = kernel.bytes / s.hbm_bw / t;
         let tpb_eff = cfg.threads_per_block.clamp(1, s.max_threads_per_block) as f64;
-        let slots = (cfg.num_blocks as f64 * tpb_eff)
-            / (s.sms as f64 * s.max_threads_per_sm as f64);
+        let slots =
+            (cfg.num_blocks as f64 * tpb_eff) / (s.sms as f64 * s.max_threads_per_sm as f64);
         let slot_share = s.stream_friction * slots.min(1.0);
         compute_share.max(bw_share).max(slot_share).clamp(0.0, 1.0)
     }
@@ -213,7 +222,15 @@ mod tests {
         let grid = [64u32, 128, 1024, 2048, 4096, 16384];
         let times: Vec<f64> = grid
             .iter()
-            .map(|&tpb| m.time(&k, LaunchConfig { threads_per_block: tpb, num_blocks: 56 }))
+            .map(|&tpb| {
+                m.time(
+                    &k,
+                    LaunchConfig {
+                        threads_per_block: tpb,
+                        num_blocks: 56,
+                    },
+                )
+            })
             .collect();
         let t_default = times[2];
         let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -230,7 +247,15 @@ mod tests {
         let grid = [14u32, 56, 112, 224, 896];
         let times: Vec<f64> = grid
             .iter()
-            .map(|&nb| m.time(&k, LaunchConfig { threads_per_block: 1024, num_blocks: nb }))
+            .map(|&nb| {
+                m.time(
+                    &k,
+                    LaunchConfig {
+                        threads_per_block: 1024,
+                        num_blocks: nb,
+                    },
+                )
+            })
             .collect();
         let worst = times.iter().cloned().fold(0.0, f64::max);
         let best = times.iter().cloned().fold(f64::INFINITY, f64::min);
@@ -258,12 +283,21 @@ mod tests {
     fn utilization_sane() {
         let m = GpuModel::p100();
         let full = m.utilization(LaunchConfig::tf_default());
-        let tiny = m.utilization(LaunchConfig { threads_per_block: 32, num_blocks: 1 });
+        let tiny = m.utilization(LaunchConfig {
+            threads_per_block: 32,
+            num_blocks: 1,
+        });
         assert!(full > tiny);
         assert!(full <= 1.0 && tiny > 0.0);
         // 57 blocks schedule as two waves: worse than 56.
-        let w56 = m.utilization(LaunchConfig { threads_per_block: 256, num_blocks: 56 });
-        let w57 = m.utilization(LaunchConfig { threads_per_block: 256, num_blocks: 57 });
+        let w56 = m.utilization(LaunchConfig {
+            threads_per_block: 256,
+            num_blocks: 56,
+        });
+        let w57 = m.utilization(LaunchConfig {
+            threads_per_block: 256,
+            num_blocks: 57,
+        });
         assert!(w57 < w56);
     }
 
@@ -280,6 +314,12 @@ mod tests {
     #[should_panic(expected = "degenerate launch config")]
     fn zero_blocks_panics() {
         let m = GpuModel::p100();
-        m.time(&gpu_op(GpuOpKind::BiasAdd), LaunchConfig { threads_per_block: 0, num_blocks: 0 });
+        m.time(
+            &gpu_op(GpuOpKind::BiasAdd),
+            LaunchConfig {
+                threads_per_block: 0,
+                num_blocks: 0,
+            },
+        );
     }
 }

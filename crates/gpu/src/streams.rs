@@ -33,10 +33,17 @@ pub struct StreamSchedule {
 pub fn schedule_streams(model: &GpuModel, subs: &[Submission]) -> StreamSchedule {
     let serial: f64 = subs.iter().map(|s| model.time(&s.kernel, s.config)).sum();
     if subs.is_empty() {
-        return StreamSchedule { makespan: 0.0, serial, waves: Vec::new() };
+        return StreamSchedule {
+            makespan: 0.0,
+            serial,
+            waves: Vec::new(),
+        };
     }
     let mut order: Vec<usize> = (0..subs.len()).collect();
-    let demand: Vec<f64> = subs.iter().map(|s| model.demand(&s.kernel, s.config)).collect();
+    let demand: Vec<f64> = subs
+        .iter()
+        .map(|s| model.demand(&s.kernel, s.config))
+        .collect();
     order.sort_by(|&a, &b| demand[b].partial_cmp(&demand[a]).unwrap());
 
     let mut waves: Vec<(Vec<usize>, f64)> = Vec::new();
@@ -64,7 +71,11 @@ pub fn schedule_streams(model: &GpuModel, subs: &[Submission]) -> StreamSchedule
             .fold(0.0f64, f64::max);
         makespan += longest * contention;
     }
-    StreamSchedule { makespan, serial, waves: waves.into_iter().map(|(w, _)| w).collect() }
+    StreamSchedule {
+        makespan,
+        serial,
+        waves: waves.into_iter().map(|(w, _)| w).collect(),
+    }
 }
 
 #[cfg(test)]
@@ -77,7 +88,10 @@ mod tests {
             .iter()
             .flat_map(|&k| {
                 std::iter::repeat_n(
-                    Submission { kernel: gpu_op(k), config: LaunchConfig::tf_default() },
+                    Submission {
+                        kernel: gpu_op(k),
+                        config: LaunchConfig::tf_default(),
+                    },
                     2,
                 )
             })
@@ -120,7 +134,10 @@ mod tests {
         let subs = batch();
         let sched = schedule_streams(&m, &subs);
         for wave in &sched.waves {
-            let d: f64 = wave.iter().map(|&i| m.demand(&subs[i].kernel, subs[i].config)).sum();
+            let d: f64 = wave
+                .iter()
+                .map(|&i| m.demand(&subs[i].kernel, subs[i].config))
+                .sum();
             assert!(d <= 1.15 + 1e-9, "wave demand {d}");
         }
     }

@@ -72,13 +72,28 @@ pub fn tune_independent(model: &GpuModel, kernel: &GpuKernel) -> GpuTuneResult {
     let sms = model.spec().sms;
     let default = LaunchConfig::tf_default();
     let (tpb, _, e1) = climb_axis(&tpb_ladder(), |t| {
-        model.time(kernel, LaunchConfig { threads_per_block: t, num_blocks: default.num_blocks })
+        model.time(
+            kernel,
+            LaunchConfig {
+                threads_per_block: t,
+                num_blocks: default.num_blocks,
+            },
+        )
     });
     let (nb, secs, e2) = climb_axis(&blocks_ladder(sms), |b| {
-        model.time(kernel, LaunchConfig { threads_per_block: tpb, num_blocks: b })
+        model.time(
+            kernel,
+            LaunchConfig {
+                threads_per_block: tpb,
+                num_blocks: b,
+            },
+        )
     });
     GpuTuneResult {
-        config: LaunchConfig { threads_per_block: tpb, num_blocks: nb },
+        config: LaunchConfig {
+            threads_per_block: tpb,
+            num_blocks: nb,
+        },
         secs,
         evaluations: e1 + e2,
     }
@@ -92,7 +107,10 @@ pub fn tune_exhaustive(model: &GpuModel, kernel: &GpuKernel) -> GpuTuneResult {
     let mut evals = 0;
     for &tpb in &tpb_ladder() {
         for &nb in &blocks_ladder(sms) {
-            let cfg = LaunchConfig { threads_per_block: tpb, num_blocks: nb };
+            let cfg = LaunchConfig {
+                threads_per_block: tpb,
+                num_blocks: nb,
+            };
             let t = model.time(kernel, cfg);
             evals += 1;
             if best.is_none_or(|(_, b)| t < b) {
@@ -101,7 +119,11 @@ pub fn tune_exhaustive(model: &GpuModel, kernel: &GpuKernel) -> GpuTuneResult {
         }
     }
     let (config, secs) = best.expect("non-empty grid");
-    GpuTuneResult { config, secs, evaluations: evals }
+    GpuTuneResult {
+        config,
+        secs,
+        evaluations: evals,
+    }
 }
 
 #[cfg(test)]

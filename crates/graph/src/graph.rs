@@ -27,7 +27,11 @@ pub struct OpInstance {
 impl OpInstance {
     /// A new instance with default attributes.
     pub fn new(kind: OpKind, shape: Shape) -> Self {
-        OpInstance { kind, shape, aux: OpAux::default() }
+        OpInstance {
+            kind,
+            shape,
+            aux: OpAux::default(),
+        }
     }
 
     /// A new instance with explicit attributes.
@@ -146,17 +150,26 @@ impl DataflowGraph {
 
     /// Iterator over `(id, op)` pairs in insertion (= topological) order.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &OpInstance)> {
-        self.nodes.iter().enumerate().map(|(i, op)| (NodeId(i as u32), op))
+        self.nodes
+            .iter()
+            .enumerate()
+            .map(|(i, op)| (NodeId(i as u32), op))
     }
 
     /// Nodes with no predecessors (the initial ready frontier).
     pub fn sources(&self) -> Vec<NodeId> {
-        self.iter().filter(|(id, _)| self.preds(*id).is_empty()).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(id, _)| self.preds(*id).is_empty())
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Nodes with no successors.
     pub fn sinks(&self) -> Vec<NodeId> {
-        self.iter().filter(|(id, _)| self.succs(*id).is_empty()).map(|(id, _)| id).collect()
+        self.iter()
+            .filter(|(id, _)| self.succs(*id).is_empty())
+            .map(|(id, _)| id)
+            .collect()
     }
 
     /// Checks structural invariants. Graphs built through [`Self::add`] always
@@ -168,7 +181,10 @@ impl DataflowGraph {
         for (i, deps) in self.preds.iter().enumerate() {
             for &d in deps {
                 if d.0 as usize >= self.nodes.len() {
-                    return Err(GraphError::DanglingEdge { node: i as u32, target: d.0 });
+                    return Err(GraphError::DanglingEdge {
+                        node: i as u32,
+                        target: d.0,
+                    });
                 }
                 if d.0 as usize == i {
                     return Err(GraphError::SelfLoop(i as u32));
@@ -195,8 +211,10 @@ impl DataflowGraph {
     /// Distinct `(kind, shape)` keys in the graph — what the hill-climbing
     /// profiler must explore.
     pub fn distinct_keys(&self) -> Vec<crate::profile::OpKey> {
-        let mut keys: Vec<crate::profile::OpKey> =
-            self.iter().map(|(_, op)| (op.kind, op.shape.clone())).collect();
+        let mut keys: Vec<crate::profile::OpKey> = self
+            .iter()
+            .map(|(_, op)| (op.kind, op.shape.clone()))
+            .collect();
         keys.sort();
         keys.dedup();
         keys
@@ -204,14 +222,21 @@ impl DataflowGraph {
 
     /// Total flops of one pass over the graph (sum of per-op profiles).
     pub fn total_flops(&self) -> f64 {
-        self.iter().map(|(_, op)| crate::profile::work_profile(op.kind, &op.shape, &op.aux).flops).sum()
+        self.iter()
+            .map(|(_, op)| crate::profile::work_profile(op.kind, &op.shape, &op.aux).flops)
+            .sum()
     }
 
     /// The critical-path length in number of nodes (longest chain).
     pub fn critical_path_len(&self) -> usize {
         let mut depth = vec![0usize; self.len()];
         for (id, _) in self.iter() {
-            let d = self.preds(id).iter().map(|p| depth[p.0 as usize]).max().unwrap_or(0);
+            let d = self
+                .preds(id)
+                .iter()
+                .map(|p| depth[p.0 as usize])
+                .max()
+                .unwrap_or(0);
             depth[id.0 as usize] = d + 1;
         }
         depth.into_iter().max().unwrap_or(0)
@@ -234,10 +259,16 @@ pub struct ReadyTracker {
 impl ReadyTracker {
     /// A tracker positioned at the start of `graph`.
     pub fn new(graph: &DataflowGraph) -> Self {
-        let remaining_preds: Vec<u32> =
-            (0..graph.len()).map(|i| graph.preds(NodeId(i as u32)).len() as u32).collect();
+        let remaining_preds: Vec<u32> = (0..graph.len())
+            .map(|i| graph.preds(NodeId(i as u32)).len() as u32)
+            .collect();
         let ready = graph.sources().into();
-        ReadyTracker { remaining_preds, ready, completed: 0, total: graph.len() }
+        ReadyTracker {
+            remaining_preds,
+            ready,
+            completed: 0,
+            total: graph.len(),
+        }
     }
 
     /// Nodes currently ready, in FIFO order.

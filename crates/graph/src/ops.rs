@@ -118,12 +118,28 @@ impl OpKind {
     pub fn backend(self) -> Backend {
         use OpKind::*;
         match self {
-            Conv2D | Conv2DBackpropFilter | Conv2DBackpropInput | MatMul | BiasAdd
-            | BiasAddGrad | Relu | ReluGrad | LeakyRelu | MaxPool | MaxPoolGrad | AvgPool
-            | AvgPoolGrad | FusedBatchNorm | FusedBatchNormGrad | Softmax
-            | SparseSoftmaxCrossEntropy | ApplyAdam | InputConversion | ToTf | Mul | AddN => {
-                Backend::MklDnn
-            }
+            Conv2D
+            | Conv2DBackpropFilter
+            | Conv2DBackpropInput
+            | MatMul
+            | BiasAdd
+            | BiasAddGrad
+            | Relu
+            | ReluGrad
+            | LeakyRelu
+            | MaxPool
+            | MaxPoolGrad
+            | AvgPool
+            | AvgPoolGrad
+            | FusedBatchNorm
+            | FusedBatchNormGrad
+            | Softmax
+            | SparseSoftmaxCrossEntropy
+            | ApplyAdam
+            | InputConversion
+            | ToTf
+            | Mul
+            | AddN => Backend::MklDnn,
             Add | Sub | Tile | Concat | Split | Reshape | Transpose | Pad
             | ApplyGradientDescent | Identity | Sum | Mean | Sigmoid | SigmoidGrad | Tanh
             | TanhGrad => Backend::Eigen,
@@ -203,7 +219,12 @@ pub struct OpAux {
 
 impl Default for OpAux {
     fn default() -> Self {
-        OpAux { kernel_h: 1, kernel_w: 1, stride: 1, c_out: 0 }
+        OpAux {
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            c_out: 0,
+        }
     }
 }
 
@@ -211,17 +232,32 @@ impl OpAux {
     /// Attributes of a square convolution: `k`×`k` kernel, `stride`, `c_out`
     /// output channels.
     pub fn conv(k: usize, stride: usize, c_out: usize) -> Self {
-        OpAux { kernel_h: k, kernel_w: k, stride, c_out }
+        OpAux {
+            kernel_h: k,
+            kernel_w: k,
+            stride,
+            c_out,
+        }
     }
 
     /// Attributes of a square pooling window.
     pub fn pool(k: usize, stride: usize) -> Self {
-        OpAux { kernel_h: k, kernel_w: k, stride, c_out: 0 }
+        OpAux {
+            kernel_h: k,
+            kernel_w: k,
+            stride,
+            c_out: 0,
+        }
     }
 
     /// Attributes of a matmul `(m,k) x (k,n)`: `c_out` carries `n`.
     pub fn matmul(n: usize) -> Self {
-        OpAux { kernel_h: 1, kernel_w: 1, stride: 1, c_out: n }
+        OpAux {
+            kernel_h: 1,
+            kernel_w: 1,
+            stride: 1,
+            c_out: n,
+        }
     }
 }
 
@@ -257,7 +293,10 @@ mod tests {
     #[test]
     fn display_matches_paper_names() {
         assert_eq!(OpKind::MaxPool.to_string(), "MaxPooling");
-        assert_eq!(OpKind::SparseSoftmaxCrossEntropy.to_string(), "SparseSoftmaxCross");
+        assert_eq!(
+            OpKind::SparseSoftmaxCrossEntropy.to_string(),
+            "SparseSoftmaxCross"
+        );
         assert_eq!(OpKind::ToTf.to_string(), "ToTf");
     }
 

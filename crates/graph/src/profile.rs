@@ -65,7 +65,11 @@ pub fn work_profile(kind: OpKind, shape: &Shape, aux: &OpAux) -> WorkProfile {
     use OpKind::*;
     let elems = shape.elements() as f64;
     let c_in = shape.channels() as f64;
-    let c_out = if aux.c_out > 0 { aux.c_out as f64 } else { c_in };
+    let c_out = if aux.c_out > 0 {
+        aux.c_out as f64
+    } else {
+        c_in
+    };
     let k2 = (aux.kernel_h * aux.kernel_w) as f64;
 
     match kind {
@@ -260,8 +264,16 @@ mod tests {
     #[test]
     fn table2_conv_backprop_filter_optima() {
         let aux = OpAux::conv(3, 1, 384);
-        let p1 = optimum(OpKind::Conv2DBackpropFilter, Shape::nhwc(32, 8, 8, 384), aux);
-        let p2 = optimum(OpKind::Conv2DBackpropFilter, Shape::nhwc(32, 17, 17, 384), aux);
+        let p1 = optimum(
+            OpKind::Conv2DBackpropFilter,
+            Shape::nhwc(32, 8, 8, 384),
+            aux,
+        );
+        let p2 = optimum(
+            OpKind::Conv2DBackpropFilter,
+            Shape::nhwc(32, 17, 17, 384),
+            aux,
+        );
         let p3 = optimum(
             OpKind::Conv2DBackpropFilter,
             Shape::nhwc(32, 8, 8, 2048),
@@ -277,7 +289,11 @@ mod tests {
     fn table2_conv_backprop_input_optima() {
         let aux = OpAux::conv(3, 1, 384);
         let p1 = optimum(OpKind::Conv2DBackpropInput, Shape::nhwc(32, 8, 8, 384), aux);
-        let p2 = optimum(OpKind::Conv2DBackpropInput, Shape::nhwc(32, 17, 17, 384), aux);
+        let p2 = optimum(
+            OpKind::Conv2DBackpropInput,
+            Shape::nhwc(32, 17, 17, 384),
+            aux,
+        );
         assert!((28..=44).contains(&p1), "paper: 36, got {p1}");
         assert!((46..=68).contains(&p2), "paper: 56, got {p2}");
     }
@@ -298,19 +314,30 @@ mod tests {
         let f = optimum(OpKind::Conv2DBackpropFilter, s.clone(), aux);
         let i = optimum(OpKind::Conv2DBackpropInput, s.clone(), aux);
         let c = optimum(OpKind::Conv2D, s, aux);
-        assert!(f < i && i < c, "expected filter < input < conv, got {f} {i} {c}");
+        assert!(
+            f < i && i < c,
+            "expected filter < input < conv, got {f} {i} {c}"
+        );
     }
 
     #[test]
     fn tiny_lstm_matmul_prefers_couple_threads() {
         // PTB LSTM cell: (20, 400) x (400, 800).
         let p = optimum(OpKind::MatMul, Shape::mat(20, 400), OpAux::matmul(800));
-        assert!(p <= 6, "paper's manual LSTM tuning picks 2 threads, got {p}");
+        assert!(
+            p <= 6,
+            "paper's manual LSTM tuning picks 2 threads, got {p}"
+        );
     }
 
     #[test]
     fn streaming_ops_are_memory_intense() {
-        for kind in [OpKind::Tile, OpKind::InputConversion, OpKind::ToTf, OpKind::ApplyAdam] {
+        for kind in [
+            OpKind::Tile,
+            OpKind::InputConversion,
+            OpKind::ToTf,
+            OpKind::ApplyAdam,
+        ] {
             let prof = work_profile(kind, &Shape::vec1(1_000_000), &OpAux::default());
             assert!(prof.mem_intensity >= 0.9, "{kind} should be memory bound");
         }
@@ -326,7 +353,8 @@ mod tests {
                 Shape::scalar(),
             ] {
                 let prof = work_profile(kind, &shape, &OpAux::conv(3, 1, 128));
-                prof.validate().unwrap_or_else(|e| panic!("{kind} on {shape}: {e}"));
+                prof.validate()
+                    .unwrap_or_else(|e| panic!("{kind} on {shape}: {e}"));
             }
         }
     }

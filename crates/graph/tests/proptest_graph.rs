@@ -18,11 +18,7 @@ fn arb_graph() -> impl Strategy<Value = DataflowGraph> {
                 deps.sort_unstable();
                 deps.dedup();
                 g.add(
-                    OpInstance::with_aux(
-                        kind,
-                        Shape::nhwc(2, dim, dim, 16),
-                        OpAux::conv(3, 1, 16),
-                    ),
+                    OpInstance::with_aux(kind, Shape::nhwc(2, dim, dim, 16), OpAux::conv(3, 1, 16)),
                     &deps,
                 );
             }

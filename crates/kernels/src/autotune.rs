@@ -64,7 +64,11 @@ where
         .iter()
         .min_by(|a, b| a.1.partial_cmp(&b.1).unwrap())
         .expect("at least one sample");
-    TuneResult { best_threads, best_secs, samples }
+    TuneResult {
+        best_threads,
+        best_secs,
+        samples,
+    }
 }
 
 #[cfg(test)]

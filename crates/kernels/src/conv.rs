@@ -11,16 +11,44 @@ fn geometry(
     input: &Tensor,
     filter: &Tensor,
     stride: usize,
-) -> (usize, usize, usize, usize, usize, usize, usize, usize, usize) {
+) -> (
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+    usize,
+) {
     assert_eq!(input.shape().len(), 4, "input must be NHWC");
     assert_eq!(filter.shape().len(), 4, "filter must be HWIO");
     assert!(stride >= 1, "stride must be >= 1");
-    let (n, h, w, cin) =
-        (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
-    let (kh, kw, fcin, cout) =
-        (filter.shape()[0], filter.shape()[1], filter.shape()[2], filter.shape()[3]);
+    let (n, h, w, cin) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
+    let (kh, kw, fcin, cout) = (
+        filter.shape()[0],
+        filter.shape()[1],
+        filter.shape()[2],
+        filter.shape()[3],
+    );
     assert_eq!(cin, fcin, "channel mismatch: input {cin} vs filter {fcin}");
-    (n, h, w, cin, kh, kw, cout, out_dim(h, stride), out_dim(w, stride))
+    (
+        n,
+        h,
+        w,
+        cin,
+        kh,
+        kw,
+        cout,
+        out_dim(h, stride),
+        out_dim(w, stride),
+    )
 }
 
 /// Forward convolution with SAME padding. Parallel over output rows.
@@ -99,8 +127,12 @@ pub fn conv2d_backprop_filter(
 ) -> Tensor {
     assert_eq!(input.shape().len(), 4);
     assert_eq!(grad_out.shape().len(), 4);
-    let (n, h, w, cin) =
-        (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (n, h, w, cin) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
     let (gn, ho, wo, cout) = (
         grad_out.shape()[0],
         grad_out.shape()[1],
@@ -139,8 +171,7 @@ pub fn conv2d_backprop_filter(
                                 let fbase = (ky * kw + kx) * cin * cout;
                                 for ci in 0..cin {
                                     let xv = x[xbase + ci];
-                                    let drow =
-                                        &mut df[fbase + ci * cout..fbase + (ci + 1) * cout];
+                                    let drow = &mut df[fbase + ci * cout..fbase + (ci + 1) * cout];
                                     let grow = &g[gbase..gbase + cout];
                                     for (dv, &gv) in drow.iter_mut().zip(grow) {
                                         *dv += xv * gv;
@@ -173,12 +204,25 @@ pub fn conv2d_backprop_input(
     stride: usize,
 ) -> Tensor {
     assert_eq!(input_shape.len(), 4);
-    let (n, h, w, cin) = (input_shape[0], input_shape[1], input_shape[2], input_shape[3]);
-    let (kh, kw, fcin, cout) =
-        (filter.shape()[0], filter.shape()[1], filter.shape()[2], filter.shape()[3]);
+    let (n, h, w, cin) = (
+        input_shape[0],
+        input_shape[1],
+        input_shape[2],
+        input_shape[3],
+    );
+    let (kh, kw, fcin, cout) = (
+        filter.shape()[0],
+        filter.shape()[1],
+        filter.shape()[2],
+        filter.shape()[3],
+    );
     assert_eq!(cin, fcin, "channel mismatch");
     let (ho, wo) = (out_dim(h, stride), out_dim(w, stride));
-    assert_eq!(grad_out.shape(), &[n, ho, wo, cout], "grad_out shape mismatch");
+    assert_eq!(
+        grad_out.shape(),
+        &[n, ho, wo, cout],
+        "grad_out shape mismatch"
+    );
     let pad_h = (kh - 1) / 2;
     let pad_w = (kw - 1) / 2;
     let f = filter.data();
@@ -225,8 +269,7 @@ pub fn conv2d_backprop_input(
                                 let gbase = ((b * ho + oy) * wo + ox) * cout;
                                 let fbase = (ky * kw + kx) * cin * cout;
                                 for (ci, xv) in xcell.iter_mut().enumerate() {
-                                    let frow =
-                                        &f[fbase + ci * cout..fbase + (ci + 1) * cout];
+                                    let frow = &f[fbase + ci * cout..fbase + (ci + 1) * cout];
                                     let grow = &g[gbase..gbase + cout];
                                     let mut s = 0.0;
                                     for (&fv, &gv) in frow.iter().zip(grow) {

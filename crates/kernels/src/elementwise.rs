@@ -76,7 +76,10 @@ pub fn tanh(threads: usize, data: &mut [f32]) {
 /// Adds a per-channel bias to an `[rows, channels]`-flattened activation.
 pub fn bias_add(threads: usize, data: &mut [f32], bias: &[f32]) {
     let c = bias.len();
-    assert!(c > 0 && data.len().is_multiple_of(c), "data not a multiple of channels");
+    assert!(
+        c > 0 && data.len().is_multiple_of(c),
+        "data not a multiple of channels"
+    );
     let rows = data.len() / c;
     let chunk_rows = rows.div_ceil(threads.clamp(1, rows.max(1))).max(1);
     std::thread::scope(|s| {
@@ -224,7 +227,11 @@ mod tests {
             let g = vec![2.0 * p[0]];
             adam_step(1, &mut p, &g, &mut m, &mut v, 0.05, 0.9, 0.999, 1e-8, step);
         }
-        assert!(p[0].abs() < 0.1, "Adam should approach the minimum, got {}", p[0]);
+        assert!(
+            p[0].abs() < 0.1,
+            "Adam should approach the minimum, got {}",
+            p[0]
+        );
     }
 
     #[test]
@@ -235,7 +242,9 @@ mod tests {
             let mut p: Vec<f32> = (0..n).map(|i| i as f32 * 0.001).collect();
             let mut m = vec![0.0f32; n];
             let mut v = vec![0.0f32; n];
-            adam_step(threads, &mut p, &grad, &mut m, &mut v, 0.01, 0.9, 0.999, 1e-8, 1);
+            adam_step(
+                threads, &mut p, &grad, &mut m, &mut v, 0.01, 0.9, 0.999, 1e-8, 1,
+            );
             p
         };
         let base = run(1);

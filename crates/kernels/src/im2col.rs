@@ -13,13 +13,19 @@ use std::sync::atomic::{AtomicU32, Ordering};
 /// padding.
 pub fn im2col(threads: usize, input: &Tensor, k: usize, stride: usize) -> Tensor {
     assert_eq!(input.shape().len(), 4, "input must be NHWC");
-    let (n, h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (n, h, w, c) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
     let (ho, wo) = (h.div_ceil(stride), w.div_ceil(stride));
     let pad = (k - 1) / 2;
     let row_len = k * k * c;
     let x = input.data();
-    let out: Vec<AtomicU32> =
-        (0..n * ho * wo * row_len).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+    let out: Vec<AtomicU32> = (0..n * ho * wo * row_len)
+        .map(|_| AtomicU32::new(0f32.to_bits()))
+        .collect();
     parallel_for(threads, n * ho * wo, |rows| {
         for r in rows {
             let ox = r % wo;
@@ -45,15 +51,21 @@ pub fn im2col(threads: usize, input: &Tensor, k: usize, stride: usize) -> Tensor
     });
     Tensor::from_vec(
         &[n * ho * wo, row_len],
-        out.into_iter().map(|a| f32::from_bits(a.into_inner())).collect(),
+        out.into_iter()
+            .map(|a| f32::from_bits(a.into_inner()))
+            .collect(),
     )
 }
 
 /// Convolution via im2col + GEMM; numerically equivalent to
 /// [`crate::conv::conv2d`].
 pub fn conv2d_im2col(threads: usize, input: &Tensor, filter: &Tensor, stride: usize) -> Tensor {
-    let (kh, kw, cin, cout) =
-        (filter.shape()[0], filter.shape()[1], filter.shape()[2], filter.shape()[3]);
+    let (kh, kw, cin, cout) = (
+        filter.shape()[0],
+        filter.shape()[1],
+        filter.shape()[2],
+        filter.shape()[3],
+    );
     assert_eq!(kh, kw, "im2col path assumes square kernels");
     assert_eq!(cin, input.shape()[3], "channel mismatch");
     let (n, h, w) = (input.shape()[0], input.shape()[1], input.shape()[2]);
@@ -63,7 +75,15 @@ pub fn conv2d_im2col(threads: usize, input: &Tensor, filter: &Tensor, stride: us
     let kdim = kh * kw * cin;
     let mut out = vec![0.0f32; m * cout];
     // The HWIO filter is already laid out as a [kdim, cout] matrix.
-    matmul(threads, patches.data(), filter.data(), &mut out, m, kdim, cout);
+    matmul(
+        threads,
+        patches.data(),
+        filter.data(),
+        &mut out,
+        m,
+        kdim,
+        cout,
+    );
     Tensor::from_vec(&[n, ho, wo, cout], out)
 }
 

@@ -14,15 +14,7 @@
 ///
 /// # Panics
 /// Panics on dimension mismatch.
-pub fn matmul(
-    threads: usize,
-    a: &[f32],
-    b: &[f32],
-    c: &mut [f32],
-    m: usize,
-    k: usize,
-    n: usize,
-) {
+pub fn matmul(threads: usize, a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     assert_eq!(a.len(), m * k, "A shape mismatch");
     assert_eq!(b.len(), k * n, "B shape mismatch");
     assert_eq!(c.len(), m * n, "C shape mismatch");

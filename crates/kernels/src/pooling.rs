@@ -19,7 +19,12 @@ where
 {
     assert_eq!(input.shape().len(), 4, "input must be NHWC");
     assert!(k >= 1 && stride >= 1);
-    let (n, h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (n, h, w, c) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
     let (ho, wo) = (h.div_ceil(stride), w.div_ceil(stride));
     let x = input.data();
     // Atomic f32 via bit-casting lets parallel_for write disjoint cells
@@ -55,18 +60,36 @@ where
     });
     Tensor::from_vec(
         &[n, ho, wo, c],
-        out.into_iter().map(|a| f32::from_bits(a.into_inner())).collect(),
+        out.into_iter()
+            .map(|a| f32::from_bits(a.into_inner()))
+            .collect(),
     )
 }
 
 /// Max pooling over `k`×`k` windows.
 pub fn max_pool2d(threads: usize, input: &Tensor, k: usize, stride: usize) -> Tensor {
-    pooled(threads, input, k, stride, f32::NEG_INFINITY, f32::max, |acc, _| acc)
+    pooled(
+        threads,
+        input,
+        k,
+        stride,
+        f32::NEG_INFINITY,
+        f32::max,
+        |acc, _| acc,
+    )
 }
 
 /// Average pooling over `k`×`k` windows (edge windows average fewer cells).
 pub fn avg_pool2d(threads: usize, input: &Tensor, k: usize, stride: usize) -> Tensor {
-    pooled(threads, input, k, stride, 0.0, |a, b| a + b, |acc, cnt| acc / cnt as f32)
+    pooled(
+        threads,
+        input,
+        k,
+        stride,
+        0.0,
+        |a, b| a + b,
+        |acc, cnt| acc / cnt as f32,
+    )
 }
 
 #[cfg(test)]
@@ -126,14 +149,21 @@ pub fn max_pool2d_grad(
     stride: usize,
 ) -> Tensor {
     assert_eq!(input.shape().len(), 4);
-    let (n, h, w, c) = (input.shape()[0], input.shape()[1], input.shape()[2], input.shape()[3]);
+    let (n, h, w, c) = (
+        input.shape()[0],
+        input.shape()[1],
+        input.shape()[2],
+        input.shape()[3],
+    );
     let (ho, wo) = (h.div_ceil(stride), w.div_ceil(stride));
     assert_eq!(grad_out.shape(), &[n, ho, wo, c], "grad_out shape mismatch");
     let x = input.data();
     let g = grad_out.data();
     // Each input cell can receive gradient from several windows when
     // stride < k; accumulate atomically via bit-cast CAS loops.
-    let dx: Vec<AtomicU32> = (0..input.len()).map(|_| AtomicU32::new(0f32.to_bits())).collect();
+    let dx: Vec<AtomicU32> = (0..input.len())
+        .map(|_| AtomicU32::new(0f32.to_bits()))
+        .collect();
     parallel_for(threads, n * ho * wo, |cells| {
         for cell in cells {
             let ox = cell % wo;
@@ -183,7 +213,9 @@ pub fn max_pool2d_grad(
     });
     Tensor::from_vec(
         input.shape(),
-        dx.into_iter().map(|a| f32::from_bits(a.into_inner())).collect(),
+        dx.into_iter()
+            .map(|a| f32::from_bits(a.into_inner()))
+            .collect(),
     )
 }
 

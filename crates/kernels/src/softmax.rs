@@ -140,7 +140,9 @@ mod tests {
     fn thread_counts_agree() {
         let rows = 37;
         let classes = 11;
-        let logits: Vec<f32> = (0..rows * classes).map(|i| ((i * 31 % 17) as f32) * 0.1).collect();
+        let logits: Vec<f32> = (0..rows * classes)
+            .map(|i| ((i * 31 % 17) as f32) * 0.1)
+            .collect();
         let labels: Vec<usize> = (0..rows).map(|r| r % classes).collect();
         let mut g1 = vec![0.0f32; rows * classes];
         let l1 = sparse_softmax_cross_entropy(1, &logits, &labels, &mut g1, classes);

@@ -11,7 +11,10 @@ impl Tensor {
     /// Zero tensor of `shape`.
     pub fn zeros(shape: &[usize]) -> Self {
         let n = shape.iter().product();
-        Tensor { shape: shape.to_vec(), data: vec![0.0; n] }
+        Tensor {
+            shape: shape.to_vec(),
+            data: vec![0.0; n],
+        }
     }
 
     /// Tensor from existing data.
@@ -24,7 +27,10 @@ impl Tensor {
             shape.iter().product::<usize>(),
             "data length does not match shape {shape:?}"
         );
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// A deterministic pseudo-random tensor (for tests/examples; no RNG dep).
@@ -39,7 +45,10 @@ impl Tensor {
                 ((x >> 40) as f32 / 8388608.0 - 1.0) * scale
             })
             .collect();
-        Tensor { shape: shape.to_vec(), data }
+        Tensor {
+            shape: shape.to_vec(),
+            data,
+        }
     }
 
     /// The shape.

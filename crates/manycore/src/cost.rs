@@ -153,13 +153,9 @@ impl KnlParams {
         if total_ctx == 0 {
             return 1.0;
         }
-        let avg_pressure: f64 = residents
-            .iter()
-            .map(|&(p, _, c)| p * c as f64)
-            .sum::<f64>()
-            / total_ctx as f64;
-        let min_pressure =
-            residents.iter().map(|&(p, _, _)| p).fold(1.0, f64::min);
+        let avg_pressure: f64 =
+            residents.iter().map(|&(p, _, c)| p * c as f64).sum::<f64>() / total_ctx as f64;
+        let min_pressure = residents.iter().map(|&(p, _, _)| p).fold(1.0, f64::min);
         // Cross-job thrash grows sub-linearly with extra contexts (the first
         // foreign working set does most of the damage).
         let capacity = (self.smt_yield(total_ctx, avg_pressure)
@@ -219,7 +215,10 @@ pub struct KnlCostModel {
 impl KnlCostModel {
     /// Model with the paper's machine and default calibration.
     pub fn knl() -> Self {
-        KnlCostModel { topo: Topology::knl(), params: KnlParams::default() }
+        KnlCostModel {
+            topo: Topology::knl(),
+            params: KnlParams::default(),
+        }
     }
 
     /// Model over a custom topology / parameter set.
@@ -235,6 +234,12 @@ impl KnlCostModel {
     /// Mutable access for calibration and ablations.
     pub fn params_mut(&mut self) -> &mut KnlParams {
         &mut self.params
+    }
+
+    /// Fingerprint of this machine (topology + calibration); see
+    /// [`crate::MachineSignature`].
+    pub fn signature(&self) -> crate::MachineSignature {
+        crate::MachineSignature::of(&self.topo, &self.params)
     }
 
     /// Single-thread (serial) execution time of `profile`.
@@ -351,8 +356,9 @@ mod tests {
     fn curve_is_convex_and_has_interior_optimum() {
         let m = model();
         let prof = conv_profile(5.4e9, 26.0);
-        let times: Vec<f64> =
-            (1..=68).map(|p| m.solo_time(&prof, p, SharingMode::Compact)).collect();
+        let times: Vec<f64> = (1..=68)
+            .map(|p| m.solo_time(&prof, p, SharingMode::Compact))
+            .collect();
         let (argmin, _) = times
             .iter()
             .enumerate()
@@ -469,9 +475,15 @@ mod tests {
             cache_pressure: 0.5,
         };
         let (p_star, _, _) = m.optimal(&prof, 68);
-        assert!(p_star <= 8, "tiny op should use very few threads, got {p_star}");
+        assert!(
+            p_star <= 8,
+            "tiny op should use very few threads, got {p_star}"
+        );
         let t1 = m.solo_time(&prof, 1, SharingMode::Scatter);
         let t68 = m.solo_time(&prof, 68, SharingMode::Scatter);
-        assert!(t68 > t1, "68 threads should be slower than serial for a tiny op");
+        assert!(
+            t68 > t1,
+            "68 threads should be slower than serial for a tiny op"
+        );
     }
 }

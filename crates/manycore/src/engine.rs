@@ -152,7 +152,11 @@ impl Engine {
     /// Physical-core footprint of the widest running job (0 when idle) —
     /// Strategy 4 triggers only when some op spans the whole machine.
     pub fn widest_running_cores(&self) -> u32 {
-        self.jobs.values().map(|r| r.placement.num_cores()).max().unwrap_or(0)
+        self.jobs
+            .values()
+            .map(|r| r.placement.num_cores())
+            .max()
+            .unwrap_or(0)
     }
 
     /// The widest running job's `(tag, cores, profile)`, if any.
@@ -175,7 +179,10 @@ impl Engine {
 
     /// Estimated wall-clock seconds until `job` finishes at current rates.
     pub fn remaining_secs(&self, job: JobId) -> Result<f64, MachineError> {
-        let r = self.jobs.get(&job.0).ok_or(MachineError::UnknownJob(job.0))?;
+        let r = self
+            .jobs
+            .get(&job.0)
+            .ok_or(MachineError::UnknownJob(job.0))?;
         Ok(r.remaining / r.rate.max(1e-12))
     }
 
@@ -323,7 +330,10 @@ impl Engine {
             .jobs
             .iter()
             .map(|(&id, r)| {
-                (id, r.profile.mem_intensity * r.placement.num_cores() as f64 / ncores)
+                (
+                    id,
+                    r.profile.mem_intensity * r.placement.num_cores() as f64 / ncores,
+                )
             })
             .collect();
         let total_demand: f64 = demand.values().sum();
@@ -331,7 +341,10 @@ impl Engine {
             .jobs
             .iter()
             .map(|(&id, r)| {
-                (id, r.profile.cache_pressure * r.placement.num_cores() as f64 / ncores)
+                (
+                    id,
+                    r.profile.cache_pressure * r.placement.num_cores() as f64 / ncores,
+                )
             })
             .collect();
         let total_footprint: f64 = footprint.values().sum();
@@ -370,11 +383,8 @@ impl Engine {
                 // priced in: a depth-2 job's own SMT cost is in its nominal,
                 // only the *extra* slowdown from foreign contexts counts.
                 let prof = &self.jobs[&id].profile;
-                let alone = params.exclusive_share_ratio(
-                    prof.cache_pressure,
-                    prof.mem_intensity,
-                    ctx,
-                );
+                let alone =
+                    params.exclusive_share_ratio(prof.cache_pressure, prof.mem_intensity, ctx);
                 let relative = (ratio / alone).min(1.0);
                 let e = core_ratio.entry(id).or_insert((0.0, 0.0));
                 e.0 += relative * ctx as f64;
@@ -407,7 +417,11 @@ impl Engine {
                 .iter()
                 .filter(|&(&k, other)| {
                     k != id
-                        && other.placement.cores.iter().all(|&(c, _)| !my_cores.contains(&c.0))
+                        && other
+                            .placement
+                            .cores
+                            .iter()
+                            .all(|&(c, _)| !my_cores.contains(&c.0))
                 })
                 .map(|(&k, _)| k)
                 .collect();
@@ -508,7 +522,8 @@ mod tests {
         // Co-run on SMT siblings.
         let mut e = engine();
         e.launch(p, t_each, &req, 1).unwrap();
-        e.launch(p, t_each, &PlacementRequest::hyper_thread(68), 2).unwrap();
+        e.launch(p, t_each, &PlacementRequest::hyper_thread(68), 2)
+            .unwrap();
         let span = e.drain().last().unwrap().finish;
         let speedup = serial_span / span;
         assert!(
@@ -529,7 +544,8 @@ mod tests {
         small.cache_pressure = 0.2;
         let req = PlacementRequest::primary(68, SharingMode::Compact);
         e.launch(big, 0.020, &req, 1).unwrap();
-        e.launch(small, 0.001, &PlacementRequest::hyper_thread(8), 2).unwrap();
+        e.launch(small, 0.001, &PlacementRequest::hyper_thread(8), 2)
+            .unwrap();
         let outs = e.drain();
         let big_out = outs.iter().find(|o| o.tag == 1).unwrap();
         assert!(
@@ -545,8 +561,15 @@ mod tests {
         let mut e = engine();
         let mut p = conv_profile();
         p.mem_intensity = 0.0;
-        e.launch(p, 0.020, &PlacementRequest::primary(68, SharingMode::Compact), 1).unwrap();
-        e.launch(p, 0.020, &PlacementRequest::hyper_thread(68), 2).unwrap();
+        e.launch(
+            p,
+            0.020,
+            &PlacementRequest::primary(68, SharingMode::Compact),
+            1,
+        )
+        .unwrap();
+        e.launch(p, 0.020, &PlacementRequest::hyper_thread(68), 2)
+            .unwrap();
         let span = e.drain().last().unwrap().finish;
         let speedup = 0.040 / span;
         assert!(

@@ -45,7 +45,10 @@ mod tests {
 
     #[test]
     fn display_is_informative() {
-        let e = MachineError::PlacementUnsatisfiable { requested: 70, available: 4 };
+        let e = MachineError::PlacementUnsatisfiable {
+            requested: 70,
+            available: 4,
+        };
         let s = e.to_string();
         assert!(s.contains("70"));
         assert!(s.contains("4"));

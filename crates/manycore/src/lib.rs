@@ -42,6 +42,7 @@ pub mod engine;
 pub mod error;
 pub mod noise;
 pub mod placement;
+pub mod signature;
 pub mod topology;
 pub mod workload;
 
@@ -50,5 +51,6 @@ pub use engine::{Engine, EngineEvent, EventKind, JobId, JobOutcome};
 pub use error::MachineError;
 pub use noise::NoiseModel;
 pub use placement::{Placement, PlacementRequest, SharingMode, SlotPreference};
+pub use signature::MachineSignature;
 pub use topology::{CoreId, TileId, Topology};
 pub use workload::WorkProfile;

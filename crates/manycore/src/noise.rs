@@ -29,14 +29,20 @@ pub struct NoiseModel {
 
 impl Default for NoiseModel {
     fn default() -> Self {
-        NoiseModel { sigma_floor: 0.008, sigma_short: 0.02 }
+        NoiseModel {
+            sigma_floor: 0.008,
+            sigma_short: 0.02,
+        }
     }
 }
 
 impl NoiseModel {
     /// A noiseless model (for deterministic tests).
     pub fn none() -> Self {
-        NoiseModel { sigma_floor: 0.0, sigma_short: 0.0 }
+        NoiseModel {
+            sigma_floor: 0.0,
+            sigma_short: 0.0,
+        }
     }
 
     /// Relative standard deviation for a measurement of `secs` seconds.
@@ -95,7 +101,10 @@ mod tests {
             sum += o;
         }
         let mean = sum / 20_000.0;
-        assert!((mean - t).abs() / t < 0.02, "mean {mean} should be near {t}");
+        assert!(
+            (mean - t).abs() / t < 0.02,
+            "mean {mean} should be near {t}"
+        );
     }
 
     #[test]

@@ -58,17 +58,29 @@ pub struct PlacementRequest {
 impl PlacementRequest {
     /// A primary-slot request, the common case.
     pub fn primary(threads: u32, mode: SharingMode) -> Self {
-        PlacementRequest { threads, mode, slot: SlotPreference::Primary }
+        PlacementRequest {
+            threads,
+            mode,
+            slot: SlotPreference::Primary,
+        }
     }
 
     /// A hyper-thread request used by Strategy 4.
     pub fn hyper_thread(threads: u32) -> Self {
-        PlacementRequest { threads, mode: SharingMode::Compact, slot: SlotPreference::HyperThread }
+        PlacementRequest {
+            threads,
+            mode: SharingMode::Compact,
+            slot: SlotPreference::HyperThread,
+        }
     }
 
     /// A TensorFlow-style shared request used by the baseline executor.
     pub fn shared(threads: u32) -> Self {
-        PlacementRequest { threads, mode: SharingMode::Compact, slot: SlotPreference::Shared }
+        PlacementRequest {
+            threads,
+            mode: SharingMode::Compact,
+            slot: SlotPreference::Shared,
+        }
     }
 }
 
@@ -114,7 +126,10 @@ impl CoreMap {
     /// An empty machine with the given topology.
     pub fn new(topo: Topology) -> Self {
         let cores = topo.num_cores() as usize;
-        CoreMap { topo, used: vec![0; cores] }
+        CoreMap {
+            topo,
+            used: vec![0; cores],
+        }
     }
 
     /// The topology this map allocates over.
@@ -168,8 +183,10 @@ impl CoreMap {
 
     fn free_core_order(&self, mode: SharingMode) -> Vec<CoreId> {
         let n = self.topo.num_cores();
-        let free: Vec<CoreId> =
-            (0..n).map(CoreId).filter(|c| self.used[c.0 as usize] == 0).collect();
+        let free: Vec<CoreId> = (0..n)
+            .map(CoreId)
+            .filter(|c| self.used[c.0 as usize] == 0)
+            .collect();
         match mode {
             // Pairwise in id order: cores 0,1 share tile 0, etc.
             SharingMode::Compact => free,
@@ -219,7 +236,12 @@ impl CoreMap {
             self.used[core.0 as usize] =
                 (self.used[core.0 as usize] + n).min(self.topo.smt_per_core);
         }
-        Ok(Placement { threads: req.threads, mode: req.mode, cores, hyper_thread: false })
+        Ok(Placement {
+            threads: req.threads,
+            mode: req.mode,
+            cores,
+            hyper_thread: false,
+        })
     }
 
     fn allocate_ht(&mut self, req: &PlacementRequest) -> Result<Placement, MachineError> {
@@ -286,7 +308,12 @@ impl CoreMap {
         for &(core, n) in &cores {
             self.used[core.0 as usize] += n;
         }
-        Ok(Placement { threads: req.threads, mode: req.mode, cores, hyper_thread: false })
+        Ok(Placement {
+            threads: req.threads,
+            mode: req.mode,
+            cores,
+            hyper_thread: false,
+        })
     }
 
     /// Returns a placement's contexts to the free pool.
@@ -309,7 +336,9 @@ mod tests {
     #[test]
     fn compact_fills_tiles_pairwise() {
         let mut m = knl_map();
-        let p = m.allocate(&PlacementRequest::primary(4, SharingMode::Compact)).unwrap();
+        let p = m
+            .allocate(&PlacementRequest::primary(4, SharingMode::Compact))
+            .unwrap();
         let cores: Vec<u32> = p.cores.iter().map(|&(c, _)| c.0).collect();
         assert_eq!(cores, vec![0, 1, 2, 3]);
         assert_eq!(p.smt_depth(), 1);
@@ -318,7 +347,9 @@ mod tests {
     #[test]
     fn scatter_spreads_one_per_tile() {
         let mut m = knl_map();
-        let p = m.allocate(&PlacementRequest::primary(4, SharingMode::Scatter)).unwrap();
+        let p = m
+            .allocate(&PlacementRequest::primary(4, SharingMode::Scatter))
+            .unwrap();
         let cores: Vec<u32> = p.cores.iter().map(|&(c, _)| c.0).collect();
         // One core per tile: even core ids first.
         assert_eq!(cores, vec![0, 2, 4, 6]);
@@ -327,7 +358,9 @@ mod tests {
     #[test]
     fn scatter_wraps_to_second_cores_after_34() {
         let mut m = knl_map();
-        let p = m.allocate(&PlacementRequest::primary(40, SharingMode::Scatter)).unwrap();
+        let p = m
+            .allocate(&PlacementRequest::primary(40, SharingMode::Scatter))
+            .unwrap();
         let cores: Vec<u32> = p.cores.iter().map(|&(c, _)| c.0).collect();
         assert_eq!(cores.len(), 40);
         // First 34 are the even (first-in-tile) cores.
@@ -339,7 +372,9 @@ mod tests {
     #[test]
     fn oversubscribed_request_stacks_smt() {
         let mut m = knl_map();
-        let p = m.allocate(&PlacementRequest::primary(136, SharingMode::Compact)).unwrap();
+        let p = m
+            .allocate(&PlacementRequest::primary(136, SharingMode::Compact))
+            .unwrap();
         assert_eq!(p.num_cores(), 68);
         assert_eq!(p.smt_depth(), 2);
         assert_eq!(p.num_contexts(), 136);
@@ -349,7 +384,9 @@ mod tests {
     #[test]
     fn ht_allocation_uses_busy_cores_only() {
         let mut m = knl_map();
-        let big = m.allocate(&PlacementRequest::primary(68, SharingMode::Compact)).unwrap();
+        let big = m
+            .allocate(&PlacementRequest::primary(68, SharingMode::Compact))
+            .unwrap();
         assert_eq!(m.free_cores(), 0);
         let small = m.allocate(&PlacementRequest::hyper_thread(8)).unwrap();
         assert!(small.hyper_thread);
@@ -371,8 +408,12 @@ mod tests {
     #[test]
     fn release_restores_capacity() {
         let mut m = knl_map();
-        let p1 = m.allocate(&PlacementRequest::primary(34, SharingMode::Scatter)).unwrap();
-        let p2 = m.allocate(&PlacementRequest::primary(34, SharingMode::Scatter)).unwrap();
+        let p1 = m
+            .allocate(&PlacementRequest::primary(34, SharingMode::Scatter))
+            .unwrap();
+        let p2 = m
+            .allocate(&PlacementRequest::primary(34, SharingMode::Scatter))
+            .unwrap();
         assert_eq!(m.free_cores(), 0);
         m.release(&p1);
         m.release(&p2);
@@ -383,15 +424,26 @@ mod tests {
     #[test]
     fn zero_threads_rejected() {
         let mut m = knl_map();
-        assert!(m.allocate(&PlacementRequest::primary(0, SharingMode::Compact)).is_err());
+        assert!(m
+            .allocate(&PlacementRequest::primary(0, SharingMode::Compact))
+            .is_err());
     }
 
     #[test]
     fn two_jobs_partition_the_machine() {
         let mut m = knl_map();
-        let a = m.allocate(&PlacementRequest::primary(34, SharingMode::Compact)).unwrap();
-        let b = m.allocate(&PlacementRequest::primary(34, SharingMode::Compact)).unwrap();
-        let mut all: Vec<u32> = a.cores.iter().chain(b.cores.iter()).map(|&(c, _)| c.0).collect();
+        let a = m
+            .allocate(&PlacementRequest::primary(34, SharingMode::Compact))
+            .unwrap();
+        let b = m
+            .allocate(&PlacementRequest::primary(34, SharingMode::Compact))
+            .unwrap();
+        let mut all: Vec<u32> = a
+            .cores
+            .iter()
+            .chain(b.cores.iter())
+            .map(|&(c, _)| c.0)
+            .collect();
         all.sort_unstable();
         all.dedup();
         assert_eq!(all.len(), 68, "no core is shared between the two jobs");

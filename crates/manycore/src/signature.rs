@@ -1,0 +1,97 @@
+//! Machine identity for persisted profiles.
+//!
+//! Hill-climb curves measured on one machine are only valid on machines with
+//! the same topology and cost-model calibration. [`MachineSignature`] folds
+//! both into a 64-bit fingerprint so a profile store can key curves by the
+//! machine they were measured on and refuse to warm-start a job on different
+//! hardware.
+
+use crate::cost::KnlParams;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Fingerprint of a simulated machine: topology + cost-model parameters.
+///
+/// Two cost models produce the same signature iff every topology count and
+/// every calibration constant is bit-identical, so a signature match means
+/// measured curves transfer exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MachineSignature(pub u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+fn fnv1a(hash: &mut u64, bytes: &[u8]) {
+    for &b in bytes {
+        *hash ^= b as u64;
+        *hash = hash.wrapping_mul(FNV_PRIME);
+    }
+}
+
+impl MachineSignature {
+    /// Computes the signature of a machine description.
+    pub fn of(topo: &Topology, params: &KnlParams) -> Self {
+        let mut h = FNV_OFFSET;
+        for n in [topo.tiles, topo.cores_per_tile, topo.smt_per_core] {
+            fnv1a(&mut h, &n.to_le_bytes());
+        }
+        for f in [
+            params.core_peak_flops,
+            params.single_thread_bw,
+            params.mcdram_bw,
+            params.spawn_cost,
+            params.barrier_cost,
+            params.smt_thrash,
+            params.sat_exponent,
+            params.sharing_gain,
+            params.reconfig_cost,
+            params.bw_interference,
+            params.cache_interference,
+        ] {
+            fnv1a(&mut h, &f.to_bits().to_le_bytes());
+        }
+        for f in params.smt_peak {
+            fnv1a(&mut h, &f.to_bits().to_le_bytes());
+        }
+        MachineSignature(h)
+    }
+}
+
+impl fmt::Display for MachineSignature {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_machines_share_a_signature() {
+        let a = MachineSignature::of(&Topology::knl(), &KnlParams::default());
+        let b = MachineSignature::of(&Topology::knl(), &KnlParams::default());
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn topology_and_params_both_matter() {
+        let base = MachineSignature::of(&Topology::knl(), &KnlParams::default());
+        let small = MachineSignature::of(&Topology::tiny(4), &KnlParams::default());
+        assert_ne!(base, small);
+
+        let mut params = KnlParams::default();
+        params.mcdram_bw *= 2.0;
+        let fat = MachineSignature::of(&Topology::knl(), &params);
+        assert_ne!(base, fat);
+    }
+
+    #[test]
+    fn displays_as_16_hex_digits() {
+        let s = MachineSignature::of(&Topology::knl(), &KnlParams::default());
+        let text = s.to_string();
+        assert_eq!(text.len(), 16);
+        assert!(text.chars().all(|c| c.is_ascii_hexdigit()));
+    }
+}

@@ -37,12 +37,20 @@ impl Default for Topology {
 impl Topology {
     /// The Xeon Phi 7250 topology the paper evaluates on.
     pub fn knl() -> Self {
-        Topology { tiles: 34, cores_per_tile: 2, smt_per_core: 4 }
+        Topology {
+            tiles: 34,
+            cores_per_tile: 2,
+            smt_per_core: 4,
+        }
     }
 
     /// A small topology, handy for exhaustive tests.
     pub fn tiny(tiles: u32) -> Self {
-        Topology { tiles, cores_per_tile: 2, smt_per_core: 2 }
+        Topology {
+            tiles,
+            cores_per_tile: 2,
+            smt_per_core: 2,
+        }
     }
 
     /// Total number of physical cores.
@@ -126,7 +134,11 @@ mod tests {
 
     #[test]
     fn validate_rejects_zero() {
-        let t = Topology { tiles: 0, cores_per_tile: 2, smt_per_core: 4 };
+        let t = Topology {
+            tiles: 0,
+            cores_per_tile: 2,
+            smt_per_core: 4,
+        };
         assert!(t.validate().is_err());
         assert!(Topology::knl().validate().is_ok());
     }

@@ -87,21 +87,36 @@ impl WorkProfile {
             return Err(format!("eff must be in (0, 1], got {}", self.eff));
         }
         if !self.serial_secs.is_finite() || self.serial_secs < 0.0 {
-            return Err(format!("serial_secs must be finite and >= 0, got {}", self.serial_secs));
+            return Err(format!(
+                "serial_secs must be finite and >= 0, got {}",
+                self.serial_secs
+            ));
         }
         if self.parallel_slack.partial_cmp(&1.0) != Some(std::cmp::Ordering::Greater)
             && self.parallel_slack != 1.0
         {
-            return Err(format!("parallel_slack must be >= 1, got {}", self.parallel_slack));
+            return Err(format!(
+                "parallel_slack must be >= 1, got {}",
+                self.parallel_slack
+            ));
         }
         if !(-1.0..=1.0).contains(&self.cache_affinity) {
-            return Err(format!("cache_affinity must be in [-1, 1], got {}", self.cache_affinity));
+            return Err(format!(
+                "cache_affinity must be in [-1, 1], got {}",
+                self.cache_affinity
+            ));
         }
         if !(0.0..=1.0).contains(&self.mem_intensity) {
-            return Err(format!("mem_intensity must be in [0, 1], got {}", self.mem_intensity));
+            return Err(format!(
+                "mem_intensity must be in [0, 1], got {}",
+                self.mem_intensity
+            ));
         }
         if !(0.0..=1.0).contains(&self.cache_pressure) {
-            return Err(format!("cache_pressure must be in [0, 1], got {}", self.cache_pressure));
+            return Err(format!(
+                "cache_pressure must be in [0, 1], got {}",
+                self.cache_pressure
+            ));
         }
         Ok(())
     }

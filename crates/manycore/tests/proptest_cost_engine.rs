@@ -9,25 +9,27 @@ use rand::SeedableRng;
 
 fn arb_profile() -> impl Strategy<Value = WorkProfile> {
     (
-        1e5f64..1e11,     // flops
-        1e3f64..1e9,      // bytes
-        0.05f64..1.0,     // eff
-        0.0f64..1e-3,     // serial secs
-        1.0f64..80.0,     // slack
-        -1.0f64..1.0,     // affinity
-        0.0f64..1.0,      // mem intensity
-        0.0f64..1.0,      // cache pressure
+        1e5f64..1e11, // flops
+        1e3f64..1e9,  // bytes
+        0.05f64..1.0, // eff
+        0.0f64..1e-3, // serial secs
+        1.0f64..80.0, // slack
+        -1.0f64..1.0, // affinity
+        0.0f64..1.0,  // mem intensity
+        0.0f64..1.0,  // cache pressure
     )
-        .prop_map(|(flops, bytes, eff, serial, slack, aff, mem, press)| WorkProfile {
-            flops,
-            bytes,
-            eff,
-            serial_secs: serial,
-            parallel_slack: slack,
-            cache_affinity: aff,
-            mem_intensity: mem,
-            cache_pressure: press,
-        })
+        .prop_map(
+            |(flops, bytes, eff, serial, slack, aff, mem, press)| WorkProfile {
+                flops,
+                bytes,
+                eff,
+                serial_secs: serial,
+                parallel_slack: slack,
+                cache_affinity: aff,
+                mem_intensity: mem,
+                cache_pressure: press,
+            },
+        )
 }
 
 proptest! {

@@ -65,17 +65,44 @@ pub struct ConvCfg {
 impl ConvCfg {
     /// A ResNet/Inception-style conv: BN + ReLU, no bias.
     pub fn bn_relu(k: usize, stride: usize, c_out: usize) -> Self {
-        ConvCfg { kh: k, kw: k, stride, c_out, bias: false, bn: true, act: Act::Relu, convert_in: true }
+        ConvCfg {
+            kh: k,
+            kw: k,
+            stride,
+            c_out,
+            bias: false,
+            bn: true,
+            act: Act::Relu,
+            convert_in: true,
+        }
     }
 
     /// A rectangular-kernel BN+ReLU conv (Inception's factorized 1×7 / 7×1).
     pub fn rect(kh: usize, kw: usize, stride: usize, c_out: usize) -> Self {
-        ConvCfg { kh, kw, stride, c_out, bias: false, bn: true, act: Act::Relu, convert_in: true }
+        ConvCfg {
+            kh,
+            kw,
+            stride,
+            c_out,
+            bias: false,
+            bn: true,
+            act: Act::Relu,
+            convert_in: true,
+        }
     }
 
     /// A plain conv with bias and the given activation.
     pub fn biased(k: usize, stride: usize, c_out: usize, act: Act) -> Self {
-        ConvCfg { kh: k, kw: k, stride, c_out, bias: true, bn: false, act, convert_in: true }
+        ConvCfg {
+            kh: k,
+            kw: k,
+            stride,
+            c_out,
+            bias: true,
+            bn: false,
+            act,
+            convert_in: true,
+        }
     }
 }
 
@@ -115,7 +142,12 @@ pub fn conv_forward(
     in_shape: &Shape,
     cfg: ConvCfg,
 ) -> (NodeId, Shape, ConvRec) {
-    let aux = OpAux { kernel_h: cfg.kh, kernel_w: cfg.kw, stride: cfg.stride, c_out: cfg.c_out };
+    let aux = OpAux {
+        kernel_h: cfg.kh,
+        kernel_w: cfg.kw,
+        stride: cfg.stride,
+        c_out: cfg.c_out,
+    };
     let o_shape = out_shape(in_shape, cfg.stride, cfg.c_out);
     let mut cur = input;
     if cfg.convert_in {
@@ -124,17 +156,27 @@ pub fn conv_forward(
             &[cur],
         );
     }
-    cur = g.add(OpInstance::with_aux(OpKind::Conv2D, in_shape.clone(), aux), &[cur]);
+    cur = g.add(
+        OpInstance::with_aux(OpKind::Conv2D, in_shape.clone(), aux),
+        &[cur],
+    );
     if cfg.bias {
         cur = g.add(OpInstance::new(OpKind::BiasAdd, o_shape.clone()), &[cur]);
     }
     if cfg.bn {
-        cur = g.add(OpInstance::new(OpKind::FusedBatchNorm, o_shape.clone()), &[cur]);
+        cur = g.add(
+            OpInstance::new(OpKind::FusedBatchNorm, o_shape.clone()),
+            &[cur],
+        );
     }
     if let Some(k) = cfg.act.fwd_kind() {
         cur = g.add(OpInstance::new(k, o_shape.clone()), &[cur]);
     }
-    let rec = ConvRec { cfg, in_shape: in_shape.clone(), out_shape: o_shape.clone() };
+    let rec = ConvRec {
+        cfg,
+        in_shape: in_shape.clone(),
+        out_shape: o_shape.clone(),
+    };
     (cur, o_shape, rec)
 }
 
@@ -162,7 +204,12 @@ pub fn conv_backward_opts(
     need_weight_grads: bool,
 ) -> BwdOut {
     let cfg = rec.cfg;
-    let aux = OpAux { kernel_h: cfg.kh, kernel_w: cfg.kw, stride: cfg.stride, c_out: cfg.c_out };
+    let aux = OpAux {
+        kernel_h: cfg.kh,
+        kernel_w: cfg.kw,
+        stride: cfg.stride,
+        c_out: cfg.c_out,
+    };
     let mut cur = grad;
     let mut weight_grads = Vec::new();
 
@@ -173,7 +220,10 @@ pub fn conv_backward_opts(
         // FusedBatchNormGrad produces dX plus dGamma/dBeta; the broadcast of
         // the per-channel scale back over the feature map shows up as the
         // Tile and Mul ops of the paper's Table VI.
-        let bng = g.add(OpInstance::new(OpKind::FusedBatchNormGrad, rec.out_shape.clone()), &[cur]);
+        let bng = g.add(
+            OpInstance::new(OpKind::FusedBatchNormGrad, rec.out_shape.clone()),
+            &[cur],
+        );
         let tile = g.add(OpInstance::new(OpKind::Tile, rec.out_shape.clone()), &[bng]);
         cur = g.add(OpInstance::new(OpKind::Mul, rec.out_shape.clone()), &[tile]);
         let c = rec.out_shape.channels();
@@ -181,7 +231,10 @@ pub fn conv_backward_opts(
         weight_grads.push((Shape::vec1(c), bng)); // beta
     }
     if cfg.bias {
-        let bg = g.add(OpInstance::new(OpKind::BiasAddGrad, rec.out_shape.clone()), &[cur]);
+        let bg = g.add(
+            OpInstance::new(OpKind::BiasAddGrad, rec.out_shape.clone()),
+            &[cur],
+        );
         weight_grads.push((Shape::vec1(rec.out_shape.channels()), bg));
     }
 
@@ -208,7 +261,10 @@ pub fn conv_backward_opts(
     } else {
         last
     };
-    BwdOut { grad_in, weight_grads }
+    BwdOut {
+        grad_in,
+        weight_grads,
+    }
 }
 
 /// Record of a transposed-convolution (deconvolution) unit — DCGAN's
@@ -245,7 +301,10 @@ pub fn deconv_forward(
     };
     let mut cur = input;
     if cfg.convert_in {
-        cur = g.add(OpInstance::new(OpKind::InputConversion, in_shape.clone()), &[cur]);
+        cur = g.add(
+            OpInstance::new(OpKind::InputConversion, in_shape.clone()),
+            &[cur],
+        );
     }
     cur = g.add(
         OpInstance::with_aux(OpKind::Conv2DBackpropInput, o_shape.clone(), aux),
@@ -255,12 +314,19 @@ pub fn deconv_forward(
         cur = g.add(OpInstance::new(OpKind::BiasAdd, o_shape.clone()), &[cur]);
     }
     if cfg.bn {
-        cur = g.add(OpInstance::new(OpKind::FusedBatchNorm, o_shape.clone()), &[cur]);
+        cur = g.add(
+            OpInstance::new(OpKind::FusedBatchNorm, o_shape.clone()),
+            &[cur],
+        );
     }
     if let Some(k) = cfg.act.fwd_kind() {
         cur = g.add(OpInstance::new(k, o_shape.clone()), &[cur]);
     }
-    let rec = DeconvRec { cfg, in_shape: in_shape.clone(), out_shape: o_shape.clone() };
+    let rec = DeconvRec {
+        cfg,
+        in_shape: in_shape.clone(),
+        out_shape: o_shape.clone(),
+    };
     (cur, o_shape, rec)
 }
 
@@ -285,15 +351,20 @@ pub fn deconv_backward(
         cur = g.add(OpInstance::new(k, rec.out_shape.clone()), &[cur]);
     }
     if cfg.bn {
-        let bng =
-            g.add(OpInstance::new(OpKind::FusedBatchNormGrad, rec.out_shape.clone()), &[cur]);
+        let bng = g.add(
+            OpInstance::new(OpKind::FusedBatchNormGrad, rec.out_shape.clone()),
+            &[cur],
+        );
         let c = rec.out_shape.channels();
         weight_grads.push((Shape::vec1(c), bng));
         weight_grads.push((Shape::vec1(c), bng));
         cur = bng;
     }
     if cfg.bias {
-        let bg = g.add(OpInstance::new(OpKind::BiasAddGrad, rec.out_shape.clone()), &[cur]);
+        let bg = g.add(
+            OpInstance::new(OpKind::BiasAddGrad, rec.out_shape.clone()),
+            &[cur],
+        );
         weight_grads.push((Shape::vec1(rec.out_shape.channels()), bg));
     }
     let cbf = g.add(
@@ -303,11 +374,17 @@ pub fn deconv_backward(
     let filter_elems = cfg.kh * cfg.kw * rec.in_shape.channels() * cfg.c_out;
     weight_grads.push((Shape::vec1(filter_elems), cbf));
     let grad_in = if need_grad_in {
-        g.add(OpInstance::with_aux(OpKind::Conv2D, rec.out_shape.clone(), aux), &[cur])
+        g.add(
+            OpInstance::with_aux(OpKind::Conv2D, rec.out_shape.clone(), aux),
+            &[cur],
+        )
     } else {
         cbf
     };
-    BwdOut { grad_in, weight_grads }
+    BwdOut {
+        grad_in,
+        weight_grads,
+    }
 }
 
 /// Record of a dense (fully-connected) layer for backward emission.
@@ -336,20 +413,37 @@ pub fn dense_forward(
         ),
         &[input],
     );
-    cur = g.add(OpInstance::new(OpKind::BiasAdd, Shape::mat(batch, out_features)), &[cur]);
+    cur = g.add(
+        OpInstance::new(OpKind::BiasAdd, Shape::mat(batch, out_features)),
+        &[cur],
+    );
     if let Some(k) = act.fwd_kind() {
         cur = g.add(OpInstance::new(k, Shape::mat(batch, out_features)), &[cur]);
     }
-    (cur, DenseRec { in_features, out_features, batch, act })
+    (
+        cur,
+        DenseRec {
+            in_features,
+            out_features,
+            batch,
+            act,
+        },
+    )
 }
 
 /// Emits the backward of a dense layer; the dW and dX matmuls are siblings.
 pub fn dense_backward(g: &mut DataflowGraph, rec: &DenseRec, grad: NodeId) -> BwdOut {
     let mut cur = grad;
     if let Some(k) = rec.act.bwd_kind() {
-        cur = g.add(OpInstance::new(k, Shape::mat(rec.batch, rec.out_features)), &[cur]);
+        cur = g.add(
+            OpInstance::new(k, Shape::mat(rec.batch, rec.out_features)),
+            &[cur],
+        );
     }
-    let bg = g.add(OpInstance::new(OpKind::BiasAddGrad, Shape::mat(rec.batch, rec.out_features)), &[cur]);
+    let bg = g.add(
+        OpInstance::new(OpKind::BiasAddGrad, Shape::mat(rec.batch, rec.out_features)),
+        &[cur],
+    );
     // dW = X^T * dY : (in_features, batch) x (batch, out_features)
     let dw = g.add(
         OpInstance::with_aux(
@@ -399,8 +493,12 @@ mod tests {
     fn conv_roundtrip_produces_sibling_backprops() {
         let mut g = DataflowGraph::new();
         let src = g.add_op(OpKind::Identity, Shape::nhwc(8, 16, 16, 32), &[]);
-        let (out, oshape, rec) =
-            conv_forward(&mut g, src, &Shape::nhwc(8, 16, 16, 32), ConvCfg::bn_relu(3, 1, 64));
+        let (out, oshape, rec) = conv_forward(
+            &mut g,
+            src,
+            &Shape::nhwc(8, 16, 16, 32),
+            ConvCfg::bn_relu(3, 1, 64),
+        );
         assert_eq!(oshape, Shape::nhwc(8, 16, 16, 64));
         let bwd = conv_backward(&mut g, &rec, out, true);
         g.validate().unwrap();
@@ -438,7 +536,8 @@ mod tests {
         );
         conv_backward(&mut g, &rec, out, false);
         assert!(
-            !g.iter().any(|(_, op)| op.kind == OpKind::Conv2DBackpropInput),
+            !g.iter()
+                .any(|(_, op)| op.kind == OpKind::Conv2DBackpropInput),
             "first layer should not compute an input gradient"
         );
     }
@@ -468,8 +567,7 @@ mod tests {
     fn optimizer_fans_out_independently() {
         let mut g = DataflowGraph::new();
         let src = g.add_op(OpKind::Identity, Shape::vec1(10), &[]);
-        let grads: Vec<(Shape, NodeId)> =
-            (0..5).map(|_| (Shape::vec1(100), src)).collect();
+        let grads: Vec<(Shape, NodeId)> = (0..5).map(|_| (Shape::vec1(100), src)).collect();
         let updates = emit_optimizer(&mut g, OpKind::ApplyAdam, &grads);
         assert_eq!(updates.len(), 5);
         for u in &updates {

@@ -35,23 +35,47 @@ impl Dataset {
 
 /// CIFAR-10: 32×32 RGB, 10 classes (ResNet-50's dataset in the paper).
 pub fn cifar10() -> Dataset {
-    Dataset { name: "CIFAR-10", height: 32, width: 32, channels: 3, classes: 10 }
+    Dataset {
+        name: "CIFAR-10",
+        height: 32,
+        width: 32,
+        channels: 3,
+        classes: 10,
+    }
 }
 
 /// MNIST: 28×28 grayscale, 10 classes (DCGAN's dataset).
 pub fn mnist() -> Dataset {
-    Dataset { name: "MNIST", height: 28, width: 28, channels: 1, classes: 10 }
+    Dataset {
+        name: "MNIST",
+        height: 28,
+        width: 28,
+        channels: 1,
+        classes: 10,
+    }
 }
 
 /// ImageNet: 299×299 RGB as Inception-v3 consumes it, 1000 classes.
 pub fn imagenet_299() -> Dataset {
-    Dataset { name: "ImageNet", height: 299, width: 299, channels: 3, classes: 1000 }
+    Dataset {
+        name: "ImageNet",
+        height: 299,
+        width: 299,
+        channels: 3,
+        classes: 1000,
+    }
 }
 
 /// Penn Treebank: sequence length 20, embedding 200, 10k vocabulary
 /// (the "small" configuration of the classic TensorFlow PTB model).
 pub fn ptb() -> Dataset {
-    Dataset { name: "PTB", height: 20, width: 1, channels: 200, classes: 10_000 }
+    Dataset {
+        name: "PTB",
+        height: 20,
+        width: 1,
+        channels: 200,
+        classes: 10_000,
+    }
 }
 
 #[cfg(test)]

@@ -11,8 +11,8 @@
 //! dominates DCGAN exactly as the paper's Table VI reports.
 
 use crate::common::{
-    conv_backward_opts, conv_forward, deconv_backward, deconv_forward,
-    dense_backward, dense_forward, emit_optimizer, Act, ConvCfg, ConvRec, DenseRec,
+    conv_backward_opts, conv_forward, deconv_backward, deconv_forward, dense_backward,
+    dense_forward, emit_optimizer, Act, ConvCfg, ConvRec, DenseRec,
 };
 use crate::datasets;
 use crate::ModelSpec;
@@ -44,18 +44,45 @@ fn discriminator_forward(
         g,
         c1,
         &s1,
-        ConvCfg { kh: 5, kw: 5, stride: 2, c_out: 128, bias: true, bn: true, act: Act::LeakyRelu, convert_in: true },
+        ConvCfg {
+            kh: 5,
+            kw: 5,
+            stride: 2,
+            c_out: 128,
+            bias: true,
+            bn: true,
+            act: Act::LeakyRelu,
+            convert_in: true,
+        },
     );
     let (c3, s3, r3) = conv_forward(
         g,
         c2,
         &s2,
-        ConvCfg { kh: 5, kw: 5, stride: 2, c_out: 256, bias: true, bn: true, act: Act::LeakyRelu, convert_in: true },
+        ConvCfg {
+            kh: 5,
+            kw: 5,
+            stride: 2,
+            c_out: 256,
+            bias: true,
+            bn: true,
+            act: Act::LeakyRelu,
+            convert_in: true,
+        },
     );
     let flat_features = s3.spatial() * s3.channels();
     let flat = g.add(OpInstance::new(OpKind::Reshape, s3.clone()), &[c3]);
     let (logit, dense) = dense_forward(g, flat, batch, flat_features, 1, Act::None);
-    (logit, Discriminator { conv1: r1, conv2: r2, conv3: r3, dense, flat: s3 })
+    (
+        logit,
+        Discriminator {
+            conv1: r1,
+            conv2: r2,
+            conv3: r3,
+            dense,
+            flat: s3,
+        },
+    )
 }
 
 /// Backward through one discriminator instance. `weights` selects whether D's
@@ -73,7 +100,10 @@ fn discriminator_backward(
     if weights {
         wg.extend(dense_bwd.weight_grads);
     }
-    let unflat = g.add(OpInstance::new(OpKind::Reshape, d.flat.clone()), &[dense_bwd.grad_in]);
+    let unflat = g.add(
+        OpInstance::new(OpKind::Reshape, d.flat.clone()),
+        &[dense_bwd.grad_in],
+    );
     let b3 = conv_backward_opts(g, &d.conv3, unflat, true, weights);
     if weights {
         wg.extend(b3.weight_grads);
@@ -99,27 +129,60 @@ pub fn dcgan(batch: usize) -> ModelSpec {
     let noise = g.add_op(OpKind::Identity, Shape::mat(batch, 100), &[]);
     let (proj, proj_rec) = dense_forward(&mut g, noise, batch, 100, 4 * 4 * 512, Act::None);
     let proj_shape = Shape::nhwc(batch, 4, 4, 512);
-    let reshaped = g.add(OpInstance::new(OpKind::Reshape, proj_shape.clone()), &[proj]);
-    let bn0 = g.add(OpInstance::new(OpKind::FusedBatchNorm, proj_shape.clone()), &[reshaped]);
+    let reshaped = g.add(
+        OpInstance::new(OpKind::Reshape, proj_shape.clone()),
+        &[proj],
+    );
+    let bn0 = g.add(
+        OpInstance::new(OpKind::FusedBatchNorm, proj_shape.clone()),
+        &[reshaped],
+    );
     let act0 = g.add(OpInstance::new(OpKind::Relu, proj_shape.clone()), &[bn0]);
 
     let (g1, s1, dr1) = deconv_forward(
         &mut g,
         act0,
         &proj_shape,
-        ConvCfg { kh: 5, kw: 5, stride: 2, c_out: 256, bias: true, bn: true, act: Act::Relu, convert_in: true },
+        ConvCfg {
+            kh: 5,
+            kw: 5,
+            stride: 2,
+            c_out: 256,
+            bias: true,
+            bn: true,
+            act: Act::Relu,
+            convert_in: true,
+        },
     );
     let (g2, s2, dr2) = deconv_forward(
         &mut g,
         g1,
         &s1,
-        ConvCfg { kh: 5, kw: 5, stride: 2, c_out: 128, bias: true, bn: true, act: Act::Relu, convert_in: true },
+        ConvCfg {
+            kh: 5,
+            kw: 5,
+            stride: 2,
+            c_out: 128,
+            bias: true,
+            bn: true,
+            act: Act::Relu,
+            convert_in: true,
+        },
     );
     let (fake, _s3, dr3) = deconv_forward(
         &mut g,
         g2,
         &s2,
-        ConvCfg { kh: 5, kw: 5, stride: 2, c_out: 1, bias: true, bn: false, act: Act::Tanh, convert_in: true },
+        ConvCfg {
+            kh: 5,
+            kw: 5,
+            stride: 2,
+            c_out: 1,
+            bias: true,
+            bn: false,
+            act: Act::Tanh,
+            convert_in: true,
+        },
     );
 
     // ---- Discriminator forward on real and fake ----
@@ -147,7 +210,14 @@ pub fn dcgan(batch: usize) -> ModelSpec {
     let mut d_grads: Vec<(Shape, NodeId)> = Vec::new();
     for ((shape, a), (_, b)) in wg_real.into_iter().zip(wg_fake) {
         let sum = g.add(
-            OpInstance::with_aux(OpKind::AddN, shape.clone(), OpAux { c_out: 2, ..OpAux::default() }),
+            OpInstance::with_aux(
+                OpKind::AddN,
+                shape.clone(),
+                OpAux {
+                    c_out: 2,
+                    ..OpAux::default()
+                },
+            ),
             &[a, b],
         );
         d_grads.push((shape, sum));
@@ -165,8 +235,14 @@ pub fn dcgan(batch: usize) -> ModelSpec {
     let b1 = deconv_backward(&mut g, &dr1, b2.grad_in, true);
     g_grads.extend(b1.weight_grads);
     // Through the projection: ReluGrad + BNGrad + dense backward.
-    let rg = g.add(OpInstance::new(OpKind::ReluGrad, proj_shape.clone()), &[b1.grad_in]);
-    let bng = g.add(OpInstance::new(OpKind::FusedBatchNormGrad, proj_shape.clone()), &[rg]);
+    let rg = g.add(
+        OpInstance::new(OpKind::ReluGrad, proj_shape.clone()),
+        &[b1.grad_in],
+    );
+    let bng = g.add(
+        OpInstance::new(OpKind::FusedBatchNormGrad, proj_shape.clone()),
+        &[rg],
+    );
     g_grads.push((Shape::vec1(512), bng));
     g_grads.push((Shape::vec1(512), bng));
     let unflat = g.add(OpInstance::new(OpKind::Reshape, proj_shape), &[bng]);
@@ -174,7 +250,11 @@ pub fn dcgan(batch: usize) -> ModelSpec {
     g_grads.extend(proj_bwd.weight_grads);
     emit_optimizer(&mut g, OpKind::ApplyAdam, &g_grads);
 
-    ModelSpec { name: "DCGAN", batch, graph: g }
+    ModelSpec {
+        name: "DCGAN",
+        batch,
+        graph: g,
+    }
 }
 
 #[cfg(test)]
@@ -189,7 +269,10 @@ mod tests {
             .iter()
             .filter(|(_, op)| op.kind == OpKind::Conv2DBackpropInput)
             .count();
-        assert!(cbi >= 3, "the generator's three deconvs are Conv2DBackpropInput ops");
+        assert!(
+            cbi >= 3,
+            "the generator's three deconvs are Conv2DBackpropInput ops"
+        );
     }
 
     #[test]
@@ -197,14 +280,22 @@ mod tests {
         let m = dcgan(64);
         // 2 D instances x 3 convs = 6 forward Conv2D, plus 3 Conv2D from the
         // deconv backward path.
-        let convs = m.graph.iter().filter(|(_, op)| op.kind == OpKind::Conv2D).count();
+        let convs = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::Conv2D)
+            .count();
         assert_eq!(convs, 9);
     }
 
     #[test]
     fn addn_accumulates_d_gradients() {
         let m = dcgan(64);
-        let addn = m.graph.iter().filter(|(_, op)| op.kind == OpKind::AddN).count();
+        let addn = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::AddN)
+            .count();
         // D: conv1 (W,b), conv2+conv3 (W,gamma,beta,b each), dense (W,b): 12.
         assert_eq!(addn, 12);
     }
@@ -214,7 +305,14 @@ mod tests {
         let m = dcgan(64);
         m.graph.validate().unwrap();
         assert!(m.graph.len() > 80, "got {}", m.graph.len());
-        let adams = m.graph.iter().filter(|(_, op)| op.kind == OpKind::ApplyAdam).count();
-        assert!(adams >= 14, "both G and D must be updated, got {adams} updates");
+        let adams = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::ApplyAdam)
+            .count();
+        assert!(
+            adams >= 14,
+            "both G and D must be updated, got {adams} updates"
+        );
     }
 }

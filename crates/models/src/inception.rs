@@ -62,7 +62,12 @@ impl Ctx {
         }
         let mut convs = Vec::new();
         for &(kh, kw, stride, c_out) in specs {
-            let (n, s, rec) = conv_forward(&mut self.g, cur, &shape, ConvCfg::rect(kh, kw, stride, c_out));
+            let (n, s, rec) = conv_forward(
+                &mut self.g,
+                cur,
+                &shape,
+                ConvCfg::rect(kh, kw, stride, c_out),
+            );
             cur = n;
             shape = s;
             convs.push(rec);
@@ -89,7 +94,9 @@ impl Ctx {
             built.push(b);
         }
         let out_shape = Shape::nhwc(in_shape.batch(), spatial.0, spatial.1, c_total);
-        let cat = self.g.add(OpInstance::new(OpKind::Concat, out_shape.clone()), &outs);
+        let cat = self
+            .g
+            .add(OpInstance::new(OpKind::Concat, out_shape.clone()), &outs);
         self.modules.push(Module {
             branches: built,
             in_shape: in_shape.clone(),
@@ -132,7 +139,10 @@ fn module_backward(
         OpInstance::with_aux(
             OpKind::AddN,
             m.in_shape.clone(),
-            OpAux { c_out: branch_grads.len(), ..OpAux::default() },
+            OpAux {
+                c_out: branch_grads.len(),
+                ..OpAux::default()
+            },
         ),
         &branch_grads,
     )
@@ -141,13 +151,17 @@ fn module_backward(
 /// Builds one Inception-v3 training step at the given batch size.
 pub fn inception_v3(batch: usize) -> ModelSpec {
     let d = datasets::imagenet_299();
-    let mut ctx = Ctx { g: DataflowGraph::new(), modules: Vec::new(), stem: Vec::new() };
+    let mut ctx = Ctx {
+        g: DataflowGraph::new(),
+        modules: Vec::new(),
+        stem: Vec::new(),
+    };
     let in_shape = d.batch_shape(batch);
     let input = ctx.g.add_op(OpKind::Identity, in_shape.clone(), &[]);
 
     // ---- Stem ----
     let stem_specs: [(usize, usize, usize); 5] = [
-        (3, 2, 32),  // 299 -> 150
+        (3, 2, 32), // 299 -> 150
         (3, 1, 32),
         (3, 1, 64),
         (1, 1, 80),
@@ -163,7 +177,12 @@ pub fn inception_v3(batch: usize) -> ModelSpec {
         ctx.stem.push(rec);
         // Max-pools after the 3rd and 5th stem convs (73x73 and 35x35 grids).
         if i == 2 || i == 4 {
-            let pooled = Shape::nhwc(shape.batch(), shape.dim(1) / 2, shape.dim(2) / 2, shape.channels());
+            let pooled = Shape::nhwc(
+                shape.batch(),
+                shape.dim(1) / 2,
+                shape.dim(2) / 2,
+                shape.channels(),
+            );
             cur = ctx.g.add(
                 OpInstance::with_aux(OpKind::MaxPool, shape.clone(), OpAux::pool(3, 2)),
                 &[cur],
@@ -186,7 +205,12 @@ pub fn inception_v3(batch: usize) -> ModelSpec {
         let (n, s) = ctx.module(
             cur,
             &shape,
-            &[(spec_1x1, None), (spec_5x5, None), (spec_3x3, None), (spec_pool, pool)],
+            &[
+                (spec_1x1, None),
+                (spec_5x5, None),
+                (spec_3x3, None),
+                (spec_pool, pool),
+            ],
         );
         cur = n;
         shape = s;
@@ -205,8 +229,7 @@ pub fn inception_v3(batch: usize) -> ModelSpec {
     // ---- 4 x Inception-B at 17x17 with factorized 7x7 ----
     for c7 in [128usize, 160, 160, 192] {
         let b1: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 192)];
-        let b2: &[(usize, usize, usize, usize)] =
-            &[(1, 1, 1, c7), (1, 7, 1, c7), (7, 1, 1, 192)];
+        let b2: &[(usize, usize, usize, usize)] = &[(1, 1, 1, c7), (1, 7, 1, c7), (7, 1, 1, 192)];
         let b3: &[(usize, usize, usize, usize)] = &[
             (1, 1, 1, c7),
             (7, 1, 1, c7),
@@ -218,7 +241,12 @@ pub fn inception_v3(batch: usize) -> ModelSpec {
         let (n, s) = ctx.module(
             cur,
             &shape,
-            &[(b1, None), (b2, None), (b3, None), (b4, Some(OpKind::AvgPool))],
+            &[
+                (b1, None),
+                (b2, None),
+                (b3, None),
+                (b4, Some(OpKind::AvgPool)),
+            ],
         );
         cur = n;
         shape = s;
@@ -227,8 +255,12 @@ pub fn inception_v3(batch: usize) -> ModelSpec {
     // ---- Reduction-B: 17x17 -> 8x8 ----
     {
         let b1: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 192), (3, 3, 2, 320)];
-        let b2: &[(usize, usize, usize, usize)] =
-            &[(1, 1, 1, 192), (1, 7, 1, 192), (7, 1, 1, 192), (3, 3, 2, 192)];
+        let b2: &[(usize, usize, usize, usize)] = &[
+            (1, 1, 1, 192),
+            (1, 7, 1, 192),
+            (7, 1, 1, 192),
+            (3, 3, 2, 192),
+        ];
         let b3: &[(usize, usize, usize, usize)] = &[(3, 3, 2, 768)];
         let (n, s) = ctx.module(cur, &shape, &[(b1, None), (b2, None), (b3, None)]);
         cur = n;
@@ -239,13 +271,22 @@ pub fn inception_v3(batch: usize) -> ModelSpec {
     for _ in 0..2 {
         let b1: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 320)];
         let b2: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 384), (1, 3, 1, 384), (3, 1, 1, 384)];
-        let b3: &[(usize, usize, usize, usize)] =
-            &[(1, 1, 1, 448), (3, 3, 1, 384), (1, 3, 1, 384), (3, 1, 1, 384)];
+        let b3: &[(usize, usize, usize, usize)] = &[
+            (1, 1, 1, 448),
+            (3, 3, 1, 384),
+            (1, 3, 1, 384),
+            (3, 1, 1, 384),
+        ];
         let b4: &[(usize, usize, usize, usize)] = &[(1, 1, 1, 192)];
         let (n, s) = ctx.module(
             cur,
             &shape,
-            &[(b1, None), (b2, None), (b3, None), (b4, Some(OpKind::AvgPool))],
+            &[
+                (b1, None),
+                (b2, None),
+                (b3, None),
+                (b4, Some(OpKind::AvgPool)),
+            ],
         );
         cur = n;
         shape = s;
@@ -258,10 +299,16 @@ pub fn inception_v3(batch: usize) -> ModelSpec {
         &[cur],
     );
     let feat = shape.channels();
-    let mean = g.add(OpInstance::new(OpKind::Mean, Shape::mat(batch, feat)), &[pooled]);
+    let mean = g.add(
+        OpInstance::new(OpKind::Mean, Shape::mat(batch, feat)),
+        &[pooled],
+    );
     let (logits, dense_rec) = dense_forward(g, mean, batch, feat, d.classes, Act::None);
     let loss = g.add(
-        OpInstance::new(OpKind::SparseSoftmaxCrossEntropy, Shape::mat(batch, d.classes)),
+        OpInstance::new(
+            OpKind::SparseSoftmaxCrossEntropy,
+            Shape::mat(batch, d.classes),
+        ),
         &[logits],
     );
 
@@ -269,7 +316,10 @@ pub fn inception_v3(batch: usize) -> ModelSpec {
     let mut weight_grads = Vec::new();
     let dense_bwd = dense_backward(g, &dense_rec, loss);
     weight_grads.extend(dense_bwd.weight_grads);
-    let mut grad = g.add(OpInstance::new(OpKind::Tile, shape.clone()), &[dense_bwd.grad_in]);
+    let mut grad = g.add(
+        OpInstance::new(OpKind::Tile, shape.clone()),
+        &[dense_bwd.grad_in],
+    );
     grad = g.add(
         OpInstance::with_aux(OpKind::AvgPoolGrad, shape, OpAux::pool(8, 8)),
         &[grad],
@@ -294,7 +344,11 @@ pub fn inception_v3(batch: usize) -> ModelSpec {
     }
 
     emit_optimizer(g, OpKind::ApplyAdam, &weight_grads);
-    ModelSpec { name: "Inception-v3", batch, graph: ctx.g }
+    ModelSpec {
+        name: "Inception-v3",
+        batch,
+        graph: ctx.g,
+    }
 }
 
 #[cfg(test)]
@@ -304,7 +358,11 @@ mod tests {
     #[test]
     fn has_many_convolutions() {
         let m = inception_v3(16);
-        let convs = m.graph.iter().filter(|(_, op)| op.kind == OpKind::Conv2D).count();
+        let convs = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::Conv2D)
+            .count();
         assert!(
             (80..=110).contains(&convs),
             "Inception-v3 has ~94 convs, got {convs}"
@@ -315,7 +373,11 @@ mod tests {
     fn avgpool_everywhere() {
         // Paper Table VI: AvgPool is Inception-v3's most expensive op kind.
         let m = inception_v3(16);
-        let pools = m.graph.iter().filter(|(_, op)| op.kind == OpKind::AvgPool).count();
+        let pools = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::AvgPool)
+            .count();
         assert!(pools >= 8, "got {pools}");
     }
 

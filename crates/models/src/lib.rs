@@ -66,7 +66,9 @@ mod tests {
     #[test]
     fn all_models_validate() {
         for m in paper_models() {
-            m.graph.validate().unwrap_or_else(|e| panic!("{}: {e}", m.name));
+            m.graph
+                .validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", m.name));
             assert!(!m.graph.is_empty(), "{} graph is empty", m.name);
         }
     }

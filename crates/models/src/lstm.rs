@@ -40,7 +40,10 @@ fn cell_forward(
     if let Some(h) = h_prev {
         cat_deps.push(h);
     }
-    let cat = g.add(OpInstance::new(OpKind::Concat, cat_shape.clone()), &cat_deps);
+    let cat = g.add(
+        OpInstance::new(OpKind::Concat, cat_shape.clone()),
+        &cat_deps,
+    );
     let mm = g.add(
         OpInstance::with_aux(OpKind::MatMul, cat_shape, OpAux::matmul(4 * HIDDEN)),
         &[cat],
@@ -78,7 +81,10 @@ fn cell_backward(
 
     // dh -> do, d(tanh c); fold in dc from the next step.
     let do_ = g.add(OpInstance::new(OpKind::Mul, h_shape.clone()), &[dh]);
-    let dtc = g.add(OpInstance::new(OpKind::TanhGrad, h_shape.clone()), &[dh, fwd.c]);
+    let dtc = g.add(
+        OpInstance::new(OpKind::TanhGrad, h_shape.clone()),
+        &[dh, fwd.c],
+    );
     let dc = match dc_next {
         Some(next) => g.add(OpInstance::new(OpKind::Add, h_shape.clone()), &[dtc, next]),
         None => dtc,
@@ -91,7 +97,10 @@ fn cell_backward(
     // Through the gate nonlinearities.
     let dsi = g.add(OpInstance::new(OpKind::SigmoidGrad, h_shape.clone()), &[di]);
     let dsf = g.add(OpInstance::new(OpKind::SigmoidGrad, h_shape.clone()), &[df]);
-    let dso = g.add(OpInstance::new(OpKind::SigmoidGrad, h_shape.clone()), &[do_]);
+    let dso = g.add(
+        OpInstance::new(OpKind::SigmoidGrad, h_shape.clone()),
+        &[do_],
+    );
     let dtg = g.add(OpInstance::new(OpKind::TanhGrad, h_shape.clone()), &[dg]);
     // Reassemble the 4H gate gradient; depends on the forward pre-activation.
     let dgates = g.add(
@@ -109,7 +118,11 @@ fn cell_backward(
         &[dgates],
     );
     let dcat = g.add(
-        OpInstance::with_aux(OpKind::MatMul, Shape::mat(batch, 4 * HIDDEN), OpAux::matmul(2 * HIDDEN)),
+        OpInstance::with_aux(
+            OpKind::MatMul,
+            Shape::mat(batch, 4 * HIDDEN),
+            OpAux::matmul(2 * HIDDEN),
+        ),
         &[dgates],
     );
     // Split dcat into dx and dh_prev.
@@ -127,7 +140,12 @@ pub fn lstm(batch: usize) -> ModelSpec {
     // Embedded input sequence; one Split per timestep.
     let seq_src = g.add_op(OpKind::Identity, Shape::mat(batch, SEQ * HIDDEN), &[]);
     let xs: Vec<NodeId> = (0..SEQ)
-        .map(|_| g.add(OpInstance::new(OpKind::Split, Shape::mat(batch, HIDDEN)), &[seq_src]))
+        .map(|_| {
+            g.add(
+                OpInstance::new(OpKind::Split, Shape::mat(batch, HIDDEN)),
+                &[seq_src],
+            )
+        })
         .collect();
 
     // Forward through layers and time.
@@ -153,26 +171,46 @@ pub fn lstm(batch: usize) -> ModelSpec {
         &layer_inputs,
     );
     let logits = g.add(
-        OpInstance::with_aux(OpKind::MatMul, Shape::mat(batch * SEQ, HIDDEN), OpAux::matmul(d.classes)),
+        OpInstance::with_aux(
+            OpKind::MatMul,
+            Shape::mat(batch * SEQ, HIDDEN),
+            OpAux::matmul(d.classes),
+        ),
         &[flat_h],
     );
     let loss = g.add(
-        OpInstance::new(OpKind::SparseSoftmaxCrossEntropy, Shape::mat(batch * SEQ, d.classes)),
+        OpInstance::new(
+            OpKind::SparseSoftmaxCrossEntropy,
+            Shape::mat(batch * SEQ, d.classes),
+        ),
         &[logits],
     );
 
     // Backward: softmax projection first.
     let dproj_w = g.add(
-        OpInstance::with_aux(OpKind::MatMul, Shape::mat(HIDDEN, batch * SEQ), OpAux::matmul(d.classes)),
+        OpInstance::with_aux(
+            OpKind::MatMul,
+            Shape::mat(HIDDEN, batch * SEQ),
+            OpAux::matmul(d.classes),
+        ),
         &[loss],
     );
     let dflat = g.add(
-        OpInstance::with_aux(OpKind::MatMul, Shape::mat(batch * SEQ, d.classes), OpAux::matmul(HIDDEN)),
+        OpInstance::with_aux(
+            OpKind::MatMul,
+            Shape::mat(batch * SEQ, d.classes),
+            OpAux::matmul(HIDDEN),
+        ),
         &[loss],
     );
     // Per-timestep dh for the top layer.
     let dhs: Vec<NodeId> = (0..SEQ)
-        .map(|_| g.add(OpInstance::new(OpKind::Split, Shape::mat(batch, HIDDEN)), &[dflat]))
+        .map(|_| {
+            g.add(
+                OpInstance::new(OpKind::Split, Shape::mat(batch, HIDDEN)),
+                &[dflat],
+            )
+        })
         .collect();
 
     // Backward through layers (top first) and time (last step first).
@@ -206,7 +244,14 @@ pub fn lstm(batch: usize) -> ModelSpec {
     for dws in &dw_per_layer {
         let w_shape = Shape::vec1(2 * HIDDEN * 4 * HIDDEN);
         let acc = g.add(
-            OpInstance::with_aux(OpKind::AddN, w_shape.clone(), OpAux { c_out: SEQ, ..OpAux::default() }),
+            OpInstance::with_aux(
+                OpKind::AddN,
+                w_shape.clone(),
+                OpAux {
+                    c_out: SEQ,
+                    ..OpAux::default()
+                },
+            ),
             dws,
         );
         weight_grads.push((w_shape, acc));
@@ -215,7 +260,11 @@ pub fn lstm(batch: usize) -> ModelSpec {
     weight_grads.push((Shape::vec1(HIDDEN * d.classes), dproj_w));
     emit_optimizer(&mut g, OpKind::ApplyGradientDescent, &weight_grads);
 
-    ModelSpec { name: "LSTM", batch, graph: g }
+    ModelSpec {
+        name: "LSTM",
+        batch,
+        graph: g,
+    }
 }
 
 #[cfg(test)]
@@ -246,23 +295,38 @@ mod tests {
         let m = lstm(20);
         // 2 layers x 20 steps of ~13 fwd + ~16 bwd ops each imposes a long
         // critical path relative to a conv net of similar node count.
-        assert!(m.graph.critical_path_len() > 150, "got {}", m.graph.critical_path_len());
+        assert!(
+            m.graph.critical_path_len() > 150,
+            "got {}",
+            m.graph.critical_path_len()
+        );
     }
 
     #[test]
     fn cell_counts() {
         let m = lstm(20);
-        let matmuls = m.graph.iter().filter(|(_, op)| op.kind == OpKind::MatMul).count();
+        let matmuls = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::MatMul)
+            .count();
         // fwd: 40 cells; bwd: 2 per cell; head: 1 fwd + 2 bwd.
         assert_eq!(matmuls, 40 + 80 + 3);
-        let addn = m.graph.iter().filter(|(_, op)| op.kind == OpKind::AddN).count();
+        let addn = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::AddN)
+            .count();
         assert_eq!(addn, LAYERS);
     }
 
     #[test]
     fn uses_sgd_not_adam() {
         let m = lstm(20);
-        assert!(m.graph.iter().any(|(_, op)| op.kind == OpKind::ApplyGradientDescent));
+        assert!(m
+            .graph
+            .iter()
+            .any(|(_, op)| op.kind == OpKind::ApplyGradientDescent));
         assert!(!m.graph.iter().any(|(_, op)| op.kind == OpKind::ApplyAdam));
     }
 

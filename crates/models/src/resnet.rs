@@ -58,7 +58,10 @@ fn bottleneck(
 }
 
 fn block_backward(g: &mut DataflowGraph, blk: &Block, grad: NodeId) -> BwdOut {
-    let rg = g.add(OpInstance::new(OpKind::ReluGrad, blk.out_shape.clone()), &[grad]);
+    let rg = g.add(
+        OpInstance::new(OpKind::ReluGrad, blk.out_shape.clone()),
+        &[grad],
+    );
     // Gradient flows down both the conv path and the skip in parallel.
     let mut weight_grads = Vec::new();
     let mut cur = rg;
@@ -75,8 +78,14 @@ fn block_backward(g: &mut DataflowGraph, blk: &Block, grad: NodeId) -> BwdOut {
         }
         None => rg,
     };
-    let merged = g.add(OpInstance::new(OpKind::Add, blk.in_shape.clone()), &[cur, skip_grad]);
-    BwdOut { grad_in: merged, weight_grads }
+    let merged = g.add(
+        OpInstance::new(OpKind::Add, blk.in_shape.clone()),
+        &[cur, skip_grad],
+    );
+    BwdOut {
+        grad_in: merged,
+        weight_grads,
+    }
 }
 
 /// Builds one ResNet-50 training step at the given batch size.
@@ -91,8 +100,7 @@ pub fn resnet50(batch: usize) -> ModelSpec {
         conv_forward(&mut g, input, &in_shape, ConvCfg::bn_relu(3, 1, 64));
 
     // Stages: (blocks, channels, first stride).
-    let stages: [(usize, usize, usize); 4] =
-        [(3, 256, 1), (4, 512, 2), (6, 1024, 2), (3, 2048, 2)];
+    let stages: [(usize, usize, usize); 4] = [(3, 256, 1), (4, 512, 2), (6, 1024, 2), (3, 2048, 2)];
     let mut blocks: Vec<Block> = Vec::new();
     for (nblocks, c_out, stride) in stages {
         for i in 0..nblocks {
@@ -109,7 +117,10 @@ pub fn resnet50(batch: usize) -> ModelSpec {
     let feat = shape.channels();
     let (logits, dense_rec) = dense_forward(&mut g, pooled, batch, feat, d.classes, Act::None);
     let loss = g.add(
-        OpInstance::new(OpKind::SparseSoftmaxCrossEntropy, Shape::mat(batch, d.classes)),
+        OpInstance::new(
+            OpKind::SparseSoftmaxCrossEntropy,
+            Shape::mat(batch, d.classes),
+        ),
         &[logits],
     );
 
@@ -118,8 +129,10 @@ pub fn resnet50(batch: usize) -> ModelSpec {
     let dense_bwd = dense_backward(&mut g, &dense_rec, loss);
     weight_grads.extend(dense_bwd.weight_grads);
     // Mean backward: broadcast the pooled gradient over the spatial extent.
-    let mut grad =
-        g.add(OpInstance::new(OpKind::Tile, shape.clone()), &[dense_bwd.grad_in]);
+    let mut grad = g.add(
+        OpInstance::new(OpKind::Tile, shape.clone()),
+        &[dense_bwd.grad_in],
+    );
     for blk in blocks.iter().rev() {
         let out = block_backward(&mut g, blk, grad);
         grad = out.grad_in;
@@ -129,7 +142,11 @@ pub fn resnet50(batch: usize) -> ModelSpec {
     weight_grads.extend(stem_bwd.weight_grads);
 
     emit_optimizer(&mut g, OpKind::ApplyAdam, &weight_grads);
-    ModelSpec { name: "ResNet-50", batch, graph: g }
+    ModelSpec {
+        name: "ResNet-50",
+        batch,
+        graph: g,
+    }
 }
 
 #[cfg(test)]
@@ -139,8 +156,11 @@ mod tests {
     #[test]
     fn has_53_convolutions() {
         let m = resnet50(64);
-        let convs =
-            m.graph.iter().filter(|(_, op)| op.kind == OpKind::Conv2D).count();
+        let convs = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::Conv2D)
+            .count();
         // stem + 16 blocks x 3 + 4 projections.
         assert_eq!(convs, 53);
     }
@@ -159,7 +179,10 @@ mod tests {
             .filter(|(_, op)| op.kind == OpKind::Conv2DBackpropInput)
             .count();
         assert_eq!(cbf, 53, "every conv needs a filter gradient");
-        assert_eq!(cbi, 52, "every conv except the stem needs an input gradient");
+        assert_eq!(
+            cbi, 52,
+            "every conv except the stem needs an input gradient"
+        );
     }
 
     #[test]
@@ -183,7 +206,11 @@ mod tests {
     #[test]
     fn adam_updates_cover_all_weights() {
         let m = resnet50(64);
-        let adams = m.graph.iter().filter(|(_, op)| op.kind == OpKind::ApplyAdam).count();
+        let adams = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::ApplyAdam)
+            .count();
         // 53 filters + 53 gammas + 53 betas + dense W + dense b.
         assert_eq!(adams, 53 * 3 + 2);
     }

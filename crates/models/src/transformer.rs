@@ -52,25 +52,47 @@ fn encoder_layer(g: &mut DataflowGraph, input: NodeId, rows: usize) -> (NodeId, 
             OpInstance::with_aux(OpKind::MatMul, Shape::mat(SEQ, d_head), OpAux::matmul(SEQ)),
             &[q, k],
         );
-        let probs = g.add(OpInstance::new(OpKind::Softmax, Shape::mat(SEQ, SEQ)), &[scores]);
+        let probs = g.add(
+            OpInstance::new(OpKind::Softmax, Shape::mat(SEQ, SEQ)),
+            &[scores],
+        );
         let context = g.add(
             OpInstance::with_aux(OpKind::MatMul, Shape::mat(SEQ, SEQ), OpAux::matmul(d_head)),
             &[probs, v],
         );
         heads.push(context);
     }
-    let concat = g.add(OpInstance::new(OpKind::Concat, Shape::mat(rows, D_MODEL)), &heads);
+    let concat = g.add(
+        OpInstance::new(OpKind::Concat, Shape::mat(rows, D_MODEL)),
+        &heads,
+    );
     let (proj, outr) = dense_forward(g, concat, rows, D_MODEL, D_MODEL, Act::None);
-    let res1 = g.add(OpInstance::new(OpKind::Add, Shape::mat(rows, D_MODEL)), &[proj, input]);
+    let res1 = g.add(
+        OpInstance::new(OpKind::Add, Shape::mat(rows, D_MODEL)),
+        &[proj, input],
+    );
     let norm1 = layer_norm(g, res1, rows);
 
     // Feed-forward block.
     let (ff_mid, ff1r) = dense_forward(g, norm1, rows, D_MODEL, D_FF, Act::Relu);
     let (ff_out, ff2r) = dense_forward(g, ff_mid, rows, D_FF, D_MODEL, Act::None);
-    let res2 = g.add(OpInstance::new(OpKind::Add, Shape::mat(rows, D_MODEL)), &[ff_out, norm1]);
+    let res2 = g.add(
+        OpInstance::new(OpKind::Add, Shape::mat(rows, D_MODEL)),
+        &[ff_out, norm1],
+    );
     let norm2 = layer_norm(g, res2, rows);
 
-    (norm2, AttnFwd { q: qr, k: kr, v: vr, out: outr, ff1: ff1r, ff2: ff2r })
+    (
+        norm2,
+        AttnFwd {
+            q: qr,
+            k: kr,
+            v: vr,
+            out: outr,
+            ff1: ff1r,
+            ff2: ff2r,
+        },
+    )
 }
 
 /// Builds one training step of a 12-layer Transformer encoder with a masked
@@ -121,15 +143,24 @@ pub fn transformer(batch: usize) -> ModelSpec {
                 OpInstance::with_aux(OpKind::MatMul, Shape::mat(SEQ, d_head), OpAux::matmul(SEQ)),
                 &[out.grad_in],
             );
-            let d_soft = g.add(OpInstance::new(OpKind::SigmoidGrad, Shape::mat(SEQ, SEQ)), &[d_probs]);
-            let merged = g.add(OpInstance::new(OpKind::Add, Shape::mat(SEQ, d_head)), &[d_ctx, d_soft]);
+            let d_soft = g.add(
+                OpInstance::new(OpKind::SigmoidGrad, Shape::mat(SEQ, SEQ)),
+                &[d_probs],
+            );
+            let merged = g.add(
+                OpInstance::new(OpKind::Add, Shape::mat(SEQ, d_head)),
+                &[d_ctx, d_soft],
+            );
             head_grads.push(merged);
         }
         let d_heads = g.add(
             OpInstance::with_aux(
                 OpKind::AddN,
                 Shape::mat(rows, D_MODEL),
-                OpAux { c_out: HEADS, ..OpAux::default() },
+                OpAux {
+                    c_out: HEADS,
+                    ..OpAux::default()
+                },
             ),
             &head_grads,
         );
@@ -144,14 +175,21 @@ pub fn transformer(batch: usize) -> ModelSpec {
             OpInstance::with_aux(
                 OpKind::AddN,
                 Shape::mat(rows, D_MODEL),
-                OpAux { c_out: 3, ..OpAux::default() },
+                OpAux {
+                    c_out: 3,
+                    ..OpAux::default()
+                },
             ),
             &[qb.grad_in, kb.grad_in, vb.grad_in],
         );
         grad = merged;
     }
     emit_optimizer(&mut g, OpKind::ApplyAdam, &weight_grads);
-    ModelSpec { name: "Transformer", batch, graph: g }
+    ModelSpec {
+        name: "Transformer",
+        batch,
+        graph: g,
+    }
 }
 
 #[cfg(test)]
@@ -164,9 +202,17 @@ mod tests {
         m.graph.validate().unwrap();
         // 12 layers x (3 QKV + out + 2 FF) + head = 73 forward dense matmuls,
         // plus 2 bwd matmuls each, plus per-head attention matmuls.
-        let matmuls = m.graph.iter().filter(|(_, op)| op.kind == OpKind::MatMul).count();
+        let matmuls = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::MatMul)
+            .count();
         assert!(matmuls > 500, "got {matmuls}");
-        let softmaxes = m.graph.iter().filter(|(_, op)| op.kind == OpKind::Softmax).count();
+        let softmaxes = m
+            .graph
+            .iter()
+            .filter(|(_, op)| op.kind == OpKind::Softmax)
+            .count();
         assert_eq!(softmaxes, LAYERS * HEADS);
     }
 
@@ -188,8 +234,8 @@ mod tests {
         let m = transformer(4);
         let catalog = OpCatalog::new(&m.graph);
         let cost = KnlCostModel::knl();
-        let rec = TfExecutor::new(TfExecutorConfig::recommendation())
-            .run_step(&m.graph, &catalog, &cost);
+        let rec =
+            TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&m.graph, &catalog, &cost);
         let ours = Runtime::prepare(&m.graph, cost, RuntimeConfig::default()).run_step(&m.graph);
         assert!(
             ours.total_secs < rec.total_secs,

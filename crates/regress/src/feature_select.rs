@@ -58,7 +58,9 @@ pub fn select_features(x: &[Vec<f64>], y: &[f64], k: usize, max_corr: f64) -> Ve
             break; // the rest are uninformative
         }
         let cj = column(j);
-        let redundant = kept.iter().any(|&s| pearson(&cj, &column(s)).abs() >= max_corr);
+        let redundant = kept
+            .iter()
+            .any(|&s| pearson(&cj, &column(s)).abs() >= max_corr);
         if !redundant {
             kept.push(j);
         }
@@ -85,12 +87,18 @@ mod tests {
         let y: Vec<f64> = x.iter().map(|r| 10.0 * r[0] + 3.0 * r[2]).collect();
         let kept = select_features(&x, &y, 2, 0.9);
         assert_eq!(kept.len(), 2);
-        assert!(kept.contains(&0) || kept.contains(&1), "a driver must be kept");
+        assert!(
+            kept.contains(&0) || kept.contains(&1),
+            "a driver must be kept"
+        );
         assert!(
             !(kept.contains(&0) && kept.contains(&1)),
             "the duplicated feature must be filtered: {kept:?}"
         );
-        assert!(kept.contains(&2), "the independent driver must be kept: {kept:?}");
+        assert!(
+            kept.contains(&2),
+            "the independent driver must be kept: {kept:?}"
+        );
     }
 
     #[test]

@@ -59,8 +59,7 @@ impl Regressor for GradientBoosting {
     }
 
     fn predict(&self, x: &[f64]) -> f64 {
-        self.base
-            + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
+        self.base + self.learning_rate * self.trees.iter().map(|t| t.predict(x)).sum::<f64>()
     }
 
     fn name(&self) -> &'static str {

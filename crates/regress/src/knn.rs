@@ -16,13 +16,22 @@ pub struct KnnRegressor {
 impl KnnRegressor {
     /// A regressor averaging over `k` neighbours.
     pub fn new(k: usize) -> Self {
-        KnnRegressor { k: k.max(1), x: Vec::new(), y: Vec::new(), mean: Vec::new(), std: Vec::new() }
+        KnnRegressor {
+            k: k.max(1),
+            x: Vec::new(),
+            y: Vec::new(),
+            mean: Vec::new(),
+            std: Vec::new(),
+        }
     }
 
     fn standardize(&self, row: &[f64]) -> Vec<f64> {
         row.iter()
             .enumerate()
-            .map(|(i, &v)| (v - self.mean.get(i).copied().unwrap_or(0.0)) / self.std.get(i).copied().unwrap_or(1.0))
+            .map(|(i, &v)| {
+                (v - self.mean.get(i).copied().unwrap_or(0.0))
+                    / self.std.get(i).copied().unwrap_or(1.0)
+            })
             .collect()
     }
 }
@@ -31,7 +40,9 @@ impl Regressor for KnnRegressor {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), RegressError> {
         let dim = check_xy(x, y)?;
         let n = x.len() as f64;
-        self.mean = (0..dim).map(|c| x.iter().map(|r| r[c]).sum::<f64>() / n).collect();
+        self.mean = (0..dim)
+            .map(|c| x.iter().map(|r| r[c]).sum::<f64>() / n)
+            .collect();
         self.std = (0..dim)
             .map(|c| {
                 let m = self.mean[c];
@@ -82,7 +93,12 @@ mod tests {
 
     #[test]
     fn exact_hit_returns_training_target() {
-        let x = vec![vec![0.0, 0.0], vec![1.0, 0.0], vec![0.0, 1.0], vec![5.0, 5.0]];
+        let x = vec![
+            vec![0.0, 0.0],
+            vec![1.0, 0.0],
+            vec![0.0, 1.0],
+            vec![5.0, 5.0],
+        ];
         let y = vec![1.0, 2.0, 3.0, 40.0];
         let mut m = KnnRegressor::new(1);
         m.fit(&x, &y).unwrap();

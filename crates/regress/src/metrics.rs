@@ -30,7 +30,11 @@ pub fn r_squared(pred: &[f64], actual: &[f64]) -> f64 {
     }
     let mean = actual.iter().sum::<f64>() / actual.len() as f64;
     let ss_tot: f64 = actual.iter().map(|&a| (a - mean).powi(2)).sum();
-    let ss_res: f64 = pred.iter().zip(actual).map(|(&p, &a)| (a - p).powi(2)).sum();
+    let ss_res: f64 = pred
+        .iter()
+        .zip(actual)
+        .map(|(&p, &a)| (a - p).powi(2))
+        .sum();
     if ss_tot == 0.0 {
         return if ss_res == 0.0 { 1.0 } else { 0.0 };
     }

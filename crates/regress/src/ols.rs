@@ -53,7 +53,9 @@ mod tests {
 
     #[test]
     fn fits_linear_data_exactly() {
-        let x: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64, (i * i % 7) as f64]).collect();
+        let x: Vec<Vec<f64>> = (0..40)
+            .map(|i| vec![i as f64, (i * i % 7) as f64])
+            .collect();
         let y: Vec<f64> = x.iter().map(|r| 2.5 * r[0] - 0.5 * r[1] + 1.0).collect();
         let mut m = Ols::new();
         m.fit(&x, &y).unwrap();

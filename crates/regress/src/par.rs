@@ -54,11 +54,15 @@ impl Regressor for PassiveAggressive {
     fn fit(&mut self, x: &[Vec<f64>], y: &[f64]) -> Result<(), RegressError> {
         let dim = check_xy(x, y)?;
         let n = x.len() as f64;
-        self.mean = (0..dim).map(|c| x.iter().map(|r| r[c]).sum::<f64>() / n).collect();
+        self.mean = (0..dim)
+            .map(|c| x.iter().map(|r| r[c]).sum::<f64>() / n)
+            .collect();
         self.std = (0..dim)
             .map(|c| {
                 let m = self.mean[c];
-                (x.iter().map(|r| (r[c] - m).powi(2)).sum::<f64>() / n).sqrt().max(1e-12)
+                (x.iter().map(|r| (r[c] - m).powi(2)).sum::<f64>() / n)
+                    .sqrt()
+                    .max(1e-12)
             })
             .collect();
         self.y_mean = y.iter().sum::<f64>() / n;

@@ -19,7 +19,11 @@ pub struct TheilSen {
 impl TheilSen {
     /// Estimator over `n_subsets` random minimal subsets.
     pub fn new(n_subsets: usize, seed: u64) -> Self {
-        TheilSen { n_subsets: n_subsets.max(10), seed, beta: Vec::new() }
+        TheilSen {
+            n_subsets: n_subsets.max(10),
+            seed,
+            beta: Vec::new(),
+        }
     }
 }
 
@@ -38,8 +42,10 @@ impl Regressor for TheilSen {
         let mut betas: Vec<Vec<f64>> = Vec::with_capacity(self.n_subsets);
         for _ in 0..self.n_subsets {
             indices.shuffle(&mut rng);
-            let rows: Vec<Vec<f64>> =
-                indices[..subset_size].iter().map(|&i| x[i].clone()).collect();
+            let rows: Vec<Vec<f64>> = indices[..subset_size]
+                .iter()
+                .map(|&i| x[i].clone())
+                .collect();
             let targets: Vec<f64> = indices[..subset_size].iter().map(|&i| y[i]).collect();
             if let Some(beta) = least_squares(&rows, &targets, 1e-6) {
                 if beta.iter().all(|v| v.is_finite()) {
@@ -94,7 +100,10 @@ mod tests {
         let mut m = TheilSen::new(400, 3);
         m.fit(&x, &y).unwrap();
         let p = m.predict(&[5.0]);
-        assert!((p - 22.0).abs() < 1.5, "robust fit should shrug off outliers, got {p}");
+        assert!(
+            (p - 22.0).abs() < 1.5,
+            "robust fit should shrug off outliers, got {p}"
+        );
     }
 
     #[test]

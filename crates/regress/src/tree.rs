@@ -29,7 +29,12 @@ pub struct DecisionTree {
 impl DecisionTree {
     /// A tree limited to `max_depth` levels and `min_samples` per leaf split.
     pub fn new(max_depth: usize, min_samples: usize) -> Self {
-        DecisionTree { max_depth, min_samples: min_samples.max(2), nodes: Vec::new(), importances: Vec::new() }
+        DecisionTree {
+            max_depth,
+            min_samples: min_samples.max(2),
+            nodes: Vec::new(),
+            importances: Vec::new(),
+        }
     }
 
     /// Normalized variance-reduction importance per feature (sums to 1 when
@@ -76,7 +81,12 @@ impl DecisionTree {
         self.nodes.push(Node::Leaf { value: mean }); // placeholder
         let left = self.build(x, y, li, depth + 1);
         let right = self.build(x, y, ri, depth + 1);
-        self.nodes[slot] = Node::Split { feature, threshold, left, right };
+        self.nodes[slot] = Node::Split {
+            feature,
+            threshold,
+            left,
+            right,
+        };
         slot
     }
 
@@ -88,7 +98,12 @@ impl DecisionTree {
         loop {
             match &self.nodes[at] {
                 Node::Leaf { value } => return *value,
-                Node::Split { feature, threshold, left, right } => {
+                Node::Split {
+                    feature,
+                    threshold,
+                    left,
+                    right,
+                } => {
                     at = if x.get(*feature).copied().unwrap_or(0.0) <= *threshold {
                         *left
                     } else {

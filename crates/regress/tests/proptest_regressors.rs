@@ -7,20 +7,18 @@ use nnrt_regress::{
 };
 use proptest::prelude::*;
 
-fn linear_data(
-    coefs: &[f64],
-    intercept: f64,
-    n: usize,
-) -> (Vec<Vec<f64>>, Vec<f64>) {
+fn linear_data(coefs: &[f64], intercept: f64, n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let dim = coefs.len();
     let x: Vec<Vec<f64>> = (0..n)
-        .map(|i| (0..dim).map(|j| ((i * (j + 3) + j * 7) % 23) as f64 - 11.0).collect())
+        .map(|i| {
+            (0..dim)
+                .map(|j| ((i * (j + 3) + j * 7) % 23) as f64 - 11.0)
+                .collect()
+        })
         .collect();
     let y: Vec<f64> = x
         .iter()
-        .map(|row| {
-            row.iter().zip(coefs).map(|(v, c)| v * c).sum::<f64>() + intercept
-        })
+        .map(|row| row.iter().zip(coefs).map(|(v, c)| v * c).sum::<f64>() + intercept)
         .collect();
     (x, y)
 }

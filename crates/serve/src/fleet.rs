@@ -1,0 +1,427 @@
+//! The service loop: placement, round-robin stepping, and fleet statistics.
+//!
+//! A [`Fleet`] owns a set of simulated manycore nodes, an admission queue,
+//! and a shared [`ProfileStore`]. Submitted jobs are placed onto the least
+//! loaded node, warm-started from the store (skipping every already-profiled
+//! key), then driven step by step round-robin with the node's other resident
+//! jobs on a simulated clock. The run produces a [`FleetReport`] with
+//! per-job and fleet-wide statistics: steps/sec, profiling steps saved by
+//! warm starts, queue latency, and rejections.
+
+use crate::job::{AdmissionQueue, AdmitError, JobId, JobSpec, QueuedJob};
+use crate::store::ProfileStore;
+use nnrt_manycore::{KnlCostModel, MachineSignature};
+use nnrt_sched::{export_chrome_trace, OpCatalog, Runtime, RuntimeConfig};
+use serde::Serialize;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+/// Fleet-level configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct FleetConfig {
+    /// Number of (identical KNL) nodes; heterogeneous fleets use
+    /// [`Fleet::with_cost_models`].
+    pub node_count: u32,
+    /// Resident (time-sliced) jobs one node serves concurrently.
+    pub max_jobs_per_node: usize,
+    /// Admission-queue capacity; submissions beyond it are rejected.
+    pub queue_capacity: usize,
+    /// Base runtime configuration; each job's profiling seed is derived from
+    /// `seed` and its job id, so fleets are reproducible end to end.
+    pub runtime: RuntimeConfig,
+    /// Fleet seed (drives per-job profiling-noise seeds).
+    pub seed: u64,
+    /// Record a Chrome trace of one training step per job.
+    pub record_traces: bool,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig {
+            node_count: 2,
+            max_jobs_per_node: 4,
+            queue_capacity: 64,
+            runtime: RuntimeConfig::default(),
+            seed: 0xF1EE7,
+            record_traces: false,
+        }
+    }
+}
+
+struct RunningJob {
+    id: JobId,
+    spec: JobSpec,
+    step_secs: f64,
+    steps_done: u32,
+    submitted_at: f64,
+    queue_latency: f64,
+    profiling_steps: u32,
+    profiling_steps_saved: u32,
+    warm_keys: usize,
+    total_keys: usize,
+    profiling_secs: f64,
+    chrome_trace: Option<String>,
+}
+
+struct Node {
+    cost: KnlCostModel,
+    signature: MachineSignature,
+    clock: f64,
+    residents: VecDeque<RunningJob>,
+    max_jobs: usize,
+}
+
+/// One completed job's statistics.
+#[derive(Debug, Clone, Serialize)]
+pub struct JobReport {
+    /// Job id (fleet-unique).
+    pub id: u64,
+    /// Job name.
+    pub name: String,
+    /// Model family.
+    pub model: String,
+    /// Node the job ran on.
+    pub node: u32,
+    /// Admission priority.
+    pub priority: u8,
+    /// Deadline weight.
+    pub weight: f64,
+    /// Training steps executed.
+    pub steps: u32,
+    /// Simulated submission time, seconds.
+    pub submitted_at: f64,
+    /// Time spent waiting for a node slot, seconds.
+    pub queue_latency_secs: f64,
+    /// Profiling steps this job actually paid (after warm start).
+    pub profiling_steps: u32,
+    /// Profiling steps avoided versus the cold first job of this model.
+    pub profiling_steps_saved: u32,
+    /// Profile keys served from the shared store.
+    pub warm_keys: usize,
+    /// Total profile keys of the job's graph.
+    pub total_keys: usize,
+    /// Duration of one training step, seconds.
+    pub step_secs: f64,
+    /// Time spent profiling, seconds.
+    pub profiling_secs: f64,
+    /// Simulated completion time, seconds.
+    pub completed_at: f64,
+    /// Chrome trace of one step (when trace recording was on).
+    pub chrome_trace: Option<String>,
+}
+
+/// Whole-fleet statistics for one service run.
+#[derive(Debug, Clone, Serialize)]
+pub struct FleetReport {
+    /// Per-job reports, in completion order.
+    pub jobs: Vec<JobReport>,
+    /// Nodes in the fleet.
+    pub nodes: u32,
+    /// Simulated end-to-end makespan, seconds.
+    pub makespan_secs: f64,
+    /// Total training steps executed.
+    pub total_steps: u64,
+    /// Fleet throughput: training steps per simulated second.
+    pub steps_per_sec: f64,
+    /// Profiling steps paid across all jobs.
+    pub profiling_steps_total: u64,
+    /// Profiling steps avoided by warm starts across all jobs.
+    pub profiling_steps_saved_total: u64,
+    /// Mean queue latency, seconds.
+    pub mean_queue_latency_secs: f64,
+    /// Worst queue latency, seconds.
+    pub max_queue_latency_secs: f64,
+    /// Submissions rejected (queue saturation or malformed jobs).
+    pub rejected: u64,
+    /// Curve pairs resident in the shared store after the run.
+    pub store_entries: usize,
+}
+
+impl FleetReport {
+    /// Multi-line human-readable summary (the `nnrt serve` output).
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "fleet: {} nodes, {} jobs, makespan {:.3}s, {:.2} steps/s",
+            self.nodes,
+            self.jobs.len(),
+            self.makespan_secs,
+            self.steps_per_sec
+        );
+        let _ = writeln!(
+            out,
+            "profiling: {} steps paid, {} saved by warm starts; store holds {} curve pairs",
+            self.profiling_steps_total, self.profiling_steps_saved_total, self.store_entries
+        );
+        let _ = writeln!(
+            out,
+            "queue: mean latency {:.3}s, max {:.3}s, {} rejected",
+            self.mean_queue_latency_secs, self.max_queue_latency_secs, self.rejected
+        );
+        let _ = writeln!(
+            out,
+            "{:<16} {:>4} {:>4} {:>6} {:>9} {:>7} {:>9} {:>10} {:>10}",
+            "job", "node", "prio", "steps", "prof", "saved", "warm-keys", "queued(s)", "done(s)"
+        );
+        for j in &self.jobs {
+            let _ = writeln!(
+                out,
+                "{:<16} {:>4} {:>4} {:>6} {:>9} {:>7} {:>6}/{:<2} {:>10.3} {:>10.3}",
+                j.name,
+                j.node,
+                j.priority,
+                j.steps,
+                j.profiling_steps,
+                j.profiling_steps_saved,
+                j.warm_keys,
+                j.total_keys,
+                j.queue_latency_secs,
+                j.completed_at
+            );
+        }
+        out
+    }
+}
+
+/// The multi-tenant training-job service.
+pub struct Fleet {
+    config: FleetConfig,
+    nodes: Vec<Node>,
+    store: Arc<ProfileStore>,
+    queue: AdmissionQueue,
+    next_id: u64,
+    completed: Vec<JobReport>,
+    cold_steps_by_model: HashMap<String, u32>,
+}
+
+impl Fleet {
+    /// A fleet of `config.node_count` identical KNL nodes with a fresh
+    /// shared store.
+    pub fn new(config: FleetConfig) -> Self {
+        let costs = (0..config.node_count)
+            .map(|_| KnlCostModel::knl())
+            .collect();
+        Self::with_cost_models(config, costs, Arc::new(ProfileStore::new()))
+    }
+
+    /// A fleet over explicit (possibly heterogeneous) node cost models and
+    /// an existing shared store — the warm-restart path: a store restored
+    /// from a snapshot lets the very first job skip profiling.
+    pub fn with_cost_models(
+        config: FleetConfig,
+        costs: Vec<KnlCostModel>,
+        store: Arc<ProfileStore>,
+    ) -> Self {
+        assert!(!costs.is_empty(), "a fleet needs at least one node");
+        let nodes = costs
+            .into_iter()
+            .map(|cost| Node {
+                signature: cost.signature(),
+                cost,
+                clock: 0.0,
+                residents: VecDeque::new(),
+                max_jobs: config.max_jobs_per_node.max(1),
+            })
+            .collect();
+        Fleet {
+            queue: AdmissionQueue::new(config.queue_capacity),
+            config,
+            nodes,
+            store,
+            next_id: 0,
+            completed: Vec::new(),
+            cold_steps_by_model: HashMap::new(),
+        }
+    }
+
+    /// The shared profile store.
+    pub fn store(&self) -> &Arc<ProfileStore> {
+        &self.store
+    }
+
+    /// Current simulated fleet time: the earliest moment new work could
+    /// start.
+    pub fn now(&self) -> f64 {
+        self.nodes
+            .iter()
+            .map(|n| n.clock)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// Submits a job. Queued jobs are placed when `run` executes; a full
+    /// queue rejects with [`AdmitError::Saturated`].
+    pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, AdmitError> {
+        let id = JobId(self.next_id);
+        let now = self.now();
+        self.queue.submit(id, spec, now)?;
+        self.next_id += 1;
+        Ok(id)
+    }
+
+    /// Per-job profiling seed: decorrelates jobs while keeping the fleet
+    /// reproducible from `config.seed`.
+    fn job_seed(&self, id: JobId) -> u64 {
+        let mut z = self.config.seed ^ id.0.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// Places queued jobs onto nodes with free slots, least-loaded first.
+    fn place_queued(&mut self) {
+        while self.queue.peek().is_some() {
+            let Some(node_idx) = self
+                .nodes
+                .iter()
+                .enumerate()
+                .filter(|(_, n)| n.residents.len() < n.max_jobs)
+                .min_by(|(ia, a), (ib, b)| {
+                    a.residents
+                        .len()
+                        .cmp(&b.residents.len())
+                        .then(a.clock.partial_cmp(&b.clock).expect("finite clocks"))
+                        .then(ia.cmp(ib))
+                })
+                .map(|(i, _)| i)
+            else {
+                return; // every node is full; jobs wait for completions
+            };
+            let job = self.queue.pop().expect("peeked job");
+            self.admit_to_node(node_idx, job);
+        }
+    }
+
+    /// Warm-starts `job` on node `node_idx`, charging its (post-warm-start)
+    /// profiling cost to the node's clock.
+    fn admit_to_node(&mut self, node_idx: usize, job: QueuedJob) {
+        let (signature, node_cost, node_clock) = {
+            let node = &self.nodes[node_idx];
+            (node.signature, node.cost.clone(), node.clock)
+        };
+        let queue_latency = (node_clock - job.submitted_at).max(0.0);
+
+        let catalog = OpCatalog::new(&job.spec.graph);
+        let keys = catalog.keys().to_vec();
+        let warm = self.store.lookup(signature, &keys);
+        let mut config = self.config.runtime;
+        config.seed = self.job_seed(job.id);
+        let mut runtime = Runtime::prepare_warm(&job.spec.graph, node_cost, config, &warm);
+        let profiling_steps = runtime.model().profiling_steps;
+        // Publish everything this job measured (and refresh what it reused).
+        self.store.insert_many(signature, &runtime.model().export());
+
+        // The cold first job of each model sets the model's baseline cost;
+        // later jobs report how much of it they skipped.
+        let cold_steps = *self
+            .cold_steps_by_model
+            .entry(job.spec.model.clone())
+            .or_insert(profiling_steps);
+        let profiling_steps_saved = cold_steps.saturating_sub(profiling_steps);
+
+        runtime.record_trace(self.config.record_traces);
+        let step = runtime.run_step(&job.spec.graph);
+        let chrome_trace = self
+            .config
+            .record_traces
+            .then(|| export_chrome_trace(&job.spec.graph, &step.timings));
+
+        let profiling_secs = profiling_steps as f64 * step.total_secs;
+        let node = &mut self.nodes[node_idx];
+        node.clock += profiling_secs;
+        node.residents.push_back(RunningJob {
+            id: job.id,
+            spec: job.spec,
+            step_secs: step.total_secs,
+            steps_done: 0,
+            submitted_at: job.submitted_at,
+            queue_latency,
+            profiling_steps,
+            profiling_steps_saved,
+            warm_keys: warm.len(),
+            total_keys: keys.len(),
+            profiling_secs,
+            chrome_trace,
+        });
+    }
+
+    /// Runs every queued and resident job to completion and reports.
+    pub fn run(&mut self) -> FleetReport {
+        self.place_queued();
+        // The busy node with the earliest clock takes each turn; the run
+        // ends when every node is idle.
+        while let Some(node_idx) = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| !n.residents.is_empty())
+            .min_by(|(ia, a), (ib, b)| {
+                a.clock
+                    .partial_cmp(&b.clock)
+                    .expect("finite clocks")
+                    .then(ia.cmp(ib))
+            })
+            .map(|(i, _)| i)
+        {
+            let node = &mut self.nodes[node_idx];
+            let mut job = node.residents.pop_front().expect("busy node");
+            node.clock += job.step_secs;
+            job.steps_done += 1;
+            if job.steps_done < job.spec.steps {
+                node.residents.push_back(job);
+            } else {
+                let completed_at = node.clock;
+                self.completed.push(JobReport {
+                    id: job.id.0,
+                    name: job.spec.name,
+                    model: job.spec.model,
+                    node: node_idx as u32,
+                    priority: job.spec.priority,
+                    weight: job.spec.weight,
+                    steps: job.steps_done,
+                    submitted_at: job.submitted_at,
+                    queue_latency_secs: job.queue_latency,
+                    profiling_steps: job.profiling_steps,
+                    profiling_steps_saved: job.profiling_steps_saved,
+                    warm_keys: job.warm_keys,
+                    total_keys: job.total_keys,
+                    step_secs: job.step_secs,
+                    profiling_secs: job.profiling_secs,
+                    completed_at,
+                    chrome_trace: job.chrome_trace,
+                });
+                self.place_queued();
+            }
+        }
+        self.report()
+    }
+
+    fn report(&self) -> FleetReport {
+        let jobs = self.completed.clone();
+        let makespan = self.nodes.iter().map(|n| n.clock).fold(0.0, f64::max);
+        let total_steps: u64 = jobs.iter().map(|j| j.steps as u64).sum();
+        let latencies: Vec<f64> = jobs.iter().map(|j| j.queue_latency_secs).collect();
+        FleetReport {
+            nodes: self.nodes.len() as u32,
+            makespan_secs: makespan,
+            total_steps,
+            steps_per_sec: if makespan > 0.0 {
+                total_steps as f64 / makespan
+            } else {
+                0.0
+            },
+            profiling_steps_total: jobs.iter().map(|j| j.profiling_steps as u64).sum(),
+            profiling_steps_saved_total: jobs.iter().map(|j| j.profiling_steps_saved as u64).sum(),
+            mean_queue_latency_secs: if latencies.is_empty() {
+                0.0
+            } else {
+                latencies.iter().sum::<f64>() / latencies.len() as f64
+            },
+            max_queue_latency_secs: latencies.iter().cloned().fold(0.0, f64::max),
+            rejected: self.queue.rejections(),
+            store_entries: self.store.len(),
+            jobs,
+        }
+    }
+}

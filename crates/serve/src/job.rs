@@ -1,0 +1,249 @@
+//! Job specifications, admission, and typed rejection.
+//!
+//! Jobs are admitted into a bounded queue ordered by priority (higher
+//! first), then deadline weight (higher first), then submission order
+//! (FIFO). When the queue is full the submission is rejected with a typed
+//! [`AdmitError`] — a multi-tenant front-end needs backpressure it can
+//! report, not silent queuing without bound.
+
+use nnrt_graph::DataflowGraph;
+use std::collections::VecDeque;
+use std::fmt;
+
+/// Identifier of a submitted job, unique within one [`crate::Fleet`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct JobId(pub u64);
+
+impl fmt::Display for JobId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "job-{}", self.0)
+    }
+}
+
+/// What a tenant submits: a model to train for a number of steps, with
+/// scheduling hints.
+#[derive(Debug, Clone)]
+pub struct JobSpec {
+    /// Human-readable name, e.g. `resnet50-3`.
+    pub name: String,
+    /// Model family, e.g. `resnet50`; jobs of one model share profile keys,
+    /// which is what makes the shared store pay off.
+    pub model: String,
+    /// The training graph (one step's dataflow).
+    pub graph: DataflowGraph,
+    /// Training steps to run.
+    pub steps: u32,
+    /// Admission priority; higher is served first.
+    pub priority: u8,
+    /// Deadline-ish weight: orders jobs within one priority class (higher
+    /// first) and weights the fleet's reported slowdowns.
+    pub weight: f64,
+}
+
+/// Typed admission failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmitError {
+    /// The admission queue is at capacity; retry after completions.
+    Saturated {
+        /// Jobs currently queued.
+        queued: usize,
+        /// The queue's capacity.
+        capacity: usize,
+    },
+    /// The job is malformed (empty graph or zero steps) and would never
+    /// make progress.
+    EmptyJob {
+        /// The offending job's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for AdmitError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmitError::Saturated { queued, capacity } => write!(
+                f,
+                "admission queue saturated ({queued}/{capacity} jobs); retry later"
+            ),
+            AdmitError::EmptyJob { name } => {
+                write!(f, "job `{name}` has no work (empty graph or zero steps)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmitError {}
+
+/// A queued job: spec + identity + the queue tick it arrived at.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// The job's fleet-unique id.
+    pub id: JobId,
+    /// The submitted spec.
+    pub spec: JobSpec,
+    /// Submission order (0, 1, 2, …) — the FIFO tiebreaker.
+    pub seq: u64,
+    /// Simulated fleet time at submission, seconds.
+    pub submitted_at: f64,
+}
+
+/// Bounded priority + FIFO admission queue.
+#[derive(Debug, Default)]
+pub struct AdmissionQueue {
+    jobs: VecDeque<QueuedJob>,
+    capacity: usize,
+    next_seq: u64,
+    rejections: u64,
+}
+
+impl AdmissionQueue {
+    /// A queue admitting at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> Self {
+        AdmissionQueue {
+            jobs: VecDeque::new(),
+            capacity,
+            next_seq: 0,
+            rejections: 0,
+        }
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no job is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Submissions rejected so far.
+    pub fn rejections(&self) -> u64 {
+        self.rejections
+    }
+
+    /// Admits `spec` at simulated time `now`, or rejects it with a typed
+    /// error. Admitted jobs are ordered by (priority desc, weight desc,
+    /// submission order).
+    pub fn submit(&mut self, id: JobId, spec: JobSpec, now: f64) -> Result<(), AdmitError> {
+        if spec.graph.is_empty() || spec.steps == 0 {
+            self.rejections += 1;
+            return Err(AdmitError::EmptyJob { name: spec.name });
+        }
+        if self.jobs.len() >= self.capacity {
+            self.rejections += 1;
+            return Err(AdmitError::Saturated {
+                queued: self.jobs.len(),
+                capacity: self.capacity,
+            });
+        }
+        let job = QueuedJob {
+            id,
+            spec,
+            seq: self.next_seq,
+            submitted_at: now,
+        };
+        self.next_seq += 1;
+        // Insert before the first strictly-lower-ranked job; equal ranks
+        // keep submission order (stable FIFO within a class).
+        let rank = |j: &QueuedJob| (j.spec.priority, j.spec.weight);
+        let pos = self
+            .jobs
+            .iter()
+            .position(|queued| {
+                let (qp, qw) = rank(queued);
+                let (np, nw) = rank(&job);
+                qp < np || (qp == np && qw < nw)
+            })
+            .unwrap_or(self.jobs.len());
+        self.jobs.insert(pos, job);
+        Ok(())
+    }
+
+    /// Removes and returns the highest-ranked waiting job.
+    pub fn pop(&mut self) -> Option<QueuedJob> {
+        self.jobs.pop_front()
+    }
+
+    /// Peeks at the highest-ranked waiting job.
+    pub fn peek(&self) -> Option<&QueuedJob> {
+        self.jobs.front()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnrt_graph::{DataflowGraph, OpInstance, OpKind, Shape};
+
+    fn tiny_graph() -> DataflowGraph {
+        let mut g = DataflowGraph::new();
+        g.add(OpInstance::new(OpKind::MatMul, Shape(vec![8, 8])), &[]);
+        g
+    }
+
+    fn spec(name: &str, priority: u8, weight: f64) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            model: "tiny".to_string(),
+            graph: tiny_graph(),
+            steps: 1,
+            priority,
+            weight,
+        }
+    }
+
+    #[test]
+    fn priority_then_weight_then_fifo() {
+        let mut q = AdmissionQueue::new(8);
+        q.submit(JobId(0), spec("low-a", 0, 1.0), 0.0).unwrap();
+        q.submit(JobId(1), spec("high", 5, 1.0), 0.0).unwrap();
+        q.submit(JobId(2), spec("low-b", 0, 1.0), 0.0).unwrap();
+        q.submit(JobId(3), spec("low-heavy", 0, 9.0), 0.0).unwrap();
+        let order: Vec<String> = std::iter::from_fn(|| q.pop())
+            .map(|j| j.spec.name)
+            .collect();
+        assert_eq!(order, ["high", "low-heavy", "low-a", "low-b"]);
+    }
+
+    #[test]
+    fn saturation_is_a_typed_rejection() {
+        let mut q = AdmissionQueue::new(1);
+        q.submit(JobId(0), spec("a", 0, 1.0), 0.0).unwrap();
+        let err = q.submit(JobId(1), spec("b", 0, 1.0), 0.0).unwrap_err();
+        assert_eq!(
+            err,
+            AdmitError::Saturated {
+                queued: 1,
+                capacity: 1
+            }
+        );
+        assert_eq!(q.rejections(), 1);
+        // Popping frees a slot.
+        q.pop();
+        q.submit(JobId(2), spec("c", 0, 1.0), 0.0).unwrap();
+    }
+
+    #[test]
+    fn empty_jobs_are_rejected() {
+        let mut q = AdmissionQueue::new(4);
+        let mut s = spec("no-steps", 0, 1.0);
+        s.steps = 0;
+        assert!(matches!(
+            q.submit(JobId(0), s, 0.0),
+            Err(AdmitError::EmptyJob { .. })
+        ));
+        let empty = JobSpec {
+            name: "no-graph".to_string(),
+            model: "tiny".to_string(),
+            graph: DataflowGraph::new(),
+            steps: 3,
+            priority: 0,
+            weight: 1.0,
+        };
+        assert!(matches!(
+            q.submit(JobId(1), empty, 0.0),
+            Err(AdmitError::EmptyJob { .. })
+        ));
+    }
+}

@@ -1,0 +1,379 @@
+//! The shared, persistent profile store.
+//!
+//! Hill-climb curves are expensive: every `(kind, shape)` key costs a
+//! climb's worth of profiling training steps (§III-C of the paper). In a
+//! multi-tenant service the same models arrive over and over, so the fleet
+//! keeps one concurrent store of measured curves keyed by
+//! `(kind, shape, machine signature)`. The second job of a model warm-starts
+//! from the store and skips every already-profiled key.
+//!
+//! The store snapshots to versioned JSON and restores with merge semantics,
+//! so a service restart (or a second fleet) inherits every curve measured so
+//! far. Restoring a corrupted or version-mismatched snapshot yields a typed
+//! [`StoreError`], never a panic.
+
+use nnrt_graph::{OpKey, OpKind, Shape};
+use nnrt_manycore::MachineSignature;
+use nnrt_sched::KeyProfile;
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+
+/// Snapshot format tag; snapshots from other tools are rejected.
+pub const SNAPSHOT_FORMAT: &str = "nnrt-profile-store";
+/// Snapshot schema version; bumped on incompatible layout changes.
+pub const SNAPSHOT_VERSION: u64 = 1;
+/// Default entry capacity (curve pairs, across all machines).
+pub const DEFAULT_CAPACITY: usize = 4096;
+
+/// Typed failure of a snapshot restore.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StoreError {
+    /// The snapshot is not parseable JSON, or decodes to the wrong shape.
+    Corrupt(String),
+    /// The `format` field is missing or names a different producer.
+    BadHeader(String),
+    /// The snapshot's schema version is not [`SNAPSHOT_VERSION`].
+    VersionMismatch {
+        /// Version found in the snapshot.
+        found: u64,
+        /// Version this build understands.
+        expected: u64,
+    },
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Corrupt(msg) => write!(f, "corrupt profile snapshot: {msg}"),
+            StoreError::BadHeader(msg) => write!(f, "bad profile snapshot header: {msg}"),
+            StoreError::VersionMismatch { found, expected } => write!(
+                f,
+                "profile snapshot version {found} is not supported (expected {expected})"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// One persisted curve pair: a [`KeyProfile`] plus the machine it was
+/// measured on.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SnapshotEntry {
+    machine: MachineSignature,
+    kind: OpKind,
+    shape: Shape,
+    compact: nnrt_sched::Curve,
+    scatter: nnrt_sched::Curve,
+}
+
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct Snapshot {
+    format: String,
+    version: u64,
+    entries: Vec<SnapshotEntry>,
+}
+
+type StoreKey = (MachineSignature, OpKind, Shape);
+
+struct Entry {
+    profile: KeyProfile,
+    last_used: u64,
+}
+
+struct Inner {
+    entries: HashMap<StoreKey, Entry>,
+    clock: u64,
+    capacity: usize,
+}
+
+/// Concurrent, LRU-capped map from `(machine, kind, shape)` to measured
+/// hill-climb curves. Shared across jobs via `Arc<ProfileStore>`.
+pub struct ProfileStore {
+    inner: Mutex<Inner>,
+}
+
+impl Default for ProfileStore {
+    fn default() -> Self {
+        Self::with_capacity(DEFAULT_CAPACITY)
+    }
+}
+
+impl ProfileStore {
+    /// An empty store with the default capacity.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// An empty store holding at most `capacity` curve pairs; the least
+    /// recently used entries are evicted beyond that.
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(capacity > 0, "profile store capacity must be positive");
+        ProfileStore {
+            inner: Mutex::new(Inner {
+                entries: HashMap::new(),
+                clock: 0,
+                capacity,
+            }),
+        }
+    }
+
+    /// Number of stored curve pairs.
+    pub fn len(&self) -> usize {
+        self.inner.lock().entries.len()
+    }
+
+    /// Whether the store holds nothing.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether curves for `key` measured on `machine` are present.
+    pub fn contains(&self, machine: MachineSignature, key: &OpKey) -> bool {
+        self.inner
+            .lock()
+            .entries
+            .contains_key(&(machine, key.0, key.1.clone()))
+    }
+
+    /// Fetches the stored curves for every requested key that is present on
+    /// `machine`, bumping their recency. The result is the warm-start input
+    /// for [`nnrt_sched::Runtime::prepare_warm`].
+    pub fn lookup(&self, machine: MachineSignature, keys: &[OpKey]) -> Vec<KeyProfile> {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        let mut hits = Vec::new();
+        for key in keys {
+            let store_key = (machine, key.0, key.1.clone());
+            if let Some(entry) = inner.entries.get_mut(&store_key) {
+                entry.last_used = now;
+                hits.push(entry.profile.clone());
+            }
+        }
+        hits
+    }
+
+    /// Inserts (or refreshes) curves measured on `machine`, evicting the
+    /// least recently used entries if the capacity is exceeded.
+    pub fn insert_many(&self, machine: MachineSignature, profiles: &[KeyProfile]) {
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        for p in profiles {
+            inner.entries.insert(
+                (machine, p.kind, p.shape.clone()),
+                Entry {
+                    profile: p.clone(),
+                    last_used: now,
+                },
+            );
+        }
+        Self::evict_over_capacity(&mut inner);
+    }
+
+    fn evict_over_capacity(inner: &mut Inner) {
+        while inner.entries.len() > inner.capacity {
+            // Oldest entry; ties broken by key order so eviction is
+            // deterministic.
+            let victim = inner
+                .entries
+                .iter()
+                .min_by(|a, b| a.1.last_used.cmp(&b.1.last_used).then(a.0.cmp(b.0)))
+                .map(|(k, _)| k.clone())
+                .expect("non-empty map above capacity");
+            inner.entries.remove(&victim);
+        }
+    }
+
+    /// Serializes the store to versioned JSON. Entries are key-sorted, so
+    /// `snapshot -> restore -> snapshot` is byte-identical.
+    pub fn snapshot(&self) -> String {
+        let inner = self.inner.lock();
+        let mut entries: Vec<SnapshotEntry> = inner
+            .entries
+            .iter()
+            .map(|((machine, kind, shape), entry)| SnapshotEntry {
+                machine: *machine,
+                kind: *kind,
+                shape: shape.clone(),
+                compact: entry.profile.compact.clone(),
+                scatter: entry.profile.scatter.clone(),
+            })
+            .collect();
+        entries.sort_by(|a, b| (a.machine, a.kind, &a.shape).cmp(&(b.machine, b.kind, &b.shape)));
+        let snap = Snapshot {
+            format: SNAPSHOT_FORMAT.to_string(),
+            version: SNAPSHOT_VERSION,
+            entries,
+        };
+        serde_json::to_string_pretty(&snap).expect("profile snapshot serializes")
+    }
+
+    /// Merges a snapshot into the store: loaded curves are added, entries
+    /// already present for the same key are overwritten (the snapshot is
+    /// assumed newer). Returns the number of entries merged.
+    pub fn restore(&self, text: &str) -> Result<usize, StoreError> {
+        let value: serde_json::Value =
+            serde_json::from_str(text).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        match value.get("format").and_then(|f| f.as_str()) {
+            None => return Err(StoreError::BadHeader("missing `format` field".to_string())),
+            Some(f) if f != SNAPSHOT_FORMAT => {
+                return Err(StoreError::BadHeader(format!(
+                    "format `{f}` is not `{SNAPSHOT_FORMAT}`"
+                )))
+            }
+            Some(_) => {}
+        }
+        let version = value
+            .get("version")
+            .and_then(|v| v.as_u64())
+            .ok_or_else(|| StoreError::BadHeader("missing `version` field".to_string()))?;
+        if version != SNAPSHOT_VERSION {
+            return Err(StoreError::VersionMismatch {
+                found: version,
+                expected: SNAPSHOT_VERSION,
+            });
+        }
+        let snap =
+            Snapshot::from_json_value(&value).map_err(|e| StoreError::Corrupt(e.to_string()))?;
+        let merged = snap.entries.len();
+        let mut inner = self.inner.lock();
+        inner.clock += 1;
+        let now = inner.clock;
+        for e in snap.entries {
+            inner.entries.insert(
+                (e.machine, e.kind, e.shape.clone()),
+                Entry {
+                    profile: KeyProfile {
+                        kind: e.kind,
+                        shape: e.shape,
+                        compact: e.compact,
+                        scatter: e.scatter,
+                    },
+                    last_used: now,
+                },
+            );
+        }
+        Self::evict_over_capacity(&mut inner);
+        Ok(merged)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnrt_sched::Curve;
+
+    fn profile(kind: OpKind, dims: &[usize]) -> KeyProfile {
+        KeyProfile {
+            kind,
+            shape: Shape(dims.to_vec()),
+            compact: Curve {
+                samples: vec![(1, 2.0), (5, 0.5)],
+            },
+            scatter: Curve {
+                samples: vec![(1, 2.5), (5, 0.75)],
+            },
+        }
+    }
+
+    #[test]
+    fn lookup_returns_only_present_keys() {
+        let store = ProfileStore::new();
+        let sig = MachineSignature(42);
+        store.insert_many(sig, &[profile(OpKind::MatMul, &[64, 64])]);
+        let keys = vec![
+            (OpKind::MatMul, Shape(vec![64, 64])),
+            (OpKind::Relu, Shape(vec![64])),
+        ];
+        let hits = store.lookup(sig, &keys);
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].kind, OpKind::MatMul);
+        // A different machine sees nothing.
+        assert!(store.lookup(MachineSignature(7), &keys).is_empty());
+    }
+
+    #[test]
+    fn lru_eviction_is_deterministic() {
+        let store = ProfileStore::with_capacity(2);
+        let sig = MachineSignature(1);
+        store.insert_many(sig, &[profile(OpKind::MatMul, &[8])]);
+        store.insert_many(sig, &[profile(OpKind::Relu, &[8])]);
+        // Touch MatMul so Relu becomes the LRU victim.
+        store.lookup(sig, &[(OpKind::MatMul, Shape(vec![8]))]);
+        store.insert_many(sig, &[profile(OpKind::Add, &[8])]);
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(sig, &(OpKind::MatMul, Shape(vec![8]))));
+        assert!(store.contains(sig, &(OpKind::Add, Shape(vec![8]))));
+        assert!(!store.contains(sig, &(OpKind::Relu, Shape(vec![8]))));
+    }
+
+    #[test]
+    fn snapshot_restore_resnapshot_is_byte_identical() {
+        let store = ProfileStore::new();
+        let sig = MachineSignature(99);
+        store.insert_many(
+            sig,
+            &[
+                profile(OpKind::MatMul, &[32, 32]),
+                profile(OpKind::Relu, &[128]),
+            ],
+        );
+        let snap1 = store.snapshot();
+        let fresh = ProfileStore::new();
+        assert_eq!(fresh.restore(&snap1), Ok(2));
+        let snap2 = fresh.snapshot();
+        assert_eq!(snap1, snap2);
+    }
+
+    #[test]
+    fn restore_merges_rather_than_replaces() {
+        let a = ProfileStore::new();
+        let sig = MachineSignature(5);
+        a.insert_many(sig, &[profile(OpKind::MatMul, &[4])]);
+        let snap = a.snapshot();
+
+        let b = ProfileStore::new();
+        b.insert_many(sig, &[profile(OpKind::Relu, &[4])]);
+        b.restore(&snap).unwrap();
+        assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn corrupted_and_mismatched_snapshots_are_typed_errors() {
+        let store = ProfileStore::new();
+        assert!(matches!(
+            store.restore("{nonsense"),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(matches!(
+            store.restore("{\"entries\": []}"),
+            Err(StoreError::BadHeader(_))
+        ));
+        assert!(matches!(
+            store.restore("{\"format\": \"other-tool\", \"version\": 1, \"entries\": []}"),
+            Err(StoreError::BadHeader(_))
+        ));
+        let future =
+            format!("{{\"format\": \"{SNAPSHOT_FORMAT}\", \"version\": 99, \"entries\": []}}");
+        assert_eq!(
+            store.restore(&future),
+            Err(StoreError::VersionMismatch {
+                found: 99,
+                expected: 1
+            })
+        );
+        // A good header with mangled entries is Corrupt, not a panic.
+        let bad_entries = format!(
+            "{{\"format\": \"{SNAPSHOT_FORMAT}\", \"version\": 1, \"entries\": [{{\"x\": 1}}]}}"
+        );
+        assert!(matches!(
+            store.restore(&bad_entries),
+            Err(StoreError::Corrupt(_))
+        ));
+        assert!(store.is_empty(), "failed restores must not partially apply");
+    }
+}

@@ -11,7 +11,9 @@ use nnrt::kernels::matmul::matmul;
 use nnrt::kernels::{hill_climb_threads, Tensor};
 
 fn main() {
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
     // Let the climber explore a little past the hardware width even on tiny
     // machines, so the stop-on-rise behaviour is visible.
     let max_threads = hw.max(8);
@@ -20,7 +22,14 @@ fn main() {
     // Conv2D on an Inception-sized feature map.
     let x = Tensor::sequence(&[8, 17, 17, 64], 1.0);
     let f = Tensor::sequence(&[3, 3, 64, 64], 0.5);
-    let result = hill_climb_threads(|t| { conv2d(t, &x, &f, 1); }, 1, max_threads, 3);
+    let result = hill_climb_threads(
+        |t| {
+            conv2d(t, &x, &f, 1);
+        },
+        1,
+        max_threads,
+        3,
+    );
     report("conv2d 8x17x17x64 -> 64ch", &result);
 
     // A mid-size matmul.
@@ -34,12 +43,18 @@ fn main() {
     // A streaming Adam update over 4M parameters: memory-bound, so the
     // optimum should land well below the conv's (the paper's Observation 1).
     let nparams = 4_000_000;
-    let grad: Vec<f32> = (0..nparams).map(|i| ((i % 101) as f32 - 50.0) * 1e-4).collect();
+    let grad: Vec<f32> = (0..nparams)
+        .map(|i| ((i % 101) as f32 - 50.0) * 1e-4)
+        .collect();
     let mut p = vec![0.1f32; nparams];
     let mut mm = vec![0.0f32; nparams];
     let mut vv = vec![0.0f32; nparams];
     let result = hill_climb_threads(
-        |t| adam_step(t, &mut p, &grad, &mut mm, &mut vv, 1e-3, 0.9, 0.999, 1e-8, 1),
+        |t| {
+            adam_step(
+                t, &mut p, &grad, &mut mm, &mut vv, 1e-3, 0.9, 0.999, 1e-8, 1,
+            )
+        },
         1,
         max_threads,
         3,
@@ -62,7 +77,10 @@ fn report(name: &str, r: &nnrt::kernels::TuneResult) {
         t1 / r.best_secs,
         r.samples.len()
     );
-    let curve: Vec<String> =
-        r.samples.iter().map(|&(p, t)| format!("{p}:{:.1}ms", t * 1e3)).collect();
+    let curve: Vec<String> = r
+        .samples
+        .iter()
+        .map(|&(p, t)| format!("{p}:{:.1}ms", t * 1e3))
+        .collect();
     println!("  climb: {}", curve.join(" -> "));
 }

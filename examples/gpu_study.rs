@@ -26,7 +26,10 @@ fn main() {
         let mut best = (default, t_default);
         for &tpb in &[64u32, 128, 256, 512, 1024, 2048, 4096, 8192, 16384] {
             for &nb in &[14u32, 28, 56, 112, 224, 448, 896] {
-                let cfg = LaunchConfig { threads_per_block: tpb, num_blocks: nb };
+                let cfg = LaunchConfig {
+                    threads_per_block: tpb,
+                    num_blocks: nb,
+                };
                 let t = m.time(&k, cfg);
                 if t < best.1 {
                     best = (cfg, t);
@@ -39,21 +42,50 @@ fn main() {
         let best_tpb = [64u32, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
             .into_iter()
             .min_by(|&a, &b| {
-                let ta = m.time(&k, LaunchConfig { threads_per_block: a, ..default });
-                let tb = m.time(&k, LaunchConfig { threads_per_block: b, ..default });
+                let ta = m.time(
+                    &k,
+                    LaunchConfig {
+                        threads_per_block: a,
+                        ..default
+                    },
+                );
+                let tb = m.time(
+                    &k,
+                    LaunchConfig {
+                        threads_per_block: b,
+                        ..default
+                    },
+                );
                 ta.partial_cmp(&tb).unwrap()
             })
             .unwrap();
         let best_nb = [14u32, 28, 56, 112, 224, 448, 896]
             .into_iter()
             .min_by(|&a, &b| {
-                let ta = m.time(&k, LaunchConfig { threads_per_block: best_tpb, num_blocks: a });
-                let tb = m.time(&k, LaunchConfig { threads_per_block: best_tpb, num_blocks: b });
+                let ta = m.time(
+                    &k,
+                    LaunchConfig {
+                        threads_per_block: best_tpb,
+                        num_blocks: a,
+                    },
+                );
+                let tb = m.time(
+                    &k,
+                    LaunchConfig {
+                        threads_per_block: best_tpb,
+                        num_blocks: b,
+                    },
+                );
                 ta.partial_cmp(&tb).unwrap()
             })
             .unwrap();
-        let independent =
-            m.time(&k, LaunchConfig { threads_per_block: best_tpb, num_blocks: best_nb });
+        let independent = m.time(
+            &k,
+            LaunchConfig {
+                threads_per_block: best_tpb,
+                num_blocks: best_nb,
+            },
+        );
 
         let corun = m.corun_speedup(&k, default);
         println!("{}:", kind.name());

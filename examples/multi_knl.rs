@@ -23,8 +23,7 @@ fn main() {
     let g = nnrt::models::inception_v3(8).graph;
     for nodes in [1u32, 2, 4] {
         let report = ModelParallelTrainer::new(nodes).step(&g);
-        let avg: f64 =
-            report.avg_corunning.iter().sum::<f64>() / report.avg_corunning.len() as f64;
+        let avg: f64 = report.avg_corunning.iter().sum::<f64>() / report.avg_corunning.len() as f64;
         println!(
             "{nodes} partition(s): step {:6.1} ms (transfers {:.2} ms), avg co-running ops per node {:.2}",
             report.total_secs * 1e3,

@@ -42,13 +42,21 @@ fn main() {
     for wg in weight_grads {
         g.add_op(OpKind::ApplyAdam, Shape::vec1(1_327_104), &[wg]);
     }
-    println!("graph: {} ops, critical path {}", g.len(), g.critical_path_len());
+    println!(
+        "graph: {} ops, critical path {}",
+        g.len(),
+        g.critical_path_len()
+    );
 
     // 2. Baseline: the TensorFlow performance guide's recommendation.
     let catalog = OpCatalog::new(&g);
     let cost = KnlCostModel::knl();
-    let baseline = TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&g, &catalog, &cost);
-    println!("recommendation (inter=1, intra=68): {:.2} ms", baseline.total_secs * 1e3);
+    let baseline =
+        TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&g, &catalog, &cost);
+    println!(
+        "recommendation (inter=1, intra=68): {:.2} ms",
+        baseline.total_secs * 1e3
+    );
 
     // 3. Our runtime: profile with hill climbing, then schedule with
     //    Strategies 1-4.
@@ -59,16 +67,20 @@ fn main() {
         runtime.model().profiling_steps
     );
     let ours = runtime.run_step(&g);
-    println!("our runtime (Strategies 1-4):      {:.2} ms", ours.total_secs * 1e3);
     println!(
-        "speedup: {:.2}x",
-        baseline.total_secs / ours.total_secs
+        "our runtime (Strategies 1-4):      {:.2} ms",
+        ours.total_secs * 1e3
     );
+    println!("speedup: {:.2}x", baseline.total_secs / ours.total_secs);
 
     // 4. What the runtime decided, per op kind.
     println!("\nchosen intra-op parallelism per key:");
     for key in catalog.keys() {
         let (threads, mode) = runtime.plan().threads_for(key);
-        println!("  {:24} {}  -> {threads} threads ({mode:?})", key.0.to_string(), key.1);
+        println!(
+            "  {:24} {}  -> {threads} threads ({mode:?})",
+            key.0.to_string(),
+            key.1
+        );
     }
 }

@@ -21,12 +21,16 @@ fn main() {
     let cost = KnlCostModel::knl();
 
     // The baseline the paper compares against.
-    let rec = TfExecutor::new(TfExecutorConfig::recommendation())
-        .run_step(&spec.graph, &catalog, &cost);
+    let rec =
+        TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&spec.graph, &catalog, &cost);
     println!("recommendation step time: {:.0} ms", rec.total_secs * 1e3);
     println!("top op kinds under the recommendation:");
     for &(kind, secs, n) in rec.top_kinds(5) {
-        println!("  {:24} {:7.1} ms  ({n} instances)", kind.to_string(), secs * 1e3);
+        println!(
+            "  {:24} {:7.1} ms  ({n} instances)",
+            kind.to_string(),
+            secs * 1e3
+        );
     }
 
     // Profile once, then train: the profiling steps are a tiny fraction of a

@@ -58,8 +58,18 @@ impl Mlp {
         let w1 = Tensor::sequence(&[IN, HIDDEN], 0.2).data().to_vec();
         let w2 = Tensor::sequence(&[HIDDEN, CLASSES], 0.2).data().to_vec();
         Mlp {
-            m: [vec![0.0; w1.len()], vec![0.0; HIDDEN], vec![0.0; w2.len()], vec![0.0; CLASSES]],
-            v: [vec![0.0; w1.len()], vec![0.0; HIDDEN], vec![0.0; w2.len()], vec![0.0; CLASSES]],
+            m: [
+                vec![0.0; w1.len()],
+                vec![0.0; HIDDEN],
+                vec![0.0; w2.len()],
+                vec![0.0; CLASSES],
+            ],
+            v: [
+                vec![0.0; w1.len()],
+                vec![0.0; HIDDEN],
+                vec![0.0; w2.len()],
+                vec![0.0; CLASSES],
+            ],
             w1,
             b1: vec![0.0; HIDDEN],
             w2,
@@ -98,17 +108,67 @@ impl Mlp {
         matmul(threads, &dlogits, &w2_t, &mut dh, BATCH, CLASSES, HIDDEN);
         // Through ReLU: zero where the pre-activation was negative.
         let mut dh_masked = vec![0.0f32; BATCH * HIDDEN];
-        zip_map(threads, &dh, &h_pre, &mut dh_masked, |g, pre| if pre > 0.0 { g } else { 0.0 });
+        zip_map(threads, &dh, &h_pre, &mut dh_masked, |g, pre| {
+            if pre > 0.0 {
+                g
+            } else {
+                0.0
+            }
+        });
         let db1 = bias_add_grad(threads, &dh_masked, HIDDEN);
         let mut dw1 = vec![0.0f32; IN * HIDDEN];
         matmul_at_b(threads, x, &dh_masked, &mut dw1, IN, BATCH, HIDDEN);
 
         // Adam updates.
         let lr = 5e-3;
-        adam_step(threads, &mut self.w1, &dw1, &mut self.m[0], &mut self.v[0], lr, 0.9, 0.999, 1e-8, t);
-        adam_step(threads, &mut self.b1, &db1, &mut self.m[1], &mut self.v[1], lr, 0.9, 0.999, 1e-8, t);
-        adam_step(threads, &mut self.w2, &dw2, &mut self.m[2], &mut self.v[2], lr, 0.9, 0.999, 1e-8, t);
-        adam_step(threads, &mut self.b2, &db2, &mut self.m[3], &mut self.v[3], lr, 0.9, 0.999, 1e-8, t);
+        adam_step(
+            threads,
+            &mut self.w1,
+            &dw1,
+            &mut self.m[0],
+            &mut self.v[0],
+            lr,
+            0.9,
+            0.999,
+            1e-8,
+            t,
+        );
+        adam_step(
+            threads,
+            &mut self.b1,
+            &db1,
+            &mut self.m[1],
+            &mut self.v[1],
+            lr,
+            0.9,
+            0.999,
+            1e-8,
+            t,
+        );
+        adam_step(
+            threads,
+            &mut self.w2,
+            &dw2,
+            &mut self.m[2],
+            &mut self.v[2],
+            lr,
+            0.9,
+            0.999,
+            1e-8,
+            t,
+        );
+        adam_step(
+            threads,
+            &mut self.b2,
+            &db2,
+            &mut self.m[3],
+            &mut self.v[3],
+            lr,
+            0.9,
+            0.999,
+            1e-8,
+            t,
+        );
         loss
     }
 }
@@ -116,7 +176,9 @@ impl Mlp {
 fn main() {
     // Tune the step's thread count with the paper's hill climber on a
     // throwaway model (one step = one measurement).
-    let hw = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(2);
+    let hw = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(2);
     let (x0, y0) = make_batch(0);
     let tune = {
         let mut probe = Mlp::new();
@@ -150,6 +212,9 @@ fn main() {
     }
     let first = first.unwrap();
     println!("\nloss {first:.4} -> {last:.4}");
-    assert!(last < first * 0.5, "training must reduce the loss substantially");
+    assert!(
+        last < first * 0.5,
+        "training must reduce the loss substantially"
+    );
     println!("training works: real kernels, real gradients, tuned concurrency.");
 }

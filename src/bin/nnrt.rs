@@ -6,16 +6,27 @@
 //! nnrt grid <model> [batch]      uniform (inter, intra) grid sweep
 //! nnrt plan <model> [batch]      the thread plan Strategies 1+2 install
 //! nnrt trace <model> [batch]     write a chrome://tracing JSON of one step
+//! nnrt serve [jobs] [nodes] [seed]   multi-tenant fleet with a shared
+//!                                profile store; prints the fleet report
 //! nnrt gpu                       Section VII launch-config tuning + streams
 //! nnrt models                    list the built-in models
 //! ```
 //!
 //! Models: `resnet50` (batch 64), `dcgan` (64), `inception` (16), `lstm` (20),
 //! and beyond the paper: `transformer` (8).
+//!
+//! Exit codes: 0 success, 1 usage, 2 unknown command, 3 unknown model.
 
 use nnrt::prelude::*;
 use nnrt::sched::OpCatalog;
 use std::process::ExitCode;
+
+/// Usage or missing-argument error.
+const EXIT_USAGE: u8 = 1;
+/// The first argument names no known subcommand.
+const EXIT_UNKNOWN_COMMAND: u8 = 2;
+/// A model argument names no known model.
+const EXIT_UNKNOWN_MODEL: u8 = 3;
 
 fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
     let spec = match name {
@@ -29,12 +40,17 @@ fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
     Some(spec)
 }
 
+fn usage_text() -> String {
+    "usage: nnrt <compare|profile|grid|plan|trace> <model> [batch]\n       \
+     nnrt serve [jobs] [nodes] [seed]\n       \
+     nnrt gpu | nnrt models | nnrt --help\n\
+     models: resnet50, dcgan, inception, lstm, transformer"
+        .to_string()
+}
+
 fn usage() -> ExitCode {
-    eprintln!(
-        "usage: nnrt <compare|profile|grid|plan|trace> <model> [batch]\n       nnrt gpu | nnrt models\n\
-         models: resnet50, dcgan, inception, lstm, transformer"
-    );
-    ExitCode::FAILURE
+    eprintln!("{}", usage_text());
+    ExitCode::from(EXIT_USAGE)
 }
 
 fn main() -> ExitCode {
@@ -43,6 +59,10 @@ fn main() -> ExitCode {
         return usage();
     };
     match cmd {
+        "--help" | "-h" | "help" => {
+            println!("{}", usage_text());
+            ExitCode::SUCCESS
+        }
         "models" => {
             for m in nnrt::models::paper_models() {
                 println!(
@@ -89,18 +109,80 @@ fn main() -> ExitCode {
             );
             ExitCode::SUCCESS
         }
+        "serve" => {
+            let jobs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
+            let nodes: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2).max(1);
+            let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0xF1EE7);
+            run_serve(jobs, nodes, seed);
+            ExitCode::SUCCESS
+        }
         "compare" | "profile" | "grid" | "plan" | "trace" => {
-            let Some(name) = args.get(1) else { return usage() };
+            let Some(name) = args.get(1) else {
+                return usage();
+            };
             let batch = args.get(2).and_then(|b| b.parse().ok());
             let Some(spec) = model_by_name(name, batch) else {
                 eprintln!("unknown model '{name}'");
-                return usage();
+                eprintln!("{}", usage_text());
+                return ExitCode::from(EXIT_UNKNOWN_MODEL);
             };
             run_model_command(cmd, &spec);
             ExitCode::SUCCESS
         }
-        _ => usage(),
+        other => {
+            eprintln!("unknown command '{other}'");
+            eprintln!("{}", usage_text());
+            ExitCode::from(EXIT_UNKNOWN_COMMAND)
+        }
     }
+}
+
+/// `nnrt serve`: a mixed workload of the five models over a fleet of KNL
+/// nodes sharing one profile store. The first job of each model profiles
+/// cold; every later job of that model warm-starts from the store.
+fn run_serve(jobs: usize, nodes: u32, seed: u64) {
+    use nnrt::serve::{Fleet, FleetConfig, JobSpec};
+
+    // Small batches keep the simulated fleet quick while preserving the
+    // profile-sharing structure (keys depend on shapes, not step counts).
+    let workload = [
+        ("resnet50", resnet50(16)),
+        ("dcgan", dcgan(16)),
+        ("inception", inception_v3(4)),
+        ("lstm", lstm(8)),
+        ("transformer", nnrt::models::transformer(4)),
+    ];
+    let config = FleetConfig {
+        node_count: nodes,
+        seed,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(config);
+    println!(
+        "serving {jobs} jobs over {nodes} node(s), seed {seed:#x} \
+         (mixed workload: {})",
+        workload
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join("+")
+    );
+    for i in 0..jobs {
+        let (model, spec) = &workload[i % workload.len()];
+        let job = JobSpec {
+            name: format!("{model}-{i}"),
+            model: model.to_string(),
+            graph: spec.graph.clone(),
+            steps: 3,
+            priority: (i % 3) as u8,
+            weight: 1.0 + (i % 4) as f64,
+        };
+        if let Err(e) = fleet.submit(job) {
+            eprintln!("rejected {model}-{i}: {e}");
+        }
+    }
+    let report = fleet.run();
+    print!("{}", report.render());
 }
 
 fn run_model_command(cmd: &str, spec: &ModelSpec) {
@@ -108,11 +190,19 @@ fn run_model_command(cmd: &str, spec: &ModelSpec) {
     let cost = KnlCostModel::knl();
     match cmd {
         "compare" => {
-            let rec = TfExecutor::new(TfExecutorConfig::recommendation())
-                .run_step(&spec.graph, &catalog, &cost);
+            let rec = TfExecutor::new(TfExecutorConfig::recommendation()).run_step(
+                &spec.graph,
+                &catalog,
+                &cost,
+            );
             let rt = Runtime::prepare(&spec.graph, cost, RuntimeConfig::default());
             let ours = rt.run_step(&spec.graph);
-            println!("{} (batch {}): {} ops", spec.name, spec.batch, spec.graph.len());
+            println!(
+                "{} (batch {}): {} ops",
+                spec.name,
+                spec.batch,
+                spec.graph.len()
+            );
             println!("  recommendation (1, 68): {:8.1} ms", rec.total_secs * 1e3);
             println!(
                 "  strategies 1-4:         {:8.1} ms   ({:.2}x)",
@@ -161,9 +251,12 @@ fn run_model_command(cmd: &str, spec: &ModelSpec) {
             println!("{:>6} {:>6} {:>9}", "inter", "intra", "speedup");
             for inter in [1u32, 2, 4] {
                 for intra in [16u32, 34, 68, 136] {
-                    let t = TfExecutor::new(TfExecutorConfig { inter_op: inter, intra_op: intra })
-                        .run_step(&spec.graph, &catalog, &cost)
-                        .total_secs;
+                    let t = TfExecutor::new(TfExecutorConfig {
+                        inter_op: inter,
+                        intra_op: intra,
+                    })
+                    .run_step(&spec.graph, &catalog, &cost)
+                    .total_secs;
                     println!("{inter:>6} {intra:>6} {:>8.2}x", rec / t);
                 }
             }
@@ -184,14 +277,20 @@ fn run_model_command(cmd: &str, spec: &ModelSpec) {
         }
         "plan" => {
             let rt = Runtime::prepare(&spec.graph, cost, RuntimeConfig::default());
-            println!("{}: Strategy 1+2 thread plan (per kind, largest instance):", spec.name);
+            println!(
+                "{}: Strategy 1+2 thread plan (per kind, largest instance):",
+                spec.name
+            );
             let mut seen = std::collections::BTreeSet::new();
             for key in catalog.keys() {
                 if !key.0.is_tunable() || !seen.insert(key.0) {
                     continue;
                 }
                 let (threads, mode) = rt.plan().threads_for(key);
-                println!("  {:24} -> {threads:2} threads ({mode:?})", key.0.to_string());
+                println!(
+                    "  {:24} -> {threads:2} threads ({mode:?})",
+                    key.0.to_string()
+                );
             }
             println!("  (non-MKL kinds stay at the framework default of 68)");
         }

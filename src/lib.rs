@@ -20,6 +20,8 @@
 //! * [`gpu`] — the Section VII preliminary-study GPU simulator.
 //! * [`cluster`] — multi-KNL data/model parallelism (the paper's Section V,
 //!   implemented rather than left as future work).
+//! * [`serve`] — multi-tenant training-job service: admission, placement,
+//!   and a shared persistent profile store for warm-started jobs.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -32,6 +34,7 @@ pub use nnrt_manycore as manycore;
 pub use nnrt_models as models;
 pub use nnrt_regress as regress;
 pub use nnrt_sched as sched;
+pub use nnrt_serve as serve;
 
 /// Commonly used items, re-exported flat.
 pub mod prelude {

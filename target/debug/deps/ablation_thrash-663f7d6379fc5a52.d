@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_thrash-663f7d6379fc5a52.d: crates/bench/benches/ablation_thrash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_thrash-663f7d6379fc5a52.rmeta: crates/bench/benches/ablation_thrash.rs Cargo.toml
+
+crates/bench/benches/ablation_thrash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_threshold-2e0bae199182b1bd.d: crates/bench/benches/ablation_threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_threshold-2e0bae199182b1bd.rmeta: crates/bench/benches/ablation_threshold.rs Cargo.toml
+
+crates/bench/benches/ablation_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

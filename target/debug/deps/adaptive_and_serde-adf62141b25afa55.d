@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_and_serde-adf62141b25afa55.d: tests/adaptive_and_serde.rs
+
+/root/repo/target/debug/deps/adaptive_and_serde-adf62141b25afa55: tests/adaptive_and_serde.rs
+
+tests/adaptive_and_serde.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_and_serde-d5a458cdc59d3b59.d: tests/adaptive_and_serde.rs
+
+/root/repo/target/debug/deps/adaptive_and_serde-d5a458cdc59d3b59: tests/adaptive_and_serde.rs
+
+tests/adaptive_and_serde.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-8ddecb1adc259e9c.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-8ddecb1adc259e9c: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-b7174fd0924077b0.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-b7174fd0924077b0: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_ablation-031a0e577ecf89bd.d: crates/bench/benches/fig3_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_ablation-031a0e577ecf89bd.rmeta: crates/bench/benches/fig3_ablation.rs Cargo.toml
+
+crates/bench/benches/fig3_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-513136a84f6e7c08.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-513136a84f6e7c08: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

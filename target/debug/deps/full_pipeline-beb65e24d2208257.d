@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-beb65e24d2208257.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-beb65e24d2208257: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_criterion-7fd8abe723c778b0.d: crates/bench/benches/micro_criterion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_criterion-7fd8abe723c778b0.rmeta: crates/bench/benches/micro_criterion.rs Cargo.toml
+
+crates/bench/benches/micro_criterion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nnrt-13f1a6d8123f1c45.d: src/bin/nnrt.rs
+
+/root/repo/target/debug/deps/nnrt-13f1a6d8123f1c45: src/bin/nnrt.rs
+
+src/bin/nnrt.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nnrt-4d65495fd5fcbdf5.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnnrt-4d65495fd5fcbdf5.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnnrt-4d65495fd5fcbdf5.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nnrt-4f67ee6c11e3cd75.d: src/bin/nnrt.rs
+
+/root/repo/target/debug/deps/nnrt-4f67ee6c11e3cd75: src/bin/nnrt.rs
+
+src/bin/nnrt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nnrt-7ba1df0cc50047a9.d: src/bin/nnrt.rs
+
+/root/repo/target/debug/deps/nnrt-7ba1df0cc50047a9: src/bin/nnrt.rs
+
+src/bin/nnrt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nnrt-7c3be13aafcac678.d: src/lib.rs
+
+/root/repo/target/debug/deps/nnrt-7c3be13aafcac678: src/lib.rs
+
+src/lib.rs:

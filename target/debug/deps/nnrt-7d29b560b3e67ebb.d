@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nnrt-7d29b560b3e67ebb.d: src/bin/nnrt.rs
+
+/root/repo/target/debug/deps/nnrt-7d29b560b3e67ebb: src/bin/nnrt.rs
+
+src/bin/nnrt.rs:

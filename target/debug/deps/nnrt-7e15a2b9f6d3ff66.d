@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nnrt-7e15a2b9f6d3ff66.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnnrt-7e15a2b9f6d3ff66.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnnrt-7e15a2b9f6d3ff66.rmeta: src/lib.rs
+
+src/lib.rs:

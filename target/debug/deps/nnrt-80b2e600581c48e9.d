@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nnrt-80b2e600581c48e9.d: src/bin/nnrt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt-80b2e600581c48e9.rmeta: src/bin/nnrt.rs Cargo.toml
+
+src/bin/nnrt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

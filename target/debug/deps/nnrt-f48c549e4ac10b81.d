@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nnrt-f48c549e4ac10b81.d: src/lib.rs
+
+/root/repo/target/debug/deps/nnrt-f48c549e4ac10b81: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nnrt-f7bd043df5d27b16.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt-f7bd043df5d27b16.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nnrt_bench-ed9df36de94d1d7a.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libnnrt_bench-ed9df36de94d1d7a.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libnnrt_bench-ed9df36de94d1d7a.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/record.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nnrt_cluster-54d79e628e00785e.d: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_cluster-54d79e628e00785e.rmeta: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/data_parallel.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/model_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nnrt_cluster-5e9d56671e33fe8f.d: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+/root/repo/target/debug/deps/nnrt_cluster-5e9d56671e33fe8f: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/data_parallel.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/model_parallel.rs:

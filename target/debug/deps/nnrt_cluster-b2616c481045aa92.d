@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nnrt_cluster-b2616c481045aa92.d: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+/root/repo/target/debug/deps/libnnrt_cluster-b2616c481045aa92.rlib: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+/root/repo/target/debug/deps/libnnrt_cluster-b2616c481045aa92.rmeta: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/data_parallel.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/model_parallel.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nnrt_cluster-c1b0a6e8e738973d.d: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_cluster-c1b0a6e8e738973d.rmeta: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs Cargo.toml
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/data_parallel.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/model_parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nnrt_counters-6f792645097be91b.d: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+/root/repo/target/debug/deps/nnrt_counters-6f792645097be91b: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+crates/counters/src/lib.rs:
+crates/counters/src/events.rs:
+crates/counters/src/features.rs:
+crates/counters/src/sampler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nnrt_counters-76c0f7c4d1fed5e4.d: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_counters-76c0f7c4d1fed5e4.rmeta: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs Cargo.toml
+
+crates/counters/src/lib.rs:
+crates/counters/src/events.rs:
+crates/counters/src/features.rs:
+crates/counters/src/sampler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nnrt_counters-fdfe722ac6f3789f.d: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+/root/repo/target/debug/deps/libnnrt_counters-fdfe722ac6f3789f.rlib: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+/root/repo/target/debug/deps/libnnrt_counters-fdfe722ac6f3789f.rmeta: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+crates/counters/src/lib.rs:
+crates/counters/src/events.rs:
+crates/counters/src/features.rs:
+crates/counters/src/sampler.rs:

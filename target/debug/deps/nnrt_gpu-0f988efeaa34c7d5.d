@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nnrt_gpu-0f988efeaa34c7d5.d: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+/root/repo/target/debug/deps/libnnrt_gpu-0f988efeaa34c7d5.rlib: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+/root/repo/target/debug/deps/libnnrt_gpu-0f988efeaa34c7d5.rmeta: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/model.rs:
+crates/gpu/src/ops.rs:
+crates/gpu/src/streams.rs:
+crates/gpu/src/tuner.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nnrt_gpu-72c89029d4078f49.d: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+/root/repo/target/debug/deps/nnrt_gpu-72c89029d4078f49: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/model.rs:
+crates/gpu/src/ops.rs:
+crates/gpu/src/streams.rs:
+crates/gpu/src/tuner.rs:

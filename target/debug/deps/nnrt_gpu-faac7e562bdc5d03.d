@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nnrt_gpu-faac7e562bdc5d03.d: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_gpu-faac7e562bdc5d03.rmeta: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs Cargo.toml
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/model.rs:
+crates/gpu/src/ops.rs:
+crates/gpu/src/streams.rs:
+crates/gpu/src/tuner.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nnrt_graph-d06b031b02b652f7.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+/root/repo/target/debug/deps/nnrt_graph-d06b031b02b652f7: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ops.rs:
+crates/graph/src/profile.rs:
+crates/graph/src/shape.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nnrt_graph-dd48950308baec4d.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+/root/repo/target/debug/deps/libnnrt_graph-dd48950308baec4d.rlib: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+/root/repo/target/debug/deps/libnnrt_graph-dd48950308baec4d.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ops.rs:
+crates/graph/src/profile.rs:
+crates/graph/src/shape.rs:

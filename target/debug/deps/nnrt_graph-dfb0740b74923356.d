@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nnrt_graph-dfb0740b74923356.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_graph-dfb0740b74923356.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs Cargo.toml
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ops.rs:
+crates/graph/src/profile.rs:
+crates/graph/src/shape.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

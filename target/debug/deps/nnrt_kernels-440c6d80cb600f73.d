@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/nnrt_kernels-440c6d80cb600f73.d: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/batchnorm.rs crates/kernels/src/conv.rs crates/kernels/src/elementwise.rs crates/kernels/src/im2col.rs crates/kernels/src/matmul.rs crates/kernels/src/pool.rs crates/kernels/src/pooling.rs crates/kernels/src/softmax.rs crates/kernels/src/tensor.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_kernels-440c6d80cb600f73.rmeta: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/batchnorm.rs crates/kernels/src/conv.rs crates/kernels/src/elementwise.rs crates/kernels/src/im2col.rs crates/kernels/src/matmul.rs crates/kernels/src/pool.rs crates/kernels/src/pooling.rs crates/kernels/src/softmax.rs crates/kernels/src/tensor.rs Cargo.toml
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autotune.rs:
+crates/kernels/src/batchnorm.rs:
+crates/kernels/src/conv.rs:
+crates/kernels/src/elementwise.rs:
+crates/kernels/src/im2col.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/pool.rs:
+crates/kernels/src/pooling.rs:
+crates/kernels/src/softmax.rs:
+crates/kernels/src/tensor.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

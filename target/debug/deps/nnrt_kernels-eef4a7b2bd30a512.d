@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/nnrt_kernels-eef4a7b2bd30a512.d: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/batchnorm.rs crates/kernels/src/conv.rs crates/kernels/src/elementwise.rs crates/kernels/src/im2col.rs crates/kernels/src/matmul.rs crates/kernels/src/pool.rs crates/kernels/src/pooling.rs crates/kernels/src/softmax.rs crates/kernels/src/tensor.rs
+
+/root/repo/target/debug/deps/nnrt_kernels-eef4a7b2bd30a512: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/batchnorm.rs crates/kernels/src/conv.rs crates/kernels/src/elementwise.rs crates/kernels/src/im2col.rs crates/kernels/src/matmul.rs crates/kernels/src/pool.rs crates/kernels/src/pooling.rs crates/kernels/src/softmax.rs crates/kernels/src/tensor.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autotune.rs:
+crates/kernels/src/batchnorm.rs:
+crates/kernels/src/conv.rs:
+crates/kernels/src/elementwise.rs:
+crates/kernels/src/im2col.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/pool.rs:
+crates/kernels/src/pooling.rs:
+crates/kernels/src/softmax.rs:
+crates/kernels/src/tensor.rs:

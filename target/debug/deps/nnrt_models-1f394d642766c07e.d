@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nnrt_models-1f394d642766c07e.d: crates/models/src/lib.rs crates/models/src/common.rs crates/models/src/datasets.rs crates/models/src/dcgan.rs crates/models/src/inception.rs crates/models/src/lstm.rs crates/models/src/resnet.rs crates/models/src/transformer.rs
+
+/root/repo/target/debug/deps/libnnrt_models-1f394d642766c07e.rlib: crates/models/src/lib.rs crates/models/src/common.rs crates/models/src/datasets.rs crates/models/src/dcgan.rs crates/models/src/inception.rs crates/models/src/lstm.rs crates/models/src/resnet.rs crates/models/src/transformer.rs
+
+/root/repo/target/debug/deps/libnnrt_models-1f394d642766c07e.rmeta: crates/models/src/lib.rs crates/models/src/common.rs crates/models/src/datasets.rs crates/models/src/dcgan.rs crates/models/src/inception.rs crates/models/src/lstm.rs crates/models/src/resnet.rs crates/models/src/transformer.rs
+
+crates/models/src/lib.rs:
+crates/models/src/common.rs:
+crates/models/src/datasets.rs:
+crates/models/src/dcgan.rs:
+crates/models/src/inception.rs:
+crates/models/src/lstm.rs:
+crates/models/src/resnet.rs:
+crates/models/src/transformer.rs:

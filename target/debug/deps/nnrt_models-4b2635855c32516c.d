@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nnrt_models-4b2635855c32516c.d: crates/models/src/lib.rs crates/models/src/common.rs crates/models/src/datasets.rs crates/models/src/dcgan.rs crates/models/src/inception.rs crates/models/src/lstm.rs crates/models/src/resnet.rs crates/models/src/transformer.rs
+
+/root/repo/target/debug/deps/nnrt_models-4b2635855c32516c: crates/models/src/lib.rs crates/models/src/common.rs crates/models/src/datasets.rs crates/models/src/dcgan.rs crates/models/src/inception.rs crates/models/src/lstm.rs crates/models/src/resnet.rs crates/models/src/transformer.rs
+
+crates/models/src/lib.rs:
+crates/models/src/common.rs:
+crates/models/src/datasets.rs:
+crates/models/src/dcgan.rs:
+crates/models/src/inception.rs:
+crates/models/src/lstm.rs:
+crates/models/src/resnet.rs:
+crates/models/src/transformer.rs:

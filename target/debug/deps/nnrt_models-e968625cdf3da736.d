@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nnrt_models-e968625cdf3da736.d: crates/models/src/lib.rs crates/models/src/common.rs crates/models/src/datasets.rs crates/models/src/dcgan.rs crates/models/src/inception.rs crates/models/src/lstm.rs crates/models/src/resnet.rs crates/models/src/transformer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_models-e968625cdf3da736.rmeta: crates/models/src/lib.rs crates/models/src/common.rs crates/models/src/datasets.rs crates/models/src/dcgan.rs crates/models/src/inception.rs crates/models/src/lstm.rs crates/models/src/resnet.rs crates/models/src/transformer.rs Cargo.toml
+
+crates/models/src/lib.rs:
+crates/models/src/common.rs:
+crates/models/src/datasets.rs:
+crates/models/src/dcgan.rs:
+crates/models/src/inception.rs:
+crates/models/src/lstm.rs:
+crates/models/src/resnet.rs:
+crates/models/src/transformer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

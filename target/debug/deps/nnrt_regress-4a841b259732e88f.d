@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/nnrt_regress-4a841b259732e88f.d: crates/regress/src/lib.rs crates/regress/src/feature_select.rs crates/regress/src/gbrt.rs crates/regress/src/knn.rs crates/regress/src/linalg.rs crates/regress/src/metrics.rs crates/regress/src/ols.rs crates/regress/src/par.rs crates/regress/src/theilsen.rs crates/regress/src/tree.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_regress-4a841b259732e88f.rmeta: crates/regress/src/lib.rs crates/regress/src/feature_select.rs crates/regress/src/gbrt.rs crates/regress/src/knn.rs crates/regress/src/linalg.rs crates/regress/src/metrics.rs crates/regress/src/ols.rs crates/regress/src/par.rs crates/regress/src/theilsen.rs crates/regress/src/tree.rs Cargo.toml
+
+crates/regress/src/lib.rs:
+crates/regress/src/feature_select.rs:
+crates/regress/src/gbrt.rs:
+crates/regress/src/knn.rs:
+crates/regress/src/linalg.rs:
+crates/regress/src/metrics.rs:
+crates/regress/src/ols.rs:
+crates/regress/src/par.rs:
+crates/regress/src/theilsen.rs:
+crates/regress/src/tree.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

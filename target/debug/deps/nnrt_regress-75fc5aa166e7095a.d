@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nnrt_regress-75fc5aa166e7095a.d: crates/regress/src/lib.rs crates/regress/src/feature_select.rs crates/regress/src/gbrt.rs crates/regress/src/knn.rs crates/regress/src/linalg.rs crates/regress/src/metrics.rs crates/regress/src/ols.rs crates/regress/src/par.rs crates/regress/src/theilsen.rs crates/regress/src/tree.rs
+
+/root/repo/target/debug/deps/nnrt_regress-75fc5aa166e7095a: crates/regress/src/lib.rs crates/regress/src/feature_select.rs crates/regress/src/gbrt.rs crates/regress/src/knn.rs crates/regress/src/linalg.rs crates/regress/src/metrics.rs crates/regress/src/ols.rs crates/regress/src/par.rs crates/regress/src/theilsen.rs crates/regress/src/tree.rs
+
+crates/regress/src/lib.rs:
+crates/regress/src/feature_select.rs:
+crates/regress/src/gbrt.rs:
+crates/regress/src/knn.rs:
+crates/regress/src/linalg.rs:
+crates/regress/src/metrics.rs:
+crates/regress/src/ols.rs:
+crates/regress/src/par.rs:
+crates/regress/src/theilsen.rs:
+crates/regress/src/tree.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nnrt_regress-bb102ba00b30ce9f.d: crates/regress/src/lib.rs crates/regress/src/feature_select.rs crates/regress/src/gbrt.rs crates/regress/src/knn.rs crates/regress/src/linalg.rs crates/regress/src/metrics.rs crates/regress/src/ols.rs crates/regress/src/par.rs crates/regress/src/theilsen.rs crates/regress/src/tree.rs
+
+/root/repo/target/debug/deps/libnnrt_regress-bb102ba00b30ce9f.rlib: crates/regress/src/lib.rs crates/regress/src/feature_select.rs crates/regress/src/gbrt.rs crates/regress/src/knn.rs crates/regress/src/linalg.rs crates/regress/src/metrics.rs crates/regress/src/ols.rs crates/regress/src/par.rs crates/regress/src/theilsen.rs crates/regress/src/tree.rs
+
+/root/repo/target/debug/deps/libnnrt_regress-bb102ba00b30ce9f.rmeta: crates/regress/src/lib.rs crates/regress/src/feature_select.rs crates/regress/src/gbrt.rs crates/regress/src/knn.rs crates/regress/src/linalg.rs crates/regress/src/metrics.rs crates/regress/src/ols.rs crates/regress/src/par.rs crates/regress/src/theilsen.rs crates/regress/src/tree.rs
+
+crates/regress/src/lib.rs:
+crates/regress/src/feature_select.rs:
+crates/regress/src/gbrt.rs:
+crates/regress/src/knn.rs:
+crates/regress/src/linalg.rs:
+crates/regress/src/metrics.rs:
+crates/regress/src/ols.rs:
+crates/regress/src/par.rs:
+crates/regress/src/theilsen.rs:
+crates/regress/src/tree.rs:

@@ -1,0 +1,20 @@
+/root/repo/target/debug/deps/nnrt_sched-2701ba03256f66c1.d: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/feedback.rs crates/core/src/hillclimb.rs crates/core/src/measure.rs crates/core/src/oracle.rs crates/core/src/plan.rs crates/core/src/regmodel.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/tf_baseline.rs crates/core/src/trace.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_sched-2701ba03256f66c1.rmeta: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/feedback.rs crates/core/src/hillclimb.rs crates/core/src/measure.rs crates/core/src/oracle.rs crates/core/src/plan.rs crates/core/src/regmodel.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/tf_baseline.rs crates/core/src/trace.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/exec.rs:
+crates/core/src/feedback.rs:
+crates/core/src/hillclimb.rs:
+crates/core/src/measure.rs:
+crates/core/src/oracle.rs:
+crates/core/src/plan.rs:
+crates/core/src/regmodel.rs:
+crates/core/src/runtime.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/tf_baseline.rs:
+crates/core/src/trace.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

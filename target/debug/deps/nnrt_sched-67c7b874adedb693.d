@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/nnrt_sched-67c7b874adedb693.d: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/feedback.rs crates/core/src/hillclimb.rs crates/core/src/measure.rs crates/core/src/oracle.rs crates/core/src/plan.rs crates/core/src/regmodel.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/tf_baseline.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/nnrt_sched-67c7b874adedb693: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/feedback.rs crates/core/src/hillclimb.rs crates/core/src/measure.rs crates/core/src/oracle.rs crates/core/src/plan.rs crates/core/src/regmodel.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/tf_baseline.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exec.rs:
+crates/core/src/feedback.rs:
+crates/core/src/hillclimb.rs:
+crates/core/src/measure.rs:
+crates/core/src/oracle.rs:
+crates/core/src/plan.rs:
+crates/core/src/regmodel.rs:
+crates/core/src/runtime.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/tf_baseline.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/nnrt_sched-f40a231eea21312e.d: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/feedback.rs crates/core/src/hillclimb.rs crates/core/src/measure.rs crates/core/src/oracle.rs crates/core/src/plan.rs crates/core/src/regmodel.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/tf_baseline.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libnnrt_sched-f40a231eea21312e.rlib: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/feedback.rs crates/core/src/hillclimb.rs crates/core/src/measure.rs crates/core/src/oracle.rs crates/core/src/plan.rs crates/core/src/regmodel.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/tf_baseline.rs crates/core/src/trace.rs
+
+/root/repo/target/debug/deps/libnnrt_sched-f40a231eea21312e.rmeta: crates/core/src/lib.rs crates/core/src/exec.rs crates/core/src/feedback.rs crates/core/src/hillclimb.rs crates/core/src/measure.rs crates/core/src/oracle.rs crates/core/src/plan.rs crates/core/src/regmodel.rs crates/core/src/runtime.rs crates/core/src/scheduler.rs crates/core/src/tf_baseline.rs crates/core/src/trace.rs
+
+crates/core/src/lib.rs:
+crates/core/src/exec.rs:
+crates/core/src/feedback.rs:
+crates/core/src/hillclimb.rs:
+crates/core/src/measure.rs:
+crates/core/src/oracle.rs:
+crates/core/src/plan.rs:
+crates/core/src/regmodel.rs:
+crates/core/src/runtime.rs:
+crates/core/src/scheduler.rs:
+crates/core/src/tf_baseline.rs:
+crates/core/src/trace.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-0e7990e4ab8bed4c.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-0e7990e4ab8bed4c: tests/property_invariants.rs
+
+tests/property_invariants.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-7c2df4c689e743ec.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-7c2df4c689e743ec: tests/property_invariants.rs
+
+tests/property_invariants.rs:

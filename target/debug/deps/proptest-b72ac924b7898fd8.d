@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-b72ac924b7898fd8.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/proptest-b72ac924b7898fd8: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/proptest-f4e67595c400640b.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f4e67595c400640b.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-f4e67595c400640b.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_cost_engine-21a50f1524f98517.d: crates/manycore/tests/proptest_cost_engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_cost_engine-21a50f1524f98517.rmeta: crates/manycore/tests/proptest_cost_engine.rs Cargo.toml
+
+crates/manycore/tests/proptest_cost_engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_cost_engine-ead1ca34875d7f50.d: crates/manycore/tests/proptest_cost_engine.rs
+
+/root/repo/target/debug/deps/proptest_cost_engine-ead1ca34875d7f50: crates/manycore/tests/proptest_cost_engine.rs
+
+crates/manycore/tests/proptest_cost_engine.rs:

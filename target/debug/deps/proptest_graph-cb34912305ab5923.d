@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_graph-cb34912305ab5923.d: crates/graph/tests/proptest_graph.rs
+
+/root/repo/target/debug/deps/proptest_graph-cb34912305ab5923: crates/graph/tests/proptest_graph.rs
+
+crates/graph/tests/proptest_graph.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_kernels-29a5cd31c75d7c6e.d: crates/kernels/tests/proptest_kernels.rs
+
+/root/repo/target/debug/deps/proptest_kernels-29a5cd31c75d7c6e: crates/kernels/tests/proptest_kernels.rs
+
+crates/kernels/tests/proptest_kernels.rs:

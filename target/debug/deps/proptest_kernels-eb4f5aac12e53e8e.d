@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_kernels-eb4f5aac12e53e8e.d: crates/kernels/tests/proptest_kernels.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_kernels-eb4f5aac12e53e8e.rmeta: crates/kernels/tests/proptest_kernels.rs Cargo.toml
+
+crates/kernels/tests/proptest_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_regressors-b154a7f7abe7c7b0.d: crates/regress/tests/proptest_regressors.rs
+
+/root/repo/target/debug/deps/proptest_regressors-b154a7f7abe7c7b0: crates/regress/tests/proptest_regressors.rs
+
+crates/regress/tests/proptest_regressors.rs:

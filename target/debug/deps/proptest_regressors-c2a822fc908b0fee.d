@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_regressors-c2a822fc908b0fee.d: crates/regress/tests/proptest_regressors.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_regressors-c2a822fc908b0fee.rmeta: crates/regress/tests/proptest_regressors.rs Cargo.toml
+
+crates/regress/tests/proptest_regressors.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest_sched-1d6284ba190b1b1e.d: crates/core/tests/proptest_sched.rs
+
+/root/repo/target/debug/deps/proptest_sched-1d6284ba190b1b1e: crates/core/tests/proptest_sched.rs
+
+crates/core/tests/proptest_sched.rs:

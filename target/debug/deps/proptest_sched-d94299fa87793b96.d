@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/proptest_sched-d94299fa87793b96.d: crates/core/tests/proptest_sched.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproptest_sched-d94299fa87793b96.rmeta: crates/core/tests/proptest_sched.rs Cargo.toml
+
+crates/core/tests/proptest_sched.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

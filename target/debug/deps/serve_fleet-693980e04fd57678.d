@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_fleet-693980e04fd57678.d: tests/serve_fleet.rs
+
+/root/repo/target/debug/deps/serve_fleet-693980e04fd57678: tests/serve_fleet.rs
+
+tests/serve_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_fleet-ba15066894c4ee46.d: tests/serve_fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_fleet-ba15066894c4ee46.rmeta: tests/serve_fleet.rs Cargo.toml
+
+tests/serve_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/small_machines-81100c155c8b7b30.d: tests/small_machines.rs
+
+/root/repo/target/debug/deps/small_machines-81100c155c8b7b30: tests/small_machines.rs
+
+tests/small_machines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/small_machines-f8bee2116117ddeb.d: tests/small_machines.rs
+
+/root/repo/target/debug/deps/small_machines-f8bee2116117ddeb: tests/small_machines.rs
+
+tests/small_machines.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_kernels-46d8b0dfe012e28d.d: examples/autotune_kernels.rs
+
+/root/repo/target/debug/examples/autotune_kernels-46d8b0dfe012e28d: examples/autotune_kernels.rs
+
+examples/autotune_kernels.rs:

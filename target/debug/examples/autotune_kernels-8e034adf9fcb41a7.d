@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_kernels-8e034adf9fcb41a7.d: examples/autotune_kernels.rs
+
+/root/repo/target/debug/examples/autotune_kernels-8e034adf9fcb41a7: examples/autotune_kernels.rs
+
+examples/autotune_kernels.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_study-ab9ab73918207f38.d: examples/gpu_study.rs
+
+/root/repo/target/debug/examples/gpu_study-ab9ab73918207f38: examples/gpu_study.rs
+
+examples/gpu_study.rs:

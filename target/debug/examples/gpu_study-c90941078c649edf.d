@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_study-c90941078c649edf.d: examples/gpu_study.rs
+
+/root/repo/target/debug/examples/gpu_study-c90941078c649edf: examples/gpu_study.rs
+
+examples/gpu_study.rs:

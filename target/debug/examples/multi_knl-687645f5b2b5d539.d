@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_knl-687645f5b2b5d539.d: examples/multi_knl.rs
+
+/root/repo/target/debug/examples/multi_knl-687645f5b2b5d539: examples/multi_knl.rs
+
+examples/multi_knl.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_knl-d9d3541b43b00947.d: examples/multi_knl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_knl-d9d3541b43b00947.rmeta: examples/multi_knl.rs Cargo.toml
+
+examples/multi_knl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

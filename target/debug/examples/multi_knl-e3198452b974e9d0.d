@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_knl-e3198452b974e9d0.d: examples/multi_knl.rs
+
+/root/repo/target/debug/examples/multi_knl-e3198452b974e9d0: examples/multi_knl.rs
+
+examples/multi_knl.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/probe_mp-3689a15de1f410e3.d: crates/cluster/examples/probe_mp.rs
+
+/root/repo/target/debug/examples/probe_mp-3689a15de1f410e3: crates/cluster/examples/probe_mp.rs
+
+crates/cluster/examples/probe_mp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-0e15535dd618cba3.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-0e15535dd618cba3: examples/quickstart.rs
+
+examples/quickstart.rs:

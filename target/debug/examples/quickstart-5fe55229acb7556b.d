@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-5fe55229acb7556b.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-5fe55229acb7556b: examples/quickstart.rs
+
+examples/quickstart.rs:

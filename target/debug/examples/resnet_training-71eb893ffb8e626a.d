@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resnet_training-71eb893ffb8e626a.d: examples/resnet_training.rs
+
+/root/repo/target/debug/examples/resnet_training-71eb893ffb8e626a: examples/resnet_training.rs
+
+examples/resnet_training.rs:

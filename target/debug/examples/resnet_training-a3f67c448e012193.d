@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resnet_training-a3f67c448e012193.d: examples/resnet_training.rs
+
+/root/repo/target/debug/examples/resnet_training-a3f67c448e012193: examples/resnet_training.rs
+
+examples/resnet_training.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sizes-121daa64a8df90c7.d: crates/models/examples/sizes.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsizes-121daa64a8df90c7.rmeta: crates/models/examples/sizes.rs Cargo.toml
+
+crates/models/examples/sizes.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

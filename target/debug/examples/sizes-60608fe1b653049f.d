@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sizes-60608fe1b653049f.d: crates/models/examples/sizes.rs
+
+/root/repo/target/debug/examples/sizes-60608fe1b653049f: crates/models/examples/sizes.rs
+
+crates/models/examples/sizes.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_mlp-47be2909ce9755b8.d: examples/train_mlp.rs
+
+/root/repo/target/debug/examples/train_mlp-47be2909ce9755b8: examples/train_mlp.rs
+
+examples/train_mlp.rs:

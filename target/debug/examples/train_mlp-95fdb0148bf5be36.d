@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_mlp-95fdb0148bf5be36.d: examples/train_mlp.rs
+
+/root/repo/target/debug/examples/train_mlp-95fdb0148bf5be36: examples/train_mlp.rs
+
+examples/train_mlp.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-3f50d8899e45f4a7.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-3f50d8899e45f4a7: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

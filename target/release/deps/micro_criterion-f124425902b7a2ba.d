@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro_criterion-f124425902b7a2ba.d: crates/bench/benches/micro_criterion.rs
+
+/root/repo/target/release/deps/micro_criterion-f124425902b7a2ba: crates/bench/benches/micro_criterion.rs
+
+crates/bench/benches/micro_criterion.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nnrt-640b2bdff1d98316.d: src/lib.rs
+
+/root/repo/target/release/deps/libnnrt-640b2bdff1d98316.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnnrt-640b2bdff1d98316.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nnrt-81a781979baaba65.d: src/lib.rs
+
+/root/repo/target/release/deps/libnnrt-81a781979baaba65.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnnrt-81a781979baaba65.rmeta: src/lib.rs
+
+src/lib.rs:

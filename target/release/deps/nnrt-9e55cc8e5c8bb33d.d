@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nnrt-9e55cc8e5c8bb33d.d: src/bin/nnrt.rs
+
+/root/repo/target/release/deps/nnrt-9e55cc8e5c8bb33d: src/bin/nnrt.rs
+
+src/bin/nnrt.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nnrt-a0e38bb2d2ed60b9.d: src/bin/nnrt.rs
+
+/root/repo/target/release/deps/nnrt-a0e38bb2d2ed60b9: src/bin/nnrt.rs
+
+src/bin/nnrt.rs:

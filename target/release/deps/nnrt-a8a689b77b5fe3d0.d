@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nnrt-a8a689b77b5fe3d0.d: src/lib.rs
+
+/root/repo/target/release/deps/libnnrt-a8a689b77b5fe3d0.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnnrt-a8a689b77b5fe3d0.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nnrt-aca1bb6b8ad8d0e4.d: src/lib.rs
+
+/root/repo/target/release/deps/nnrt-aca1bb6b8ad8d0e4: src/lib.rs
+
+src/lib.rs:

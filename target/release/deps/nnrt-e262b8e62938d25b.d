@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nnrt-e262b8e62938d25b.d: src/bin/nnrt.rs
+
+/root/repo/target/release/deps/nnrt-e262b8e62938d25b: src/bin/nnrt.rs
+
+src/bin/nnrt.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nnrt_cluster-72563a1c898c0623.d: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+/root/repo/target/release/deps/libnnrt_cluster-72563a1c898c0623.rlib: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+/root/repo/target/release/deps/libnnrt_cluster-72563a1c898c0623.rmeta: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/data_parallel.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/model_parallel.rs:

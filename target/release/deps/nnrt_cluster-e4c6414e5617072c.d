@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nnrt_cluster-e4c6414e5617072c.d: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+/root/repo/target/release/deps/libnnrt_cluster-e4c6414e5617072c.rlib: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+/root/repo/target/release/deps/libnnrt_cluster-e4c6414e5617072c.rmeta: crates/cluster/src/lib.rs crates/cluster/src/data_parallel.rs crates/cluster/src/interconnect.rs crates/cluster/src/model_parallel.rs
+
+crates/cluster/src/lib.rs:
+crates/cluster/src/data_parallel.rs:
+crates/cluster/src/interconnect.rs:
+crates/cluster/src/model_parallel.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nnrt_counters-f3ea92170f763263.d: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+/root/repo/target/release/deps/libnnrt_counters-f3ea92170f763263.rlib: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+/root/repo/target/release/deps/libnnrt_counters-f3ea92170f763263.rmeta: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+crates/counters/src/lib.rs:
+crates/counters/src/events.rs:
+crates/counters/src/features.rs:
+crates/counters/src/sampler.rs:

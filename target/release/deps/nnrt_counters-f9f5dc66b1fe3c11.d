@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nnrt_counters-f9f5dc66b1fe3c11.d: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+/root/repo/target/release/deps/libnnrt_counters-f9f5dc66b1fe3c11.rlib: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+/root/repo/target/release/deps/libnnrt_counters-f9f5dc66b1fe3c11.rmeta: crates/counters/src/lib.rs crates/counters/src/events.rs crates/counters/src/features.rs crates/counters/src/sampler.rs
+
+crates/counters/src/lib.rs:
+crates/counters/src/events.rs:
+crates/counters/src/features.rs:
+crates/counters/src/sampler.rs:

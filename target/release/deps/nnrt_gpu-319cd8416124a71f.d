@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nnrt_gpu-319cd8416124a71f.d: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+/root/repo/target/release/deps/libnnrt_gpu-319cd8416124a71f.rlib: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+/root/repo/target/release/deps/libnnrt_gpu-319cd8416124a71f.rmeta: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/model.rs:
+crates/gpu/src/ops.rs:
+crates/gpu/src/streams.rs:
+crates/gpu/src/tuner.rs:

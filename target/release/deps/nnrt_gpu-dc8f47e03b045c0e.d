@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nnrt_gpu-dc8f47e03b045c0e.d: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+/root/repo/target/release/deps/libnnrt_gpu-dc8f47e03b045c0e.rlib: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+/root/repo/target/release/deps/libnnrt_gpu-dc8f47e03b045c0e.rmeta: crates/gpu/src/lib.rs crates/gpu/src/model.rs crates/gpu/src/ops.rs crates/gpu/src/streams.rs crates/gpu/src/tuner.rs
+
+crates/gpu/src/lib.rs:
+crates/gpu/src/model.rs:
+crates/gpu/src/ops.rs:
+crates/gpu/src/streams.rs:
+crates/gpu/src/tuner.rs:

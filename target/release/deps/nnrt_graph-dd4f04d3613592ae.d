@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nnrt_graph-dd4f04d3613592ae.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+/root/repo/target/release/deps/libnnrt_graph-dd4f04d3613592ae.rlib: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+/root/repo/target/release/deps/libnnrt_graph-dd4f04d3613592ae.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ops.rs:
+crates/graph/src/profile.rs:
+crates/graph/src/shape.rs:

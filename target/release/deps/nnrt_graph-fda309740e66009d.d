@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/nnrt_graph-fda309740e66009d.d: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+/root/repo/target/release/deps/libnnrt_graph-fda309740e66009d.rlib: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+/root/repo/target/release/deps/libnnrt_graph-fda309740e66009d.rmeta: crates/graph/src/lib.rs crates/graph/src/graph.rs crates/graph/src/ops.rs crates/graph/src/profile.rs crates/graph/src/shape.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/graph.rs:
+crates/graph/src/ops.rs:
+crates/graph/src/profile.rs:
+crates/graph/src/shape.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/nnrt_kernels-54f1c232f9e9693e.d: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/batchnorm.rs crates/kernels/src/conv.rs crates/kernels/src/elementwise.rs crates/kernels/src/im2col.rs crates/kernels/src/matmul.rs crates/kernels/src/pool.rs crates/kernels/src/pooling.rs crates/kernels/src/softmax.rs crates/kernels/src/tensor.rs
+
+/root/repo/target/release/deps/libnnrt_kernels-54f1c232f9e9693e.rlib: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/batchnorm.rs crates/kernels/src/conv.rs crates/kernels/src/elementwise.rs crates/kernels/src/im2col.rs crates/kernels/src/matmul.rs crates/kernels/src/pool.rs crates/kernels/src/pooling.rs crates/kernels/src/softmax.rs crates/kernels/src/tensor.rs
+
+/root/repo/target/release/deps/libnnrt_kernels-54f1c232f9e9693e.rmeta: crates/kernels/src/lib.rs crates/kernels/src/autotune.rs crates/kernels/src/batchnorm.rs crates/kernels/src/conv.rs crates/kernels/src/elementwise.rs crates/kernels/src/im2col.rs crates/kernels/src/matmul.rs crates/kernels/src/pool.rs crates/kernels/src/pooling.rs crates/kernels/src/softmax.rs crates/kernels/src/tensor.rs
+
+crates/kernels/src/lib.rs:
+crates/kernels/src/autotune.rs:
+crates/kernels/src/batchnorm.rs:
+crates/kernels/src/conv.rs:
+crates/kernels/src/elementwise.rs:
+crates/kernels/src/im2col.rs:
+crates/kernels/src/matmul.rs:
+crates/kernels/src/pool.rs:
+crates/kernels/src/pooling.rs:
+crates/kernels/src/softmax.rs:
+crates/kernels/src/tensor.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/nnrt_models-8cd92d114440b0f6.d: crates/models/src/lib.rs crates/models/src/common.rs crates/models/src/datasets.rs crates/models/src/dcgan.rs crates/models/src/inception.rs crates/models/src/lstm.rs crates/models/src/resnet.rs crates/models/src/transformer.rs
+
+/root/repo/target/release/deps/libnnrt_models-8cd92d114440b0f6.rlib: crates/models/src/lib.rs crates/models/src/common.rs crates/models/src/datasets.rs crates/models/src/dcgan.rs crates/models/src/inception.rs crates/models/src/lstm.rs crates/models/src/resnet.rs crates/models/src/transformer.rs
+
+/root/repo/target/release/deps/libnnrt_models-8cd92d114440b0f6.rmeta: crates/models/src/lib.rs crates/models/src/common.rs crates/models/src/datasets.rs crates/models/src/dcgan.rs crates/models/src/inception.rs crates/models/src/lstm.rs crates/models/src/resnet.rs crates/models/src/transformer.rs
+
+crates/models/src/lib.rs:
+crates/models/src/common.rs:
+crates/models/src/datasets.rs:
+crates/models/src/dcgan.rs:
+crates/models/src/inception.rs:
+crates/models/src/lstm.rs:
+crates/models/src/resnet.rs:
+crates/models/src/transformer.rs:

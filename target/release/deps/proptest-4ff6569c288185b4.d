@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-4ff6569c288185b4.d: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4ff6569c288185b4.rlib: vendor/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-4ff6569c288185b4.rmeta: vendor/proptest/src/lib.rs
+
+vendor/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-0156caa4a48ecaa9.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-0156caa4a48ecaa9.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-0156caa4a48ecaa9.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

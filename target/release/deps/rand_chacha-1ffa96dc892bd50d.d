@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_chacha-1ffa96dc892bd50d.d: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-1ffa96dc892bd50d.rlib: vendor/rand_chacha/src/lib.rs
+
+/root/repo/target/release/deps/librand_chacha-1ffa96dc892bd50d.rmeta: vendor/rand_chacha/src/lib.rs
+
+vendor/rand_chacha/src/lib.rs:

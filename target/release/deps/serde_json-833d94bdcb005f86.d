@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/serde_json-833d94bdcb005f86.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-833d94bdcb005f86.rlib: vendor/serde_json/src/lib.rs
+
+/root/repo/target/release/deps/libserde_json-833d94bdcb005f86.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_throughput-a5af5b21f64f804e.d: crates/bench/benches/serve_throughput.rs
+
+/root/repo/target/release/deps/serve_throughput-a5af5b21f64f804e: crates/bench/benches/serve_throughput.rs
+
+crates/bench/benches/serve_throughput.rs:

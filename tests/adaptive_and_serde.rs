@@ -43,7 +43,10 @@ fn feedback_denies_pairs_when_predictions_are_bad() {
             Some((16, SharingMode::Compact, 1e-7))
         }
         fn candidates(&self, _key: &OpKey, _n: usize) -> Vec<(u32, SharingMode, f64)> {
-            vec![(16, SharingMode::Compact, 1e-7), (12, SharingMode::Compact, 1.1e-7)]
+            vec![
+                (16, SharingMode::Compact, 1e-7),
+                (12, SharingMode::Compact, 1.1e-7),
+            ]
         }
     }
 
@@ -57,7 +60,10 @@ fn feedback_denies_pairs_when_predictions_are_bad() {
             ),
             &[],
         );
-        g.add(OpInstance::new(OpKind::Tile, Shape::nhwc(32, 8, 8, 384)), &[]);
+        g.add(
+            OpInstance::new(OpKind::Tile, Shape::nhwc(32, 8, 8, 384)),
+            &[],
+        );
     }
     let mut rt = Runtime::prepare_with_model(
         &g,
@@ -96,12 +102,10 @@ fn serde_roundtrips() {
 
     // Configs and machine types.
     let cfg = RuntimeConfig::default();
-    let back: RuntimeConfig =
-        serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
+    let back: RuntimeConfig = serde_json::from_str(&serde_json::to_string(&cfg).unwrap()).unwrap();
     assert_eq!(back, cfg);
     let params = KnlParams::default();
-    let back: KnlParams =
-        serde_json::from_str(&serde_json::to_string(&params).unwrap()).unwrap();
+    let back: KnlParams = serde_json::from_str(&serde_json::to_string(&params).unwrap()).unwrap();
     assert_eq!(back, params);
     let topo = Topology::knl();
     let back: Topology = serde_json::from_str(&serde_json::to_string(&topo).unwrap()).unwrap();

@@ -17,8 +17,11 @@ fn runtime_beats_recommendation_on_every_model() {
     for spec in models() {
         let catalog = OpCatalog::new(&spec.graph);
         let cost = KnlCostModel::knl();
-        let rec = TfExecutor::new(TfExecutorConfig::recommendation())
-            .run_step(&spec.graph, &catalog, &cost);
+        let rec = TfExecutor::new(TfExecutorConfig::recommendation()).run_step(
+            &spec.graph,
+            &catalog,
+            &cost,
+        );
         let rt = Runtime::prepare(&spec.graph, cost, RuntimeConfig::default());
         let ours = rt.run_step(&spec.graph);
         assert_eq!(ours.nodes_executed, spec.graph.len(), "{}", spec.name);
@@ -79,10 +82,9 @@ fn strategies_never_lose_catastrophically() {
     // configuration — a scheduling bug typically shows up as a multi-x loss.
     for spec in models() {
         let cost = KnlCostModel::knl();
-        let full =
-            Runtime::prepare(&spec.graph, cost.clone(), RuntimeConfig::default())
-                .run_step(&spec.graph)
-                .total_secs;
+        let full = Runtime::prepare(&spec.graph, cost.clone(), RuntimeConfig::default())
+            .run_step(&spec.graph)
+            .total_secs;
         for cfg in [RuntimeConfig::s12_only(), RuntimeConfig::s123()] {
             let t = Runtime::prepare(&spec.graph, cost.clone(), cfg)
                 .run_step(&spec.graph)
@@ -106,8 +108,8 @@ fn manual_optimization_bounds_the_uniform_grid() {
     let again = TfExecutor::new(cfg).run_step(&spec.graph, &catalog, &cost);
     assert!((again.total_secs - best.total_secs).abs() < 1e-12);
     // And beat the recommendation (the grid includes it).
-    let rec = TfExecutor::new(TfExecutorConfig::recommendation())
-        .run_step(&spec.graph, &catalog, &cost);
+    let rec =
+        TfExecutor::new(TfExecutorConfig::recommendation()).run_step(&spec.graph, &catalog, &cost);
     assert!(best.total_secs <= rec.total_secs);
 }
 

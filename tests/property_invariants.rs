@@ -30,7 +30,10 @@ fn arb_graph() -> impl Strategy<Value = DataflowGraph> {
             let mut deps = deps;
             deps.sort_unstable();
             deps.dedup();
-            g.add(OpInstance::with_aux(kind, shape, OpAux::conv(3, 1, b * 8)), &deps);
+            g.add(
+                OpInstance::with_aux(kind, shape, OpAux::conv(3, 1, b * 8)),
+                &deps,
+            );
         }
         g
     })

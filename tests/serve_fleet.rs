@@ -1,0 +1,266 @@
+//! Integration tests of the `nnrt-serve` multi-tenant service:
+//! submit → queue → warm-start → completion, determinism of steps and whole
+//! fleet runs, Chrome-trace well-formedness, and profile-store persistence.
+
+use nnrt::prelude::*;
+use nnrt::serve::{AdmitError, Fleet, FleetConfig, FleetReport, JobSpec, ProfileStore, StoreError};
+use std::sync::Arc;
+
+fn job(name: &str, model: &str, graph: &nnrt::graph::DataflowGraph, priority: u8) -> JobSpec {
+    JobSpec {
+        name: name.to_string(),
+        model: model.to_string(),
+        graph: graph.clone(),
+        steps: 2,
+        priority,
+        weight: 1.0,
+    }
+}
+
+/// A small mixed workload: two models, four jobs each.
+fn submit_workload(fleet: &mut Fleet) {
+    let dcgan = dcgan(4).graph;
+    let lstm_g = lstm(4).graph;
+    for i in 0..4 {
+        fleet
+            .submit(job(&format!("dcgan-{i}"), "dcgan", &dcgan, (i % 2) as u8))
+            .unwrap();
+        fleet
+            .submit(job(&format!("lstm-{i}"), "lstm", &lstm_g, 0))
+            .unwrap();
+    }
+}
+
+fn run_fleet(seed: u64, record_traces: bool) -> FleetReport {
+    let config = FleetConfig {
+        node_count: 2,
+        seed,
+        record_traces,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(config);
+    submit_workload(&mut fleet);
+    fleet.run()
+}
+
+#[test]
+fn submit_queue_warm_start_completion() {
+    let report = run_fleet(7, false);
+    assert_eq!(report.jobs.len(), 8, "every submitted job completes");
+    assert_eq!(report.nodes, 2);
+    assert!(report.makespan_secs > 0.0);
+    assert!(report.steps_per_sec > 0.0);
+    assert_eq!(report.total_steps, 16);
+
+    // Jobs spread across both nodes.
+    let nodes_used: std::collections::BTreeSet<u32> = report.jobs.iter().map(|j| j.node).collect();
+    assert_eq!(nodes_used.len(), 2, "placement must use both nodes");
+
+    // The first job of each model is cold; every later job of that model
+    // warm-starts and skips at least half of the cold profiling cost
+    // (in fact all of it: identical machines, identical keys).
+    for model in ["dcgan", "lstm"] {
+        let of_model: Vec<_> = report.jobs.iter().filter(|j| j.model == model).collect();
+        assert_eq!(of_model.len(), 4);
+        let cold_steps = of_model
+            .iter()
+            .map(|j| j.profiling_steps)
+            .max()
+            .expect("cold job profiles");
+        assert!(cold_steps > 0, "{model}: someone must pay the cold profile");
+        let warm: Vec<_> = of_model
+            .iter()
+            .filter(|j| j.profiling_steps < cold_steps)
+            .collect();
+        assert_eq!(warm.len(), 3, "{model}: three of four jobs warm-start");
+        for j in warm {
+            assert!(
+                j.profiling_steps * 2 <= cold_steps,
+                "{}: warm job must skip >=50% of the cold profile ({} vs {cold_steps})",
+                j.name,
+                j.profiling_steps
+            );
+            assert!(j.profiling_steps_saved >= cold_steps - j.profiling_steps);
+            assert_eq!(
+                j.warm_keys, j.total_keys,
+                "identical machines share all keys"
+            );
+        }
+    }
+    assert!(report.profiling_steps_saved_total > 0);
+
+    // The shared store ends up holding both models' keys.
+    assert!(report.store_entries > 0);
+}
+
+#[test]
+fn saturated_queue_rejects_with_typed_error() {
+    let config = FleetConfig {
+        queue_capacity: 2,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(config);
+    let g = dcgan(4).graph;
+    fleet.submit(job("a", "dcgan", &g, 0)).unwrap();
+    fleet.submit(job("b", "dcgan", &g, 0)).unwrap();
+    match fleet.submit(job("c", "dcgan", &g, 0)) {
+        Err(AdmitError::Saturated {
+            queued: 2,
+            capacity: 2,
+        }) => {}
+        other => panic!("expected saturation, got {other:?}"),
+    }
+    let report = fleet.run();
+    assert_eq!(report.jobs.len(), 2);
+    assert_eq!(report.rejected, 1);
+}
+
+#[test]
+fn fleet_runs_are_bit_identical_under_one_seed() {
+    let a = run_fleet(42, false);
+    let b = run_fleet(42, false);
+    let ja = serde_json::to_string(&a).unwrap();
+    let jb = serde_json::to_string(&b).unwrap();
+    assert_eq!(
+        ja, jb,
+        "same seed, same workload => bit-identical fleet report"
+    );
+
+    let c = run_fleet(43, false);
+    assert_ne!(
+        serde_json::to_string(&c).unwrap(),
+        ja,
+        "a different seed must perturb the simulated times"
+    );
+}
+
+#[test]
+fn run_step_is_bit_identical_under_one_seed() {
+    let g = dcgan(4).graph;
+    let config = RuntimeConfig::default();
+    let mut rt1 = Runtime::prepare(&g, KnlCostModel::knl(), config);
+    let mut rt2 = Runtime::prepare(&g, KnlCostModel::knl(), config);
+    rt1.record_trace(true);
+    rt2.record_trace(true);
+    let r1 = rt1.run_step(&g);
+    let r2 = rt2.run_step(&g);
+    assert_eq!(
+        r1.total_secs, r2.total_secs,
+        "bit-identical, not approximately equal"
+    );
+    assert_eq!(r1.timings.len(), g.len(), "tracing records every node");
+    assert_eq!(r1.timings.len(), r2.timings.len());
+    for (a, b) in r1.timings.iter().zip(&r2.timings) {
+        assert_eq!(a.start, b.start);
+        assert_eq!(a.finish, b.finish);
+    }
+    // Repeated steps of one runtime are pure too.
+    let r3 = rt1.run_step(&g);
+    assert_eq!(r1.total_secs, r3.total_secs);
+}
+
+/// Minimal Chrome-trace event checks shared by the trace tests.
+fn assert_trace_well_formed(trace: &str, graph: &nnrt::graph::DataflowGraph) {
+    let v: serde_json::Value = serde_json::from_str(trace).expect("trace parses as JSON");
+    let events = v["traceEvents"].as_array().expect("traceEvents array");
+    assert_eq!(events.len(), graph.len(), "one complete event per node");
+
+    // (ts, dur) per graph node, for the dependency check below.
+    let mut span_of = vec![None; graph.len()];
+    for e in events {
+        assert_eq!(e["ph"], "X", "complete events");
+        let ts = e["ts"].as_f64().expect("numeric ts");
+        let dur = e["dur"].as_f64().expect("numeric dur");
+        assert!(ts >= 0.0, "ts must be non-negative, got {ts}");
+        assert!(dur >= 0.0, "dur must be non-negative, got {dur}");
+        assert!(e["name"].as_str().is_some());
+        assert!(e["tid"].as_u64().is_some());
+        let node = e["args"]["node"].as_u64().expect("node id in args") as usize;
+        assert!(
+            span_of[node].replace((ts, dur)).is_none(),
+            "node {node} appears once"
+        );
+    }
+
+    // Dependency safety: a node may not start before each predecessor ends.
+    // ts/dur are microseconds formatted with 3 decimals; allow that rounding.
+    for (id, _) in graph.iter() {
+        let (ts, _) = span_of[id.0 as usize].expect("every node traced");
+        for p in graph.preds(id) {
+            let (pts, pdur) = span_of[p.0 as usize].unwrap();
+            assert!(
+                ts >= pts + pdur - 2e-3,
+                "node {} starts at {ts}us before its predecessor {} ends at {}us",
+                id.0,
+                p.0,
+                pts + pdur
+            );
+        }
+    }
+}
+
+#[test]
+fn export_chrome_trace_is_well_formed_and_dependency_safe() {
+    let g = lstm(4).graph;
+    let mut rt = Runtime::prepare(&g, KnlCostModel::knl(), RuntimeConfig::default());
+    rt.record_trace(true);
+    let report = rt.run_step(&g);
+    let trace = nnrt::sched::export_chrome_trace(&g, &report.timings);
+    assert_trace_well_formed(&trace, &g);
+}
+
+#[test]
+fn fleet_traces_are_well_formed_per_job() {
+    let report = run_fleet(7, true);
+    let dcgan_g = dcgan(4).graph;
+    let lstm_g = lstm(4).graph;
+    for j in &report.jobs {
+        let trace = j.chrome_trace.as_ref().expect("tracing was on");
+        let graph = if j.model == "dcgan" {
+            &dcgan_g
+        } else {
+            &lstm_g
+        };
+        assert_trace_well_formed(trace, graph);
+    }
+}
+
+#[test]
+fn store_snapshot_survives_a_service_restart() {
+    // First service lifetime: cold fleet populates the store.
+    let config = FleetConfig {
+        node_count: 2,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(config);
+    submit_workload(&mut fleet);
+    let first = fleet.run();
+    assert!(first.profiling_steps_total > 0);
+    let snapshot = fleet.store().snapshot();
+
+    // Restart: a new fleet restores the snapshot; nobody profiles again.
+    let store = Arc::new(ProfileStore::new());
+    store.restore(&snapshot).expect("own snapshot restores");
+    let costs = (0..2).map(|_| KnlCostModel::knl()).collect();
+    let mut fleet2 = Fleet::with_cost_models(config, costs, store);
+    submit_workload(&mut fleet2);
+    let second = fleet2.run();
+    assert_eq!(
+        second.profiling_steps_total, 0,
+        "warm restart skips all profiling"
+    );
+    assert!(second.makespan_secs < first.makespan_secs);
+
+    // Snapshot -> restore -> snapshot is byte-identical.
+    let again = ProfileStore::new();
+    again.restore(&snapshot).unwrap();
+    assert_eq!(snapshot, again.snapshot());
+
+    // Corruption and version skew fail with typed errors, not panics.
+    assert!(matches!(again.restore("]["), Err(StoreError::Corrupt(_))));
+    let skewed = snapshot.replacen("\"version\": 1", "\"version\": 7", 1);
+    assert!(matches!(
+        again.restore(&skewed),
+        Err(StoreError::VersionMismatch { found: 7, .. })
+    ));
+}

@@ -6,7 +6,14 @@ use nnrt::prelude::*;
 use nnrt::sched::OpCatalog;
 
 fn machine(tiles: u32) -> KnlCostModel {
-    KnlCostModel::new(Topology { tiles, cores_per_tile: 2, smt_per_core: 2 }, KnlParams::default())
+    KnlCostModel::new(
+        Topology {
+            tiles,
+            cores_per_tile: 2,
+            smt_per_core: 2,
+        },
+        KnlParams::default(),
+    )
 }
 
 #[test]
@@ -14,7 +21,10 @@ fn runtime_schedules_on_an_8_core_machine() {
     let cost = machine(4); // 8 cores
     let spec = dcgan(8);
     let config = RuntimeConfig {
-        hillclimb: nnrt::sched::HillClimbConfig { interval: 2, max_threads: 8 },
+        hillclimb: nnrt::sched::HillClimbConfig {
+            interval: 2,
+            max_threads: 8,
+        },
         default_intra: 8,
         ..RuntimeConfig::default()
     };
@@ -23,8 +33,11 @@ fn runtime_schedules_on_an_8_core_machine() {
     assert_eq!(ours.nodes_executed, spec.graph.len());
 
     let catalog = OpCatalog::new(&spec.graph);
-    let rec = TfExecutor::new(TfExecutorConfig { inter_op: 1, intra_op: 8 })
-        .run_step(&spec.graph, &catalog, &cost);
+    let rec = TfExecutor::new(TfExecutorConfig {
+        inter_op: 1,
+        intra_op: 8,
+    })
+    .run_step(&spec.graph, &catalog, &cost);
     // On 8 cores there is little left to tune (optima sit near the machine
     // width) and co-run footprints are large fractions of the chip, so
     // interference can eat most of Strategy 3's margin; the runtime must
@@ -42,7 +55,10 @@ fn runtime_schedules_on_a_128_core_machine() {
     let cost = machine(64); // 128 cores
     let spec = dcgan(8);
     let config = RuntimeConfig {
-        hillclimb: nnrt::sched::HillClimbConfig { interval: 8, max_threads: 128 },
+        hillclimb: nnrt::sched::HillClimbConfig {
+            interval: 8,
+            max_threads: 128,
+        },
         default_intra: 128,
         ..RuntimeConfig::default()
     };
@@ -58,7 +74,10 @@ fn degenerate_graphs_run_everywhere() {
         let cost = machine(tiles);
         let max = 2 * tiles;
         let config = RuntimeConfig {
-            hillclimb: nnrt::sched::HillClimbConfig { interval: 2, max_threads: max },
+            hillclimb: nnrt::sched::HillClimbConfig {
+                interval: 2,
+                max_threads: max,
+            },
             default_intra: max,
             ..RuntimeConfig::default()
         };

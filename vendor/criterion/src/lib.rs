@@ -1,0 +1,189 @@
+//! Vendored minimal `criterion` stand-in for offline builds. It keeps the
+//! `criterion_group!`/`criterion_main!`/`bench_function` shape so bench
+//! targets compile and run, but does simple fixed-iteration wall-clock
+//! timing instead of statistical analysis.
+
+#![warn(missing_docs)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Prevents the compiler from optimising away a benchmarked value.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How batched inputs are grouped (accepted for API compatibility).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+    /// One input per batch.
+    PerIteration,
+}
+
+/// Times closures handed to [`Criterion::bench_function`].
+pub struct Bencher {
+    iters: u64,
+    total: Duration,
+    timed_iters: u64,
+}
+
+impl Bencher {
+    fn new(iters: u64) -> Self {
+        Bencher {
+            iters,
+            total: Duration::ZERO,
+            timed_iters: 0,
+        }
+    }
+
+    /// Times `routine` over a fixed number of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        // One untimed warm-up pass.
+        std_black_box(routine());
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.total += start.elapsed();
+        self.timed_iters += self.iters;
+    }
+
+    /// Times `routine` on fresh inputs from `setup`; setup time is excluded.
+    pub fn iter_batched<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> R,
+    {
+        std_black_box(routine(setup()));
+        for _ in 0..self.iters {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.total += start.elapsed();
+        }
+        self.timed_iters += self.iters;
+    }
+
+    /// Like [`Bencher::iter_batched`], taking inputs by reference.
+    pub fn iter_batched_ref<I, R, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(&mut I) -> R,
+    {
+        std_black_box(routine(&mut setup()));
+        for _ in 0..self.iters {
+            let mut input = setup();
+            let start = Instant::now();
+            std_black_box(routine(&mut input));
+            self.total += start.elapsed();
+        }
+        self.timed_iters += self.iters;
+    }
+}
+
+/// Benchmark driver: runs each registered function and prints mean time.
+pub struct Criterion {
+    iters: u64,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // Benches in this workspace simulate whole training steps; keep the
+        // iteration count small so `cargo bench` finishes quickly.
+        let iters = std::env::var("NNRT_BENCH_ITERS")
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .unwrap_or(10);
+        Criterion { iters }
+    }
+}
+
+impl Criterion {
+    /// Accepted for API compatibility; returns `self` unchanged.
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Upstream tunes the statistical sample count; here it caps the
+    /// fixed iteration count (`NNRT_BENCH_ITERS` still wins if smaller).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.iters = self.iters.min(n as u64).max(1);
+        self
+    }
+
+    /// Benchmarks `f` under `name`, printing the per-iteration mean.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let mut b = Bencher::new(self.iters);
+        f(&mut b);
+        let mean = if b.timed_iters > 0 {
+            b.total / b.timed_iters as u32
+        } else {
+            Duration::ZERO
+        };
+        println!(
+            "bench {name:<48} {mean:>12.3?}/iter ({} iters)",
+            b.timed_iters
+        );
+        self
+    }
+
+    /// Finalises reporting (no-op here).
+    pub fn final_summary(&mut self) {}
+}
+
+/// Groups benchmark functions under one runner, mirroring criterion's macro.
+/// Supports both the terse form and the `name/config/targets` form.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut c = $config.configure_from_args();
+            $( $target(&mut c); )+
+            c.final_summary();
+        }
+    };
+}
+
+/// Generates `main()` running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sum_bench(c: &mut Criterion) {
+        c.bench_function("sum_1k", |b| b.iter(|| (0u64..1000).sum::<u64>()));
+        c.bench_function("sum_batched", |b| {
+            b.iter_batched(
+                || vec![1u64; 64],
+                |v| v.iter().sum::<u64>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group!(benches, sum_bench);
+
+    #[test]
+    fn group_runs() {
+        benches();
+    }
+}

@@ -1,0 +1,332 @@
+//! Vendored minimal `serde_derive`: `#[derive(Serialize, Deserialize)]` for
+//! the item shapes this workspace uses — structs with named fields, tuple
+//! structs, unit structs and fieldless enums. Generics and enum payloads are
+//! rejected with a compile error. Parsing is done directly on the
+//! `proc_macro` token stream (no `syn`/`quote`), and code is generated as a
+//! string and re-parsed.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// What the derive input turned out to be.
+enum Item {
+    NamedStruct { name: String, fields: Vec<String> },
+    TupleStruct { name: String, arity: usize },
+    UnitStruct { name: String },
+    Enum { name: String, variants: Vec<String> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("generated Deserialize impl must parse")
+}
+
+/// Consumes leading attributes (`#[...]`) and visibility (`pub`, `pub(...)`).
+fn skip_attrs_and_vis(tokens: &[TokenTree], mut i: usize) -> usize {
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // `#` then `[...]`.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return i,
+        }
+    }
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = skip_attrs_and_vis(&tokens, 0);
+
+    let kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected `struct` or `enum`, got {other:?}"),
+    };
+    i += 1;
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    i += 1;
+    if let Some(TokenTree::Punct(p)) = tokens.get(i) {
+        if p.as_char() == '<' {
+            panic!("serde_derive (vendored): generic types are not supported ({name})");
+        }
+    }
+
+    match kw.as_str() {
+        "struct" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::NamedStruct {
+                name,
+                fields: parse_named_fields(g.stream()),
+            },
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Item::TupleStruct {
+                    name,
+                    arity: count_tuple_fields(g.stream()),
+                }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Item::UnitStruct { name },
+            other => panic!("serde_derive: unsupported struct body for {name}: {other:?}"),
+        },
+        "enum" => match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => Item::Enum {
+                name: name.clone(),
+                variants: parse_variants(&name, g.stream()),
+            },
+            other => panic!("serde_derive: expected enum body for {name}, got {other:?}"),
+        },
+        other => panic!("serde_derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Field names of a named-field struct body.
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        fields.push(id.to_string());
+        i += 1;
+        // Expect `:` then the type; skip to the next top-level comma. Angle
+        // brackets don't nest via groups, but commas inside `<...>` or
+        // parens/brackets must not split fields — track angle depth manually
+        // (groups are single tokens, so parens/brackets are already opaque).
+        assert!(
+            matches!(tokens.get(i), Some(TokenTree::Punct(p)) if p.as_char() == ':'),
+            "serde_derive: expected `:` after field name"
+        );
+        i += 1;
+        let mut angle = 0i32;
+        while i < tokens.len() {
+            match &tokens[i] {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct body (top-level comma count + 1).
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut arity = 1;
+    let mut trailing_comma = false;
+    for (idx, t) in tokens.iter().enumerate() {
+        match t {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                if idx + 1 == tokens.len() {
+                    trailing_comma = true;
+                } else {
+                    arity += 1;
+                }
+            }
+            _ => {}
+        }
+    }
+    let _ = trailing_comma;
+    arity
+}
+
+/// Variant names of a fieldless enum; panics on payload-carrying variants.
+fn parse_variants(enum_name: &str, stream: TokenStream) -> Vec<String> {
+    let tokens: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        i = skip_attrs_and_vis(&tokens, i);
+        let Some(TokenTree::Ident(id)) = tokens.get(i) else {
+            break;
+        };
+        let variant = id.to_string();
+        i += 1;
+        match tokens.get(i) {
+            None => {
+                variants.push(variant);
+                break;
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => {
+                variants.push(variant);
+                i += 1;
+            }
+            Some(TokenTree::Group(_)) => panic!(
+                "serde_derive (vendored): enum {enum_name} variant {variant} carries data; \
+                 only fieldless enums are supported"
+            ),
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => panic!(
+                "serde_derive (vendored): explicit discriminants are not supported \
+                 ({enum_name}::{variant})"
+            ),
+            other => panic!("serde_derive: unexpected token after variant {variant}: {other:?}"),
+        }
+    }
+    variants
+}
+
+fn gen_serialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!("(\"{f}\".to_string(), ::serde::Serialize::to_json_value(&self.{f}))")
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_json_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Object(vec![{}])\n\
+                   }}\n\
+                 }}",
+                entries.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_json_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Serialize::to_json_value(&self.0)\n\
+               }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Serialize::to_json_value(&self.{i})"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_json_value(&self) -> ::serde::Value {{\n\
+                     ::serde::Value::Array(vec![{}])\n\
+                   }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Serialize for {name} {{\n\
+               fn to_json_value(&self) -> ::serde::Value {{ ::serde::Value::Null }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{name}::{v} => ::serde::Value::Str(\"{v}\".to_string())"))
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                   fn to_json_value(&self) -> ::serde::Value {{\n\
+                     match self {{ {} }}\n\
+                   }}\n\
+                 }}",
+                arms.join(", ")
+            )
+        }
+    }
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    match item {
+        Item::NamedStruct { name, fields } => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::from_json_value(v.get(\"{f}\")\
+                           .ok_or_else(|| ::serde::Error::missing_field(\"{name}\", \"{f}\"))?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     Ok({name} {{ {} }})\n\
+                   }}\n\
+                 }}",
+                inits.join(", ")
+            )
+        }
+        Item::TupleStruct { name, arity: 1 } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name}(::serde::Deserialize::from_json_value(v)?))\n\
+               }}\n\
+             }}"
+        ),
+        Item::TupleStruct { name, arity } => {
+            let elems: Vec<String> = (0..*arity)
+                .map(|i| format!("::serde::Deserialize::from_json_value(&arr[{i}])?"))
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let arr = v.as_array().ok_or_else(|| ::serde::Error::expected(\"array\", v))?;\n\
+                     if arr.len() != {arity} {{\n\
+                       return Err(::serde::Error::msg(format!(\n\
+                         \"expected {arity} elements for {name}, got {{}}\", arr.len())));\n\
+                     }}\n\
+                     Ok({name}({}))\n\
+                   }}\n\
+                 }}",
+                elems.join(", ")
+            )
+        }
+        Item::UnitStruct { name } => format!(
+            "impl ::serde::Deserialize for {name} {{\n\
+               fn from_json_value(_v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                 Ok({name})\n\
+               }}\n\
+             }}"
+        ),
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> =
+                variants.iter().map(|v| format!("\"{v}\" => Ok({name}::{v})")).collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                   fn from_json_value(v: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n\
+                     let s = v.as_str().ok_or_else(|| ::serde::Error::expected(\"string ({name} variant)\", v))?;\n\
+                     match s {{\n\
+                       {},\n\
+                       other => Err(::serde::Error::msg(format!(\n\
+                         \"unknown {name} variant `{{other}}`\"))),\n\
+                     }}\n\
+                   }}\n\
+                 }}",
+                arms.join(",\n")
+            )
+        }
+    }
+}
