@@ -17,4 +17,14 @@ cargo test -q --offline
 echo "== workspace tests =="
 cargo test --workspace -q --offline
 
+echo "== chaos suite (pinned seed 99) =="
+cargo test -q --offline --test chaos_fleet
+tmpdir="$(mktemp -d)"
+trap 'rm -rf "$tmpdir"' EXIT
+./target/release/nnrt serve 8 2 7 --chaos 99 --json > "$tmpdir/chaos-a.json"
+./target/release/nnrt serve 8 2 7 --chaos 99 --json > "$tmpdir/chaos-b.json"
+cmp "$tmpdir/chaos-a.json" "$tmpdir/chaos-b.json" \
+  || { echo "chaos determinism violated: same seed produced different reports" >&2; exit 1; }
+echo "chaos report deterministic (seed 99, byte-identical JSON)"
+
 echo "CI green."

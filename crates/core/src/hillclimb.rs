@@ -120,6 +120,18 @@ pub struct HillClimbModel {
     pub profiling_steps: u32,
 }
 
+/// What a budgeted fit achieved: how many keys were newly profiled, and
+/// which keys the budget forced to give up on (their climbs were truncated
+/// before converging, so no curve was kept and the scheduler falls back to
+/// the framework-default thread plan for them).
+#[derive(Debug, Clone, Default)]
+pub struct FitOutcome {
+    /// Keys newly profiled to convergence.
+    pub new_keys: usize,
+    /// Keys whose climb exceeded the budget: degraded to the baseline plan.
+    pub degraded: Vec<OpKey>,
+}
+
 fn mode_index(mode: SharingMode) -> usize {
     match mode {
         SharingMode::Compact => 0,
@@ -128,20 +140,28 @@ fn mode_index(mode: SharingMode) -> usize {
 }
 
 impl HillClimbModel {
-    /// Climbs one key's curve pair. Returns the curves and the longest climb
-    /// length (in samples) across the two sharing modes.
+    /// Climbs one key's curve pair, taking at most `cap` samples per sharing
+    /// mode. Returns `(curves, longest climb length in samples)`; the curves
+    /// are `None` when a climb hit the cap before converging (saw neither a
+    /// rise nor the thread ceiling) — a truncated curve would interpolate
+    /// across the optimum, so it is discarded rather than trusted.
     fn climb_key(
         catalog: &OpCatalog,
         key: &OpKey,
         measurer: &mut Measurer,
         cfg: HillClimbConfig,
-    ) -> ([Curve; 2], u32) {
+        cap: u32,
+    ) -> (Option<[Curve; 2]>, u32) {
+        if cap == 0 {
+            return (None, 0); // no budget at all: degrade without measuring
+        }
         let profile = *catalog.profile_of_key(key).expect("key from catalog");
         // A profiling step observes every instance of the key, so a key
         // with many instances measures with much less noise.
         let reps = catalog.key_count(key).max(1);
         let mut pair: [Curve; 2] = [Curve { samples: vec![] }, Curve { samples: vec![] }];
         let mut longest_climb = 0u32;
+        let mut converged = true;
         for mode in SharingMode::ALL {
             let mut samples: Vec<(u32, f64)> = Vec::new();
             let mut p = 1u32;
@@ -150,6 +170,10 @@ impl HillClimbModel {
             loop {
                 let next = p + cfg.interval;
                 if next > cfg.max_threads {
+                    break;
+                }
+                if samples.len() as u32 >= cap {
+                    converged = false; // budget exhausted mid-climb
                     break;
                 }
                 let t = measurer.measure_averaged(&profile, next, mode, reps);
@@ -162,8 +186,11 @@ impl HillClimbModel {
             }
             longest_climb = longest_climb.max(samples.len() as u32);
             pair[mode_index(mode)] = Curve { samples };
+            if !converged {
+                break; // don't spend more budget on a key we must discard
+            }
         }
-        (pair, longest_climb)
+        (converged.then_some(pair), longest_climb)
     }
 
     /// Profiles every key of `catalog` with the hill-climbing search.
@@ -184,25 +211,53 @@ impl HillClimbModel {
         measurer: &mut Measurer,
         cfg: HillClimbConfig,
     ) -> usize {
+        self.fit_missing_budgeted(catalog, measurer, cfg, u32::MAX)
+            .new_keys
+    }
+
+    /// Like [`HillClimbModel::fit_missing`], but under a profiling budget of
+    /// `budget_steps` simulated training steps. A profiling step measures one
+    /// `(threads, mode)` point of every key concurrently, and each key needs
+    /// two climbs (compact + scatter), so the budget caps every climb at
+    /// `budget_steps / 2` samples. Keys whose climb is truncated by the cap
+    /// before converging are *degraded*: their partial curves are discarded
+    /// (they would interpolate across the optimum) and they are reported in
+    /// [`FitOutcome::degraded`] so the caller can fall back to the
+    /// framework-default thread plan for them. A budget of `0` (or `1`)
+    /// degrades every uncovered key without taking a single measurement.
+    pub fn fit_missing_budgeted(
+        &mut self,
+        catalog: &OpCatalog,
+        measurer: &mut Measurer,
+        cfg: HillClimbConfig,
+        budget_steps: u32,
+    ) -> FitOutcome {
+        let cap = budget_steps / 2;
         let before = measurer.measurements_taken();
         let mut longest_climb = 0u32;
-        let mut new_keys = 0usize;
+        let mut outcome = FitOutcome::default();
         for key in catalog.keys() {
             if self.curves.contains_key(key) {
                 continue;
             }
-            let (pair, climb) = Self::climb_key(catalog, key, measurer, cfg);
+            let (pair, climb) = Self::climb_key(catalog, key, measurer, cfg, cap);
             longest_climb = longest_climb.max(climb);
-            self.curves.insert(key.clone(), pair);
-            new_keys += 1;
+            match pair {
+                Some(pair) => {
+                    self.curves.insert(key.clone(), pair);
+                    outcome.new_keys += 1;
+                }
+                None => outcome.degraded.push(key.clone()),
+            }
         }
         self.measurements += measurer.measurements_taken() - before;
         // One profiling step runs every op once at one (threads, mode): the
         // number of steps equals the longest climb, times two modes. Keys
         // climb concurrently within a step, so the incremental cost of this
-        // fit is the longest *new* climb only.
+        // fit is the longest *new* climb only (truncated climbs included —
+        // their steps were paid even though their curves were discarded).
         self.profiling_steps += longest_climb * 2;
-        new_keys
+        outcome
     }
 
     /// Whether `key` already has a fitted curve pair.
@@ -492,6 +547,64 @@ mod tests {
         assert_eq!(fresh, catalog.keys().len());
         assert_eq!(scratch.profiling_steps, cold.profiling_steps);
         assert_eq!(scratch.measurements, cold.measurements);
+    }
+
+    #[test]
+    fn zero_budget_degrades_every_key_without_measuring() {
+        let catalog = conv_catalog();
+        let mut m = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
+        let mut model = HillClimbModel::default();
+        let out = model.fit_missing_budgeted(&catalog, &mut m, HillClimbConfig::default(), 0);
+        assert_eq!(out.new_keys, 0);
+        assert_eq!(out.degraded.len(), catalog.keys().len());
+        assert_eq!(m.measurements_taken(), 0, "no budget, no measurements");
+        assert_eq!(model.profiling_steps, 0);
+        assert!(model.is_empty());
+    }
+
+    #[test]
+    fn tight_budget_truncates_and_discards_the_climb() {
+        let catalog = conv_catalog();
+        let key = catalog.keys()[0].clone();
+        // The x=2 climb for this key converges after well over 4 samples
+        // (the optimum sits near 26 threads), so a budget of 8 steps
+        // (4 samples per climb) must truncate it.
+        let cfg = HillClimbConfig {
+            interval: 2,
+            max_threads: 68,
+        };
+        let mut m = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
+        let mut model = HillClimbModel::default();
+        let out = model.fit_missing_budgeted(&catalog, &mut m, cfg, 8);
+        assert_eq!(out.degraded, vec![key.clone()]);
+        assert!(!model.contains(&key), "truncated curves are discarded");
+        assert!(
+            model.profiling_steps <= 8,
+            "cost stays within budget, got {}",
+            model.profiling_steps
+        );
+        assert!(m.measurements_taken() > 0, "the attempt was paid for");
+    }
+
+    #[test]
+    fn generous_budget_matches_unbudgeted_fit() {
+        let catalog = conv_catalog();
+        let cfg = HillClimbConfig::default();
+        let mut m1 = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
+        let plain = HillClimbModel::fit(&catalog, &mut m1, cfg);
+
+        let mut m2 = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
+        let mut budgeted = HillClimbModel::default();
+        let out = budgeted.fit_missing_budgeted(&catalog, &mut m2, cfg, 1_000);
+        assert!(out.degraded.is_empty());
+        assert_eq!(out.new_keys, catalog.keys().len());
+        assert_eq!(budgeted.profiling_steps, plain.profiling_steps);
+        assert_eq!(budgeted.measurements, plain.measurements);
+        let key = catalog.keys()[0].clone();
+        assert_eq!(
+            budgeted.curve(&key, SharingMode::Compact),
+            plain.curve(&key, SharingMode::Compact)
+        );
     }
 
     #[test]

@@ -43,7 +43,7 @@ pub mod tf_baseline;
 pub mod trace;
 
 pub use feedback::InterferenceLog;
-pub use hillclimb::{Curve, HillClimbConfig, HillClimbModel, KeyProfile};
+pub use hillclimb::{Curve, FitOutcome, HillClimbConfig, HillClimbModel, KeyProfile};
 pub use measure::{Measurer, OpCatalog};
 pub use oracle::OracleScheduler;
 pub use plan::{PerfModel, ThreadPlan};

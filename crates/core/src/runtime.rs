@@ -143,6 +143,10 @@ pub struct Runtime {
     plan: ThreadPlan,
     record_trace: bool,
     feedback: InterferenceLog,
+    /// Keys whose profiling was cut short by a budget: they run under the
+    /// TF-guide baseline plan (framework-default intra-op threads, no co-run
+    /// candidates) instead of a fitted curve.
+    degraded: Vec<nnrt_graph::OpKey>,
 }
 
 impl Runtime {
@@ -164,6 +168,7 @@ impl Runtime {
             plan,
             record_trace: false,
             feedback: InterferenceLog::new(),
+            degraded: Vec::new(),
         }
     }
 
@@ -179,11 +184,30 @@ impl Runtime {
         config: RuntimeConfig,
         warm: &[crate::hillclimb::KeyProfile],
     ) -> Self {
+        Self::prepare_warm_budgeted(graph, cost, config, warm, u32::MAX)
+    }
+
+    /// Like [`Runtime::prepare_warm`], but the incremental profiling phase
+    /// may spend at most `profiling_budget` simulated training steps. Keys
+    /// that cannot be climbed to convergence within the budget are *degraded*
+    /// instead of erroring: they fall back to the TF-performance-guide
+    /// baseline (the framework-default intra-op parallelism, with no co-run
+    /// candidate curves), and are reported by [`Runtime::degraded_keys`] so a
+    /// service can observe the degradation. A budget of `0` profiles nothing:
+    /// the whole graph runs under the baseline plan.
+    pub fn prepare_warm_budgeted(
+        graph: &DataflowGraph,
+        cost: KnlCostModel,
+        config: RuntimeConfig,
+        warm: &[crate::hillclimb::KeyProfile],
+        profiling_budget: u32,
+    ) -> Self {
         let catalog = OpCatalog::new(graph);
         let mut measurer = Measurer::new(cost.clone(), NoiseModel::default(), config.seed);
         let mut model = HillClimbModel::default();
         model.import(warm);
-        model.fit_missing(&catalog, &mut measurer, config.hillclimb);
+        let outcome =
+            model.fit_missing_budgeted(&catalog, &mut measurer, config.hillclimb, profiling_budget);
         let plan = Self::build_plan(&model, &catalog, &config);
         Runtime {
             config,
@@ -194,6 +218,7 @@ impl Runtime {
             plan,
             record_trace: false,
             feedback: InterferenceLog::new(),
+            degraded: outcome.degraded,
         }
     }
 
@@ -218,6 +243,7 @@ impl Runtime {
             plan,
             record_trace: false,
             feedback: InterferenceLog::new(),
+            degraded: Vec::new(),
         }
     }
 
@@ -250,6 +276,13 @@ impl Runtime {
     /// The thread plan in force.
     pub fn plan(&self) -> &ThreadPlan {
         &self.plan
+    }
+
+    /// Keys whose profiling was truncated by the budget passed to
+    /// [`Runtime::prepare_warm_budgeted`]; they execute under the baseline
+    /// plan. Empty for unbudgeted runtimes.
+    pub fn degraded_keys(&self) -> &[nnrt_graph::OpKey] {
+        &self.degraded
     }
 
     /// The op catalog.

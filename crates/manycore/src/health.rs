@@ -1,0 +1,139 @@
+//! Node health from step-latency observations.
+//!
+//! A service placing jobs onto many nodes needs to notice when one of them
+//! runs slow — a thermally throttled socket, a noisy neighbour, a failing
+//! DIMM — without being told. [`NodeHealth`] is that detector: it watches
+//! the ratio of *measured* step latency to the *nominal* latency the cost
+//! model predicted, over a sliding window, and flags the node as a
+//! straggler when the windowed mean ratio exceeds a threshold. Recovery is
+//! symmetric: once enough normal-speed steps push the mean back under the
+//! threshold, the node is healthy again. The probe is pure bookkeeping —
+//! observing never perturbs simulated time — and fully deterministic.
+
+use std::collections::VecDeque;
+
+/// Default straggler threshold: flagged when steps run ≥ 1.5× nominal.
+pub const DEFAULT_STRAGGLER_THRESHOLD: f64 = 1.5;
+/// Default observation window (steps).
+pub const DEFAULT_HEALTH_WINDOW: usize = 4;
+
+/// Sliding-window step-latency health probe for one node.
+#[derive(Debug, Clone)]
+pub struct NodeHealth {
+    threshold: f64,
+    window: usize,
+    ratios: VecDeque<f64>,
+    flagged_total: u64,
+}
+
+impl Default for NodeHealth {
+    fn default() -> Self {
+        Self::new(DEFAULT_STRAGGLER_THRESHOLD, DEFAULT_HEALTH_WINDOW)
+    }
+}
+
+impl NodeHealth {
+    /// A probe flagging the node once the mean measured/nominal latency
+    /// ratio over the last `window` steps exceeds `threshold`.
+    pub fn new(threshold: f64, window: usize) -> Self {
+        assert!(
+            threshold >= 1.0,
+            "a threshold below 1.0 flags healthy nodes"
+        );
+        assert!(window > 0, "an empty window can never observe anything");
+        NodeHealth {
+            threshold,
+            window,
+            ratios: VecDeque::new(),
+            flagged_total: 0,
+        }
+    }
+
+    /// Records one step: `nominal_secs` is the interference-free step time
+    /// the runtime planned for, `measured_secs` what the node delivered.
+    pub fn observe(&mut self, nominal_secs: f64, measured_secs: f64) {
+        let ratio = if nominal_secs > 0.0 {
+            measured_secs / nominal_secs
+        } else {
+            1.0
+        };
+        if self.ratios.len() == self.window {
+            self.ratios.pop_front();
+        }
+        self.ratios.push_back(ratio);
+        if self.is_straggler() {
+            self.flagged_total += 1;
+        }
+    }
+
+    /// Mean measured/nominal ratio over the window (1.0 when unobserved).
+    pub fn mean_ratio(&self) -> f64 {
+        if self.ratios.is_empty() {
+            return 1.0;
+        }
+        self.ratios.iter().sum::<f64>() / self.ratios.len() as f64
+    }
+
+    /// Whether the node currently looks like a straggler.
+    pub fn is_straggler(&self) -> bool {
+        self.mean_ratio() > self.threshold
+    }
+
+    /// How many observations have landed while the node was flagged —
+    /// a cheap "how long has this node been sick" signal.
+    pub fn flagged_observations(&self) -> u64 {
+        self.flagged_total
+    }
+
+    /// Drops all observations (e.g. after the node was drained and
+    /// re-admitted following a crash — its old latency history is stale).
+    pub fn reset(&mut self) {
+        self.ratios.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn healthy_until_slow_steps_arrive() {
+        let mut h = NodeHealth::new(1.5, 3);
+        assert!(!h.is_straggler());
+        h.observe(1.0, 1.0);
+        h.observe(1.0, 1.05);
+        assert!(!h.is_straggler());
+        h.observe(1.0, 4.0);
+        // Mean (1.0 + 1.05 + 4.0)/3 ≈ 2.0 > 1.5.
+        assert!(h.is_straggler());
+    }
+
+    #[test]
+    fn recovers_once_normal_steps_refill_the_window() {
+        let mut h = NodeHealth::new(1.5, 2);
+        h.observe(1.0, 3.0);
+        h.observe(1.0, 3.0);
+        assert!(h.is_straggler());
+        h.observe(1.0, 1.0);
+        h.observe(1.0, 1.0);
+        assert!(!h.is_straggler(), "window refilled with healthy steps");
+        assert!(h.flagged_observations() >= 2);
+    }
+
+    #[test]
+    fn reset_clears_history() {
+        let mut h = NodeHealth::default();
+        h.observe(1.0, 10.0);
+        assert!(h.is_straggler());
+        h.reset();
+        assert!(!h.is_straggler());
+        assert_eq!(h.mean_ratio(), 1.0);
+    }
+
+    #[test]
+    fn zero_nominal_is_treated_as_healthy() {
+        let mut h = NodeHealth::default();
+        h.observe(0.0, 5.0);
+        assert!(!h.is_straggler());
+    }
+}

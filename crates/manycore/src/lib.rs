@@ -40,6 +40,7 @@
 pub mod cost;
 pub mod engine;
 pub mod error;
+pub mod health;
 pub mod noise;
 pub mod placement;
 pub mod signature;
@@ -49,6 +50,7 @@ pub mod workload;
 pub use cost::{CostModel, KnlCostModel, KnlParams};
 pub use engine::{Engine, EngineEvent, EventKind, JobId, JobOutcome};
 pub use error::MachineError;
+pub use health::{NodeHealth, DEFAULT_HEALTH_WINDOW, DEFAULT_STRAGGLER_THRESHOLD};
 pub use noise::NoiseModel;
 pub use placement::{Placement, PlacementRequest, SharingMode, SlotPreference};
 pub use signature::MachineSignature;

@@ -1,0 +1,107 @@
+//! Lightweight job checkpoints for crash recovery.
+//!
+//! A checkpoint deliberately stores almost nothing: the number of training
+//! steps the job has completed and the list of profile keys whose fitted
+//! curves the job contributed to (or found in) the shared
+//! [`crate::ProfileStore`]. The curves themselves are *not* duplicated — the
+//! store is the system of record. On restore the fleet re-places the job on
+//! a surviving node, resumes from `steps_done`, and warm-starts concurrency
+//! control from the store; if corruption has eaten the checkpointed keys in
+//! the meantime, the runtime simply re-profiles them (and may degrade to the
+//! baseline plan if the profiling budget is exhausted). That makes a
+//! corrupted restore a *performance* fault, never a correctness fault.
+
+use crate::job::JobId;
+use nnrt_graph::OpKey;
+use std::collections::HashMap;
+
+/// One lightweight recovery point for a job.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Training steps completed when the checkpoint was taken.
+    pub steps_done: u32,
+    /// Profile keys the job had fitted curves for in the shared store.
+    pub fitted_keys: Vec<OpKey>,
+    /// Simulated time the checkpoint was written.
+    pub at: f64,
+}
+
+/// In-memory checkpoint store, latest-wins per job.
+#[derive(Debug, Default)]
+pub struct CheckpointStore {
+    latest: HashMap<u64, Checkpoint>,
+    writes: u64,
+}
+
+impl CheckpointStore {
+    /// An empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records `ckpt` as the latest recovery point for `job`.
+    pub fn save(&mut self, job: JobId, ckpt: Checkpoint) {
+        self.latest.insert(job.0, ckpt);
+        self.writes += 1;
+    }
+
+    /// The most recent checkpoint for `job`, if any.
+    pub fn latest(&self, job: JobId) -> Option<&Checkpoint> {
+        self.latest.get(&job.0)
+    }
+
+    /// Drops the checkpoint for a completed job.
+    pub fn remove(&mut self, job: JobId) {
+        self.latest.remove(&job.0);
+    }
+
+    /// Total checkpoint writes over the store's lifetime.
+    pub fn writes(&self) -> u64 {
+        self.writes
+    }
+
+    /// Number of jobs currently holding a checkpoint.
+    pub fn len(&self) -> usize {
+        self.latest.len()
+    }
+
+    /// Whether no job holds a checkpoint.
+    pub fn is_empty(&self) -> bool {
+        self.latest.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ckpt(steps: u32) -> Checkpoint {
+        Checkpoint {
+            steps_done: steps,
+            fitted_keys: Vec::new(),
+            at: steps as f64,
+        }
+    }
+
+    #[test]
+    fn latest_wins_and_writes_accumulate() {
+        let mut store = CheckpointStore::new();
+        store.save(JobId(1), ckpt(2));
+        store.save(JobId(1), ckpt(4));
+        store.save(JobId(2), ckpt(1));
+        assert_eq!(store.latest(JobId(1)).unwrap().steps_done, 4);
+        assert_eq!(store.latest(JobId(2)).unwrap().steps_done, 1);
+        assert_eq!(store.writes(), 3);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn remove_forgets_a_job_but_not_the_write_count() {
+        let mut store = CheckpointStore::new();
+        store.save(JobId(7), ckpt(3));
+        store.remove(JobId(7));
+        assert!(store.latest(JobId(7)).is_none());
+        assert!(store.is_empty());
+        assert_eq!(store.writes(), 1);
+    }
+}

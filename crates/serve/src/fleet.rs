@@ -1,16 +1,42 @@
-//! The service loop: placement, round-robin stepping, and fleet statistics.
+//! The service loop: placement, round-robin stepping, fault recovery, and
+//! fleet statistics.
 //!
 //! A [`Fleet`] owns a set of simulated manycore nodes, an admission queue,
 //! and a shared [`ProfileStore`]. Submitted jobs are placed onto the least
-//! loaded node, warm-started from the store (skipping every already-profiled
-//! key), then driven step by step round-robin with the node's other resident
-//! jobs on a simulated clock. The run produces a [`FleetReport`] with
-//! per-job and fleet-wide statistics: steps/sec, profiling steps saved by
-//! warm starts, queue latency, and rejections.
+//! loaded healthy node, warm-started from the store (skipping every
+//! already-profiled key), then driven step by step round-robin with the
+//! node's other resident jobs on a simulated clock. The run produces a
+//! [`FleetReport`] with per-job and fleet-wide statistics: steps/sec,
+//! profiling steps saved by warm starts, queue latency, and rejections.
+//!
+//! ## Fault tolerance
+//!
+//! An optional [`FaultPlan`] (see [`Fleet::set_fault_plan`]) injects
+//! deterministic faults at step boundaries of the simulated clock:
+//!
+//! * **Node crash** — resident jobs are evicted and re-admitted onto
+//!   surviving nodes with exponential backoff, resuming from their latest
+//!   lightweight [`Checkpoint`] (steps done + fitted profile keys; the
+//!   curves themselves live in the shared store).
+//! * **Straggler** — a slowed node's measured step latency trips the
+//!   [`NodeHealth`] probe, and placement avoids flagged nodes until their
+//!   latency window recovers.
+//! * **Store corruption** — a deterministic fraction of the shared store
+//!   vanishes; jobs restoring from checkpoints whose keys were lost simply
+//!   re-profile.
+//! * **Profiling budget** — when re-profiling exceeds the plan's per-job
+//!   budget, the runtime degrades the unfinished keys to the TF-guide
+//!   baseline thread plan instead of failing, and the report records them.
+//!
+//! An empty plan injects nothing, and the run is byte-identical to one
+//! without chaos: the fault paths multiply by exactly 1.0 or never execute.
 
+use crate::chaos::{FaultEvent, FaultPlan, INITIAL_BACKOFF_SECS, MAX_BACKOFF_SECS};
+use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::job::{AdmissionQueue, AdmitError, JobId, JobSpec, QueuedJob};
 use crate::store::ProfileStore;
-use nnrt_manycore::{KnlCostModel, MachineSignature};
+use nnrt_graph::OpKey;
+use nnrt_manycore::{KnlCostModel, MachineSignature, NodeHealth};
 use nnrt_sched::{export_chrome_trace, OpCatalog, Runtime, RuntimeConfig};
 use serde::Serialize;
 use std::collections::{HashMap, VecDeque};
@@ -33,6 +59,9 @@ pub struct FleetConfig {
     pub seed: u64,
     /// Record a Chrome trace of one training step per job.
     pub record_traces: bool,
+    /// Steps between lightweight recovery checkpoints (0 disables them; a
+    /// crashed job then restarts from step 0).
+    pub checkpoint_interval: u32,
 }
 
 impl Default for FleetConfig {
@@ -44,6 +73,7 @@ impl Default for FleetConfig {
             runtime: RuntimeConfig::default(),
             seed: 0xF1EE7,
             record_traces: false,
+            checkpoint_interval: 1,
         }
     }
 }
@@ -61,6 +91,14 @@ struct RunningJob {
     total_keys: usize,
     profiling_secs: f64,
     chrome_trace: Option<String>,
+    /// Keys with fitted curves in the shared store — the checkpoint payload.
+    fitted_keys: Vec<OpKey>,
+    /// Profiling steps paid over the job's lifetime, cumulative across
+    /// re-admissions; compared against the plan's per-job budget.
+    budget_spent: u32,
+    retries: u32,
+    checkpoint_restores: u32,
+    degraded_keys: usize,
 }
 
 struct Node {
@@ -69,6 +107,24 @@ struct Node {
     clock: f64,
     residents: VecDeque<RunningJob>,
     max_jobs: usize,
+    /// The node takes no placements before this simulated time.
+    down_until: f64,
+    /// Accumulated downtime over the run, seconds.
+    downtime: f64,
+    /// Step-time multiplier while `clock < slow_until` (1.0 = healthy).
+    slow_factor: f64,
+    slow_until: f64,
+    health: NodeHealth,
+}
+
+/// A job evicted by a crash, waiting to be re-admitted.
+struct RetryJob {
+    job: RunningJob,
+    /// Earliest simulated time of the next admission attempt.
+    eligible_at: f64,
+    /// Wait applied after the next failed attempt (doubles up to
+    /// [`MAX_BACKOFF_SECS`]).
+    backoff_secs: f64,
 }
 
 /// One completed job's statistics.
@@ -80,7 +136,7 @@ pub struct JobReport {
     pub name: String,
     /// Model family.
     pub model: String,
-    /// Node the job ran on.
+    /// Node the job ran on (the last one, if crashes moved it).
     pub node: u32,
     /// Admission priority.
     pub priority: u8,
@@ -92,7 +148,8 @@ pub struct JobReport {
     pub submitted_at: f64,
     /// Time spent waiting for a node slot, seconds.
     pub queue_latency_secs: f64,
-    /// Profiling steps this job actually paid (after warm start).
+    /// Profiling steps this job actually paid (after warm start), summed
+    /// over every admission.
     pub profiling_steps: u32,
     /// Profiling steps avoided versus the cold first job of this model.
     pub profiling_steps_saved: u32,
@@ -100,6 +157,12 @@ pub struct JobReport {
     pub warm_keys: usize,
     /// Total profile keys of the job's graph.
     pub total_keys: usize,
+    /// Re-admissions after crash evictions.
+    pub retries: u32,
+    /// Times the job resumed from a checkpoint instead of step 0.
+    pub checkpoint_restores: u32,
+    /// Profile keys degraded to the baseline plan by budget exhaustion.
+    pub degraded_keys: usize,
     /// Duration of one training step, seconds.
     pub step_secs: f64,
     /// Time spent profiling, seconds.
@@ -135,9 +198,28 @@ pub struct FleetReport {
     pub rejected: u64,
     /// Curve pairs resident in the shared store after the run.
     pub store_entries: usize,
+    /// Fault events that actually fired during the run.
+    pub faults_injected: usize,
+    /// Crash-evicted re-admissions across all jobs.
+    pub retries_total: u64,
+    /// Checkpoint restores across all jobs.
+    pub checkpoint_restores_total: u64,
+    /// Profile keys degraded to the baseline plan across all jobs.
+    pub degraded_keys_total: u64,
+    /// Checkpoint writes over the run.
+    pub checkpoint_writes: u64,
+    /// Per-node accumulated downtime, seconds.
+    pub node_downtime_secs: Vec<f64>,
 }
 
 impl FleetReport {
+    /// Canonical pretty-printed JSON of the report. Field order is fixed,
+    /// so two identically-seeded runs produce byte-identical output — the
+    /// determinism contract the chaos CI suite pins.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("fleet report serializes")
+    }
+
     /// Multi-line human-readable summary (the `nnrt serve` output).
     pub fn render(&self) -> String {
         use std::fmt::Write as _;
@@ -160,6 +242,18 @@ impl FleetReport {
             "queue: mean latency {:.3}s, max {:.3}s, {} rejected",
             self.mean_queue_latency_secs, self.max_queue_latency_secs, self.rejected
         );
+        if self.faults_injected > 0 {
+            let downtime: f64 = self.node_downtime_secs.iter().sum();
+            let _ = writeln!(
+                out,
+                "chaos: {} faults injected, {} retries, {} checkpoint restores, {} degraded keys, {:.3}s node downtime",
+                self.faults_injected,
+                self.retries_total,
+                self.checkpoint_restores_total,
+                self.degraded_keys_total,
+                downtime
+            );
+        }
         let _ = writeln!(
             out,
             "{:<16} {:>4} {:>4} {:>6} {:>9} {:>7} {:>9} {:>10} {:>10}",
@@ -194,6 +288,12 @@ pub struct Fleet {
     next_id: u64,
     completed: Vec<JobReport>,
     cold_steps_by_model: HashMap<String, u32>,
+    plan: FaultPlan,
+    /// `plan.events` sorted by firing time; consumed through `event_cursor`.
+    events: Vec<FaultEvent>,
+    event_cursor: usize,
+    retries: Vec<RetryJob>,
+    checkpoints: CheckpointStore,
 }
 
 impl Fleet {
@@ -223,6 +323,11 @@ impl Fleet {
                 clock: 0.0,
                 residents: VecDeque::new(),
                 max_jobs: config.max_jobs_per_node.max(1),
+                down_until: 0.0,
+                downtime: 0.0,
+                slow_factor: 1.0,
+                slow_until: 0.0,
+                health: NodeHealth::default(),
             })
             .collect();
         Fleet {
@@ -233,7 +338,26 @@ impl Fleet {
             next_id: 0,
             completed: Vec::new(),
             cold_steps_by_model: HashMap::new(),
+            plan: FaultPlan::none(),
+            events: Vec::new(),
+            event_cursor: 0,
+            retries: Vec::new(),
+            checkpoints: CheckpointStore::new(),
         }
+    }
+
+    /// Arms a fault plan for the next [`Fleet::run`]. Call before `run`;
+    /// the fault-free plan ([`FaultPlan::none`]) is equivalent to never
+    /// calling this.
+    pub fn set_fault_plan(&mut self, plan: FaultPlan) {
+        self.events = plan.sorted_events();
+        self.event_cursor = 0;
+        self.plan = plan;
+    }
+
+    /// The armed fault plan (fault-free by default).
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.plan
     }
 
     /// The shared profile store.
@@ -251,13 +375,60 @@ impl Fleet {
     }
 
     /// Submits a job. Queued jobs are placed when `run` executes; a full
-    /// queue rejects with [`AdmitError::Saturated`].
+    /// queue rejects with [`AdmitError::Saturated`], whose retry hint is
+    /// derived from the fleet's current clocks and backlog.
     pub fn submit(&mut self, spec: JobSpec) -> Result<JobId, AdmitError> {
         let id = JobId(self.next_id);
         let now = self.now();
-        self.queue.submit(id, spec, now)?;
+        let hint = self.saturation_hint();
+        self.queue.submit(id, spec, now, hint)?;
         self.next_id += 1;
         Ok(id)
+    }
+
+    /// How long a rejected submitter should wait before retrying: the
+    /// earliest simulated time any node frees a slot (now, if one is free
+    /// and up), plus the backlog already queued ahead of the caller at the
+    /// fleet's mean resident step pace (a documented heuristic of one
+    /// second per queued job when nothing is resident yet).
+    fn saturation_hint(&self) -> f64 {
+        let now = self.now();
+        let mut free_slots = 0usize;
+        let mut earliest = f64::INFINITY;
+        let mut resident_jobs = 0usize;
+        let mut resident_step_secs = 0.0;
+        for n in &self.nodes {
+            let free = n.max_jobs.saturating_sub(n.residents.len());
+            free_slots += free;
+            resident_jobs += n.residents.len();
+            resident_step_secs += n.residents.iter().map(|j| j.step_secs).sum::<f64>();
+            if free > 0 {
+                earliest = earliest.min((n.down_until - now).max(0.0));
+            } else {
+                // Round-robin: a slot frees when the resident with the
+                // fewest remaining steps finishes, one full rotation per
+                // step.
+                let round: f64 = n.residents.iter().map(|j| j.step_secs).sum();
+                let min_remaining = n
+                    .residents
+                    .iter()
+                    .map(|j| j.spec.steps.saturating_sub(j.steps_done))
+                    .min()
+                    .unwrap_or(0);
+                let free_at = n.clock + min_remaining as f64 * round;
+                earliest = earliest.min((free_at - now).max(0.0));
+            }
+        }
+        if !earliest.is_finite() {
+            earliest = 0.0;
+        }
+        let pace = if resident_jobs > 0 {
+            resident_step_secs / resident_jobs as f64
+        } else {
+            1.0
+        };
+        let excess = self.queue.len().saturating_sub(free_slots) as f64;
+        (earliest + excess * pace).max(0.001)
     }
 
     /// Per-job profiling seed: decorrelates jobs while keeping the fleet
@@ -269,14 +440,18 @@ impl Fleet {
         z ^ (z >> 31)
     }
 
-    /// Places queued jobs onto nodes with free slots, least-loaded first.
-    fn place_queued(&mut self) {
-        while self.queue.peek().is_some() {
-            let Some(node_idx) = self
-                .nodes
+    /// The node new work should land on at simulated time `now`: least
+    /// loaded (then earliest clock, then lowest index) among nodes that are
+    /// up and have a free slot, preferring nodes the health probe has not
+    /// flagged. Falls back to a flagged node when every healthy node is
+    /// full — a slow node beats starving the queue.
+    fn placement_node(&self, now: f64) -> Option<usize> {
+        let pick = |allow_stragglers: bool| {
+            self.nodes
                 .iter()
                 .enumerate()
-                .filter(|(_, n)| n.residents.len() < n.max_jobs)
+                .filter(|(_, n)| n.residents.len() < n.max_jobs && n.down_until <= now)
+                .filter(|(_, n)| allow_stragglers || !n.health.is_straggler())
                 .min_by(|(ia, a), (ib, b)| {
                     a.residents
                         .len()
@@ -285,8 +460,15 @@ impl Fleet {
                         .then(ia.cmp(ib))
                 })
                 .map(|(i, _)| i)
-            else {
-                return; // every node is full; jobs wait for completions
+        };
+        pick(false).or_else(|| pick(true))
+    }
+
+    /// Places queued jobs onto nodes with free slots, least-loaded first.
+    fn place_queued(&mut self) {
+        while self.queue.peek().is_some() {
+            let Some(node_idx) = self.placement_node(self.now()) else {
+                return; // every node is full or down; jobs wait
             };
             let job = self.queue.pop().expect("peeked job");
             self.admit_to_node(node_idx, job);
@@ -307,8 +489,16 @@ impl Fleet {
         let warm = self.store.lookup(signature, &keys);
         let mut config = self.config.runtime;
         config.seed = self.job_seed(job.id);
-        let mut runtime = Runtime::prepare_warm(&job.spec.graph, node_cost, config, &warm);
+        let budget = self.plan.profiling_step_budget.unwrap_or(u32::MAX);
+        let mut runtime =
+            Runtime::prepare_warm_budgeted(&job.spec.graph, node_cost, config, &warm, budget);
         let profiling_steps = runtime.model().profiling_steps;
+        let degraded_keys = runtime.degraded_keys().len();
+        let fitted_keys: Vec<OpKey> = keys
+            .iter()
+            .filter(|k| runtime.model().contains(k))
+            .cloned()
+            .collect();
         // Publish everything this job measured (and refresh what it reused).
         self.store.insert_many(signature, &runtime.model().export());
 
@@ -343,16 +533,168 @@ impl Fleet {
             total_keys: keys.len(),
             profiling_secs,
             chrome_trace,
+            fitted_keys,
+            budget_spent: profiling_steps,
+            retries: 0,
+            checkpoint_restores: 0,
+            degraded_keys,
         });
     }
 
-    /// Runs every queued and resident job to completion and reports.
-    pub fn run(&mut self) -> FleetReport {
-        self.place_queued();
-        // The busy node with the earliest clock takes each turn; the run
-        // ends when every node is idle.
-        while let Some(node_idx) = self
-            .nodes
+    /// Re-admits a crash-evicted job onto node `node_idx` at time `now`,
+    /// resuming from its latest checkpoint and warm-starting from whatever
+    /// the shared store still holds. Profiling that the (possibly
+    /// corrupted) store can no longer satisfy is re-paid against the job's
+    /// *remaining* budget; keys that do not fit run degraded.
+    fn admit_retry_to_node(&mut self, node_idx: usize, retry: RetryJob, now: f64) {
+        let mut job = retry.job;
+        let (signature, node_cost) = {
+            let node = &self.nodes[node_idx];
+            (node.signature, node.cost.clone())
+        };
+        let resume = self
+            .checkpoints
+            .latest(job.id)
+            .map(|c| c.steps_done)
+            .unwrap_or(0);
+        if resume > 0 {
+            job.checkpoint_restores += 1;
+        }
+        job.retries += 1;
+        job.steps_done = resume;
+
+        let catalog = OpCatalog::new(&job.spec.graph);
+        let keys = catalog.keys().to_vec();
+        let warm = self.store.lookup(signature, &keys);
+        let mut config = self.config.runtime;
+        config.seed = self.job_seed(job.id);
+        let remaining_budget = self
+            .plan
+            .profiling_step_budget
+            .map_or(u32::MAX, |b| b.saturating_sub(job.budget_spent));
+        let mut runtime = Runtime::prepare_warm_budgeted(
+            &job.spec.graph,
+            node_cost,
+            config,
+            &warm,
+            remaining_budget,
+        );
+        let paid = runtime.model().profiling_steps;
+        self.store.insert_many(signature, &runtime.model().export());
+        job.fitted_keys = keys
+            .iter()
+            .filter(|k| runtime.model().contains(k))
+            .cloned()
+            .collect();
+        job.degraded_keys = runtime.degraded_keys().len();
+        job.profiling_steps += paid;
+        job.budget_spent = job.budget_spent.saturating_add(paid);
+
+        runtime.record_trace(self.config.record_traces);
+        let step = runtime.run_step(&job.spec.graph);
+        if self.config.record_traces {
+            job.chrome_trace = Some(export_chrome_trace(&job.spec.graph, &step.timings));
+        }
+        job.step_secs = step.total_secs;
+        let profiling_secs = paid as f64 * step.total_secs;
+        job.profiling_secs += profiling_secs;
+
+        let node = &mut self.nodes[node_idx];
+        // A re-admission cannot happen before the time it was attempted.
+        node.clock = node.clock.max(now) + profiling_secs;
+        node.residents.push_back(job);
+    }
+
+    /// Firing time of the next unfired fault, if any.
+    fn pending_event_at(&self) -> Option<f64> {
+        self.events.get(self.event_cursor).map(|e| e.at())
+    }
+
+    /// Earliest re-admission eligibility among evicted jobs, if any.
+    fn pending_retry_at(&self) -> Option<f64> {
+        self.retries.iter().map(|r| r.eligible_at).reduce(f64::min)
+    }
+
+    /// Fires the next scheduled fault against the fleet.
+    fn fire_next_event(&mut self) {
+        let event = self.events[self.event_cursor].clone();
+        self.event_cursor += 1;
+        match event {
+            FaultEvent::NodeCrash {
+                node,
+                at,
+                down_secs,
+            } => {
+                let idx = node as usize % self.nodes.len();
+                let n = &mut self.nodes[idx];
+                // The crash lands at the node's next step boundary.
+                let start = n.clock.max(at);
+                n.down_until = start + down_secs.max(0.0);
+                n.downtime += down_secs.max(0.0);
+                n.clock = n.down_until;
+                n.health.reset();
+                let evicted: Vec<RunningJob> = n.residents.drain(..).collect();
+                for job in evicted {
+                    self.retries.push(RetryJob {
+                        job,
+                        eligible_at: start + INITIAL_BACKOFF_SECS,
+                        backoff_secs: INITIAL_BACKOFF_SECS,
+                    });
+                }
+            }
+            FaultEvent::NodeSlowdown {
+                node,
+                at,
+                factor,
+                duration_secs,
+            } => {
+                let idx = node as usize % self.nodes.len();
+                let n = &mut self.nodes[idx];
+                n.slow_factor = factor.max(1.0);
+                n.slow_until = at + duration_secs.max(0.0);
+            }
+            FaultEvent::StoreCorruption { drop_fraction, .. } => {
+                self.store
+                    .corrupt_deterministic(self.plan.seed, drop_fraction);
+            }
+        }
+    }
+
+    /// Attempts to re-admit every evicted job whose backoff has elapsed by
+    /// `now`; failed attempts double their backoff (capped) so the loop
+    /// always makes progress.
+    fn try_admit_retries(&mut self, now: f64) {
+        // Deterministic attempt order: eligibility time, then job id.
+        self.retries.sort_by(|a, b| {
+            a.eligible_at
+                .partial_cmp(&b.eligible_at)
+                .expect("finite backoff times")
+                .then(a.job.id.cmp(&b.job.id))
+        });
+        let mut i = 0;
+        while i < self.retries.len() {
+            if self.retries[i].eligible_at > now {
+                i += 1;
+                continue;
+            }
+            match self.placement_node(now) {
+                Some(node_idx) => {
+                    let retry = self.retries.remove(i);
+                    self.admit_retry_to_node(node_idx, retry, now);
+                }
+                None => {
+                    let retry = &mut self.retries[i];
+                    retry.backoff_secs = (retry.backoff_secs * 2.0).min(MAX_BACKOFF_SECS);
+                    retry.eligible_at = now + retry.backoff_secs;
+                    i += 1;
+                }
+            }
+        }
+    }
+
+    /// The busy node with the earliest clock (lowest index on ties).
+    fn next_busy_node(&self) -> Option<usize> {
+        self.nodes
             .iter()
             .enumerate()
             .filter(|(_, n)| !n.residents.is_empty())
@@ -363,36 +705,102 @@ impl Fleet {
                     .then(ia.cmp(ib))
             })
             .map(|(i, _)| i)
-        {
-            let node = &mut self.nodes[node_idx];
-            let mut job = node.residents.pop_front().expect("busy node");
-            node.clock += job.step_secs;
-            job.steps_done += 1;
-            if job.steps_done < job.spec.steps {
-                node.residents.push_back(job);
-            } else {
-                let completed_at = node.clock;
-                self.completed.push(JobReport {
-                    id: job.id.0,
-                    name: job.spec.name,
-                    model: job.spec.model,
-                    node: node_idx as u32,
-                    priority: job.spec.priority,
-                    weight: job.spec.weight,
-                    steps: job.steps_done,
-                    submitted_at: job.submitted_at,
-                    queue_latency_secs: job.queue_latency,
-                    profiling_steps: job.profiling_steps,
-                    profiling_steps_saved: job.profiling_steps_saved,
-                    warm_keys: job.warm_keys,
-                    total_keys: job.total_keys,
-                    step_secs: job.step_secs,
-                    profiling_secs: job.profiling_secs,
-                    completed_at,
-                    chrome_trace: job.chrome_trace,
-                });
-                self.place_queued();
+    }
+
+    /// Executes one training step of `node_idx`'s front resident job,
+    /// applying any active slowdown, feeding the health probe, and writing
+    /// a checkpoint every `checkpoint_interval` steps.
+    fn step_node(&mut self, node_idx: usize) {
+        let node = &mut self.nodes[node_idx];
+        let mut job = node.residents.pop_front().expect("busy node");
+        let slow = if node.clock < node.slow_until {
+            node.slow_factor
+        } else {
+            1.0
+        };
+        let measured = job.step_secs * slow;
+        node.clock += measured;
+        node.health.observe(job.step_secs, measured);
+        job.steps_done += 1;
+        let clock = node.clock;
+        let interval = self.config.checkpoint_interval;
+        if job.steps_done < job.spec.steps {
+            if interval > 0 && job.steps_done.is_multiple_of(interval) {
+                self.checkpoints.save(
+                    job.id,
+                    Checkpoint {
+                        steps_done: job.steps_done,
+                        fitted_keys: job.fitted_keys.clone(),
+                        at: clock,
+                    },
+                );
             }
+            self.nodes[node_idx].residents.push_back(job);
+        } else {
+            self.checkpoints.remove(job.id);
+            self.completed.push(JobReport {
+                id: job.id.0,
+                name: job.spec.name,
+                model: job.spec.model,
+                node: node_idx as u32,
+                priority: job.spec.priority,
+                weight: job.spec.weight,
+                steps: job.steps_done,
+                submitted_at: job.submitted_at,
+                queue_latency_secs: job.queue_latency,
+                profiling_steps: job.profiling_steps,
+                profiling_steps_saved: job.profiling_steps_saved,
+                warm_keys: job.warm_keys,
+                total_keys: job.total_keys,
+                retries: job.retries,
+                checkpoint_restores: job.checkpoint_restores,
+                degraded_keys: job.degraded_keys,
+                step_secs: job.step_secs,
+                profiling_secs: job.profiling_secs,
+                completed_at: clock,
+                chrome_trace: job.chrome_trace,
+            });
+            self.place_queued();
+        }
+    }
+
+    /// Runs every queued, resident, and evicted job to completion and
+    /// reports. Faults from the armed plan fire in time order at step
+    /// boundaries of the simulated clock.
+    pub fn run(&mut self) -> FleetReport {
+        self.place_queued();
+        loop {
+            let busy = self.next_busy_node();
+            // The time at which the next thing happens.
+            let frontier = match busy {
+                Some(i) => self.nodes[i].clock,
+                None => {
+                    let pending = [self.pending_event_at(), self.pending_retry_at()]
+                        .into_iter()
+                        .flatten()
+                        .reduce(f64::min);
+                    match pending {
+                        Some(t) => t,
+                        None => break, // fully drained
+                    }
+                }
+            };
+            if self.pending_event_at().is_some_and(|at| at <= frontier) {
+                self.fire_next_event();
+                self.try_admit_retries(frontier);
+                self.place_queued();
+                continue;
+            }
+            if self.pending_retry_at().is_some_and(|at| at <= frontier) {
+                self.try_admit_retries(frontier);
+                continue;
+            }
+            let Some(node_idx) = busy else {
+                // `frontier` came from a pending event or retry, so one of
+                // the branches above must have consumed it.
+                unreachable!("idle fleet with nothing pending");
+            };
+            self.step_node(node_idx);
         }
         self.report()
     }
@@ -421,6 +829,12 @@ impl Fleet {
             max_queue_latency_secs: latencies.iter().cloned().fold(0.0, f64::max),
             rejected: self.queue.rejections(),
             store_entries: self.store.len(),
+            faults_injected: self.event_cursor,
+            retries_total: jobs.iter().map(|j| j.retries as u64).sum(),
+            checkpoint_restores_total: jobs.iter().map(|j| j.checkpoint_restores as u64).sum(),
+            degraded_keys_total: jobs.iter().map(|j| j.degraded_keys as u64).sum(),
+            checkpoint_writes: self.checkpoints.writes(),
+            node_downtime_secs: self.nodes.iter().map(|n| n.downtime).collect(),
             jobs,
         }
     }

@@ -41,7 +41,7 @@ pub struct JobSpec {
 }
 
 /// Typed admission failure.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum AdmitError {
     /// The admission queue is at capacity; retry after completions.
     Saturated {
@@ -49,6 +49,10 @@ pub enum AdmitError {
         queued: usize,
         /// The queue's capacity.
         capacity: usize,
+        /// How long the submitter should wait before retrying, in simulated
+        /// seconds — derived from the fleet's node clocks and backlog, not a
+        /// constant.
+        retry_after_secs: f64,
     },
     /// The job is malformed (empty graph or zero steps) and would never
     /// make progress.
@@ -61,9 +65,13 @@ pub enum AdmitError {
 impl fmt::Display for AdmitError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            AdmitError::Saturated { queued, capacity } => write!(
+            AdmitError::Saturated {
+                queued,
+                capacity,
+                retry_after_secs,
+            } => write!(
                 f,
-                "admission queue saturated ({queued}/{capacity} jobs); retry later"
+                "admission queue saturated ({queued}/{capacity} jobs); retry in ~{retry_after_secs:.3}s"
             ),
             AdmitError::EmptyJob { name } => {
                 write!(f, "job `{name}` has no work (empty graph or zero steps)")
@@ -124,8 +132,16 @@ impl AdmissionQueue {
 
     /// Admits `spec` at simulated time `now`, or rejects it with a typed
     /// error. Admitted jobs are ordered by (priority desc, weight desc,
-    /// submission order).
-    pub fn submit(&mut self, id: JobId, spec: JobSpec, now: f64) -> Result<(), AdmitError> {
+    /// submission order). `retry_after_hint` is the caller-computed wait a
+    /// saturated rejection should carry (the queue itself cannot see node
+    /// clocks).
+    pub fn submit(
+        &mut self,
+        id: JobId,
+        spec: JobSpec,
+        now: f64,
+        retry_after_hint: f64,
+    ) -> Result<(), AdmitError> {
         if spec.graph.is_empty() || spec.steps == 0 {
             self.rejections += 1;
             return Err(AdmitError::EmptyJob { name: spec.name });
@@ -135,6 +151,7 @@ impl AdmissionQueue {
             return Err(AdmitError::Saturated {
                 queued: self.jobs.len(),
                 capacity: self.capacity,
+                retry_after_secs: retry_after_hint.max(0.0),
             });
         }
         let job = QueuedJob {
@@ -196,10 +213,11 @@ mod tests {
     #[test]
     fn priority_then_weight_then_fifo() {
         let mut q = AdmissionQueue::new(8);
-        q.submit(JobId(0), spec("low-a", 0, 1.0), 0.0).unwrap();
-        q.submit(JobId(1), spec("high", 5, 1.0), 0.0).unwrap();
-        q.submit(JobId(2), spec("low-b", 0, 1.0), 0.0).unwrap();
-        q.submit(JobId(3), spec("low-heavy", 0, 9.0), 0.0).unwrap();
+        q.submit(JobId(0), spec("low-a", 0, 1.0), 0.0, 0.0).unwrap();
+        q.submit(JobId(1), spec("high", 5, 1.0), 0.0, 0.0).unwrap();
+        q.submit(JobId(2), spec("low-b", 0, 1.0), 0.0, 0.0).unwrap();
+        q.submit(JobId(3), spec("low-heavy", 0, 9.0), 0.0, 0.0)
+            .unwrap();
         let order: Vec<String> = std::iter::from_fn(|| q.pop())
             .map(|j| j.spec.name)
             .collect();
@@ -207,21 +225,38 @@ mod tests {
     }
 
     #[test]
-    fn saturation_is_a_typed_rejection() {
+    fn saturation_is_a_typed_rejection_with_a_retry_hint() {
         let mut q = AdmissionQueue::new(1);
-        q.submit(JobId(0), spec("a", 0, 1.0), 0.0).unwrap();
-        let err = q.submit(JobId(1), spec("b", 0, 1.0), 0.0).unwrap_err();
+        q.submit(JobId(0), spec("a", 0, 1.0), 0.0, 0.0).unwrap();
+        let err = q.submit(JobId(1), spec("b", 0, 1.0), 0.0, 2.5).unwrap_err();
         assert_eq!(
             err,
             AdmitError::Saturated {
                 queued: 1,
-                capacity: 1
+                capacity: 1,
+                retry_after_secs: 2.5
             }
         );
+        assert!(err.to_string().contains("retry in ~2.500s"));
         assert_eq!(q.rejections(), 1);
         // Popping frees a slot.
         q.pop();
-        q.submit(JobId(2), spec("c", 0, 1.0), 0.0).unwrap();
+        q.submit(JobId(2), spec("c", 0, 1.0), 0.0, 0.0).unwrap();
+    }
+
+    #[test]
+    fn negative_retry_hints_are_clamped_to_zero() {
+        let mut q = AdmissionQueue::new(1);
+        q.submit(JobId(0), spec("a", 0, 1.0), 0.0, 0.0).unwrap();
+        let err = q
+            .submit(JobId(1), spec("b", 0, 1.0), 0.0, -3.0)
+            .unwrap_err();
+        match err {
+            AdmitError::Saturated {
+                retry_after_secs, ..
+            } => assert_eq!(retry_after_secs, 0.0),
+            other => panic!("expected saturation, got {other:?}"),
+        }
     }
 
     #[test]
@@ -230,7 +265,7 @@ mod tests {
         let mut s = spec("no-steps", 0, 1.0);
         s.steps = 0;
         assert!(matches!(
-            q.submit(JobId(0), s, 0.0),
+            q.submit(JobId(0), s, 0.0, 0.0),
             Err(AdmitError::EmptyJob { .. })
         ));
         let empty = JobSpec {
@@ -242,7 +277,7 @@ mod tests {
             weight: 1.0,
         };
         assert!(matches!(
-            q.submit(JobId(1), empty, 0.0),
+            q.submit(JobId(1), empty, 0.0, 0.0),
             Err(AdmitError::EmptyJob { .. })
         ));
     }

@@ -22,6 +22,11 @@
 //!   with per-job and fleet statistics (steps/sec, profiling steps saved by
 //!   warm starts, queue latency, rejections) plus optional per-job Chrome
 //!   traces.
+//! * [`FaultPlan`] / [`Checkpoint`] — seeded, fully deterministic fault
+//!   injection (node crashes, stragglers, store corruption, profiling-budget
+//!   exhaustion) and the recovery machinery it exercises: lightweight
+//!   checkpoint/restart with exponential-backoff re-admission, health-probe
+//!   driven placement, and graceful degradation to the baseline thread plan.
 //!
 //! ```
 //! use nnrt_serve::{Fleet, FleetConfig, JobSpec};
@@ -45,10 +50,14 @@
 
 #![warn(missing_docs)]
 
+pub mod chaos;
+pub mod checkpoint;
 pub mod fleet;
 pub mod job;
 pub mod store;
 
+pub use chaos::{FaultEvent, FaultPlan, INITIAL_BACKOFF_SECS, MAX_BACKOFF_SECS};
+pub use checkpoint::{Checkpoint, CheckpointStore};
 pub use fleet::{Fleet, FleetConfig, FleetReport, JobReport};
 pub use job::{AdmissionQueue, AdmitError, JobId, JobSpec, QueuedJob};
 pub use store::{ProfileStore, StoreError, DEFAULT_CAPACITY, SNAPSHOT_FORMAT, SNAPSHOT_VERSION};

@@ -212,9 +212,32 @@ impl ProfileStore {
         serde_json::to_string_pretty(&snap).expect("profile snapshot serializes")
     }
 
+    /// Deterministically drops `⌊fraction · len⌋` entries, simulating a
+    /// partially lost snapshot restore — the chaos-injection hook. Victims
+    /// are chosen by a seeded hash over the key-sorted entry list, so the
+    /// same `(seed, fraction)` against the same contents always removes the
+    /// same entries. Returns how many entries were dropped.
+    pub fn corrupt_deterministic(&self, seed: u64, fraction: f64) -> usize {
+        let mut inner = self.inner.lock();
+        let mut keys: Vec<StoreKey> = inner.entries.keys().cloned().collect();
+        keys.sort();
+        let victims = (keys.len() as f64 * fraction.clamp(0.0, 1.0)).floor() as usize;
+        let mut scored: Vec<(u64, usize)> = (0..keys.len())
+            .map(|i| (crate::chaos::mix64(seed ^ i as u64), i))
+            .collect();
+        scored.sort_unstable();
+        for &(_, i) in scored.iter().take(victims) {
+            inner.entries.remove(&keys[i]);
+        }
+        victims
+    }
+
     /// Merges a snapshot into the store: loaded curves are added, entries
-    /// already present for the same key are overwritten (the snapshot is
-    /// assumed newer). Returns the number of entries merged.
+    /// already present for the same key are overwritten with the snapshot's
+    /// curves *without* bumping their recency, and brand-new keys enter the
+    /// LRU order as the coldest entries. Merged history must never evict
+    /// curves live jobs are actively using. Returns the number of entries
+    /// merged.
     pub fn restore(&self, text: &str) -> Result<usize, StoreError> {
         let value: serde_json::Value =
             serde_json::from_str(text).map_err(|e| StoreError::Corrupt(e.to_string()))?;
@@ -241,11 +264,13 @@ impl ProfileStore {
             Snapshot::from_json_value(&value).map_err(|e| StoreError::Corrupt(e.to_string()))?;
         let merged = snap.entries.len();
         let mut inner = self.inner.lock();
-        inner.clock += 1;
-        let now = inner.clock;
         for e in snap.entries {
+            let key = (e.machine, e.kind, e.shape.clone());
+            // Keys already live keep their recency; new keys start cold
+            // (`last_used = 0` predates every clock tick).
+            let last_used = inner.entries.get(&key).map_or(0, |old| old.last_used);
             inner.entries.insert(
-                (e.machine, e.kind, e.shape.clone()),
+                key,
                 Entry {
                     profile: KeyProfile {
                         kind: e.kind,
@@ -253,7 +278,7 @@ impl ProfileStore {
                         compact: e.compact,
                         scatter: e.scatter,
                     },
-                    last_used: now,
+                    last_used,
                 },
             );
         }
@@ -340,6 +365,89 @@ mod tests {
         b.insert_many(sig, &[profile(OpKind::Relu, &[4])]);
         b.restore(&snap).unwrap();
         assert_eq!(b.len(), 2);
+    }
+
+    #[test]
+    fn merged_snapshot_entries_do_not_evict_hotter_live_entries() {
+        // Regression: restore() used to stamp merged entries as the most
+        // recently used, so a snapshot full of stale keys could evict the
+        // curves live jobs were actively using.
+        let donor = ProfileStore::new();
+        let sig = MachineSignature(11);
+        donor.insert_many(
+            sig,
+            &[profile(OpKind::Add, &[16]), profile(OpKind::MatMul, &[16])],
+        );
+        let snap = donor.snapshot();
+
+        let live = ProfileStore::with_capacity(2);
+        live.insert_many(sig, &[profile(OpKind::MatMul, &[16])]);
+        live.insert_many(sig, &[profile(OpKind::Relu, &[16])]);
+        // Both live entries are hot: their recency postdates any merge.
+        live.lookup(
+            sig,
+            &[
+                (OpKind::MatMul, Shape(vec![16])),
+                (OpKind::Relu, Shape(vec![16])),
+            ],
+        );
+        live.restore(&snap).unwrap();
+        // The merged-only Add key is the coldest and must be the eviction
+        // victim; both hot live keys survive.
+        assert_eq!(live.len(), 2);
+        assert!(live.contains(sig, &(OpKind::MatMul, Shape(vec![16]))));
+        assert!(live.contains(sig, &(OpKind::Relu, Shape(vec![16]))));
+        assert!(!live.contains(sig, &(OpKind::Add, Shape(vec![16]))));
+    }
+
+    #[test]
+    fn restore_overwrite_preserves_the_live_entrys_recency() {
+        let donor = ProfileStore::new();
+        let sig = MachineSignature(12);
+        donor.insert_many(sig, &[profile(OpKind::MatMul, &[8])]);
+        let snap = donor.snapshot();
+
+        let live = ProfileStore::with_capacity(2);
+        live.insert_many(sig, &[profile(OpKind::MatMul, &[8])]);
+        live.insert_many(sig, &[profile(OpKind::Relu, &[8])]);
+        // Relu is hotter than MatMul; the snapshot overwrites MatMul. If the
+        // overwrite bumped MatMul's recency, the later capacity squeeze
+        // would evict Relu instead of MatMul.
+        live.lookup(sig, &[(OpKind::Relu, Shape(vec![8]))]);
+        live.restore(&snap).unwrap();
+        live.insert_many(sig, &[profile(OpKind::Add, &[8])]);
+        assert!(live.contains(sig, &(OpKind::Relu, Shape(vec![8]))));
+        assert!(!live.contains(sig, &(OpKind::MatMul, Shape(vec![8]))));
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_bounded() {
+        let build = || {
+            let store = ProfileStore::new();
+            let sig = MachineSignature(3);
+            store.insert_many(
+                sig,
+                &[
+                    profile(OpKind::MatMul, &[4]),
+                    profile(OpKind::Relu, &[4]),
+                    profile(OpKind::Add, &[4]),
+                    profile(OpKind::MatMul, &[8]),
+                ],
+            );
+            store
+        };
+        let a = build();
+        let b = build();
+        assert_eq!(a.corrupt_deterministic(42, 0.5), 2);
+        assert_eq!(b.corrupt_deterministic(42, 0.5), 2);
+        assert_eq!(a.snapshot(), b.snapshot(), "same seed, same victims");
+        assert_eq!(a.len(), 2);
+
+        let c = build();
+        assert_eq!(c.corrupt_deterministic(42, 0.0), 0);
+        assert_eq!(c.len(), 4, "zero fraction is a no-op");
+        assert_eq!(c.corrupt_deterministic(42, 1.0), 4);
+        assert!(c.is_empty(), "full fraction empties the store");
     }
 
     #[test]

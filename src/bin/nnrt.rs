@@ -6,8 +6,15 @@
 //! nnrt grid <model> [batch]      uniform (inter, intra) grid sweep
 //! nnrt plan <model> [batch]      the thread plan Strategies 1+2 install
 //! nnrt trace <model> [batch]     write a chrome://tracing JSON of one step
-//! nnrt serve [jobs] [nodes] [seed]   multi-tenant fleet with a shared
-//!                                profile store; prints the fleet report
+//! nnrt serve [jobs] [nodes] [seed] [--chaos <seed>]
+//!            [--checkpoint-interval <steps>] [--json]
+//!                                multi-tenant fleet with a shared profile
+//!                                store; prints the fleet report. `--chaos`
+//!                                arms a seeded fault plan (node crash,
+//!                                straggler, store corruption, profiling
+//!                                budget) sized to the workload by a
+//!                                fault-free dry run; `--json` prints the
+//!                                report as JSON instead of text
 //! nnrt gpu                       Section VII launch-config tuning + streams
 //! nnrt models                    list the built-in models
 //! ```
@@ -42,7 +49,7 @@ fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
 
 fn usage_text() -> String {
     "usage: nnrt <compare|profile|grid|plan|trace> <model> [batch]\n       \
-     nnrt serve [jobs] [nodes] [seed]\n       \
+     nnrt serve [jobs] [nodes] [seed] [--chaos <seed>] [--checkpoint-interval <steps>] [--json]\n       \
      nnrt gpu | nnrt models | nnrt --help\n\
      models: resnet50, dcgan, inception, lstm, transformer"
         .to_string()
@@ -110,10 +117,45 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         "serve" => {
-            let jobs: usize = args.get(1).and_then(|s| s.parse().ok()).unwrap_or(10);
-            let nodes: u32 = args.get(2).and_then(|s| s.parse().ok()).unwrap_or(2).max(1);
-            let seed: u64 = args.get(3).and_then(|s| s.parse().ok()).unwrap_or(0xF1EE7);
-            run_serve(jobs, nodes, seed);
+            let mut positional = Vec::new();
+            let mut chaos: Option<u64> = None;
+            let mut checkpoint_interval: Option<u32> = None;
+            let mut json = false;
+            let mut it = args.iter().skip(1);
+            while let Some(arg) = it.next() {
+                match arg.as_str() {
+                    "--chaos" => match it.next().and_then(|s| s.parse().ok()) {
+                        Some(seed) => chaos = Some(seed),
+                        None => {
+                            eprintln!("--chaos needs a numeric seed");
+                            return usage();
+                        }
+                    },
+                    "--checkpoint-interval" => match it.next().and_then(|s| s.parse().ok()) {
+                        Some(steps) => checkpoint_interval = Some(steps),
+                        None => {
+                            eprintln!("--checkpoint-interval needs a step count");
+                            return usage();
+                        }
+                    },
+                    "--json" => json = true,
+                    other => positional.push(other.to_string()),
+                }
+            }
+            let jobs: usize = positional
+                .first()
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(10);
+            let nodes: u32 = positional
+                .get(1)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(2)
+                .max(1);
+            let seed: u64 = positional
+                .get(2)
+                .and_then(|s| s.parse().ok())
+                .unwrap_or(0xF1EE7);
+            run_serve(jobs, nodes, seed, chaos, checkpoint_interval, json);
             ExitCode::SUCCESS
         }
         "compare" | "profile" | "grid" | "plan" | "trace" => {
@@ -139,9 +181,19 @@ fn main() -> ExitCode {
 
 /// `nnrt serve`: a mixed workload of the five models over a fleet of KNL
 /// nodes sharing one profile store. The first job of each model profiles
-/// cold; every later job of that model warm-starts from the store.
-fn run_serve(jobs: usize, nodes: u32, seed: u64) {
-    use nnrt::serve::{Fleet, FleetConfig, JobSpec};
+/// cold; every later job of that model warm-starts from the store. With
+/// `--chaos`, a seeded fault plan (sized to the workload via a fault-free
+/// dry run) crashes a node, slows another, and corrupts the store mid-run;
+/// the report then shows retries, checkpoint restores, and degraded keys.
+fn run_serve(
+    jobs: usize,
+    nodes: u32,
+    seed: u64,
+    chaos: Option<u64>,
+    checkpoint_interval: Option<u32>,
+    json: bool,
+) {
+    use nnrt::serve::{FaultPlan, Fleet, FleetConfig, JobSpec};
 
     // Small batches keep the simulated fleet quick while preserving the
     // profile-sharing structure (keys depend on shapes, not step counts).
@@ -155,34 +207,66 @@ fn run_serve(jobs: usize, nodes: u32, seed: u64) {
     let config = FleetConfig {
         node_count: nodes,
         seed,
+        checkpoint_interval: checkpoint_interval.unwrap_or(1),
         ..FleetConfig::default()
     };
-    let mut fleet = Fleet::new(config);
-    println!(
-        "serving {jobs} jobs over {nodes} node(s), seed {seed:#x} \
-         (mixed workload: {})",
-        workload
-            .iter()
-            .map(|(n, _)| *n)
-            .collect::<Vec<_>>()
-            .join("+")
-    );
-    for i in 0..jobs {
-        let (model, spec) = &workload[i % workload.len()];
-        let job = JobSpec {
-            name: format!("{model}-{i}"),
-            model: model.to_string(),
-            graph: spec.graph.clone(),
-            steps: 3,
-            priority: (i % 3) as u8,
-            weight: 1.0 + (i % 4) as f64,
-        };
-        if let Err(e) = fleet.submit(job) {
-            eprintln!("rejected {model}-{i}: {e}");
+    let submit_all = |fleet: &mut Fleet, quiet: bool| {
+        for i in 0..jobs {
+            let (model, spec) = &workload[i % workload.len()];
+            let job = JobSpec {
+                name: format!("{model}-{i}"),
+                model: model.to_string(),
+                graph: spec.graph.clone(),
+                steps: 3,
+                priority: (i % 3) as u8,
+                weight: 1.0 + (i % 4) as f64,
+            };
+            if let Err(e) = fleet.submit(job) {
+                if !quiet {
+                    eprintln!("rejected {model}-{i}: {e}");
+                }
+            }
         }
+    };
+    if !json {
+        println!(
+            "serving {jobs} jobs over {nodes} node(s), seed {seed:#x} \
+             (mixed workload: {})",
+            workload
+                .iter()
+                .map(|(n, _)| *n)
+                .collect::<Vec<_>>()
+                .join("+")
+        );
     }
+    let plan = chaos.map(|chaos_seed| {
+        // Size the fault plan to the workload: a fault-free dry run tells
+        // us the makespan, so the seeded events land mid-run.
+        let mut dry = Fleet::new(config);
+        submit_all(&mut dry, true);
+        let horizon = dry.run().makespan_secs;
+        let plan = FaultPlan::from_seed(chaos_seed, nodes, horizon);
+        if !json {
+            println!(
+                "chaos seed {chaos_seed:#x}: {} events over a {horizon:.3}s horizon, \
+                 profiling budget {:?}",
+                plan.events.len(),
+                plan.profiling_step_budget
+            );
+        }
+        plan
+    });
+    let mut fleet = Fleet::new(config);
+    if let Some(plan) = plan {
+        fleet.set_fault_plan(plan);
+    }
+    submit_all(&mut fleet, false);
     let report = fleet.run();
-    print!("{}", report.render());
+    if json {
+        println!("{}", report.to_json());
+    } else {
+        print!("{}", report.render());
+    }
 }
 
 fn run_model_command(cmd: &str, spec: &ModelSpec) {

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_fleet-7a10c5e5768b19f2.d: tests/chaos_fleet.rs
+
+/root/repo/target/debug/deps/chaos_fleet-7a10c5e5768b19f2: tests/chaos_fleet.rs
+
+tests/chaos_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_fleet-b5da4699dd9f0b15.d: tests/chaos_fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_fleet-b5da4699dd9f0b15.rmeta: tests/chaos_fleet.rs Cargo.toml
+
+tests/chaos_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

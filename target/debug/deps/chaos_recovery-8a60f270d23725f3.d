@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_recovery-8a60f270d23725f3.d: crates/bench/benches/chaos_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_recovery-8a60f270d23725f3.rmeta: crates/bench/benches/chaos_recovery.rs Cargo.toml
+
+crates/bench/benches/chaos_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

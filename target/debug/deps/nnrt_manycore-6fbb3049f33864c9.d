@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/nnrt_manycore-6fbb3049f33864c9.d: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs Cargo.toml
+/root/repo/target/debug/deps/nnrt_manycore-6fbb3049f33864c9.d: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/health.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnnrt_manycore-6fbb3049f33864c9.rmeta: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs Cargo.toml
+/root/repo/target/debug/deps/libnnrt_manycore-6fbb3049f33864c9.rmeta: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/health.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs Cargo.toml
 
 crates/manycore/src/lib.rs:
 crates/manycore/src/cost.rs:
 crates/manycore/src/engine.rs:
 crates/manycore/src/error.rs:
+crates/manycore/src/health.rs:
 crates/manycore/src/noise.rs:
 crates/manycore/src/placement.rs:
 crates/manycore/src/signature.rs:

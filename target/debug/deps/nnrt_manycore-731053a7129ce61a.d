@@ -1,13 +1,14 @@
-/root/repo/target/debug/deps/nnrt_manycore-731053a7129ce61a.d: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
+/root/repo/target/debug/deps/nnrt_manycore-731053a7129ce61a.d: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/health.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
 
-/root/repo/target/debug/deps/libnnrt_manycore-731053a7129ce61a.rlib: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
+/root/repo/target/debug/deps/libnnrt_manycore-731053a7129ce61a.rlib: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/health.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
 
-/root/repo/target/debug/deps/libnnrt_manycore-731053a7129ce61a.rmeta: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
+/root/repo/target/debug/deps/libnnrt_manycore-731053a7129ce61a.rmeta: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/health.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
 
 crates/manycore/src/lib.rs:
 crates/manycore/src/cost.rs:
 crates/manycore/src/engine.rs:
 crates/manycore/src/error.rs:
+crates/manycore/src/health.rs:
 crates/manycore/src/noise.rs:
 crates/manycore/src/placement.rs:
 crates/manycore/src/signature.rs:

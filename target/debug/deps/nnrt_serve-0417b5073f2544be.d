@@ -1,10 +1,12 @@
-/root/repo/target/debug/deps/nnrt_serve-0417b5073f2544be.d: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/debug/deps/nnrt_serve-0417b5073f2544be.d: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
-/root/repo/target/debug/deps/libnnrt_serve-0417b5073f2544be.rlib: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/debug/deps/libnnrt_serve-0417b5073f2544be.rlib: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
-/root/repo/target/debug/deps/libnnrt_serve-0417b5073f2544be.rmeta: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/debug/deps/libnnrt_serve-0417b5073f2544be.rmeta: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
 crates/serve/src/lib.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/checkpoint.rs:
 crates/serve/src/fleet.rs:
 crates/serve/src/job.rs:
 crates/serve/src/store.rs:

@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/nnrt_serve-6f8c7f3f034c5acb.d: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/nnrt_serve-6f8c7f3f034c5acb.d: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs Cargo.toml
 
-/root/repo/target/debug/deps/libnnrt_serve-6f8c7f3f034c5acb.rmeta: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs Cargo.toml
+/root/repo/target/debug/deps/libnnrt_serve-6f8c7f3f034c5acb.rmeta: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs Cargo.toml
 
 crates/serve/src/lib.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/checkpoint.rs:
 crates/serve/src/fleet.rs:
 crates/serve/src/job.rs:
 crates/serve/src/store.rs:

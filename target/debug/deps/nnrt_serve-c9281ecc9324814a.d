@@ -1,8 +1,10 @@
-/root/repo/target/debug/deps/nnrt_serve-c9281ecc9324814a.d: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/debug/deps/nnrt_serve-c9281ecc9324814a.d: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
-/root/repo/target/debug/deps/nnrt_serve-c9281ecc9324814a: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/debug/deps/nnrt_serve-c9281ecc9324814a: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
 crates/serve/src/lib.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/checkpoint.rs:
 crates/serve/src/fleet.rs:
 crates/serve/src/job.rs:
 crates/serve/src/store.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/chaos_recovery-bfd4cac5c0e13bb3.d: crates/bench/benches/chaos_recovery.rs
+
+/root/repo/target/release/deps/chaos_recovery-bfd4cac5c0e13bb3: crates/bench/benches/chaos_recovery.rs
+
+crates/bench/benches/chaos_recovery.rs:

@@ -1,13 +1,14 @@
-/root/repo/target/release/deps/nnrt_manycore-f65031c9652c6395.d: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
+/root/repo/target/release/deps/nnrt_manycore-f65031c9652c6395.d: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/health.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
 
-/root/repo/target/release/deps/libnnrt_manycore-f65031c9652c6395.rlib: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
+/root/repo/target/release/deps/libnnrt_manycore-f65031c9652c6395.rlib: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/health.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
 
-/root/repo/target/release/deps/libnnrt_manycore-f65031c9652c6395.rmeta: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
+/root/repo/target/release/deps/libnnrt_manycore-f65031c9652c6395.rmeta: crates/manycore/src/lib.rs crates/manycore/src/cost.rs crates/manycore/src/engine.rs crates/manycore/src/error.rs crates/manycore/src/health.rs crates/manycore/src/noise.rs crates/manycore/src/placement.rs crates/manycore/src/signature.rs crates/manycore/src/topology.rs crates/manycore/src/workload.rs
 
 crates/manycore/src/lib.rs:
 crates/manycore/src/cost.rs:
 crates/manycore/src/engine.rs:
 crates/manycore/src/error.rs:
+crates/manycore/src/health.rs:
 crates/manycore/src/noise.rs:
 crates/manycore/src/placement.rs:
 crates/manycore/src/signature.rs:

@@ -1,10 +1,12 @@
-/root/repo/target/release/deps/nnrt_serve-c065d11f9dbbf6dc.d: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/release/deps/nnrt_serve-c065d11f9dbbf6dc.d: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
-/root/repo/target/release/deps/libnnrt_serve-c065d11f9dbbf6dc.rlib: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/release/deps/libnnrt_serve-c065d11f9dbbf6dc.rlib: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
-/root/repo/target/release/deps/libnnrt_serve-c065d11f9dbbf6dc.rmeta: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/release/deps/libnnrt_serve-c065d11f9dbbf6dc.rmeta: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
 crates/serve/src/lib.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/checkpoint.rs:
 crates/serve/src/fleet.rs:
 crates/serve/src/job.rs:
 crates/serve/src/store.rs:

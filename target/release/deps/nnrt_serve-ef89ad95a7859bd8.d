@@ -1,10 +1,12 @@
-/root/repo/target/release/deps/nnrt_serve-ef89ad95a7859bd8.d: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/release/deps/nnrt_serve-ef89ad95a7859bd8.d: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
-/root/repo/target/release/deps/libnnrt_serve-ef89ad95a7859bd8.rlib: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/release/deps/libnnrt_serve-ef89ad95a7859bd8.rlib: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
-/root/repo/target/release/deps/libnnrt_serve-ef89ad95a7859bd8.rmeta: crates/serve/src/lib.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
+/root/repo/target/release/deps/libnnrt_serve-ef89ad95a7859bd8.rmeta: crates/serve/src/lib.rs crates/serve/src/chaos.rs crates/serve/src/checkpoint.rs crates/serve/src/fleet.rs crates/serve/src/job.rs crates/serve/src/store.rs
 
 crates/serve/src/lib.rs:
+crates/serve/src/chaos.rs:
+crates/serve/src/checkpoint.rs:
 crates/serve/src/fleet.rs:
 crates/serve/src/job.rs:
 crates/serve/src/store.rs:

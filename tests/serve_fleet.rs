@@ -104,15 +104,94 @@ fn saturated_queue_rejects_with_typed_error() {
     fleet.submit(job("a", "dcgan", &g, 0)).unwrap();
     fleet.submit(job("b", "dcgan", &g, 0)).unwrap();
     match fleet.submit(job("c", "dcgan", &g, 0)) {
-        Err(AdmitError::Saturated {
-            queued: 2,
-            capacity: 2,
-        }) => {}
+        Err(
+            err @ AdmitError::Saturated {
+                queued: 2,
+                capacity: 2,
+                retry_after_secs,
+            },
+        ) => {
+            assert!(
+                retry_after_secs > 0.0,
+                "the rejection must carry a concrete wait, got {retry_after_secs}"
+            );
+            assert!(
+                err.to_string().contains("retry in ~"),
+                "the message surfaces the hint: {err}"
+            );
+        }
         other => panic!("expected saturation, got {other:?}"),
     }
     let report = fleet.run();
     assert_eq!(report.jobs.len(), 2);
     assert_eq!(report.rejected, 1);
+}
+
+#[test]
+fn heterogeneous_fleet_keeps_curves_per_signature() {
+    use nnrt::manycore::MachineSignature;
+
+    // Two genuinely different machines: the stock KNL and a derated one.
+    let fast = KnlCostModel::knl();
+    let mut derated = KnlParams::default();
+    derated.mcdram_bw *= 0.5;
+    derated.core_peak_flops *= 0.75;
+    let slow = KnlCostModel::new(Topology::knl(), derated);
+    let sig_fast = fast.signature();
+    let sig_slow = slow.signature();
+    assert_ne!(
+        sig_fast, sig_slow,
+        "distinct calibrations must fingerprint differently"
+    );
+
+    let config = FleetConfig {
+        node_count: 2,
+        max_jobs_per_node: 1,
+        ..FleetConfig::default()
+    };
+    let store = Arc::new(ProfileStore::new());
+    let mut fleet = Fleet::with_cost_models(config, vec![fast, slow], Arc::clone(&store));
+    let g = dcgan(4).graph;
+    for i in 0..4 {
+        fleet
+            .submit(job(&format!("dcgan-{i}"), "dcgan", &g, 0))
+            .unwrap();
+    }
+    let report = fleet.run();
+    assert_eq!(report.jobs.len(), 4);
+    let nodes_used: std::collections::BTreeSet<u32> = report.jobs.iter().map(|j| j.node).collect();
+    assert_eq!(nodes_used.len(), 2, "both machines serve jobs");
+
+    // Each signature accumulates its own curves in the shared store, and an
+    // unseen machine sees none of them.
+    let keys = g.distinct_keys();
+    assert!(!store.lookup(sig_fast, &keys).is_empty());
+    assert!(!store.lookup(sig_slow, &keys).is_empty());
+    assert!(
+        store.lookup(MachineSignature(0xDEAD), &keys).is_empty(),
+        "curves must never leak to a machine that did not measure them"
+    );
+
+    // The first job on each node pays its own cold profile: curves measured
+    // on the other machine must not warm-start it.
+    for node in [0u32, 1] {
+        let first = report
+            .jobs
+            .iter()
+            .filter(|j| j.node == node)
+            .min_by(|a, b| a.completed_at.partial_cmp(&b.completed_at).unwrap())
+            .expect("both nodes complete jobs");
+        assert!(
+            first.profiling_steps > 0,
+            "{}: node {node}'s first job cannot warm-start across signatures",
+            first.name
+        );
+        assert_eq!(
+            first.warm_keys, 0,
+            "{}: no cross-signature warm keys",
+            first.name
+        );
+    }
 }
 
 #[test]
