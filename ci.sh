@@ -27,4 +27,34 @@ cmp "$tmpdir/chaos-a.json" "$tmpdir/chaos-b.json" \
   || { echo "chaos determinism violated: same seed produced different reports" >&2; exit 1; }
 echo "chaos report deterministic (seed 99, byte-identical JSON)"
 
+echo "== rpc suite (loopback smoke) =="
+cargo test -q --offline --test rpc_loopback
+./target/release/nnrt serve --listen 127.0.0.1:0 1 7 \
+  > "$tmpdir/rpc-server.out" 2> "$tmpdir/rpc-server.err" &
+rpc_server_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's/^listening on //p' "$tmpdir/rpc-server.out")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "rpc server never reported its address" >&2; exit 1; }
+./target/release/nnrt submit "$addr" dcgan 4 --steps 2 > "$tmpdir/rpc-submit-0.out"
+./target/release/nnrt submit "$addr" lstm 4 --steps 2 > "$tmpdir/rpc-submit-1.out"
+grep -q "submitted job 0" "$tmpdir/rpc-submit-0.out"
+grep -q "submitted job 1" "$tmpdir/rpc-submit-1.out"
+./target/release/nnrt status "$addr" > "$tmpdir/rpc-status.out"
+grep -q "dcgan-0" "$tmpdir/rpc-status.out"
+grep -q "lstm-1" "$tmpdir/rpc-status.out"
+./target/release/nnrt shutdown "$addr" --json > "$tmpdir/rpc-report.json"
+python3 - "$tmpdir/rpc-report.json" <<'PY'
+import json, sys
+report = json.load(open(sys.argv[1]))
+jobs = {j["name"] for j in report["jobs"]}
+assert jobs == {"dcgan-0", "lstm-1"}, f"unexpected job set: {jobs}"
+assert report["rejected"] == 0, report["rejected"]
+PY
+wait "$rpc_server_pid" || { echo "rpc server exited non-zero" >&2; exit 1; }
+echo "rpc loopback smoke ok (2 jobs, clean shutdown)"
+
 echo "CI green."

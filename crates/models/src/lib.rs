@@ -59,6 +59,23 @@ pub fn paper_models() -> Vec<ModelSpec> {
     vec![resnet50(64), dcgan(64), inception_v3(16), lstm(20)]
 }
 
+/// Looks a built-in model up by its CLI/RPC name (common aliases included),
+/// building it at `batch` — or at the model's paper-default batch size when
+/// `batch` is `None`. Returns `None` for unknown names; this is the single
+/// registry both the `nnrt` CLI and the RPC front-end resolve against, so
+/// the two surfaces can never drift apart.
+pub fn by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
+    let spec = match name {
+        "resnet50" | "resnet-50" => resnet50(batch.unwrap_or(64)),
+        "dcgan" => dcgan(batch.unwrap_or(64)),
+        "inception" | "inception-v3" | "inception_v3" => inception_v3(batch.unwrap_or(16)),
+        "lstm" => lstm(batch.unwrap_or(20)),
+        "transformer" | "bert" => transformer(batch.unwrap_or(8)),
+        _ => return None,
+    };
+    Some(spec)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +103,14 @@ mod tests {
                 m.graph.len()
             );
         }
+    }
+
+    #[test]
+    fn by_name_resolves_aliases_and_batches() {
+        assert_eq!(by_name("resnet-50", None).unwrap().batch, 64);
+        assert_eq!(by_name("bert", Some(2)).unwrap().batch, 2);
+        assert_eq!(by_name("lstm", Some(4)).unwrap().batch, 4);
+        assert!(by_name("vgg", None).is_none());
     }
 
     #[test]

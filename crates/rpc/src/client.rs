@@ -1,0 +1,242 @@
+//! The blocking client: connect/read timeouts and honor-the-hint retry.
+//!
+//! [`RpcClient`] speaks one request/response pair at a time over a single
+//! connection. Submissions rejected with [`ErrorKind::Saturated`] can be
+//! retried through [`RpcClient::submit_with_retry`], which backs off
+//! exponentially but never waits longer than the server's
+//! `retry_after_secs` hint — the server knows when a slot frees, so the
+//! hint is the cap, not the floor.
+
+use crate::protocol::{
+    decode, encode, read_frame, write_frame, ErrorFrame, ErrorKind, FrameError, Request, Response,
+    SnapshotInfo, SubmitSpec,
+};
+use nnrt_serve::JobStatus;
+use std::fmt;
+use std::io;
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
+use std::thread;
+use std::time::Duration;
+
+/// Connection and read deadlines.
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// TCP connect deadline.
+    pub connect_timeout: Duration,
+    /// Per-response read deadline (submissions can trigger a cold profile
+    /// on the service thread, so this is generous by default).
+    pub read_timeout: Duration,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_secs(5),
+            read_timeout: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Retry shaping for [`RpcClient::submit_with_retry`].
+#[derive(Debug, Clone, Copy)]
+pub struct RetryPolicy {
+    /// First wait after a saturated rejection.
+    pub initial_backoff: Duration,
+    /// Ceiling the exponential backoff never exceeds (the server's
+    /// `retry_after_secs` hint caps each wait further).
+    pub max_backoff: Duration,
+    /// Total submission attempts before giving up.
+    pub max_attempts: u32,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+            max_attempts: 10,
+        }
+    }
+}
+
+/// A client-side failure.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The socket could not be reached or died mid-exchange.
+    Io(io::Error),
+    /// The server's bytes did not decode to a response frame.
+    Frame(FrameError),
+    /// The server answered with a typed refusal.
+    Rejected(ErrorFrame),
+    /// The server answered with a well-formed response of the wrong kind.
+    Unexpected(String),
+    /// Every submission attempt was rejected; `last` is the final refusal.
+    RetriesExhausted {
+        /// Attempts made.
+        attempts: u32,
+        /// The last rejection.
+        last: ErrorFrame,
+    },
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "i/o error: {e}"),
+            ClientError::Frame(e) => write!(f, "protocol error: {e}"),
+            ClientError::Rejected(frame) => {
+                write!(f, "rejected ({:?}): {}", frame.kind, frame.message)
+            }
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+            ClientError::RetriesExhausted { attempts, last } => write!(
+                f,
+                "gave up after {attempts} attempts; last rejection ({:?}): {}",
+                last.kind, last.message
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<FrameError> for ClientError {
+    fn from(e: FrameError) -> Self {
+        match e {
+            FrameError::Io(io) => ClientError::Io(io),
+            other => ClientError::Frame(other),
+        }
+    }
+}
+
+/// A blocking connection to a [`crate::FleetServer`].
+pub struct RpcClient {
+    stream: TcpStream,
+}
+
+impl RpcClient {
+    /// Connects with the default timeouts.
+    pub fn connect(addr: impl ToSocketAddrs) -> Result<Self, ClientError> {
+        Self::connect_with(addr, &ClientConfig::default())
+    }
+
+    /// Connects with explicit timeouts.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: &ClientConfig,
+    ) -> Result<Self, ClientError> {
+        let mut last = io::Error::new(
+            io::ErrorKind::AddrNotAvailable,
+            "address resolved to nothing",
+        );
+        let addrs: Vec<SocketAddr> = addr.to_socket_addrs()?.collect();
+        for a in addrs {
+            match TcpStream::connect_timeout(&a, config.connect_timeout) {
+                Ok(stream) => {
+                    stream.set_read_timeout(Some(config.read_timeout))?;
+                    let _ = stream.set_nodelay(true);
+                    return Ok(RpcClient { stream });
+                }
+                Err(e) => last = e,
+            }
+        }
+        Err(ClientError::Io(last))
+    }
+
+    /// One request/response exchange. Typed server refusals come back as
+    /// `Ok(Response::Error(..))`; the convenience wrappers below lift them
+    /// into [`ClientError::Rejected`].
+    pub fn request(&mut self, request: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, &encode(request))?;
+        let payload = read_frame(&mut self.stream)?;
+        Ok(decode::<Response>(&payload)?)
+    }
+
+    /// Submits a job, returning its fleet-unique id.
+    pub fn submit(&mut self, spec: &SubmitSpec) -> Result<u64, ClientError> {
+        match self.request(&Request::Submit(spec.clone()))? {
+            Response::Submitted { job_id } => Ok(job_id),
+            Response::Error(frame) => Err(ClientError::Rejected(frame)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Submits with saturation retry: exponential backoff starting at
+    /// `policy.initial_backoff`, each wait capped by both
+    /// `policy.max_backoff` and the server's `retry_after_secs` hint.
+    /// Non-saturation rejections fail immediately.
+    pub fn submit_with_retry(
+        &mut self,
+        spec: &SubmitSpec,
+        policy: &RetryPolicy,
+    ) -> Result<u64, ClientError> {
+        let attempts = policy.max_attempts.max(1);
+        let mut backoff = policy.initial_backoff;
+        let mut last = None;
+        for attempt in 0..attempts {
+            match self.submit(spec) {
+                Ok(id) => return Ok(id),
+                Err(ClientError::Rejected(frame)) if frame.kind == ErrorKind::Saturated => {
+                    let mut wait = backoff.min(policy.max_backoff);
+                    if let Some(hint) = frame.retry_after_secs {
+                        if hint.is_finite() && hint >= 0.0 {
+                            wait = wait.min(Duration::from_secs_f64(hint));
+                        }
+                    }
+                    last = Some(frame);
+                    if attempt + 1 < attempts {
+                        thread::sleep(wait);
+                        backoff = backoff.saturating_mul(2).min(policy.max_backoff);
+                    }
+                }
+                Err(other) => return Err(other),
+            }
+        }
+        Err(ClientError::RetriesExhausted {
+            attempts,
+            last: last.expect("at least one rejection before exhaustion"),
+        })
+    }
+
+    /// One job's status.
+    pub fn status(&mut self, job_id: u64) -> Result<JobStatus, ClientError> {
+        match self.request(&Request::Status { job_id })? {
+            Response::Job(status) => Ok(status),
+            Response::Error(frame) => Err(ClientError::Rejected(frame)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Every admitted job's status, sorted by id.
+    pub fn list_jobs(&mut self) -> Result<Vec<JobStatus>, ClientError> {
+        match self.request(&Request::ListJobs)? {
+            Response::Jobs(jobs) => Ok(jobs),
+            Response::Error(frame) => Err(ClientError::Rejected(frame)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The profile store's counters and snapshot document.
+    pub fn snapshot(&mut self) -> Result<SnapshotInfo, ClientError> {
+        match self.request(&Request::Snapshot)? {
+            Response::Snapshot(info) => Ok(info),
+            Response::Error(frame) => Err(ClientError::Rejected(frame)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Gracefully stops the server, returning the final
+    /// [`nnrt_serve::FleetReport`] JSON it flushed.
+    pub fn shutdown(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Shutdown)? {
+            Response::Bye { report } => Ok(report),
+            Response::Error(frame) => Err(ClientError::Rejected(frame)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+}

@@ -1,0 +1,49 @@
+//! # nnrt-rpc
+//!
+//! A networked job-submission front-end for the [`nnrt_serve`] fleet: the
+//! piece that turns the paper's runtime (*"Runtime Concurrency Control and
+//! Operation Scheduling for High Performance Neural Network Training"*,
+//! Liu et al., IPDPS 2019) from an in-process simulation into a service
+//! external clients submit jobs to over a socket.
+//!
+//! Three layers, all on `std::net` + threads (no async runtime, works
+//! offline):
+//!
+//! * [`protocol`] — versioned, length-prefixed JSON frames; tagged
+//!   [`Request`]/[`Response`] messages; a typed error taxonomy whose
+//!   `Saturated` frames carry the fleet's concrete `retry_after_secs`
+//!   backpressure hint over the wire.
+//! * [`server`] — [`FleetServer`]: an accept loop, per-connection reader
+//!   threads, and a single service thread that owns the [`nnrt_serve::Fleet`]
+//!   behind a bounded command inbox. Idle ticks drive the fleet through the
+//!   same event order as [`nnrt_serve::Fleet::run`], so chaos events,
+//!   checkpoints, and determinism survive the move onto the network; a
+//!   graceful shutdown drains the fleet and flushes the final report plus
+//!   the profile-store snapshot.
+//! * [`client`] — [`RpcClient`]: blocking, with connect/read timeouts and
+//!   honor-the-hint submission retry (exponential backoff capped at the
+//!   server's `retry_after_secs`).
+//!
+//! ```no_run
+//! use nnrt_rpc::{FleetServer, RpcClient, ServerConfig, SubmitSpec};
+//!
+//! let server = FleetServer::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+//! let mut client = RpcClient::connect(server.local_addr()).unwrap();
+//! let job = client.submit(&SubmitSpec::new("dcgan")).unwrap();
+//! println!("{:?}", client.status(job).unwrap());
+//! let report = client.shutdown().unwrap();
+//! println!("{report}");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod protocol;
+pub mod server;
+
+pub use client::{ClientConfig, ClientError, RetryPolicy, RpcClient};
+pub use protocol::{
+    decode, encode, read_frame, write_frame, ErrorFrame, ErrorKind, FrameError, Request, Response,
+    SnapshotInfo, SubmitSpec, MAX_FRAME_LEN, PROTOCOL_VERSION,
+};
+pub use server::{DrainPolicy, FleetServer, ServerConfig, INBOX_RETRY_SECS};

@@ -1,0 +1,521 @@
+//! Wire format: versioned, length-prefixed JSON frames.
+//!
+//! Every message on the socket is one frame:
+//!
+//! ```text
+//! +----------------------+-----------+---------------------------+
+//! | length: u32, big-end | version   | UTF-8 JSON payload        |
+//! | (version + payload)  | byte (=1) | (one tagged object)       |
+//! +----------------------+-----------+---------------------------+
+//! ```
+//!
+//! The length covers the version byte plus the JSON payload and is capped at
+//! [`MAX_FRAME_LEN`], so a garbage prefix cannot make a peer allocate
+//! unboundedly. The payload is a single JSON object tagged by a `"type"`
+//! member — the same hand-rolled tagged-object convention the chaos module
+//! uses, because the vendored serde derive cannot handle payload-carrying
+//! enums. Unknown tags, missing fields, and version skew all decode to
+//! typed errors, never panics; a server answers them with an
+//! [`ErrorFrame`] rather than dropping the connection.
+//!
+//! The error taxonomy ([`ErrorKind`]) distinguishes backpressure
+//! (`Saturated`, which carries the fleet's concrete `retry_after_secs`
+//! hint over the wire) from caller mistakes (`EmptyJob`, `UnknownModel`,
+//! `UnknownJob`, `BadRequest`) and lifecycle states (`VersionMismatch`,
+//! `ShuttingDown`), so clients can decide between retrying, fixing the
+//! request, and giving up.
+
+use nnrt_serve::{JobStatus, StoreStats};
+use serde::{Deserialize, Error as SerdeError, Serialize, Value};
+use std::fmt;
+use std::io::{Read, Write};
+
+/// Protocol version spoken by this build; the first payload byte of every
+/// frame. Bumped on incompatible changes to the frame or message layout.
+pub const PROTOCOL_VERSION: u8 = 1;
+
+/// Upper bound on `version byte + JSON payload` length, bytes. Frames
+/// claiming more are rejected before any allocation.
+pub const MAX_FRAME_LEN: u32 = 16 * 1024 * 1024;
+
+/// A protocol-level failure while reading or decoding a frame.
+#[derive(Debug)]
+pub enum FrameError {
+    /// The underlying socket failed (includes clean EOF between frames).
+    Io(std::io::Error),
+    /// The length prefix exceeds [`MAX_FRAME_LEN`] or is zero.
+    BadLength(u32),
+    /// The frame's version byte differs from [`PROTOCOL_VERSION`].
+    Version(u8),
+    /// The payload is not valid UTF-8 JSON of the expected shape.
+    Decode(String),
+}
+
+impl fmt::Display for FrameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FrameError::Io(e) => write!(f, "i/o error: {e}"),
+            FrameError::BadLength(n) => {
+                write!(f, "frame length {n} outside 1..={MAX_FRAME_LEN}")
+            }
+            FrameError::Version(v) => {
+                write!(
+                    f,
+                    "peer speaks protocol version {v}, not {PROTOCOL_VERSION}"
+                )
+            }
+            FrameError::Decode(msg) => write!(f, "undecodable frame: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl From<std::io::Error> for FrameError {
+    fn from(e: std::io::Error) -> Self {
+        FrameError::Io(e)
+    }
+}
+
+/// Writes one frame (version byte + `payload` JSON text) to `w`.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    let len = payload.len() as u32 + 1;
+    w.write_all(&len.to_be_bytes())?;
+    w.write_all(&[PROTOCOL_VERSION])?;
+    w.write_all(payload.as_bytes())?;
+    w.flush()
+}
+
+/// Reads one frame from `r`, returning its JSON payload text.
+pub fn read_frame(r: &mut impl Read) -> Result<String, FrameError> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(FrameError::BadLength(len));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    let version = payload[0];
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::Version(version));
+    }
+    String::from_utf8(payload.split_off(1)).map_err(|e| FrameError::Decode(e.to_string()))
+}
+
+/// What a tenant asks over the wire: submit a training job (the server
+/// resolves `model` + `batch` to a graph through the shared
+/// [`nnrt_models::by_name`] registry), query one job or all jobs, read the
+/// profile store's snapshot and counters, or shut the service down.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Submit a training job.
+    Submit(SubmitSpec),
+    /// Query one job by id.
+    Status {
+        /// Id returned by an earlier `Submit`.
+        job_id: u64,
+    },
+    /// Query every job the fleet has admitted.
+    ListJobs,
+    /// Read the profile store: entry count, hit/miss/eviction counters,
+    /// and the versioned snapshot document.
+    Snapshot,
+    /// Drain the fleet, flush the final report (and the profile-store
+    /// snapshot, if the server persists one), and stop serving.
+    Shutdown,
+}
+
+/// The submit request's payload: everything a [`nnrt_serve::JobSpec`] needs
+/// except the graph, which the server builds from `(model, batch)`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SubmitSpec {
+    /// Job name; an empty string lets the server pick `{model}-{id}`.
+    pub name: String,
+    /// Model family, resolved via [`nnrt_models::by_name`].
+    pub model: String,
+    /// Batch size; `0` uses the model's paper-default batch.
+    pub batch: u64,
+    /// Training steps to run.
+    pub steps: u32,
+    /// Admission priority (higher first).
+    pub priority: u8,
+    /// Deadline weight (higher first within a priority class).
+    pub weight: f64,
+}
+
+impl SubmitSpec {
+    /// A spec for `model` with sensible defaults: default batch, 3 steps,
+    /// priority 0, weight 1.0, server-assigned name.
+    pub fn new(model: &str) -> Self {
+        SubmitSpec {
+            name: String::new(),
+            model: model.to_string(),
+            batch: 0,
+            steps: 3,
+            priority: 0,
+            weight: 1.0,
+        }
+    }
+}
+
+/// Why the server refused a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ErrorKind {
+    /// Backpressure: the admission queue (or the server's command inbox) is
+    /// full. The frame carries a positive `retry_after_secs` hint.
+    Saturated,
+    /// The job has no work (zero steps, or a model with an empty graph).
+    EmptyJob,
+    /// The submit's `model` names nothing in the registry.
+    UnknownModel,
+    /// The status query's `job_id` was never admitted by this fleet.
+    UnknownJob,
+    /// The request frame did not decode to a known request.
+    BadRequest,
+    /// The client's frame version differs from the server's.
+    VersionMismatch,
+    /// The server is draining after a `Shutdown` and accepts no new work.
+    ShuttingDown,
+}
+
+/// A typed refusal, sent instead of the success response. `Saturated`
+/// frames carry the fleet's `retry_after_secs` hint (simulated seconds —
+/// an upper bound a real-time client should cap its backoff at, not an
+/// exact wall-clock wait).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ErrorFrame {
+    /// The refusal's category.
+    pub kind: ErrorKind,
+    /// Human-readable detail.
+    pub message: String,
+    /// For `Saturated`: how long to wait before retrying, seconds.
+    pub retry_after_secs: Option<f64>,
+}
+
+/// The profile store's state, answering a `Snapshot` request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SnapshotInfo {
+    /// Curve pairs currently resident.
+    pub entries: u64,
+    /// Keys served from the store across all lookups.
+    pub hits: u64,
+    /// Keys requested but absent across all lookups.
+    pub misses: u64,
+    /// Entries evicted by the LRU cap.
+    pub evictions: u64,
+    /// `hits / (hits + misses)`, or `0.0` before any lookup.
+    pub hit_rate: f64,
+    /// The versioned snapshot document ([`nnrt_serve::ProfileStore`] JSON),
+    /// restorable into another store.
+    pub snapshot: String,
+}
+
+impl SnapshotInfo {
+    /// Builds the response payload from a store's entry count, counters,
+    /// and snapshot document.
+    pub fn new(entries: usize, stats: StoreStats, snapshot: String) -> Self {
+        SnapshotInfo {
+            entries: entries as u64,
+            hits: stats.hits,
+            misses: stats.misses,
+            evictions: stats.evictions,
+            hit_rate: stats.hit_rate(),
+            snapshot,
+        }
+    }
+}
+
+/// What the server answers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// The submit was admitted under this id.
+    Submitted {
+        /// Fleet-unique job id; the handle for later `Status` queries.
+        job_id: u64,
+    },
+    /// One job's point-in-time status.
+    Job(JobStatus),
+    /// Every admitted job's status, sorted by id.
+    Jobs(Vec<JobStatus>),
+    /// The profile store's counters and snapshot.
+    Snapshot(SnapshotInfo),
+    /// The server drained the fleet and is stopping; `report` is the final
+    /// [`nnrt_serve::FleetReport`] as canonical JSON.
+    Bye {
+        /// `FleetReport::to_json()` of the drained fleet.
+        report: String,
+    },
+    /// The request was refused.
+    Error(ErrorFrame),
+}
+
+// ---------------------------------------------------------------------------
+// Tagged-object encoding (the vendored serde derive cannot do payload
+// enums, so Request/Response are written out by hand).
+// ---------------------------------------------------------------------------
+
+fn obj(fields: Vec<(&str, Value)>) -> Value {
+    Value::Object(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn tag_of(v: &Value) -> Result<&str, SerdeError> {
+    v.get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| SerdeError::msg("message object lacks a string `type` tag"))
+}
+
+fn field<'a>(v: &'a Value, name: &str) -> Result<&'a Value, SerdeError> {
+    v.get(name)
+        .ok_or_else(|| SerdeError::msg(format!("missing field `{name}`")))
+}
+
+impl Serialize for Request {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Request::Submit(spec) => obj(vec![
+                ("type", Value::Str("submit".to_string())),
+                ("spec", spec.to_json_value()),
+            ]),
+            Request::Status { job_id } => obj(vec![
+                ("type", Value::Str("status".to_string())),
+                ("job_id", Value::Uint(*job_id)),
+            ]),
+            Request::ListJobs => obj(vec![("type", Value::Str("list_jobs".to_string()))]),
+            Request::Snapshot => obj(vec![("type", Value::Str("snapshot".to_string()))]),
+            Request::Shutdown => obj(vec![("type", Value::Str("shutdown".to_string()))]),
+        }
+    }
+}
+
+impl Deserialize for Request {
+    fn from_json_value(v: &Value) -> Result<Self, SerdeError> {
+        match tag_of(v)? {
+            "submit" => Ok(Request::Submit(SubmitSpec::from_json_value(field(
+                v, "spec",
+            )?)?)),
+            "status" => Ok(Request::Status {
+                job_id: u64::from_json_value(field(v, "job_id")?)?,
+            }),
+            "list_jobs" => Ok(Request::ListJobs),
+            "snapshot" => Ok(Request::Snapshot),
+            "shutdown" => Ok(Request::Shutdown),
+            other => Err(SerdeError::msg(format!("unknown request type `{other}`"))),
+        }
+    }
+}
+
+impl Serialize for Response {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Response::Submitted { job_id } => obj(vec![
+                ("type", Value::Str("submitted".to_string())),
+                ("job_id", Value::Uint(*job_id)),
+            ]),
+            Response::Job(status) => obj(vec![
+                ("type", Value::Str("job".to_string())),
+                ("job", status.to_json_value()),
+            ]),
+            Response::Jobs(jobs) => obj(vec![
+                ("type", Value::Str("jobs".to_string())),
+                ("jobs", jobs.to_json_value()),
+            ]),
+            Response::Snapshot(info) => obj(vec![
+                ("type", Value::Str("snapshot".to_string())),
+                ("store", info.to_json_value()),
+            ]),
+            Response::Bye { report } => obj(vec![
+                ("type", Value::Str("bye".to_string())),
+                ("report", Value::Str(report.clone())),
+            ]),
+            Response::Error(frame) => obj(vec![
+                ("type", Value::Str("error".to_string())),
+                ("error", frame.to_json_value()),
+            ]),
+        }
+    }
+}
+
+impl Deserialize for Response {
+    fn from_json_value(v: &Value) -> Result<Self, SerdeError> {
+        match tag_of(v)? {
+            "submitted" => Ok(Response::Submitted {
+                job_id: u64::from_json_value(field(v, "job_id")?)?,
+            }),
+            "job" => Ok(Response::Job(JobStatus::from_json_value(field(v, "job")?)?)),
+            "jobs" => Ok(Response::Jobs(Vec::from_json_value(field(v, "jobs")?)?)),
+            "snapshot" => Ok(Response::Snapshot(SnapshotInfo::from_json_value(field(
+                v, "store",
+            )?)?)),
+            "bye" => Ok(Response::Bye {
+                report: String::from_json_value(field(v, "report")?)?,
+            }),
+            "error" => Ok(Response::Error(ErrorFrame::from_json_value(field(
+                v, "error",
+            )?)?)),
+            other => Err(SerdeError::msg(format!("unknown response type `{other}`"))),
+        }
+    }
+}
+
+/// Encodes a message to its JSON payload text.
+pub fn encode<T: Serialize>(msg: &T) -> String {
+    serde_json::to_string(msg).expect("protocol messages serialize")
+}
+
+/// Decodes a JSON payload into a message.
+pub fn decode<T: Deserialize>(payload: &str) -> Result<T, FrameError> {
+    serde_json::from_str(payload).map_err(|e| FrameError::Decode(e.to_string()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnrt_serve::{JobPhase, JobStatus};
+
+    fn round_trip_request(req: Request) {
+        let text = encode(&req);
+        let back: Request = decode(&text).expect("request decodes");
+        assert_eq!(req, back, "payload was: {text}");
+    }
+
+    fn round_trip_response(resp: Response) {
+        let text = encode(&resp);
+        let back: Response = decode(&text).expect("response decodes");
+        assert_eq!(resp, back, "payload was: {text}");
+    }
+
+    #[test]
+    fn requests_round_trip() {
+        round_trip_request(Request::Submit(SubmitSpec {
+            name: "dcgan-a".to_string(),
+            model: "dcgan".to_string(),
+            batch: 4,
+            steps: 3,
+            priority: 2,
+            weight: 1.5,
+        }));
+        round_trip_request(Request::Status { job_id: 7 });
+        round_trip_request(Request::ListJobs);
+        round_trip_request(Request::Snapshot);
+        round_trip_request(Request::Shutdown);
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        round_trip_response(Response::Submitted { job_id: 3 });
+        round_trip_response(Response::Job(JobStatus {
+            id: 3,
+            name: "dcgan-3".to_string(),
+            model: "dcgan".to_string(),
+            phase: JobPhase::Running,
+            steps_done: 1,
+            steps: 3,
+            node: Some(0),
+        }));
+        round_trip_response(Response::Jobs(vec![]));
+        round_trip_response(Response::Snapshot(SnapshotInfo {
+            entries: 12,
+            hits: 30,
+            misses: 6,
+            evictions: 0,
+            hit_rate: 30.0 / 36.0,
+            snapshot: "{}".to_string(),
+        }));
+        round_trip_response(Response::Bye {
+            report: "{\"jobs\": []}".to_string(),
+        });
+        round_trip_response(Response::Error(ErrorFrame {
+            kind: ErrorKind::Saturated,
+            message: "queue full".to_string(),
+            retry_after_secs: Some(2.25),
+        }));
+        round_trip_response(Response::Error(ErrorFrame {
+            kind: ErrorKind::UnknownModel,
+            message: "no such model".to_string(),
+            retry_after_secs: None,
+        }));
+    }
+
+    #[test]
+    fn saturated_frames_carry_the_retry_hint_over_the_wire() {
+        let text = encode(&Response::Error(ErrorFrame {
+            kind: ErrorKind::Saturated,
+            message: "admission queue saturated".to_string(),
+            retry_after_secs: Some(4.125),
+        }));
+        let back: Response = decode(&text).unwrap();
+        match back {
+            Response::Error(frame) => {
+                assert_eq!(frame.kind, ErrorKind::Saturated);
+                assert_eq!(frame.retry_after_secs, Some(4.125));
+            }
+            other => panic!("expected an error frame, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn frames_round_trip_over_a_buffer() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"type\": \"list_jobs\"}").unwrap();
+        write_frame(&mut buf, "{\"type\": \"shutdown\"}").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        assert_eq!(
+            read_frame(&mut cursor).unwrap(),
+            "{\"type\": \"list_jobs\"}"
+        );
+        assert_eq!(read_frame(&mut cursor).unwrap(), "{\"type\": \"shutdown\"}");
+        // A clean EOF between frames surfaces as an Io error.
+        assert!(matches!(read_frame(&mut cursor), Err(FrameError::Io(_))));
+    }
+
+    #[test]
+    fn oversized_zero_and_version_skewed_frames_are_typed_errors() {
+        let mut huge = Vec::new();
+        huge.extend_from_slice(&(MAX_FRAME_LEN + 1).to_be_bytes());
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(huge)),
+            Err(FrameError::BadLength(_))
+        ));
+
+        let zero = 0u32.to_be_bytes().to_vec();
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(zero)),
+            Err(FrameError::BadLength(0))
+        ));
+
+        let mut skewed = Vec::new();
+        skewed.extend_from_slice(&2u32.to_be_bytes());
+        skewed.push(PROTOCOL_VERSION + 1);
+        skewed.push(b'x');
+        assert!(matches!(
+            read_frame(&mut std::io::Cursor::new(skewed)),
+            Err(FrameError::Version(v)) if v == PROTOCOL_VERSION + 1
+        ));
+    }
+
+    #[test]
+    fn garbage_payloads_decode_to_typed_errors() {
+        assert!(matches!(
+            decode::<Request>("{nonsense"),
+            Err(FrameError::Decode(_))
+        ));
+        assert!(matches!(
+            decode::<Request>("{\"type\": \"fly\"}"),
+            Err(FrameError::Decode(_))
+        ));
+        assert!(matches!(
+            decode::<Request>("{\"type\": \"status\"}"),
+            Err(FrameError::Decode(_)),
+        ));
+        assert!(matches!(
+            decode::<Response>("{\"type\": \"submitted\"}"),
+            Err(FrameError::Decode(_)),
+        ));
+    }
+}

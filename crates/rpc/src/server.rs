@@ -1,0 +1,407 @@
+//! The threaded TCP front-end that owns a [`Fleet`].
+//!
+//! ```text
+//!  accept thread ──spawns──▶ per-connection reader threads
+//!                                   │  decode Request, attach reply channel
+//!                                   ▼
+//!                        bounded command inbox (mpsc)
+//!                                   │  full ⇒ typed Saturated backpressure
+//!                                   ▼
+//!  service thread: drain commands ▸ idle-tick the fleet ▸ repeat
+//! ```
+//!
+//! Exactly one thread (the service thread) touches the `Fleet`, so the
+//! simulation needs no locking and stays deterministic: commands apply in
+//! arrival order, and between commands the fleet advances through
+//! [`Fleet::tick`] — the same event order [`Fleet::run`] uses, which
+//! preserves chaos-event, checkpoint, and report semantics. Backpressure is
+//! typed end to end: a full admission queue (or a full command inbox)
+//! answers with an [`ErrorKind::Saturated`] frame whose `retry_after_secs`
+//! hint clients cap their backoff at.
+//!
+//! [`DrainPolicy::OnShutdown`] holds all queued work until the `Shutdown`
+//! request and then drains through [`Fleet::run`] — so a job mix submitted
+//! over the wire produces a [`FleetReport`] byte-identical to the same mix
+//! pushed through the in-process `Fleet` API. [`DrainPolicy::Eager`] is the
+//! live-service mode: the fleet executes between requests, and status
+//! queries observe jobs mid-flight.
+
+use crate::protocol::{
+    decode, encode, read_frame, write_frame, ErrorFrame, ErrorKind, FrameError, Request, Response,
+    SnapshotInfo, SubmitSpec,
+};
+use nnrt_graph::DataflowGraph;
+use nnrt_serve::{AdmitError, Fleet, FleetConfig, JobId, JobSpec};
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Retry hint carried by inbox-full rejections, seconds. The service loop
+/// drains the inbox every iteration, so this only needs to cover one
+/// scheduling quantum — but it must be positive, like every `Saturated`
+/// hint.
+pub const INBOX_RETRY_SECS: f64 = 0.05;
+
+/// How long a connection thread waits for the service loop to answer one
+/// command before giving up on the server.
+const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
+
+/// Poll interval of the (non-blocking) accept loop and the idle service
+/// loop, wall-clock.
+const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// When the fleet executes queued work.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DrainPolicy {
+    /// Live service: the fleet ticks whenever the command inbox is idle, so
+    /// jobs run (and complete, freeing queue capacity) between requests.
+    #[default]
+    Eager,
+    /// Batch window: submissions only queue; the whole mix drains through
+    /// [`Fleet::run`] when `Shutdown` arrives. The final report is
+    /// byte-identical to submitting the same mix through the in-process
+    /// `Fleet` API — the determinism contract the loopback tests pin.
+    OnShutdown,
+}
+
+/// Server configuration.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Fleet configuration (nodes, queue capacity, seed, …).
+    pub fleet: FleetConfig,
+    /// When queued work executes.
+    pub drain: DrainPolicy,
+    /// Command-inbox depth; requests beyond it bounce with `Saturated`.
+    pub inbox_capacity: usize,
+    /// Where the graceful shutdown writes the profile-store snapshot
+    /// (`None` skips persistence).
+    pub snapshot_path: Option<PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            fleet: FleetConfig::default(),
+            drain: DrainPolicy::Eager,
+            inbox_capacity: 64,
+            snapshot_path: None,
+        }
+    }
+}
+
+/// One decoded request plus the channel its response goes back on.
+struct Command {
+    request: Request,
+    reply: mpsc::Sender<Response>,
+}
+
+/// The networked fleet service: a TCP listener, per-connection reader
+/// threads, and the single service thread that owns the [`Fleet`].
+pub struct FleetServer {
+    addr: SocketAddr,
+    stop: Arc<AtomicBool>,
+    accept_handle: JoinHandle<()>,
+    service_handle: JoinHandle<()>,
+    final_report: Arc<Mutex<Option<String>>>,
+}
+
+impl FleetServer {
+    /// Binds `addr` (use port 0 for an ephemeral port) and starts serving a
+    /// fresh fleet built from `config.fleet`.
+    pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<FleetServer> {
+        let fleet = Fleet::new(config.fleet);
+        Self::bind_with_fleet(addr, fleet, config)
+    }
+
+    /// Binds `addr` and serves an existing fleet — the warm-restart path: a
+    /// fleet whose store was restored from a snapshot (or one with
+    /// heterogeneous cost models) goes straight behind the socket.
+    pub fn bind_with_fleet(
+        addr: impl ToSocketAddrs,
+        fleet: Fleet,
+        config: ServerConfig,
+    ) -> io::Result<FleetServer> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let addr = listener.local_addr()?;
+        let stop = Arc::new(AtomicBool::new(false));
+        let final_report = Arc::new(Mutex::new(None));
+        let (inbox, commands) = mpsc::sync_channel(config.inbox_capacity.max(1));
+
+        let service_handle = {
+            let stop = Arc::clone(&stop);
+            let final_report = Arc::clone(&final_report);
+            thread::spawn(move || {
+                ServiceLoop {
+                    fleet,
+                    config,
+                    commands,
+                    stop,
+                    final_report,
+                    graphs: HashMap::new(),
+                }
+                .run()
+            })
+        };
+
+        let accept_handle = {
+            let stop = Arc::clone(&stop);
+            thread::spawn(move || accept_loop(listener, inbox, stop))
+        };
+
+        Ok(FleetServer {
+            addr,
+            stop,
+            accept_handle,
+            service_handle,
+            final_report,
+        })
+    }
+
+    /// The bound address (with the ephemeral port resolved).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Whether a `Shutdown` request has stopped the server.
+    pub fn is_stopped(&self) -> bool {
+        self.stop.load(Ordering::SeqCst)
+    }
+
+    /// Blocks until a `Shutdown` request stops the server, then returns the
+    /// final [`nnrt_serve::FleetReport`] JSON the shutdown flushed (`None`
+    /// only if the service thread died without one).
+    pub fn join(self) -> Option<String> {
+        let _ = self.service_handle.join();
+        self.stop.store(true, Ordering::SeqCst);
+        let _ = self.accept_handle.join();
+        self.final_report.lock().expect("report slot").take()
+    }
+}
+
+fn accept_loop(listener: TcpListener, inbox: SyncSender<Command>, stop: Arc<AtomicBool>) {
+    while !stop.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                let _ = stream.set_nodelay(true);
+                let inbox = inbox.clone();
+                thread::spawn(move || serve_connection(stream, inbox));
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
+            Err(_) => break,
+        }
+    }
+}
+
+/// Reads frames off one connection until EOF, dispatching each request
+/// through the bounded inbox and writing the response frame back.
+fn serve_connection(mut stream: TcpStream, inbox: SyncSender<Command>) {
+    loop {
+        let response = match read_frame(&mut stream) {
+            Ok(payload) => match decode::<Request>(&payload) {
+                Ok(request) => {
+                    let is_bye = matches!(request, Request::Shutdown);
+                    let response = dispatch(request, &inbox);
+                    if write_frame(&mut stream, &encode(&response)).is_err() || is_bye {
+                        return;
+                    }
+                    continue;
+                }
+                Err(e) => Response::Error(ErrorFrame {
+                    kind: ErrorKind::BadRequest,
+                    message: e.to_string(),
+                    retry_after_secs: None,
+                }),
+            },
+            // EOF, reset, or a mid-frame error: the stream is unusable.
+            Err(FrameError::Io(_)) => return,
+            Err(e @ FrameError::Version(_)) => Response::Error(ErrorFrame {
+                kind: ErrorKind::VersionMismatch,
+                message: e.to_string(),
+                retry_after_secs: None,
+            }),
+            Err(e) => Response::Error(ErrorFrame {
+                kind: ErrorKind::BadRequest,
+                message: e.to_string(),
+                retry_after_secs: None,
+            }),
+        };
+        // Error paths: answer, then close — the stream may be desynced.
+        let _ = write_frame(&mut stream, &encode(&response));
+        return;
+    }
+}
+
+/// Queues `request` on the bounded inbox and waits for the service loop's
+/// answer. A full inbox is backpressure, typed exactly like a full
+/// admission queue.
+fn dispatch(request: Request, inbox: &SyncSender<Command>) -> Response {
+    let (reply, answer) = mpsc::channel();
+    match inbox.try_send(Command { request, reply }) {
+        Ok(()) => match answer.recv_timeout(REPLY_TIMEOUT) {
+            Ok(response) => response,
+            Err(_) => Response::Error(ErrorFrame {
+                kind: ErrorKind::ShuttingDown,
+                message: "service loop stopped before answering".to_string(),
+                retry_after_secs: None,
+            }),
+        },
+        Err(TrySendError::Full(_)) => Response::Error(ErrorFrame {
+            kind: ErrorKind::Saturated,
+            message: "server command inbox is full".to_string(),
+            retry_after_secs: Some(INBOX_RETRY_SECS),
+        }),
+        Err(TrySendError::Disconnected(_)) => Response::Error(ErrorFrame {
+            kind: ErrorKind::ShuttingDown,
+            message: "server is shutting down".to_string(),
+            retry_after_secs: None,
+        }),
+    }
+}
+
+/// The single thread that owns the fleet.
+struct ServiceLoop {
+    fleet: Fleet,
+    config: ServerConfig,
+    commands: Receiver<Command>,
+    stop: Arc<AtomicBool>,
+    final_report: Arc<Mutex<Option<String>>>,
+    /// `(model, batch)` → built graph, so repeated submissions of one model
+    /// family do not rebuild multi-thousand-op graphs per request.
+    graphs: HashMap<(String, u64), DataflowGraph>,
+}
+
+impl ServiceLoop {
+    fn run(mut self) {
+        loop {
+            // Commands take priority over fleet progress.
+            loop {
+                match self.commands.try_recv() {
+                    Ok(cmd) => {
+                        if !self.handle(cmd) {
+                            return;
+                        }
+                    }
+                    Err(mpsc::TryRecvError::Empty) => break,
+                    Err(mpsc::TryRecvError::Disconnected) => return,
+                }
+            }
+            let progressed = match self.config.drain {
+                DrainPolicy::Eager => self.fleet.tick(),
+                DrainPolicy::OnShutdown => false,
+            };
+            if !progressed {
+                // Idle (or holding): sleep on the inbox instead of spinning.
+                match self.commands.recv_timeout(POLL_INTERVAL) {
+                    Ok(cmd) => {
+                        if !self.handle(cmd) {
+                            return;
+                        }
+                    }
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                    Err(mpsc::RecvTimeoutError::Disconnected) => return,
+                }
+            }
+        }
+    }
+
+    /// Applies one command; `false` stops the service loop.
+    fn handle(&mut self, cmd: Command) -> bool {
+        let response = match cmd.request {
+            Request::Submit(spec) => self.submit(spec),
+            Request::Status { job_id } => match self.fleet.job_status(JobId(job_id)) {
+                Some(status) => Response::Job(status),
+                None => Response::Error(ErrorFrame {
+                    kind: ErrorKind::UnknownJob,
+                    message: format!("job {job_id} was never admitted"),
+                    retry_after_secs: None,
+                }),
+            },
+            Request::ListJobs => Response::Jobs(self.fleet.list_jobs()),
+            Request::Snapshot => {
+                let store = self.fleet.store();
+                Response::Snapshot(SnapshotInfo::new(
+                    store.len(),
+                    store.stats(),
+                    store.snapshot(),
+                ))
+            }
+            Request::Shutdown => {
+                // Drain every queued, resident, and evicted job through the
+                // same code path the in-process API uses, then flush.
+                let report = self.fleet.run().to_json();
+                if let Some(path) = &self.config.snapshot_path {
+                    if let Err(e) = std::fs::write(path, self.fleet.store().snapshot()) {
+                        eprintln!("nnrt-rpc: snapshot write to {} failed: {e}", path.display());
+                    }
+                }
+                *self.final_report.lock().expect("report slot") = Some(report.clone());
+                self.stop.store(true, Ordering::SeqCst);
+                let _ = cmd.reply.send(Response::Bye { report });
+                return false;
+            }
+        };
+        let _ = cmd.reply.send(response);
+        true
+    }
+
+    /// Resolves the model, names the job, and admits it.
+    fn submit(&mut self, spec: SubmitSpec) -> Response {
+        let graph_key = (spec.model.clone(), spec.batch);
+        let graph = match self.graphs.get(&graph_key) {
+            Some(g) => g.clone(),
+            None => {
+                let batch = (spec.batch > 0).then_some(spec.batch as usize);
+                match nnrt_models::by_name(&spec.model, batch) {
+                    Some(model) => {
+                        self.graphs.insert(graph_key, model.graph.clone());
+                        model.graph
+                    }
+                    None => {
+                        return Response::Error(ErrorFrame {
+                            kind: ErrorKind::UnknownModel,
+                            message: format!("unknown model `{}`", spec.model),
+                            retry_after_secs: None,
+                        })
+                    }
+                }
+            }
+        };
+        let name = if spec.name.is_empty() {
+            format!("{}-{}", spec.model, self.fleet.next_job_id())
+        } else {
+            spec.name
+        };
+        let job = JobSpec {
+            name,
+            model: spec.model,
+            graph,
+            steps: spec.steps,
+            priority: spec.priority,
+            weight: spec.weight,
+        };
+        match self.fleet.submit(job) {
+            Ok(id) => Response::Submitted { job_id: id.0 },
+            Err(
+                ref e @ AdmitError::Saturated {
+                    retry_after_secs, ..
+                },
+            ) => Response::Error(ErrorFrame {
+                kind: ErrorKind::Saturated,
+                message: e.to_string(),
+                retry_after_secs: Some(retry_after_secs),
+            }),
+            Err(e @ AdmitError::EmptyJob { .. }) => Response::Error(ErrorFrame {
+                kind: ErrorKind::EmptyJob,
+                message: e.to_string(),
+                retry_after_secs: None,
+            }),
+        }
+    }
+}

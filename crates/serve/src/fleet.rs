@@ -38,7 +38,7 @@ use crate::store::ProfileStore;
 use nnrt_graph::OpKey;
 use nnrt_manycore::{KnlCostModel, MachineSignature, NodeHealth};
 use nnrt_sched::{export_chrome_trace, OpCatalog, Runtime, RuntimeConfig};
-use serde::Serialize;
+use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
@@ -198,6 +198,12 @@ pub struct FleetReport {
     pub rejected: u64,
     /// Curve pairs resident in the shared store after the run.
     pub store_entries: usize,
+    /// Profile keys served from the shared store across all lookups.
+    pub store_hits: u64,
+    /// Profile keys requested but absent across all lookups.
+    pub store_misses: u64,
+    /// Entries the store's LRU cap evicted over the run.
+    pub store_evictions: u64,
     /// Fault events that actually fired during the run.
     pub faults_injected: usize,
     /// Crash-evicted re-admissions across all jobs.
@@ -242,6 +248,17 @@ impl FleetReport {
             "queue: mean latency {:.3}s, max {:.3}s, {} rejected",
             self.mean_queue_latency_secs, self.max_queue_latency_secs, self.rejected
         );
+        let looked_up = self.store_hits + self.store_misses;
+        let hit_rate = if looked_up > 0 {
+            100.0 * self.store_hits as f64 / looked_up as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            out,
+            "store: {} hits / {} misses ({hit_rate:.1}% hit rate), {} evicted",
+            self.store_hits, self.store_misses, self.store_evictions
+        );
         if self.faults_injected > 0 {
             let downtime: f64 = self.node_downtime_secs.iter().sum();
             let _ = writeln!(
@@ -277,6 +294,40 @@ impl FleetReport {
         }
         out
     }
+}
+
+/// Where a submitted job currently is in its lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum JobPhase {
+    /// Waiting in the admission queue for a node slot.
+    Queued,
+    /// Resident on a node, being stepped round-robin.
+    Running,
+    /// Evicted by a node crash, waiting out its re-admission backoff.
+    Retrying,
+    /// Finished every training step.
+    Completed,
+}
+
+/// A point-in-time view of one submitted job, answering the `Status` and
+/// `ListJobs` queries of the RPC front-end.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JobStatus {
+    /// Job id (fleet-unique).
+    pub id: u64,
+    /// Job name.
+    pub name: String,
+    /// Model family.
+    pub model: String,
+    /// Lifecycle phase.
+    pub phase: JobPhase,
+    /// Training steps executed so far.
+    pub steps_done: u32,
+    /// Training steps requested.
+    pub steps: u32,
+    /// Node the job resides on (ran on, for completed jobs); `None` while
+    /// queued or waiting for re-admission.
+    pub node: Option<u32>,
 }
 
 /// The multi-tenant training-job service.
@@ -372,6 +423,71 @@ impl Fleet {
             .iter()
             .map(|n| n.clock)
             .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The id the next successful [`Fleet::submit`] will assign — a server
+    /// front-end uses it to derive default job names before admission.
+    pub fn next_job_id(&self) -> u64 {
+        self.next_id
+    }
+
+    /// A point-in-time view of one job, or `None` for an id this fleet
+    /// never admitted (rejected submissions have no id).
+    pub fn job_status(&self, id: JobId) -> Option<JobStatus> {
+        if let Some(j) = self.completed.iter().find(|j| j.id == id.0) {
+            return Some(JobStatus {
+                id: j.id,
+                name: j.name.clone(),
+                model: j.model.clone(),
+                phase: JobPhase::Completed,
+                steps_done: j.steps,
+                steps: j.steps,
+                node: Some(j.node),
+            });
+        }
+        for (node_idx, node) in self.nodes.iter().enumerate() {
+            if let Some(j) = node.residents.iter().find(|j| j.id == id) {
+                return Some(JobStatus {
+                    id: j.id.0,
+                    name: j.spec.name.clone(),
+                    model: j.spec.model.clone(),
+                    phase: JobPhase::Running,
+                    steps_done: j.steps_done,
+                    steps: j.spec.steps,
+                    node: Some(node_idx as u32),
+                });
+            }
+        }
+        if let Some(r) = self.retries.iter().find(|r| r.job.id == id) {
+            return Some(JobStatus {
+                id: r.job.id.0,
+                name: r.job.spec.name.clone(),
+                model: r.job.spec.model.clone(),
+                phase: JobPhase::Retrying,
+                steps_done: r.job.steps_done,
+                steps: r.job.spec.steps,
+                node: None,
+            });
+        }
+        self.queue.iter().find(|q| q.id == id).map(|q| JobStatus {
+            id: q.id.0,
+            name: q.spec.name.clone(),
+            model: q.spec.model.clone(),
+            phase: JobPhase::Queued,
+            steps_done: 0,
+            steps: q.spec.steps,
+            node: None,
+        })
+    }
+
+    /// Point-in-time views of every job the fleet has admitted — queued,
+    /// running, awaiting re-admission, or completed — sorted by id.
+    pub fn list_jobs(&self) -> Vec<JobStatus> {
+        let mut jobs: Vec<JobStatus> = (0..self.next_id)
+            .filter_map(|id| self.job_status(JobId(id)))
+            .collect();
+        jobs.sort_by_key(|j| j.id);
+        jobs
     }
 
     /// Submits a job. Queued jobs are placed when `run` executes; a full
@@ -769,44 +885,66 @@ impl Fleet {
     /// boundaries of the simulated clock.
     pub fn run(&mut self) -> FleetReport {
         self.place_queued();
-        loop {
-            let busy = self.next_busy_node();
-            // The time at which the next thing happens.
-            let frontier = match busy {
-                Some(i) => self.nodes[i].clock,
-                None => {
-                    let pending = [self.pending_event_at(), self.pending_retry_at()]
-                        .into_iter()
-                        .flatten()
-                        .reduce(f64::min);
-                    match pending {
-                        Some(t) => t,
-                        None => break, // fully drained
-                    }
-                }
-            };
-            if self.pending_event_at().is_some_and(|at| at <= frontier) {
-                self.fire_next_event();
-                self.try_admit_retries(frontier);
-                self.place_queued();
-                continue;
-            }
-            if self.pending_retry_at().is_some_and(|at| at <= frontier) {
-                self.try_admit_retries(frontier);
-                continue;
-            }
-            let Some(node_idx) = busy else {
-                // `frontier` came from a pending event or retry, so one of
-                // the branches above must have consumed it.
-                unreachable!("idle fleet with nothing pending");
-            };
-            self.step_node(node_idx);
-        }
+        while self.tick_once() {}
         self.report()
     }
 
-    fn report(&self) -> FleetReport {
+    /// Advances the fleet by one unit of work — placing freshly queued jobs,
+    /// then firing the next fault, re-admitting an eligible evicted job, or
+    /// executing one training step — and returns whether anything happened.
+    /// `false` means the fleet is fully drained and only a new submission
+    /// can create work. This is the incremental driver an external service
+    /// loop interleaves with command handling; a fleet drained exclusively
+    /// through `tick` follows the exact event order of [`Fleet::run`], so
+    /// chaos events, checkpoints, and the final report are preserved.
+    pub fn tick(&mut self) -> bool {
+        self.place_queued();
+        self.tick_once()
+    }
+
+    /// One iteration of the service loop (placement of new arrivals is the
+    /// caller's job). Returns `false` when the fleet is fully drained.
+    fn tick_once(&mut self) -> bool {
+        let busy = self.next_busy_node();
+        // The time at which the next thing happens.
+        let frontier = match busy {
+            Some(i) => self.nodes[i].clock,
+            None => {
+                let pending = [self.pending_event_at(), self.pending_retry_at()]
+                    .into_iter()
+                    .flatten()
+                    .reduce(f64::min);
+                match pending {
+                    Some(t) => t,
+                    None => return false, // fully drained
+                }
+            }
+        };
+        if self.pending_event_at().is_some_and(|at| at <= frontier) {
+            self.fire_next_event();
+            self.try_admit_retries(frontier);
+            self.place_queued();
+            return true;
+        }
+        if self.pending_retry_at().is_some_and(|at| at <= frontier) {
+            self.try_admit_retries(frontier);
+            return true;
+        }
+        let Some(node_idx) = busy else {
+            // `frontier` came from a pending event or retry, so one of
+            // the branches above must have consumed it.
+            unreachable!("idle fleet with nothing pending");
+        };
+        self.step_node(node_idx);
+        true
+    }
+
+    /// The fleet's statistics as of now. [`Fleet::run`] returns this after
+    /// draining; a server driving the fleet through [`Fleet::tick`] calls it
+    /// at shutdown (or any time in between) instead.
+    pub fn report(&self) -> FleetReport {
         let jobs = self.completed.clone();
+        let store_stats = self.store.stats();
         let makespan = self.nodes.iter().map(|n| n.clock).fold(0.0, f64::max);
         let total_steps: u64 = jobs.iter().map(|j| j.steps as u64).sum();
         let latencies: Vec<f64> = jobs.iter().map(|j| j.queue_latency_secs).collect();
@@ -829,6 +967,9 @@ impl Fleet {
             max_queue_latency_secs: latencies.iter().cloned().fold(0.0, f64::max),
             rejected: self.queue.rejections(),
             store_entries: self.store.len(),
+            store_hits: store_stats.hits,
+            store_misses: store_stats.misses,
+            store_evictions: store_stats.evictions,
             faults_injected: self.event_cursor,
             retries_total: jobs.iter().map(|j| j.retries as u64).sum(),
             checkpoint_restores_total: jobs.iter().map(|j| j.checkpoint_restores as u64).sum(),

@@ -186,6 +186,11 @@ impl AdmissionQueue {
     pub fn peek(&self) -> Option<&QueuedJob> {
         self.jobs.front()
     }
+
+    /// Iterates over the waiting jobs in service order.
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedJob> {
+        self.jobs.iter()
+    }
 }
 
 #[cfg(test)]

@@ -83,10 +83,38 @@ struct Entry {
     last_used: u64,
 }
 
+/// Lifetime counters of one [`ProfileStore`]: how often lookups were served
+/// from the store, how often they missed, and how many entries the LRU cap
+/// has evicted. The eviction-tuning work on the roadmap needs exactly these
+/// numbers, so the fleet surfaces them in its report and over the wire.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StoreStats {
+    /// Keys served from the store across all lookups.
+    pub hits: u64,
+    /// Keys requested but absent across all lookups.
+    pub misses: u64,
+    /// Entries evicted by the LRU capacity cap.
+    pub evictions: u64,
+}
+
+impl StoreStats {
+    /// Fraction of looked-up keys served from the store (`0.0` when no
+    /// lookup has happened yet).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
 struct Inner {
     entries: HashMap<StoreKey, Entry>,
     clock: u64,
     capacity: usize,
+    stats: StoreStats,
 }
 
 /// Concurrent, LRU-capped map from `(machine, kind, shape)` to measured
@@ -116,6 +144,7 @@ impl ProfileStore {
                 entries: HashMap::new(),
                 clock: 0,
                 capacity,
+                stats: StoreStats::default(),
             }),
         }
     }
@@ -151,9 +180,17 @@ impl ProfileStore {
             if let Some(entry) = inner.entries.get_mut(&store_key) {
                 entry.last_used = now;
                 hits.push(entry.profile.clone());
+                inner.stats.hits += 1;
+            } else {
+                inner.stats.misses += 1;
             }
         }
         hits
+    }
+
+    /// Lifetime hit/miss/eviction counters.
+    pub fn stats(&self) -> StoreStats {
+        self.inner.lock().stats
     }
 
     /// Inserts (or refreshes) curves measured on `machine`, evicting the
@@ -185,6 +222,7 @@ impl ProfileStore {
                 .map(|(k, _)| k.clone())
                 .expect("non-empty map above capacity");
             inner.entries.remove(&victim);
+            inner.stats.evictions += 1;
         }
     }
 
@@ -334,6 +372,38 @@ mod tests {
         assert!(store.contains(sig, &(OpKind::MatMul, Shape(vec![8]))));
         assert!(store.contains(sig, &(OpKind::Add, Shape(vec![8]))));
         assert!(!store.contains(sig, &(OpKind::Relu, Shape(vec![8]))));
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_evictions() {
+        let store = ProfileStore::with_capacity(2);
+        let sig = MachineSignature(8);
+        assert_eq!(store.stats(), StoreStats::default());
+        store.insert_many(sig, &[profile(OpKind::MatMul, &[8])]);
+        // One hit, one miss.
+        store.lookup(
+            sig,
+            &[
+                (OpKind::MatMul, Shape(vec![8])),
+                (OpKind::Relu, Shape(vec![8])),
+            ],
+        );
+        // Two more inserts squeeze one entry out of the capacity-2 store.
+        store.insert_many(
+            sig,
+            &[profile(OpKind::Relu, &[8]), profile(OpKind::Add, &[8])],
+        );
+        let stats = store.stats();
+        assert_eq!(
+            stats,
+            StoreStats {
+                hits: 1,
+                misses: 1,
+                evictions: 1
+            }
+        );
+        assert_eq!(stats.hit_rate(), 0.5);
+        assert_eq!(StoreStats::default().hit_rate(), 0.0, "no lookups yet");
     }
 
     #[test]

@@ -14,7 +14,25 @@
 //!                                straggler, store corruption, profiling
 //!                                budget) sized to the workload by a
 //!                                fault-free dry run; `--json` prints the
-//!                                report as JSON instead of text
+//!                                report as JSON instead of text. Progress
+//!                                goes to stderr, so stdout stays parseable
+//! nnrt serve --listen <addr> [nodes] [seed] [--hold] [--snapshot <path>]
+//!            [--checkpoint-interval <steps>] [--json]
+//!                                run the fleet behind the nnrt-rpc TCP
+//!                                front-end instead of the built-in job mix;
+//!                                `--listen 127.0.0.1:0` picks an ephemeral
+//!                                port and prints `listening on <addr>`.
+//!                                `--hold` queues all submissions and drains
+//!                                only at shutdown (byte-identical reports);
+//!                                `--snapshot` persists the profile store on
+//!                                graceful shutdown
+//! nnrt submit <addr> <model> [batch] [--steps n] [--priority p]
+//!             [--weight w] [--name s] [--no-retry]
+//!                                submit one job to a listening server
+//!                                (retries saturated rejections while
+//!                                honoring the server's retry hint)
+//! nnrt status <addr> [job_id]    one job's status, or all jobs
+//! nnrt shutdown <addr> [--json]  drain the server and print its final report
 //! nnrt gpu                       Section VII launch-config tuning + streams
 //! nnrt models                    list the built-in models
 //! ```
@@ -22,9 +40,14 @@
 //! Models: `resnet50` (batch 64), `dcgan` (64), `inception` (16), `lstm` (20),
 //! and beyond the paper: `transformer` (8).
 //!
-//! Exit codes: 0 success, 1 usage, 2 unknown command, 3 unknown model.
+//! Exit codes: 0 success, 1 usage, 2 unknown command, 3 unknown model,
+//! 4 RPC failure (server unreachable, rejection, or protocol error).
 
 use nnrt::prelude::*;
+use nnrt::rpc::{
+    ClientError, DrainPolicy, ErrorKind, FleetServer, RetryPolicy, RpcClient, ServerConfig,
+    SubmitSpec,
+};
 use nnrt::sched::OpCatalog;
 use std::process::ExitCode;
 
@@ -34,22 +57,20 @@ const EXIT_USAGE: u8 = 1;
 const EXIT_UNKNOWN_COMMAND: u8 = 2;
 /// A model argument names no known model.
 const EXIT_UNKNOWN_MODEL: u8 = 3;
+/// An RPC command failed: server unreachable, rejection, protocol error.
+const EXIT_RPC: u8 = 4;
 
 fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
-    let spec = match name {
-        "resnet50" | "resnet-50" => resnet50(batch.unwrap_or(64)),
-        "dcgan" => dcgan(batch.unwrap_or(64)),
-        "inception" | "inception-v3" | "inception_v3" => inception_v3(batch.unwrap_or(16)),
-        "lstm" => lstm(batch.unwrap_or(20)),
-        "transformer" | "bert" => nnrt::models::transformer(batch.unwrap_or(8)),
-        _ => return None,
-    };
-    Some(spec)
+    // One registry serves the CLI and the RPC server.
+    nnrt::models::by_name(name, batch)
 }
 
 fn usage_text() -> String {
     "usage: nnrt <compare|profile|grid|plan|trace> <model> [batch]\n       \
      nnrt serve [jobs] [nodes] [seed] [--chaos <seed>] [--checkpoint-interval <steps>] [--json]\n       \
+     nnrt serve --listen <addr> [nodes] [seed] [--hold] [--snapshot <path>] [--json]\n       \
+     nnrt submit <addr> <model> [batch] [--steps n] [--priority p] [--weight w] [--name s] [--no-retry]\n       \
+     nnrt status <addr> [job_id] | nnrt shutdown <addr> [--json]\n       \
      nnrt gpu | nnrt models | nnrt --help\n\
      models: resnet50, dcgan, inception, lstm, transformer"
         .to_string()
@@ -121,6 +142,9 @@ fn main() -> ExitCode {
             let mut chaos: Option<u64> = None;
             let mut checkpoint_interval: Option<u32> = None;
             let mut json = false;
+            let mut listen: Option<String> = None;
+            let mut hold = false;
+            let mut snapshot: Option<String> = None;
             let mut it = args.iter().skip(1);
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -138,9 +162,50 @@ fn main() -> ExitCode {
                             return usage();
                         }
                     },
+                    "--listen" => match it.next() {
+                        Some(addr) => listen = Some(addr.clone()),
+                        None => {
+                            eprintln!("--listen needs an address (e.g. 127.0.0.1:0)");
+                            return usage();
+                        }
+                    },
+                    "--snapshot" => match it.next() {
+                        Some(path) => snapshot = Some(path.clone()),
+                        None => {
+                            eprintln!("--snapshot needs a file path");
+                            return usage();
+                        }
+                    },
+                    "--hold" => hold = true,
                     "--json" => json = true,
                     other => positional.push(other.to_string()),
                 }
+            }
+            if let Some(addr) = listen {
+                if chaos.is_some() {
+                    eprintln!("--chaos needs a known job mix; it does not combine with --listen");
+                    return usage();
+                }
+                // In listen mode jobs arrive over the wire, so the
+                // positionals shift down to [nodes] [seed].
+                let nodes: u32 = positional
+                    .first()
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(2)
+                    .max(1);
+                let seed: u64 = positional
+                    .get(1)
+                    .and_then(|s| s.parse().ok())
+                    .unwrap_or(0xF1EE7);
+                return run_listen(
+                    &addr,
+                    nodes,
+                    seed,
+                    checkpoint_interval,
+                    hold,
+                    snapshot,
+                    json,
+                );
             }
             let jobs: usize = positional
                 .first()
@@ -158,6 +223,9 @@ fn main() -> ExitCode {
             run_serve(jobs, nodes, seed, chaos, checkpoint_interval, json);
             ExitCode::SUCCESS
         }
+        "submit" => run_submit(&args[1..]),
+        "status" => run_status(&args[1..]),
+        "shutdown" => run_shutdown(&args[1..]),
         "compare" | "profile" | "grid" | "plan" | "trace" => {
             let Some(name) = args.get(1) else {
                 return usage();
@@ -228,17 +296,17 @@ fn run_serve(
             }
         }
     };
-    if !json {
-        println!(
-            "serving {jobs} jobs over {nodes} node(s), seed {seed:#x} \
-             (mixed workload: {})",
-            workload
-                .iter()
-                .map(|(n, _)| *n)
-                .collect::<Vec<_>>()
-                .join("+")
-        );
-    }
+    // Progress goes to stderr so `--json` (and scripted) stdout stays a
+    // single parseable document.
+    eprintln!(
+        "serving {jobs} jobs over {nodes} node(s), seed {seed:#x} \
+         (mixed workload: {})",
+        workload
+            .iter()
+            .map(|(n, _)| *n)
+            .collect::<Vec<_>>()
+            .join("+")
+    );
     let plan = chaos.map(|chaos_seed| {
         // Size the fault plan to the workload: a fault-free dry run tells
         // us the makespan, so the seeded events land mid-run.
@@ -246,14 +314,12 @@ fn run_serve(
         submit_all(&mut dry, true);
         let horizon = dry.run().makespan_secs;
         let plan = FaultPlan::from_seed(chaos_seed, nodes, horizon);
-        if !json {
-            println!(
-                "chaos seed {chaos_seed:#x}: {} events over a {horizon:.3}s horizon, \
-                 profiling budget {:?}",
-                plan.events.len(),
-                plan.profiling_step_budget
-            );
-        }
+        eprintln!(
+            "chaos seed {chaos_seed:#x}: {} events over a {horizon:.3}s horizon, \
+             profiling budget {:?}",
+            plan.events.len(),
+            plan.profiling_step_budget
+        );
         plan
     });
     let mut fleet = Fleet::new(config);
@@ -267,6 +333,243 @@ fn run_serve(
     } else {
         print!("{}", report.render());
     }
+}
+
+/// `nnrt serve --listen`: the same fleet behind the nnrt-rpc TCP front-end.
+/// Prints `listening on <addr>` first (flushed, so scripts can capture an
+/// ephemeral port), then blocks until a client sends `Shutdown` and prints
+/// the final report.
+fn run_listen(
+    addr: &str,
+    nodes: u32,
+    seed: u64,
+    checkpoint_interval: Option<u32>,
+    hold: bool,
+    snapshot: Option<String>,
+    json: bool,
+) -> ExitCode {
+    use nnrt::serve::FleetConfig;
+    use std::io::Write as _;
+
+    let config = ServerConfig {
+        fleet: FleetConfig {
+            node_count: nodes,
+            seed,
+            checkpoint_interval: checkpoint_interval.unwrap_or(1),
+            ..FleetConfig::default()
+        },
+        drain: if hold {
+            DrainPolicy::OnShutdown
+        } else {
+            DrainPolicy::Eager
+        },
+        snapshot_path: snapshot.map(std::path::PathBuf::from),
+        ..ServerConfig::default()
+    };
+    let server = match FleetServer::bind(addr, config) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("cannot listen on {addr}: {e}");
+            return ExitCode::from(EXIT_RPC);
+        }
+    };
+    println!("listening on {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+    eprintln!(
+        "serving a {nodes}-node fleet, seed {seed:#x} ({} drain); \
+         submit with `nnrt submit {} <model>`, stop with `nnrt shutdown {}`",
+        if hold { "on-shutdown" } else { "eager" },
+        server.local_addr(),
+        server.local_addr()
+    );
+    match server.join() {
+        Some(report) => {
+            if json {
+                println!("{report}");
+            } else {
+                println!("{}", summarize_report(&report));
+            }
+            ExitCode::SUCCESS
+        }
+        None => {
+            eprintln!("service thread died without a final report");
+            ExitCode::from(EXIT_RPC)
+        }
+    }
+}
+
+/// Maps a client-side failure to an exit code, reporting it on stderr.
+fn rpc_fail(what: &str, e: &ClientError) -> ExitCode {
+    eprintln!("{what}: {e}");
+    match e {
+        ClientError::Rejected(frame) if frame.kind == ErrorKind::UnknownModel => {
+            ExitCode::from(EXIT_UNKNOWN_MODEL)
+        }
+        _ => ExitCode::from(EXIT_RPC),
+    }
+}
+
+/// `nnrt submit <addr> <model> [batch] [--steps n] [--priority p]
+/// [--weight w] [--name s] [--no-retry]`.
+fn run_submit(args: &[String]) -> ExitCode {
+    let (Some(addr), Some(model)) = (args.first(), args.get(1)) else {
+        eprintln!("submit needs <addr> <model>");
+        return usage();
+    };
+    // Fail fast on typos without a round-trip; the server re-validates.
+    if model_by_name(model, None).is_none() {
+        eprintln!("unknown model '{model}'");
+        return ExitCode::from(EXIT_UNKNOWN_MODEL);
+    }
+    let mut spec = SubmitSpec::new(model);
+    let mut retry = true;
+    let mut it = args.iter().skip(2);
+    while let Some(arg) = it.next() {
+        let mut flag = |name: &str| -> Option<&String> {
+            let v = it.next();
+            if v.is_none() {
+                eprintln!("{name} needs a value");
+            }
+            v
+        };
+        match arg.as_str() {
+            "--steps" => match flag("--steps").and_then(|s| s.parse().ok()) {
+                Some(steps) => spec.steps = steps,
+                None => return usage(),
+            },
+            "--priority" => match flag("--priority").and_then(|s| s.parse().ok()) {
+                Some(p) => spec.priority = p,
+                None => return usage(),
+            },
+            "--weight" => match flag("--weight").and_then(|s| s.parse().ok()) {
+                Some(w) => spec.weight = w,
+                None => return usage(),
+            },
+            "--name" => match flag("--name") {
+                Some(name) => spec.name = name.clone(),
+                None => return usage(),
+            },
+            "--no-retry" => retry = false,
+            other => match other.parse() {
+                Ok(batch) => spec.batch = batch,
+                Err(_) => {
+                    eprintln!("unexpected submit argument '{other}'");
+                    return usage();
+                }
+            },
+        }
+    }
+    let mut client = match RpcClient::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => return rpc_fail("connect", &e),
+    };
+    let submitted = if retry {
+        client.submit_with_retry(&spec, &RetryPolicy::default())
+    } else {
+        client.submit(&spec)
+    };
+    match submitted {
+        Ok(job_id) => {
+            println!("submitted job {job_id}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => rpc_fail("submit", &e),
+    }
+}
+
+/// `nnrt status <addr> [job_id]`: one job, or all of them.
+fn run_status(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        eprintln!("status needs <addr>");
+        return usage();
+    };
+    let mut client = match RpcClient::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => return rpc_fail("connect", &e),
+    };
+    let render = |s: &nnrt::serve::JobStatus| {
+        format!(
+            "{:>4}  {:16} {:12} {:9} {:>5}/{:<5} {}",
+            s.id,
+            s.name,
+            s.model,
+            format!("{:?}", s.phase).to_lowercase(),
+            s.steps_done,
+            s.steps,
+            s.node.map_or("-".to_string(), |n| format!("node {n}"))
+        )
+    };
+    match args.get(1).map(|s| s.parse::<u64>()) {
+        Some(Ok(job_id)) => match client.status(job_id) {
+            Ok(status) => {
+                println!("{}", render(&status));
+                ExitCode::SUCCESS
+            }
+            Err(e) => rpc_fail("status", &e),
+        },
+        Some(Err(_)) => {
+            eprintln!("job id must be a number");
+            usage()
+        }
+        None => match client.list_jobs() {
+            Ok(jobs) => {
+                println!(
+                    "{:>4}  {:16} {:12} {:9} {:>5}/{:<5} node",
+                    "id", "name", "model", "phase", "done", "steps"
+                );
+                for status in &jobs {
+                    println!("{}", render(status));
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => rpc_fail("status", &e),
+        },
+    }
+}
+
+/// `nnrt shutdown <addr> [--json]`: drain the server, print its report.
+fn run_shutdown(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        eprintln!("shutdown needs <addr>");
+        return usage();
+    };
+    let json = args.iter().any(|a| a == "--json");
+    let mut client = match RpcClient::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => return rpc_fail("connect", &e),
+    };
+    match client.shutdown() {
+        Ok(report) => {
+            if json {
+                println!("{report}");
+            } else {
+                println!("{}", summarize_report(&report));
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => rpc_fail("shutdown", &e),
+    }
+}
+
+/// A one-paragraph human summary of a [`nnrt::serve::FleetReport`] JSON
+/// document (the report type is serialize-only, so this reads the fields
+/// back through [`serde_json::Value`]).
+fn summarize_report(report: &str) -> String {
+    let Ok(v) = serde_json::from_str::<serde_json::Value>(report) else {
+        return report.to_string();
+    };
+    let num = |key: &str| v.get(key).and_then(|x| x.as_f64()).unwrap_or(f64::NAN);
+    let jobs = v.get("jobs").and_then(|j| j.as_array()).map_or(0, Vec::len);
+    format!(
+        "fleet drained: {jobs} job(s), makespan {:.3}s, {:.2} steps/s; \
+         store {} hits / {} misses, {} entries; {} rejected",
+        num("makespan_secs"),
+        num("steps_per_sec"),
+        num("store_hits") as u64,
+        num("store_misses") as u64,
+        num("store_entries") as u64,
+        num("rejected") as u64,
+    )
 }
 
 fn run_model_command(cmd: &str, spec: &ModelSpec) {

@@ -22,6 +22,9 @@
 //!   implemented rather than left as future work).
 //! * [`serve`] — multi-tenant training-job service: admission, placement,
 //!   and a shared persistent profile store for warm-started jobs.
+//! * [`rpc`] — networked job-submission front-end for the fleet:
+//!   length-prefixed JSON-over-TCP protocol, threaded server, and a
+//!   blocking, retrying client.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -33,6 +36,7 @@ pub use nnrt_kernels as kernels;
 pub use nnrt_manycore as manycore;
 pub use nnrt_models as models;
 pub use nnrt_regress as regress;
+pub use nnrt_rpc as rpc;
 pub use nnrt_sched as sched;
 pub use nnrt_serve as serve;
 

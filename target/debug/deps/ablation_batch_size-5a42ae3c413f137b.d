@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_batch_size-5a42ae3c413f137b.d: crates/bench/benches/ablation_batch_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_batch_size-5a42ae3c413f137b.rmeta: crates/bench/benches/ablation_batch_size.rs Cargo.toml
+
+crates/bench/benches/ablation_batch_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

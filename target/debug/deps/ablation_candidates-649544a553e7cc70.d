@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_candidates-649544a553e7cc70.d: crates/bench/benches/ablation_candidates.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_candidates-649544a553e7cc70.rmeta: crates/bench/benches/ablation_candidates.rs Cargo.toml
+
+crates/bench/benches/ablation_candidates.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

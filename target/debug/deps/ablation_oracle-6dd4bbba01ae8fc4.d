@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_oracle-6dd4bbba01ae8fc4.d: crates/bench/benches/ablation_oracle.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_oracle-6dd4bbba01ae8fc4.rmeta: crates/bench/benches/ablation_oracle.rs Cargo.toml
+
+crates/bench/benches/ablation_oracle.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

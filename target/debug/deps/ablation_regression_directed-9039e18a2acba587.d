@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_regression_directed-9039e18a2acba587.d: crates/bench/benches/ablation_regression_directed.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_regression_directed-9039e18a2acba587.rmeta: crates/bench/benches/ablation_regression_directed.rs Cargo.toml
+
+crates/bench/benches/ablation_regression_directed.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_thrash-4d76972c35fbe6ea.d: crates/bench/benches/ablation_thrash.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_thrash-4d76972c35fbe6ea.rmeta: crates/bench/benches/ablation_thrash.rs Cargo.toml
+
+crates/bench/benches/ablation_thrash.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

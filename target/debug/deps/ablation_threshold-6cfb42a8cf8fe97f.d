@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/ablation_threshold-6cfb42a8cf8fe97f.d: crates/bench/benches/ablation_threshold.rs Cargo.toml
+
+/root/repo/target/debug/deps/libablation_threshold-6cfb42a8cf8fe97f.rmeta: crates/bench/benches/ablation_threshold.rs Cargo.toml
+
+crates/bench/benches/ablation_threshold.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/adaptive_and_serde-57681c0fcfa41050.d: tests/adaptive_and_serde.rs Cargo.toml
+
+/root/repo/target/debug/deps/libadaptive_and_serde-57681c0fcfa41050.rmeta: tests/adaptive_and_serde.rs Cargo.toml
+
+tests/adaptive_and_serde.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

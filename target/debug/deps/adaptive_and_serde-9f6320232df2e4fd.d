@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/adaptive_and_serde-9f6320232df2e4fd.d: tests/adaptive_and_serde.rs
+
+/root/repo/target/debug/deps/adaptive_and_serde-9f6320232df2e4fd: tests/adaptive_and_serde.rs
+
+tests/adaptive_and_serde.rs:

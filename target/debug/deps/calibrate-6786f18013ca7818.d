@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/calibrate-6786f18013ca7818.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/debug/deps/calibrate-6786f18013ca7818: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

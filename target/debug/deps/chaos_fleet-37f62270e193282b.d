@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_fleet-37f62270e193282b.d: tests/chaos_fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_fleet-37f62270e193282b.rmeta: tests/chaos_fleet.rs Cargo.toml
+
+tests/chaos_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

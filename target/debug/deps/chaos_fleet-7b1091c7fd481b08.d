@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/chaos_fleet-7b1091c7fd481b08.d: tests/chaos_fleet.rs
+
+/root/repo/target/debug/deps/chaos_fleet-7b1091c7fd481b08: tests/chaos_fleet.rs
+
+tests/chaos_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/chaos_recovery-dcbd1cb60528df3a.d: crates/bench/benches/chaos_recovery.rs Cargo.toml
+
+/root/repo/target/debug/deps/libchaos_recovery-dcbd1cb60528df3a.rmeta: crates/bench/benches/chaos_recovery.rs Cargo.toml
+
+crates/bench/benches/chaos_recovery.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/cluster_scaling-ddef04f2d4dc0123.d: crates/bench/benches/cluster_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libcluster_scaling-ddef04f2d4dc0123.rmeta: crates/bench/benches/cluster_scaling.rs Cargo.toml
+
+crates/bench/benches/cluster_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

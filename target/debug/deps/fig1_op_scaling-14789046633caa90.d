@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig1_op_scaling-14789046633caa90.d: crates/bench/benches/fig1_op_scaling.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig1_op_scaling-14789046633caa90.rmeta: crates/bench/benches/fig1_op_scaling.rs Cargo.toml
+
+crates/bench/benches/fig1_op_scaling.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

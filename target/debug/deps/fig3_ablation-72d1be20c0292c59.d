@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig3_ablation-72d1be20c0292c59.d: crates/bench/benches/fig3_ablation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig3_ablation-72d1be20c0292c59.rmeta: crates/bench/benches/fig3_ablation.rs Cargo.toml
+
+crates/bench/benches/fig3_ablation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

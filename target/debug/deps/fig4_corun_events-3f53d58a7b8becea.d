@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig4_corun_events-3f53d58a7b8becea.d: crates/bench/benches/fig4_corun_events.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig4_corun_events-3f53d58a7b8becea.rmeta: crates/bench/benches/fig4_corun_events.rs Cargo.toml
+
+crates/bench/benches/fig4_corun_events.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig5_gpu_intraop-ae34d02872c5542a.d: crates/bench/benches/fig5_gpu_intraop.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig5_gpu_intraop-ae34d02872c5542a.rmeta: crates/bench/benches/fig5_gpu_intraop.rs Cargo.toml
+
+crates/bench/benches/fig5_gpu_intraop.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

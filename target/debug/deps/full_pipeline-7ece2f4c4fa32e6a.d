@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/full_pipeline-7ece2f4c4fa32e6a.d: tests/full_pipeline.rs
+
+/root/repo/target/debug/deps/full_pipeline-7ece2f4c4fa32e6a: tests/full_pipeline.rs
+
+tests/full_pipeline.rs:

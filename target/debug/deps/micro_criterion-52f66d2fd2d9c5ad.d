@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro_criterion-52f66d2fd2d9c5ad.d: crates/bench/benches/micro_criterion.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro_criterion-52f66d2fd2d9c5ad.rmeta: crates/bench/benches/micro_criterion.rs Cargo.toml
+
+crates/bench/benches/micro_criterion.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nnrt-3ec7c325e3824b68.d: src/lib.rs
+
+/root/repo/target/debug/deps/nnrt-3ec7c325e3824b68: src/lib.rs
+
+src/lib.rs:

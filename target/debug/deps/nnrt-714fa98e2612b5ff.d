@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nnrt-714fa98e2612b5ff.d: src/bin/nnrt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt-714fa98e2612b5ff.rmeta: src/bin/nnrt.rs Cargo.toml
+
+src/bin/nnrt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

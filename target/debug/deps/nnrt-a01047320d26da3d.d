@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nnrt-a01047320d26da3d.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt-a01047320d26da3d.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/nnrt-b03fbb5593755f51.d: src/lib.rs
+
+/root/repo/target/debug/deps/libnnrt-b03fbb5593755f51.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libnnrt-b03fbb5593755f51.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nnrt-b5647cb6eb451a0c.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt-b5647cb6eb451a0c.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/nnrt-c61e735d154295b9.d: src/bin/nnrt.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt-c61e735d154295b9.rmeta: src/bin/nnrt.rs Cargo.toml
+
+src/bin/nnrt.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

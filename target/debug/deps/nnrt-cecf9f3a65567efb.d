@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nnrt-cecf9f3a65567efb.d: src/bin/nnrt.rs
+
+/root/repo/target/debug/deps/nnrt-cecf9f3a65567efb: src/bin/nnrt.rs
+
+src/bin/nnrt.rs:

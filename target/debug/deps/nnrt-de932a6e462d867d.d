@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/nnrt-de932a6e462d867d.d: src/bin/nnrt.rs
+
+/root/repo/target/debug/deps/nnrt-de932a6e462d867d: src/bin/nnrt.rs
+
+src/bin/nnrt.rs:

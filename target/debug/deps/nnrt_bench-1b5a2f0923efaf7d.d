@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/nnrt_bench-1b5a2f0923efaf7d.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_bench-1b5a2f0923efaf7d.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/record.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/nnrt_bench-97f96b4e7c5d433c.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libnnrt_bench-97f96b4e7c5d433c.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/libnnrt_bench-97f96b4e7c5d433c.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/record.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/nnrt_bench-ac130c965d2ed798.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/debug/deps/nnrt_bench-ac130c965d2ed798: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/record.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

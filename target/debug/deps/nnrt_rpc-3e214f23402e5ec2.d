@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/nnrt_rpc-3e214f23402e5ec2.d: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+/root/repo/target/debug/deps/nnrt_rpc-3e214f23402e5ec2: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/client.rs:
+crates/rpc/src/protocol.rs:
+crates/rpc/src/server.rs:

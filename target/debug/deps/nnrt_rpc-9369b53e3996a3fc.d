@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/nnrt_rpc-9369b53e3996a3fc.d: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs Cargo.toml
+
+/root/repo/target/debug/deps/libnnrt_rpc-9369b53e3996a3fc.rmeta: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs Cargo.toml
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/client.rs:
+crates/rpc/src/protocol.rs:
+crates/rpc/src/server.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/nnrt_rpc-cf86dd1d87bb2710.d: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+/root/repo/target/debug/deps/libnnrt_rpc-cf86dd1d87bb2710.rlib: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+/root/repo/target/debug/deps/libnnrt_rpc-cf86dd1d87bb2710.rmeta: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/client.rs:
+crates/rpc/src/protocol.rs:
+crates/rpc/src/server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property_invariants-06252081aa93badd.d: tests/property_invariants.rs
+
+/root/repo/target/debug/deps/property_invariants-06252081aa93badd: tests/property_invariants.rs
+
+tests/property_invariants.rs:

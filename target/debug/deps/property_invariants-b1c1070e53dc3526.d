@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property_invariants-b1c1070e53dc3526.d: tests/property_invariants.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty_invariants-b1c1070e53dc3526.rmeta: tests/property_invariants.rs Cargo.toml
+
+tests/property_invariants.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

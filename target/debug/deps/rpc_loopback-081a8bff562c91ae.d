@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/rpc_loopback-081a8bff562c91ae.d: tests/rpc_loopback.rs Cargo.toml
+
+/root/repo/target/debug/deps/librpc_loopback-081a8bff562c91ae.rmeta: tests/rpc_loopback.rs Cargo.toml
+
+tests/rpc_loopback.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rpc_loopback-2ce1e59a227153eb.d: tests/rpc_loopback.rs
+
+/root/repo/target/debug/deps/rpc_loopback-2ce1e59a227153eb: tests/rpc_loopback.rs
+
+tests/rpc_loopback.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_fleet-2f4ad5b60b32a93c.d: tests/serve_fleet.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_fleet-2f4ad5b60b32a93c.rmeta: tests/serve_fleet.rs Cargo.toml
+
+tests/serve_fleet.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

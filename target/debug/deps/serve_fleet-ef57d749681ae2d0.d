@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serve_fleet-ef57d749681ae2d0.d: tests/serve_fleet.rs
+
+/root/repo/target/debug/deps/serve_fleet-ef57d749681ae2d0: tests/serve_fleet.rs
+
+tests/serve_fleet.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/serve_rpc-240cd7a4b68a9114.d: crates/bench/benches/serve_rpc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libserve_rpc-240cd7a4b68a9114.rmeta: crates/bench/benches/serve_rpc.rs Cargo.toml
+
+crates/bench/benches/serve_rpc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/small_machines-ad5ff3090cadcaac.d: tests/small_machines.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsmall_machines-ad5ff3090cadcaac.rmeta: tests/small_machines.rs Cargo.toml
+
+tests/small_machines.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/small_machines-ae8bd73dda3ee8c3.d: tests/small_machines.rs
+
+/root/repo/target/debug/deps/small_machines-ae8bd73dda3ee8c3: tests/small_machines.rs
+
+tests/small_machines.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table1_parallelism_grid-2aab5db6b665123c.d: crates/bench/benches/table1_parallelism_grid.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable1_parallelism_grid-2aab5db6b665123c.rmeta: crates/bench/benches/table1_parallelism_grid.rs Cargo.toml
+
+crates/bench/benches/table1_parallelism_grid.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

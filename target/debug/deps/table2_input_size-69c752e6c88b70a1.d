@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table2_input_size-69c752e6c88b70a1.d: crates/bench/benches/table2_input_size.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable2_input_size-69c752e6c88b70a1.rmeta: crates/bench/benches/table2_input_size.rs Cargo.toml
+
+crates/bench/benches/table2_input_size.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table3_corun_strategies-093f8602381b2731.d: crates/bench/benches/table3_corun_strategies.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3_corun_strategies-093f8602381b2731.rmeta: crates/bench/benches/table3_corun_strategies.rs Cargo.toml
+
+crates/bench/benches/table3_corun_strategies.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

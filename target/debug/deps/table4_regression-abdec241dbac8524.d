@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table4_regression-abdec241dbac8524.d: crates/bench/benches/table4_regression.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable4_regression-abdec241dbac8524.rmeta: crates/bench/benches/table4_regression.rs Cargo.toml
+
+crates/bench/benches/table4_regression.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table5_hillclimb-85e9d01935ae5cb8.d: crates/bench/benches/table5_hillclimb.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable5_hillclimb-85e9d01935ae5cb8.rmeta: crates/bench/benches/table5_hillclimb.rs Cargo.toml
+
+crates/bench/benches/table5_hillclimb.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table6_top_ops-59f7ae93a916aca7.d: crates/bench/benches/table6_top_ops.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable6_top_ops-59f7ae93a916aca7.rmeta: crates/bench/benches/table6_top_ops.rs Cargo.toml
+
+crates/bench/benches/table6_top_ops.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

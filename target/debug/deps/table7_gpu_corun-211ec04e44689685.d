@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/table7_gpu_corun-211ec04e44689685.d: crates/bench/benches/table7_gpu_corun.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable7_gpu_corun-211ec04e44689685.rmeta: crates/bench/benches/table7_gpu_corun.rs Cargo.toml
+
+crates/bench/benches/table7_gpu_corun.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

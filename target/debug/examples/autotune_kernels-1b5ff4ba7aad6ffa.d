@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/autotune_kernels-1b5ff4ba7aad6ffa.d: examples/autotune_kernels.rs
+
+/root/repo/target/debug/examples/autotune_kernels-1b5ff4ba7aad6ffa: examples/autotune_kernels.rs
+
+examples/autotune_kernels.rs:

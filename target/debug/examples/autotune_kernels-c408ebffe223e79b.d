@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/autotune_kernels-c408ebffe223e79b.d: examples/autotune_kernels.rs Cargo.toml
+
+/root/repo/target/debug/examples/libautotune_kernels-c408ebffe223e79b.rmeta: examples/autotune_kernels.rs Cargo.toml
+
+examples/autotune_kernels.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/gpu_study-2aad6b53e4153014.d: examples/gpu_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libgpu_study-2aad6b53e4153014.rmeta: examples/gpu_study.rs Cargo.toml
+
+examples/gpu_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/gpu_study-7b68c271f11c55c1.d: examples/gpu_study.rs
+
+/root/repo/target/debug/examples/gpu_study-7b68c271f11c55c1: examples/gpu_study.rs
+
+examples/gpu_study.rs:

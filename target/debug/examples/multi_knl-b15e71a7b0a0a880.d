@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/multi_knl-b15e71a7b0a0a880.d: examples/multi_knl.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmulti_knl-b15e71a7b0a0a880.rmeta: examples/multi_knl.rs Cargo.toml
+
+examples/multi_knl.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

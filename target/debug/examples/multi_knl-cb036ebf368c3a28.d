@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/multi_knl-cb036ebf368c3a28.d: examples/multi_knl.rs
+
+/root/repo/target/debug/examples/multi_knl-cb036ebf368c3a28: examples/multi_knl.rs
+
+examples/multi_knl.rs:

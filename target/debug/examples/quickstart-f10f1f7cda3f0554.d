@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-f10f1f7cda3f0554.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-f10f1f7cda3f0554: examples/quickstart.rs
+
+examples/quickstart.rs:

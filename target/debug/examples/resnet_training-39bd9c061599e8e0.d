@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/resnet_training-39bd9c061599e8e0.d: examples/resnet_training.rs
+
+/root/repo/target/debug/examples/resnet_training-39bd9c061599e8e0: examples/resnet_training.rs
+
+examples/resnet_training.rs:

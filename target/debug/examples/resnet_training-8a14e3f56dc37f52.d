@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/resnet_training-8a14e3f56dc37f52.d: examples/resnet_training.rs Cargo.toml
+
+/root/repo/target/debug/examples/libresnet_training-8a14e3f56dc37f52.rmeta: examples/resnet_training.rs Cargo.toml
+
+examples/resnet_training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/train_mlp-bdd9aa623bce4d88.d: examples/train_mlp.rs
+
+/root/repo/target/debug/examples/train_mlp-bdd9aa623bce4d88: examples/train_mlp.rs
+
+examples/train_mlp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/train_mlp-d0fc612aa9d742e1.d: examples/train_mlp.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtrain_mlp-d0fc612aa9d742e1.rmeta: examples/train_mlp.rs Cargo.toml
+
+examples/train_mlp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

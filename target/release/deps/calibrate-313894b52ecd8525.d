@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/calibrate-313894b52ecd8525.d: crates/bench/src/bin/calibrate.rs
+
+/root/repo/target/release/deps/calibrate-313894b52ecd8525: crates/bench/src/bin/calibrate.rs
+
+crates/bench/src/bin/calibrate.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/nnrt-339b11c7254dbcc7.d: src/lib.rs
+
+/root/repo/target/release/deps/libnnrt-339b11c7254dbcc7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libnnrt-339b11c7254dbcc7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/nnrt-faacb49f282c667d.d: src/bin/nnrt.rs
+
+/root/repo/target/release/deps/nnrt-faacb49f282c667d: src/bin/nnrt.rs
+
+src/bin/nnrt.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/nnrt_bench-ffe63569013bc316.d: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libnnrt_bench-ffe63569013bc316.rlib: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+/root/repo/target/release/deps/libnnrt_bench-ffe63569013bc316.rmeta: crates/bench/src/lib.rs crates/bench/src/paper.rs crates/bench/src/record.rs crates/bench/src/setup.rs crates/bench/src/table.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/paper.rs:
+crates/bench/src/record.rs:
+crates/bench/src/setup.rs:
+crates/bench/src/table.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/bench

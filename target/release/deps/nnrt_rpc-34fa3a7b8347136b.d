@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nnrt_rpc-34fa3a7b8347136b.d: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+/root/repo/target/release/deps/libnnrt_rpc-34fa3a7b8347136b.rlib: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+/root/repo/target/release/deps/libnnrt_rpc-34fa3a7b8347136b.rmeta: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/client.rs:
+crates/rpc/src/protocol.rs:
+crates/rpc/src/server.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/nnrt_rpc-e63b3da621068345.d: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+/root/repo/target/release/deps/libnnrt_rpc-e63b3da621068345.rlib: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+/root/repo/target/release/deps/libnnrt_rpc-e63b3da621068345.rmeta: crates/rpc/src/lib.rs crates/rpc/src/client.rs crates/rpc/src/protocol.rs crates/rpc/src/server.rs
+
+crates/rpc/src/lib.rs:
+crates/rpc/src/client.rs:
+crates/rpc/src/protocol.rs:
+crates/rpc/src/server.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/serve_rpc-5b94d46d26a203dd.d: crates/bench/benches/serve_rpc.rs
+
+/root/repo/target/release/deps/serve_rpc-5b94d46d26a203dd: crates/bench/benches/serve_rpc.rs
+
+crates/bench/benches/serve_rpc.rs:

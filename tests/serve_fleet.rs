@@ -330,6 +330,26 @@ fn store_snapshot_survives_a_service_restart() {
     );
     assert!(second.makespan_secs < first.makespan_secs);
 
+    // The store's own counters tell the same story: the cold lifetime
+    // misses (first lookups find nothing), the warm restart hits.
+    assert!(
+        first.store_misses > 0,
+        "cold fleet must miss on first lookups"
+    );
+    assert!(
+        second.store_hits > 0,
+        "warm restart must hit the restored store"
+    );
+    let hit_rate = second.store_hits as f64 / (second.store_hits + second.store_misses) as f64;
+    assert!(
+        hit_rate > 0.0,
+        "warm restart hit rate must be positive, got {hit_rate}"
+    );
+    assert_eq!(
+        second.store_misses, 0,
+        "identical machines + full snapshot leave nothing to miss"
+    );
+
     // Snapshot -> restore -> snapshot is byte-identical.
     let again = ProfileStore::new();
     again.restore(&snapshot).unwrap();
