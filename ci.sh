@@ -27,6 +27,14 @@ cmp "$tmpdir/chaos-a.json" "$tmpdir/chaos-b.json" \
   || { echo "chaos determinism violated: same seed produced different reports" >&2; exit 1; }
 echo "chaos report deterministic (seed 99, byte-identical JSON)"
 
+echo "== profile suite (parallel pipeline determinism) =="
+cargo test -q --offline --test profile_parallel
+./target/release/nnrt serve 6 2 7 --profile-threads 1 --json > "$tmpdir/profile-1w.json"
+./target/release/nnrt serve 6 2 7 --profile-threads 4 --json > "$tmpdir/profile-4w.json"
+cmp "$tmpdir/profile-1w.json" "$tmpdir/profile-4w.json" \
+  || { echo "parallel profiling changed the report: 1 vs 4 workers differ" >&2; exit 1; }
+echo "parallel profiling deterministic (1-worker vs 4-worker JSON byte-identical)"
+
 echo "== rpc suite (loopback smoke) =="
 cargo test -q --offline --test rpc_loopback
 ./target/release/nnrt serve --listen 127.0.0.1:0 1 7 \

@@ -29,6 +29,7 @@ fn main() {
                 HillClimbConfig {
                     interval: x,
                     max_threads: 68,
+                    warm_seed: true,
                 },
             );
             let acc = model.accuracy(&catalog, &measurer, 68) * 100.0;

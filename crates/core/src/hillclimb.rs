@@ -16,6 +16,7 @@
 
 use crate::measure::{Measurer, OpCatalog};
 use crate::plan::PerfModel;
+use crate::profiler::ProfilerPool;
 use nnrt_graph::{OpKey, OpKind, Shape};
 use nnrt_manycore::SharingMode;
 use serde::{Deserialize, Serialize};
@@ -29,6 +30,12 @@ pub struct HillClimbConfig {
     pub interval: u32,
     /// Maximum thread count to explore (68 = one per physical core).
     pub max_threads: u32,
+    /// Cross-shape warm seeding: start the climb of an uncovered key at the
+    /// fitted optimum of the nearest same-kind neighbor shape (minus one
+    /// stride) instead of at 1 thread. Only curves fitted *before* the
+    /// current fit seed it, so the result is independent of the order keys
+    /// are climbed in — and therefore of the worker count.
+    pub warm_seed: bool,
 }
 
 impl Default for HillClimbConfig {
@@ -36,6 +43,7 @@ impl Default for HillClimbConfig {
         HillClimbConfig {
             interval: 4,
             max_threads: 68,
+            warm_seed: true,
         }
     }
 }
@@ -130,6 +138,15 @@ pub struct FitOutcome {
     pub new_keys: usize,
     /// Keys whose climb exceeded the budget: degraded to the baseline plan.
     pub degraded: Vec<OpKey>,
+    /// Keys whose climb was warm-seeded from an already-fitted neighbor
+    /// shape of the same kind.
+    pub seeded_keys: usize,
+    /// Profiling steps the warm seeding skipped: grid points below the
+    /// seeded window that an unseeded climb would have sampled on its way
+    /// up from 1 thread. These steps were *not* charged against the
+    /// profiling budget — seeding spends budget only on samples actually
+    /// taken.
+    pub steps_saved: u32,
 }
 
 fn mode_index(mode: SharingMode) -> usize {
@@ -139,21 +156,141 @@ fn mode_index(mode: SharingMode) -> usize {
     }
 }
 
+/// The result of climbing one key with its per-key forked measurer — the
+/// unit of work a [`ProfilerPool`] worker produces and the merge step folds
+/// back into the model in canonical key order.
+struct KeyFit {
+    /// `None` when a climb hit the sample cap before converging.
+    curves: Option<[Curve; 2]>,
+    /// Longest climb across both modes, in samples (paid even if discarded).
+    longest_climb: u32,
+    /// Standalone measurements this key's climbs took.
+    measurements: u64,
+    /// Grid samples skipped below the seeded window (0 when unseeded).
+    steps_saved: u32,
+    /// Whether the climb started from a neighbor's optimum.
+    seeded: bool,
+}
+
+/// Largest grid point `1 + k·interval` that is `<= p`.
+fn grid_at_or_below(p: u32, interval: u32) -> u32 {
+    1 + ((p.saturating_sub(1)) / interval.max(1)) * interval.max(1)
+}
+
+/// L1-ish distance between shapes for neighbor selection: same-rank shapes
+/// compare dimension-wise, different-rank shapes by element-count gap (and
+/// always lose to a same-rank candidate).
+fn shape_distance(a: &Shape, b: &Shape) -> (u8, u128) {
+    if a.0.len() == b.0.len() {
+        let d =
+            a.0.iter()
+                .zip(&b.0)
+                .map(|(&x, &y)| x.abs_diff(y) as u128)
+                .sum();
+        (0, d)
+    } else {
+        let volume = |s: &Shape| s.0.iter().map(|&d| d as u128).product::<u128>();
+        (1, volume(a).abs_diff(volume(b)))
+    }
+}
+
 impl HillClimbModel {
-    /// Climbs one key's curve pair, taking at most `cap` samples per sharing
-    /// mode. Returns `(curves, longest climb length in samples)`; the curves
-    /// are `None` when a climb hit the cap before converging (saw neither a
-    /// rise nor the thread ceiling) — a truncated curve would interpolate
-    /// across the optimum, so it is discarded rather than trusted.
+    /// Climbs one sharing mode's curve starting at `start` (a point on the
+    /// `1 + k·interval` grid; 1 = the unseeded legacy climb). The climb
+    /// walks upward while the measured time decreases; a seeded climb whose
+    /// very first upward step already rises also walks *downward* from the
+    /// start, because the optimum then sits below the seed. Samples are
+    /// returned sorted by thread count. The second value is `false` when
+    /// the per-mode sample cap truncated the climb before it converged.
+    fn climb_mode(
+        measurer: &mut Measurer,
+        profile: &nnrt_manycore::WorkProfile,
+        reps: usize,
+        cfg: HillClimbConfig,
+        cap: u32,
+        start: u32,
+        mode: SharingMode,
+    ) -> (Vec<(u32, f64)>, bool) {
+        let mut samples: Vec<(u32, f64)> = Vec::new();
+        let mut converged = true;
+        let mut p = start;
+        let start_time = measurer.measure_averaged(profile, p, mode, reps);
+        let mut prev = start_time;
+        samples.push((p, prev));
+        loop {
+            let next = p + cfg.interval;
+            if next > cfg.max_threads {
+                break;
+            }
+            if samples.len() as u32 >= cap {
+                converged = false; // budget exhausted mid-climb
+                break;
+            }
+            let t = measurer.measure_averaged(profile, next, mode, reps);
+            samples.push((next, t));
+            p = next;
+            if t > prev {
+                break; // the climb saw the curve rise: stop.
+            }
+            prev = t;
+        }
+        // A seeded climb that rose immediately overshot the optimum: the
+        // minimum lies at or below the start, so descend until a rise (or
+        // 1 thread) brackets it from the left.
+        let min_at_start = samples
+            .iter()
+            .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"))
+            .is_some_and(|&(q, _)| q == start);
+        if converged && start > 1 && min_at_start {
+            let mut q = start;
+            let mut prev_down = start_time;
+            loop {
+                if q <= 1 {
+                    break;
+                }
+                if samples.len() as u32 >= cap {
+                    converged = false;
+                    break;
+                }
+                let next = q - cfg.interval.min(q - 1); // grid-aligned; floors at 1
+                let t = measurer.measure_averaged(profile, next, mode, reps);
+                samples.push((next, t));
+                q = next;
+                if t > prev_down {
+                    break;
+                }
+                prev_down = t;
+            }
+        }
+        samples.sort_by_key(|&(q, _)| q);
+        samples.dedup_by_key(|&mut (q, _)| q);
+        (samples, converged)
+    }
+
+    /// Climbs one key's curve pair with its own forked measurer, taking at
+    /// most `cap` samples per sharing mode. The curves are `None` when a
+    /// climb hit the cap before converging (saw neither a rise nor the
+    /// thread ceiling) — a truncated curve would interpolate across the
+    /// optimum, so it is discarded rather than trusted. `seed_start` warm
+    /// seeds the climb at a neighbor's optimum.
     fn climb_key(
         catalog: &OpCatalog,
         key: &OpKey,
         measurer: &mut Measurer,
         cfg: HillClimbConfig,
         cap: u32,
-    ) -> (Option<[Curve; 2]>, u32) {
+        seed_start: Option<u32>,
+    ) -> KeyFit {
+        let start = seed_start.unwrap_or(1).max(1);
         if cap == 0 {
-            return (None, 0); // no budget at all: degrade without measuring
+            // No budget at all: degrade without measuring.
+            return KeyFit {
+                curves: None,
+                longest_climb: 0,
+                measurements: 0,
+                steps_saved: 0,
+                seeded: false,
+            };
         }
         let profile = *catalog.profile_of_key(key).expect("key from catalog");
         // A profiling step observes every instance of the key, so a key
@@ -162,35 +299,73 @@ impl HillClimbModel {
         let mut pair: [Curve; 2] = [Curve { samples: vec![] }, Curve { samples: vec![] }];
         let mut longest_climb = 0u32;
         let mut converged = true;
+        let mut steps_saved = 0u32;
         for mode in SharingMode::ALL {
-            let mut samples: Vec<(u32, f64)> = Vec::new();
-            let mut p = 1u32;
-            let mut prev = measurer.measure_averaged(&profile, p, mode, reps);
-            samples.push((p, prev));
-            loop {
-                let next = p + cfg.interval;
-                if next > cfg.max_threads {
-                    break;
-                }
-                if samples.len() as u32 >= cap {
-                    converged = false; // budget exhausted mid-climb
-                    break;
-                }
-                let t = measurer.measure_averaged(&profile, next, mode, reps);
-                samples.push((next, t));
-                p = next;
-                if t > prev {
-                    break; // the climb saw the curve rise: stop.
-                }
-                prev = t;
-            }
+            let (samples, ok) = Self::climb_mode(measurer, &profile, reps, cfg, cap, start, mode);
             longest_climb = longest_climb.max(samples.len() as u32);
+            if ok && start > 1 {
+                // Every grid point below the lowest sample is one an
+                // unseeded climb would have measured on its way up.
+                let lowest = samples.first().map(|&(q, _)| q).unwrap_or(1);
+                steps_saved += (lowest - 1) / cfg.interval;
+            }
             pair[mode_index(mode)] = Curve { samples };
-            if !converged {
+            if !ok {
+                converged = false;
                 break; // don't spend more budget on a key we must discard
             }
         }
-        (converged.then_some(pair), longest_climb)
+        KeyFit {
+            curves: converged.then_some(pair),
+            longest_climb,
+            measurements: measurer.measurements_taken(),
+            steps_saved: if converged { steps_saved } else { 0 },
+            seeded: start > 1,
+        }
+    }
+
+    /// Snapshot of the already-fitted curves, as `kind -> [(shape, best
+    /// threads)]` sorted for deterministic neighbor selection. Taken once
+    /// *before* a fit, so seeding never depends on the order keys are
+    /// climbed in within that fit.
+    fn seed_index(&self) -> HashMap<OpKind, Vec<(Shape, u32)>> {
+        let mut index: HashMap<OpKind, Vec<(Shape, u32)>> = HashMap::new();
+        for ((kind, shape), pair) in &self.curves {
+            let best = pair
+                .iter()
+                .filter_map(Curve::best)
+                .min_by(|a, b| a.1.partial_cmp(&b.1).expect("finite times"));
+            if let Some((threads, _)) = best {
+                index
+                    .entry(*kind)
+                    .or_default()
+                    .push((shape.clone(), threads));
+            }
+        }
+        for entries in index.values_mut() {
+            entries.sort();
+        }
+        index
+    }
+
+    /// Where a warm-seeded climb of `key` should start: one stride below
+    /// the (grid-snapped) fitted optimum of the nearest same-kind neighbor
+    /// shape. `None` when no neighbor exists or the seed would be the
+    /// legacy start of 1 thread anyway.
+    fn neighbor_start(
+        index: &HashMap<OpKind, Vec<(Shape, u32)>>,
+        key: &OpKey,
+        cfg: HillClimbConfig,
+    ) -> Option<u32> {
+        let neighbors = index.get(&key.0)?;
+        let (_, threads) = neighbors
+            .iter()
+            .min_by_key(|(shape, _)| (shape_distance(&key.1, shape), shape.clone()))?;
+        let start = grid_at_or_below(*threads, cfg.interval)
+            .saturating_sub(cfg.interval)
+            .max(1)
+            .min(grid_at_or_below(cfg.max_threads, cfg.interval));
+        (start > 1).then_some(start)
     }
 
     /// Profiles every key of `catalog` with the hill-climbing search.
@@ -232,30 +407,82 @@ impl HillClimbModel {
         cfg: HillClimbConfig,
         budget_steps: u32,
     ) -> FitOutcome {
+        self.fit_missing_pooled(
+            catalog,
+            measurer,
+            cfg,
+            budget_steps,
+            &ProfilerPool::serial(),
+        )
+    }
+
+    /// Like [`HillClimbModel::fit_missing_budgeted`], but the independent
+    /// per-key climbs are sharded across `pool`'s workers. Every key is
+    /// measured with a measurer forked from `measurer`'s base seed and the
+    /// key itself ([`Measurer::fork_for_key`]), and the results are merged
+    /// in canonical (sorted) key order — so the fitted curves, the cost
+    /// accounting, and everything downstream are **byte-identical for every
+    /// worker count**, including the serial pool, which runs the climbs
+    /// inline without spawning a single thread.
+    pub fn fit_missing_pooled(
+        &mut self,
+        catalog: &OpCatalog,
+        measurer: &mut Measurer,
+        cfg: HillClimbConfig,
+        budget_steps: u32,
+        pool: &ProfilerPool,
+    ) -> FitOutcome {
         let cap = budget_steps / 2;
-        let before = measurer.measurements_taken();
+        let todo: Vec<OpKey> = catalog
+            .keys()
+            .iter()
+            .filter(|key| !self.curves.contains_key(*key))
+            .cloned()
+            .collect();
+        // Seeds come from curves fitted *before* this call only (imports,
+        // earlier fits) — never from keys of the same batch, which would
+        // make the result depend on climb order and break determinism.
+        let starts: Vec<Option<u32>> = if cfg.warm_seed {
+            let index = self.seed_index();
+            todo.iter()
+                .map(|key| Self::neighbor_start(&index, key, cfg))
+                .collect()
+        } else {
+            vec![None; todo.len()]
+        };
+        let base: &Measurer = measurer;
+        let fits: Vec<KeyFit> = pool.run(todo.len(), |i| {
+            let key = &todo[i];
+            let mut fork = base.fork_for_key(key);
+            Self::climb_key(catalog, key, &mut fork, cfg, cap, starts[i])
+        });
         let mut longest_climb = 0u32;
+        let mut taken = 0u64;
         let mut outcome = FitOutcome::default();
-        for key in catalog.keys() {
-            if self.curves.contains_key(key) {
-                continue;
+        for (key, fit) in todo.into_iter().zip(fits) {
+            longest_climb = longest_climb.max(fit.longest_climb);
+            taken += fit.measurements;
+            outcome.steps_saved += fit.steps_saved;
+            if fit.seeded {
+                outcome.seeded_keys += 1;
             }
-            let (pair, climb) = Self::climb_key(catalog, key, measurer, cfg, cap);
-            longest_climb = longest_climb.max(climb);
-            match pair {
+            match fit.curves {
                 Some(pair) => {
-                    self.curves.insert(key.clone(), pair);
+                    self.curves.insert(key, pair);
                     outcome.new_keys += 1;
                 }
-                None => outcome.degraded.push(key.clone()),
+                None => outcome.degraded.push(key),
             }
         }
-        self.measurements += measurer.measurements_taken() - before;
+        measurer.absorb(taken);
+        self.measurements += taken;
         // One profiling step runs every op once at one (threads, mode): the
         // number of steps equals the longest climb, times two modes. Keys
         // climb concurrently within a step, so the incremental cost of this
         // fit is the longest *new* climb only (truncated climbs included —
         // their steps were paid even though their curves were discarded).
+        // Warm-seeded climbs are shorter, so their savings show up here
+        // automatically; `FitOutcome::steps_saved` reports them explicitly.
         self.profiling_steps += longest_climb * 2;
         outcome
     }
@@ -427,6 +654,7 @@ mod tests {
             HillClimbConfig {
                 interval,
                 max_threads: 68,
+                warm_seed: true,
             },
         );
         (model, m, catalog)
@@ -528,6 +756,7 @@ mod tests {
         let cfg = HillClimbConfig {
             interval: 4,
             max_threads: 68,
+            warm_seed: true,
         };
         let cold = HillClimbModel::fit(&catalog, &mut m, cfg);
 
@@ -572,6 +801,7 @@ mod tests {
         let cfg = HillClimbConfig {
             interval: 2,
             max_threads: 68,
+            warm_seed: true,
         };
         let mut m = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
         let mut model = HillClimbModel::default();
@@ -605,6 +835,118 @@ mod tests {
             budgeted.curve(&key, SharingMode::Compact),
             plain.curve(&key, SharingMode::Compact)
         );
+    }
+
+    fn multi_catalog() -> OpCatalog {
+        let mut g = DataflowGraph::new();
+        let a = g.add_op(OpKind::Conv2D, Shape::nhwc(8, 16, 16, 32), &[]);
+        let b = g.add_op(OpKind::Relu, Shape::nhwc(8, 16, 16, 32), &[a]);
+        let c = g.add_op(OpKind::Conv2D, Shape::nhwc(8, 8, 8, 64), &[b]);
+        let _ = g.add_op(OpKind::Relu, Shape::nhwc(8, 8, 8, 64), &[c]);
+        OpCatalog::new(&g)
+    }
+
+    #[test]
+    fn pooled_fit_is_byte_identical_for_any_worker_count() {
+        let catalog = multi_catalog();
+        let cfg = HillClimbConfig::default();
+        let mut m0 = Measurer::new(KnlCostModel::knl(), NoiseModel::default(), 99);
+        let mut serial = HillClimbModel::default();
+        let base =
+            serial.fit_missing_pooled(&catalog, &mut m0, cfg, 1_000, &ProfilerPool::serial());
+        for threads in [2usize, 4, 8] {
+            let mut m = Measurer::new(KnlCostModel::knl(), NoiseModel::default(), 99);
+            let mut model = HillClimbModel::default();
+            let out =
+                model.fit_missing_pooled(&catalog, &mut m, cfg, 1_000, &ProfilerPool::new(threads));
+            assert_eq!(model.export(), serial.export(), "{threads} workers");
+            assert_eq!(model.profiling_steps, serial.profiling_steps);
+            assert_eq!(model.measurements, serial.measurements);
+            assert_eq!(out.new_keys, base.new_keys);
+            assert_eq!(out.degraded, base.degraded);
+            assert_eq!(m.measurements_taken(), m0.measurements_taken());
+        }
+    }
+
+    fn neighbor_catalog() -> OpCatalog {
+        let mut g = DataflowGraph::new();
+        g.add(
+            OpInstance::with_aux(
+                OpKind::Conv2DBackpropFilter,
+                Shape::nhwc(32, 8, 8, 352),
+                OpAux::conv(3, 1, 352),
+            ),
+            &[],
+        );
+        OpCatalog::new(&g)
+    }
+
+    #[test]
+    fn warm_seeding_saves_steps_and_finds_the_same_optimum() {
+        let cfg = HillClimbConfig::default();
+
+        // Seeded: fit shape A cold, then its neighbor B warm-seeded.
+        let mut m = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
+        let mut model = HillClimbModel::fit(&conv_catalog(), &mut m, cfg);
+        let before = m.measurements_taken();
+        let seeded = model.fit_missing_budgeted(&neighbor_catalog(), &mut m, cfg, 1_000);
+        let seeded_cost = m.measurements_taken() - before;
+        assert_eq!(seeded.seeded_keys, 1);
+        assert_eq!(seeded.new_keys, 1);
+        assert!(seeded.steps_saved > 0, "the seed must skip grid points");
+
+        // Unseeded baseline over the same warm model.
+        let mut m2 = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
+        let mut model2 = HillClimbModel::fit(&conv_catalog(), &mut m2, cfg);
+        let before2 = m2.measurements_taken();
+        let unseeded = model2.fit_missing_budgeted(
+            &neighbor_catalog(),
+            &mut m2,
+            HillClimbConfig {
+                warm_seed: false,
+                ..cfg
+            },
+            1_000,
+        );
+        let unseeded_cost = m2.measurements_taken() - before2;
+        assert_eq!(unseeded.seeded_keys, 0);
+        assert_eq!(unseeded.steps_saved, 0);
+        assert!(
+            seeded_cost < unseeded_cost,
+            "seeding must cut measurements: {seeded_cost} vs {unseeded_cost}"
+        );
+
+        // Both find the same optimum for the new key.
+        let key = neighbor_catalog().keys()[0].clone();
+        let (p_seeded, ..) = model.best(&key).unwrap();
+        let (p_unseeded, ..) = model2.best(&key).unwrap();
+        assert_eq!(p_seeded, p_unseeded, "seeding must not move the optimum");
+    }
+
+    #[test]
+    fn warm_seeding_respects_a_starved_budget() {
+        let cfg = HillClimbConfig::default();
+        let mut m = Measurer::new(KnlCostModel::knl(), NoiseModel::none(), 123);
+        let mut model = HillClimbModel::fit(&conv_catalog(), &mut m, cfg);
+        let steps_before = model.profiling_steps;
+
+        // Budget 0: degrade without measuring, seeded or not — identically.
+        let before = m.measurements_taken();
+        let out = model.fit_missing_budgeted(&neighbor_catalog(), &mut m, cfg, 0);
+        assert_eq!(out.new_keys, 0);
+        assert_eq!(out.degraded.len(), 1);
+        assert_eq!(out.steps_saved, 0);
+        assert_eq!(m.measurements_taken(), before);
+        assert_eq!(model.profiling_steps, steps_before);
+
+        // A tiny nonzero budget is honored by the seeded climb too.
+        let out = model.fit_missing_budgeted(&neighbor_catalog(), &mut m, cfg, 4);
+        assert!(
+            model.profiling_steps - steps_before <= 4,
+            "seeded climb overspent: {}",
+            model.profiling_steps - steps_before
+        );
+        assert_eq!(out.steps_saved, 0, "truncated climbs save nothing");
     }
 
     #[test]

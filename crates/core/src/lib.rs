@@ -36,6 +36,7 @@ pub mod hillclimb;
 pub mod measure;
 pub mod oracle;
 pub mod plan;
+pub mod profiler;
 pub mod regmodel;
 pub mod runtime;
 pub mod scheduler;
@@ -47,6 +48,7 @@ pub use hillclimb::{Curve, FitOutcome, HillClimbConfig, HillClimbModel, KeyProfi
 pub use measure::{Measurer, OpCatalog};
 pub use oracle::OracleScheduler;
 pub use plan::{PerfModel, ThreadPlan};
+pub use profiler::ProfilerPool;
 pub use regmodel::{RegressionModel, RegressionModelConfig};
 pub use runtime::{Runtime, RuntimeConfig, StepReport};
 pub use scheduler::SchedulerConfig;

@@ -68,6 +68,37 @@ impl OpCatalog {
     }
 }
 
+/// Stable 64-bit fingerprint of an op key: FNV-1a over the kind's display
+/// name and the shape's dimensions. Used to derive per-key measurement
+/// seeds, so it must never depend on process-local state (hash randomization,
+/// enum discriminant order, allocation addresses).
+fn key_fingerprint(key: &OpKey) -> u64 {
+    let mut h: u64 = 0xCBF2_9CE4_8422_2325;
+    let mut eat = |byte: u8| {
+        h ^= byte as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    };
+    for b in key.0.to_string().bytes() {
+        eat(b);
+    }
+    eat(0xFF); // separator: kind name and dims must not concatenate ambiguously
+    for &dim in &key.1 .0 {
+        for b in (dim as u64).to_le_bytes() {
+            eat(b);
+        }
+    }
+    h
+}
+
+/// SplitMix64 finalizer, decorrelating the per-key seeds derived from a
+/// base seed and a key fingerprint.
+fn mix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
 /// Measures standalone operation runs on the simulated machine.
 ///
 /// Owns the ground-truth cost model, the measurement noise and a seeded RNG;
@@ -78,6 +109,7 @@ pub struct Measurer {
     cost: KnlCostModel,
     noise: NoiseModel,
     rng: ChaCha8Rng,
+    seed: u64,
     measurements: u64,
 }
 
@@ -88,8 +120,29 @@ impl Measurer {
             cost,
             noise,
             rng: ChaCha8Rng::seed_from_u64(seed),
+            seed,
             measurements: 0,
         }
+    }
+
+    /// A fresh measurer whose noise stream is a pure function of this
+    /// measurer's base seed and `key` — *not* of how many measurements were
+    /// taken before. Profilers fork one measurer per op key, so a key's
+    /// measured curve is identical no matter which worker climbs it, in what
+    /// order, or alongside which other keys. That independence is what makes
+    /// the parallel profiling pipeline byte-identical to the sequential one.
+    pub fn fork_for_key(&self, key: &OpKey) -> Measurer {
+        Measurer::new(
+            self.cost.clone(),
+            self.noise,
+            mix64(self.seed ^ key_fingerprint(key)),
+        )
+    }
+
+    /// Folds `n` measurements taken by forked measurers back into this
+    /// measurer's cost accounting (the forks' counters die with them).
+    pub fn absorb(&mut self, n: u64) {
+        self.measurements += n;
     }
 
     /// The ground-truth cost model (used by executors to derive *actual*
@@ -187,6 +240,42 @@ mod tests {
             m.measure(&prof, 8, SharingMode::Scatter),
             m.true_time(&prof, 8, SharingMode::Scatter)
         );
+    }
+
+    #[test]
+    fn forked_measurers_are_order_and_history_independent() {
+        let cat = OpCatalog::new(&small_graph());
+        let prof = *cat.profile(NodeId(0));
+        let key = cat.keys()[0].clone();
+        let other = cat.keys()[1].clone();
+
+        // Fork after different amounts of parent history: same stream.
+        let mut a = Measurer::new(KnlCostModel::knl(), NoiseModel::default(), 7);
+        let b = a.fork_for_key(&key);
+        for _ in 0..5 {
+            a.measure(&prof, 4, SharingMode::Compact);
+        }
+        let c = a.fork_for_key(&key);
+        let (mut b, mut c) = (b, c);
+        for p in 1..10 {
+            assert_eq!(
+                b.measure(&prof, p, SharingMode::Compact),
+                c.measure(&prof, p, SharingMode::Compact),
+                "a key's fork must not depend on the parent's history"
+            );
+        }
+
+        // Different keys get decorrelated streams.
+        let mut d = a.fork_for_key(&other);
+        let mut e = a.fork_for_key(&key);
+        let x = d.measure(&prof, 4, SharingMode::Compact);
+        let y = e.measure(&prof, 4, SharingMode::Compact);
+        assert_ne!(x, y, "distinct keys must draw distinct noise");
+
+        // Fork counters fold back explicitly, not implicitly.
+        let taken_before = a.measurements_taken();
+        a.absorb(d.measurements_taken());
+        assert_eq!(a.measurements_taken(), taken_before + 1);
     }
 
     #[test]

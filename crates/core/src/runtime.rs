@@ -8,9 +8,10 @@
 
 use crate::exec::ExecContext;
 use crate::feedback::InterferenceLog;
-use crate::hillclimb::{HillClimbConfig, HillClimbModel};
+use crate::hillclimb::{FitOutcome, HillClimbConfig, HillClimbModel};
 use crate::measure::{Measurer, OpCatalog};
 use crate::plan::{PlanPolicy, ThreadPlan};
+use crate::profiler::ProfilerPool;
 use crate::scheduler::{next_launch, SchedulerConfig};
 use nnrt_graph::{DataflowGraph, OpKind};
 use nnrt_manycore::{EngineEvent, KnlCostModel, NoiseModel};
@@ -143,10 +144,9 @@ pub struct Runtime {
     plan: ThreadPlan,
     record_trace: bool,
     feedback: InterferenceLog,
-    /// Keys whose profiling was cut short by a budget: they run under the
-    /// TF-guide baseline plan (framework-default intra-op threads, no co-run
-    /// candidates) instead of a fitted curve.
-    degraded: Vec<nnrt_graph::OpKey>,
+    /// What the profiling phase achieved: newly fitted keys, keys degraded
+    /// to the baseline plan by the budget, and warm-seeding savings.
+    outcome: FitOutcome,
 }
 
 impl Runtime {
@@ -155,21 +155,7 @@ impl Runtime {
     /// expensive, once-per-model phase; its cost is
     /// `model().profiling_steps` simulated steps.
     pub fn prepare(graph: &DataflowGraph, cost: KnlCostModel, config: RuntimeConfig) -> Self {
-        let catalog = OpCatalog::new(graph);
-        let mut measurer = Measurer::new(cost.clone(), NoiseModel::default(), config.seed);
-        let model = HillClimbModel::fit(&catalog, &mut measurer, config.hillclimb);
-        let plan = Self::build_plan(&model, &catalog, &config);
-        Runtime {
-            config,
-            cost,
-            catalog,
-            perf_model: Box::new(model.clone()),
-            model: Some(model),
-            plan,
-            record_trace: false,
-            feedback: InterferenceLog::new(),
-            degraded: Vec::new(),
-        }
+        Self::prepare_warm_pooled(graph, cost, config, &[], u32::MAX, ProfilerPool::serial())
     }
 
     /// Like [`Runtime::prepare`], but warm-started from curves measured
@@ -202,12 +188,41 @@ impl Runtime {
         warm: &[crate::hillclimb::KeyProfile],
         profiling_budget: u32,
     ) -> Self {
+        Self::prepare_warm_pooled(
+            graph,
+            cost,
+            config,
+            warm,
+            profiling_budget,
+            ProfilerPool::serial(),
+        )
+    }
+
+    /// Like [`Runtime::prepare_warm_budgeted`], but the profiling phase
+    /// shards its independent per-key climbs across `pool`'s workers. The
+    /// fitted model, the thread plan, and every step report are
+    /// **byte-identical for every worker count** (per-key seeded measurers;
+    /// see [`crate::profiler`]) — only the wall-clock time of the profiling
+    /// phase changes. `ProfilerPool::serial()` is the exact legacy path.
+    pub fn prepare_warm_pooled(
+        graph: &DataflowGraph,
+        cost: KnlCostModel,
+        config: RuntimeConfig,
+        warm: &[crate::hillclimb::KeyProfile],
+        profiling_budget: u32,
+        pool: ProfilerPool,
+    ) -> Self {
         let catalog = OpCatalog::new(graph);
         let mut measurer = Measurer::new(cost.clone(), NoiseModel::default(), config.seed);
         let mut model = HillClimbModel::default();
         model.import(warm);
-        let outcome =
-            model.fit_missing_budgeted(&catalog, &mut measurer, config.hillclimb, profiling_budget);
+        let outcome = model.fit_missing_pooled(
+            &catalog,
+            &mut measurer,
+            config.hillclimb,
+            profiling_budget,
+            &pool,
+        );
         let plan = Self::build_plan(&model, &catalog, &config);
         Runtime {
             config,
@@ -218,7 +233,7 @@ impl Runtime {
             plan,
             record_trace: false,
             feedback: InterferenceLog::new(),
-            degraded: outcome.degraded,
+            outcome,
         }
     }
 
@@ -243,7 +258,7 @@ impl Runtime {
             plan,
             record_trace: false,
             feedback: InterferenceLog::new(),
-            degraded: Vec::new(),
+            outcome: FitOutcome::default(),
         }
     }
 
@@ -282,7 +297,14 @@ impl Runtime {
     /// [`Runtime::prepare_warm_budgeted`]; they execute under the baseline
     /// plan. Empty for unbudgeted runtimes.
     pub fn degraded_keys(&self) -> &[nnrt_graph::OpKey] {
-        &self.degraded
+        &self.outcome.degraded
+    }
+
+    /// The full outcome of this runtime's profiling phase: newly fitted
+    /// keys, budget-degraded keys, and warm-seeding savings (keys seeded
+    /// from a neighbor's curve and the profiling steps that skipped).
+    pub fn fit_outcome(&self) -> &FitOutcome {
+        &self.outcome
     }
 
     /// The op catalog.

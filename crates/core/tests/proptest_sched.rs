@@ -46,7 +46,7 @@ proptest! {
         let model = HillClimbModel::fit(
             &catalog,
             &mut m,
-            HillClimbConfig { interval, max_threads: 68 },
+            HillClimbConfig { interval, max_threads: 68, warm_seed: true },
         );
         for key in catalog.keys() {
             for mode in SharingMode::ALL {

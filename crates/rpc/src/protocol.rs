@@ -202,8 +202,10 @@ pub struct SnapshotInfo {
     pub hits: u64,
     /// Keys requested but absent across all lookups.
     pub misses: u64,
-    /// Entries evicted by the LRU cap.
+    /// Entries evicted by the byte quota or the LRU cap.
     pub evictions: u64,
+    /// Serialized bytes those evictions released.
+    pub evicted_bytes: u64,
     /// `hits / (hits + misses)`, or `0.0` before any lookup.
     pub hit_rate: f64,
     /// The versioned snapshot document ([`nnrt_serve::ProfileStore`] JSON),
@@ -220,6 +222,7 @@ impl SnapshotInfo {
             hits: stats.hits,
             misses: stats.misses,
             evictions: stats.evictions,
+            evicted_bytes: stats.evicted_bytes,
             hit_rate: stats.hit_rate(),
             snapshot,
         }
@@ -424,6 +427,7 @@ mod tests {
             hits: 30,
             misses: 6,
             evictions: 0,
+            evicted_bytes: 0,
             hit_rate: 30.0 / 36.0,
             snapshot: "{}".to_string(),
         }));

@@ -37,7 +37,7 @@ use crate::job::{AdmissionQueue, AdmitError, JobId, JobSpec, QueuedJob};
 use crate::store::ProfileStore;
 use nnrt_graph::OpKey;
 use nnrt_manycore::{KnlCostModel, MachineSignature, NodeHealth};
-use nnrt_sched::{export_chrome_trace, OpCatalog, Runtime, RuntimeConfig};
+use nnrt_sched::{export_chrome_trace, OpCatalog, ProfilerPool, Runtime, RuntimeConfig};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
@@ -62,6 +62,12 @@ pub struct FleetConfig {
     /// Steps between lightweight recovery checkpoints (0 disables them; a
     /// crashed job then restarts from step 0).
     pub checkpoint_interval: u32,
+    /// Worker threads for each job's profiling phase (hill climbs are
+    /// sharded per op key). Any value produces byte-identical reports —
+    /// per-key seeded measurers make curves independent of worker count —
+    /// so this only changes wall-clock time. `1` (the default) is the exact
+    /// legacy sequential path.
+    pub profile_threads: usize,
 }
 
 impl Default for FleetConfig {
@@ -74,6 +80,7 @@ impl Default for FleetConfig {
             seed: 0xF1EE7,
             record_traces: false,
             checkpoint_interval: 1,
+            profile_threads: 1,
         }
     }
 }
@@ -99,6 +106,8 @@ struct RunningJob {
     retries: u32,
     checkpoint_restores: u32,
     degraded_keys: usize,
+    seeded_keys: usize,
+    seed_steps_saved: u32,
 }
 
 struct Node {
@@ -163,6 +172,11 @@ pub struct JobReport {
     pub checkpoint_restores: u32,
     /// Profile keys degraded to the baseline plan by budget exhaustion.
     pub degraded_keys: usize,
+    /// Profile keys whose climb was warm-seeded from an already-fitted
+    /// neighbor shape of the same kind.
+    pub seeded_keys: usize,
+    /// Profiling steps the cross-shape warm seeding skipped.
+    pub seed_steps_saved: u32,
     /// Duration of one training step, seconds.
     pub step_secs: f64,
     /// Time spent profiling, seconds.
@@ -202,8 +216,14 @@ pub struct FleetReport {
     pub store_hits: u64,
     /// Profile keys requested but absent across all lookups.
     pub store_misses: u64,
-    /// Entries the store's LRU cap evicted over the run.
+    /// Entries the store's LRU cap or byte quota evicted over the run.
     pub store_evictions: u64,
+    /// Serialized bytes those evictions released.
+    pub store_evicted_bytes: u64,
+    /// Profile keys warm-seeded from a neighbor shape across all jobs.
+    pub seeded_keys_total: u64,
+    /// Profiling steps skipped by cross-shape warm seeding across all jobs.
+    pub seed_steps_saved_total: u64,
     /// Fault events that actually fired during the run.
     pub faults_injected: usize,
     /// Crash-evicted re-admissions across all jobs.
@@ -243,6 +263,13 @@ impl FleetReport {
             "profiling: {} steps paid, {} saved by warm starts; store holds {} curve pairs",
             self.profiling_steps_total, self.profiling_steps_saved_total, self.store_entries
         );
+        if self.seeded_keys_total > 0 {
+            let _ = writeln!(
+                out,
+                "seeding: {} keys warm-seeded from neighbor shapes, {} climb steps skipped",
+                self.seeded_keys_total, self.seed_steps_saved_total
+            );
+        }
         let _ = writeln!(
             out,
             "queue: mean latency {:.3}s, max {:.3}s, {} rejected",
@@ -606,10 +633,18 @@ impl Fleet {
         let mut config = self.config.runtime;
         config.seed = self.job_seed(job.id);
         let budget = self.plan.profiling_step_budget.unwrap_or(u32::MAX);
-        let mut runtime =
-            Runtime::prepare_warm_budgeted(&job.spec.graph, node_cost, config, &warm, budget);
+        let mut runtime = Runtime::prepare_warm_pooled(
+            &job.spec.graph,
+            node_cost,
+            config,
+            &warm,
+            budget,
+            ProfilerPool::new(self.config.profile_threads),
+        );
         let profiling_steps = runtime.model().profiling_steps;
         let degraded_keys = runtime.degraded_keys().len();
+        let seeded_keys = runtime.fit_outcome().seeded_keys;
+        let seed_steps_saved = runtime.fit_outcome().steps_saved;
         let fitted_keys: Vec<OpKey> = keys
             .iter()
             .filter(|k| runtime.model().contains(k))
@@ -654,6 +689,8 @@ impl Fleet {
             retries: 0,
             checkpoint_restores: 0,
             degraded_keys,
+            seeded_keys,
+            seed_steps_saved,
         });
     }
 
@@ -688,12 +725,13 @@ impl Fleet {
             .plan
             .profiling_step_budget
             .map_or(u32::MAX, |b| b.saturating_sub(job.budget_spent));
-        let mut runtime = Runtime::prepare_warm_budgeted(
+        let mut runtime = Runtime::prepare_warm_pooled(
             &job.spec.graph,
             node_cost,
             config,
             &warm,
             remaining_budget,
+            ProfilerPool::new(self.config.profile_threads),
         );
         let paid = runtime.model().profiling_steps;
         self.store.insert_many(signature, &runtime.model().export());
@@ -703,6 +741,8 @@ impl Fleet {
             .cloned()
             .collect();
         job.degraded_keys = runtime.degraded_keys().len();
+        job.seeded_keys += runtime.fit_outcome().seeded_keys;
+        job.seed_steps_saved += runtime.fit_outcome().steps_saved;
         job.profiling_steps += paid;
         job.budget_spent = job.budget_spent.saturating_add(paid);
 
@@ -871,6 +911,8 @@ impl Fleet {
                 retries: job.retries,
                 checkpoint_restores: job.checkpoint_restores,
                 degraded_keys: job.degraded_keys,
+                seeded_keys: job.seeded_keys,
+                seed_steps_saved: job.seed_steps_saved,
                 step_secs: job.step_secs,
                 profiling_secs: job.profiling_secs,
                 completed_at: clock,
@@ -970,6 +1012,9 @@ impl Fleet {
             store_hits: store_stats.hits,
             store_misses: store_stats.misses,
             store_evictions: store_stats.evictions,
+            store_evicted_bytes: store_stats.evicted_bytes,
+            seeded_keys_total: jobs.iter().map(|j| j.seeded_keys as u64).sum(),
+            seed_steps_saved_total: jobs.iter().map(|j| j.seed_steps_saved as u64).sum(),
             faults_injected: self.event_cursor,
             retries_total: jobs.iter().map(|j| j.retries as u64).sum(),
             checkpoint_restores_total: jobs.iter().map(|j| j.checkpoint_restores as u64).sum(),

@@ -81,20 +81,26 @@ type StoreKey = (MachineSignature, OpKind, Shape);
 struct Entry {
     profile: KeyProfile,
     last_used: u64,
+    /// Serialized size of `profile`, charged against the owning machine's
+    /// byte quota.
+    bytes: u64,
 }
 
 /// Lifetime counters of one [`ProfileStore`]: how often lookups were served
-/// from the store, how often they missed, and how many entries the LRU cap
-/// has evicted. The eviction-tuning work on the roadmap needs exactly these
-/// numbers, so the fleet surfaces them in its report and over the wire.
+/// from the store, how often they missed, and how much the eviction policy
+/// (per-machine byte quota + LRU entry cap) has thrown away. The
+/// eviction-tuning work on the roadmap needs exactly these numbers, so the
+/// fleet surfaces them in its report and over the wire.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct StoreStats {
     /// Keys served from the store across all lookups.
     pub hits: u64,
     /// Keys requested but absent across all lookups.
     pub misses: u64,
-    /// Entries evicted by the LRU capacity cap.
+    /// Entries evicted by the byte quota or the LRU capacity cap.
     pub evictions: u64,
+    /// Serialized bytes those evictions released.
+    pub evicted_bytes: u64,
 }
 
 impl StoreStats {
@@ -112,8 +118,13 @@ impl StoreStats {
 
 struct Inner {
     entries: HashMap<StoreKey, Entry>,
+    /// Serialized bytes currently held per machine (entries with that
+    /// signature), maintained incrementally on insert/remove.
+    bytes_by_machine: HashMap<MachineSignature, u64>,
     clock: u64,
     capacity: usize,
+    /// Per-machine serialized-byte quota ([`u64::MAX`] = unbounded).
+    byte_quota: u64,
     stats: StoreStats,
 }
 
@@ -138,12 +149,28 @@ impl ProfileStore {
     /// An empty store holding at most `capacity` curve pairs; the least
     /// recently used entries are evicted beyond that.
     pub fn with_capacity(capacity: usize) -> Self {
+        Self::with_limits(capacity, u64::MAX)
+    }
+
+    /// An empty store bounded two ways: every machine's entries may occupy
+    /// at most `per_machine_bytes` of serialized curve data (primary,
+    /// size-aware bound — a machine serving huge models can't starve the
+    /// others), and the whole store holds at most `capacity` curve pairs
+    /// (secondary LRU cap). Within each bound the least recently used
+    /// entries go first. A machine's single most recent entry is never
+    /// evicted by the byte quota, even if that one entry exceeds it —
+    /// dropping the curve a job just measured would force an endless
+    /// re-profile loop.
+    pub fn with_limits(capacity: usize, per_machine_bytes: u64) -> Self {
         assert!(capacity > 0, "profile store capacity must be positive");
+        assert!(per_machine_bytes > 0, "byte quota must be positive");
         ProfileStore {
             inner: Mutex::new(Inner {
                 entries: HashMap::new(),
+                bytes_by_machine: HashMap::new(),
                 clock: 0,
                 capacity,
+                byte_quota: per_machine_bytes,
                 stats: StoreStats::default(),
             }),
         }
@@ -193,36 +220,115 @@ impl ProfileStore {
         self.inner.lock().stats
     }
 
-    /// Inserts (or refreshes) curves measured on `machine`, evicting the
-    /// least recently used entries if the capacity is exceeded.
+    /// Serialized bytes currently held for `machine`'s entries.
+    pub fn machine_bytes(&self, machine: MachineSignature) -> u64 {
+        self.inner
+            .lock()
+            .bytes_by_machine
+            .get(&machine)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Serialized bytes currently held across all machines.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().bytes_by_machine.values().sum()
+    }
+
+    /// Serialized size of one curve pair — the unit the byte quota charges.
+    fn entry_bytes(profile: &KeyProfile) -> u64 {
+        serde_json::to_string(profile)
+            .expect("profile serializes")
+            .len() as u64
+    }
+
+    /// Inserts one entry, keeping the per-machine byte accounting exact
+    /// when an existing entry is overwritten.
+    fn insert_entry(inner: &mut Inner, key: StoreKey, profile: KeyProfile, last_used: u64) {
+        let machine = key.0;
+        let bytes = Self::entry_bytes(&profile);
+        let old_bytes = inner
+            .entries
+            .insert(
+                key,
+                Entry {
+                    profile,
+                    last_used,
+                    bytes,
+                },
+            )
+            .map_or(0, |old| old.bytes);
+        let held = inner.bytes_by_machine.entry(machine).or_default();
+        *held = held.saturating_sub(old_bytes) + bytes;
+    }
+
+    /// Removes one entry, releasing its bytes. Returns the bytes released.
+    fn remove_entry(inner: &mut Inner, key: &StoreKey) -> u64 {
+        let Some(entry) = inner.entries.remove(key) else {
+            return 0;
+        };
+        if let Some(held) = inner.bytes_by_machine.get_mut(&key.0) {
+            *held = held.saturating_sub(entry.bytes);
+        }
+        entry.bytes
+    }
+
+    /// Inserts (or refreshes) curves measured on `machine`, then enforces
+    /// the per-machine byte quota and the LRU entry cap.
     pub fn insert_many(&self, machine: MachineSignature, profiles: &[KeyProfile]) {
         let mut inner = self.inner.lock();
         inner.clock += 1;
         let now = inner.clock;
         for p in profiles {
-            inner.entries.insert(
+            Self::insert_entry(
+                &mut inner,
                 (machine, p.kind, p.shape.clone()),
-                Entry {
-                    profile: p.clone(),
-                    last_used: now,
-                },
+                p.clone(),
+                now,
             );
         }
-        Self::evict_over_capacity(&mut inner);
+        Self::evict_over_limits(&mut inner);
     }
 
-    fn evict_over_capacity(inner: &mut Inner) {
-        while inner.entries.len() > inner.capacity {
-            // Oldest entry; ties broken by key order so eviction is
-            // deterministic.
-            let victim = inner
-                .entries
+    /// The least recently used entry (ties broken by key order, so eviction
+    /// is deterministic), optionally restricted to one machine's entries.
+    fn lru_victim(inner: &Inner, machine: Option<MachineSignature>) -> Option<StoreKey> {
+        inner
+            .entries
+            .iter()
+            .filter(|(k, _)| machine.is_none_or(|m| k.0 == m))
+            .min_by(|a, b| a.1.last_used.cmp(&b.1.last_used).then(a.0.cmp(b.0)))
+            .map(|(k, _)| k.clone())
+    }
+
+    fn evict_over_limits(inner: &mut Inner) {
+        // Primary bound: the per-machine byte quota. Machines are visited
+        // in signature order (deterministic); each sheds LRU entries until
+        // it fits the quota or only one entry remains (the newest survivor
+        // always stays — see `with_limits`).
+        loop {
+            let over: Option<MachineSignature> = inner
+                .bytes_by_machine
                 .iter()
-                .min_by(|a, b| a.1.last_used.cmp(&b.1.last_used).then(a.0.cmp(b.0)))
-                .map(|(k, _)| k.clone())
-                .expect("non-empty map above capacity");
-            inner.entries.remove(&victim);
+                .filter(|&(m, &b)| {
+                    b > inner.byte_quota && inner.entries.keys().filter(|k| k.0 == *m).count() >= 2
+                })
+                .map(|(m, _)| *m)
+                .min();
+            let Some(machine) = over else {
+                break;
+            };
+            let victim = Self::lru_victim(inner, Some(machine)).expect("machine holds entries");
+            let bytes = Self::remove_entry(inner, &victim);
             inner.stats.evictions += 1;
+            inner.stats.evicted_bytes += bytes;
+        }
+        // Secondary bound: the global LRU entry cap.
+        while inner.entries.len() > inner.capacity {
+            let victim = Self::lru_victim(inner, None).expect("non-empty map above capacity");
+            let bytes = Self::remove_entry(inner, &victim);
+            inner.stats.evictions += 1;
+            inner.stats.evicted_bytes += bytes;
         }
     }
 
@@ -265,7 +371,7 @@ impl ProfileStore {
             .collect();
         scored.sort_unstable();
         for &(_, i) in scored.iter().take(victims) {
-            inner.entries.remove(&keys[i]);
+            Self::remove_entry(&mut inner, &keys[i]);
         }
         victims
     }
@@ -307,20 +413,19 @@ impl ProfileStore {
             // Keys already live keep their recency; new keys start cold
             // (`last_used = 0` predates every clock tick).
             let last_used = inner.entries.get(&key).map_or(0, |old| old.last_used);
-            inner.entries.insert(
+            Self::insert_entry(
+                &mut inner,
                 key,
-                Entry {
-                    profile: KeyProfile {
-                        kind: e.kind,
-                        shape: e.shape,
-                        compact: e.compact,
-                        scatter: e.scatter,
-                    },
-                    last_used,
+                KeyProfile {
+                    kind: e.kind,
+                    shape: e.shape,
+                    compact: e.compact,
+                    scatter: e.scatter,
                 },
+                last_used,
             );
         }
-        Self::evict_over_capacity(&mut inner);
+        Self::evict_over_limits(&mut inner);
         Ok(merged)
     }
 }
@@ -394,16 +499,86 @@ mod tests {
             &[profile(OpKind::Relu, &[8]), profile(OpKind::Add, &[8])],
         );
         let stats = store.stats();
-        assert_eq!(
-            stats,
-            StoreStats {
-                hits: 1,
-                misses: 1,
-                evictions: 1
-            }
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.evictions, 1);
+        assert!(
+            stats.evicted_bytes > 0,
+            "an evicted entry releases its serialized bytes"
         );
         assert_eq!(stats.hit_rate(), 0.5);
         assert_eq!(StoreStats::default().hit_rate(), 0.0, "no lookups yet");
+    }
+
+    #[test]
+    fn byte_quota_evicts_the_machines_lru_entries() {
+        let one_entry = ProfileStore::entry_bytes(&profile(OpKind::MatMul, &[8]));
+        // Quota fits about two entries of this size.
+        let store = ProfileStore::with_limits(100, one_entry * 2 + one_entry / 2);
+        let sig = MachineSignature(1);
+        store.insert_many(sig, &[profile(OpKind::MatMul, &[8])]);
+        store.insert_many(sig, &[profile(OpKind::Relu, &[8])]);
+        assert_eq!(store.stats().evictions, 0, "two entries fit the quota");
+        // Touch MatMul so Relu is the LRU victim when Add pushes it over.
+        store.lookup(sig, &[(OpKind::MatMul, Shape(vec![8]))]);
+        store.insert_many(sig, &[profile(OpKind::Add, &[8])]);
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(sig, &(OpKind::MatMul, Shape(vec![8]))));
+        assert!(store.contains(sig, &(OpKind::Add, Shape(vec![8]))));
+        assert!(!store.contains(sig, &(OpKind::Relu, Shape(vec![8]))));
+        let stats = store.stats();
+        assert_eq!(stats.evictions, 1);
+        assert!(stats.evicted_bytes > 0);
+        assert!(store.machine_bytes(sig) <= one_entry * 2 + one_entry / 2);
+    }
+
+    #[test]
+    fn byte_quota_is_per_machine_and_spares_the_last_entry() {
+        let one_entry = ProfileStore::entry_bytes(&profile(OpKind::MatMul, &[8]));
+        // A quota smaller than a single entry: every machine's newest entry
+        // still survives (evicting it would force an endless re-profile
+        // loop), and machines don't steal each other's budget.
+        let store = ProfileStore::with_limits(100, one_entry / 2);
+        let a = MachineSignature(1);
+        let b = MachineSignature(2);
+        store.insert_many(a, &[profile(OpKind::MatMul, &[8])]);
+        store.insert_many(b, &[profile(OpKind::MatMul, &[8])]);
+        assert_eq!(store.len(), 2, "one oversized entry per machine survives");
+        assert_eq!(store.stats().evictions, 0);
+        // A second entry on `a` trips its quota; `b` is untouched.
+        store.insert_many(a, &[profile(OpKind::Relu, &[8])]);
+        assert_eq!(store.len(), 2);
+        assert!(store.contains(b, &(OpKind::MatMul, Shape(vec![8]))));
+        assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn byte_accounting_survives_overwrites_corruption_and_restore() {
+        let store = ProfileStore::new();
+        let sig = MachineSignature(3);
+        store.insert_many(
+            sig,
+            &[profile(OpKind::MatMul, &[4]), profile(OpKind::Relu, &[4])],
+        );
+        let expected: u64 = [OpKind::MatMul, OpKind::Relu]
+            .iter()
+            .map(|&k| ProfileStore::entry_bytes(&profile(k, &[4])))
+            .sum();
+        assert_eq!(store.total_bytes(), expected);
+        // Overwriting the same key must not double-charge.
+        store.insert_many(sig, &[profile(OpKind::MatMul, &[4])]);
+        assert_eq!(store.total_bytes(), expected);
+        // Corruption releases the dropped entries' bytes.
+        store.corrupt_deterministic(7, 1.0);
+        assert_eq!(store.total_bytes(), 0);
+        // Restore recharges them.
+        let donor = ProfileStore::new();
+        donor.insert_many(sig, &[profile(OpKind::MatMul, &[4])]);
+        store.restore(&donor.snapshot()).unwrap();
+        assert_eq!(
+            store.total_bytes(),
+            ProfileStore::entry_bytes(&profile(OpKind::MatMul, &[4]))
+        );
     }
 
     #[test]

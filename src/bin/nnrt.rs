@@ -7,17 +7,22 @@
 //! nnrt plan <model> [batch]      the thread plan Strategies 1+2 install
 //! nnrt trace <model> [batch]     write a chrome://tracing JSON of one step
 //! nnrt serve [jobs] [nodes] [seed] [--chaos <seed>]
-//!            [--checkpoint-interval <steps>] [--json]
+//!            [--checkpoint-interval <steps>] [--profile-threads <n>] [--json]
 //!                                multi-tenant fleet with a shared profile
 //!                                store; prints the fleet report. `--chaos`
 //!                                arms a seeded fault plan (node crash,
 //!                                straggler, store corruption, profiling
 //!                                budget) sized to the workload by a
-//!                                fault-free dry run; `--json` prints the
-//!                                report as JSON instead of text. Progress
-//!                                goes to stderr, so stdout stays parseable
+//!                                fault-free dry run; `--profile-threads`
+//!                                shards each job's profiling climbs across
+//!                                n workers (default: available parallelism;
+//!                                1 = the legacy sequential path; any value
+//!                                yields byte-identical reports); `--json`
+//!                                prints the report as JSON instead of text.
+//!                                Progress goes to stderr, so stdout stays
+//!                                parseable
 //! nnrt serve --listen <addr> [nodes] [seed] [--hold] [--snapshot <path>]
-//!            [--checkpoint-interval <steps>] [--json]
+//!            [--checkpoint-interval <steps>] [--profile-threads <n>] [--json]
 //!                                run the fleet behind the nnrt-rpc TCP
 //!                                front-end instead of the built-in job mix;
 //!                                `--listen 127.0.0.1:0` picks an ephemeral
@@ -67,8 +72,8 @@ fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
 
 fn usage_text() -> String {
     "usage: nnrt <compare|profile|grid|plan|trace> <model> [batch]\n       \
-     nnrt serve [jobs] [nodes] [seed] [--chaos <seed>] [--checkpoint-interval <steps>] [--json]\n       \
-     nnrt serve --listen <addr> [nodes] [seed] [--hold] [--snapshot <path>] [--json]\n       \
+     nnrt serve [jobs] [nodes] [seed] [--chaos <seed>] [--checkpoint-interval <steps>] [--profile-threads <n>] [--json]\n       \
+     nnrt serve --listen <addr> [nodes] [seed] [--hold] [--snapshot <path>] [--profile-threads <n>] [--json]\n       \
      nnrt submit <addr> <model> [batch] [--steps n] [--priority p] [--weight w] [--name s] [--no-retry]\n       \
      nnrt status <addr> [job_id] | nnrt shutdown <addr> [--json]\n       \
      nnrt gpu | nnrt models | nnrt --help\n\
@@ -79,6 +84,12 @@ fn usage_text() -> String {
 fn usage() -> ExitCode {
     eprintln!("{}", usage_text());
     ExitCode::from(EXIT_USAGE)
+}
+
+/// Default profiling worker count: one per available hardware thread. Any
+/// count produces byte-identical output, so the default leans parallel.
+fn default_profile_threads() -> usize {
+    nnrt::sched::ProfilerPool::available().threads()
 }
 
 fn main() -> ExitCode {
@@ -141,6 +152,7 @@ fn main() -> ExitCode {
             let mut positional = Vec::new();
             let mut chaos: Option<u64> = None;
             let mut checkpoint_interval: Option<u32> = None;
+            let mut profile_threads: Option<usize> = None;
             let mut json = false;
             let mut listen: Option<String> = None;
             let mut hold = false;
@@ -152,6 +164,13 @@ fn main() -> ExitCode {
                         Some(seed) => chaos = Some(seed),
                         None => {
                             eprintln!("--chaos needs a numeric seed");
+                            return usage();
+                        }
+                    },
+                    "--profile-threads" => match it.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if n >= 1 => profile_threads = Some(n),
+                        _ => {
+                            eprintln!("--profile-threads needs a worker count >= 1");
                             return usage();
                         }
                     },
@@ -202,6 +221,7 @@ fn main() -> ExitCode {
                     nodes,
                     seed,
                     checkpoint_interval,
+                    profile_threads,
                     hold,
                     snapshot,
                     json,
@@ -220,7 +240,15 @@ fn main() -> ExitCode {
                 .get(2)
                 .and_then(|s| s.parse().ok())
                 .unwrap_or(0xF1EE7);
-            run_serve(jobs, nodes, seed, chaos, checkpoint_interval, json);
+            run_serve(
+                jobs,
+                nodes,
+                seed,
+                chaos,
+                checkpoint_interval,
+                profile_threads,
+                json,
+            );
             ExitCode::SUCCESS
         }
         "submit" => run_submit(&args[1..]),
@@ -259,6 +287,7 @@ fn run_serve(
     seed: u64,
     chaos: Option<u64>,
     checkpoint_interval: Option<u32>,
+    profile_threads: Option<usize>,
     json: bool,
 ) {
     use nnrt::serve::{FaultPlan, Fleet, FleetConfig, JobSpec};
@@ -276,6 +305,7 @@ fn run_serve(
         node_count: nodes,
         seed,
         checkpoint_interval: checkpoint_interval.unwrap_or(1),
+        profile_threads: profile_threads.unwrap_or_else(default_profile_threads),
         ..FleetConfig::default()
     };
     let submit_all = |fleet: &mut Fleet, quiet: bool| {
@@ -339,11 +369,13 @@ fn run_serve(
 /// Prints `listening on <addr>` first (flushed, so scripts can capture an
 /// ephemeral port), then blocks until a client sends `Shutdown` and prints
 /// the final report.
+#[allow(clippy::too_many_arguments)]
 fn run_listen(
     addr: &str,
     nodes: u32,
     seed: u64,
     checkpoint_interval: Option<u32>,
+    profile_threads: Option<usize>,
     hold: bool,
     snapshot: Option<String>,
     json: bool,
@@ -356,6 +388,7 @@ fn run_listen(
             node_count: nodes,
             seed,
             checkpoint_interval: checkpoint_interval.unwrap_or(1),
+            profile_threads: profile_threads.unwrap_or_else(default_profile_threads),
             ..FleetConfig::default()
         },
         drain: if hold {

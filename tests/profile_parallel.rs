@@ -1,0 +1,154 @@
+//! Determinism and budget guarantees of the parallel profiling pipeline.
+//!
+//! The sharded hill-climb pool must be invisible in every output: for any
+//! worker count the fitted curves, the chrome traces, and the whole
+//! `FleetReport` JSON are byte-identical to `profile_threads = 1`. Warm
+//! seeding must live inside the same profiling budget as an unseeded climb
+//! and degrade the exact same keys when the budget is starved.
+
+use nnrt::manycore::{KnlCostModel, NoiseModel};
+use nnrt::sched::{HillClimbConfig, HillClimbModel, Measurer, OpCatalog};
+use nnrt::serve::{Fleet, FleetConfig, JobSpec, ProfileStore};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// A small mixed workload: two models, two jobs each, over two nodes.
+fn workload() -> Vec<JobSpec> {
+    let models = [
+        ("resnet50", nnrt::models::resnet50(4).graph),
+        ("dcgan", nnrt::models::dcgan(4).graph),
+    ];
+    (0..4)
+        .map(|i| {
+            let (model, graph) = &models[i % models.len()];
+            JobSpec {
+                name: format!("{model}-{i}"),
+                model: model.to_string(),
+                graph: graph.clone(),
+                steps: 2,
+                priority: (i % 2) as u8,
+                weight: 1.0,
+            }
+        })
+        .collect()
+}
+
+/// Runs the workload on a fresh fleet and returns every observable output:
+/// the report JSON (which embeds each job's chrome trace) and the store
+/// snapshot (the fitted curves).
+fn run_fleet(profile_threads: usize) -> (String, String) {
+    let config = FleetConfig {
+        node_count: 2,
+        record_traces: true,
+        profile_threads,
+        ..FleetConfig::default()
+    };
+    let costs = (0..config.node_count)
+        .map(|_| KnlCostModel::knl())
+        .collect();
+    let mut fleet = Fleet::with_cost_models(config, costs, Arc::new(ProfileStore::new()));
+    for spec in workload() {
+        fleet.submit(spec).expect("queue sized for the workload");
+    }
+    let report = fleet.run();
+    for job in &report.jobs {
+        assert!(
+            job.chrome_trace.is_some(),
+            "record_traces must attach a trace to every job"
+        );
+    }
+    (report.to_json(), fleet.store().snapshot())
+}
+
+fn neighbor_fixtures() -> (HillClimbModel, OpCatalog, HillClimbConfig) {
+    let base = OpCatalog::new(&nnrt::models::dcgan(8).graph);
+    let cfg = HillClimbConfig {
+        interval: 4,
+        max_threads: 68,
+        warm_seed: true,
+    };
+    let mut measurer = Measurer::new(KnlCostModel::knl(), NoiseModel::default(), 0x5EED);
+    let fitted = HillClimbModel::fit(&base, &mut measurer, cfg);
+    let neighbor = OpCatalog::new(&nnrt::models::dcgan(16).graph);
+    (fitted, neighbor, cfg)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any worker count produces the same bytes as the legacy serial path —
+    /// curves, chrome traces, and the full report.
+    #[test]
+    fn any_worker_count_is_byte_identical_to_serial(threads in 2usize..=8) {
+        let (serial_report, serial_curves) = run_fleet(1);
+        let (report, curves) = run_fleet(threads);
+        prop_assert_eq!(report, serial_report);
+        prop_assert_eq!(curves, serial_curves);
+    }
+
+    /// Warm seeding never spends more than the budget allows: the model's
+    /// profiling-step counter grows by at most `budget` regardless of how
+    /// the climbs were seeded.
+    #[test]
+    fn warm_seeding_never_exceeds_the_profiling_budget(budget in 0u32..=24) {
+        let (fitted, neighbor, cfg) = neighbor_fixtures();
+        for warm_seed in [true, false] {
+            let mut model = fitted.clone();
+            let before = model.profiling_steps;
+            let mut measurer =
+                Measurer::new(KnlCostModel::knl(), NoiseModel::default(), 0x5EED);
+            let outcome = model.fit_missing_budgeted(
+                &neighbor,
+                &mut measurer,
+                HillClimbConfig { warm_seed, ..cfg },
+                budget,
+            );
+            prop_assert!(
+                model.profiling_steps - before <= budget,
+                "seed={warm_seed}: spent {} of budget {budget}",
+                model.profiling_steps - before
+            );
+            if budget < 2 {
+                // No samples fit in the budget: every uncovered key degrades
+                // and not a single measurement is taken.
+                prop_assert_eq!(measurer.measurements_taken(), 0);
+                prop_assert_eq!(outcome.new_keys, 0);
+                prop_assert_eq!(outcome.steps_saved, 0);
+            }
+        }
+    }
+}
+
+/// When the budget starves the climbs, seeding changes nothing: the same
+/// keys degrade in the same order as the unseeded fit, and the fallback
+/// plan downstream is therefore identical.
+#[test]
+fn starved_budget_degrades_identically_with_and_without_seeding() {
+    let (fitted, neighbor, cfg) = neighbor_fixtures();
+    for budget in [0u32, 1, 2, 4] {
+        let mut seeded = fitted.clone();
+        let mut unseeded = fitted.clone();
+        let mut m1 = Measurer::new(KnlCostModel::knl(), NoiseModel::default(), 0x5EED);
+        let mut m2 = Measurer::new(KnlCostModel::knl(), NoiseModel::default(), 0x5EED);
+        let with_seed = seeded.fit_missing_budgeted(&neighbor, &mut m1, cfg, budget);
+        let without = unseeded.fit_missing_budgeted(
+            &neighbor,
+            &mut m2,
+            HillClimbConfig {
+                warm_seed: false,
+                ..cfg
+            },
+            budget,
+        );
+        assert_eq!(
+            with_seed.degraded, without.degraded,
+            "budget {budget}: seeded and unseeded fits must degrade the same keys"
+        );
+        assert_eq!(with_seed.new_keys, without.new_keys, "budget {budget}");
+        assert_eq!(
+            seeded.profiling_steps, unseeded.profiling_steps,
+            "budget {budget}: cost accounting must not depend on seeding when \
+             every climb is truncated"
+        );
+    }
+}

@@ -45,7 +45,11 @@ proptest! {
     #[test]
     fn runtime_executes_every_random_graph(g in arb_graph()) {
         let cfg = RuntimeConfig {
-            hillclimb: nnrt::sched::HillClimbConfig { interval: 8, max_threads: 68 },
+            hillclimb: nnrt::sched::HillClimbConfig {
+                interval: 8,
+                max_threads: 68,
+                warm_seed: true,
+            },
             ..RuntimeConfig::default()
         };
         let rt = Runtime::prepare(&g, KnlCostModel::knl(), cfg);

@@ -24,6 +24,7 @@ fn runtime_schedules_on_an_8_core_machine() {
         hillclimb: nnrt::sched::HillClimbConfig {
             interval: 2,
             max_threads: 8,
+            warm_seed: true,
         },
         default_intra: 8,
         ..RuntimeConfig::default()
@@ -58,6 +59,7 @@ fn runtime_schedules_on_a_128_core_machine() {
         hillclimb: nnrt::sched::HillClimbConfig {
             interval: 8,
             max_threads: 128,
+            warm_seed: true,
         },
         default_intra: 128,
         ..RuntimeConfig::default()
@@ -77,6 +79,7 @@ fn degenerate_graphs_run_everywhere() {
             hillclimb: nnrt::sched::HillClimbConfig {
                 interval: 2,
                 max_threads: max,
+                warm_seed: true,
             },
             default_intra: max,
             ..RuntimeConfig::default()
