@@ -35,6 +35,17 @@ cmp "$tmpdir/profile-1w.json" "$tmpdir/profile-4w.json" \
   || { echo "parallel profiling changed the report: 1 vs 4 workers differ" >&2; exit 1; }
 echo "parallel profiling deterministic (1-worker vs 4-worker JSON byte-identical)"
 
+echo "== gpu suite (stream runtime + fleet determinism) =="
+cargo test -q --offline -p nnrt-gpu
+./target/release/nnrt serve 4 2 7 --backend gpu --json > "$tmpdir/gpu-a.json"
+./target/release/nnrt serve 4 2 7 --backend gpu --json > "$tmpdir/gpu-b.json"
+cmp "$tmpdir/gpu-a.json" "$tmpdir/gpu-b.json" \
+  || { echo "gpu fleet not deterministic: same seed produced different reports" >&2; exit 1; }
+./target/release/nnrt serve 4 2 7 --backend gpu --profile-threads 4 --json > "$tmpdir/gpu-4w.json"
+cmp "$tmpdir/gpu-a.json" "$tmpdir/gpu-4w.json" \
+  || { echo "gpu profiling changed the report: 1 vs 4 workers differ" >&2; exit 1; }
+echo "gpu fleet deterministic (seed 7 byte-identical; 1 vs 4 profile workers byte-identical)"
+
 echo "== rpc suite (loopback smoke) =="
 cargo test -q --offline --test rpc_loopback
 ./target/release/nnrt serve --listen 127.0.0.1:0 1 7 \

@@ -45,7 +45,7 @@ pub mod trace;
 
 pub use feedback::InterferenceLog;
 pub use hillclimb::{Curve, FitOutcome, HillClimbConfig, HillClimbModel, KeyProfile};
-pub use measure::{Measurer, OpCatalog};
+pub use measure::{per_key_seed, Measurer, OpCatalog};
 pub use oracle::OracleScheduler;
 pub use plan::{PerfModel, ThreadPlan};
 pub use profiler::ProfilerPool;
@@ -53,4 +53,4 @@ pub use regmodel::{RegressionModel, RegressionModelConfig};
 pub use runtime::{Runtime, RuntimeConfig, StepReport};
 pub use scheduler::SchedulerConfig;
 pub use tf_baseline::{manual_optimization, TfExecutor, TfExecutorConfig};
-pub use trace::{export_chrome_trace, CorunStats};
+pub use trace::{export_chrome_trace, export_lane_chrome_trace, CorunStats};

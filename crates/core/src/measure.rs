@@ -90,6 +90,14 @@ fn key_fingerprint(key: &OpKey) -> u64 {
     h
 }
 
+/// Derives the measurement seed of one op key from a base seed — the recipe
+/// [`Measurer::fork_for_key`] uses, exported so other backends (the GPU
+/// profiler) produce curves that are a pure function of `(base, key)` and
+/// therefore independent of worker count and climb order.
+pub fn per_key_seed(base: u64, key: &OpKey) -> u64 {
+    mix64(base ^ key_fingerprint(key))
+}
+
 /// SplitMix64 finalizer, decorrelating the per-key seeds derived from a
 /// base seed and a key fingerprint.
 fn mix64(mut z: u64) -> u64 {
@@ -132,11 +140,7 @@ impl Measurer {
     /// order, or alongside which other keys. That independence is what makes
     /// the parallel profiling pipeline byte-identical to the sequential one.
     pub fn fork_for_key(&self, key: &OpKey) -> Measurer {
-        Measurer::new(
-            self.cost.clone(),
-            self.noise,
-            mix64(self.seed ^ key_fingerprint(key)),
-        )
+        Measurer::new(self.cost.clone(), self.noise, per_key_seed(self.seed, key))
     }
 
     /// Folds `n` measurements taken by forked measurers back into this

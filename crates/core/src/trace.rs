@@ -118,7 +118,7 @@ pub fn export_chrome_trace(
     let mut order: Vec<usize> = (0..timings.len()).collect();
     order.sort_by(|&a, &b| timings[a].start.partial_cmp(&timings[b].start).unwrap());
     let mut lane_free_at: Vec<f64> = Vec::new();
-    let mut events = Vec::with_capacity(timings.len());
+    let mut lanes = vec![0u32; timings.len()];
     for idx in order {
         let t = &timings[idx];
         let lane = match lane_free_at
@@ -134,6 +134,33 @@ pub fn export_chrome_trace(
                 lane_free_at.len() - 1
             }
         };
+        lanes[idx] = lane as u32;
+    }
+    export_lane_chrome_trace(graph, timings, &lanes)
+}
+
+/// Exports timings as Chrome Trace Event JSON with **caller-assigned** lanes:
+/// `lanes[i]` is the zero-based row of `timings[i]` (rendered as `tid =
+/// lane + 1`). This is the stream-schedule exporter — a GPU stream runtime
+/// already knows which stream ran each kernel, so its lanes are the streams
+/// themselves rather than a greedy reconstruction.
+///
+/// Panics if `lanes` and `timings` disagree in length.
+pub fn export_lane_chrome_trace(
+    graph: &nnrt_graph::DataflowGraph,
+    timings: &[crate::exec::NodeTiming],
+    lanes: &[u32],
+) -> String {
+    assert_eq!(
+        timings.len(),
+        lanes.len(),
+        "one lane per timing is required"
+    );
+    let mut order: Vec<usize> = (0..timings.len()).collect();
+    order.sort_by(|&a, &b| timings[a].start.partial_cmp(&timings[b].start).unwrap());
+    let mut events = Vec::with_capacity(timings.len());
+    for idx in order {
+        let t = &timings[idx];
         let op = graph.op(nnrt_graph::NodeId(t.node));
         // Times in microseconds, as the format expects.
         events.push(format!(
@@ -146,7 +173,7 @@ pub fn export_chrome_trace(
             kind = op.kind,
             ts = t.start * 1e6,
             dur = t.actual() * 1e6,
-            tid = lane + 1,
+            tid = lanes[idx] + 1,
             node = t.node,
             shape = op.shape,
             pred = t.predicted * 1e6,

@@ -1,0 +1,84 @@
+//! Lowering dataflow-graph operations onto GPU kernels.
+//!
+//! The stream runtime executes whole training graphs from `nnrt-models`, so
+//! every [`OpKind`] needs a device-side work description. The flop and byte
+//! counts come from the same shape-derived [`WorkProfile`] the KNL cost model
+//! uses — the work an operation does is a property of the operation, not the
+//! device — while the efficiency fraction is re-interpreted as the kernel's
+//! achieved fraction of peak FP32 under ideal occupancy (cuDNN-class
+//! convolutions reach ~half of peak; elementwise kernels are bandwidth-bound
+//! and their compute efficiency barely matters).
+
+use crate::ops::{GpuKernel, GpuOpKind};
+use nnrt_graph::OpKind;
+use nnrt_manycore::WorkProfile;
+
+/// The Table VII family a graph op reports under — the coarse device-side
+/// classification used for per-kind summaries (`GpuKernel::kind` is a
+/// reporting tag; timing uses the kernel's own flop/byte counts).
+pub fn stream_class(kind: OpKind) -> GpuOpKind {
+    use OpKind::*;
+    match kind {
+        Conv2D => GpuOpKind::Conv2D,
+        Conv2DBackpropFilter => GpuOpKind::Conv2DBackpropFilter,
+        Conv2DBackpropInput => GpuOpKind::Conv2DBackpropInput,
+        // Dense matmuls behave like the compute-bound convolution family.
+        MatMul => GpuOpKind::Conv2D,
+        MaxPool | MaxPoolGrad | AvgPool | AvgPoolGrad => GpuOpKind::MaxPooling,
+        // Everything elementwise/reduction-shaped is bandwidth-bound, like
+        // BiasAdd in the paper's microbenches.
+        _ => GpuOpKind::BiasAdd,
+    }
+}
+
+/// Builds the GPU kernel for one graph operation from its shape-derived work
+/// profile.
+pub fn kernel_for(kind: OpKind, profile: &WorkProfile) -> GpuKernel {
+    GpuKernel {
+        kind: stream_class(kind),
+        flops: profile.flops,
+        bytes: profile.bytes,
+        // The KNL per-core efficiency is a serviceable stand-in for the
+        // kernel's fraction of GPU peak: both measure how far the inner loop
+        // is from pure FMA throughput. Clamp away degenerate values so the
+        // compute term stays finite.
+        eff: profile.eff.clamp(0.08, 0.9),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnrt_graph::{work_profile, OpAux, Shape};
+
+    #[test]
+    fn conv_family_maps_to_conv_classes() {
+        assert_eq!(stream_class(OpKind::Conv2D), GpuOpKind::Conv2D);
+        assert_eq!(
+            stream_class(OpKind::Conv2DBackpropFilter),
+            GpuOpKind::Conv2DBackpropFilter
+        );
+        assert_eq!(stream_class(OpKind::MaxPoolGrad), GpuOpKind::MaxPooling);
+        assert_eq!(stream_class(OpKind::Relu), GpuOpKind::BiasAdd);
+    }
+
+    #[test]
+    fn kernels_inherit_the_shape_derived_work() {
+        let shape = Shape::nhwc(32, 17, 17, 384);
+        let aux = OpAux::conv(3, 1, 384);
+        let profile = work_profile(OpKind::Conv2D, &shape, &aux);
+        let k = kernel_for(OpKind::Conv2D, &profile);
+        assert_eq!(k.flops, profile.flops);
+        assert_eq!(k.bytes, profile.bytes);
+        assert!(k.eff > 0.0 && k.eff <= 0.9);
+
+        let bias = kernel_for(
+            OpKind::BiasAdd,
+            &work_profile(OpKind::BiasAdd, &shape, &OpAux::default()),
+        );
+        assert!(
+            k.flops / k.bytes > 10.0 * (bias.flops / bias.bytes),
+            "convolutions must stay compute-heavy relative to elementwise ops"
+        );
+    }
+}

@@ -13,6 +13,10 @@ pub struct GpuSpec {
     pub max_threads_per_sm: u32,
     /// Hardware maximum threads per block (1024); larger requests serialize.
     pub max_threads_per_block: u32,
+    /// Unified L2 cache capacity, bytes (P100: 4 MB). The occupancy model
+    /// does not time L2 explicitly, but the capacity is part of the device's
+    /// identity: profiles fitted on a different cache do not transfer.
+    pub l2_bytes: u64,
     /// Core clock, Hz.
     pub clock: f64,
     /// HBM2 bandwidth, bytes/s.
@@ -42,6 +46,7 @@ impl GpuSpec {
             cores_per_sm: 64,
             max_threads_per_sm: 2048,
             max_threads_per_block: 1024,
+            l2_bytes: 4 << 20,
             clock: 1.3e9,
             hbm_bw: 732e9,
             launch_overhead: 5e-6,
@@ -56,6 +61,19 @@ impl GpuSpec {
     /// Peak FP32 throughput (flop/s), counting FMA as two.
     pub fn peak_flops(&self) -> f64 {
         self.sms as f64 * self.cores_per_sm as f64 * self.clock * 2.0
+    }
+
+    /// The device's identity for persisted profiles: launch-config curves
+    /// fitted on this device are keyed under this signature in a shared
+    /// [`ProfileStore`](https://docs.rs/nnrt-serve), next to (and never
+    /// mixed with) KNL thread-count curves.
+    pub fn signature(&self) -> nnrt_manycore::MachineSignature {
+        nnrt_manycore::MachineSignature::of_gpu(
+            self.sms,
+            self.cores_per_sm,
+            self.l2_bytes,
+            self.hbm_bw,
+        )
     }
 }
 

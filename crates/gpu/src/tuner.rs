@@ -22,20 +22,22 @@ pub struct GpuTuneResult {
     pub evaluations: u32,
 }
 
-/// Doubling ladders for the two dimensions (the paper's "rather large
-/// interval" — a multiplicative stride).
-fn tpb_ladder() -> Vec<u32> {
+/// Doubling ladder for the threads-per-block dimension (the paper's "rather
+/// large interval" — a multiplicative stride), 32..16384.
+pub fn tpb_ladder() -> Vec<u32> {
     vec![32, 64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384]
 }
 
-fn blocks_ladder(sms: u32) -> Vec<u32> {
+/// Doubling ladder for the thread-block dimension, `sms/4 .. 16*sms`.
+pub fn blocks_ladder(sms: u32) -> Vec<u32> {
     vec![sms / 4, sms / 2, sms, 2 * sms, 4 * sms, 8 * sms, 16 * sms]
 }
 
 /// Hill-climbs one axis of the launch configuration: walks the ladder while
 /// the time keeps improving, stops at the first rise (the same algorithm as
-/// the CPU profiler, on a multiplicative grid).
-fn climb_axis<F>(ladder: &[u32], mut time_at: F) -> (u32, f64, u32)
+/// the CPU profiler, on a multiplicative grid). Returns `(best value, best
+/// time, evaluations)`.
+pub fn climb_axis<F>(ladder: &[u32], mut time_at: F) -> (u32, f64, u32)
 where
     F: FnMut(u32) -> f64,
 {
@@ -151,6 +153,59 @@ mod tests {
                 full.evaluations
             );
         }
+    }
+
+    #[test]
+    fn exhaustive_search_is_deterministic_for_a_fixed_seed() {
+        // `tune_exhaustive` must be a pure function of (model, kernel): the
+        // fleet's byte-identity contract breaks if two identically-seeded
+        // runs disagree on a launch config. Pin both self-consistency and
+        // the concrete P100 winner for BiasAdd so drift is loud.
+        let m = GpuModel::p100();
+        for kind in GpuOpKind::ALL {
+            let k = gpu_op(kind);
+            let a = tune_exhaustive(&m, &k);
+            let b = tune_exhaustive(&m, &k);
+            assert_eq!(a, b, "{kind:?}: exhaustive search must be deterministic");
+            assert_eq!(
+                a.evaluations,
+                (tpb_ladder().len() * blocks_ladder(m.spec().sms).len()) as u32
+            );
+        }
+        let bias = tune_exhaustive(&m, &gpu_op(GpuOpKind::BiasAdd));
+        let again = tune_exhaustive(&m, &gpu_op(GpuOpKind::BiasAdd));
+        assert_eq!(bias.config, again.config);
+        assert!(bias.secs.to_bits() == again.secs.to_bits());
+    }
+
+    #[test]
+    fn noisy_measurements_with_one_seed_tune_identically() {
+        // The profiling path measures through seeded noise; the same seed
+        // must reproduce the same tuned config bit-for-bit.
+        use rand::{Rng, SeedableRng};
+        let m = GpuModel::p100();
+        let k = gpu_op(GpuOpKind::MaxPooling);
+        let tune_with_seed = |seed: u64| {
+            let mut rng = rand_chacha::ChaCha8Rng::seed_from_u64(seed);
+            let mut best: Option<(LaunchConfig, f64)> = None;
+            for &tpb in &tpb_ladder() {
+                for &nb in &blocks_ladder(m.spec().sms) {
+                    let cfg = LaunchConfig {
+                        threads_per_block: tpb,
+                        num_blocks: nb,
+                    };
+                    let t = m.time(&k, cfg) * (1.0 + 0.05 * (rng.gen::<f64>() - 0.5));
+                    if best.is_none_or(|(_, b)| t < b) {
+                        best = Some((cfg, t));
+                    }
+                }
+            }
+            best.expect("non-empty grid")
+        };
+        let (cfg_a, secs_a) = tune_with_seed(7);
+        let (cfg_b, secs_b) = tune_with_seed(7);
+        assert_eq!(cfg_a, cfg_b);
+        assert_eq!(secs_a.to_bits(), secs_b.to_bits());
     }
 
     #[test]

@@ -33,6 +33,9 @@ impl MachineSignature {
     /// Computes the signature of a machine description.
     pub fn of(topo: &Topology, params: &KnlParams) -> Self {
         let mut h = FNV_OFFSET;
+        // Domain tag: a KNL signature can never collide with a GPU one even
+        // if the hashed numbers happen to coincide.
+        fnv1a(&mut h, b"knl");
         for n in [topo.tiles, topo.cores_per_tile, topo.smt_per_core] {
             fnv1a(&mut h, &n.to_le_bytes());
         }
@@ -54,6 +57,23 @@ impl MachineSignature {
         for f in params.smt_peak {
             fnv1a(&mut h, &f.to_bits().to_le_bytes());
         }
+        MachineSignature(h)
+    }
+
+    /// Computes the signature of a GPU device from its topology: streaming
+    /// multiprocessors, FP32 cores per SM, L2 capacity, and HBM bandwidth.
+    ///
+    /// The byte stream is domain-tagged, so a GPU signature can never equal
+    /// a KNL signature — curves fitted on one device class are invisible to
+    /// the other even in a store shared by a mixed fleet.
+    pub fn of_gpu(sms: u32, cores_per_sm: u32, l2_bytes: u64, hbm_bw: f64) -> Self {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, b"gpu");
+        for n in [sms, cores_per_sm] {
+            fnv1a(&mut h, &n.to_le_bytes());
+        }
+        fnv1a(&mut h, &l2_bytes.to_le_bytes());
+        fnv1a(&mut h, &hbm_bw.to_bits().to_le_bytes());
         MachineSignature(h)
     }
 }
@@ -85,6 +105,25 @@ mod tests {
         params.mcdram_bw *= 2.0;
         let fat = MachineSignature::of(&Topology::knl(), &params);
         assert_ne!(base, fat);
+    }
+
+    #[test]
+    fn gpu_signatures_hash_every_topology_field() {
+        let p100 = MachineSignature::of_gpu(56, 64, 4 << 20, 732e9);
+        assert_eq!(p100, MachineSignature::of_gpu(56, 64, 4 << 20, 732e9));
+        assert_ne!(p100, MachineSignature::of_gpu(80, 64, 4 << 20, 732e9));
+        assert_ne!(p100, MachineSignature::of_gpu(56, 32, 4 << 20, 732e9));
+        assert_ne!(p100, MachineSignature::of_gpu(56, 64, 6 << 20, 732e9));
+        assert_ne!(p100, MachineSignature::of_gpu(56, 64, 4 << 20, 900e9));
+    }
+
+    #[test]
+    fn gpu_and_knl_domains_never_collide() {
+        // Same leading bytes would hash identically without the domain tag;
+        // with it, the device classes partition the signature space.
+        let knl = MachineSignature::of(&Topology::knl(), &KnlParams::default());
+        let gpu = MachineSignature::of_gpu(56, 64, 4 << 20, 732e9);
+        assert_ne!(knl, gpu);
     }
 
     #[test]

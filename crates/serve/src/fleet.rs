@@ -35,18 +35,54 @@ use crate::chaos::{FaultEvent, FaultPlan, INITIAL_BACKOFF_SECS, MAX_BACKOFF_SECS
 use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::job::{AdmissionQueue, AdmitError, JobId, JobSpec, QueuedJob};
 use crate::store::ProfileStore;
-use nnrt_graph::OpKey;
+use nnrt_gpu::{GpuRuntime, GpuRuntimeConfig, GpuSpec};
+use nnrt_graph::{DataflowGraph, OpKey};
 use nnrt_manycore::{KnlCostModel, MachineSignature, NodeHealth};
-use nnrt_sched::{export_chrome_trace, OpCatalog, ProfilerPool, Runtime, RuntimeConfig};
+use nnrt_sched::{
+    export_chrome_trace, export_lane_chrome_trace, OpCatalog, ProfilerPool, Runtime, RuntimeConfig,
+};
 use serde::{Deserialize, Serialize};
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
+/// The device class of a fleet node. Each backend profiles and executes
+/// jobs with its own runtime, and publishes curves under its own
+/// domain-tagged [`MachineSignature`] — a GPU node can never warm-start
+/// from KNL curves or vice versa.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum NodeBackend {
+    /// A Knights-Landing manycore node driven by `nnrt_sched::Runtime`.
+    #[default]
+    Knl,
+    /// A P100-class GPU node driven by `nnrt_gpu::GpuRuntime` (stream
+    /// co-running instead of thread-pool sizing).
+    Gpu,
+}
+
+impl NodeBackend {
+    /// Stable lowercase name (CLI flag values, report labels).
+    pub fn name(&self) -> &'static str {
+        match self {
+            NodeBackend::Knl => "knl",
+            NodeBackend::Gpu => "gpu",
+        }
+    }
+
+    /// Parses a CLI flag value.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "knl" => Some(NodeBackend::Knl),
+            "gpu" => Some(NodeBackend::Gpu),
+            _ => None,
+        }
+    }
+}
+
 /// Fleet-level configuration.
 #[derive(Debug, Clone, Copy)]
 pub struct FleetConfig {
-    /// Number of (identical KNL) nodes; heterogeneous fleets use
-    /// [`Fleet::with_cost_models`].
+    /// Number of identical nodes of `backend`; heterogeneous fleets use
+    /// [`Fleet::with_cost_models`] or [`Fleet::with_backends`].
     pub node_count: u32,
     /// Resident (time-sliced) jobs one node serves concurrently.
     pub max_jobs_per_node: usize,
@@ -68,6 +104,12 @@ pub struct FleetConfig {
     /// so this only changes wall-clock time. `1` (the default) is the exact
     /// legacy sequential path.
     pub profile_threads: usize,
+    /// Device class of every node ([`Fleet::with_backends`] mixes classes).
+    pub backend: NodeBackend,
+    /// GPU runtime configuration (stream strategy, launch-config tuning,
+    /// profiling noise) for GPU nodes; KNL nodes ignore it. The per-job
+    /// profiling seed is derived from `seed` exactly like the KNL path.
+    pub gpu: GpuRuntimeConfig,
 }
 
 impl Default for FleetConfig {
@@ -81,8 +123,24 @@ impl Default for FleetConfig {
             record_traces: false,
             checkpoint_interval: 1,
             profile_threads: 1,
+            backend: NodeBackend::Knl,
+            gpu: GpuRuntimeConfig::default(),
         }
     }
+}
+
+/// What profiling plus one measured step produced for a job landing on a
+/// node — the backend-neutral result of [`Fleet::prepare_on_node`].
+struct PreparedJob {
+    step_secs: f64,
+    profiling_steps: u32,
+    degraded_keys: usize,
+    seeded_keys: usize,
+    seed_steps_saved: u32,
+    fitted_keys: Vec<OpKey>,
+    warm_keys: usize,
+    total_keys: usize,
+    chrome_trace: Option<String>,
 }
 
 struct RunningJob {
@@ -111,7 +169,11 @@ struct RunningJob {
 }
 
 struct Node {
+    backend: NodeBackend,
     cost: KnlCostModel,
+    /// Device description for GPU nodes; unused (but cheap, it is `Copy`)
+    /// on KNL nodes.
+    gpu_spec: GpuSpec,
     signature: MachineSignature,
     clock: f64,
     residents: VecDeque<RunningJob>,
@@ -375,18 +437,16 @@ pub struct Fleet {
 }
 
 impl Fleet {
-    /// A fleet of `config.node_count` identical KNL nodes with a fresh
-    /// shared store.
+    /// A fleet of `config.node_count` identical nodes of `config.backend`
+    /// with a fresh shared store.
     pub fn new(config: FleetConfig) -> Self {
-        let costs = (0..config.node_count)
-            .map(|_| KnlCostModel::knl())
-            .collect();
-        Self::with_cost_models(config, costs, Arc::new(ProfileStore::new()))
+        let backends = vec![config.backend; config.node_count as usize];
+        Self::with_backends(config, backends, Arc::new(ProfileStore::new()))
     }
 
-    /// A fleet over explicit (possibly heterogeneous) node cost models and
-    /// an existing shared store — the warm-restart path: a store restored
-    /// from a snapshot lets the very first job skip profiling.
+    /// A fleet over explicit (possibly heterogeneous) KNL node cost models
+    /// and an existing shared store — the warm-restart path: a store
+    /// restored from a snapshot lets the very first job skip profiling.
     pub fn with_cost_models(
         config: FleetConfig,
         costs: Vec<KnlCostModel>,
@@ -396,6 +456,8 @@ impl Fleet {
         let nodes = costs
             .into_iter()
             .map(|cost| Node {
+                backend: NodeBackend::Knl,
+                gpu_spec: GpuSpec::p100(),
                 signature: cost.signature(),
                 cost,
                 clock: 0.0,
@@ -408,6 +470,47 @@ impl Fleet {
                 health: NodeHealth::default(),
             })
             .collect();
+        Self::from_nodes(config, nodes, store)
+    }
+
+    /// A fleet mixing device classes — e.g. two KNL nodes beside a GPU
+    /// node, all publishing into one shared store. KNL nodes get the
+    /// standard KNL cost model, GPU nodes a P100; the domain-tagged
+    /// signatures keep each class's curves separate inside the store.
+    pub fn with_backends(
+        config: FleetConfig,
+        backends: Vec<NodeBackend>,
+        store: Arc<ProfileStore>,
+    ) -> Self {
+        assert!(!backends.is_empty(), "a fleet needs at least one node");
+        let nodes = backends
+            .into_iter()
+            .map(|backend| {
+                let cost = KnlCostModel::knl();
+                let gpu_spec = GpuSpec::p100();
+                Node {
+                    backend,
+                    signature: match backend {
+                        NodeBackend::Knl => cost.signature(),
+                        NodeBackend::Gpu => gpu_spec.signature(),
+                    },
+                    cost,
+                    gpu_spec,
+                    clock: 0.0,
+                    residents: VecDeque::new(),
+                    max_jobs: config.max_jobs_per_node.max(1),
+                    down_until: 0.0,
+                    downtime: 0.0,
+                    slow_factor: 1.0,
+                    slow_until: 0.0,
+                    health: NodeHealth::default(),
+                }
+            })
+            .collect();
+        Self::from_nodes(config, nodes, store)
+    }
+
+    fn from_nodes(config: FleetConfig, nodes: Vec<Node>, store: Arc<ProfileStore>) -> Self {
         Fleet {
             queue: AdmissionQueue::new(config.queue_capacity),
             config,
@@ -621,76 +724,43 @@ impl Fleet {
     /// Warm-starts `job` on node `node_idx`, charging its (post-warm-start)
     /// profiling cost to the node's clock.
     fn admit_to_node(&mut self, node_idx: usize, job: QueuedJob) {
-        let (signature, node_cost, node_clock) = {
-            let node = &self.nodes[node_idx];
-            (node.signature, node.cost.clone(), node.clock)
-        };
+        let node_clock = self.nodes[node_idx].clock;
         let queue_latency = (node_clock - job.submitted_at).max(0.0);
-
-        let catalog = OpCatalog::new(&job.spec.graph);
-        let keys = catalog.keys().to_vec();
-        let warm = self.store.lookup(signature, &keys);
-        let mut config = self.config.runtime;
-        config.seed = self.job_seed(job.id);
         let budget = self.plan.profiling_step_budget.unwrap_or(u32::MAX);
-        let mut runtime = Runtime::prepare_warm_pooled(
-            &job.spec.graph,
-            node_cost,
-            config,
-            &warm,
-            budget,
-            ProfilerPool::new(self.config.profile_threads),
-        );
-        let profiling_steps = runtime.model().profiling_steps;
-        let degraded_keys = runtime.degraded_keys().len();
-        let seeded_keys = runtime.fit_outcome().seeded_keys;
-        let seed_steps_saved = runtime.fit_outcome().steps_saved;
-        let fitted_keys: Vec<OpKey> = keys
-            .iter()
-            .filter(|k| runtime.model().contains(k))
-            .cloned()
-            .collect();
-        // Publish everything this job measured (and refresh what it reused).
-        self.store.insert_many(signature, &runtime.model().export());
+        let prep = self.prepare_on_node(node_idx, job.id, &job.spec.graph, budget);
 
-        // The cold first job of each model sets the model's baseline cost;
-        // later jobs report how much of it they skipped.
+        // The cold first job of each (model, device class) sets the
+        // baseline profiling cost; later jobs report how much they skipped.
+        let cold_key = format!("{}@{}", job.spec.model, self.nodes[node_idx].backend.name());
         let cold_steps = *self
             .cold_steps_by_model
-            .entry(job.spec.model.clone())
-            .or_insert(profiling_steps);
-        let profiling_steps_saved = cold_steps.saturating_sub(profiling_steps);
+            .entry(cold_key)
+            .or_insert(prep.profiling_steps);
+        let profiling_steps_saved = cold_steps.saturating_sub(prep.profiling_steps);
 
-        runtime.record_trace(self.config.record_traces);
-        let step = runtime.run_step(&job.spec.graph);
-        let chrome_trace = self
-            .config
-            .record_traces
-            .then(|| export_chrome_trace(&job.spec.graph, &step.timings));
-
-        let profiling_secs = profiling_steps as f64 * step.total_secs;
+        let profiling_secs = prep.profiling_steps as f64 * prep.step_secs;
         let node = &mut self.nodes[node_idx];
         node.clock += profiling_secs;
         node.residents.push_back(RunningJob {
             id: job.id,
             spec: job.spec,
-            step_secs: step.total_secs,
+            step_secs: prep.step_secs,
             steps_done: 0,
             submitted_at: job.submitted_at,
             queue_latency,
-            profiling_steps,
+            profiling_steps: prep.profiling_steps,
             profiling_steps_saved,
-            warm_keys: warm.len(),
-            total_keys: keys.len(),
+            warm_keys: prep.warm_keys,
+            total_keys: prep.total_keys,
             profiling_secs,
-            chrome_trace,
-            fitted_keys,
-            budget_spent: profiling_steps,
+            chrome_trace: prep.chrome_trace,
+            fitted_keys: prep.fitted_keys,
+            budget_spent: prep.profiling_steps,
             retries: 0,
             checkpoint_restores: 0,
-            degraded_keys,
-            seeded_keys,
-            seed_steps_saved,
+            degraded_keys: prep.degraded_keys,
+            seeded_keys: prep.seeded_keys,
+            seed_steps_saved: prep.seed_steps_saved,
         });
     }
 
@@ -701,10 +771,6 @@ impl Fleet {
     /// *remaining* budget; keys that do not fit run degraded.
     fn admit_retry_to_node(&mut self, node_idx: usize, retry: RetryJob, now: f64) {
         let mut job = retry.job;
-        let (signature, node_cost) = {
-            let node = &self.nodes[node_idx];
-            (node.signature, node.cost.clone())
-        };
         let resume = self
             .checkpoints
             .latest(job.id)
@@ -716,49 +782,111 @@ impl Fleet {
         job.retries += 1;
         job.steps_done = resume;
 
-        let catalog = OpCatalog::new(&job.spec.graph);
-        let keys = catalog.keys().to_vec();
-        let warm = self.store.lookup(signature, &keys);
-        let mut config = self.config.runtime;
-        config.seed = self.job_seed(job.id);
         let remaining_budget = self
             .plan
             .profiling_step_budget
             .map_or(u32::MAX, |b| b.saturating_sub(job.budget_spent));
-        let mut runtime = Runtime::prepare_warm_pooled(
-            &job.spec.graph,
-            node_cost,
-            config,
-            &warm,
-            remaining_budget,
-            ProfilerPool::new(self.config.profile_threads),
-        );
-        let paid = runtime.model().profiling_steps;
-        self.store.insert_many(signature, &runtime.model().export());
-        job.fitted_keys = keys
-            .iter()
-            .filter(|k| runtime.model().contains(k))
-            .cloned()
-            .collect();
-        job.degraded_keys = runtime.degraded_keys().len();
-        job.seeded_keys += runtime.fit_outcome().seeded_keys;
-        job.seed_steps_saved += runtime.fit_outcome().steps_saved;
-        job.profiling_steps += paid;
-        job.budget_spent = job.budget_spent.saturating_add(paid);
-
-        runtime.record_trace(self.config.record_traces);
-        let step = runtime.run_step(&job.spec.graph);
+        let prep = self.prepare_on_node(node_idx, job.id, &job.spec.graph, remaining_budget);
+        job.fitted_keys = prep.fitted_keys;
+        job.degraded_keys = prep.degraded_keys;
+        job.seeded_keys += prep.seeded_keys;
+        job.seed_steps_saved += prep.seed_steps_saved;
+        job.profiling_steps += prep.profiling_steps;
+        job.budget_spent = job.budget_spent.saturating_add(prep.profiling_steps);
         if self.config.record_traces {
-            job.chrome_trace = Some(export_chrome_trace(&job.spec.graph, &step.timings));
+            job.chrome_trace = prep.chrome_trace;
         }
-        job.step_secs = step.total_secs;
-        let profiling_secs = paid as f64 * step.total_secs;
+        job.step_secs = prep.step_secs;
+        let profiling_secs = prep.profiling_steps as f64 * prep.step_secs;
         job.profiling_secs += profiling_secs;
 
         let node = &mut self.nodes[node_idx];
         // A re-admission cannot happen before the time it was attempted.
         node.clock = node.clock.max(now) + profiling_secs;
         node.residents.push_back(job);
+    }
+
+    /// Profiles `graph` on node `node_idx`'s device, publishes the fitted
+    /// curves into the shared store under the node's signature, measures
+    /// one training step, and (when tracing is on) renders the step's
+    /// Chrome trace — the backend-dispatched core shared by fresh
+    /// admissions and crash re-admissions.
+    fn prepare_on_node(
+        &mut self,
+        node_idx: usize,
+        id: JobId,
+        graph: &DataflowGraph,
+        budget: u32,
+    ) -> PreparedJob {
+        let (signature, backend) = {
+            let node = &self.nodes[node_idx];
+            (node.signature, node.backend)
+        };
+        let catalog = OpCatalog::new(graph);
+        let keys = catalog.keys().to_vec();
+        let warm = self.store.lookup(signature, &keys);
+        let pool = ProfilerPool::new(self.config.profile_threads);
+        match backend {
+            NodeBackend::Knl => {
+                let node_cost = self.nodes[node_idx].cost.clone();
+                let mut config = self.config.runtime;
+                config.seed = self.job_seed(id);
+                let mut runtime =
+                    Runtime::prepare_warm_pooled(graph, node_cost, config, &warm, budget, pool);
+                // Publish everything this job measured (and refresh what it
+                // reused).
+                self.store.insert_many(signature, &runtime.model().export());
+                runtime.record_trace(self.config.record_traces);
+                let step = runtime.run_step(graph);
+                PreparedJob {
+                    step_secs: step.total_secs,
+                    profiling_steps: runtime.model().profiling_steps,
+                    degraded_keys: runtime.degraded_keys().len(),
+                    seeded_keys: runtime.fit_outcome().seeded_keys,
+                    seed_steps_saved: runtime.fit_outcome().steps_saved,
+                    fitted_keys: keys
+                        .iter()
+                        .filter(|k| runtime.model().contains(k))
+                        .cloned()
+                        .collect(),
+                    warm_keys: warm.len(),
+                    total_keys: keys.len(),
+                    chrome_trace: self
+                        .config
+                        .record_traces
+                        .then(|| export_chrome_trace(graph, &step.timings)),
+                }
+            }
+            NodeBackend::Gpu => {
+                let spec = self.nodes[node_idx].gpu_spec;
+                let mut config = self.config.gpu;
+                config.profile.seed = self.job_seed(id);
+                let runtime =
+                    GpuRuntime::prepare_warm_pooled(graph, spec, config, &warm, budget, pool);
+                self.store
+                    .insert_many(signature, &runtime.profile().export());
+                let step = runtime.run_step(graph);
+                PreparedJob {
+                    step_secs: step.total_secs,
+                    profiling_steps: runtime.profile().profiling_steps,
+                    degraded_keys: runtime.degraded_keys().len(),
+                    // Cross-shape seeding is a KNL-profiler feature.
+                    seeded_keys: 0,
+                    seed_steps_saved: 0,
+                    fitted_keys: keys
+                        .iter()
+                        .filter(|k| runtime.profile().contains(k))
+                        .cloned()
+                        .collect(),
+                    warm_keys: warm.len(),
+                    total_keys: keys.len(),
+                    chrome_trace: self.config.record_traces.then(|| {
+                        // One trace lane per CUDA stream.
+                        export_lane_chrome_trace(graph, &step.timings, &step.streams)
+                    }),
+                }
+            }
+        }
     }
 
     /// Firing time of the next unfired fault, if any.
@@ -1023,5 +1151,161 @@ impl Fleet {
             node_downtime_secs: self.nodes.iter().map(|n| n.downtime).collect(),
             jobs,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nnrt_gpu::GpuStrategy;
+
+    fn job(name: &str, batch: usize) -> JobSpec {
+        JobSpec {
+            name: name.to_string(),
+            model: "dcgan".to_string(),
+            graph: nnrt_models::dcgan(batch).graph,
+            steps: 2,
+            priority: 0,
+            weight: 1.0,
+        }
+    }
+
+    fn gpu_config() -> FleetConfig {
+        FleetConfig {
+            node_count: 1,
+            backend: NodeBackend::Gpu,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn gpu_fleet_serves_jobs_and_warm_starts_later_ones() {
+        let mut fleet = Fleet::new(gpu_config());
+        fleet.submit(job("dcgan-0", 4)).unwrap();
+        fleet.submit(job("dcgan-1", 4)).unwrap();
+        let report = fleet.run();
+        assert_eq!(report.jobs.len(), 2);
+        assert!(report.jobs.iter().all(|j| j.steps == 2));
+        // The second job found every curve already in the shared store.
+        assert!(report.profiling_steps_saved_total > 0);
+        let second = report.jobs.iter().find(|j| j.name == "dcgan-1").unwrap();
+        assert_eq!(second.warm_keys, second.total_keys);
+        assert_eq!(second.profiling_steps, 0);
+    }
+
+    #[test]
+    fn gpu_curves_never_leak_into_knl_signatures() {
+        // Satellite: heterogeneous stores keep device classes separate by
+        // construction — a GPU-only run must populate only GPU signatures.
+        let mut fleet = Fleet::new(gpu_config());
+        fleet.submit(job("dcgan-0", 4)).unwrap();
+        let report = fleet.run();
+        assert_eq!(report.jobs.len(), 1);
+
+        let store = fleet.store().clone();
+        assert!(!store.is_empty(), "the GPU job must publish curves");
+        let gpu_sig = GpuSpec::p100().signature();
+        let knl_sig = KnlCostModel::knl().signature();
+        let keys = OpCatalog::new(&nnrt_models::dcgan(4).graph).keys().to_vec();
+        assert!(keys.iter().any(|k| store.contains(gpu_sig, k)));
+        assert!(keys.iter().all(|k| !store.contains(knl_sig, k)));
+
+        // And a KNL fleet sharing the same store starts cold: nothing the
+        // GPU measured is visible under the KNL signature.
+        let mut knl = Fleet::with_backends(
+            FleetConfig {
+                node_count: 1,
+                ..FleetConfig::default()
+            },
+            vec![NodeBackend::Knl],
+            store,
+        );
+        knl.submit(job("dcgan-knl", 4)).unwrap();
+        let knl_report = knl.run();
+        let j = &knl_report.jobs[0];
+        assert_eq!(
+            j.warm_keys, 0,
+            "KNL job must not warm-start from GPU curves"
+        );
+        assert!(j.profiling_steps > 0);
+    }
+
+    #[test]
+    fn mixed_fleet_keeps_per_class_warm_paths() {
+        let config = FleetConfig {
+            node_count: 2,
+            max_jobs_per_node: 1,
+            ..FleetConfig::default()
+        };
+        let mut fleet = Fleet::with_backends(
+            config,
+            vec![NodeBackend::Knl, NodeBackend::Gpu],
+            Arc::new(ProfileStore::new()),
+        );
+        for i in 0..4 {
+            fleet.submit(job(&format!("dcgan-{i}"), 4)).unwrap();
+        }
+        let report = fleet.run();
+        assert_eq!(report.jobs.len(), 4);
+        // Both device classes ended up hosting work, and each class's later
+        // jobs warm-started from its own earlier jobs only.
+        let nodes_used: std::collections::HashSet<u32> =
+            report.jobs.iter().map(|j| j.node).collect();
+        assert_eq!(nodes_used.len(), 2, "both nodes must host jobs");
+        for node in [0u32, 1] {
+            let mut on_node: Vec<_> = report.jobs.iter().filter(|j| j.node == node).collect();
+            on_node.sort_by_key(|j| j.id);
+            assert!(!on_node.is_empty());
+            assert!(
+                on_node[0].profiling_steps > 0,
+                "first job per class is cold"
+            );
+            for later in &on_node[1..] {
+                assert_eq!(
+                    later.profiling_steps, 0,
+                    "later jobs on the same device class are fully warm"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn gpu_fleet_report_is_byte_identical_at_any_profile_thread_count() {
+        // Satellite/acceptance: the GPU fleet honors the same determinism
+        // contract as the KNL fleet — worker count only changes wall-clock.
+        let run_with = |threads: usize| {
+            let mut fleet = Fleet::new(FleetConfig {
+                profile_threads: threads,
+                record_traces: true,
+                ..gpu_config()
+            });
+            fleet.submit(job("dcgan-0", 4)).unwrap();
+            fleet.submit(job("dcgan-1", 8)).unwrap();
+            fleet.run().to_json()
+        };
+        assert_eq!(run_with(1), run_with(4));
+    }
+
+    #[test]
+    fn gpu_stream_strategies_rank_as_the_paper_says() {
+        // Serial >= static-2 >= never worse than controlled by more than
+        // noise: concurrency must help a branchy model.
+        let step_secs = |strategy: GpuStrategy| {
+            let mut fleet = Fleet::new(FleetConfig {
+                gpu: GpuRuntimeConfig {
+                    strategy,
+                    ..GpuRuntimeConfig::default()
+                },
+                ..gpu_config()
+            });
+            fleet.submit(job("dcgan-0", 4)).unwrap();
+            fleet.run().jobs[0].step_secs
+        };
+        let serial = step_secs(GpuStrategy::Serial);
+        let static2 = step_secs(GpuStrategy::Static { streams: 2 });
+        assert!(
+            static2 < serial,
+            "two streams must beat serial: {static2} vs {serial}"
+        );
     }
 }

@@ -58,7 +58,7 @@ pub mod store;
 
 pub use chaos::{FaultEvent, FaultPlan, INITIAL_BACKOFF_SECS, MAX_BACKOFF_SECS};
 pub use checkpoint::{Checkpoint, CheckpointStore};
-pub use fleet::{Fleet, FleetConfig, FleetReport, JobPhase, JobReport, JobStatus};
+pub use fleet::{Fleet, FleetConfig, FleetReport, JobPhase, JobReport, JobStatus, NodeBackend};
 pub use job::{AdmissionQueue, AdmitError, JobId, JobSpec, QueuedJob};
 pub use store::{
     ProfileStore, StoreError, StoreStats, DEFAULT_CAPACITY, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,

@@ -6,23 +6,28 @@
 //! nnrt grid <model> [batch]      uniform (inter, intra) grid sweep
 //! nnrt plan <model> [batch]      the thread plan Strategies 1+2 install
 //! nnrt trace <model> [batch]     write a chrome://tracing JSON of one step
-//! nnrt serve [jobs] [nodes] [seed] [--chaos <seed>]
+//! nnrt serve [jobs] [nodes] [seed] [--backend <knl|gpu>] [--chaos <seed>]
 //!            [--checkpoint-interval <steps>] [--profile-threads <n>] [--json]
 //!                                multi-tenant fleet with a shared profile
-//!                                store; prints the fleet report. `--chaos`
-//!                                arms a seeded fault plan (node crash,
-//!                                straggler, store corruption, profiling
-//!                                budget) sized to the workload by a
-//!                                fault-free dry run; `--profile-threads`
-//!                                shards each job's profiling climbs across
-//!                                n workers (default: available parallelism;
-//!                                1 = the legacy sequential path; any value
-//!                                yields byte-identical reports); `--json`
-//!                                prints the report as JSON instead of text.
+//!                                store; prints the fleet report. `--backend
+//!                                gpu` serves the jobs on P100-class stream
+//!                                runtimes (2-D launch-config climbs +
+//!                                concurrency-controlled co-running) instead
+//!                                of KNL thread pools; `--chaos` arms a
+//!                                seeded fault plan (node crash, straggler,
+//!                                store corruption, profiling budget) sized
+//!                                to the workload by a fault-free dry run;
+//!                                `--profile-threads` shards each job's
+//!                                profiling climbs across n workers
+//!                                (default: available parallelism; 1 = the
+//!                                legacy sequential path; any value yields
+//!                                byte-identical reports); `--json` prints
+//!                                the report as JSON instead of text.
 //!                                Progress goes to stderr, so stdout stays
 //!                                parseable
-//! nnrt serve --listen <addr> [nodes] [seed] [--hold] [--snapshot <path>]
-//!            [--checkpoint-interval <steps>] [--profile-threads <n>] [--json]
+//! nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu>] [--hold]
+//!            [--snapshot <path>] [--checkpoint-interval <steps>]
+//!            [--profile-threads <n>] [--json]
 //!                                run the fleet behind the nnrt-rpc TCP
 //!                                front-end instead of the built-in job mix;
 //!                                `--listen 127.0.0.1:0` picks an ephemeral
@@ -72,8 +77,8 @@ fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
 
 fn usage_text() -> String {
     "usage: nnrt <compare|profile|grid|plan|trace> <model> [batch]\n       \
-     nnrt serve [jobs] [nodes] [seed] [--chaos <seed>] [--checkpoint-interval <steps>] [--profile-threads <n>] [--json]\n       \
-     nnrt serve --listen <addr> [nodes] [seed] [--hold] [--snapshot <path>] [--profile-threads <n>] [--json]\n       \
+     nnrt serve [jobs] [nodes] [seed] [--backend <knl|gpu>] [--chaos <seed>] [--checkpoint-interval <steps>] [--profile-threads <n>] [--json]\n       \
+     nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu>] [--hold] [--snapshot <path>] [--profile-threads <n>] [--json]\n       \
      nnrt submit <addr> <model> [batch] [--steps n] [--priority p] [--weight w] [--name s] [--no-retry]\n       \
      nnrt status <addr> [job_id] | nnrt shutdown <addr> [--json]\n       \
      nnrt gpu | nnrt models | nnrt --help\n\
@@ -153,6 +158,7 @@ fn main() -> ExitCode {
             let mut chaos: Option<u64> = None;
             let mut checkpoint_interval: Option<u32> = None;
             let mut profile_threads: Option<usize> = None;
+            let mut backend = nnrt::serve::NodeBackend::Knl;
             let mut json = false;
             let mut listen: Option<String> = None;
             let mut hold = false;
@@ -160,6 +166,15 @@ fn main() -> ExitCode {
             let mut it = args.iter().skip(1);
             while let Some(arg) = it.next() {
                 match arg.as_str() {
+                    "--backend" => {
+                        match it.next().and_then(|s| nnrt::serve::NodeBackend::parse(s)) {
+                            Some(b) => backend = b,
+                            None => {
+                                eprintln!("--backend needs `knl` or `gpu`");
+                                return usage();
+                            }
+                        }
+                    }
                     "--chaos" => match it.next().and_then(|s| s.parse().ok()) {
                         Some(seed) => chaos = Some(seed),
                         None => {
@@ -220,6 +235,7 @@ fn main() -> ExitCode {
                     &addr,
                     nodes,
                     seed,
+                    backend,
                     checkpoint_interval,
                     profile_threads,
                     hold,
@@ -244,6 +260,7 @@ fn main() -> ExitCode {
                 jobs,
                 nodes,
                 seed,
+                backend,
                 chaos,
                 checkpoint_interval,
                 profile_threads,
@@ -281,10 +298,12 @@ fn main() -> ExitCode {
 /// `--chaos`, a seeded fault plan (sized to the workload via a fault-free
 /// dry run) crashes a node, slows another, and corrupts the store mid-run;
 /// the report then shows retries, checkpoint restores, and degraded keys.
+#[allow(clippy::too_many_arguments)]
 fn run_serve(
     jobs: usize,
     nodes: u32,
     seed: u64,
+    backend: nnrt::serve::NodeBackend,
     chaos: Option<u64>,
     checkpoint_interval: Option<u32>,
     profile_threads: Option<usize>,
@@ -306,6 +325,7 @@ fn run_serve(
         seed,
         checkpoint_interval: checkpoint_interval.unwrap_or(1),
         profile_threads: profile_threads.unwrap_or_else(default_profile_threads),
+        backend,
         ..FleetConfig::default()
     };
     let submit_all = |fleet: &mut Fleet, quiet: bool| {
@@ -329,8 +349,9 @@ fn run_serve(
     // Progress goes to stderr so `--json` (and scripted) stdout stays a
     // single parseable document.
     eprintln!(
-        "serving {jobs} jobs over {nodes} node(s), seed {seed:#x} \
+        "serving {jobs} jobs over {nodes} {} node(s), seed {seed:#x} \
          (mixed workload: {})",
+        backend.name(),
         workload
             .iter()
             .map(|(n, _)| *n)
@@ -374,6 +395,7 @@ fn run_listen(
     addr: &str,
     nodes: u32,
     seed: u64,
+    backend: nnrt::serve::NodeBackend,
     checkpoint_interval: Option<u32>,
     profile_threads: Option<usize>,
     hold: bool,
@@ -389,6 +411,7 @@ fn run_listen(
             seed,
             checkpoint_interval: checkpoint_interval.unwrap_or(1),
             profile_threads: profile_threads.unwrap_or_else(default_profile_threads),
+            backend,
             ..FleetConfig::default()
         },
         drain: if hold {
@@ -409,8 +432,9 @@ fn run_listen(
     println!("listening on {}", server.local_addr());
     let _ = std::io::stdout().flush();
     eprintln!(
-        "serving a {nodes}-node fleet, seed {seed:#x} ({} drain); \
+        "serving a {nodes}-node {} fleet, seed {seed:#x} ({} drain); \
          submit with `nnrt submit {} <model>`, stop with `nnrt shutdown {}`",
+        backend.name(),
         if hold { "on-shutdown" } else { "eager" },
         server.local_addr(),
         server.local_addr()
