@@ -76,4 +76,95 @@ PY
 wait "$rpc_server_pid" || { echo "rpc server exited non-zero" >&2; exit 1; }
 echo "rpc loopback smoke ok (2 jobs, clean shutdown)"
 
+echo "== recovery suite (journal fuzz + kill -9 drill) =="
+cargo test -q --offline --test durable_recovery
+cargo test -q --offline --test decoder_fuzz
+
+# Journaling must be observationally free: a fault-free durable run's
+# report is byte-identical to one without --durable.
+./target/release/nnrt serve 6 2 7 --json > "$tmpdir/plain.json"
+./target/release/nnrt serve 6 2 7 --durable "$tmpdir/durable-free" --json > "$tmpdir/durable.json"
+cmp "$tmpdir/plain.json" "$tmpdir/durable.json" \
+  || { echo "journaling perturbed the report: --durable run differs" >&2; exit 1; }
+echo "durable run byte-identical to in-memory run (6 jobs, seed 7)"
+
+# The kill -9 drill: start a durable run, kill it dead mid-run, restart
+# with --recover, and require the merged completion set to equal an
+# uninterrupted run's — with zero lost profile-store keys. 40 jobs on a
+# single profiling worker keeps the run in flight long enough (~1.7 s)
+# for the journal poll below to catch a placement before completion.
+drill="$tmpdir/drill"
+./target/release/nnrt serve 40 2 7 --durable "$drill" --profile-threads 1 --json \
+  > "$tmpdir/drill-run.json" 2> "$tmpdir/drill-run.err" &
+drill_pid=$!
+# Wait until the run is genuinely mid-flight: at least one job placed.
+placed=0
+for _ in $(seq 1 300); do
+  placed="$(./target/release/nnrt journal "$drill" --json 2>/dev/null \
+    | python3 -c 'import json,sys; print(json.load(sys.stdin)["counts"]["place"])' \
+    || echo 0)"
+  [ "$placed" -ge 1 ] && break
+  kill -0 "$drill_pid" 2>/dev/null || break
+  sleep 0.05
+done
+if kill -9 "$drill_pid" 2>/dev/null; then
+  wait "$drill_pid" 2>/dev/null || true
+  echo "killed durable run mid-flight (pid $drill_pid, $placed placement(s) journaled)"
+else
+  # The run can finish before the poll sees a placement on very fast
+  # machines; recovery of a completed run is still a valid (if easier)
+  # drill.
+  wait "$drill_pid" 2>/dev/null || true
+  echo "durable run finished before the kill; recovering a completed run"
+fi
+# Preserve the crashed state before recovery mutates the directory, for
+# the determinism check below.
+cp -r "$drill" "$tmpdir/drill-copy"
+./target/release/nnrt serve 40 2 7 --durable "$drill" --profile-threads 1 --recover --json \
+  > "$tmpdir/drill-recovered.json" 2> "$tmpdir/drill-recover.err"
+./target/release/nnrt serve 40 2 7 --profile-threads 1 --json \
+  > "$tmpdir/drill-uninterrupted.json" 2>/dev/null
+python3 - "$drill/recovery.json" "$tmpdir/drill-recovered.json" "$tmpdir/drill-uninterrupted.json" <<'PY'
+import json, sys
+recovery = json.load(open(sys.argv[1]))
+recovered = json.load(open(sys.argv[2]))
+baseline = json.load(open(sys.argv[3]))
+
+prior = {j["name"] for j in recovery["jobs_completed"]}
+resumed = {j["name"] for j in recovered["jobs"]}
+assert not (prior & resumed), f"jobs completed twice: {prior & resumed}"
+merged = prior | resumed
+expected = {j["name"] for j in baseline["jobs"]}
+assert merged == expected, (
+    f"lost jobs: {expected - merged}; invented jobs: {merged - expected}"
+)
+
+# Zero lost profile-store keys: every key the uninterrupted run measured
+# is present after recovery (store entries counted in the final reports).
+assert recovered["store_entries"] >= baseline["store_entries"], (
+    f"lost store keys: {recovered['store_entries']} < {baseline['store_entries']}"
+)
+
+# RecoveryReport accounting is exact: the partition covers every admitted
+# job exactly once.
+n = len(recovery["jobs_resumed"]) + len(recovery["jobs_requeued"]) + len(prior)
+assert n == len(expected), f"recovery accounted {n} jobs, admitted {len(expected)}"
+print(
+    f"kill -9 drill ok: {len(prior)} prior + {len(resumed)} recovered "
+    f"= {len(expected)} jobs; {recovered['store_entries']} store keys "
+    f">= {baseline['store_entries']}; "
+    f"{len(recovery['jobs_resumed'])} resumed, "
+    f"{len(recovery['jobs_requeued'])} re-queued, "
+    f"torn tail: {recovery['torn_tail']}"
+)
+PY
+
+# Recovery determinism: recovering the same crashed state twice is
+# byte-identical (report and accounting).
+./target/release/nnrt serve 40 2 7 --durable "$tmpdir/drill-copy" --profile-threads 1 --recover --json \
+  > "$tmpdir/drill-recovered-b.json" 2>/dev/null
+cmp "$tmpdir/drill-recovered.json" "$tmpdir/drill-recovered-b.json" \
+  || { echo "recovery not deterministic: same journal produced different reports" >&2; exit 1; }
+echo "recovery deterministic (same directory, byte-identical recovered report)"
+
 echo "CI green."

@@ -1,0 +1,142 @@
+//! Durability overhead: what the write-ahead journal and background
+//! snapshot flush cost a fault-free run.
+//!
+//! Two claims are measured. First, durability is *observationally free* in
+//! simulated time — the journal is a pure side effect of the run loop, so
+//! the fleet report (makespan, per-job stats) is byte-identical with and
+//! without it. Second, the wall-clock tax of journaling — serialization,
+//! checksums, appends, and periodic snapshot+rotation cuts — stays small
+//! against the simulation itself, and the bench quantifies it per journal
+//! record.
+
+use nnrt_bench::{ExperimentRecord, Table};
+use nnrt_serve::{
+    replay, DurabilityConfig, Fleet, FleetConfig, FleetReport, JobSpec, JOURNAL_FILE,
+};
+use std::path::PathBuf;
+use std::time::Instant;
+
+fn workload() -> Vec<JobSpec> {
+    let models = [
+        ("resnet50", nnrt_models::resnet50(16).graph),
+        ("dcgan", nnrt_models::dcgan(16).graph),
+        ("inception", nnrt_models::inception_v3(4).graph),
+        ("lstm", nnrt_models::lstm(8).graph),
+        ("transformer", nnrt_models::transformer(4).graph),
+    ];
+    (0..10)
+        .map(|i| {
+            let (model, graph) = &models[i % models.len()];
+            JobSpec {
+                name: format!("{model}-{i}"),
+                model: model.to_string(),
+                graph: graph.clone(),
+                steps: 3,
+                priority: (i % 3) as u8,
+                weight: 1.0,
+            }
+        })
+        .collect()
+}
+
+fn run_fleet(durability: Option<DurabilityConfig>) -> (FleetReport, f64) {
+    let config = FleetConfig {
+        node_count: 2,
+        durability,
+        ..FleetConfig::default()
+    };
+    let mut fleet = Fleet::new(config);
+    for spec in workload() {
+        fleet.submit(spec).expect("queue sized for the workload");
+    }
+    let started = Instant::now();
+    let report = fleet.run();
+    (report, started.elapsed().as_secs_f64())
+}
+
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nnrt-bench-durability-{tag}-{}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn main() {
+    let mut record = ExperimentRecord::new(
+        "durability",
+        "Write-ahead journal + snapshot flush: overhead of a fault-free durable run",
+    );
+
+    let (plain, plain_wall) = run_fleet(None);
+
+    // Flush cadences from "journal only" (the final cut is the only flush)
+    // down to an aggressive 5-simulated-second cycle.
+    let cadences: [(&str, f64); 3] = [
+        ("final cut only", f64::INFINITY),
+        ("20 s cadence", 20.0),
+        ("5 s cadence", 5.0),
+    ];
+    let mut t = Table::new([
+        "configuration",
+        "wall (ms)",
+        "overhead",
+        "journal records",
+        "journal bytes",
+        "identical report",
+    ]);
+    t.row([
+        "in-memory".to_string(),
+        format!("{:.1}", plain_wall * 1e3),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+        "—".to_string(),
+    ]);
+
+    for (i, (label, interval)) in cadences.iter().enumerate() {
+        let dir = scratch(&format!("c{i}"));
+        let mut d = DurabilityConfig::new(dir.clone());
+        d.flush_interval_secs = *interval;
+        let (durable, wall) = run_fleet(Some(d));
+        let identical = durable.to_json() == plain.to_json();
+        let journal = std::fs::read(dir.join(JOURNAL_FILE)).expect("journal exists");
+        let records = replay(&journal).records.len();
+        t.row([
+            label.to_string(),
+            format!("{:.1}", wall * 1e3),
+            format!("{:+.1}%", (wall / plain_wall - 1.0) * 100.0),
+            records.to_string(),
+            journal.len().to_string(),
+            if identical { "yes" } else { "NO" }.to_string(),
+        ]);
+        assert!(
+            identical,
+            "{label}: durability must not perturb the simulation"
+        );
+        if i == 0 {
+            record.push("journal_bytes_final_cut", journal.len() as f64, f64::NAN);
+        }
+        record.push(
+            &format!("wall_overhead_frac_{}", ["inf", "20s", "5s"][i]),
+            wall / plain_wall - 1.0,
+            f64::NAN,
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+    t.print("10 mixed jobs over 2 KNL nodes, journaled to a temp directory");
+
+    record.push("plain_wall_s", plain_wall, f64::NAN);
+    record.push("makespan_delta_s", 0.0, f64::NAN);
+    record.notes(
+        "Simulated makespan delta is identically zero: the journal and the \
+         snapshot flush are pure side effects of the deterministic run \
+         loop, asserted here by byte-comparing the fleet reports. The wall \
+         overhead is the cost of serializing, checksumming, and appending \
+         each state transition plus the periodic snapshot+rotation cut; \
+         tighter cadences pay more rotations for a shorter replay after a \
+         crash.",
+    );
+    record.write();
+}

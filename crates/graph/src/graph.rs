@@ -81,7 +81,7 @@ impl std::error::Error for GraphError {}
 ///
 /// Construction is append-only: dependencies must reference already-added
 /// nodes, which makes every constructed graph acyclic by construction.
-#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct DataflowGraph {
     nodes: Vec<OpInstance>,
     /// Predecessors of each node.

@@ -46,4 +46,7 @@ pub use protocol::{
     decode, encode, read_frame, write_frame, ErrorFrame, ErrorKind, FrameError, Request, Response,
     SnapshotInfo, SubmitSpec, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
-pub use server::{DrainPolicy, FleetServer, ServerConfig, INBOX_RETRY_SECS};
+pub use server::{
+    DrainPolicy, FleetServer, ServerConfig, CONNECTION_RETRY_SECS, DEFAULT_IDLE_TIMEOUT,
+    DEFAULT_MAX_CONNECTIONS, INBOX_RETRY_SECS,
+};

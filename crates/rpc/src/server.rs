@@ -36,7 +36,7 @@ use std::collections::HashMap;
 use std::io;
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
@@ -55,6 +55,19 @@ const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
 /// Poll interval of the (non-blocking) accept loop and the idle service
 /// loop, wall-clock.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
+
+/// Default cap on concurrently served connections; accepts beyond it bounce
+/// with a typed [`ErrorKind::Saturated`] frame instead of pinning another
+/// reader thread.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+
+/// Default per-connection idle read timeout: a client that holds a
+/// connection open without sending a complete frame for this long is
+/// disconnected, freeing its reader thread.
+pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Retry hint carried by connection-cap rejections, seconds.
+pub const CONNECTION_RETRY_SECS: f64 = 0.5;
 
 /// When the fleet executes queued work.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -82,6 +95,12 @@ pub struct ServerConfig {
     /// Where the graceful shutdown writes the profile-store snapshot
     /// (`None` skips persistence).
     pub snapshot_path: Option<PathBuf>,
+    /// Cap on concurrently served connections; accepts beyond it answer one
+    /// `Saturated` error frame and close.
+    pub max_connections: usize,
+    /// Per-connection idle read timeout: no complete frame within this
+    /// window closes the connection.
+    pub idle_timeout: Duration,
 }
 
 impl Default for ServerConfig {
@@ -91,6 +110,8 @@ impl Default for ServerConfig {
             drain: DrainPolicy::Eager,
             inbox_capacity: 64,
             snapshot_path: None,
+            max_connections: DEFAULT_MAX_CONNECTIONS,
+            idle_timeout: DEFAULT_IDLE_TIMEOUT,
         }
     }
 }
@@ -115,7 +136,7 @@ impl FleetServer {
     /// Binds `addr` (use port 0 for an ephemeral port) and starts serving a
     /// fresh fleet built from `config.fleet`.
     pub fn bind(addr: impl ToSocketAddrs, config: ServerConfig) -> io::Result<FleetServer> {
-        let fleet = Fleet::new(config.fleet);
+        let fleet = Fleet::new(config.fleet.clone());
         Self::bind_with_fleet(addr, fleet, config)
     }
 
@@ -133,6 +154,11 @@ impl FleetServer {
         let stop = Arc::new(AtomicBool::new(false));
         let final_report = Arc::new(Mutex::new(None));
         let (inbox, commands) = mpsc::sync_channel(config.inbox_capacity.max(1));
+        let limits = ConnectionLimits {
+            max_connections: config.max_connections.max(1),
+            idle_timeout: config.idle_timeout,
+            live: Arc::new(AtomicUsize::new(0)),
+        };
 
         let service_handle = {
             let stop = Arc::clone(&stop);
@@ -152,7 +178,7 @@ impl FleetServer {
 
         let accept_handle = {
             let stop = Arc::clone(&stop);
-            thread::spawn(move || accept_loop(listener, inbox, stop))
+            thread::spawn(move || accept_loop(listener, inbox, stop, limits))
         };
 
         Ok(FleetServer {
@@ -185,13 +211,61 @@ impl FleetServer {
     }
 }
 
-fn accept_loop(listener: TcpListener, inbox: SyncSender<Command>, stop: Arc<AtomicBool>) {
+/// Connection-admission policy shared by the accept loop and its reader
+/// threads.
+#[derive(Clone)]
+struct ConnectionLimits {
+    max_connections: usize,
+    idle_timeout: Duration,
+    live: Arc<AtomicUsize>,
+}
+
+/// Decrements the live-connection count when a reader thread exits, however
+/// it exits.
+struct ConnectionGuard(Arc<AtomicUsize>);
+
+impl Drop for ConnectionGuard {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+fn accept_loop(
+    listener: TcpListener,
+    inbox: SyncSender<Command>,
+    stop: Arc<AtomicBool>,
+    limits: ConnectionLimits,
+) {
     while !stop.load(Ordering::SeqCst) {
         match listener.accept() {
-            Ok((stream, _peer)) => {
+            Ok((mut stream, _peer)) => {
                 let _ = stream.set_nodelay(true);
+                // Claim a connection slot before spawning; over the cap the
+                // client gets one typed Saturated frame and a close, and no
+                // reader thread is pinned.
+                let prior = limits.live.fetch_add(1, Ordering::SeqCst);
+                if prior >= limits.max_connections {
+                    limits.live.fetch_sub(1, Ordering::SeqCst);
+                    let reject = Response::Error(ErrorFrame {
+                        kind: ErrorKind::Saturated,
+                        message: format!(
+                            "server is at its connection cap ({})",
+                            limits.max_connections
+                        ),
+                        retry_after_secs: Some(CONNECTION_RETRY_SECS),
+                    });
+                    thread::spawn(move || {
+                        let _ = write_frame(&mut stream, &encode(&reject));
+                    });
+                    continue;
+                }
+                let guard = ConnectionGuard(Arc::clone(&limits.live));
                 let inbox = inbox.clone();
-                thread::spawn(move || serve_connection(stream, inbox));
+                let idle_timeout = limits.idle_timeout;
+                thread::spawn(move || {
+                    let _guard = guard;
+                    serve_connection(stream, inbox, idle_timeout)
+                });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
             Err(_) => break,
@@ -200,8 +274,13 @@ fn accept_loop(listener: TcpListener, inbox: SyncSender<Command>, stop: Arc<Atom
 }
 
 /// Reads frames off one connection until EOF, dispatching each request
-/// through the bounded inbox and writing the response frame back.
-fn serve_connection(mut stream: TcpStream, inbox: SyncSender<Command>) {
+/// through the bounded inbox and writing the response frame back. A client
+/// that stays silent past `idle_timeout` (no complete frame) is dropped —
+/// the read times out with an I/O error, which closes the stream below.
+fn serve_connection(mut stream: TcpStream, inbox: SyncSender<Command>, idle_timeout: Duration) {
+    if !idle_timeout.is_zero() {
+        let _ = stream.set_read_timeout(Some(idle_timeout));
+    }
     loop {
         let response = match read_frame(&mut stream) {
             Ok(payload) => match decode::<Request>(&payload) {
@@ -337,7 +416,8 @@ impl ServiceLoop {
                 // same code path the in-process API uses, then flush.
                 let report = self.fleet.run().to_json();
                 if let Some(path) = &self.config.snapshot_path {
-                    if let Err(e) = std::fs::write(path, self.fleet.store().snapshot()) {
+                    let snapshot = self.fleet.store().snapshot();
+                    if let Err(e) = nnrt_serve::write_atomic(path, snapshot.as_bytes()) {
                         eprintln!("nnrt-rpc: snapshot write to {} failed: {e}", path.display());
                     }
                 }

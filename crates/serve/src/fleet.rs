@@ -34,7 +34,11 @@
 use crate::chaos::{FaultEvent, FaultPlan, INITIAL_BACKOFF_SECS, MAX_BACKOFF_SECS};
 use crate::checkpoint::{Checkpoint, CheckpointStore};
 use crate::job::{AdmissionQueue, AdmitError, JobId, JobSpec, QueuedJob};
-use crate::store::ProfileStore;
+use crate::journal::{
+    replay, write_atomic, Journal, JournalRecord, JOURNAL_FILE, JOURNAL_FORMAT, JOURNAL_VERSION,
+    SNAPSHOT_FILE,
+};
+use crate::store::{ProfileStore, StoreError};
 use nnrt_gpu::{GpuRuntime, GpuRuntimeConfig, GpuSpec};
 use nnrt_graph::{DataflowGraph, OpKey};
 use nnrt_manycore::{KnlCostModel, MachineSignature, NodeHealth};
@@ -42,7 +46,9 @@ use nnrt_sched::{
     export_chrome_trace, export_lane_chrome_trace, OpCatalog, ProfilerPool, Runtime, RuntimeConfig,
 };
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+use std::path::PathBuf;
 use std::sync::Arc;
 
 /// The device class of a fleet node. Each backend profiles and executes
@@ -78,8 +84,39 @@ impl NodeBackend {
     }
 }
 
+/// Default seconds of simulated time between durable flushes (store
+/// snapshot + journal rotation).
+pub const DEFAULT_FLUSH_INTERVAL_SECS: f64 = 20.0;
+
+/// Where and how often a fleet persists its state. Attached to
+/// [`FleetConfig::durability`]; `None` (the default) runs fully in memory
+/// with zero filesystem traffic.
+#[derive(Debug, Clone)]
+pub struct DurabilityConfig {
+    /// Directory holding `journal.log` and `store.json` (created if
+    /// missing).
+    pub dir: PathBuf,
+    /// Simulated seconds between background flushes — each flush writes the
+    /// store snapshot atomically and rotates the journal to a compacted
+    /// prologue at the same instant, forming a consistent cut.
+    /// `f64::INFINITY` disables periodic flushes (the journal alone still
+    /// captures everything; the final flush at drain still runs). Must be
+    /// positive.
+    pub flush_interval_secs: f64,
+}
+
+impl DurabilityConfig {
+    /// Durability in `dir` with the default flush interval.
+    pub fn new(dir: impl Into<PathBuf>) -> Self {
+        DurabilityConfig {
+            dir: dir.into(),
+            flush_interval_secs: DEFAULT_FLUSH_INTERVAL_SECS,
+        }
+    }
+}
+
 /// Fleet-level configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct FleetConfig {
     /// Number of identical nodes of `backend`; heterogeneous fleets use
     /// [`Fleet::with_cost_models`] or [`Fleet::with_backends`].
@@ -110,6 +147,13 @@ pub struct FleetConfig {
     /// profiling noise) for GPU nodes; KNL nodes ignore it. The per-job
     /// profiling seed is derived from `seed` exactly like the KNL path.
     pub gpu: GpuRuntimeConfig,
+    /// When set, the fleet journals every state transition to
+    /// `durability.dir` and periodically flushes the store snapshot, so
+    /// [`Fleet::recover`] can rebuild the fleet after the process dies.
+    /// Journaling is a pure side effect of the simulated run loop: a
+    /// durable fault-free run's report is byte-identical to a
+    /// non-durable one.
+    pub durability: Option<DurabilityConfig>,
 }
 
 impl Default for FleetConfig {
@@ -125,6 +169,7 @@ impl Default for FleetConfig {
             profile_threads: 1,
             backend: NodeBackend::Knl,
             gpu: GpuRuntimeConfig::default(),
+            durability: None,
         }
     }
 }
@@ -197,6 +242,139 @@ struct RetryJob {
     /// [`MAX_BACKOFF_SECS`]).
     backoff_secs: f64,
 }
+
+/// The live durability machinery of one fleet: the open journal plus the
+/// flush schedule. Present only when [`FleetConfig::durability`] is set.
+struct Durable {
+    journal: Journal,
+    dir: PathBuf,
+    flush_interval_secs: f64,
+    /// Simulated time of the next background flush.
+    next_flush_at: f64,
+}
+
+/// A job that completed in a *previous* process incarnation, recovered from
+/// the journal. Kept so status queries for old ids keep answering and so
+/// journal rotation re-records the completion.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct PriorCompleted {
+    /// Job id (fleet-unique across incarnations).
+    pub id: u64,
+    /// Job name.
+    pub name: String,
+    /// Model family.
+    pub model: String,
+    /// Training steps executed.
+    pub steps: u32,
+    /// Node the job finished on.
+    pub node: u32,
+    /// Simulated completion time in its own incarnation.
+    pub completed_at: f64,
+}
+
+/// What [`Fleet::recover`] reconstructed from a durable directory. The
+/// accounting is exact and deterministic: every job id the journal admitted
+/// appears in exactly one of `jobs_resumed`, `jobs_requeued`, or
+/// `jobs_completed`.
+#[derive(Debug, Clone, Serialize)]
+pub struct RecoveryReport {
+    /// Journal records applied (the header excluded).
+    pub journal_records: usize,
+    /// Description of the torn tail that ended the replay, if the log did
+    /// not parse to its end (`null` for a clean log).
+    pub torn_tail: Option<String>,
+    /// Bytes of undecodable tail discarded.
+    pub torn_bytes_discarded: u64,
+    /// Whether a store snapshot was found and merged.
+    pub snapshot_restored: bool,
+    /// Curve pairs restored from the snapshot.
+    pub keys_restored: usize,
+    /// Curve pairs re-applied from journaled `store_insert` deltas (the
+    /// WAL suffix past the last snapshot flush).
+    pub store_delta_keys: usize,
+    /// Ids of jobs that were mid-run at the crash, re-entering via the
+    /// retry path and resuming from their latest journaled checkpoint.
+    pub jobs_resumed: Vec<u64>,
+    /// Ids of admitted-but-never-placed jobs, re-enqueued under their
+    /// original ids in original admission order.
+    pub jobs_requeued: Vec<u64>,
+    /// Jobs that had already completed before the crash.
+    pub jobs_completed: Vec<PriorCompleted>,
+}
+
+impl RecoveryReport {
+    /// Canonical pretty-printed JSON (field order fixed, so two recoveries
+    /// of the same directory are byte-identical).
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("recovery report serializes")
+    }
+
+    /// One-paragraph human-readable summary.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "recovered: {} resumed, {} re-queued, {} already complete",
+            self.jobs_resumed.len(),
+            self.jobs_requeued.len(),
+            self.jobs_completed.len()
+        );
+        let _ = writeln!(
+            out,
+            "store: {} keys from snapshot, {} from journal deltas",
+            self.keys_restored, self.store_delta_keys
+        );
+        match &self.torn_tail {
+            Some(err) => {
+                let _ = writeln!(
+                    out,
+                    "journal: {} records applied, torn tail discarded ({} bytes: {err})",
+                    self.journal_records, self.torn_bytes_discarded
+                );
+            }
+            None => {
+                let _ = writeln!(
+                    out,
+                    "journal: {} records applied, clean tail",
+                    self.journal_records
+                );
+            }
+        }
+        out
+    }
+}
+
+/// A typed failure of [`Fleet::recover`].
+#[derive(Debug)]
+pub enum RecoverError {
+    /// The config carries no [`DurabilityConfig`] to recover from.
+    NotDurable,
+    /// Reading the durable directory failed (other than files simply being
+    /// absent, which recovers to an empty fleet).
+    Io(std::io::Error),
+    /// The store snapshot exists but does not restore.
+    Snapshot(StoreError),
+    /// The journal exists but is structurally unusable (bad header, wrong
+    /// format or version). Torn *tails* are not errors — they are
+    /// discarded and reported in the [`RecoveryReport`].
+    Journal(String),
+}
+
+impl fmt::Display for RecoverError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RecoverError::NotDurable => {
+                write!(f, "recovery needs a FleetConfig with durability set")
+            }
+            RecoverError::Io(e) => write!(f, "cannot read durable directory: {e}"),
+            RecoverError::Snapshot(e) => write!(f, "store snapshot does not restore: {e}"),
+            RecoverError::Journal(msg) => write!(f, "unusable journal: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RecoverError {}
 
 /// One completed job's statistics.
 #[derive(Debug, Clone, Serialize)]
@@ -434,11 +612,23 @@ pub struct Fleet {
     event_cursor: usize,
     retries: Vec<RetryJob>,
     checkpoints: CheckpointStore,
+    durable: Option<Durable>,
+    /// Jobs completed in previous incarnations (populated by
+    /// [`Fleet::recover`]); visible to status queries and journal rotation,
+    /// excluded from this incarnation's [`FleetReport`].
+    prior_completed: Vec<PriorCompleted>,
 }
 
 impl Fleet {
     /// A fleet of `config.node_count` identical nodes of `config.backend`
     /// with a fresh shared store.
+    ///
+    /// # Panics
+    /// When `config.durability` is set and its directory cannot be
+    /// initialized (unwritable path, full disk) — a configuration error
+    /// worth failing loudly on, not limping past. I/O errors *later* in a
+    /// durable run instead print a warning and disable journaling, keeping
+    /// the fleet available.
     pub fn new(config: FleetConfig) -> Self {
         let backends = vec![config.backend; config.node_count as usize];
         Self::with_backends(config, backends, Arc::new(ProfileStore::new()))
@@ -511,7 +701,7 @@ impl Fleet {
     }
 
     fn from_nodes(config: FleetConfig, nodes: Vec<Node>, store: Arc<ProfileStore>) -> Self {
-        Fleet {
+        let mut fleet = Fleet {
             queue: AdmissionQueue::new(config.queue_capacity),
             config,
             nodes,
@@ -524,6 +714,163 @@ impl Fleet {
             event_cursor: 0,
             retries: Vec::new(),
             checkpoints: CheckpointStore::new(),
+            durable: None,
+            prior_completed: Vec::new(),
+        };
+        fleet.init_durable();
+        fleet
+    }
+
+    /// Opens the journal and cuts the first snapshot+journal pair when the
+    /// config asks for durability. Construction-time I/O failure panics
+    /// (see [`Fleet::new`]).
+    fn init_durable(&mut self) {
+        let Some(cfg) = self.config.durability.clone() else {
+            return;
+        };
+        assert!(
+            cfg.flush_interval_secs > 0.0,
+            "durability flush interval must be positive (got {})",
+            cfg.flush_interval_secs
+        );
+        let journal = Journal::create(&cfg.dir).unwrap_or_else(|e| {
+            panic!(
+                "cannot initialize durable directory {}: {e}",
+                cfg.dir.display()
+            )
+        });
+        self.durable = Some(Durable {
+            journal,
+            dir: cfg.dir,
+            flush_interval_secs: cfg.flush_interval_secs,
+            next_flush_at: cfg.flush_interval_secs,
+        });
+        self.flush_durable();
+    }
+
+    /// Appends one record to the journal. A failed append prints a warning
+    /// and disables durability for the rest of the run — availability over
+    /// durability once the disk misbehaves mid-flight.
+    fn journal_append(&mut self, rec: JournalRecord) {
+        let Some(d) = self.durable.as_mut() else {
+            return;
+        };
+        if let Err(e) = d.journal.append(&rec) {
+            eprintln!("nnrt-serve: journal append failed ({e}); disabling durability");
+            self.durable = None;
+        }
+    }
+
+    /// The compacted prologue a journal rotation installs: completions
+    /// (prior incarnations' and this one's), then every live job in id
+    /// (= admission) order with its placement state and latest checkpoint.
+    /// Store contents are *not* re-recorded — the snapshot flushed at the
+    /// same instant covers them.
+    fn compacted_records(&self) -> Vec<JournalRecord> {
+        enum Whereabouts {
+            Queued,
+            Resident(u32),
+            Evicted(f64),
+        }
+        let mut recs = Vec::new();
+        for p in &self.prior_completed {
+            recs.push(JournalRecord::Complete {
+                id: p.id,
+                name: p.name.clone(),
+                model: p.model.clone(),
+                steps: p.steps,
+                node: p.node,
+                at: p.completed_at,
+            });
+        }
+        for j in &self.completed {
+            recs.push(JournalRecord::Complete {
+                id: j.id,
+                name: j.name.clone(),
+                model: j.model.clone(),
+                steps: j.steps,
+                node: j.node,
+                at: j.completed_at,
+            });
+        }
+        let mut live: Vec<(u64, &JobSpec, Whereabouts)> = Vec::new();
+        for q in self.queue.iter() {
+            live.push((q.id.0, &q.spec, Whereabouts::Queued));
+        }
+        for (idx, node) in self.nodes.iter().enumerate() {
+            for j in &node.residents {
+                live.push((j.id.0, &j.spec, Whereabouts::Resident(idx as u32)));
+            }
+        }
+        for r in &self.retries {
+            live.push((r.job.id.0, &r.job.spec, Whereabouts::Evicted(r.eligible_at)));
+        }
+        live.sort_by_key(|(id, _, _)| *id);
+        for (id, spec, whereabouts) in live {
+            recs.push(JournalRecord::Admit {
+                id,
+                name: spec.name.clone(),
+                model: spec.model.clone(),
+                steps: spec.steps,
+                priority: spec.priority,
+                weight: spec.weight,
+                graph: spec.graph.clone(),
+            });
+            match whereabouts {
+                Whereabouts::Queued => {}
+                Whereabouts::Resident(node) => recs.push(JournalRecord::Place { id, node }),
+                // The timestamp is the retry-eligibility time; recovery
+                // only reads it as "this job was placed once".
+                Whereabouts::Evicted(at) => recs.push(JournalRecord::Evict { id, at }),
+            }
+            if let Some(c) = self.checkpoints.latest(JobId(id)) {
+                recs.push(JournalRecord::Checkpoint {
+                    id,
+                    steps_done: c.steps_done,
+                    at: c.at,
+                    fitted_keys: c.fitted_keys.clone(),
+                });
+            }
+        }
+        recs
+    }
+
+    /// Writes the store snapshot atomically and rotates the journal to the
+    /// compacted prologue — one consistent cut. A failed flush prints a
+    /// warning and disables durability for the rest of the run.
+    fn flush_durable(&mut self) {
+        if self.durable.is_none() {
+            return;
+        }
+        let prologue = self.compacted_records();
+        let snapshot = self.store.snapshot();
+        let d = self.durable.as_mut().expect("durable checked above");
+        let result = write_atomic(&d.dir.join(SNAPSHOT_FILE), snapshot.as_bytes())
+            .and_then(|()| d.journal.rotate(&prologue));
+        if let Err(e) = result {
+            eprintln!("nnrt-serve: durable flush failed ({e}); disabling durability");
+            self.durable = None;
+        }
+    }
+
+    /// Runs the background flush when the simulated clock has crossed the
+    /// schedule. Driven from the run loop itself (not a wall-clock thread)
+    /// so flush points are a pure function of the simulated run — the
+    /// determinism contract every report check pins.
+    fn maybe_flush_durable(&mut self) {
+        let now = self.now();
+        let due = match &self.durable {
+            Some(d) => now.is_finite() && now >= d.next_flush_at,
+            None => false,
+        };
+        if !due {
+            return;
+        }
+        self.flush_durable();
+        if let Some(d) = self.durable.as_mut() {
+            while d.next_flush_at <= now {
+                d.next_flush_at += d.flush_interval_secs;
+            }
         }
     }
 
@@ -573,6 +920,17 @@ impl Fleet {
                 steps_done: j.steps,
                 steps: j.steps,
                 node: Some(j.node),
+            });
+        }
+        if let Some(p) = self.prior_completed.iter().find(|p| p.id == id.0) {
+            return Some(JobStatus {
+                id: p.id,
+                name: p.name.clone(),
+                model: p.model.clone(),
+                phase: JobPhase::Completed,
+                steps_done: p.steps,
+                steps: p.steps,
+                node: Some(p.node),
             });
         }
         for (node_idx, node) in self.nodes.iter().enumerate() {
@@ -627,8 +985,22 @@ impl Fleet {
         let id = JobId(self.next_id);
         let now = self.now();
         let hint = self.saturation_hint();
+        // Build the admit record up front (the queue consumes the spec);
+        // rejected submissions never reach the journal.
+        let rec = self.durable.is_some().then(|| JournalRecord::Admit {
+            id: id.0,
+            name: spec.name.clone(),
+            model: spec.model.clone(),
+            steps: spec.steps,
+            priority: spec.priority,
+            weight: spec.weight,
+            graph: spec.graph.clone(),
+        });
         self.queue.submit(id, spec, now, hint)?;
         self.next_id += 1;
+        if let Some(rec) = rec {
+            self.journal_append(rec);
+        }
         Ok(id)
     }
 
@@ -724,6 +1096,12 @@ impl Fleet {
     /// Warm-starts `job` on node `node_idx`, charging its (post-warm-start)
     /// profiling cost to the node's clock.
     fn admit_to_node(&mut self, node_idx: usize, job: QueuedJob) {
+        if self.durable.is_some() {
+            self.journal_append(JournalRecord::Place {
+                id: job.id.0,
+                node: node_idx as u32,
+            });
+        }
         let node_clock = self.nodes[node_idx].clock;
         let queue_latency = (node_clock - job.submitted_at).max(0.0);
         let budget = self.plan.profiling_step_budget.unwrap_or(u32::MAX);
@@ -771,6 +1149,12 @@ impl Fleet {
     /// *remaining* budget; keys that do not fit run degraded.
     fn admit_retry_to_node(&mut self, node_idx: usize, retry: RetryJob, now: f64) {
         let mut job = retry.job;
+        if self.durable.is_some() {
+            self.journal_append(JournalRecord::Retry {
+                id: job.id.0,
+                node: node_idx as u32,
+            });
+        }
         let resume = self
             .checkpoints
             .latest(job.id)
@@ -834,8 +1218,17 @@ impl Fleet {
                 let mut runtime =
                     Runtime::prepare_warm_pooled(graph, node_cost, config, &warm, budget, pool);
                 // Publish everything this job measured (and refresh what it
-                // reused).
-                self.store.insert_many(signature, &runtime.model().export());
+                // reused). The journal gets the same delta: it is a
+                // write-ahead log over the store, so a crash between
+                // snapshot flushes loses no measured key.
+                let published = runtime.model().export();
+                self.store.insert_many(signature, &published);
+                if self.durable.is_some() {
+                    self.journal_append(JournalRecord::StoreInsert {
+                        machine: signature,
+                        profiles: published,
+                    });
+                }
                 runtime.record_trace(self.config.record_traces);
                 let step = runtime.run_step(graph);
                 PreparedJob {
@@ -863,8 +1256,14 @@ impl Fleet {
                 config.profile.seed = self.job_seed(id);
                 let runtime =
                     GpuRuntime::prepare_warm_pooled(graph, spec, config, &warm, budget, pool);
-                self.store
-                    .insert_many(signature, &runtime.profile().export());
+                let published = runtime.profile().export();
+                self.store.insert_many(signature, &published);
+                if self.durable.is_some() {
+                    self.journal_append(JournalRecord::StoreInsert {
+                        machine: signature,
+                        profiles: published,
+                    });
+                }
                 let step = runtime.run_step(graph);
                 PreparedJob {
                     step_secs: step.total_secs,
@@ -919,6 +1318,12 @@ impl Fleet {
                 n.health.reset();
                 let evicted: Vec<RunningJob> = n.residents.drain(..).collect();
                 for job in evicted {
+                    if self.durable.is_some() {
+                        self.journal_append(JournalRecord::Evict {
+                            id: job.id.0,
+                            at: start,
+                        });
+                    }
                     self.retries.push(RetryJob {
                         job,
                         eligible_at: start + INITIAL_BACKOFF_SECS,
@@ -1018,10 +1423,28 @@ impl Fleet {
                         at: clock,
                     },
                 );
+                if self.durable.is_some() {
+                    self.journal_append(JournalRecord::Checkpoint {
+                        id: job.id.0,
+                        steps_done: job.steps_done,
+                        at: clock,
+                        fitted_keys: job.fitted_keys.clone(),
+                    });
+                }
             }
             self.nodes[node_idx].residents.push_back(job);
         } else {
             self.checkpoints.remove(job.id);
+            if self.durable.is_some() {
+                self.journal_append(JournalRecord::Complete {
+                    id: job.id.0,
+                    name: job.spec.name.clone(),
+                    model: job.spec.model.clone(),
+                    steps: job.steps_done,
+                    node: node_idx as u32,
+                    at: clock,
+                });
+            }
             self.completed.push(JobReport {
                 id: job.id.0,
                 name: job.spec.name,
@@ -1055,7 +1478,12 @@ impl Fleet {
     /// boundaries of the simulated clock.
     pub fn run(&mut self) -> FleetReport {
         self.place_queued();
-        while self.tick_once() {}
+        while self.tick_once() {
+            self.maybe_flush_durable();
+        }
+        // The drained fleet is itself a consistent cut: after this flush the
+        // journal holds a Complete record for every job the run finished.
+        self.flush_durable();
         self.report()
     }
 
@@ -1069,7 +1497,11 @@ impl Fleet {
     /// chaos events, checkpoints, and the final report are preserved.
     pub fn tick(&mut self) -> bool {
         self.place_queued();
-        self.tick_once()
+        let progressed = self.tick_once();
+        if progressed {
+            self.maybe_flush_durable();
+        }
+        progressed
     }
 
     /// One iteration of the service loop (placement of new arrivals is the
@@ -1107,6 +1539,272 @@ impl Fleet {
         };
         self.step_node(node_idx);
         true
+    }
+
+    /// Jobs completed in previous process incarnations, recovered from the
+    /// journal (empty unless this fleet came from [`Fleet::recover`]).
+    pub fn prior_completed(&self) -> &[PriorCompleted] {
+        &self.prior_completed
+    }
+
+    /// Rebuilds a fleet from the durable directory named by
+    /// `config.durability` after the previous process died.
+    ///
+    /// The snapshot (if present) seeds the store; journaled `store_insert`
+    /// deltas past the snapshot cut are re-applied on top, so no measured
+    /// key is lost at *any* crash point. Jobs classify three ways, exactly
+    /// partitioning the admitted set:
+    ///
+    /// * **completed** — a `complete` record exists; kept as
+    ///   [`PriorCompleted`] (status queries keep answering, rotation keeps
+    ///   re-recording them) but excluded from the new incarnation's report.
+    /// * **resumed** — admitted and placed but not completed; re-enters via
+    ///   the retry path at simulated time 0 and resumes from its latest
+    ///   journaled checkpoint (work past that checkpoint is redone — its
+    ///   report honestly shows `retries >= 1`).
+    /// * **re-queued** — admitted but never placed; re-enqueued under its
+    ///   original id, and ids preserve the original admission order.
+    ///
+    /// A torn journal tail (the normal aftermath of `kill -9` mid-append)
+    /// is discarded and reported; a structurally bad journal or snapshot is
+    /// a typed [`RecoverError`]. The recovered fleet runs on the same
+    /// node/backend layout as `config` describes (heterogeneous
+    /// [`Fleet::with_backends`] fleets are not recoverable — pass the same
+    /// uniform config the original run used). The fault plan is *not*
+    /// restored; a recovered run starts fault-free. Recovery ends by
+    /// cutting a fresh snapshot+journal pair, so a crash during a crash
+    /// recovers from this cut rather than from scratch.
+    pub fn recover(config: FleetConfig) -> Result<(Fleet, RecoveryReport), RecoverError> {
+        let durability = config.durability.clone().ok_or(RecoverError::NotDurable)?;
+        let dir = &durability.dir;
+        let snapshot_text = match std::fs::read_to_string(dir.join(SNAPSHOT_FILE)) {
+            Ok(text) => Some(text),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+            Err(e) => return Err(RecoverError::Io(e)),
+        };
+        let journal_bytes = match std::fs::read(dir.join(JOURNAL_FILE)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+            Err(e) => return Err(RecoverError::Io(e)),
+        };
+        let rep = replay(&journal_bytes);
+        // The header always arrives whole (rotation renames a complete
+        // file), so a log that fails to lead with this build's header is
+        // the wrong file, not a torn tail.
+        match rep.records.first() {
+            Some(JournalRecord::Header { format, version }) => {
+                if format != JOURNAL_FORMAT {
+                    return Err(RecoverError::Journal(format!(
+                        "journal format `{format}` is not `{JOURNAL_FORMAT}`"
+                    )));
+                }
+                if *version != JOURNAL_VERSION {
+                    return Err(RecoverError::Journal(format!(
+                        "journal version {version} is not supported (expected {JOURNAL_VERSION})"
+                    )));
+                }
+            }
+            Some(other) => {
+                return Err(RecoverError::Journal(format!(
+                    "journal does not start with a header record (found `{}`)",
+                    other.tag()
+                )))
+            }
+            None if !journal_bytes.is_empty() => {
+                return Err(RecoverError::Journal(format!(
+                    "journal has no decodable header: {}",
+                    rep.torn
+                        .as_ref()
+                        .map(|e| e.to_string())
+                        .unwrap_or_else(|| "empty replay".to_string())
+                )))
+            }
+            None => {}
+        }
+
+        // Build the fleet with durability detached: attaching it now would
+        // rotate the very journal being recovered before its state is back.
+        let mut shadow = config.clone();
+        shadow.durability = None;
+        let backends = vec![shadow.backend; shadow.node_count as usize];
+        let mut fleet = Fleet::with_backends(shadow, backends, Arc::new(ProfileStore::new()));
+
+        let snapshot_restored = snapshot_text.is_some();
+        let mut keys_restored = 0usize;
+        if let Some(text) = snapshot_text {
+            keys_restored = fleet.store.restore(&text).map_err(RecoverError::Snapshot)?;
+        }
+
+        struct AdmittedJob {
+            spec: JobSpec,
+            placed: bool,
+        }
+        let mut admitted: BTreeMap<u64, AdmittedJob> = BTreeMap::new();
+        let mut completed: Vec<PriorCompleted> = Vec::new();
+        let mut checkpoints: BTreeMap<u64, Checkpoint> = BTreeMap::new();
+        let mut store_delta_keys = 0usize;
+        let journal_records = rep.records.len().saturating_sub(1);
+        for rec in rep.records.into_iter().skip(1) {
+            match rec {
+                JournalRecord::Header { .. } => {
+                    return Err(RecoverError::Journal(
+                        "duplicate header record mid-log".to_string(),
+                    ));
+                }
+                JournalRecord::Admit {
+                    id,
+                    name,
+                    model,
+                    steps,
+                    priority,
+                    weight,
+                    graph,
+                } => {
+                    admitted.insert(
+                        id,
+                        AdmittedJob {
+                            spec: JobSpec {
+                                name,
+                                model,
+                                graph,
+                                steps,
+                                priority,
+                                weight,
+                            },
+                            placed: false,
+                        },
+                    );
+                }
+                JournalRecord::Place { id, .. }
+                | JournalRecord::Retry { id, .. }
+                | JournalRecord::Evict { id, .. } => {
+                    if let Some(j) = admitted.get_mut(&id) {
+                        j.placed = true;
+                    }
+                }
+                JournalRecord::StoreInsert { machine, profiles } => {
+                    store_delta_keys += profiles.len();
+                    fleet.store.insert_many(machine, &profiles);
+                }
+                JournalRecord::Checkpoint {
+                    id,
+                    steps_done,
+                    at,
+                    fitted_keys,
+                } => {
+                    if let Some(j) = admitted.get_mut(&id) {
+                        j.placed = true;
+                    }
+                    checkpoints.insert(
+                        id,
+                        Checkpoint {
+                            steps_done,
+                            fitted_keys,
+                            at,
+                        },
+                    );
+                }
+                JournalRecord::Complete {
+                    id,
+                    name,
+                    model,
+                    steps,
+                    node,
+                    at,
+                } => {
+                    admitted.remove(&id);
+                    checkpoints.remove(&id);
+                    completed.push(PriorCompleted {
+                        id,
+                        name,
+                        model,
+                        steps,
+                        node,
+                        completed_at: at,
+                    });
+                }
+            }
+        }
+        completed.sort_by_key(|c| c.id);
+
+        // Ids keep flowing past everything any incarnation ever assigned.
+        fleet.next_id = admitted
+            .keys()
+            .next_back()
+            .copied()
+            .into_iter()
+            .chain(completed.iter().map(|c| c.id))
+            .max()
+            .map_or(0, |m| m + 1);
+
+        let mut jobs_resumed = Vec::new();
+        let mut jobs_requeued = Vec::new();
+        for (id, job) in admitted {
+            if job.placed {
+                if let Some(ckpt) = checkpoints.remove(&id) {
+                    fleet.checkpoints.save(JobId(id), ckpt);
+                }
+                // A fresh RunningJob shell: the retry path re-profiles on
+                // whatever node takes the job and resumes from the saved
+                // checkpoint, accounting the restart honestly as a retry.
+                fleet.retries.push(RetryJob {
+                    job: RunningJob {
+                        id: JobId(id),
+                        spec: job.spec,
+                        step_secs: 0.0,
+                        steps_done: 0,
+                        submitted_at: 0.0,
+                        queue_latency: 0.0,
+                        profiling_steps: 0,
+                        profiling_steps_saved: 0,
+                        warm_keys: 0,
+                        total_keys: 0,
+                        profiling_secs: 0.0,
+                        chrome_trace: None,
+                        fitted_keys: Vec::new(),
+                        budget_spent: 0,
+                        retries: 0,
+                        checkpoint_restores: 0,
+                        degraded_keys: 0,
+                        seeded_keys: 0,
+                        seed_steps_saved: 0,
+                    },
+                    eligible_at: 0.0,
+                    backoff_secs: INITIAL_BACKOFF_SECS,
+                });
+                jobs_resumed.push(id);
+            } else {
+                // BTreeMap iteration is id order = original admission
+                // order; the queue re-ranks by priority exactly as the
+                // original submissions did.
+                fleet
+                    .queue
+                    .submit(JobId(id), job.spec, 0.0, 0.0)
+                    .map_err(|e| {
+                        RecoverError::Journal(format!("journaled job {id} no longer admits: {e}"))
+                    })?;
+                jobs_requeued.push(id);
+            }
+        }
+        fleet.prior_completed = completed;
+
+        let report = RecoveryReport {
+            journal_records,
+            torn_tail: rep.torn.map(|e| e.to_string()),
+            torn_bytes_discarded: rep.discarded_bytes as u64,
+            snapshot_restored,
+            keys_restored,
+            store_delta_keys,
+            jobs_resumed,
+            jobs_requeued,
+            jobs_completed: fleet.prior_completed.clone(),
+        };
+
+        // Re-arm durability: cut a fresh consistent pair so a crash during
+        // (or right after) recovery replays from here.
+        fleet.config.durability = Some(durability);
+        fleet.init_durable();
+        Ok((fleet, report))
     }
 
     /// The fleet's statistics as of now. [`Fleet::run`] returns this after

@@ -54,12 +54,20 @@ pub mod chaos;
 pub mod checkpoint;
 pub mod fleet;
 pub mod job;
+pub mod journal;
 pub mod store;
 
 pub use chaos::{FaultEvent, FaultPlan, INITIAL_BACKOFF_SECS, MAX_BACKOFF_SECS};
 pub use checkpoint::{Checkpoint, CheckpointStore};
-pub use fleet::{Fleet, FleetConfig, FleetReport, JobPhase, JobReport, JobStatus, NodeBackend};
+pub use fleet::{
+    DurabilityConfig, Fleet, FleetConfig, FleetReport, JobPhase, JobReport, JobStatus, NodeBackend,
+    PriorCompleted, RecoverError, RecoveryReport, DEFAULT_FLUSH_INTERVAL_SECS,
+};
 pub use job::{AdmissionQueue, AdmitError, JobId, JobSpec, QueuedJob};
+pub use journal::{
+    decode_record, encode_record, replay, write_atomic, Journal, JournalRecord, RecordError,
+    Replay, JOURNAL_FILE, JOURNAL_FORMAT, JOURNAL_VERSION, MAX_RECORD_LEN, SNAPSHOT_FILE,
+};
 pub use store::{
     ProfileStore, StoreError, StoreStats, DEFAULT_CAPACITY, SNAPSHOT_FORMAT, SNAPSHOT_VERSION,
 };

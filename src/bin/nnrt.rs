@@ -36,6 +36,19 @@
 //!                                only at shutdown (byte-identical reports);
 //!                                `--snapshot` persists the profile store on
 //!                                graceful shutdown
+//!
+//! Both serve modes accept `--durable <dir>`: every fleet state transition
+//! is journaled write-ahead to `<dir>/journal.log` and the profile store is
+//! flushed to `<dir>/store.json` on a configurable simulated-clock interval
+//! (`--flush-interval <secs>`, default 20). After a crash — even `kill -9`
+//! — `--recover` replays snapshot + journal, resumes interrupted jobs from
+//! their checkpoints, re-queues never-placed jobs in admission order, and
+//! writes the accounting to `<dir>/recovery.json`.
+//!
+//! ```text
+//! nnrt journal <dir> [--json]    inspect a durable directory's journal:
+//!                                per-record-kind counts + torn-tail status
+//! ```
 //! nnrt submit <addr> <model> [batch] [--steps n] [--priority p]
 //!             [--weight w] [--name s] [--no-retry]
 //!                                submit one job to a listening server
@@ -51,7 +64,8 @@
 //! and beyond the paper: `transformer` (8).
 //!
 //! Exit codes: 0 success, 1 usage, 2 unknown command, 3 unknown model,
-//! 4 RPC failure (server unreachable, rejection, or protocol error).
+//! 4 RPC failure (server unreachable, rejection, or protocol error),
+//! 5 recovery failure (unreadable durable directory or corrupt journal).
 
 use nnrt::prelude::*;
 use nnrt::rpc::{
@@ -69,6 +83,8 @@ const EXIT_UNKNOWN_COMMAND: u8 = 2;
 const EXIT_UNKNOWN_MODEL: u8 = 3;
 /// An RPC command failed: server unreachable, rejection, protocol error.
 const EXIT_RPC: u8 = 4;
+/// `--recover` could not rebuild the fleet from the durable directory.
+const EXIT_RECOVERY: u8 = 5;
 
 fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
     // One registry serves the CLI and the RPC server.
@@ -77,10 +93,11 @@ fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
 
 fn usage_text() -> String {
     "usage: nnrt <compare|profile|grid|plan|trace> <model> [batch]\n       \
-     nnrt serve [jobs] [nodes] [seed] [--backend <knl|gpu>] [--chaos <seed>] [--checkpoint-interval <steps>] [--profile-threads <n>] [--json]\n       \
-     nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu>] [--hold] [--snapshot <path>] [--profile-threads <n>] [--json]\n       \
+     nnrt serve [jobs] [nodes] [seed] [--backend <knl|gpu>] [--chaos <seed>] [--checkpoint-interval <steps>] [--profile-threads <n>] [--durable <dir>] [--flush-interval <secs>] [--recover] [--json]\n       \
+     nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu>] [--hold] [--snapshot <path>] [--durable <dir>] [--recover] [--profile-threads <n>] [--json]\n       \
      nnrt submit <addr> <model> [batch] [--steps n] [--priority p] [--weight w] [--name s] [--no-retry]\n       \
      nnrt status <addr> [job_id] | nnrt shutdown <addr> [--json]\n       \
+     nnrt journal <dir> [--json]\n       \
      nnrt gpu | nnrt models | nnrt --help\n\
      models: resnet50, dcgan, inception, lstm, transformer"
         .to_string()
@@ -163,6 +180,9 @@ fn main() -> ExitCode {
             let mut listen: Option<String> = None;
             let mut hold = false;
             let mut snapshot: Option<String> = None;
+            let mut durable: Option<String> = None;
+            let mut flush_interval: Option<f64> = None;
+            let mut recover = false;
             let mut it = args.iter().skip(1);
             while let Some(arg) = it.next() {
                 match arg.as_str() {
@@ -210,11 +230,45 @@ fn main() -> ExitCode {
                             return usage();
                         }
                     },
+                    "--durable" => match it.next() {
+                        Some(dir) => durable = Some(dir.clone()),
+                        None => {
+                            eprintln!("--durable needs a directory path");
+                            return usage();
+                        }
+                    },
+                    "--flush-interval" => match it.next().and_then(|s| s.parse().ok()) {
+                        Some(secs) if secs > 0.0 => flush_interval = Some(secs),
+                        _ => {
+                            eprintln!("--flush-interval needs a positive number of seconds");
+                            return usage();
+                        }
+                    },
+                    "--recover" => recover = true,
                     "--hold" => hold = true,
                     "--json" => json = true,
                     other => positional.push(other.to_string()),
                 }
             }
+            if recover && durable.is_none() {
+                eprintln!("--recover needs --durable <dir> to know where the journal lives");
+                return usage();
+            }
+            if flush_interval.is_some() && durable.is_none() {
+                eprintln!("--flush-interval only applies with --durable <dir>");
+                return usage();
+            }
+            if recover && chaos.is_some() {
+                eprintln!("--recover resumes a recorded run; it does not combine with --chaos");
+                return usage();
+            }
+            let durability = durable.map(|dir| {
+                let mut d = nnrt::serve::DurabilityConfig::new(std::path::PathBuf::from(dir));
+                if let Some(secs) = flush_interval {
+                    d.flush_interval_secs = secs;
+                }
+                d
+            });
             if let Some(addr) = listen {
                 if chaos.is_some() {
                     eprintln!("--chaos needs a known job mix; it does not combine with --listen");
@@ -240,6 +294,8 @@ fn main() -> ExitCode {
                     profile_threads,
                     hold,
                     snapshot,
+                    durability,
+                    recover,
                     json,
                 );
             }
@@ -264,10 +320,12 @@ fn main() -> ExitCode {
                 chaos,
                 checkpoint_interval,
                 profile_threads,
+                durability,
+                recover,
                 json,
-            );
-            ExitCode::SUCCESS
+            )
         }
+        "journal" => run_journal(&args[1..]),
         "submit" => run_submit(&args[1..]),
         "status" => run_status(&args[1..]),
         "shutdown" => run_shutdown(&args[1..]),
@@ -307,9 +365,13 @@ fn run_serve(
     chaos: Option<u64>,
     checkpoint_interval: Option<u32>,
     profile_threads: Option<usize>,
+    durability: Option<nnrt::serve::DurabilityConfig>,
+    recover: bool,
     json: bool,
-) {
+) -> ExitCode {
     use nnrt::serve::{FaultPlan, Fleet, FleetConfig, JobSpec};
+
+    let durable_dir = durability.as_ref().map(|d| d.dir.clone());
 
     // Small batches keep the simulated fleet quick while preserving the
     // profile-sharing structure (keys depend on shapes, not step counts).
@@ -326,6 +388,7 @@ fn run_serve(
         checkpoint_interval: checkpoint_interval.unwrap_or(1),
         profile_threads: profile_threads.unwrap_or_else(default_profile_threads),
         backend,
+        durability,
         ..FleetConfig::default()
     };
     let submit_all = |fleet: &mut Fleet, quiet: bool| {
@@ -346,6 +409,31 @@ fn run_serve(
             }
         }
     };
+    if recover {
+        // Resume the recorded run: jobs come back from the journal, not
+        // from a fresh submission pass.
+        let (mut fleet, recovery) = match Fleet::recover(config) {
+            Ok(pair) => pair,
+            Err(e) => {
+                eprintln!("recovery failed: {e}");
+                return ExitCode::from(EXIT_RECOVERY);
+            }
+        };
+        eprint!("{}", recovery.render());
+        if let Some(dir) = &durable_dir {
+            let path = dir.join("recovery.json");
+            if let Err(e) = nnrt::serve::write_atomic(&path, recovery.to_json().as_bytes()) {
+                eprintln!("cannot write {}: {e}", path.display());
+            }
+        }
+        let report = fleet.run();
+        if json {
+            println!("{}", report.to_json());
+        } else {
+            print!("{}", report.render());
+        }
+        return ExitCode::SUCCESS;
+    }
     // Progress goes to stderr so `--json` (and scripted) stdout stays a
     // single parseable document.
     eprintln!(
@@ -360,8 +448,11 @@ fn run_serve(
     );
     let plan = chaos.map(|chaos_seed| {
         // Size the fault plan to the workload: a fault-free dry run tells
-        // us the makespan, so the seeded events land mid-run.
-        let mut dry = Fleet::new(config);
+        // us the makespan, so the seeded events land mid-run. The dry run
+        // must not touch the durable directory.
+        let mut dry_config = config.clone();
+        dry_config.durability = None;
+        let mut dry = Fleet::new(dry_config);
         submit_all(&mut dry, true);
         let horizon = dry.run().makespan_secs;
         let plan = FaultPlan::from_seed(chaos_seed, nodes, horizon);
@@ -384,6 +475,81 @@ fn run_serve(
     } else {
         print!("{}", report.render());
     }
+    ExitCode::SUCCESS
+}
+
+/// `nnrt journal <dir> [--json]`: inspect a durable directory's write-ahead
+/// journal without touching it — per-record-kind counts, torn-tail status,
+/// and discarded byte count. A missing journal reads as zero records (exit
+/// 0), so scripts can poll a directory a server is still warming up.
+fn run_journal(args: &[String]) -> ExitCode {
+    let mut json = false;
+    let mut dir: Option<String> = None;
+    for arg in args {
+        match arg.as_str() {
+            "--json" => json = true,
+            other => dir = Some(other.to_string()),
+        }
+    }
+    let Some(dir) = dir else {
+        eprintln!("journal needs a durable directory path");
+        return usage();
+    };
+    let path = std::path::Path::new(&dir).join(nnrt::serve::JOURNAL_FILE);
+    let bytes = match std::fs::read(&path) {
+        Ok(bytes) => bytes,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => Vec::new(),
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", path.display());
+            return ExitCode::from(EXIT_RECOVERY);
+        }
+    };
+    let replay = nnrt::serve::replay(&bytes);
+    // Every tag appears in the output, zero or not, so pollers can key on
+    // `complete` before the first completion lands.
+    const TAGS: [&str; 8] = [
+        "header",
+        "admit",
+        "place",
+        "store_insert",
+        "checkpoint",
+        "evict",
+        "retry",
+        "complete",
+    ];
+    let mut counts = std::collections::BTreeMap::new();
+    for tag in TAGS {
+        counts.insert(tag, 0usize);
+    }
+    for record in &replay.records {
+        *counts.entry(record.tag()).or_insert(0) += 1;
+    }
+    if json {
+        let fields: Vec<String> = TAGS
+            .iter()
+            .map(|tag| format!("\"{tag}\":{}", counts[tag]))
+            .collect();
+        println!(
+            "{{\"records\":{},\"counts\":{{{}}},\"torn\":{},\"discarded_bytes\":{}}}",
+            replay.records.len(),
+            fields.join(","),
+            replay.torn.is_some(),
+            replay.discarded_bytes
+        );
+    } else {
+        println!("{}: {} record(s)", path.display(), replay.records.len());
+        for tag in TAGS {
+            println!("  {tag:13} {}", counts[tag]);
+        }
+        match &replay.torn {
+            Some(e) => println!(
+                "  torn tail: {} byte(s) discarded ({e})",
+                replay.discarded_bytes
+            ),
+            None => println!("  tail clean"),
+        }
+    }
+    ExitCode::SUCCESS
 }
 
 /// `nnrt serve --listen`: the same fleet behind the nnrt-rpc TCP front-end.
@@ -400,11 +566,14 @@ fn run_listen(
     profile_threads: Option<usize>,
     hold: bool,
     snapshot: Option<String>,
+    durability: Option<nnrt::serve::DurabilityConfig>,
+    recover: bool,
     json: bool,
 ) -> ExitCode {
-    use nnrt::serve::FleetConfig;
+    use nnrt::serve::{Fleet, FleetConfig};
     use std::io::Write as _;
 
+    let durable_dir = durability.as_ref().map(|d| d.dir.clone());
     let config = ServerConfig {
         fleet: FleetConfig {
             node_count: nodes,
@@ -412,6 +581,7 @@ fn run_listen(
             checkpoint_interval: checkpoint_interval.unwrap_or(1),
             profile_threads: profile_threads.unwrap_or_else(default_profile_threads),
             backend,
+            durability,
             ..FleetConfig::default()
         },
         drain: if hold {
@@ -422,7 +592,30 @@ fn run_listen(
         snapshot_path: snapshot.map(std::path::PathBuf::from),
         ..ServerConfig::default()
     };
-    let server = match FleetServer::bind(addr, config) {
+    let bound = if recover {
+        // Rebuild the fleet from the durable directory, then put it behind
+        // the socket; recovered jobs drain alongside new submissions.
+        match Fleet::recover(config.fleet.clone()) {
+            Ok((fleet, recovery)) => {
+                eprint!("{}", recovery.render());
+                if let Some(dir) = &durable_dir {
+                    let path = dir.join("recovery.json");
+                    if let Err(e) = nnrt::serve::write_atomic(&path, recovery.to_json().as_bytes())
+                    {
+                        eprintln!("cannot write {}: {e}", path.display());
+                    }
+                }
+                FleetServer::bind_with_fleet(addr, fleet, config)
+            }
+            Err(e) => {
+                eprintln!("recovery failed: {e}");
+                return ExitCode::from(EXIT_RECOVERY);
+            }
+        }
+    } else {
+        FleetServer::bind(addr, config)
+    };
+    let server = match bound {
         Ok(server) => server,
         Err(e) => {
             eprintln!("cannot listen on {addr}: {e}");

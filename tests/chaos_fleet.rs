@@ -17,9 +17,9 @@ fn job(name: &str, model: &str, graph: &nnrt::graph::DataflowGraph, steps: u32) 
     }
 }
 
-fn dcgan_fleet(config: FleetConfig, jobs: usize, steps: u32) -> Fleet {
+fn dcgan_fleet(config: &FleetConfig, jobs: usize, steps: u32) -> Fleet {
     let g = dcgan(4).graph;
-    let mut fleet = Fleet::new(config);
+    let mut fleet = Fleet::new(config.clone());
     for i in 0..jobs {
         fleet
             .submit(job(&format!("dcgan-{i}"), "dcgan", &g, steps))
@@ -34,9 +34,9 @@ fn fault_free_plan_is_bit_identical_to_no_plan() {
         node_count: 2,
         ..FleetConfig::default()
     };
-    let plain = dcgan_fleet(config, 6, 3).run();
+    let plain = dcgan_fleet(&config, 6, 3).run();
 
-    let mut armed = dcgan_fleet(config, 6, 3);
+    let mut armed = dcgan_fleet(&config, 6, 3);
     armed.set_fault_plan(FaultPlan::none());
     let chaos = armed.run();
 
@@ -69,7 +69,7 @@ fn crash_with_corrupted_store_recovers_via_checkpoints_and_degradation() {
     // Size the fault window from a fault-free dry run: the crash must land
     // inside node 0's stepping phase (after its up-front profiling bill),
     // while residents have checkpoints to lose.
-    let dry = dcgan_fleet(config, 4, 6).run();
+    let dry = dcgan_fleet(&config, 4, 6).run();
     let node0_jobs: Vec<_> = dry.jobs.iter().filter(|j| j.node == 0).collect();
     assert!(!node0_jobs.is_empty());
     let prof_end: f64 = node0_jobs.iter().map(|j| j.profiling_secs).sum();
@@ -108,7 +108,7 @@ fn crash_with_corrupted_store_recovers_via_checkpoints_and_degradation() {
     };
 
     let run = |plan: FaultPlan| -> FleetReport {
-        let mut fleet = dcgan_fleet(config, 4, 6);
+        let mut fleet = dcgan_fleet(&config, 4, 6);
         fleet.set_fault_plan(plan);
         fleet.run()
     };
@@ -160,10 +160,10 @@ fn straggling_node_is_avoided_until_it_recovers() {
         max_jobs_per_node: 2,
         ..FleetConfig::default()
     };
-    let baseline = dcgan_fleet(config, 6, 3).run();
+    let baseline = dcgan_fleet(&config, 6, 3).run();
     let count = |r: &FleetReport, node: u32| r.jobs.iter().filter(|j| j.node == node).count();
 
-    let mut fleet = dcgan_fleet(config, 6, 3);
+    let mut fleet = dcgan_fleet(&config, 6, 3);
     fleet.set_fault_plan(FaultPlan {
         events: vec![FaultEvent::NodeSlowdown {
             node: 0,
@@ -201,7 +201,7 @@ fn zero_profiling_budget_degrades_every_key_and_still_completes() {
         node_count: 2,
         ..FleetConfig::default()
     };
-    let mut fleet = dcgan_fleet(config, 4, 2);
+    let mut fleet = dcgan_fleet(&config, 4, 2);
     fleet.set_fault_plan(FaultPlan {
         events: Vec::new(),
         profiling_step_budget: Some(0),
@@ -225,7 +225,7 @@ fn zero_profiling_budget_degrades_every_key_and_still_completes() {
     // Degradation costs per-step throughput versus fitted curves (the
     // baseline plan is never faster than the climbed one), though the run
     // as a whole may finish sooner because it skips profiling entirely.
-    let fitted = dcgan_fleet(config, 4, 2).run();
+    let fitted = dcgan_fleet(&config, 4, 2).run();
     let step_sum = |r: &FleetReport| r.jobs.iter().map(|j| j.step_secs).sum::<f64>();
     assert!(step_sum(&report) >= step_sum(&fitted));
 }
@@ -236,10 +236,10 @@ fn seeded_plans_replay_identically_and_seeds_differ() {
         node_count: 2,
         ..FleetConfig::default()
     };
-    let horizon = dcgan_fleet(config, 6, 4).run().makespan_secs;
+    let horizon = dcgan_fleet(&config, 6, 4).run().makespan_secs;
 
     let run = |seed: u64| -> String {
-        let mut fleet = dcgan_fleet(config, 6, 4);
+        let mut fleet = dcgan_fleet(&config, 6, 4);
         fleet.set_fault_plan(FaultPlan::from_seed(seed, 2, horizon));
         fleet.run().to_json()
     };

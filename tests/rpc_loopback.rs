@@ -145,7 +145,7 @@ fn onshutdown_report_is_byte_identical_to_the_in_process_fleet() {
     let server = FleetServer::bind(
         "127.0.0.1:0",
         ServerConfig {
-            fleet: config,
+            fleet: config.clone(),
             drain: DrainPolicy::OnShutdown,
             ..ServerConfig::default()
         },
@@ -179,6 +179,95 @@ fn onshutdown_report_is_byte_identical_to_the_in_process_fleet() {
         wire_report, local_report,
         "the RPC path must not perturb the simulation"
     );
+}
+
+#[test]
+fn connection_cap_rejects_with_typed_saturated_frame() {
+    let server = FleetServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            max_connections: 1,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // The first client claims the only slot (a completed request proves the
+    // accept loop registered it).
+    let mut pinned = RpcClient::connect(addr).expect("connect");
+    pinned.list_jobs().expect("first connection is served");
+
+    // The second connection is accepted just long enough to receive one
+    // typed Saturated frame with a retry hint.
+    let mut rejected = RpcClient::connect(addr).expect("tcp connect still succeeds");
+    match rejected.list_jobs() {
+        Err(ClientError::Rejected(frame)) => {
+            assert_eq!(frame.kind, ErrorKind::Saturated);
+            assert!(
+                frame.retry_after_secs.unwrap_or(0.0) > 0.0,
+                "cap rejections carry a positive retry hint"
+            );
+        }
+        other => panic!("over-cap connection must be rejected, got {other:?}"),
+    }
+
+    // Dropping the pinned connection frees the slot for a new client.
+    drop(pinned);
+    let deadline = Instant::now() + Duration::from_secs(30);
+    loop {
+        let mut retry = RpcClient::connect(addr).expect("connect");
+        if retry.list_jobs().is_ok() {
+            retry.shutdown().expect("shutdown");
+            break;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "a freed slot must admit the next connection"
+        );
+        thread::sleep(Duration::from_millis(10));
+    }
+}
+
+#[test]
+fn idle_connection_is_dropped_after_the_read_timeout() {
+    let server = FleetServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            idle_timeout: Duration::from_millis(100),
+            ..ServerConfig::default()
+        },
+    )
+    .expect("bind");
+    let addr = server.local_addr();
+
+    // A silent client: no frame ever sent. The server must hang up on its
+    // own instead of pinning the reader thread forever.
+    let mut idle = std::net::TcpStream::connect(addr).expect("connect");
+    idle.set_read_timeout(Some(Duration::from_secs(30)))
+        .expect("read timeout");
+    let mut buf = [0u8; 1];
+    let started = Instant::now();
+    let hung_up = match std::io::Read::read(&mut idle, &mut buf) {
+        Ok(0) => true, // clean EOF
+        Err(e)
+            if e.kind() != std::io::ErrorKind::WouldBlock
+                && e.kind() != std::io::ErrorKind::TimedOut =>
+        {
+            true
+        } // reset
+        other => panic!("server must drop the idle connection, got {other:?}"),
+    };
+    assert!(hung_up);
+    assert!(
+        started.elapsed() < Duration::from_secs(20),
+        "the hangup must come from the idle timeout, not the reply timeout"
+    );
+
+    // A live client on the same server still works afterwards.
+    let mut client = RpcClient::connect(addr).expect("connect");
+    client.list_jobs().expect("live connections are unaffected");
+    client.shutdown().expect("shutdown");
 }
 
 #[test]

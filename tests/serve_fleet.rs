@@ -311,7 +311,7 @@ fn store_snapshot_survives_a_service_restart() {
         node_count: 2,
         ..FleetConfig::default()
     };
-    let mut fleet = Fleet::new(config);
+    let mut fleet = Fleet::new(config.clone());
     submit_workload(&mut fleet);
     let first = fleet.run();
     assert!(first.profiling_steps_total > 0);
