@@ -167,4 +167,61 @@ cmp "$tmpdir/drill-recovered.json" "$tmpdir/drill-recovered-b.json" \
   || { echo "recovery not deterministic: same journal produced different reports" >&2; exit 1; }
 echo "recovery deterministic (same directory, byte-identical recovered report)"
 
+echo "== obs suite (metrics scrape + event-stream determinism) =="
+cargo test -q --offline --test obs_determinism
+
+# Event-stream determinism: two seed-identical runs write byte-identical
+# sim-domain JSONL event streams, whatever the profiling worker count.
+./target/release/nnrt serve 6 2 7 --profile-threads 1 --events "$tmpdir/events-a.jsonl" --json > /dev/null
+./target/release/nnrt serve 6 2 7 --profile-threads 4 --events "$tmpdir/events-b.jsonl" --json > /dev/null
+cmp "$tmpdir/events-a.jsonl" "$tmpdir/events-b.jsonl" \
+  || { echo "event stream not deterministic: 1 vs 4 workers differ" >&2; exit 1; }
+[ -s "$tmpdir/events-a.jsonl" ] || { echo "event stream is empty" >&2; exit 1; }
+echo "event stream deterministic ($(wc -l < "$tmpdir/events-a.jsonl") sim events, 1 vs 4 workers byte-identical)"
+
+# Live scrape: a listening fleet answers Request::Metrics with a parseable
+# exposition carrying the key series, and `nnrt top --once` renders it.
+./target/release/nnrt serve --listen 127.0.0.1:0 1 7 \
+  > "$tmpdir/obs-server.out" 2> "$tmpdir/obs-server.err" &
+obs_server_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's/^listening on //p' "$tmpdir/obs-server.out")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "obs server never reported its address" >&2; exit 1; }
+./target/release/nnrt submit "$addr" dcgan 4 --steps 2 > /dev/null
+./target/release/nnrt metrics "$addr" > "$tmpdir/obs-scrape.txt"
+python3 - "$tmpdir/obs-scrape.txt" <<'PY'
+import sys
+series = {}
+for line in open(sys.argv[1]):
+    line = line.strip()
+    if not line or line.startswith("#"):
+        continue
+    name, value = line.rsplit(" ", 1)
+    float(value)  # every sample value parses
+    series[name.split("{", 1)[0]] = float(value)
+required = [
+    "nnrt_jobs_submitted_total",
+    "nnrt_jobs",
+    "nnrt_queue_depth",
+    "nnrt_node_utilization",
+    "nnrt_store_entries",
+    "nnrt_rpc_requests_total",
+    "nnrt_rpc_latency_seconds_bucket",
+]
+missing = [name for name in required if name not in series]
+assert not missing, f"exposition is missing series: {missing}"
+assert series["nnrt_jobs_submitted_total"] == 1.0
+print(f"exposition ok: {len(series)} distinct series, all values parse")
+PY
+./target/release/nnrt top "$addr" --once > "$tmpdir/obs-top.out"
+grep -q "^jobs " "$tmpdir/obs-top.out"
+grep -q "^store " "$tmpdir/obs-top.out"
+./target/release/nnrt shutdown "$addr" > /dev/null
+wait "$obs_server_pid" || { echo "obs server exited non-zero" >&2; exit 1; }
+echo "obs live scrape ok (metrics + top against a listening fleet)"
+
 echo "CI green."

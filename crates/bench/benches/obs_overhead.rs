@@ -1,0 +1,152 @@
+//! Observability overhead: what full instrumentation costs a fleet run.
+//!
+//! Two claims are measured. First, observability is *observationally free*
+//! in simulated time — metrics and events are pure side effects of the run
+//! loop, so with `ObsConfig::off()` the fleet report is byte-identical
+//! (modulo the embedded `metrics` text itself) and the simulated makespan
+//! delta is exactly zero. Second, the wall-clock tax of the full
+//! instrumentation — every counter bump, gauge refresh, and ring-buffer
+//! event — stays small against the simulation itself.
+
+use nnrt_bench::{ExperimentRecord, Table};
+use nnrt_obs::{Clock, ObsConfig};
+use nnrt_serve::{Fleet, FleetConfig, FleetReport, JobSpec};
+use std::time::Instant;
+
+fn workload() -> Vec<JobSpec> {
+    let models = [
+        ("resnet50", nnrt_models::resnet50(16).graph),
+        ("dcgan", nnrt_models::dcgan(16).graph),
+        ("inception", nnrt_models::inception_v3(4).graph),
+        ("lstm", nnrt_models::lstm(8).graph),
+        ("transformer", nnrt_models::transformer(4).graph),
+    ];
+    (0..10)
+        .map(|i| {
+            let (model, graph) = &models[i % models.len()];
+            JobSpec {
+                name: format!("{model}-{i}"),
+                model: model.to_string(),
+                graph: graph.clone(),
+                steps: 3,
+                priority: (i % 3) as u8,
+                weight: 1.0,
+            }
+        })
+        .collect()
+}
+
+/// Runs the workload and returns the report, the best-of-`REPS` wall time,
+/// and the fleet (for reading the observability state back).
+fn run_fleet(obs: ObsConfig) -> (FleetReport, f64, Fleet) {
+    const REPS: usize = 3;
+    let config = FleetConfig {
+        node_count: 2,
+        obs,
+        ..FleetConfig::default()
+    };
+    let mut best = f64::INFINITY;
+    let mut out = None;
+    for _ in 0..REPS {
+        let mut fleet = Fleet::new(config.clone());
+        for spec in workload() {
+            fleet.submit(spec).expect("queue sized for the workload");
+        }
+        let started = Instant::now();
+        let report = fleet.run();
+        let wall = started.elapsed().as_secs_f64();
+        if wall < best {
+            best = wall;
+        }
+        out = Some((report, fleet));
+    }
+    let (report, fleet) = out.expect("at least one rep");
+    (report, best, fleet)
+}
+
+/// The report JSON with the embedded `metrics` field dropped — the only
+/// field that legitimately differs between an instrumented and a dark run.
+fn strip_metrics(report: &FleetReport) -> String {
+    let v: serde_json::Value = serde_json::from_str(&report.to_json()).expect("report parses");
+    let serde_json::Value::Object(fields) = v else {
+        panic!("report must be an object");
+    };
+    let kept: Vec<(String, serde_json::Value)> =
+        fields.into_iter().filter(|(k, _)| k != "metrics").collect();
+    serde_json::to_string(&serde_json::Value::Object(kept)).expect("re-encodes")
+}
+
+fn main() {
+    let mut record = ExperimentRecord::new(
+        "obs_overhead",
+        "Observability overhead: full instrumentation vs ObsConfig::off on a fleet run",
+    );
+
+    let (dark_report, dark_wall, _) = run_fleet(ObsConfig::off());
+    let (on_report, on_wall, on_fleet) = run_fleet(ObsConfig::on());
+
+    let obs = on_fleet.obs();
+    let exposition = obs.expose(None);
+    let series = exposition
+        .lines()
+        .filter(|l| !l.starts_with('#') && !l.is_empty())
+        .count();
+    let sim_events = obs.events_snapshot(Some(Clock::Sim)).len();
+
+    let makespan_delta = on_report.makespan_secs - dark_report.makespan_secs;
+    assert_eq!(
+        makespan_delta, 0.0,
+        "instrumentation must not perturb simulated time"
+    );
+    assert_eq!(
+        strip_metrics(&on_report),
+        strip_metrics(&dark_report),
+        "observability must be a pure side effect of the run loop"
+    );
+    assert!(
+        dark_report.metrics.is_none() && on_report.metrics.is_some(),
+        "only the instrumented run embeds an exposition"
+    );
+
+    let mut t = Table::new([
+        "configuration",
+        "wall (ms)",
+        "overhead",
+        "series",
+        "sim events",
+        "makespan delta",
+    ]);
+    t.row([
+        "obs off".to_string(),
+        format!("{:.1}", dark_wall * 1e3),
+        "—".to_string(),
+        "0".to_string(),
+        "0".to_string(),
+        "—".to_string(),
+    ]);
+    t.row([
+        "obs on".to_string(),
+        format!("{:.1}", on_wall * 1e3),
+        format!("{:+.1}%", (on_wall / dark_wall - 1.0) * 100.0),
+        series.to_string(),
+        sim_events.to_string(),
+        format!("{makespan_delta}"),
+    ]);
+    t.print("10 mixed jobs over 2 KNL nodes, best of 3 runs per configuration");
+
+    record.push("dark_wall_s", dark_wall, f64::NAN);
+    record.push("instrumented_wall_s", on_wall, f64::NAN);
+    record.push("wall_overhead_frac", on_wall / dark_wall - 1.0, f64::NAN);
+    record.push("series_count", series as f64, f64::NAN);
+    record.push("sim_event_count", sim_events as f64, f64::NAN);
+    record.push("makespan_delta_s", makespan_delta, f64::NAN);
+    record.notes(
+        "Simulated makespan delta is identically zero: every counter bump, \
+         gauge refresh, and ring-buffer event happens outside simulated \
+         time, asserted here by byte-comparing the fleet reports with the \
+         embedded exposition stripped. The wall overhead is the cost of \
+         registry BTreeMap updates and bounded event pushes along the run \
+         loop's hot paths.",
+    );
+    record.write();
+}

@@ -147,6 +147,28 @@ pub struct FitOutcome {
     /// profiling budget — seeding spends budget only on samples actually
     /// taken.
     pub steps_saved: u32,
+    /// Per-key climb accounting, in canonical (sorted) key order — the
+    /// merge order, so the list is byte-identical for every worker count.
+    /// Observability layers turn these into `profile_climb` events.
+    pub climbs: Vec<ClimbRecord>,
+}
+
+/// What one key's hill climb cost — one entry of [`FitOutcome::climbs`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClimbRecord {
+    /// The operation key that was climbed.
+    pub key: OpKey,
+    /// Standalone measurements the key's two climbs took.
+    pub measurements: u64,
+    /// Longest climb across both modes, in samples.
+    pub longest_climb: u32,
+    /// Whether the climb started from a neighbor shape's optimum.
+    pub seeded: bool,
+    /// Grid samples skipped below the seeded window (0 when unseeded).
+    pub steps_saved: u32,
+    /// Whether the budget truncated the climb (curves discarded; the key
+    /// runs on the framework-default plan).
+    pub degraded: bool,
 }
 
 fn mode_index(mode: SharingMode) -> usize {
@@ -466,6 +488,14 @@ impl HillClimbModel {
             if fit.seeded {
                 outcome.seeded_keys += 1;
             }
+            outcome.climbs.push(ClimbRecord {
+                key: key.clone(),
+                measurements: fit.measurements,
+                longest_climb: fit.longest_climb,
+                seeded: fit.seeded,
+                steps_saved: fit.steps_saved,
+                degraded: fit.curves.is_none(),
+            });
             match fit.curves {
                 Some(pair) => {
                     self.curves.insert(key, pair);

@@ -44,7 +44,7 @@ pub mod tf_baseline;
 pub mod trace;
 
 pub use feedback::InterferenceLog;
-pub use hillclimb::{Curve, FitOutcome, HillClimbConfig, HillClimbModel, KeyProfile};
+pub use hillclimb::{ClimbRecord, Curve, FitOutcome, HillClimbConfig, HillClimbModel, KeyProfile};
 pub use measure::{per_key_seed, Measurer, OpCatalog};
 pub use oracle::OracleScheduler;
 pub use plan::{PerfModel, ThreadPlan};

@@ -160,6 +160,20 @@ pub struct GpuStepReport {
     pub avg_corunning: f64,
 }
 
+impl GpuStepReport {
+    /// Per-stream lane summary: `(stream, ops)` pairs sorted by stream id
+    /// — how many of the step's kernels each engaged lane ran.
+    /// Deterministic (derived from the deterministic schedule), so
+    /// observability layers can emit one `stream_lane` event per lane.
+    pub fn lane_summary(&self) -> Vec<(u32, u32)> {
+        let mut per_lane: std::collections::BTreeMap<u32, u32> = std::collections::BTreeMap::new();
+        for &s in &self.streams {
+            *per_lane.entry(s).or_insert(0) += 1;
+        }
+        per_lane.into_iter().collect()
+    }
+}
+
 /// A kernel + launch config pair for the low-level simulator.
 #[derive(Debug, Clone, Copy)]
 pub struct StreamLaunch {

@@ -1,0 +1,231 @@
+//! Parsing the Prometheus-style text exposition back into samples.
+//!
+//! The encoder lives in [`crate::Registry::expose`]; this module is the
+//! inverse, used by `nnrt top` to render a live view from a scraped
+//! exposition and by tests/CI to validate that expositions round-trip.
+
+/// One parsed sample line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name (including any `_bucket`/`_sum`/`_count` suffix).
+    pub name: String,
+    /// Label pairs in file order.
+    pub labels: Vec<(String, String)>,
+    /// The sample value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// The value of label `key`, if present.
+    pub fn label(&self, key: &str) -> Option<&str> {
+        self.labels
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// A parsed exposition.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Exposition {
+    /// Every sample line, in file order.
+    pub samples: Vec<Sample>,
+}
+
+impl Exposition {
+    /// The first sample of `name` whose labels include every pair in
+    /// `labels` (subset match).
+    pub fn get(&self, name: &str, labels: &[(&str, &str)]) -> Option<&Sample> {
+        self.samples
+            .iter()
+            .find(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+    }
+
+    /// The value of the first matching sample (see [`Exposition::get`]).
+    pub fn value(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        self.get(name, labels).map(|s| s.value)
+    }
+
+    /// The sum of every matching sample's value — e.g. a counter summed
+    /// over its `kind` label.
+    pub fn sum(&self, name: &str, labels: &[(&str, &str)]) -> f64 {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+            .map(|s| s.value)
+            .sum()
+    }
+
+    /// Every matching sample (subset label match), in file order.
+    pub fn all(&self, name: &str, labels: &[(&str, &str)]) -> Vec<&Sample> {
+        self.samples
+            .iter()
+            .filter(|s| s.name == name && labels.iter().all(|(k, v)| s.label(k) == Some(*v)))
+            .collect()
+    }
+}
+
+/// Parses a Prometheus text exposition. `#` comment/TYPE lines and blank
+/// lines are skipped; anything else must be `name{labels} value` or
+/// `name value`. Errors carry the offending line.
+pub fn parse_exposition(text: &str) -> Result<Exposition, String> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        samples.push(parse_line(line).map_err(|e| format!("{e} in line: {line:?}"))?);
+    }
+    Ok(Exposition { samples })
+}
+
+fn parse_line(line: &str) -> Result<Sample, String> {
+    let (name_part, rest) = match line.find('{') {
+        Some(open) => {
+            let close = line.rfind('}').ok_or("unterminated label set")?;
+            (
+                &line[..open],
+                Some((&line[open + 1..close], &line[close + 1..])),
+            )
+        }
+        None => {
+            let sp = line.find(' ').ok_or("missing value")?;
+            (&line[..sp], None)
+        }
+    };
+    let name = name_part.trim().to_string();
+    if name.is_empty() {
+        return Err("empty metric name".to_string());
+    }
+    let (labels, value_part) = match rest {
+        Some((labels_src, tail)) => (parse_labels(labels_src)?, tail.trim()),
+        None => (
+            Vec::new(),
+            line[line.find(' ').expect("checked above")..].trim(),
+        ),
+    };
+    let value = match value_part {
+        "+Inf" => f64::INFINITY,
+        "-Inf" => f64::NEG_INFINITY,
+        v => v.parse::<f64>().map_err(|_| format!("bad value {v:?}"))?,
+    };
+    Ok(Sample {
+        name,
+        labels,
+        value,
+    })
+}
+
+fn parse_labels(src: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut chars = src.chars().peekable();
+    loop {
+        // Skip separators and detect end.
+        while matches!(chars.peek(), Some(',') | Some(' ')) {
+            chars.next();
+        }
+        if chars.peek().is_none() {
+            return Ok(labels);
+        }
+        let mut key = String::new();
+        for c in chars.by_ref() {
+            if c == '=' {
+                break;
+            }
+            key.push(c);
+        }
+        if chars.next() != Some('"') {
+            return Err(format!("label {key:?} value must be quoted"));
+        }
+        let mut value = String::new();
+        loop {
+            match chars.next() {
+                Some('\\') => match chars.next() {
+                    Some('\\') => value.push('\\'),
+                    Some('"') => value.push('"'),
+                    Some('n') => value.push('\n'),
+                    other => return Err(format!("bad escape {other:?}")),
+                },
+                Some('"') => break,
+                Some(c) => value.push(c),
+                None => return Err("unterminated label value".to_string()),
+            }
+        }
+        labels.push((key, value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Clock, Registry};
+
+    #[test]
+    fn exposition_round_trips_through_the_parser() {
+        let mut r = Registry::new();
+        r.counter_add(Clock::Sim, "nnrt_jobs_completed_total", &[], 7);
+        r.gauge_set(Clock::Sim, "nnrt_store_hit_rate", &[], 0.75);
+        r.counter_add(
+            Clock::Wall,
+            "nnrt_rpc_requests_total",
+            &[("kind", "submit"), ("outcome", "ok")],
+            3,
+        );
+        r.observe(
+            Clock::Wall,
+            "nnrt_rpc_latency_seconds",
+            &[("kind", "submit")],
+            2e-4,
+        );
+        let exp = parse_exposition(&r.expose(None)).expect("parses");
+        assert_eq!(
+            exp.value("nnrt_jobs_completed_total", &[("clock", "sim")]),
+            Some(7.0)
+        );
+        assert_eq!(
+            exp.value("nnrt_store_hit_rate", &[("clock", "sim")]),
+            Some(0.75)
+        );
+        assert_eq!(
+            exp.value(
+                "nnrt_rpc_requests_total",
+                &[("kind", "submit"), ("outcome", "ok")]
+            ),
+            Some(3.0)
+        );
+        assert_eq!(
+            exp.value("nnrt_rpc_latency_seconds_count", &[("kind", "submit")]),
+            Some(1.0)
+        );
+        let inf = exp
+            .get("nnrt_rpc_latency_seconds_bucket", &[("le", "+Inf")])
+            .expect("+Inf bucket");
+        assert_eq!(inf.value, 1.0);
+    }
+
+    #[test]
+    fn escaped_label_values_round_trip() {
+        let mut r = Registry::new();
+        r.counter_add(Clock::Sim, "c", &[("msg", "a\"b\\c\nd")], 1);
+        let exp = parse_exposition(&r.expose(None)).expect("parses");
+        assert_eq!(exp.samples[0].label("msg"), Some("a\"b\\c\nd"));
+    }
+
+    #[test]
+    fn sum_aggregates_over_a_label() {
+        let mut r = Registry::new();
+        r.counter_add(Clock::Wall, "req", &[("kind", "a")], 2);
+        r.counter_add(Clock::Wall, "req", &[("kind", "b")], 3);
+        let exp = parse_exposition(&r.expose(None)).expect("parses");
+        assert_eq!(exp.sum("req", &[("clock", "wall")]), 5.0);
+    }
+
+    #[test]
+    fn malformed_lines_error_with_context() {
+        assert!(parse_exposition("name{k=\"v\" 1").is_err());
+        assert!(parse_exposition("noval").is_err());
+        assert!(parse_exposition("n{k=unquoted} 1").is_err());
+        assert!(parse_exposition("n 12abc").is_err());
+    }
+}

@@ -1,0 +1,332 @@
+//! Structured event tracing: typed events in a bounded per-domain ring.
+//!
+//! Events in the two clock domains never share state: each domain has its
+//! own ring, its own sequence counter, and its own drop counter. A
+//! sim-domain export is therefore a pure function of the simulation — wall
+//! events (journal I/O, RPC traffic) can never renumber, displace, or
+//! interleave with it, which is what lets CI byte-compare sim event
+//! streams across worker counts and durability settings.
+
+use crate::Clock;
+use serde::{Deserialize, Serialize};
+use std::collections::VecDeque;
+
+/// What happened. Kinds cover every subsystem the fleet composes;
+/// variants serialize as their names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EventKind {
+    /// A job entered the admission queue.
+    Admit,
+    /// A job was rejected at admission (queue saturated).
+    Reject,
+    /// A job was placed onto a node.
+    Place,
+    /// A job re-entered the queue with backoff after an eviction.
+    Retry,
+    /// A job was evicted from a crashed node.
+    Evict,
+    /// A job checkpointed.
+    Checkpoint,
+    /// A job completed.
+    Complete,
+    /// One profiling hill-climb finished for one operation key.
+    ProfileClimb,
+    /// A GPU job's per-stream lane summary.
+    StreamLane,
+    /// A fault plan crashed a node.
+    Crash,
+    /// A fault plan slowed a node.
+    Slowdown,
+    /// A fault plan corrupted part of the shared store.
+    Corruption,
+    /// A record was appended to the write-ahead journal.
+    JournalAppend,
+    /// A snapshot flush cut (store snapshot + journal rotation).
+    FlushCut,
+    /// A journal/flush failure; durability is being disabled.
+    DurabilityError,
+    /// An RPC request was served.
+    RpcRequest,
+}
+
+impl EventKind {
+    /// Stable lowercase name (JSONL/trace output, CLI display).
+    pub fn name(&self) -> &'static str {
+        match self {
+            EventKind::Admit => "admit",
+            EventKind::Reject => "reject",
+            EventKind::Place => "place",
+            EventKind::Retry => "retry",
+            EventKind::Evict => "evict",
+            EventKind::Checkpoint => "checkpoint",
+            EventKind::Complete => "complete",
+            EventKind::ProfileClimb => "profile_climb",
+            EventKind::StreamLane => "stream_lane",
+            EventKind::Crash => "crash",
+            EventKind::Slowdown => "slowdown",
+            EventKind::Corruption => "corruption",
+            EventKind::JournalAppend => "journal_append",
+            EventKind::FlushCut => "flush_cut",
+            EventKind::DurabilityError => "durability_error",
+            EventKind::RpcRequest => "rpc_request",
+        }
+    }
+}
+
+/// One traced event. `at` is seconds on the event's clock (simulated time
+/// for [`Clock::Sim`], seconds since the observer was created for
+/// [`Clock::Wall`]); `seq` numbers events within their domain only.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Per-domain sequence number, dense from 0.
+    pub seq: u64,
+    /// Seconds on this event's clock.
+    pub at: f64,
+    /// The clock domain.
+    pub clock: Clock,
+    /// What happened.
+    pub kind: EventKind,
+    /// The job involved, if any.
+    pub job: Option<u64>,
+    /// The node involved, if any.
+    pub node: Option<u32>,
+    /// Free-form deterministic detail (key names, byte counts, reasons).
+    pub detail: String,
+}
+
+/// Bounded per-domain event rings.
+#[derive(Debug)]
+pub struct EventBuf {
+    capacity: usize,
+    rings: [Ring; 2],
+}
+
+#[derive(Debug, Default)]
+struct Ring {
+    events: VecDeque<Event>,
+    next_seq: u64,
+    dropped: u64,
+}
+
+fn ring_index(clock: Clock) -> usize {
+    match clock {
+        Clock::Sim => 0,
+        Clock::Wall => 1,
+    }
+}
+
+impl EventBuf {
+    /// Rings holding up to `capacity` events per domain.
+    pub fn new(capacity: usize) -> Self {
+        EventBuf {
+            capacity,
+            rings: [Ring::default(), Ring::default()],
+        }
+    }
+
+    /// Appends an event, evicting the domain's oldest past capacity.
+    /// Returns the event's per-domain sequence number.
+    pub fn push(
+        &mut self,
+        clock: Clock,
+        kind: EventKind,
+        at: f64,
+        job: Option<u64>,
+        node: Option<u32>,
+        detail: String,
+    ) -> u64 {
+        let ring = &mut self.rings[ring_index(clock)];
+        let seq = ring.next_seq;
+        ring.next_seq += 1;
+        ring.events.push_back(Event {
+            seq,
+            at,
+            clock,
+            kind,
+            job,
+            node,
+            detail,
+        });
+        while ring.events.len() > self.capacity {
+            ring.events.pop_front();
+            ring.dropped += 1;
+        }
+        seq
+    }
+
+    /// The retained events of `filter`'s domain (both when `None`, sim
+    /// first), each domain in sequence order.
+    pub fn snapshot(&self, filter: Option<Clock>) -> Vec<Event> {
+        let mut out = Vec::new();
+        for clock in [Clock::Sim, Clock::Wall] {
+            if filter.is_some_and(|f| f != clock) {
+                continue;
+            }
+            out.extend(self.rings[ring_index(clock)].events.iter().cloned());
+        }
+        out
+    }
+
+    /// How many events `clock`'s domain has evicted to the ring bound.
+    pub fn dropped(&self, clock: Clock) -> u64 {
+        self.rings[ring_index(clock)].dropped
+    }
+
+    /// Retained event count in `clock`'s domain.
+    pub fn len(&self, clock: Clock) -> usize {
+        self.rings[ring_index(clock)].events.len()
+    }
+
+    /// Whether `clock`'s domain holds no events.
+    pub fn is_empty(&self, clock: Clock) -> bool {
+        self.rings[ring_index(clock)].events.is_empty()
+    }
+}
+
+/// Renders events as JSONL: one compact JSON object per line, in the
+/// order given. Deterministic (the vendored serializer prints fields in
+/// declaration order).
+pub fn to_jsonl(events: &[Event]) -> String {
+    let mut out = String::new();
+    for e in events {
+        out.push_str(&serde_json::to_string(e).expect("event serializes"));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders events as a chrome-trace (`{"traceEvents": [...]}`) of instant
+/// events: microsecond timestamps, node as `pid`, job as `tid`, clock
+/// domain as category. Loadable in `chrome://tracing` / Perfetto, and
+/// mergeable with the per-backend step traces which use the same
+/// pid/tid convention.
+pub fn to_chrome_trace(events: &[Event]) -> String {
+    use serde::Value;
+    let trace: Vec<Value> = events
+        .iter()
+        .map(|e| {
+            Value::Object(vec![
+                ("name".to_string(), Value::Str(e.kind.name().to_string())),
+                ("cat".to_string(), Value::Str(e.clock.label().to_string())),
+                ("ph".to_string(), Value::Str("i".to_string())),
+                ("s".to_string(), Value::Str("g".to_string())),
+                ("ts".to_string(), Value::Float(e.at * 1e6)),
+                (
+                    "pid".to_string(),
+                    Value::Uint(u64::from(e.node.unwrap_or(0))),
+                ),
+                ("tid".to_string(), Value::Uint(e.job.unwrap_or(0))),
+                (
+                    "args".to_string(),
+                    Value::Object(vec![
+                        ("seq".to_string(), Value::Uint(e.seq)),
+                        ("detail".to_string(), Value::Str(e.detail.clone())),
+                    ]),
+                ),
+            ])
+        })
+        .collect();
+    let root = Value::Object(vec![("traceEvents".to_string(), Value::Array(trace))]);
+    serde_json::to_string(&root).expect("trace serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn domains_number_and_bound_independently() {
+        let mut buf = EventBuf::new(2);
+        buf.push(
+            Clock::Sim,
+            EventKind::Admit,
+            0.0,
+            Some(0),
+            None,
+            String::new(),
+        );
+        buf.push(
+            Clock::Wall,
+            EventKind::JournalAppend,
+            0.1,
+            None,
+            None,
+            String::new(),
+        );
+        buf.push(
+            Clock::Sim,
+            EventKind::Place,
+            1.0,
+            Some(0),
+            Some(0),
+            String::new(),
+        );
+        buf.push(
+            Clock::Sim,
+            EventKind::Complete,
+            2.0,
+            Some(0),
+            Some(0),
+            String::new(),
+        );
+        // Sim overflowed its 2-slot ring; wall is untouched.
+        assert_eq!(buf.len(Clock::Sim), 2);
+        assert_eq!(buf.dropped(Clock::Sim), 1);
+        assert_eq!(buf.len(Clock::Wall), 1);
+        assert_eq!(buf.dropped(Clock::Wall), 0);
+        let sim = buf.snapshot(Some(Clock::Sim));
+        assert_eq!(
+            sim.iter().map(|e| e.seq).collect::<Vec<_>>(),
+            vec![1, 2],
+            "sim seq numbers are dense and wall events never consume them"
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut buf = EventBuf::new(8);
+        buf.push(
+            Clock::Sim,
+            EventKind::Admit,
+            0.5,
+            Some(3),
+            None,
+            "dcgan-3".into(),
+        );
+        let events = buf.snapshot(None);
+        let jsonl = to_jsonl(&events);
+        let parsed: Event =
+            serde_json::from_str(jsonl.lines().next().expect("one line")).expect("line parses");
+        assert_eq!(parsed, events[0]);
+    }
+
+    #[test]
+    fn chrome_trace_is_valid_json_with_one_entry_per_event() {
+        let mut buf = EventBuf::new(8);
+        buf.push(
+            Clock::Sim,
+            EventKind::Place,
+            1.0,
+            Some(1),
+            Some(0),
+            String::new(),
+        );
+        buf.push(
+            Clock::Wall,
+            EventKind::RpcRequest,
+            0.2,
+            None,
+            None,
+            "submit".into(),
+        );
+        let text = to_chrome_trace(&buf.snapshot(None));
+        let v: serde::Value = serde_json::from_str(&text).expect("valid json");
+        let serde::Value::Object(fields) = &v else {
+            panic!("trace root must be an object")
+        };
+        let (_, serde::Value::Array(entries)) = &fields[0] else {
+            panic!("traceEvents must be an array")
+        };
+        assert_eq!(entries.len(), 2);
+    }
+}

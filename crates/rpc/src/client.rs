@@ -221,6 +221,26 @@ impl RpcClient {
         }
     }
 
+    /// The fleet's metrics exposition (Prometheus-style text, both clock
+    /// domains, gauges refreshed at scrape time).
+    pub fn metrics(&mut self) -> Result<String, ClientError> {
+        match self.request(&Request::Metrics)? {
+            Response::Metrics { text } => Ok(text),
+            Response::Error(frame) => Err(ClientError::Rejected(frame)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// The fleet's retained structured events (sim domain first, each in
+    /// sequence order).
+    pub fn events(&mut self) -> Result<Vec<nnrt_obs::Event>, ClientError> {
+        match self.request(&Request::Events)? {
+            Response::Events(events) => Ok(events),
+            Response::Error(frame) => Err(ClientError::Rejected(frame)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
     /// The profile store's counters and snapshot document.
     pub fn snapshot(&mut self) -> Result<SnapshotInfo, ClientError> {
         match self.request(&Request::Snapshot)? {

@@ -25,6 +25,7 @@
 //! `ShuttingDown`), so clients can decide between retrying, fixing the
 //! request, and giving up.
 
+use nnrt_obs::Event;
 use nnrt_serve::{JobStatus, StoreStats};
 use serde::{Deserialize, Error as SerdeError, Serialize, Value};
 use std::fmt;
@@ -121,9 +122,31 @@ pub enum Request {
     /// Read the profile store: entry count, hit/miss/eviction counters,
     /// and the versioned snapshot document.
     Snapshot,
+    /// Scrape the fleet's metrics: the Prometheus-style text exposition
+    /// (both clock domains), gauges refreshed at scrape time.
+    Metrics,
+    /// Read the fleet's retained structured events (both clock domains,
+    /// sim first, each in sequence order).
+    Events,
     /// Drain the fleet, flush the final report (and the profile-store
     /// snapshot, if the server persists one), and stop serving.
     Shutdown,
+}
+
+impl Request {
+    /// Stable lowercase name of the request kind — the `kind` label the
+    /// server's per-request metrics use.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Request::Submit(_) => "submit",
+            Request::Status { .. } => "status",
+            Request::ListJobs => "list_jobs",
+            Request::Snapshot => "snapshot",
+            Request::Metrics => "metrics",
+            Request::Events => "events",
+            Request::Shutdown => "shutdown",
+        }
+    }
 }
 
 /// The submit request's payload: everything a [`nnrt_serve::JobSpec`] needs
@@ -243,6 +266,13 @@ pub enum Response {
     Jobs(Vec<JobStatus>),
     /// The profile store's counters and snapshot.
     Snapshot(SnapshotInfo),
+    /// The metrics exposition text.
+    Metrics {
+        /// Prometheus-style text exposition (see `nnrt_obs::Registry`).
+        text: String,
+    },
+    /// The retained structured events.
+    Events(Vec<Event>),
     /// The server drained the fleet and is stopping; `report` is the final
     /// [`nnrt_serve::FleetReport`] as canonical JSON.
     Bye {
@@ -291,6 +321,8 @@ impl Serialize for Request {
             ]),
             Request::ListJobs => obj(vec![("type", Value::Str("list_jobs".to_string()))]),
             Request::Snapshot => obj(vec![("type", Value::Str("snapshot".to_string()))]),
+            Request::Metrics => obj(vec![("type", Value::Str("metrics".to_string()))]),
+            Request::Events => obj(vec![("type", Value::Str("events".to_string()))]),
             Request::Shutdown => obj(vec![("type", Value::Str("shutdown".to_string()))]),
         }
     }
@@ -307,6 +339,8 @@ impl Deserialize for Request {
             }),
             "list_jobs" => Ok(Request::ListJobs),
             "snapshot" => Ok(Request::Snapshot),
+            "metrics" => Ok(Request::Metrics),
+            "events" => Ok(Request::Events),
             "shutdown" => Ok(Request::Shutdown),
             other => Err(SerdeError::msg(format!("unknown request type `{other}`"))),
         }
@@ -332,6 +366,14 @@ impl Serialize for Response {
                 ("type", Value::Str("snapshot".to_string())),
                 ("store", info.to_json_value()),
             ]),
+            Response::Metrics { text } => obj(vec![
+                ("type", Value::Str("metrics".to_string())),
+                ("text", Value::Str(text.clone())),
+            ]),
+            Response::Events(events) => obj(vec![
+                ("type", Value::Str("events".to_string())),
+                ("events", events.to_json_value()),
+            ]),
             Response::Bye { report } => obj(vec![
                 ("type", Value::Str("bye".to_string())),
                 ("report", Value::Str(report.clone())),
@@ -355,6 +397,10 @@ impl Deserialize for Response {
             "snapshot" => Ok(Response::Snapshot(SnapshotInfo::from_json_value(field(
                 v, "store",
             )?)?)),
+            "metrics" => Ok(Response::Metrics {
+                text: String::from_json_value(field(v, "text")?)?,
+            }),
+            "events" => Ok(Response::Events(Vec::from_json_value(field(v, "events")?)?)),
             "bye" => Ok(Response::Bye {
                 report: String::from_json_value(field(v, "report")?)?,
             }),
@@ -406,6 +452,8 @@ mod tests {
         round_trip_request(Request::Status { job_id: 7 });
         round_trip_request(Request::ListJobs);
         round_trip_request(Request::Snapshot);
+        round_trip_request(Request::Metrics);
+        round_trip_request(Request::Events);
         round_trip_request(Request::Shutdown);
     }
 
@@ -420,8 +468,21 @@ mod tests {
             steps_done: 1,
             steps: 3,
             node: Some(0),
+            durability_disabled: false,
         }));
         round_trip_response(Response::Jobs(vec![]));
+        round_trip_response(Response::Metrics {
+            text: "# TYPE nnrt_queue_depth gauge\nnnrt_queue_depth{clock=\"sim\"} 2\n".to_string(),
+        });
+        round_trip_response(Response::Events(vec![nnrt_obs::Event {
+            seq: 0,
+            at: 1.5,
+            clock: nnrt_obs::Clock::Sim,
+            kind: nnrt_obs::EventKind::Place,
+            job: Some(1),
+            node: Some(0),
+            detail: "dcgan-1".to_string(),
+        }]));
         round_trip_response(Response::Snapshot(SnapshotInfo {
             entries: 12,
             hits: 30,

@@ -31,6 +31,7 @@ use crate::protocol::{
     SnapshotInfo, SubmitSpec,
 };
 use nnrt_graph::DataflowGraph;
+use nnrt_obs::{Clock, EventKind, Obs};
 use nnrt_serve::{AdmitError, Fleet, FleetConfig, JobId, JobSpec};
 use std::collections::HashMap;
 use std::io;
@@ -40,7 +41,7 @@ use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Retry hint carried by inbox-full rejections, seconds. The service loop
 /// drains the inbox every iteration, so this only needs to cover one
@@ -154,10 +155,15 @@ impl FleetServer {
         let stop = Arc::new(AtomicBool::new(false));
         let final_report = Arc::new(Mutex::new(None));
         let (inbox, commands) = mpsc::sync_channel(config.inbox_capacity.max(1));
+        // The request-accounting handle shared with the accept loop and the
+        // per-connection reader threads: rejections that never reach the
+        // service thread (connection cap, full inbox) still count.
+        let obs = fleet.obs();
         let limits = ConnectionLimits {
             max_connections: config.max_connections.max(1),
             idle_timeout: config.idle_timeout,
             live: Arc::new(AtomicUsize::new(0)),
+            obs: Arc::clone(&obs),
         };
 
         let service_handle = {
@@ -171,6 +177,7 @@ impl FleetServer {
                     stop,
                     final_report,
                     graphs: HashMap::new(),
+                    epoch: Instant::now(),
                 }
                 .run()
             })
@@ -218,6 +225,7 @@ struct ConnectionLimits {
     max_connections: usize,
     idle_timeout: Duration,
     live: Arc<AtomicUsize>,
+    obs: Arc<Obs>,
 }
 
 /// Decrements the live-connection count when a reader thread exits, however
@@ -246,6 +254,12 @@ fn accept_loop(
                 let prior = limits.live.fetch_add(1, Ordering::SeqCst);
                 if prior >= limits.max_connections {
                     limits.live.fetch_sub(1, Ordering::SeqCst);
+                    limits.obs.counter_add(
+                        Clock::Wall,
+                        "nnrt_rpc_connections_rejected_total",
+                        &[],
+                        1,
+                    );
                     let reject = Response::Error(ErrorFrame {
                         kind: ErrorKind::Saturated,
                         message: format!(
@@ -262,9 +276,10 @@ fn accept_loop(
                 let guard = ConnectionGuard(Arc::clone(&limits.live));
                 let inbox = inbox.clone();
                 let idle_timeout = limits.idle_timeout;
+                let obs = Arc::clone(&limits.obs);
                 thread::spawn(move || {
                     let _guard = guard;
-                    serve_connection(stream, inbox, idle_timeout)
+                    serve_connection(stream, inbox, idle_timeout, obs)
                 });
             }
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
@@ -277,7 +292,12 @@ fn accept_loop(
 /// through the bounded inbox and writing the response frame back. A client
 /// that stays silent past `idle_timeout` (no complete frame) is dropped —
 /// the read times out with an I/O error, which closes the stream below.
-fn serve_connection(mut stream: TcpStream, inbox: SyncSender<Command>, idle_timeout: Duration) {
+fn serve_connection(
+    mut stream: TcpStream,
+    inbox: SyncSender<Command>,
+    idle_timeout: Duration,
+    obs: Arc<Obs>,
+) {
     if !idle_timeout.is_zero() {
         let _ = stream.set_read_timeout(Some(idle_timeout));
     }
@@ -286,7 +306,7 @@ fn serve_connection(mut stream: TcpStream, inbox: SyncSender<Command>, idle_time
             Ok(payload) => match decode::<Request>(&payload) {
                 Ok(request) => {
                     let is_bye = matches!(request, Request::Shutdown);
-                    let response = dispatch(request, &inbox);
+                    let response = dispatch(request, &inbox, &obs);
                     if write_frame(&mut stream, &encode(&response)).is_err() || is_bye {
                         return;
                     }
@@ -320,7 +340,8 @@ fn serve_connection(mut stream: TcpStream, inbox: SyncSender<Command>, idle_time
 /// Queues `request` on the bounded inbox and waits for the service loop's
 /// answer. A full inbox is backpressure, typed exactly like a full
 /// admission queue.
-fn dispatch(request: Request, inbox: &SyncSender<Command>) -> Response {
+fn dispatch(request: Request, inbox: &SyncSender<Command>, obs: &Obs) -> Response {
+    let kind = request.kind();
     let (reply, answer) = mpsc::channel();
     match inbox.try_send(Command { request, reply }) {
         Ok(()) => match answer.recv_timeout(REPLY_TIMEOUT) {
@@ -331,11 +352,21 @@ fn dispatch(request: Request, inbox: &SyncSender<Command>) -> Response {
                 retry_after_secs: None,
             }),
         },
-        Err(TrySendError::Full(_)) => Response::Error(ErrorFrame {
-            kind: ErrorKind::Saturated,
-            message: "server command inbox is full".to_string(),
-            retry_after_secs: Some(INBOX_RETRY_SECS),
-        }),
+        Err(TrySendError::Full(_)) => {
+            // The inbox-full rejection never reaches the service loop, so it
+            // is accounted here: same series, `outcome="saturated"`.
+            obs.counter_add(
+                Clock::Wall,
+                "nnrt_rpc_requests_total",
+                &[("kind", kind), ("outcome", "saturated")],
+                1,
+            );
+            Response::Error(ErrorFrame {
+                kind: ErrorKind::Saturated,
+                message: "server command inbox is full".to_string(),
+                retry_after_secs: Some(INBOX_RETRY_SECS),
+            })
+        }
         Err(TrySendError::Disconnected(_)) => Response::Error(ErrorFrame {
             kind: ErrorKind::ShuttingDown,
             message: "server is shutting down".to_string(),
@@ -354,6 +385,8 @@ struct ServiceLoop {
     /// `(model, batch)` → built graph, so repeated submissions of one model
     /// family do not rebuild multi-thousand-op graphs per request.
     graphs: HashMap<(String, u64), DataflowGraph>,
+    /// Wall-clock origin for RPC event timestamps.
+    epoch: Instant,
 }
 
 impl ServiceLoop {
@@ -392,6 +425,8 @@ impl ServiceLoop {
 
     /// Applies one command; `false` stops the service loop.
     fn handle(&mut self, cmd: Command) -> bool {
+        let started = Instant::now();
+        let kind = cmd.request.kind();
         let response = match cmd.request {
             Request::Submit(spec) => self.submit(spec),
             Request::Status { job_id } => match self.fleet.job_status(JobId(job_id)) {
@@ -411,6 +446,15 @@ impl ServiceLoop {
                     store.snapshot(),
                 ))
             }
+            Request::Metrics => {
+                // Refresh the point-in-time gauges so a live scrape sees the
+                // fleet as it stands, then expose both clock domains.
+                self.fleet.refresh_obs_gauges();
+                Response::Metrics {
+                    text: self.fleet.obs().expose(None),
+                }
+            }
+            Request::Events => Response::Events(self.fleet.obs().events_snapshot(None)),
             Request::Shutdown => {
                 // Drain every queued, resident, and evicted job through the
                 // same code path the in-process API uses, then flush.
@@ -423,12 +467,50 @@ impl ServiceLoop {
                 }
                 *self.final_report.lock().expect("report slot") = Some(report.clone());
                 self.stop.store(true, Ordering::SeqCst);
-                let _ = cmd.reply.send(Response::Bye { report });
+                let response = Response::Bye { report };
+                self.observe_rpc(kind, started, &response);
+                let _ = cmd.reply.send(response);
                 return false;
             }
         };
+        self.observe_rpc(kind, started, &response);
         let _ = cmd.reply.send(response);
         true
+    }
+
+    /// Accounts one handled request in the wall domain: a per-kind count
+    /// split by outcome, a per-kind service-latency histogram, and a
+    /// structured `RpcRequest` event.
+    fn observe_rpc(&self, kind: &'static str, started: Instant, response: &Response) {
+        let obs = self.fleet.obs();
+        if !obs.enabled() {
+            return;
+        }
+        let outcome = match response {
+            Response::Error(frame) if frame.kind == ErrorKind::Saturated => "saturated",
+            Response::Error(_) => "error",
+            _ => "ok",
+        };
+        obs.counter_add(
+            Clock::Wall,
+            "nnrt_rpc_requests_total",
+            &[("kind", kind), ("outcome", outcome)],
+            1,
+        );
+        obs.observe(
+            Clock::Wall,
+            "nnrt_rpc_latency_seconds",
+            &[("kind", kind)],
+            started.elapsed().as_secs_f64(),
+        );
+        obs.event(
+            Clock::Wall,
+            EventKind::RpcRequest,
+            self.epoch.elapsed().as_secs_f64(),
+            None,
+            None,
+            format!("{kind}: {outcome}"),
+        );
     }
 
     /// Resolves the model, names the job, and admits it.

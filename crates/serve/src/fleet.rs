@@ -42,6 +42,7 @@ use crate::store::{ProfileStore, StoreError};
 use nnrt_gpu::{GpuRuntime, GpuRuntimeConfig, GpuSpec};
 use nnrt_graph::{DataflowGraph, OpKey};
 use nnrt_manycore::{KnlCostModel, MachineSignature, NodeHealth};
+use nnrt_obs::{Clock, EventKind, Obs, ObsConfig};
 use nnrt_sched::{
     export_chrome_trace, export_lane_chrome_trace, OpCatalog, ProfilerPool, Runtime, RuntimeConfig,
 };
@@ -154,6 +155,11 @@ pub struct FleetConfig {
     /// durable fault-free run's report is byte-identical to a
     /// non-durable one.
     pub durability: Option<DurabilityConfig>,
+    /// Observability (metrics registry + event tracing). Enabled by
+    /// default; like durability it is a pure side effect of the run loop —
+    /// [`nnrt_obs::ObsConfig::off`] yields a fleet whose simulation is
+    /// byte-identical, minus the recorded telemetry.
+    pub obs: ObsConfig,
 }
 
 impl Default for FleetConfig {
@@ -170,6 +176,7 @@ impl Default for FleetConfig {
             backend: NodeBackend::Knl,
             gpu: GpuRuntimeConfig::default(),
             durability: None,
+            obs: ObsConfig::default(),
         }
     }
 }
@@ -476,6 +483,15 @@ pub struct FleetReport {
     pub checkpoint_writes: u64,
     /// Per-node accumulated downtime, seconds.
     pub node_downtime_secs: Vec<f64>,
+    /// Whether a mid-run journal/flush failure disabled durability — the
+    /// degradation is part of the report, not just a stderr warning.
+    pub durability_disabled: bool,
+    /// Final simulated-clock metrics snapshot: the same Prometheus-style
+    /// exposition `Request::Metrics` serves live, filtered to the sim
+    /// domain so it is byte-identical across runs and worker counts (wall
+    /// metrics — journal I/O, RPC latency — are live-only). `None` when
+    /// observability is disabled.
+    pub metrics: Option<String>,
 }
 
 impl FleetReport {
@@ -595,6 +611,9 @@ pub struct JobStatus {
     /// Node the job resides on (ran on, for completed jobs); `None` while
     /// queued or waiting for re-admission.
     pub node: Option<u32>,
+    /// Fleet-level flag: a mid-run journal/flush failure disabled
+    /// durability, so completions past that point survive only in memory.
+    pub durability_disabled: bool,
 }
 
 /// The multi-tenant training-job service.
@@ -617,6 +636,15 @@ pub struct Fleet {
     /// [`Fleet::recover`]); visible to status queries and journal rotation,
     /// excluded from this incarnation's [`FleetReport`].
     prior_completed: Vec<PriorCompleted>,
+    /// Shared observability handle (metrics + events); also cloned by the
+    /// RPC server for request accounting and live introspection.
+    obs: Arc<Obs>,
+    /// Wall-clock epoch for [`Clock::Wall`] event timestamps.
+    obs_epoch: std::time::Instant,
+    /// Set when a journal append or flush failed and durability was
+    /// disabled mid-run — surfaced in [`FleetReport`] and [`JobStatus`]
+    /// instead of only a stderr warning.
+    durability_disabled: bool,
 }
 
 impl Fleet {
@@ -701,6 +729,7 @@ impl Fleet {
     }
 
     fn from_nodes(config: FleetConfig, nodes: Vec<Node>, store: Arc<ProfileStore>) -> Self {
+        let obs = Arc::new(Obs::new(config.obs.clone()));
         let mut fleet = Fleet {
             queue: AdmissionQueue::new(config.queue_capacity),
             config,
@@ -716,9 +745,30 @@ impl Fleet {
             checkpoints: CheckpointStore::new(),
             durable: None,
             prior_completed: Vec::new(),
+            obs,
+            obs_epoch: std::time::Instant::now(),
+            durability_disabled: false,
         };
         fleet.init_durable();
         fleet
+    }
+
+    /// The fleet's observability handle. The RPC server clones it to
+    /// account requests; introspection reads expositions and event
+    /// snapshots through it while the fleet runs.
+    pub fn obs(&self) -> Arc<Obs> {
+        self.obs.clone()
+    }
+
+    /// Seconds since this fleet was constructed — the timestamp domain of
+    /// its [`Clock::Wall`] events.
+    fn wall_secs(&self) -> f64 {
+        self.obs_epoch.elapsed().as_secs_f64()
+    }
+
+    /// Whether a mid-run journal/flush failure disabled durability.
+    pub fn durability_disabled(&self) -> bool {
+        self.durability_disabled
     }
 
     /// Opens the journal and cuts the first snapshot+journal pair when the
@@ -748,17 +798,59 @@ impl Fleet {
         self.flush_durable();
     }
 
-    /// Appends one record to the journal. A failed append prints a warning
-    /// and disables durability for the rest of the run — availability over
-    /// durability once the disk misbehaves mid-flight.
+    /// Appends one record to the journal. A failed append disables
+    /// durability for the rest of the run — availability over durability
+    /// once the disk misbehaves mid-flight — and the degradation is
+    /// *loud*: a `durability_error` event, a `nnrt_durability_errors_total`
+    /// counter, and `durability_disabled: true` in every subsequent report
+    /// and status, not just a stderr warning.
     fn journal_append(&mut self, rec: JournalRecord) {
         let Some(d) = self.durable.as_mut() else {
             return;
         };
-        if let Err(e) = d.journal.append(&rec) {
-            eprintln!("nnrt-serve: journal append failed ({e}); disabling durability");
-            self.durable = None;
+        let tag = rec.tag();
+        match d.journal.append(&rec) {
+            Ok(bytes) => {
+                self.obs.counter_add(
+                    Clock::Wall,
+                    "nnrt_journal_appends_total",
+                    &[("record", tag)],
+                    1,
+                );
+                self.obs
+                    .counter_add(Clock::Wall, "nnrt_journal_bytes_total", &[], bytes as u64);
+                self.obs.event(
+                    Clock::Wall,
+                    EventKind::JournalAppend,
+                    self.wall_secs(),
+                    None,
+                    None,
+                    format!("{tag} ({bytes} bytes)"),
+                );
+            }
+            Err(e) => {
+                self.disable_durability("journal append", tag, &e);
+            }
         }
+    }
+
+    /// Disables durability after a mid-run I/O failure and records the
+    /// degradation on every observability surface (satellite of the silent
+    /// `eprintln!`-only path this replaces).
+    fn disable_durability(&mut self, what: &str, context: &str, error: &std::io::Error) {
+        eprintln!("nnrt-serve: {what} failed ({error}); disabling durability");
+        self.durable = None;
+        self.durability_disabled = true;
+        self.obs
+            .counter_add(Clock::Wall, "nnrt_durability_errors_total", &[], 1);
+        self.obs.event(
+            Clock::Wall,
+            EventKind::DurabilityError,
+            self.wall_secs(),
+            None,
+            None,
+            format!("{what} failed ({context}): {error}; durability disabled"),
+        );
     }
 
     /// The compacted prologue a journal rotation installs: completions
@@ -836,20 +928,36 @@ impl Fleet {
     }
 
     /// Writes the store snapshot atomically and rotates the journal to the
-    /// compacted prologue — one consistent cut. A failed flush prints a
-    /// warning and disables durability for the rest of the run.
+    /// compacted prologue — one consistent cut. A failed flush disables
+    /// durability for the rest of the run, loudly (see
+    /// [`Fleet::disable_durability`]).
     fn flush_durable(&mut self) {
         if self.durable.is_none() {
             return;
         }
         let prologue = self.compacted_records();
         let snapshot = self.store.snapshot();
+        let snapshot_bytes = snapshot.len();
+        let records = prologue.len();
         let d = self.durable.as_mut().expect("durable checked above");
         let result = write_atomic(&d.dir.join(SNAPSHOT_FILE), snapshot.as_bytes())
             .and_then(|()| d.journal.rotate(&prologue));
-        if let Err(e) = result {
-            eprintln!("nnrt-serve: durable flush failed ({e}); disabling durability");
-            self.durable = None;
+        match result {
+            Ok(()) => {
+                self.obs
+                    .counter_add(Clock::Wall, "nnrt_flush_cuts_total", &[], 1);
+                self.obs.event(
+                    Clock::Wall,
+                    EventKind::FlushCut,
+                    self.wall_secs(),
+                    None,
+                    None,
+                    format!("snapshot {snapshot_bytes} bytes, {records} prologue records"),
+                );
+            }
+            Err(e) => {
+                self.disable_durability("durable flush", "snapshot+rotate", &e);
+            }
         }
     }
 
@@ -920,6 +1028,7 @@ impl Fleet {
                 steps_done: j.steps,
                 steps: j.steps,
                 node: Some(j.node),
+                durability_disabled: self.durability_disabled,
             });
         }
         if let Some(p) = self.prior_completed.iter().find(|p| p.id == id.0) {
@@ -931,6 +1040,7 @@ impl Fleet {
                 steps_done: p.steps,
                 steps: p.steps,
                 node: Some(p.node),
+                durability_disabled: self.durability_disabled,
             });
         }
         for (node_idx, node) in self.nodes.iter().enumerate() {
@@ -943,6 +1053,7 @@ impl Fleet {
                     steps_done: j.steps_done,
                     steps: j.spec.steps,
                     node: Some(node_idx as u32),
+                    durability_disabled: self.durability_disabled,
                 });
             }
         }
@@ -955,6 +1066,7 @@ impl Fleet {
                 steps_done: r.job.steps_done,
                 steps: r.job.spec.steps,
                 node: None,
+                durability_disabled: self.durability_disabled,
             });
         }
         self.queue.iter().find(|q| q.id == id).map(|q| JobStatus {
@@ -965,6 +1077,7 @@ impl Fleet {
             steps_done: 0,
             steps: q.spec.steps,
             node: None,
+            durability_disabled: self.durability_disabled,
         })
     }
 
@@ -996,7 +1109,24 @@ impl Fleet {
             weight: spec.weight,
             graph: spec.graph.clone(),
         });
-        self.queue.submit(id, spec, now, hint)?;
+        let name = spec.name.clone();
+        if let Err(e) = self.queue.submit(id, spec, now, hint) {
+            self.obs
+                .counter_add(Clock::Sim, "nnrt_jobs_rejected_total", &[], 1);
+            self.obs.event(
+                Clock::Sim,
+                EventKind::Reject,
+                now,
+                None,
+                None,
+                format!("{name}: queue saturated, retry in {hint:.3}s"),
+            );
+            return Err(e);
+        }
+        self.obs
+            .counter_add(Clock::Sim, "nnrt_jobs_submitted_total", &[], 1);
+        self.obs
+            .event(Clock::Sim, EventKind::Admit, now, Some(id.0), None, name);
         self.next_id += 1;
         if let Some(rec) = rec {
             self.journal_append(rec);
@@ -1104,6 +1234,18 @@ impl Fleet {
         }
         let node_clock = self.nodes[node_idx].clock;
         let queue_latency = (node_clock - job.submitted_at).max(0.0);
+        self.obs
+            .counter_add(Clock::Sim, "nnrt_jobs_placed_total", &[], 1);
+        self.obs
+            .observe(Clock::Sim, "nnrt_queue_wait_seconds", &[], queue_latency);
+        self.obs.event(
+            Clock::Sim,
+            EventKind::Place,
+            node_clock,
+            Some(job.id.0),
+            Some(node_idx as u32),
+            job.spec.name.clone(),
+        );
         let budget = self.plan.profiling_step_budget.unwrap_or(u32::MAX);
         let prep = self.prepare_on_node(node_idx, job.id, &job.spec.graph, budget);
 
@@ -1162,9 +1304,21 @@ impl Fleet {
             .unwrap_or(0);
         if resume > 0 {
             job.checkpoint_restores += 1;
+            self.obs
+                .counter_add(Clock::Sim, "nnrt_checkpoint_restores_total", &[], 1);
         }
         job.retries += 1;
         job.steps_done = resume;
+        self.obs
+            .counter_add(Clock::Sim, "nnrt_retries_total", &[], 1);
+        self.obs.event(
+            Clock::Sim,
+            EventKind::Retry,
+            now,
+            Some(job.id.0),
+            Some(node_idx as u32),
+            format!("resume from step {resume}"),
+        );
 
         let remaining_budget = self
             .plan
@@ -1229,6 +1383,30 @@ impl Fleet {
                         profiles: published,
                     });
                 }
+                // Per-key climb events come from the merged outcome, which
+                // is in canonical key order for every worker count — never
+                // from the profiler's worker threads, whose interleaving is
+                // wall-clock-dependent.
+                let at = self.nodes[node_idx].clock;
+                for c in &runtime.fit_outcome().climbs {
+                    self.obs.counter_add(
+                        Clock::Sim,
+                        "nnrt_profile_measurements_total",
+                        &[],
+                        c.measurements,
+                    );
+                    self.obs.event(
+                        Clock::Sim,
+                        EventKind::ProfileClimb,
+                        at,
+                        Some(id.0),
+                        Some(node_idx as u32),
+                        format!(
+                            "{:?} meas={} climb={} seeded={} degraded={}",
+                            c.key, c.measurements, c.longest_climb, c.seeded, c.degraded
+                        ),
+                    );
+                }
                 runtime.record_trace(self.config.record_traces);
                 let step = runtime.run_step(graph);
                 PreparedJob {
@@ -1265,6 +1443,23 @@ impl Fleet {
                     });
                 }
                 let step = runtime.run_step(graph);
+                let at = self.nodes[node_idx].clock;
+                for (lane, ops) in step.lane_summary() {
+                    self.obs.event(
+                        Clock::Sim,
+                        EventKind::StreamLane,
+                        at,
+                        Some(id.0),
+                        Some(node_idx as u32),
+                        format!("stream {lane}: {ops} kernels"),
+                    );
+                }
+                self.obs.gauge_set(
+                    Clock::Sim,
+                    "nnrt_gpu_streams_used",
+                    &[("node", &node_idx.to_string())],
+                    f64::from(step.streams_used),
+                );
                 PreparedJob {
                     step_secs: step.total_secs,
                     profiling_steps: runtime.profile().profiling_steps,
@@ -1317,6 +1512,24 @@ impl Fleet {
                 n.clock = n.down_until;
                 n.health.reset();
                 let evicted: Vec<RunningJob> = n.residents.drain(..).collect();
+                self.obs.counter_add(
+                    Clock::Sim,
+                    "nnrt_faults_injected_total",
+                    &[("kind", "crash")],
+                    1,
+                );
+                self.obs.event(
+                    Clock::Sim,
+                    EventKind::Crash,
+                    start,
+                    None,
+                    Some(idx as u32),
+                    format!(
+                        "down {:.3}s, {} jobs evicted",
+                        down_secs.max(0.0),
+                        evicted.len()
+                    ),
+                );
                 for job in evicted {
                     if self.durable.is_some() {
                         self.journal_append(JournalRecord::Evict {
@@ -1324,6 +1537,16 @@ impl Fleet {
                             at: start,
                         });
                     }
+                    self.obs
+                        .counter_add(Clock::Sim, "nnrt_evictions_total", &[], 1);
+                    self.obs.event(
+                        Clock::Sim,
+                        EventKind::Evict,
+                        start,
+                        Some(job.id.0),
+                        Some(idx as u32),
+                        format!("at step {}", job.steps_done),
+                    );
                     self.retries.push(RetryJob {
                         job,
                         eligible_at: start + INITIAL_BACKOFF_SECS,
@@ -1341,10 +1564,38 @@ impl Fleet {
                 let n = &mut self.nodes[idx];
                 n.slow_factor = factor.max(1.0);
                 n.slow_until = at + duration_secs.max(0.0);
+                self.obs.counter_add(
+                    Clock::Sim,
+                    "nnrt_faults_injected_total",
+                    &[("kind", "slowdown")],
+                    1,
+                );
+                self.obs.event(
+                    Clock::Sim,
+                    EventKind::Slowdown,
+                    at,
+                    None,
+                    Some(idx as u32),
+                    format!("{:.2}x for {:.3}s", factor.max(1.0), duration_secs.max(0.0)),
+                );
             }
-            FaultEvent::StoreCorruption { drop_fraction, .. } => {
+            FaultEvent::StoreCorruption { at, drop_fraction } => {
                 self.store
                     .corrupt_deterministic(self.plan.seed, drop_fraction);
+                self.obs.counter_add(
+                    Clock::Sim,
+                    "nnrt_faults_injected_total",
+                    &[("kind", "corruption")],
+                    1,
+                );
+                self.obs.event(
+                    Clock::Sim,
+                    EventKind::Corruption,
+                    at,
+                    None,
+                    None,
+                    format!("dropped {:.0}% of the store", drop_fraction * 100.0),
+                );
             }
         }
     }
@@ -1423,6 +1674,16 @@ impl Fleet {
                         at: clock,
                     },
                 );
+                self.obs
+                    .counter_add(Clock::Sim, "nnrt_checkpoint_writes_total", &[], 1);
+                self.obs.event(
+                    Clock::Sim,
+                    EventKind::Checkpoint,
+                    clock,
+                    Some(job.id.0),
+                    Some(node_idx as u32),
+                    format!("step {}", job.steps_done),
+                );
                 if self.durable.is_some() {
                     self.journal_append(JournalRecord::Checkpoint {
                         id: job.id.0,
@@ -1435,6 +1696,22 @@ impl Fleet {
             self.nodes[node_idx].residents.push_back(job);
         } else {
             self.checkpoints.remove(job.id);
+            self.obs
+                .counter_add(Clock::Sim, "nnrt_jobs_completed_total", &[], 1);
+            self.obs.observe(
+                Clock::Sim,
+                "nnrt_job_duration_seconds",
+                &[],
+                (clock - job.submitted_at).max(0.0),
+            );
+            self.obs.event(
+                Clock::Sim,
+                EventKind::Complete,
+                clock,
+                Some(job.id.0),
+                Some(node_idx as u32),
+                format!("{} ({} steps)", job.spec.name, job.steps_done),
+            );
             if self.durable.is_some() {
                 self.journal_append(JournalRecord::Complete {
                     id: job.id.0,
@@ -1811,6 +2088,7 @@ impl Fleet {
     /// draining; a server driving the fleet through [`Fleet::tick`] calls it
     /// at shutdown (or any time in between) instead.
     pub fn report(&self) -> FleetReport {
+        self.refresh_obs_gauges();
         let jobs = self.completed.clone();
         let store_stats = self.store.stats();
         let makespan = self.nodes.iter().map(|n| n.clock).fold(0.0, f64::max);
@@ -1847,8 +2125,82 @@ impl Fleet {
             degraded_keys_total: jobs.iter().map(|j| j.degraded_keys as u64).sum(),
             checkpoint_writes: self.checkpoints.writes(),
             node_downtime_secs: self.nodes.iter().map(|n| n.downtime).collect(),
+            durability_disabled: self.durability_disabled,
+            metrics: self
+                .obs
+                .enabled()
+                .then(|| self.obs.expose(Some(Clock::Sim))),
             jobs,
         }
+    }
+
+    /// Recomputes every point-in-time gauge from fleet state. Idempotent
+    /// and sim-domain only, so calling it at arbitrary wall moments (each
+    /// `Request::Metrics`) cannot perturb the final exposition: the gauge
+    /// *set* is fixed and [`Fleet::report`] refreshes once more at the end.
+    pub fn refresh_obs_gauges(&self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let sim = Clock::Sim;
+        self.obs
+            .gauge_set(sim, "nnrt_queue_depth", &[], self.queue.len() as f64);
+        let running: usize = self.nodes.iter().map(|n| n.residents.len()).sum();
+        for (phase, count) in [
+            ("queued", self.queue.len()),
+            ("running", running),
+            ("retrying", self.retries.len()),
+            (
+                "completed",
+                self.completed.len() + self.prior_completed.len(),
+            ),
+        ] {
+            self.obs
+                .gauge_set(sim, "nnrt_jobs", &[("phase", phase)], count as f64);
+        }
+        for (idx, node) in self.nodes.iter().enumerate() {
+            let labels = [("node", idx.to_string())];
+            let labels: Vec<(&str, &str)> = labels.iter().map(|(k, v)| (*k, v.as_str())).collect();
+            self.obs.gauge_set(
+                sim,
+                "nnrt_node_resident_jobs",
+                &labels,
+                node.residents.len() as f64,
+            );
+            self.obs.gauge_set(sim, "nnrt_node_utilization", &labels, {
+                node.residents.len() as f64 / node.max_jobs.max(1) as f64
+            });
+            self.obs
+                .gauge_set(sim, "nnrt_node_clock_seconds", &labels, node.clock);
+            self.obs
+                .gauge_set(sim, "nnrt_node_downtime_seconds", &labels, node.downtime);
+        }
+        let stats = self.store.stats();
+        self.obs
+            .gauge_set(sim, "nnrt_store_entries", &[], self.store.len() as f64);
+        self.obs
+            .gauge_set(sim, "nnrt_store_hits", &[], stats.hits as f64);
+        self.obs
+            .gauge_set(sim, "nnrt_store_misses", &[], stats.misses as f64);
+        self.obs
+            .gauge_set(sim, "nnrt_store_evictions", &[], stats.evictions as f64);
+        self.obs
+            .gauge_set(sim, "nnrt_store_hit_rate", &[], stats.hit_rate());
+        self.obs.gauge_set(
+            sim,
+            "nnrt_queue_rejections",
+            &[],
+            self.queue.rejections() as f64,
+        );
+        // The durability flag is wall-domain: whether it trips depends on
+        // real disks, and a durable run's sim exposition must stay
+        // byte-identical to an in-memory run's.
+        self.obs.gauge_set(
+            Clock::Wall,
+            "nnrt_durability_disabled",
+            &[],
+            u8::from(self.durability_disabled).into(),
+        );
     }
 }
 

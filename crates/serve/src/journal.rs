@@ -518,10 +518,13 @@ impl Journal {
     }
 
     /// Appends one record (`write_all` + flush; see the module docs for why
-    /// that survives `kill -9` without an fsync per record).
-    pub fn append(&mut self, rec: &JournalRecord) -> std::io::Result<()> {
-        self.file.write_all(&encode_record(rec))?;
-        self.file.flush()
+    /// that survives `kill -9` without an fsync per record). Returns the
+    /// encoded record's size in bytes — the fleet's journal byte accounting.
+    pub fn append(&mut self, rec: &JournalRecord) -> std::io::Result<usize> {
+        let encoded = encode_record(rec);
+        self.file.write_all(&encoded)?;
+        self.file.flush()?;
+        Ok(encoded.len())
     }
 
     /// Replaces the log with a fresh one — header plus `prologue` —

@@ -45,6 +45,10 @@
 //! their checkpoints, re-queues never-placed jobs in admission order, and
 //! writes the accounting to `<dir>/recovery.json`.
 //!
+//! Both serve modes also accept `--events <path>`: after the run, the
+//! simulated-clock structured event stream is written there as JSONL —
+//! byte-identical across seed-identical runs, whatever the worker count.
+//!
 //! ```text
 //! nnrt journal <dir> [--json]    inspect a durable directory's journal:
 //!                                per-record-kind counts + torn-tail status
@@ -55,6 +59,14 @@
 //!                                (retries saturated rejections while
 //!                                honoring the server's retry hint)
 //! nnrt status <addr> [job_id]    one job's status, or all jobs
+//! nnrt metrics <addr>            scrape a listening server's metrics
+//!                                (Prometheus-style text, both clock domains)
+//! nnrt top <addr> [--once] [--interval <secs>]
+//!                                periodic one-screen live view of the fleet:
+//!                                queue depth, per-node utilization, store
+//!                                hit rate, fault counters, per-phase job
+//!                                counts (rendered from the same exposition
+//!                                `nnrt metrics` prints)
 //! nnrt shutdown <addr> [--json]  drain the server and print its final report
 //! nnrt gpu                       Section VII launch-config tuning + streams
 //! nnrt models                    list the built-in models
@@ -97,6 +109,7 @@ fn usage_text() -> String {
      nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu>] [--hold] [--snapshot <path>] [--durable <dir>] [--recover] [--profile-threads <n>] [--json]\n       \
      nnrt submit <addr> <model> [batch] [--steps n] [--priority p] [--weight w] [--name s] [--no-retry]\n       \
      nnrt status <addr> [job_id] | nnrt shutdown <addr> [--json]\n       \
+     nnrt metrics <addr> | nnrt top <addr> [--once] [--interval <secs>]\n       \
      nnrt journal <dir> [--json]\n       \
      nnrt gpu | nnrt models | nnrt --help\n\
      models: resnet50, dcgan, inception, lstm, transformer"
@@ -182,6 +195,7 @@ fn main() -> ExitCode {
             let mut snapshot: Option<String> = None;
             let mut durable: Option<String> = None;
             let mut flush_interval: Option<f64> = None;
+            let mut events: Option<String> = None;
             let mut recover = false;
             let mut it = args.iter().skip(1);
             while let Some(arg) = it.next() {
@@ -244,6 +258,13 @@ fn main() -> ExitCode {
                             return usage();
                         }
                     },
+                    "--events" => match it.next() {
+                        Some(path) => events = Some(path.clone()),
+                        None => {
+                            eprintln!("--events needs a file path");
+                            return usage();
+                        }
+                    },
                     "--recover" => recover = true,
                     "--hold" => hold = true,
                     "--json" => json = true,
@@ -295,6 +316,7 @@ fn main() -> ExitCode {
                     hold,
                     snapshot,
                     durability,
+                    events,
                     recover,
                     json,
                 );
@@ -321,6 +343,7 @@ fn main() -> ExitCode {
                 checkpoint_interval,
                 profile_threads,
                 durability,
+                events,
                 recover,
                 json,
             )
@@ -328,6 +351,8 @@ fn main() -> ExitCode {
         "journal" => run_journal(&args[1..]),
         "submit" => run_submit(&args[1..]),
         "status" => run_status(&args[1..]),
+        "metrics" => run_metrics(&args[1..]),
+        "top" => run_top(&args[1..]),
         "shutdown" => run_shutdown(&args[1..]),
         "compare" | "profile" | "grid" | "plan" | "trace" => {
             let Some(name) = args.get(1) else {
@@ -366,6 +391,7 @@ fn run_serve(
     checkpoint_interval: Option<u32>,
     profile_threads: Option<usize>,
     durability: Option<nnrt::serve::DurabilityConfig>,
+    events: Option<String>,
     recover: bool,
     json: bool,
 ) -> ExitCode {
@@ -432,6 +458,9 @@ fn run_serve(
         } else {
             print!("{}", report.render());
         }
+        if let Some(path) = &events {
+            write_sim_events(path, &fleet.obs());
+        }
         return ExitCode::SUCCESS;
     }
     // Progress goes to stderr so `--json` (and scripted) stdout stays a
@@ -475,7 +504,24 @@ fn run_serve(
     } else {
         print!("{}", report.render());
     }
+    if let Some(path) = &events {
+        write_sim_events(path, &fleet.obs());
+    }
     ExitCode::SUCCESS
+}
+
+/// Writes the simulated-clock event stream as JSONL — the determinism
+/// artifact CI byte-compares across seed-identical runs.
+fn write_sim_events(path: &str, obs: &nnrt::obs::Obs) {
+    let sim = Some(nnrt::obs::Clock::Sim);
+    let jsonl = obs.events_jsonl(sim);
+    match std::fs::write(path, &jsonl) {
+        Ok(()) => eprintln!(
+            "wrote {} sim event(s) to {path}",
+            obs.events_snapshot(sim).len()
+        ),
+        Err(e) => eprintln!("cannot write events to {path}: {e}"),
+    }
 }
 
 /// `nnrt journal <dir> [--json]`: inspect a durable directory's write-ahead
@@ -567,6 +613,7 @@ fn run_listen(
     hold: bool,
     snapshot: Option<String>,
     durability: Option<nnrt::serve::DurabilityConfig>,
+    events: Option<String>,
     recover: bool,
     json: bool,
 ) -> ExitCode {
@@ -592,7 +639,10 @@ fn run_listen(
         snapshot_path: snapshot.map(std::path::PathBuf::from),
         ..ServerConfig::default()
     };
-    let bound = if recover {
+    // Build the fleet first (rather than letting the server build it) so a
+    // handle on its observability state survives the move behind the socket
+    // — `--events` drains it after shutdown.
+    let (bound, obs) = if recover {
         // Rebuild the fleet from the durable directory, then put it behind
         // the socket; recovered jobs drain alongside new submissions.
         match Fleet::recover(config.fleet.clone()) {
@@ -605,7 +655,8 @@ fn run_listen(
                         eprintln!("cannot write {}: {e}", path.display());
                     }
                 }
-                FleetServer::bind_with_fleet(addr, fleet, config)
+                let obs = fleet.obs();
+                (FleetServer::bind_with_fleet(addr, fleet, config), obs)
             }
             Err(e) => {
                 eprintln!("recovery failed: {e}");
@@ -613,7 +664,9 @@ fn run_listen(
             }
         }
     } else {
-        FleetServer::bind(addr, config)
+        let fleet = Fleet::new(config.fleet.clone());
+        let obs = fleet.obs();
+        (FleetServer::bind_with_fleet(addr, fleet, config), obs)
     };
     let server = match bound {
         Ok(server) => server,
@@ -638,6 +691,9 @@ fn run_listen(
                 println!("{report}");
             } else {
                 println!("{}", summarize_report(&report));
+            }
+            if let Some(path) = &events {
+                write_sim_events(path, &obs);
             }
             ExitCode::SUCCESS
         }
@@ -775,6 +831,141 @@ fn run_status(args: &[String]) -> ExitCode {
             Err(e) => rpc_fail("status", &e),
         },
     }
+}
+
+/// `nnrt metrics <addr>`: scrape a listening server's metrics and print
+/// the raw Prometheus-style text exposition (both clock domains).
+fn run_metrics(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        eprintln!("metrics needs <addr>");
+        return usage();
+    };
+    let mut client = match RpcClient::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => return rpc_fail("connect", &e),
+    };
+    match client.metrics() {
+        Ok(text) => {
+            print!("{text}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => rpc_fail("metrics", &e),
+    }
+}
+
+/// `nnrt top <addr> [--once] [--interval <secs>]`: a periodic one-screen
+/// live view of a listening fleet, rendered from its scraped exposition.
+fn run_top(args: &[String]) -> ExitCode {
+    let Some(addr) = args.first() else {
+        eprintln!("top needs <addr>");
+        return usage();
+    };
+    let mut once = false;
+    let mut interval = 2.0f64;
+    let mut it = args.iter().skip(1);
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--once" => once = true,
+            "--interval" => match it.next().and_then(|s| s.parse().ok()) {
+                Some(secs) if secs > 0.0 => interval = secs,
+                _ => {
+                    eprintln!("--interval needs a positive number of seconds");
+                    return usage();
+                }
+            },
+            other => {
+                eprintln!("unexpected top argument '{other}'");
+                return usage();
+            }
+        }
+    }
+    let mut client = match RpcClient::connect(addr.as_str()) {
+        Ok(client) => client,
+        Err(e) => return rpc_fail("connect", &e),
+    };
+    loop {
+        let text = match client.metrics() {
+            Ok(text) => text,
+            Err(e) => return rpc_fail("metrics", &e),
+        };
+        let exp = match nnrt::obs::parse_exposition(&text) {
+            Ok(exp) => exp,
+            Err(e) => {
+                eprintln!("malformed exposition from {addr}: {e}");
+                return ExitCode::from(EXIT_RPC);
+            }
+        };
+        if !once {
+            // Clear screen and home the cursor, like top(1).
+            print!("\x1b[2J\x1b[H");
+        }
+        print!("{}", render_top(addr, &exp));
+        if once {
+            return ExitCode::SUCCESS;
+        }
+        std::thread::sleep(std::time::Duration::from_secs_f64(interval));
+    }
+}
+
+/// One screen of fleet state from a parsed exposition.
+fn render_top(addr: &str, exp: &nnrt::obs::Exposition) -> String {
+    use std::fmt::Write as _;
+    let v = |name: &str| exp.value(name, &[]).unwrap_or(0.0);
+    let phase = |p: &str| exp.value("nnrt_jobs", &[("phase", p)]).unwrap_or(0.0) as u64;
+    let mut out = String::new();
+    let _ = writeln!(out, "nnrt top — {addr}");
+    let _ = writeln!(
+        out,
+        "jobs    queued {}  running {}  retrying {}  completed {}   queue depth {}",
+        phase("queued"),
+        phase("running"),
+        phase("retrying"),
+        phase("completed"),
+        v("nnrt_queue_depth") as u64
+    );
+    for s in exp.all("nnrt_node_utilization", &[]) {
+        let node = s.label("node").unwrap_or("?");
+        let resident = exp
+            .value("nnrt_node_resident_jobs", &[("node", node)])
+            .unwrap_or(0.0) as u64;
+        let clock = exp
+            .value("nnrt_node_clock_seconds", &[("node", node)])
+            .unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "node {node:>2}  util {:5.1}%  resident {resident}  clock {clock:.1}s",
+            s.value * 100.0
+        );
+    }
+    let _ = writeln!(
+        out,
+        "store   {} entries  hit rate {:.1}%  ({} hits / {} misses, {} evictions)",
+        v("nnrt_store_entries") as u64,
+        v("nnrt_store_hit_rate") * 100.0,
+        v("nnrt_store_hits") as u64,
+        v("nnrt_store_misses") as u64,
+        v("nnrt_store_evictions") as u64
+    );
+    let durability = if v("nnrt_durability_disabled") > 0.0 {
+        "DEGRADED"
+    } else {
+        "ok"
+    };
+    let _ = writeln!(
+        out,
+        "faults  retries {}  evictions {}  injected {}  durability {durability}",
+        v("nnrt_retries_total") as u64,
+        v("nnrt_evictions_total") as u64,
+        exp.sum("nnrt_faults_injected_total", &[]) as u64
+    );
+    let total = exp.sum("nnrt_rpc_requests_total", &[]) as u64;
+    let ok = exp.sum("nnrt_rpc_requests_total", &[("outcome", "ok")]) as u64;
+    let _ = writeln!(
+        out,
+        "rpc     {total} request(s) ({ok} ok / {} not)",
+        total - ok
+    );
+    out
 }
 
 /// `nnrt shutdown <addr> [--json]`: drain the server, print its report.

@@ -25,6 +25,9 @@
 //! * [`rpc`] — networked job-submission front-end for the fleet:
 //!   length-prefixed JSON-over-TCP protocol, threaded server, and a
 //!   blocking, retrying client.
+//! * [`obs`] — unified observability: dual-clocked metrics registry,
+//!   structured event tracing, and the Prometheus-style text exposition
+//!   scraped by `nnrt metrics` / rendered by `nnrt top`.
 //!
 //! See `README.md` for a quickstart and `DESIGN.md` for the system inventory.
 
@@ -35,6 +38,7 @@ pub use nnrt_graph as graph;
 pub use nnrt_kernels as kernels;
 pub use nnrt_manycore as manycore;
 pub use nnrt_models as models;
+pub use nnrt_obs as obs;
 pub use nnrt_regress as regress;
 pub use nnrt_rpc as rpc;
 pub use nnrt_sched as sched;

@@ -1,0 +1,267 @@
+//! Determinism guarantees of the observability layer.
+//!
+//! The sim-clock metrics and event stream are a pure function of
+//! `(config, seed)`: any profiling worker count and any durability setting
+//! (fault-free) must produce byte-identical expositions and JSONL event
+//! streams. Turning observability off must be observationally free — the
+//! rest of the fleet report stays byte-identical, with `metrics: null`.
+
+use nnrt::obs::{Clock, Obs, ObsConfig};
+use nnrt::serve::{DurabilityConfig, Fleet, FleetConfig, JobSpec};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// A fresh scratch directory, unique per test invocation.
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "nnrt-obs-{tag}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+/// A small mixed workload: two models, four jobs, two nodes.
+fn submit_workload(fleet: &mut Fleet) {
+    let models = [
+        ("dcgan", nnrt::models::dcgan(4).graph),
+        ("lstm", nnrt::models::lstm(4).graph),
+    ];
+    for i in 0..4 {
+        let (model, graph) = &models[i % models.len()];
+        fleet
+            .submit(JobSpec {
+                name: format!("{model}-{i}"),
+                model: model.to_string(),
+                graph: graph.clone(),
+                steps: 2,
+                priority: (i % 2) as u8,
+                weight: 1.0 + i as f64,
+            })
+            .expect("queue sized for the workload");
+    }
+}
+
+/// Runs the workload and returns the sim-domain observability artifacts:
+/// (exposition text, event JSONL, report JSON).
+fn run_observed(config: FleetConfig) -> (String, String, String) {
+    let mut fleet = Fleet::new(config);
+    submit_workload(&mut fleet);
+    let report = fleet.run();
+    let obs = fleet.obs();
+    (
+        obs.expose(Some(Clock::Sim)),
+        obs.events_jsonl(Some(Clock::Sim)),
+        report.to_json(),
+    )
+}
+
+fn base_config() -> FleetConfig {
+    FleetConfig {
+        node_count: 2,
+        checkpoint_interval: 1,
+        ..FleetConfig::default()
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(4))]
+
+    /// Any profiling worker count produces byte-identical sim metrics and
+    /// sim events — the profiler pool is invisible in the observability
+    /// stream, exactly as it is in the report.
+    #[test]
+    fn sim_obs_is_worker_count_invariant(threads in 2usize..6) {
+        let serial = run_observed(FleetConfig {
+            profile_threads: 1,
+            ..base_config()
+        });
+        let sharded = run_observed(FleetConfig {
+            profile_threads: threads,
+            ..base_config()
+        });
+        prop_assert_eq!(&serial.0, &sharded.0, "exposition differs at {} workers", threads);
+        prop_assert_eq!(&serial.1, &sharded.1, "event stream differs at {} workers", threads);
+        prop_assert_eq!(&serial.2, &sharded.2, "report differs at {} workers", threads);
+    }
+}
+
+/// A fault-free durable run's sim-domain metrics and events are
+/// byte-identical to an in-memory run's: journaling is wall-domain only.
+#[test]
+fn sim_obs_is_durability_invariant() {
+    let dir = tmpdir("invariant");
+    let plain = run_observed(base_config());
+    let durable = run_observed(FleetConfig {
+        durability: Some(DurabilityConfig::new(dir.clone())),
+        ..base_config()
+    });
+    assert_eq!(plain.0, durable.0, "sim exposition differs under --durable");
+    assert_eq!(plain.1, durable.1, "sim events differ under --durable");
+    assert_eq!(plain.2, durable.2, "report differs under --durable");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// With observability off the fleet behaves identically: the report is
+/// byte-identical except `metrics` drops to `null`, and no events or
+/// series exist to read back.
+#[test]
+fn disabled_obs_is_observationally_free() {
+    let on = run_observed(base_config());
+    let off_config = FleetConfig {
+        obs: ObsConfig::off(),
+        ..base_config()
+    };
+    let mut fleet = Fleet::new(off_config);
+    submit_workload(&mut fleet);
+    let report = fleet.run();
+    assert!(
+        report.metrics.is_none(),
+        "disabled obs must embed no metrics"
+    );
+    let obs = fleet.obs();
+    assert_eq!(obs.expose(None), "", "disabled obs must expose nothing");
+    assert!(obs.events_snapshot(None).is_empty());
+
+    // Strip the one field that legitimately differs and compare the rest.
+    let strip = |json: &str| -> String {
+        let v: serde_json::Value = serde_json::from_str(json).expect("report parses");
+        let serde_json::Value::Object(fields) = v else {
+            panic!("report must be an object");
+        };
+        let kept: Vec<(String, serde_json::Value)> =
+            fields.into_iter().filter(|(k, _)| k != "metrics").collect();
+        serde_json::to_string(&serde_json::Value::Object(kept)).expect("re-encodes")
+    };
+    assert_eq!(
+        strip(&on.2),
+        strip(&report.to_json()),
+        "obs must be a pure side effect"
+    );
+}
+
+/// The embedded report metrics are exactly the sim exposition — the same
+/// text a post-run `expose(Some(Sim))` returns.
+#[test]
+fn report_embeds_the_sim_exposition() {
+    let mut fleet = Fleet::new(base_config());
+    submit_workload(&mut fleet);
+    let report = fleet.run();
+    let embedded = report.metrics.as_deref().expect("metrics embedded");
+    assert_eq!(embedded, fleet.obs().expose(Some(Clock::Sim)));
+    // Key series exist with plausible values.
+    let exp = nnrt::obs::parse_exposition(embedded).expect("embedded exposition parses");
+    assert_eq!(
+        exp.value("nnrt_jobs_submitted_total", &[("clock", "sim")]),
+        Some(4.0)
+    );
+    assert_eq!(
+        exp.value("nnrt_jobs_completed_total", &[("clock", "sim")]),
+        Some(4.0)
+    );
+    assert_eq!(
+        exp.value("nnrt_job_duration_seconds_count", &[("clock", "sim")]),
+        Some(4.0)
+    );
+    assert_eq!(exp.value("nnrt_jobs", &[("phase", "completed")]), Some(4.0));
+    assert!(
+        exp.value("nnrt_profile_measurements_total", &[])
+            .unwrap_or(0.0)
+            > 0.0
+    );
+    // No wall-domain series may leak into the embedded (byte-compared)
+    // exposition.
+    for s in &exp.samples {
+        assert_eq!(
+            s.label("clock"),
+            Some("sim"),
+            "wall series {} leaked into the report",
+            s.name
+        );
+    }
+}
+
+/// Golden exposition: a hand-built registry encodes to exactly these
+/// bytes — ordering by (name, clock, labels), escaping, histogram
+/// suffixes. Any encoder change that shifts a byte breaks the CI cmp
+/// contracts, so it must show up here first.
+#[test]
+fn exposition_text_is_golden() {
+    let obs = Obs::new(ObsConfig::on());
+    obs.counter_add(Clock::Sim, "nnrt_jobs_completed_total", &[], 3);
+    obs.gauge_set(Clock::Sim, "nnrt_store_hit_rate", &[], 0.25);
+    obs.counter_add(
+        Clock::Wall,
+        "nnrt_rpc_requests_total",
+        &[("kind", "submit"), ("outcome", "ok")],
+        2,
+    );
+    obs.counter_add(
+        Clock::Sim,
+        "nnrt_escaped_total",
+        &[("msg", "a\"b\\c\nd")],
+        1,
+    );
+    obs.observe(Clock::Sim, "nnrt_queue_wait_seconds", &[], 0.5);
+    let expected = concat!(
+        "# TYPE nnrt_escaped_total counter\n",
+        "nnrt_escaped_total{clock=\"sim\",msg=\"a\\\"b\\\\c\\nd\"} 1\n",
+        "# TYPE nnrt_jobs_completed_total counter\n",
+        "nnrt_jobs_completed_total{clock=\"sim\"} 3\n",
+        "# TYPE nnrt_queue_wait_seconds histogram\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"0.000001\"} 0\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"0.00001\"} 0\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"0.0001\"} 0\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"0.001\"} 0\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"0.01\"} 0\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"0.1\"} 0\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"1\"} 1\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"10\"} 1\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"100\"} 1\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"1000\"} 1\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"10000\"} 1\n",
+        "nnrt_queue_wait_seconds_bucket{clock=\"sim\",le=\"+Inf\"} 1\n",
+        "nnrt_queue_wait_seconds_sum{clock=\"sim\"} 0.5\n",
+        "nnrt_queue_wait_seconds_count{clock=\"sim\"} 1\n",
+        "# TYPE nnrt_rpc_requests_total counter\n",
+        "nnrt_rpc_requests_total{clock=\"wall\",kind=\"submit\",outcome=\"ok\"} 2\n",
+        "# TYPE nnrt_store_hit_rate gauge\n",
+        "nnrt_store_hit_rate{clock=\"sim\"} 0.25\n",
+    );
+    assert_eq!(obs.expose(None), expected);
+    // Filtering by clock keeps only that domain's series.
+    assert!(!obs.expose(Some(Clock::Sim)).contains("nnrt_rpc_requests"));
+    assert!(!obs
+        .expose(Some(Clock::Wall))
+        .contains("nnrt_jobs_completed"));
+}
+
+/// Sim event streams are worker-count- and durability-invariant, and every
+/// event's clock matches the filter it was snapshotted under.
+#[test]
+fn sim_events_have_coherent_structure() {
+    let mut fleet = Fleet::new(base_config());
+    submit_workload(&mut fleet);
+    fleet.run();
+    let events = fleet.obs().events_snapshot(Some(Clock::Sim));
+    assert!(!events.is_empty());
+    for (i, e) in events.iter().enumerate() {
+        assert_eq!(e.clock, Clock::Sim);
+        assert_eq!(e.seq, i as u64, "sim seq numbers are dense from 0");
+    }
+    // The lifecycle arc of job 0 appears in causal order.
+    let of_job0: Vec<&str> = events
+        .iter()
+        .filter(|e| e.job == Some(0))
+        .map(|e| e.kind.name())
+        .collect();
+    let admit = of_job0.iter().position(|k| *k == "admit").expect("admit");
+    let place = of_job0.iter().position(|k| *k == "place").expect("place");
+    let complete = of_job0
+        .iter()
+        .position(|k| *k == "complete")
+        .expect("complete");
+    assert!(admit < place && place < complete);
+}

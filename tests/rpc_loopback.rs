@@ -365,6 +365,94 @@ fn saturation_under_concurrency_accounts_every_job_exactly_once() {
 }
 
 #[test]
+fn metrics_and_events_account_every_request_kind() {
+    let server = FleetServer::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            fleet: FleetConfig {
+                seed: 0x0B5,
+                ..FleetConfig::default()
+            },
+            drain: DrainPolicy::OnShutdown,
+            ..ServerConfig::default()
+        },
+    )
+    .expect("ephemeral bind");
+    let mut client = RpcClient::connect(server.local_addr()).expect("connect");
+
+    let id = client.submit(&spec("dcgan", 1)).expect("submit");
+    match client.status(999) {
+        Err(ClientError::Rejected(frame)) => assert_eq!(frame.kind, ErrorKind::UnknownJob),
+        other => panic!("expected UnknownJob, got {other:?}"),
+    }
+
+    // Two scrapes: the first proves the earlier requests were accounted;
+    // the second proves the scrape itself was.
+    let _first = client.metrics().expect("metrics");
+    let text = client.metrics().expect("metrics");
+    let exp = nnrt::obs::parse_exposition(&text).expect("exposition parses");
+    let req = |kind: &str, outcome: &str| {
+        exp.value(
+            "nnrt_rpc_requests_total",
+            &[("clock", "wall"), ("kind", kind), ("outcome", outcome)],
+        )
+    };
+    assert_eq!(req("submit", "ok"), Some(1.0));
+    assert_eq!(
+        req("status", "error"),
+        Some(1.0),
+        "typed errors are counted"
+    );
+    assert_eq!(req("metrics", "ok"), Some(1.0));
+    // Per-kind latency histograms: one submit observation, finite and
+    // accounted in the +Inf bucket.
+    assert_eq!(
+        exp.value("nnrt_rpc_latency_seconds_count", &[("kind", "submit")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        exp.value(
+            "nnrt_rpc_latency_seconds_bucket",
+            &[("kind", "submit"), ("le", "+Inf")]
+        ),
+        Some(1.0)
+    );
+    // The same scrape carries the sim domain too.
+    assert_eq!(
+        exp.value("nnrt_jobs_submitted_total", &[("clock", "sim")]),
+        Some(1.0)
+    );
+    assert_eq!(
+        exp.value("nnrt_queue_depth", &[("clock", "sim")]),
+        Some(1.0)
+    );
+
+    // The event stream pairs with the counters: a sim Admit for the job,
+    // wall RpcRequest records for each exchange.
+    let events = client.events().expect("events");
+    assert!(events.iter().any(|e| e.clock == nnrt::obs::Clock::Sim
+        && e.kind == nnrt::obs::EventKind::Admit
+        && e.job == Some(id)));
+    let rpc_details: Vec<&str> = events
+        .iter()
+        .filter(|e| e.kind == nnrt::obs::EventKind::RpcRequest)
+        .map(|e| e.detail.as_str())
+        .collect();
+    assert!(rpc_details.contains(&"submit: ok"), "{rpc_details:?}");
+    assert!(rpc_details.contains(&"status: error"), "{rpc_details:?}");
+    assert!(rpc_details.contains(&"metrics: ok"), "{rpc_details:?}");
+    // Wall seq numbers are dense within the wall domain.
+    let wall_seqs: Vec<u64> = events
+        .iter()
+        .filter(|e| e.clock == nnrt::obs::Clock::Wall)
+        .map(|e| e.seq)
+        .collect();
+    assert!(wall_seqs.windows(2).all(|w| w[1] == w[0] + 1));
+
+    client.shutdown().expect("shutdown");
+}
+
+#[test]
 fn eager_service_completes_jobs_between_requests() {
     let server = FleetServer::bind("127.0.0.1:0", ServerConfig::default()).expect("bind");
     let mut client = RpcClient::connect(server.local_addr()).expect("connect");
