@@ -46,6 +46,19 @@ cmp "$tmpdir/gpu-a.json" "$tmpdir/gpu-4w.json" \
   || { echo "gpu profiling changed the report: 1 vs 4 workers differ" >&2; exit 1; }
 echo "gpu fleet deterministic (seed 7 byte-identical; 1 vs 4 profile workers byte-identical)"
 
+echo "== cluster suite (multi-node sim + fleet determinism) =="
+cargo test -q --offline -p nnrt-cluster
+./target/release/nnrt serve 4 2 7 --backend cluster --json > "$tmpdir/cluster-a.json"
+./target/release/nnrt serve 4 2 7 --backend cluster --json > "$tmpdir/cluster-b.json"
+cmp "$tmpdir/cluster-a.json" "$tmpdir/cluster-b.json" \
+  || { echo "cluster fleet not deterministic: same seed produced different reports" >&2; exit 1; }
+./target/release/nnrt serve 4 2 7 --backend cluster --profile-threads 4 --json > "$tmpdir/cluster-4w.json"
+cmp "$tmpdir/cluster-a.json" "$tmpdir/cluster-4w.json" \
+  || { echo "cluster profiling changed the report: 1 vs 4 workers differ" >&2; exit 1; }
+grep -q "nnrt_cluster_overlap_fraction" "$tmpdir/cluster-a.json" \
+  || { echo "cluster report is missing overlap-fraction telemetry" >&2; exit 1; }
+echo "cluster fleet deterministic (seed 7 byte-identical; 1 vs 4 profile workers byte-identical)"
+
 echo "== rpc suite (loopback smoke) =="
 cargo test -q --offline --test rpc_loopback
 ./target/release/nnrt serve --listen 127.0.0.1:0 1 7 \

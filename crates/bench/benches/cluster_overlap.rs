@@ -1,0 +1,161 @@
+//! Critical-path out-of-order backprop vs the synchronous baseline, after
+//! OOO-Backprop (Oh et al.): the event-driven multi-node simulator schedules
+//! each model's gradients over interconnect links under three policies —
+//! blocking sends after the backward pass (the analytic baseline), FIFO
+//! dispatch with overlap, and critical-path-priority out-of-order ("S5"
+//! beside the paper's S1–S4). Targets: >=1.10x under data parallelism and
+//! >=1.4x under pipeline parallelism on at least one paper model.
+
+use nnrt_bench::{ExperimentRecord, Table};
+use nnrt_cluster::{
+    per_op_secs, pipeline_stage_profile, simulate_data_parallel, simulate_pipeline, ClusterConfig,
+    ClusterMode, ClusterStrategy,
+};
+use nnrt_graph::DataflowGraph;
+use nnrt_manycore::KnlCostModel;
+use nnrt_sched::{Runtime, RuntimeConfig};
+
+fn scaled_step(graph: &DataflowGraph) -> Vec<f64> {
+    let rt = Runtime::prepare(graph, KnlCostModel::knl(), RuntimeConfig::default());
+    per_op_secs(graph, rt.run_step(graph).total_secs)
+}
+
+fn main() {
+    let mut record = ExperimentRecord::new(
+        "cluster_overlap",
+        "Comm/compute overlap via critical-path out-of-order backprop (event-driven multi-node sim)",
+    );
+
+    // --- Data parallelism: 8 replicas, per-replica shards of the paper
+    // models (strong scaling, so gradient sync is worth hiding). ---
+    let nodes = 8u32;
+    let dp_models: Vec<(&str, DataflowGraph)> = vec![
+        ("resnet50", nnrt_models::resnet50(1).graph),
+        ("dcgan", nnrt_models::dcgan(1).graph),
+        ("inception-v3", nnrt_models::inception_v3(1).graph),
+        ("lstm", nnrt_models::lstm(2).graph),
+    ];
+    let mut t = Table::new([
+        "model",
+        "no-overlap (ms)",
+        "fifo (ms)",
+        "crit-path (ms)",
+        "speedup",
+        "overlap",
+        "wire (MB)",
+    ]);
+    let mut best_dp = 0.0f64;
+    for (name, g) in &dp_models {
+        let secs = scaled_step(g);
+        let run = |strategy| {
+            simulate_data_parallel(
+                g,
+                &secs,
+                &ClusterConfig {
+                    nodes,
+                    strategy,
+                    ..ClusterConfig::default()
+                },
+            )
+        };
+        let base = run(ClusterStrategy::NoOverlap);
+        let fifo = run(ClusterStrategy::Fifo);
+        let ooo = run(ClusterStrategy::CriticalPath);
+        let speedup = base.makespan_secs / ooo.makespan_secs;
+        best_dp = best_dp.max(speedup);
+        t.row([
+            name.to_string(),
+            format!("{:.2}", base.makespan_secs * 1e3),
+            format!("{:.2}", fifo.makespan_secs * 1e3),
+            format!("{:.2}", ooo.makespan_secs * 1e3),
+            format!("{speedup:.3}x"),
+            format!("{:.2}", ooo.overlap_fraction),
+            format!("{:.1}", ooo.bytes_on_wire / 1e6),
+        ]);
+        record.push(&format!("dp_{name}_speedup"), speedup, f64::NAN);
+        record.push(
+            &format!("dp_{name}_overlap"),
+            ooo.overlap_fraction,
+            f64::NAN,
+        );
+    }
+    t.print(&format!(
+        "Data parallelism ({nodes} replicas, chunked streaming ring all-reduce over Aries)"
+    ));
+    record.push("dp_best_speedup", best_dp, 1.10);
+
+    // --- Pipeline parallelism: 8 stages, 2 microbatches in flight —
+    // bubbles dominate, deferring weight gradients pays the most. ---
+    let stages_n = 8u32;
+    let micro = 2u32;
+    let pp_models: Vec<(&str, DataflowGraph)> = vec![
+        ("resnet50", nnrt_models::resnet50(4).graph),
+        ("dcgan", nnrt_models::dcgan(16).graph),
+        ("inception-v3", nnrt_models::inception_v3(4).graph),
+        ("lstm", nnrt_models::lstm(4).graph),
+    ];
+    let mut t = Table::new([
+        "model",
+        "no-overlap (ms)",
+        "fifo (ms)",
+        "crit-path (ms)",
+        "speedup",
+    ]);
+    let mut best_pp = 0.0f64;
+    for (name, g) in &pp_models {
+        let secs = scaled_step(g);
+        let step: f64 = secs.iter().sum();
+        let (stages, cuts) = pipeline_stage_profile(g, stages_n, step, micro);
+        let run = |strategy| {
+            simulate_pipeline(
+                &stages,
+                &cuts,
+                &ClusterConfig {
+                    nodes: stages_n,
+                    mode: ClusterMode::Pipeline,
+                    microbatches: micro,
+                    strategy,
+                    ..ClusterConfig::default()
+                },
+            )
+        };
+        let base = run(ClusterStrategy::NoOverlap);
+        let fifo = run(ClusterStrategy::Fifo);
+        let ooo = run(ClusterStrategy::CriticalPath);
+        let speedup = base.makespan_secs / ooo.makespan_secs;
+        best_pp = best_pp.max(speedup);
+        t.row([
+            name.to_string(),
+            format!("{:.2}", base.makespan_secs * 1e3),
+            format!("{:.2}", fifo.makespan_secs * 1e3),
+            format!("{:.2}", ooo.makespan_secs * 1e3),
+            format!("{speedup:.3}x"),
+        ]);
+        record.push(&format!("pp_{name}_speedup"), speedup, f64::NAN);
+    }
+    t.print(&format!(
+        "Pipeline parallelism ({stages_n} stages, {micro} microbatches, grad-input prioritized)"
+    ));
+    record.push("pp_best_speedup", best_pp, 1.4);
+
+    record.notes(
+        "Critical-path OOO backprop hides gradient synchronization behind \
+         the backward pass. Data parallelism: per-parameter chunked ring \
+         all-reduces start the moment each gradient producer finishes; the \
+         speedup is the hidden fraction of comm, largest for param-heavy \
+         shards (strong scaling). Pipeline parallelism: grad-input ops are \
+         prioritized so upstream stages unblock early, and weight gradients \
+         fill the pipeline bubbles - the 1.4x+ wins mirror OOO-Backprop's \
+         reported 1.41-1.99x range.",
+    );
+    record.write();
+
+    assert!(
+        best_dp >= 1.10,
+        "data-parallel overlap target missed: {best_dp:.3}x < 1.10x"
+    );
+    assert!(
+        best_pp >= 1.4,
+        "pipeline overlap target missed: {best_pp:.3}x < 1.4x"
+    );
+}

@@ -7,17 +7,20 @@
 //! the single-node [`Runtime`].
 
 use crate::interconnect::Interconnect;
-use nnrt_graph::{DataflowGraph, OpKind};
+use nnrt_graph::DataflowGraph;
 use nnrt_manycore::KnlCostModel;
 use nnrt_sched::{Runtime, RuntimeConfig, TfExecutor, TfExecutorConfig};
 use serde::{Deserialize, Serialize};
 
 /// Bytes of trainable parameters, estimated from the optimizer-update ops
-/// (each updates one weight tensor of its shape).
+/// (each updates one weight tensor of its shape). Delegates the "is this an
+/// optimizer update?" question to [`OpKind::is_param_update`], which the
+/// op-catalog test keeps exhaustive — adding a new `Apply*` kind updates the
+/// comm volume here automatically.
 pub fn param_bytes(graph: &DataflowGraph) -> f64 {
     graph
         .iter()
-        .filter(|(_, op)| matches!(op.kind, OpKind::ApplyAdam | OpKind::ApplyGradientDescent))
+        .filter(|(_, op)| op.kind.is_param_update())
         .map(|(_, op)| op.shape.bytes_f32() as f64)
         .sum()
 }
@@ -110,6 +113,19 @@ mod tests {
         // DCGAN G+D hold a few million parameters.
         assert!(bytes > 1e6, "got {bytes}");
         assert!(bytes < 1e9);
+    }
+
+    #[test]
+    fn param_bytes_agrees_with_the_gradient_bindings() {
+        // Same predicate, two consumers: the analytic comm volume here and
+        // the per-parameter bindings the event simulator schedules from.
+        for g in [nnrt_models::dcgan(8).graph, nnrt_models::resnet50(4).graph] {
+            let from_bindings: f64 = nnrt_graph::grad_param_bindings(&g)
+                .iter()
+                .map(|b| b.bytes)
+                .sum();
+            assert_eq!(param_bytes(&g), from_bindings);
+        }
     }
 
     #[test]

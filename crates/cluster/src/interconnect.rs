@@ -37,6 +37,69 @@ impl Interconnect {
         let steps = 2 * (nodes - 1);
         steps as f64 * (self.latency + (bytes / nodes as f64) / self.bandwidth)
     }
+
+    /// Bytes each node injects into the network during a ring all-reduce of
+    /// `bytes`: `2 (n-1)` steps of `bytes / n` each. Zero on a single node.
+    pub fn ring_wire_bytes(&self, bytes: f64, nodes: u32) -> f64 {
+        assert!(nodes >= 1, "need at least one node");
+        if nodes == 1 {
+            return 0.0;
+        }
+        (2 * (nodes - 1)) as f64 * bytes / nodes as f64
+    }
+
+    /// A chunked, *streaming* ring all-reduce of `bytes` across `nodes`:
+    /// the tensor splits into `chunks` equal pieces that flow through the
+    /// ring back-to-back, so early chunks complete (and can release work
+    /// that depends on them, or yield the link to a more urgent transfer)
+    /// long before the whole tensor is reduced.
+    ///
+    /// The pipeline fill pays the `2 (n-1)` per-hop latencies once; after
+    /// that, completion is bandwidth-paced. Chunk `j` (0-based) is done at
+    ///
+    /// ```text
+    /// 2 (n-1) · latency  +  ((j+1)/chunks) · bytes · 2 (n-1) / n / bandwidth
+    /// ```
+    ///
+    /// so the last chunk lands exactly at [`Interconnect::ring_allreduce`]:
+    /// makespan and wire bytes are invariant under the chunk count — only
+    /// the intermediate completion times (the overlap opportunities) move.
+    pub fn ring_allreduce_chunked(&self, bytes: f64, nodes: u32, chunks: u32) -> ChunkedAllreduce {
+        assert!(nodes >= 1, "need at least one node");
+        assert!(chunks >= 1, "need at least one chunk");
+        assert!(bytes >= 0.0 && bytes.is_finite());
+        if nodes == 1 {
+            return ChunkedAllreduce {
+                chunk_done: vec![0.0; chunks as usize],
+                makespan: 0.0,
+                wire_bytes: 0.0,
+            };
+        }
+        let steps = (2 * (nodes - 1)) as f64;
+        let fill = steps * self.latency;
+        let bw_total = steps * (bytes / nodes as f64) / self.bandwidth;
+        let chunk_done: Vec<f64> = (0..chunks)
+            .map(|j| fill + bw_total * (j + 1) as f64 / chunks as f64)
+            .collect();
+        ChunkedAllreduce {
+            makespan: *chunk_done.last().expect("at least one chunk"),
+            chunk_done,
+            wire_bytes: self.ring_wire_bytes(bytes, nodes),
+        }
+    }
+}
+
+/// The completion schedule of one chunked streaming ring all-reduce.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChunkedAllreduce {
+    /// Completion time of each chunk, seconds from the reduce's start;
+    /// nondecreasing, the last equals `makespan`.
+    pub chunk_done: Vec<f64>,
+    /// When the whole tensor is reduced — identical to the unchunked
+    /// [`Interconnect::ring_allreduce`] for every chunk count.
+    pub makespan: f64,
+    /// Bytes this node injects over the reduce (chunk-count invariant).
+    pub wire_bytes: f64,
 }
 
 #[cfg(test)]

@@ -23,7 +23,12 @@
 pub mod data_parallel;
 pub mod interconnect;
 pub mod model_parallel;
+pub mod sim;
 
-pub use data_parallel::{DataParallelReport, DataParallelTrainer};
-pub use interconnect::Interconnect;
+pub use data_parallel::{param_bytes, DataParallelReport, DataParallelTrainer};
+pub use interconnect::{ChunkedAllreduce, Interconnect};
 pub use model_parallel::{partition_graph, ModelParallelReport, ModelParallelTrainer, Partition};
+pub use sim::{
+    per_op_secs, pipeline_stage_profile, simulate_data_parallel, simulate_pipeline, ClusterConfig,
+    ClusterMode, ClusterStepReport, ClusterStrategy, StageSecs,
+};

@@ -210,16 +210,20 @@ mod tests {
             avg4 <= avg1 + 0.5,
             "smaller per-node graphs should not co-run much more: {avg1:.2} vs {avg4:.2}"
         );
-        // Sequential partitions + transfers can't beat the single node. The
-        // tolerance absorbs profiling noise: each partition hill-climbs with
-        // its own measurement stream, which can luck into slightly better
-        // plans than the whole-graph run.
-        assert!(
-            four.total_secs >= one.total_secs * 0.9,
-            "4-way sequential split should not beat one node: {} vs {}",
-            four.total_secs,
-            one.total_secs
-        );
+        // The whole stack is seeded, pure-f64 arithmetic, so these step
+        // times are exactly reproducible — pin them instead of a loose
+        // ratio. Each partition hill-climbs with its own measurement
+        // stream, which here lucks into a 4-way split ~3% *better* than
+        // the whole-graph run; a loose "not much worse" bound would hide a
+        // real scheduling regression behind that slack.
+        let pin = |got: f64, want: f64| {
+            assert!(
+                (got - want).abs() / want < 1e-9,
+                "seeded step time drifted: got {got}, pinned {want}"
+            );
+        };
+        pin(one.total_secs, 0.9600673341731791);
+        pin(four.total_secs, 0.9304359685634018);
     }
 }
 

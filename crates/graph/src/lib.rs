@@ -20,11 +20,13 @@
 
 #![warn(missing_docs)]
 
+pub mod dist;
 pub mod graph;
 pub mod ops;
 pub mod profile;
 pub mod shape;
 
+pub use dist::{grad_param_bindings, GradBinding};
 pub use graph::{DataflowGraph, GraphError, NodeId, OpInstance, ReadyTracker};
 pub use ops::{Backend, OpAux, OpKind};
 pub use profile::{op_key, work_profile, OpKey};

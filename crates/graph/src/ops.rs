@@ -152,6 +152,16 @@ impl OpKind {
         self.backend() == Backend::MklDnn
     }
 
+    /// Whether this kind applies an optimizer update to one parameter
+    /// tensor. These are the ops whose incoming gradients must synchronize
+    /// across replicas in data-parallel training, so the cluster layer's
+    /// communication volume is exactly the sum of their shapes. The catalog
+    /// test pins this predicate to the `Apply*`-named kinds, so a future
+    /// optimizer kind cannot silently zero the comm volume.
+    pub fn is_param_update(self) -> bool {
+        matches!(self, OpKind::ApplyAdam | OpKind::ApplyGradientDescent)
+    }
+
     /// TensorFlow-style op name.
     pub fn name(self) -> &'static str {
         use OpKind::*;
@@ -288,6 +298,26 @@ mod tests {
         assert!(!OpKind::Tile.is_tunable());
         assert!(!OpKind::Reshape.is_tunable());
         assert!(!OpKind::Identity.is_tunable());
+    }
+
+    #[test]
+    fn param_update_predicate_is_exhaustive_over_the_catalog() {
+        // TensorFlow names every optimizer-update op `Apply<Something>`;
+        // this catalog keeps that convention, so the predicate must match
+        // exactly the `Apply`-prefixed kinds. Adding `ApplyMomentum` (say)
+        // without classifying it in `is_param_update` fails here instead of
+        // silently dropping its gradient from the cluster comm volume.
+        for kind in OpKind::ALL {
+            assert_eq!(
+                kind.is_param_update(),
+                kind.name().starts_with("Apply"),
+                "{kind} misclassified by is_param_update"
+            );
+        }
+        assert_eq!(
+            OpKind::ALL.iter().filter(|k| k.is_param_update()).count(),
+            2
+        );
     }
 
     #[test]

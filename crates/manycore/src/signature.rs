@@ -76,6 +76,25 @@ impl MachineSignature {
         fnv1a(&mut h, &hbm_bw.to_bits().to_le_bytes());
         MachineSignature(h)
     }
+
+    /// Computes the signature of a multi-node training cluster: the member
+    /// machine's signature plus the replica count and the interconnect's
+    /// latency/bandwidth calibration.
+    ///
+    /// Domain-tagged like [`MachineSignature::of_gpu`]: curves profiled by a
+    /// cluster head (whose step times embed gradient-synchronization
+    /// effects) never warm-start a single-node job of the same device
+    /// class, and vice versa.
+    pub fn of_cluster(member: MachineSignature, nodes: u32, latency: f64, bandwidth: f64) -> Self {
+        let mut h = FNV_OFFSET;
+        fnv1a(&mut h, b"clu");
+        fnv1a(&mut h, &member.0.to_le_bytes());
+        fnv1a(&mut h, &nodes.to_le_bytes());
+        for f in [latency, bandwidth] {
+            fnv1a(&mut h, &f.to_bits().to_le_bytes());
+        }
+        MachineSignature(h)
+    }
 }
 
 impl fmt::Display for MachineSignature {
@@ -115,6 +134,17 @@ mod tests {
         assert_ne!(p100, MachineSignature::of_gpu(56, 32, 4 << 20, 732e9));
         assert_ne!(p100, MachineSignature::of_gpu(56, 64, 6 << 20, 732e9));
         assert_ne!(p100, MachineSignature::of_gpu(56, 64, 4 << 20, 900e9));
+    }
+
+    #[test]
+    fn cluster_signatures_separate_by_every_field() {
+        let knl = MachineSignature::of(&Topology::knl(), &KnlParams::default());
+        let c = MachineSignature::of_cluster(knl, 4, 1.3e-6, 8.0e9);
+        assert_eq!(c, MachineSignature::of_cluster(knl, 4, 1.3e-6, 8.0e9));
+        assert_ne!(c, knl, "a cluster of KNLs is not a KNL");
+        assert_ne!(c, MachineSignature::of_cluster(knl, 8, 1.3e-6, 8.0e9));
+        assert_ne!(c, MachineSignature::of_cluster(knl, 4, 2.6e-6, 8.0e9));
+        assert_ne!(c, MachineSignature::of_cluster(knl, 4, 1.3e-6, 1.0e10));
     }
 
     #[test]

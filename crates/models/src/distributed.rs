@@ -1,0 +1,125 @@
+//! Distributed variants of the paper models.
+//!
+//! Multi-node training changes what a "model" is to the runtime: under data
+//! parallelism every node trains a *batch shard* of the original graph and
+//! must know which op produces each parameter's gradient (to start that
+//! all-reduce early); under pipeline parallelism the layers split into
+//! stages and microbatches shrink the per-step batch. This module derives
+//! both variants from the single-node builders, so the cluster layer, the
+//! fleet and the benches all agree on what "ResNet-50 on 8 nodes" means.
+
+use crate::{by_name, ModelSpec};
+use nnrt_graph::{grad_param_bindings, GradBinding};
+
+/// A paper model prepared for multi-node training.
+#[derive(Debug, Clone)]
+pub struct DistributedSpec {
+    /// The per-node training graph: a batch shard under data parallelism,
+    /// the full-batch step (to be cut into stages) under pipelining.
+    pub spec: ModelSpec,
+    /// Nodes: replicas (data parallel) or pipeline stages.
+    pub nodes: u32,
+    /// Microbatches in flight (1 under pure data parallelism).
+    pub microbatches: u32,
+    /// Every optimizer update tagged with its gradient producer and wire
+    /// volume — the annotation out-of-order backprop schedules from.
+    pub bindings: Vec<GradBinding>,
+}
+
+/// The data-parallel variant of a registered model: each of `nodes`
+/// replicas trains `default_batch / nodes` samples (at least 1), and every
+/// parameter carries its gradient binding. `None` for unknown names.
+pub fn data_parallel_variant(name: &str, nodes: u32) -> Option<DistributedSpec> {
+    assert!(nodes >= 1);
+    let full = by_name(name, None)?;
+    let shard = (full.batch / nodes as usize).max(1);
+    let spec = by_name(name, Some(shard)).expect("name just resolved");
+    let bindings = grad_param_bindings(&spec.graph);
+    Some(DistributedSpec {
+        spec,
+        nodes,
+        microbatches: 1,
+        bindings,
+    })
+}
+
+/// The pipeline-parallel variant: the full-batch step, to be partitioned
+/// into `stages` layer segments, with `microbatches` in flight. The stage
+/// cutting itself lives in the cluster layer (it needs the cost model);
+/// this variant fixes *what* is cut and how deep the pipeline is.
+pub fn pipeline_variant(name: &str, stages: u32, microbatches: u32) -> Option<DistributedSpec> {
+    assert!(stages >= 1 && microbatches >= 1);
+    let spec = by_name(name, None)?;
+    let bindings = grad_param_bindings(&spec.graph);
+    Some(DistributedSpec {
+        spec,
+        nodes: stages,
+        microbatches,
+        bindings,
+    })
+}
+
+/// All four paper models as data-parallel variants over `nodes` replicas.
+pub fn paper_models_data_parallel(nodes: u32) -> Vec<DistributedSpec> {
+    ["resnet50", "dcgan", "inception-v3", "lstm"]
+        .iter()
+        .map(|n| data_parallel_variant(n, nodes).expect("paper model"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_paper_model_has_a_data_parallel_variant() {
+        for v in paper_models_data_parallel(8) {
+            assert!(
+                !v.bindings.is_empty(),
+                "{} must bind gradients",
+                v.spec.name
+            );
+            assert_eq!(v.nodes, 8);
+            let full = by_name(v.spec.name, None).or_else(|| {
+                // Registry aliases: look the original up by the display
+                // name's canonical form.
+                by_name(&v.spec.name.to_lowercase().replace(' ', ""), None)
+            });
+            if let Some(full) = full {
+                assert!(
+                    v.spec.batch <= full.batch,
+                    "a shard cannot exceed the global batch"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shard_batch_shrinks_with_replicas() {
+        let two = data_parallel_variant("dcgan", 2).unwrap();
+        let sixteen = data_parallel_variant("dcgan", 16).unwrap();
+        assert!(sixteen.spec.batch < two.spec.batch);
+        assert_eq!(sixteen.spec.batch, 4); // 64 / 16
+    }
+
+    #[test]
+    fn oversharding_floors_at_batch_one() {
+        let v = data_parallel_variant("lstm", 64).unwrap();
+        assert_eq!(v.spec.batch, 1);
+        assert!(!v.bindings.is_empty());
+    }
+
+    #[test]
+    fn pipeline_variant_keeps_the_full_batch() {
+        let v = pipeline_variant("resnet50", 8, 4).unwrap();
+        assert_eq!(v.spec.batch, 64);
+        assert_eq!((v.nodes, v.microbatches), (8, 4));
+        assert!(!v.bindings.is_empty());
+    }
+
+    #[test]
+    fn unknown_models_stay_unknown() {
+        assert!(data_parallel_variant("vgg19", 4).is_none());
+        assert!(pipeline_variant("vgg19", 4, 4).is_none());
+    }
+}

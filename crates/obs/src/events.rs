@@ -33,6 +33,9 @@ pub enum EventKind {
     ProfileClimb,
     /// A GPU job's per-stream lane summary.
     StreamLane,
+    /// A cluster job's comm/compute-overlap summary (bytes on wire,
+    /// overlap fraction, per-link utilization).
+    ClusterComm,
     /// A fault plan crashed a node.
     Crash,
     /// A fault plan slowed a node.
@@ -62,6 +65,7 @@ impl EventKind {
             EventKind::Complete => "complete",
             EventKind::ProfileClimb => "profile_climb",
             EventKind::StreamLane => "stream_lane",
+            EventKind::ClusterComm => "cluster_comm",
             EventKind::Crash => "crash",
             EventKind::Slowdown => "slowdown",
             EventKind::Corruption => "corruption",

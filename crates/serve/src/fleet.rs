@@ -39,6 +39,7 @@ use crate::journal::{
     SNAPSHOT_FILE,
 };
 use crate::store::{ProfileStore, StoreError};
+use nnrt_cluster::{ClusterConfig, ClusterMode};
 use nnrt_gpu::{GpuRuntime, GpuRuntimeConfig, GpuSpec};
 use nnrt_graph::{DataflowGraph, OpKey};
 use nnrt_manycore::{KnlCostModel, MachineSignature, NodeHealth};
@@ -64,6 +65,12 @@ pub enum NodeBackend {
     /// A P100-class GPU node driven by `nnrt_gpu::GpuRuntime` (stream
     /// co-running instead of thread-pool sizing).
     Gpu,
+    /// The head of a multi-KNL training cluster: jobs profile with the KNL
+    /// runtime, then each step runs the event-driven multi-node simulator
+    /// (`nnrt_cluster::sim`) — gradients traverse interconnect links as
+    /// first-class events, overlapping the backward pass per
+    /// [`FleetConfig::cluster`].
+    Cluster,
 }
 
 impl NodeBackend {
@@ -72,6 +79,7 @@ impl NodeBackend {
         match self {
             NodeBackend::Knl => "knl",
             NodeBackend::Gpu => "gpu",
+            NodeBackend::Cluster => "cluster",
         }
     }
 
@@ -80,6 +88,7 @@ impl NodeBackend {
         match s {
             "knl" => Some(NodeBackend::Knl),
             "gpu" => Some(NodeBackend::Gpu),
+            "cluster" => Some(NodeBackend::Cluster),
             _ => None,
         }
     }
@@ -148,6 +157,9 @@ pub struct FleetConfig {
     /// profiling noise) for GPU nodes; KNL nodes ignore it. The per-job
     /// profiling seed is derived from `seed` exactly like the KNL path.
     pub gpu: GpuRuntimeConfig,
+    /// Multi-node training configuration (replica count, interconnect,
+    /// overlap strategy) for cluster nodes; other backends ignore it.
+    pub cluster: ClusterConfig,
     /// When set, the fleet journals every state transition to
     /// `durability.dir` and periodically flushes the store snapshot, so
     /// [`Fleet::recover`] can rebuild the fleet after the process dies.
@@ -175,6 +187,7 @@ impl Default for FleetConfig {
             profile_threads: 1,
             backend: NodeBackend::Knl,
             gpu: GpuRuntimeConfig::default(),
+            cluster: ClusterConfig::default(),
             durability: None,
             obs: ObsConfig::default(),
         }
@@ -711,6 +724,15 @@ impl Fleet {
                     signature: match backend {
                         NodeBackend::Knl => cost.signature(),
                         NodeBackend::Gpu => gpu_spec.signature(),
+                        // A cluster head publishes under a signature derived
+                        // from its member machine plus the cluster shape, so
+                        // its curves never warm-start single-node KNL jobs.
+                        NodeBackend::Cluster => MachineSignature::of_cluster(
+                            cost.signature(),
+                            config.cluster.nodes,
+                            config.cluster.network.latency,
+                            config.cluster.network.bandwidth,
+                        ),
                     },
                     cost,
                     gpu_spec,
@@ -1365,7 +1387,10 @@ impl Fleet {
         let warm = self.store.lookup(signature, &keys);
         let pool = ProfilerPool::new(self.config.profile_threads);
         match backend {
-            NodeBackend::Knl => {
+            // A cluster head profiles exactly like a KNL node (its members
+            // are KNLs running the per-node scheduler); the multi-node step
+            // is then simulated on top of the measured single-node step.
+            NodeBackend::Knl | NodeBackend::Cluster => {
                 let node_cost = self.nodes[node_idx].cost.clone();
                 let mut config = self.config.runtime;
                 config.seed = self.job_seed(id);
@@ -1409,8 +1434,13 @@ impl Fleet {
                 }
                 runtime.record_trace(self.config.record_traces);
                 let step = runtime.run_step(graph);
+                let step_secs = if backend == NodeBackend::Cluster {
+                    self.cluster_step_secs(node_idx, id, graph, step.total_secs)
+                } else {
+                    step.total_secs
+                };
                 PreparedJob {
-                    step_secs: step.total_secs,
+                    step_secs,
                     profiling_steps: runtime.model().profiling_steps,
                     degraded_keys: runtime.degraded_keys().len(),
                     seeded_keys: runtime.fit_outcome().seeded_keys,
@@ -1481,6 +1511,78 @@ impl Fleet {
                 }
             }
         }
+    }
+
+    /// Simulates one multi-node training step of `graph` on the cluster a
+    /// cluster-head node fronts: per-op durations come from the measured
+    /// single-node step (so the S1–S4 scheduling advantage carries over),
+    /// then gradients traverse interconnect links as events under the
+    /// configured overlap strategy. Emits the comm telemetry — overlap
+    /// fraction and per-link utilization gauges, a bytes-on-wire counter,
+    /// and one `cluster_comm` event — and returns the cluster step time.
+    fn cluster_step_secs(
+        &mut self,
+        node_idx: usize,
+        id: JobId,
+        graph: &DataflowGraph,
+        single_node_secs: f64,
+    ) -> f64 {
+        let cfg = self.config.cluster.clone();
+        let op_secs = nnrt_cluster::per_op_secs(graph, single_node_secs);
+        let report = match cfg.mode {
+            ClusterMode::DataParallel => {
+                nnrt_cluster::simulate_data_parallel(graph, &op_secs, &cfg)
+            }
+            ClusterMode::Pipeline => {
+                let (stages, cuts) = nnrt_cluster::pipeline_stage_profile(
+                    graph,
+                    cfg.nodes,
+                    single_node_secs,
+                    cfg.microbatches,
+                );
+                nnrt_cluster::simulate_pipeline(&stages, &cuts, &cfg)
+            }
+        };
+        let node_label = node_idx.to_string();
+        self.obs.gauge_set(
+            Clock::Sim,
+            "nnrt_cluster_overlap_fraction",
+            &[("node", &node_label)],
+            report.overlap_fraction,
+        );
+        self.obs.counter_add(
+            Clock::Sim,
+            "nnrt_cluster_bytes_on_wire_total",
+            &[("node", &node_label)],
+            report.bytes_on_wire as u64,
+        );
+        for (link, util) in report.link_utilization.iter().enumerate() {
+            self.obs.gauge_set(
+                Clock::Sim,
+                "nnrt_cluster_link_utilization",
+                &[("node", &node_label), ("link", &link.to_string())],
+                *util,
+            );
+        }
+        let at = self.nodes[node_idx].clock;
+        self.obs.event(
+            Clock::Sim,
+            EventKind::ClusterComm,
+            at,
+            Some(id.0),
+            Some(node_idx as u32),
+            format!(
+                "{} {} n={} makespan={:.6}s comm={:.6}s overlap={:.3} wire={:.0}B",
+                report.mode.name(),
+                report.strategy.name(),
+                report.nodes,
+                report.makespan_secs,
+                report.comm_secs,
+                report.overlap_fraction,
+                report.bytes_on_wire,
+            ),
+        );
+        report.makespan_secs
     }
 
     /// Firing time of the next unfired fault, if any.
@@ -2334,6 +2436,82 @@ mod tests {
             fleet.run().to_json()
         };
         assert_eq!(run_with(1), run_with(4));
+    }
+
+    fn cluster_config() -> FleetConfig {
+        FleetConfig {
+            node_count: 1,
+            backend: NodeBackend::Cluster,
+            ..FleetConfig::default()
+        }
+    }
+
+    #[test]
+    fn cluster_fleet_report_is_byte_identical_at_any_profile_thread_count() {
+        // Acceptance: the multi-node simulator is a pure function of the
+        // measured step, so the cluster backend inherits the fleet's
+        // determinism contract — worker count only changes wall-clock.
+        let run_with = |threads: usize| {
+            let mut fleet = Fleet::new(FleetConfig {
+                profile_threads: threads,
+                ..cluster_config()
+            });
+            fleet.submit(job("dcgan-0", 4)).unwrap();
+            fleet.submit(job("dcgan-1", 8)).unwrap();
+            fleet.run().to_json()
+        };
+        assert_eq!(run_with(1), run_with(4));
+    }
+
+    #[test]
+    fn cluster_backend_adds_comm_time_and_emits_telemetry() {
+        // The same job on a cluster head takes at least as long per step as
+        // on a bare KNL node (gradient sync is never free), and the report
+        // exposes the comm telemetry.
+        let mut knl = Fleet::new(FleetConfig::default());
+        knl.submit(job("dcgan-0", 4)).unwrap();
+        let knl_step = knl.run().jobs[0].step_secs;
+
+        let mut fleet = Fleet::new(cluster_config());
+        fleet.submit(job("dcgan-0", 4)).unwrap();
+        let report = fleet.run();
+        let step = report.jobs[0].step_secs;
+        assert!(
+            step >= knl_step * (1.0 - 1e-12),
+            "a cluster step cannot beat its own compute: {step} vs {knl_step}"
+        );
+        let metrics = report.metrics.as_deref().unwrap_or("");
+        for needed in [
+            "nnrt_cluster_overlap_fraction",
+            "nnrt_cluster_bytes_on_wire_total",
+            "nnrt_cluster_link_utilization",
+        ] {
+            assert!(metrics.contains(needed), "metrics must expose {needed}");
+        }
+        let comm_events = fleet
+            .obs()
+            .events_snapshot(Some(Clock::Sim))
+            .iter()
+            .filter(|e| e.kind == EventKind::ClusterComm)
+            .count();
+        assert_eq!(
+            comm_events, 1,
+            "each cluster job must trace one comm summary event"
+        );
+    }
+
+    #[test]
+    fn cluster_curves_never_leak_into_knl_signatures() {
+        // A cluster head's measured step times embed synchronization
+        // effects; its curves must stay invisible to single-node KNL jobs.
+        let mut fleet = Fleet::new(cluster_config());
+        fleet.submit(job("dcgan-0", 4)).unwrap();
+        fleet.run();
+        let store = fleet.store().clone();
+        assert!(!store.is_empty());
+        let knl_sig = KnlCostModel::knl().signature();
+        let keys = OpCatalog::new(&nnrt_models::dcgan(4).graph).keys().to_vec();
+        assert!(keys.iter().all(|k| !store.contains(knl_sig, k)));
     }
 
     #[test]

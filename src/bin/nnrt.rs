@@ -6,14 +6,19 @@
 //! nnrt grid <model> [batch]      uniform (inter, intra) grid sweep
 //! nnrt plan <model> [batch]      the thread plan Strategies 1+2 install
 //! nnrt trace <model> [batch]     write a chrome://tracing JSON of one step
-//! nnrt serve [jobs] [nodes] [seed] [--backend <knl|gpu>] [--chaos <seed>]
+//! nnrt serve [jobs] [nodes] [seed] [--backend <knl|gpu|cluster>] [--chaos <seed>]
 //!            [--checkpoint-interval <steps>] [--profile-threads <n>] [--json]
 //!                                multi-tenant fleet with a shared profile
 //!                                store; prints the fleet report. `--backend
 //!                                gpu` serves the jobs on P100-class stream
 //!                                runtimes (2-D launch-config climbs +
 //!                                concurrency-controlled co-running) instead
-//!                                of KNL thread pools; `--chaos` arms a
+//!                                of KNL thread pools; `--backend cluster`
+//!                                fronts each job with a multi-KNL cluster
+//!                                head — gradients ride interconnect links
+//!                                as events, overlapped with the backward
+//!                                pass by critical-path out-of-order
+//!                                backprop; `--chaos` arms a
 //!                                seeded fault plan (node crash, straggler,
 //!                                store corruption, profiling budget) sized
 //!                                to the workload by a fault-free dry run;
@@ -25,7 +30,7 @@
 //!                                the report as JSON instead of text.
 //!                                Progress goes to stderr, so stdout stays
 //!                                parseable
-//! nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu>] [--hold]
+//! nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu|cluster>] [--hold]
 //!            [--snapshot <path>] [--checkpoint-interval <steps>]
 //!            [--profile-threads <n>] [--json]
 //!                                run the fleet behind the nnrt-rpc TCP
@@ -105,8 +110,8 @@ fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
 
 fn usage_text() -> String {
     "usage: nnrt <compare|profile|grid|plan|trace> <model> [batch]\n       \
-     nnrt serve [jobs] [nodes] [seed] [--backend <knl|gpu>] [--chaos <seed>] [--checkpoint-interval <steps>] [--profile-threads <n>] [--durable <dir>] [--flush-interval <secs>] [--recover] [--json]\n       \
-     nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu>] [--hold] [--snapshot <path>] [--durable <dir>] [--recover] [--profile-threads <n>] [--json]\n       \
+     nnrt serve [jobs] [nodes] [seed] [--backend <knl|gpu|cluster>] [--chaos <seed>] [--checkpoint-interval <steps>] [--profile-threads <n>] [--durable <dir>] [--flush-interval <secs>] [--recover] [--json]\n       \
+     nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu|cluster>] [--hold] [--snapshot <path>] [--durable <dir>] [--recover] [--profile-threads <n>] [--json]\n       \
      nnrt submit <addr> <model> [batch] [--steps n] [--priority p] [--weight w] [--name s] [--no-retry]\n       \
      nnrt status <addr> [job_id] | nnrt shutdown <addr> [--json]\n       \
      nnrt metrics <addr> | nnrt top <addr> [--once] [--interval <secs>]\n       \
@@ -204,7 +209,7 @@ fn main() -> ExitCode {
                         match it.next().and_then(|s| nnrt::serve::NodeBackend::parse(s)) {
                             Some(b) => backend = b,
                             None => {
-                                eprintln!("--backend needs `knl` or `gpu`");
+                                eprintln!("--backend needs `knl`, `gpu` or `cluster`");
                                 return usage();
                             }
                         }
