@@ -89,6 +89,56 @@ PY
 wait "$rpc_server_pid" || { echo "rpc server exited non-zero" >&2; exit 1; }
 echo "rpc loopback smoke ok (2 jobs, clean shutdown)"
 
+cargo test -q --offline --test rpc_pipeline
+
+# Wire byte-identity: the exact six-job mix `nnrt serve 6 2 7` runs in
+# process, submitted over the socket into a held queue, must come back
+# from the event-loop server's shutdown as the byte-identical report.
+./target/release/nnrt serve --listen 127.0.0.1:0 2 7 --hold --profile-threads 1 \
+  > "$tmpdir/rpc-hold-server.out" 2>/dev/null &
+rpc_hold_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's/^listening on //p' "$tmpdir/rpc-hold-server.out")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "rpc hold server never reported its address" >&2; exit 1; }
+./target/release/nnrt submit "$addr" resnet50 16 --steps 3 --priority 0 --weight 1 --name resnet50-0 > /dev/null
+./target/release/nnrt submit "$addr" dcgan 16 --steps 3 --priority 1 --weight 2 --name dcgan-1 > /dev/null
+./target/release/nnrt submit "$addr" inception 4 --steps 3 --priority 2 --weight 3 --name inception-2 > /dev/null
+./target/release/nnrt submit "$addr" lstm 8 --steps 3 --priority 0 --weight 4 --name lstm-3 > /dev/null
+./target/release/nnrt submit "$addr" transformer 4 --steps 3 --priority 1 --weight 1 --name transformer-4 > /dev/null
+./target/release/nnrt submit "$addr" resnet50 16 --steps 3 --priority 2 --weight 2 --name resnet50-5 > /dev/null
+./target/release/nnrt shutdown "$addr" --json > "$tmpdir/rpc-hold-report.json"
+wait "$rpc_hold_pid" || { echo "rpc hold server exited non-zero" >&2; exit 1; }
+cmp "$tmpdir/profile-1w.json" "$tmpdir/rpc-hold-report.json" \
+  || { echo "event-loop server's wire report differs from the in-process run" >&2; exit 1; }
+echo "rpc wire report byte-identical to in-process run (6 jobs, seed 7)"
+
+# Sustained-load smoke: 256 pipelined connections against the release
+# binary, exercising the --max-connections/--pipeline-depth flags. The
+# server is killed afterwards — a graceful shutdown would simulate every
+# queued one-step job, and the byte-identity check above already covers
+# the shutdown path at a sane size.
+./target/release/nnrt serve --listen 127.0.0.1:0 2 7 --max-connections 300 --pipeline-depth 8 \
+  > "$tmpdir/rpc-load-server.out" 2>/dev/null &
+rpc_load_pid=$!
+addr=""
+for _ in $(seq 1 50); do
+  addr="$(sed -n 's/^listening on //p' "$tmpdir/rpc-load-server.out")"
+  [ -n "$addr" ] && break
+  sleep 0.1
+done
+[ -n "$addr" ] || { echo "rpc load server never reported its address" >&2; exit 1; }
+cargo bench -q --offline -p nnrt-bench --bench rpc_load -- \
+  --addr "$addr" --connections 256 --pipeline 2 --warmup 0.3 --duration 1 --no-record \
+  > "$tmpdir/rpc-load.out" \
+  || { echo "rpc load smoke failed" >&2; cat "$tmpdir/rpc-load.out" >&2; exit 1; }
+kill -9 "$rpc_load_pid" 2>/dev/null || true
+wait "$rpc_load_pid" 2>/dev/null || true
+echo "rpc load smoke ok (256 pipelined connections, all answered)"
+
 echo "== recovery suite (journal fuzz + kill -9 drill) =="
 cargo test -q --offline --test durable_recovery
 cargo test -q --offline --test decoder_fuzz

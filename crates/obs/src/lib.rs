@@ -17,7 +17,9 @@
 //!   and between durable and in-memory fault-free runs. These are the
 //!   series embedded in the final `FleetReport`.
 //! * [`Clock::Wall`] — advanced by real time or driven by real I/O:
-//!   journal appends, flush cuts, RPC request latencies. These are useful
+//!   journal appends, flush cuts, RPC request latencies, and the RPC
+//!   server's live-load gauges (`nnrt_rpc_connections`,
+//!   `nnrt_rpc_outbox_bytes`). These are useful
 //!   live but inherently nondeterministic, so they are segregated — every
 //!   exposition and export can filter by clock domain, and the
 //!   byte-compared surfaces only ever include the sim domain.

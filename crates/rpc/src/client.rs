@@ -2,10 +2,15 @@
 //!
 //! [`RpcClient`] speaks one request/response pair at a time over a single
 //! connection. Submissions rejected with [`ErrorKind::Saturated`] can be
-//! retried through [`RpcClient::submit_with_retry`], which backs off
-//! exponentially but never waits longer than the server's
-//! `retry_after_secs` hint — the server knows when a slot frees, so the
-//! hint is the cap, not the floor.
+//! retried through [`RpcClient::submit_with_retry`], whose waits come from
+//! a [`JitterBackoff`] — *decorrelated jitter*, not bare exponential
+//! doubling, because a saturated server bounces hundreds of clients in the
+//! same instant with the same `retry_after_secs` hint, and deterministic
+//! backoff marches them all back in lockstep to collide again. Each wait
+//! is drawn uniformly from `[base, min(3 × previous, cap)]` with a
+//! per-client seed, so the herd spreads out while the expected wait still
+//! grows geometrically. No wait ever exceeds the server's hint — the
+//! server knows when a slot frees, so the hint is the cap, not the floor.
 
 use crate::protocol::{
     decode, encode, read_frame, write_frame, ErrorFrame, ErrorKind, FrameError, Request, Response,
@@ -40,13 +45,18 @@ impl Default for ClientConfig {
 /// Retry shaping for [`RpcClient::submit_with_retry`].
 #[derive(Debug, Clone, Copy)]
 pub struct RetryPolicy {
-    /// First wait after a saturated rejection.
+    /// Shortest wait after a saturated rejection (the jitter draw's floor).
     pub initial_backoff: Duration,
-    /// Ceiling the exponential backoff never exceeds (the server's
-    /// `retry_after_secs` hint caps each wait further).
+    /// Ceiling no drawn wait ever exceeds (the server's `retry_after_secs`
+    /// hint caps each wait further).
     pub max_backoff: Duration,
     /// Total submission attempts before giving up.
     pub max_attempts: u32,
+    /// Seed for the jitter stream. Give each client its own seed (its
+    /// index, its connection id) so a herd of bounced clients decorrelates;
+    /// the same seed always draws the same waits, keeping tests
+    /// deterministic.
+    pub jitter_seed: u64,
 }
 
 impl Default for RetryPolicy {
@@ -55,7 +65,72 @@ impl Default for RetryPolicy {
             initial_backoff: Duration::from_millis(10),
             max_backoff: Duration::from_secs(2),
             max_attempts: 10,
+            jitter_seed: 0,
         }
+    }
+}
+
+/// Decorrelated-jitter backoff (the AWS architecture blog's variant):
+/// each wait is drawn uniformly from `[base, min(3 × previous, cap)]`, so
+/// successive waits grow geometrically in expectation while two clients
+/// with different seeds almost never wait the same amount — the property
+/// that keeps a thundering herd from re-colliding after a shared
+/// `Saturated` bounce.
+///
+/// The draw stream is a seeded splitmix64: deterministic per seed, cheap,
+/// and dependency-free.
+#[derive(Debug, Clone)]
+pub struct JitterBackoff {
+    base: Duration,
+    cap: Duration,
+    prev: Duration,
+    state: u64,
+}
+
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl JitterBackoff {
+    /// A backoff stream shaped by `policy`, seeded by `policy.jitter_seed`.
+    pub fn new(policy: &RetryPolicy) -> Self {
+        Self::with_seed(policy, policy.jitter_seed)
+    }
+
+    /// A backoff stream shaped by `policy` with an explicit seed — the
+    /// load-generator path, where every connection derives its seed from
+    /// its own index.
+    pub fn with_seed(policy: &RetryPolicy, seed: u64) -> Self {
+        let base = policy.initial_backoff;
+        JitterBackoff {
+            base,
+            cap: policy.max_backoff.max(base),
+            prev: base,
+            state: seed,
+        }
+    }
+
+    /// Draws the next wait: uniform in `[base, min(3 × previous, cap)]`,
+    /// then capped by the server's `retry_after_secs` hint if one came with
+    /// the rejection (a finite, non-negative hint is an upper bound — the
+    /// server knows when a slot frees).
+    pub fn next_wait(&mut self, hint_secs: Option<f64>) -> Duration {
+        let upper = self.prev.saturating_mul(3).clamp(self.base, self.cap);
+        let span = upper.saturating_sub(self.base);
+        // 53 uniform bits → f64 in [0, 1), the standard double-precision draw.
+        let unit = (splitmix64(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+        let mut wait = self.base + span.mul_f64(unit);
+        self.prev = wait;
+        if let Some(hint) = hint_secs {
+            if hint.is_finite() && hint >= 0.0 {
+                wait = wait.min(Duration::from_secs_f64(hint));
+            }
+        }
+        wait
     }
 }
 
@@ -166,32 +241,26 @@ impl RpcClient {
         }
     }
 
-    /// Submits with saturation retry: exponential backoff starting at
-    /// `policy.initial_backoff`, each wait capped by both
-    /// `policy.max_backoff` and the server's `retry_after_secs` hint.
-    /// Non-saturation rejections fail immediately.
+    /// Submits with saturation retry: decorrelated-jitter backoff (see
+    /// [`JitterBackoff`]) seeded by `policy.jitter_seed`, each wait capped
+    /// by both `policy.max_backoff` and the server's `retry_after_secs`
+    /// hint. Non-saturation rejections fail immediately.
     pub fn submit_with_retry(
         &mut self,
         spec: &SubmitSpec,
         policy: &RetryPolicy,
     ) -> Result<u64, ClientError> {
         let attempts = policy.max_attempts.max(1);
-        let mut backoff = policy.initial_backoff;
+        let mut backoff = JitterBackoff::new(policy);
         let mut last = None;
         for attempt in 0..attempts {
             match self.submit(spec) {
                 Ok(id) => return Ok(id),
                 Err(ClientError::Rejected(frame)) if frame.kind == ErrorKind::Saturated => {
-                    let mut wait = backoff.min(policy.max_backoff);
-                    if let Some(hint) = frame.retry_after_secs {
-                        if hint.is_finite() && hint >= 0.0 {
-                            wait = wait.min(Duration::from_secs_f64(hint));
-                        }
-                    }
+                    let wait = backoff.next_wait(frame.retry_after_secs);
                     last = Some(frame);
                     if attempt + 1 < attempts {
                         thread::sleep(wait);
-                        backoff = backoff.saturating_mul(2).min(policy.max_backoff);
                     }
                 }
                 Err(other) => return Err(other),
@@ -258,5 +327,89 @@ impl RpcClient {
             Response::Error(frame) => Err(ClientError::Rejected(frame)),
             other => Err(ClientError::Unexpected(format!("{other:?}"))),
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> RetryPolicy {
+        RetryPolicy {
+            initial_backoff: Duration::from_millis(10),
+            max_backoff: Duration::from_secs(2),
+            max_attempts: 10,
+            jitter_seed: 0,
+        }
+    }
+
+    #[test]
+    fn jitter_waits_stay_within_base_and_cap() {
+        let p = policy();
+        let mut backoff = JitterBackoff::with_seed(&p, 42);
+        let mut prev_upper = p.initial_backoff;
+        for _ in 0..64 {
+            let wait = backoff.next_wait(None);
+            assert!(wait >= p.initial_backoff, "{wait:?} under the base");
+            assert!(wait <= p.max_backoff, "{wait:?} over the cap");
+            // Decorrelated: each draw is bounded by 3× the previous draw.
+            let upper = prev_upper.saturating_mul(3).min(p.max_backoff);
+            assert!(wait <= upper, "{wait:?} over 3× the previous wait");
+            prev_upper = wait.max(p.initial_backoff);
+        }
+    }
+
+    #[test]
+    fn same_seed_draws_the_same_waits_different_seeds_diverge() {
+        let p = policy();
+        let draws = |seed: u64| -> Vec<Duration> {
+            let mut b = JitterBackoff::with_seed(&p, seed);
+            (0..16).map(|_| b.next_wait(None)).collect()
+        };
+        assert_eq!(draws(7), draws(7), "a seed fully determines the stream");
+        let a = draws(1);
+        let b = draws(2);
+        assert_ne!(a, b, "distinct seeds must decorrelate");
+        // Lockstep is the failure mode this exists to prevent: two seeds
+        // should disagree on nearly every draw, not just one.
+        let disagreements = a.iter().zip(&b).filter(|(x, y)| x != y).count();
+        assert!(disagreements >= 12, "only {disagreements}/16 draws differ");
+    }
+
+    #[test]
+    fn the_server_hint_caps_every_wait() {
+        let p = policy();
+        let mut backoff = JitterBackoff::with_seed(&p, 3);
+        for _ in 0..32 {
+            let wait = backoff.next_wait(Some(0.001));
+            assert!(wait <= Duration::from_millis(1), "{wait:?} over the hint");
+        }
+        // Garbage hints (negative, infinite, NaN) are ignored, not obeyed.
+        let mut backoff = JitterBackoff::with_seed(&p, 3);
+        for hint in [Some(-1.0), Some(f64::INFINITY), Some(f64::NAN), None] {
+            let wait = backoff.next_wait(hint);
+            assert!(wait >= p.initial_backoff && wait <= p.max_backoff);
+        }
+    }
+
+    #[test]
+    fn waits_grow_geometrically_in_expectation() {
+        // Averaged over many seeds, the k-th wait should clearly exceed the
+        // first — the backoff still backs off, jitter or not.
+        let p = RetryPolicy {
+            max_backoff: Duration::from_secs(60),
+            ..policy()
+        };
+        let (mut first_sum, mut fifth_sum) = (0.0f64, 0.0f64);
+        for seed in 0..200 {
+            let mut b = JitterBackoff::with_seed(&p, seed);
+            let waits: Vec<f64> = (0..5).map(|_| b.next_wait(None).as_secs_f64()).collect();
+            first_sum += waits[0];
+            fifth_sum += waits[4];
+        }
+        assert!(
+            fifth_sum > first_sum * 3.0,
+            "fifth-wait mass {fifth_sum:.4}s vs first {first_sum:.4}s"
+        );
     }
 }

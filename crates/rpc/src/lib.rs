@@ -6,23 +6,32 @@
 //! Liu et al., IPDPS 2019) from an in-process simulation into a service
 //! external clients submit jobs to over a socket.
 //!
-//! Three layers, all on `std::net` + threads (no async runtime, works
+//! Four layers, all on `std::net` + two threads (no async runtime, works
 //! offline):
 //!
 //! * [`protocol`] — versioned, length-prefixed JSON frames; tagged
 //!   [`Request`]/[`Response`] messages; a typed error taxonomy whose
 //!   `Saturated` frames carry the fleet's concrete `retry_after_secs`
 //!   backpressure hint over the wire.
-//! * [`server`] — [`FleetServer`]: an accept loop, per-connection reader
-//!   threads, and a single service thread that owns the [`nnrt_serve::Fleet`]
-//!   behind a bounded command inbox. Idle ticks drive the fleet through the
-//!   same event order as [`nnrt_serve::Fleet::run`], so chaos events,
-//!   checkpoints, and determinism survive the move onto the network; a
-//!   graceful shutdown drains the fleet and flushes the final report plus
-//!   the profile-store snapshot.
+//! * [`poll`] — a small vendored readiness poller (epoll on Linux, a
+//!   portable `poll(2)` fallback) plus a self-pipe [`poll::Waker`], so one
+//!   thread can multiplex thousands of nonblocking sockets.
+//! * [`server`] — [`FleetServer`]: an event-loop thread drives every
+//!   connection as a pipelining state machine (read-accumulate → decode
+//!   frames → ordered response slots → write-drain), and a single service
+//!   thread owns the [`nnrt_serve::Fleet`] behind a bounded command inbox.
+//!   Idle ticks drive the fleet through the same event order as
+//!   [`nnrt_serve::Fleet::run`], so chaos events, checkpoints, and
+//!   determinism survive the move onto the network; a graceful shutdown
+//!   drains the fleet and flushes the final report plus the profile-store
+//!   snapshot. Backpressure is layered: typed `Saturated` frames at the
+//!   admission queue and command inbox, one-frame bounces at the
+//!   connection cap, and outbox high-water marks that pause reading from
+//!   slow consumers.
 //! * [`client`] — [`RpcClient`]: blocking, with connect/read timeouts and
-//!   honor-the-hint submission retry (exponential backoff capped at the
-//!   server's `retry_after_secs`).
+//!   honor-the-hint submission retry (seeded decorrelated-jitter backoff
+//!   capped at the server's `retry_after_secs`, so a thousand bounced
+//!   clients don't reconnect in lockstep).
 //!
 //! ```no_run
 //! use nnrt_rpc::{FleetServer, RpcClient, ServerConfig, SubmitSpec};
@@ -38,15 +47,17 @@
 #![warn(missing_docs)]
 
 pub mod client;
+mod conn;
+pub mod poll;
 pub mod protocol;
 pub mod server;
 
-pub use client::{ClientConfig, ClientError, RetryPolicy, RpcClient};
+pub use client::{ClientConfig, ClientError, JitterBackoff, RetryPolicy, RpcClient};
 pub use protocol::{
-    decode, encode, read_frame, write_frame, ErrorFrame, ErrorKind, FrameError, Request, Response,
-    SnapshotInfo, SubmitSpec, MAX_FRAME_LEN, PROTOCOL_VERSION,
+    decode, encode, frame_bytes, frame_from_buf, read_frame, write_frame, ErrorFrame, ErrorKind,
+    FrameError, Request, Response, SnapshotInfo, SubmitSpec, MAX_FRAME_LEN, PROTOCOL_VERSION,
 };
 pub use server::{
     DrainPolicy, FleetServer, ServerConfig, CONNECTION_RETRY_SECS, DEFAULT_IDLE_TIMEOUT,
-    DEFAULT_MAX_CONNECTIONS, INBOX_RETRY_SECS,
+    DEFAULT_MAX_CONNECTIONS, DEFAULT_PIPELINE_DEPTH, INBOX_RETRY_SECS,
 };

@@ -78,13 +78,55 @@ impl From<std::io::Error> for FrameError {
     }
 }
 
-/// Writes one frame (version byte + `payload` JSON text) to `w`.
-pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+/// Serializes one frame (length prefix + version byte + `payload` JSON
+/// text) into a single contiguous buffer — the wire bytes `write_frame`
+/// emits and `read_frame`/`frame_from_buf` consume.
+pub fn frame_bytes(payload: &str) -> Vec<u8> {
     let len = payload.len() as u32 + 1;
-    w.write_all(&len.to_be_bytes())?;
-    w.write_all(&[PROTOCOL_VERSION])?;
-    w.write_all(payload.as_bytes())?;
+    let mut buf = Vec::with_capacity(4 + 1 + payload.len());
+    buf.extend_from_slice(&len.to_be_bytes());
+    buf.push(PROTOCOL_VERSION);
+    buf.extend_from_slice(payload.as_bytes());
+    buf
+}
+
+/// Writes one frame (version byte + `payload` JSON text) to `w` as a single
+/// write — header, version, and payload go out in one syscall instead of
+/// three, so a frame never straddles a kernel send-buffer boundary
+/// needlessly and small requests stay one packet under `TCP_NODELAY`.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> std::io::Result<()> {
+    w.write_all(&frame_bytes(payload))?;
     w.flush()
+}
+
+/// Tries to parse one complete frame from the front of an accumulation
+/// buffer (the event-loop server's per-connection read buffer).
+///
+/// Returns `Ok(Some((payload, consumed)))` when a full frame is present —
+/// the caller drains `consumed` bytes; `Ok(None)` when the buffer holds
+/// only a frame prefix (read more and retry); and a typed [`FrameError`]
+/// when the prefix can never become a valid frame (bad length, version
+/// skew, non-UTF-8 payload), in which case the connection is poisoned.
+pub fn frame_from_buf(buf: &[u8]) -> Result<Option<(String, usize)>, FrameError> {
+    if buf.len() < 4 {
+        return Ok(None);
+    }
+    let len = u32::from_be_bytes([buf[0], buf[1], buf[2], buf[3]]);
+    if len == 0 || len > MAX_FRAME_LEN {
+        return Err(FrameError::BadLength(len));
+    }
+    let total = 4 + len as usize;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let version = buf[4];
+    if version != PROTOCOL_VERSION {
+        return Err(FrameError::Version(version));
+    }
+    let payload = std::str::from_utf8(&buf[5..total])
+        .map_err(|e| FrameError::Decode(e.to_string()))?
+        .to_string();
+    Ok(Some((payload, total)))
 }
 
 /// Reads one frame from `r`, returning its JSON payload text.
@@ -522,6 +564,65 @@ mod tests {
             }
             other => panic!("expected an error frame, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn golden_frame_bytes_layout_is_stable() {
+        // The exact wire bytes for the payload `{}`: 4-byte big-endian
+        // length (payload + version byte = 3), version 1, then the JSON.
+        let golden = [0u8, 0, 0, 3, 1, b'{', b'}'];
+        assert_eq!(frame_bytes("{}"), golden);
+
+        // The single-buffer writer emits byte-identical frames.
+        let mut written = Vec::new();
+        write_frame(&mut written, "{}").unwrap();
+        assert_eq!(written, golden);
+
+        // And both readers agree on those bytes.
+        assert_eq!(
+            read_frame(&mut std::io::Cursor::new(golden.to_vec())).unwrap(),
+            "{}"
+        );
+        assert_eq!(
+            frame_from_buf(&golden).unwrap(),
+            Some(("{}".to_string(), golden.len()))
+        );
+    }
+
+    #[test]
+    fn incremental_parser_handles_split_and_concatenated_frames() {
+        let mut wire = frame_bytes("{\"type\": \"list_jobs\"}");
+        wire.extend_from_slice(&frame_bytes("{\"type\": \"shutdown\"}"));
+
+        // Every proper prefix of the first frame parses to "incomplete".
+        let first_len = frame_bytes("{\"type\": \"list_jobs\"}").len();
+        for cut in 0..first_len {
+            assert_eq!(frame_from_buf(&wire[..cut]).unwrap(), None, "cut {cut}");
+        }
+
+        // A buffer holding both frames yields them front-to-back.
+        let (payload, consumed) = frame_from_buf(&wire).unwrap().unwrap();
+        assert_eq!(payload, "{\"type\": \"list_jobs\"}");
+        let (payload, consumed2) = frame_from_buf(&wire[consumed..]).unwrap().unwrap();
+        assert_eq!(payload, "{\"type\": \"shutdown\"}");
+        assert_eq!(consumed + consumed2, wire.len());
+
+        // Poison prefixes are typed errors, same taxonomy as read_frame.
+        assert!(matches!(
+            frame_from_buf(&0u32.to_be_bytes()),
+            Err(FrameError::BadLength(0))
+        ));
+        assert!(matches!(
+            frame_from_buf(&(MAX_FRAME_LEN + 1).to_be_bytes()),
+            Err(FrameError::BadLength(_))
+        ));
+        let mut skewed = 2u32.to_be_bytes().to_vec();
+        skewed.push(PROTOCOL_VERSION + 1);
+        skewed.push(b'x');
+        assert!(matches!(
+            frame_from_buf(&skewed),
+            Err(FrameError::Version(v)) if v == PROTOCOL_VERSION + 1
+        ));
     }
 
     #[test]

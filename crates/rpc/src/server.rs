@@ -1,44 +1,66 @@
-//! The threaded TCP front-end that owns a [`Fleet`].
+//! The event-loop TCP front-end that owns a [`Fleet`].
 //!
 //! ```text
-//!  accept thread ──spawns──▶ per-connection reader threads
-//!                                   │  decode Request, attach reply channel
-//!                                   ▼
-//!                        bounded command inbox (mpsc)
-//!                                   │  full ⇒ typed Saturated backpressure
-//!                                   ▼
+//!  event-loop thread (one, owns every socket)
+//!  ┌───────────────────────────────────────────────────────────────┐
+//!  │ poller: epoll / poll(2)  ◀── waker pipe ◀──────────────┐      │
+//!  │   ├─ listener readable ─▶ accept → register conn       │      │
+//!  │   └─ conn readable/writable ─▶ per-connection machine  │      │
+//!  │        read-accumulate ▸ decode frames ▸ claim slots   │      │
+//!  │        ▸ flush answered slots in request order         │      │
+//!  └───────────┬───────────────────────────────▲────────────┘      │
+//!              │ bounded command inbox          │ reply channel ───┘
+//!              │ (full ⇒ typed Saturated)       │ (conn, seq, response)
+//!              ▼                                │
 //!  service thread: drain commands ▸ idle-tick the fleet ▸ repeat
 //! ```
 //!
-//! Exactly one thread (the service thread) touches the `Fleet`, so the
-//! simulation needs no locking and stays deterministic: commands apply in
-//! arrival order, and between commands the fleet advances through
-//! [`Fleet::tick`] — the same event order [`Fleet::run`] uses, which
-//! preserves chaos-event, checkpoint, and report semantics. Backpressure is
-//! typed end to end: a full admission queue (or a full command inbox)
-//! answers with an [`ErrorKind::Saturated`] frame whose `retry_after_secs`
-//! hint clients cap their backoff at.
+//! One thread owns every socket (the event loop) and one thread owns the
+//! `Fleet` (the service loop) — no locks on either side. The event loop
+//! multiplexes thousands of connections through a readiness poller
+//! ([`crate::poll`]): each connection is a state machine
+//! ([`crate::conn`]) that accumulates bytes, decodes length-prefixed
+//! frames, claims an ordered response slot per request, and write-drains
+//! its outbox when the socket accepts bytes. Requests cross to the service
+//! thread through the same bounded command inbox the threaded server used;
+//! replies come back tagged `(connection, seq)` and a self-pipe waker
+//! knocks the poller out of its wait.
 //!
+//! Connections are *pipelined*: a client may send many frames without
+//! awaiting responses, and responses flush strictly in request order.
+//! Backpressure is typed and layered: a full admission queue or a full
+//! command inbox answers [`ErrorKind::Saturated`] (with a
+//! `retry_after_secs` hint), a connection over [`ServerConfig::max_connections`]
+//! gets one `Saturated` frame and a close, and a connection whose outbox
+//! backs up past the high-water mark simply stops being read until it
+//! drains — TCP flow control carries the stall back to the client.
+//!
+//! The service loop is unchanged from the threaded server: commands apply
+//! in arrival order, and between commands the fleet advances through
+//! [`Fleet::tick`] — the same event order [`Fleet::run`] uses, which
+//! preserves chaos-event, checkpoint, and report semantics.
 //! [`DrainPolicy::OnShutdown`] holds all queued work until the `Shutdown`
 //! request and then drains through [`Fleet::run`] — so a job mix submitted
 //! over the wire produces a [`FleetReport`] byte-identical to the same mix
 //! pushed through the in-process `Fleet` API. [`DrainPolicy::Eager`] is the
 //! live-service mode: the fleet executes between requests, and status
 //! queries observe jobs mid-flight.
+//!
+//! [`FleetReport`]: nnrt_serve::FleetReport
 
-use crate::protocol::{
-    decode, encode, read_frame, write_frame, ErrorFrame, ErrorKind, FrameError, Request, Response,
-    SnapshotInfo, SubmitSpec,
-};
+use crate::conn::Connection;
+use crate::poll::{PollEvent, Poller, Waker, READABLE};
+use crate::protocol::{ErrorFrame, ErrorKind, Request, Response, SnapshotInfo, SubmitSpec};
 use nnrt_graph::DataflowGraph;
 use nnrt_obs::{Clock, EventKind, Obs};
 use nnrt_serve::{AdmitError, Fleet, FleetConfig, JobId, JobSpec};
 use std::collections::HashMap;
 use std::io;
-use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpListener, ToSocketAddrs};
+use std::os::unix::io::AsRawFd;
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex};
 use std::thread::{self, JoinHandle};
 use std::time::{Duration, Instant};
@@ -49,23 +71,36 @@ use std::time::{Duration, Instant};
 /// hint.
 pub const INBOX_RETRY_SECS: f64 = 0.05;
 
-/// How long a connection thread waits for the service loop to answer one
-/// command before giving up on the server.
-const REPLY_TIMEOUT: Duration = Duration::from_secs(120);
-
-/// Poll interval of the (non-blocking) accept loop and the idle service
-/// loop, wall-clock.
+/// Poll interval of the idle service loop, wall-clock.
 const POLL_INTERVAL: Duration = Duration::from_millis(10);
 
+/// Longest the event loop sleeps in the poller before re-checking the stop
+/// flag and housekeeping deadlines, even with no socket activity.
+const EVENT_WAIT_CAP: Duration = Duration::from_millis(500);
+
+/// Cadence of the housekeeping pass (idle sweep + gauge refresh) under
+/// constant socket activity, so a hot loop doesn't walk every connection on
+/// every wakeup.
+const HOUSEKEEPING_INTERVAL: Duration = Duration::from_millis(100);
+
+/// How long the shutdown drain keeps flushing outstanding responses (the
+/// `Bye` frame above all) before dropping whatever connections remain.
+const SHUTDOWN_GRACE: Duration = Duration::from_secs(3);
+
 /// Default cap on concurrently served connections; accepts beyond it bounce
-/// with a typed [`ErrorKind::Saturated`] frame instead of pinning another
-/// reader thread.
-pub const DEFAULT_MAX_CONNECTIONS: usize = 64;
+/// with a typed [`ErrorKind::Saturated`] frame. The event loop spends a few
+/// hundred bytes per idle connection rather than a thread, so the default
+/// is sized for thousands of clients.
+pub const DEFAULT_MAX_CONNECTIONS: usize = 4096;
 
 /// Default per-connection idle read timeout: a client that holds a
-/// connection open without sending a complete frame for this long is
-/// disconnected, freeing its reader thread.
+/// connection open without speaking for this long (and has no response in
+/// flight) is disconnected, freeing its slot.
 pub const DEFAULT_IDLE_TIMEOUT: Duration = Duration::from_secs(60);
+
+/// Default cap on in-flight pipelined requests per connection; frames
+/// beyond it stay in the kernel's receive queue until a slot frees.
+pub const DEFAULT_PIPELINE_DEPTH: usize = 16;
 
 /// Retry hint carried by connection-cap rejections, seconds.
 pub const CONNECTION_RETRY_SECS: f64 = 0.5;
@@ -99,9 +134,13 @@ pub struct ServerConfig {
     /// Cap on concurrently served connections; accepts beyond it answer one
     /// `Saturated` error frame and close.
     pub max_connections: usize,
-    /// Per-connection idle read timeout: no complete frame within this
-    /// window closes the connection.
+    /// Per-connection idle read timeout: a connection with no socket
+    /// activity and no in-flight request for this long is closed
+    /// (`Duration::ZERO` disables the sweep).
     pub idle_timeout: Duration,
+    /// Cap on in-flight pipelined requests per connection: further frames
+    /// wait in kernel/userspace buffers until a response slot frees.
+    pub pipeline_depth: usize,
 }
 
 impl Default for ServerConfig {
@@ -113,22 +152,34 @@ impl Default for ServerConfig {
             snapshot_path: None,
             max_connections: DEFAULT_MAX_CONNECTIONS,
             idle_timeout: DEFAULT_IDLE_TIMEOUT,
+            pipeline_depth: DEFAULT_PIPELINE_DEPTH,
         }
     }
 }
 
-/// One decoded request plus the channel its response goes back on.
+/// One decoded request tagged with the connection and pipeline slot its
+/// response must route back to.
 struct Command {
+    conn: u64,
+    seq: u64,
     request: Request,
-    reply: mpsc::Sender<Response>,
 }
 
-/// The networked fleet service: a TCP listener, per-connection reader
-/// threads, and the single service thread that owns the [`Fleet`].
+/// The service thread's answer to one command.
+struct Reply {
+    conn: u64,
+    seq: u64,
+    response: Response,
+}
+
+/// The networked fleet service: one event-loop thread multiplexing every
+/// socket through a readiness poller, and one service thread that owns the
+/// [`Fleet`].
 pub struct FleetServer {
     addr: SocketAddr,
     stop: Arc<AtomicBool>,
-    accept_handle: JoinHandle<()>,
+    waker: Waker,
+    event_handle: JoinHandle<()>,
     service_handle: JoinHandle<()>,
     final_report: Arc<Mutex<Option<String>>>,
 }
@@ -155,25 +206,26 @@ impl FleetServer {
         let stop = Arc::new(AtomicBool::new(false));
         let final_report = Arc::new(Mutex::new(None));
         let (inbox, commands) = mpsc::sync_channel(config.inbox_capacity.max(1));
-        // The request-accounting handle shared with the accept loop and the
-        // per-connection reader threads: rejections that never reach the
-        // service thread (connection cap, full inbox) still count.
+        let (reply_tx, replies) = mpsc::channel();
+        let waker = Waker::new()?;
         let obs = fleet.obs();
-        let limits = ConnectionLimits {
-            max_connections: config.max_connections.max(1),
-            idle_timeout: config.idle_timeout,
-            live: Arc::new(AtomicUsize::new(0)),
-            obs: Arc::clone(&obs),
-        };
+
+        let mut poller = Poller::new()?;
+        poller.register(listener.as_raw_fd(), TOKEN_LISTENER, READABLE)?;
+        poller.register(waker.read_fd(), TOKEN_WAKER, READABLE)?;
 
         let service_handle = {
             let stop = Arc::clone(&stop);
             let final_report = Arc::clone(&final_report);
+            let waker = waker.clone();
+            let config = config.clone();
             thread::spawn(move || {
                 ServiceLoop {
                     fleet,
                     config,
                     commands,
+                    replies: reply_tx,
+                    waker,
                     stop,
                     final_report,
                     graphs: HashMap::new(),
@@ -183,15 +235,38 @@ impl FleetServer {
             })
         };
 
-        let accept_handle = {
+        let event_handle = {
             let stop = Arc::clone(&stop);
-            thread::spawn(move || accept_loop(listener, inbox, stop, limits))
+            let waker = waker.clone();
+            thread::spawn(move || {
+                EventLoop {
+                    listener,
+                    poller,
+                    waker,
+                    inbox,
+                    replies,
+                    stop,
+                    obs,
+                    max_connections: config.max_connections.max(1),
+                    idle_timeout: config.idle_timeout,
+                    pipeline_depth: config.pipeline_depth.max(1),
+                    conns: Vec::new(),
+                    free: Vec::new(),
+                    by_id: HashMap::new(),
+                    next_conn_id: 0,
+                    counted_live: 0,
+                    last_conn_gauge: -1.0,
+                    last_outbox_gauge: -1.0,
+                }
+                .run()
+            })
         };
 
         Ok(FleetServer {
             addr,
             stop,
-            accept_handle,
+            waker,
+            event_handle,
             service_handle,
             final_report,
         })
@@ -213,165 +288,354 @@ impl FleetServer {
     pub fn join(self) -> Option<String> {
         let _ = self.service_handle.join();
         self.stop.store(true, Ordering::SeqCst);
-        let _ = self.accept_handle.join();
+        self.waker.wake();
+        let _ = self.event_handle.join();
         self.final_report.lock().expect("report slot").take()
     }
 }
 
-/// Connection-admission policy shared by the accept loop and its reader
-/// threads.
-#[derive(Clone)]
-struct ConnectionLimits {
+/// Poller token of the TCP listener.
+const TOKEN_LISTENER: usize = 0;
+/// Poller token of the cross-thread waker pipe.
+const TOKEN_WAKER: usize = 1;
+/// Connection slab slot `i` registers under token `i + CONN_TOKEN_BASE`.
+const CONN_TOKEN_BASE: usize = 2;
+
+/// The single thread that owns every socket.
+struct EventLoop {
+    listener: TcpListener,
+    poller: Poller,
+    waker: Waker,
+    inbox: SyncSender<Command>,
+    replies: Receiver<Reply>,
+    stop: Arc<AtomicBool>,
+    obs: Arc<Obs>,
     max_connections: usize,
     idle_timeout: Duration,
-    live: Arc<AtomicUsize>,
-    obs: Arc<Obs>,
+    pipeline_depth: usize,
+    /// Connection slab: poller tokens index it directly (offset by
+    /// [`CONN_TOKEN_BASE`]); freed slots are reused via `free`.
+    conns: Vec<Option<Connection>>,
+    free: Vec<usize>,
+    /// Connection id → slab slot. Ids are never reused, so a reply for a
+    /// connection that died routes nowhere instead of to a slot's new
+    /// tenant.
+    by_id: HashMap<u64, usize>,
+    next_conn_id: u64,
+    /// Connections currently holding a `max_connections` slot (cap-bounced
+    /// ones don't count).
+    counted_live: usize,
+    last_conn_gauge: f64,
+    last_outbox_gauge: f64,
 }
 
-/// Decrements the live-connection count when a reader thread exits, however
-/// it exits.
-struct ConnectionGuard(Arc<AtomicUsize>);
-
-impl Drop for ConnectionGuard {
-    fn drop(&mut self) {
-        self.0.fetch_sub(1, Ordering::SeqCst);
+impl EventLoop {
+    fn run(mut self) {
+        let mut events: Vec<PollEvent> = Vec::new();
+        let mut dirty: Vec<usize> = Vec::new();
+        let mut last_housekeeping = Instant::now();
+        loop {
+            if self.poller.wait(&mut events, Some(EVENT_WAIT_CAP)).is_err() {
+                break;
+            }
+            dirty.clear();
+            let mut accept_ready = false;
+            for ev in &events {
+                match ev.token {
+                    TOKEN_LISTENER => accept_ready = true,
+                    TOKEN_WAKER => self.waker.drain(),
+                    token => {
+                        let slot = token - CONN_TOKEN_BASE;
+                        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                            if ev.readable {
+                                conn.on_readable();
+                            }
+                            dirty.push(slot);
+                        }
+                    }
+                }
+            }
+            if accept_ready {
+                self.accept_all(&mut dirty);
+            }
+            let service_dead = self.drain_replies(&mut dirty);
+            dirty.sort_unstable();
+            dirty.dedup();
+            for &slot in dirty.iter() {
+                self.pump(slot);
+            }
+            if last_housekeeping.elapsed() >= HOUSEKEEPING_INTERVAL {
+                last_housekeeping = Instant::now();
+                self.sweep_idle();
+                self.refresh_gauges();
+            }
+            if service_dead || self.stop.load(Ordering::SeqCst) {
+                self.shutdown_drain();
+                return;
+            }
+        }
     }
-}
 
-fn accept_loop(
-    listener: TcpListener,
-    inbox: SyncSender<Command>,
-    stop: Arc<AtomicBool>,
-    limits: ConnectionLimits,
-) {
-    while !stop.load(Ordering::SeqCst) {
-        match listener.accept() {
-            Ok((mut stream, _peer)) => {
-                let _ = stream.set_nodelay(true);
-                // Claim a connection slot before spawning; over the cap the
-                // client gets one typed Saturated frame and a close, and no
-                // reader thread is pinned.
-                let prior = limits.live.fetch_add(1, Ordering::SeqCst);
-                if prior >= limits.max_connections {
-                    limits.live.fetch_sub(1, Ordering::SeqCst);
-                    limits.obs.counter_add(
+    /// Accepts every pending connection; over the cap, a connection is
+    /// created only to carry one typed `Saturated` frame and close.
+    fn accept_all(&mut self, dirty: &mut Vec<usize>) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let id = self.next_conn_id;
+                    self.next_conn_id += 1;
+                    let conn = if self.counted_live >= self.max_connections {
+                        self.obs.counter_add(
+                            Clock::Wall,
+                            "nnrt_rpc_connections_rejected_total",
+                            &[],
+                            1,
+                        );
+                        Connection::reject(
+                            id,
+                            stream,
+                            Response::Error(ErrorFrame {
+                                kind: ErrorKind::Saturated,
+                                message: format!(
+                                    "server is at its connection cap ({})",
+                                    self.max_connections
+                                ),
+                                retry_after_secs: Some(CONNECTION_RETRY_SECS),
+                            }),
+                        )
+                    } else {
+                        Connection::new(id, stream, true)
+                    };
+                    let Ok(mut conn) = conn else { continue };
+                    let slot = self.free.pop().unwrap_or_else(|| {
+                        self.conns.push(None);
+                        self.conns.len() - 1
+                    });
+                    let interest = conn.desired_interest(self.pipeline_depth);
+                    if self
+                        .poller
+                        .register(conn.stream.as_raw_fd(), slot + CONN_TOKEN_BASE, interest)
+                        .is_err()
+                    {
+                        self.free.push(slot);
+                        continue;
+                    }
+                    conn.registered_interest = interest;
+                    if conn.counted {
+                        self.counted_live += 1;
+                    }
+                    self.by_id.insert(id, slot);
+                    self.conns[slot] = Some(conn);
+                    dirty.push(slot);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Routes every buffered service reply into its connection's pipeline
+    /// slot. Returns `true` once the service thread is gone (its sender
+    /// dropped).
+    fn drain_replies(&mut self, dirty: &mut Vec<usize>) -> bool {
+        loop {
+            match self.replies.try_recv() {
+                Ok(reply) => {
+                    if let Some(slot) = self.route_reply(reply) {
+                        dirty.push(slot);
+                    }
+                }
+                Err(mpsc::TryRecvError::Empty) => return false,
+                Err(mpsc::TryRecvError::Disconnected) => return true,
+            }
+        }
+    }
+
+    fn route_reply(&mut self, reply: Reply) -> Option<usize> {
+        let &slot = self.by_id.get(&reply.conn)?;
+        let conn = self.conns.get_mut(slot)?.as_mut()?;
+        conn.fill(reply.seq, reply.response);
+        Some(slot)
+    }
+
+    /// Advances one connection's state machine: flush what's answered,
+    /// parse newly buffered frames into the inbox (answering saturation at
+    /// the edge), flush again, then reconcile poller interest — or close.
+    fn pump(&mut self, slot: usize) {
+        let inbox = &self.inbox;
+        let obs = &self.obs;
+        let depth = self.pipeline_depth;
+        let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) else {
+            return;
+        };
+        let mut sink = |conn_id: u64, seq: u64, request: Request| -> Option<Response> {
+            let kind = request.kind();
+            match inbox.try_send(Command {
+                conn: conn_id,
+                seq,
+                request,
+            }) {
+                Ok(()) => None,
+                Err(TrySendError::Full(_)) => {
+                    // The inbox-full rejection never reaches the service
+                    // loop, so it is accounted here: same series,
+                    // `outcome="saturated"`.
+                    obs.counter_add(
                         Clock::Wall,
-                        "nnrt_rpc_connections_rejected_total",
-                        &[],
+                        "nnrt_rpc_requests_total",
+                        &[("kind", kind), ("outcome", "saturated")],
                         1,
                     );
-                    let reject = Response::Error(ErrorFrame {
+                    Some(Response::Error(ErrorFrame {
                         kind: ErrorKind::Saturated,
-                        message: format!(
-                            "server is at its connection cap ({})",
-                            limits.max_connections
-                        ),
-                        retry_after_secs: Some(CONNECTION_RETRY_SECS),
-                    });
-                    thread::spawn(move || {
-                        let _ = write_frame(&mut stream, &encode(&reject));
-                    });
-                    continue;
+                        message: "server command inbox is full".to_string(),
+                        retry_after_secs: Some(INBOX_RETRY_SECS),
+                    }))
                 }
-                let guard = ConnectionGuard(Arc::clone(&limits.live));
-                let inbox = inbox.clone();
-                let idle_timeout = limits.idle_timeout;
-                let obs = Arc::clone(&limits.obs);
-                thread::spawn(move || {
-                    let _guard = guard;
-                    serve_connection(stream, inbox, idle_timeout, obs)
-                });
-            }
-            Err(e) if e.kind() == io::ErrorKind::WouldBlock => thread::sleep(POLL_INTERVAL),
-            Err(_) => break,
-        }
-    }
-}
-
-/// Reads frames off one connection until EOF, dispatching each request
-/// through the bounded inbox and writing the response frame back. A client
-/// that stays silent past `idle_timeout` (no complete frame) is dropped —
-/// the read times out with an I/O error, which closes the stream below.
-fn serve_connection(
-    mut stream: TcpStream,
-    inbox: SyncSender<Command>,
-    idle_timeout: Duration,
-    obs: Arc<Obs>,
-) {
-    if !idle_timeout.is_zero() {
-        let _ = stream.set_read_timeout(Some(idle_timeout));
-    }
-    loop {
-        let response = match read_frame(&mut stream) {
-            Ok(payload) => match decode::<Request>(&payload) {
-                Ok(request) => {
-                    let is_bye = matches!(request, Request::Shutdown);
-                    let response = dispatch(request, &inbox, &obs);
-                    if write_frame(&mut stream, &encode(&response)).is_err() || is_bye {
-                        return;
-                    }
-                    continue;
-                }
-                Err(e) => Response::Error(ErrorFrame {
-                    kind: ErrorKind::BadRequest,
-                    message: e.to_string(),
+                Err(TrySendError::Disconnected(_)) => Some(Response::Error(ErrorFrame {
+                    kind: ErrorKind::ShuttingDown,
+                    message: "server is shutting down".to_string(),
                     retry_after_secs: None,
-                }),
-            },
-            // EOF, reset, or a mid-frame error: the stream is unusable.
-            Err(FrameError::Io(_)) => return,
-            Err(e @ FrameError::Version(_)) => Response::Error(ErrorFrame {
-                kind: ErrorKind::VersionMismatch,
-                message: e.to_string(),
-                retry_after_secs: None,
-            }),
-            Err(e) => Response::Error(ErrorFrame {
-                kind: ErrorKind::BadRequest,
-                message: e.to_string(),
-                retry_after_secs: None,
-            }),
+                })),
+            }
         };
-        // Error paths: answer, then close — the stream may be desynced.
-        let _ = write_frame(&mut stream, &encode(&response));
-        return;
-    }
-}
-
-/// Queues `request` on the bounded inbox and waits for the service loop's
-/// answer. A full inbox is backpressure, typed exactly like a full
-/// admission queue.
-fn dispatch(request: Request, inbox: &SyncSender<Command>, obs: &Obs) -> Response {
-    let kind = request.kind();
-    let (reply, answer) = mpsc::channel();
-    match inbox.try_send(Command { request, reply }) {
-        Ok(()) => match answer.recv_timeout(REPLY_TIMEOUT) {
-            Ok(response) => response,
-            Err(_) => Response::Error(ErrorFrame {
-                kind: ErrorKind::ShuttingDown,
-                message: "service loop stopped before answering".to_string(),
-                retry_after_secs: None,
-            }),
-        },
-        Err(TrySendError::Full(_)) => {
-            // The inbox-full rejection never reaches the service loop, so it
-            // is accounted here: same series, `outcome="saturated"`.
-            obs.counter_add(
-                Clock::Wall,
-                "nnrt_rpc_requests_total",
-                &[("kind", kind), ("outcome", "saturated")],
-                1,
-            );
-            Response::Error(ErrorFrame {
-                kind: ErrorKind::Saturated,
-                message: "server command inbox is full".to_string(),
-                retry_after_secs: Some(INBOX_RETRY_SECS),
-            })
+        loop {
+            conn.flush();
+            if conn.parse_frames(depth, &mut sink) == 0 {
+                break;
+            }
         }
-        Err(TrySendError::Disconnected(_)) => Response::Error(ErrorFrame {
+        conn.flush();
+        let fd = conn.stream.as_raw_fd();
+        let should_close = conn.should_close();
+        let desired = conn.desired_interest(depth);
+        let registered = conn.registered_interest;
+        if should_close {
+            self.close(slot);
+        } else if desired != registered
+            && self
+                .poller
+                .reregister(fd, slot + CONN_TOKEN_BASE, desired)
+                .is_ok()
+        {
+            if let Some(conn) = self.conns.get_mut(slot).and_then(Option::as_mut) {
+                conn.registered_interest = desired;
+            }
+        }
+    }
+
+    /// Deregisters and drops one connection, freeing its slab slot (and its
+    /// `max_connections` slot, if it held one).
+    fn close(&mut self, slot: usize) {
+        if let Some(conn) = self.conns.get_mut(slot).and_then(Option::take) {
+            let _ = self.poller.deregister(conn.stream.as_raw_fd());
+            self.by_id.remove(&conn.id);
+            if conn.counted {
+                self.counted_live = self.counted_live.saturating_sub(1);
+            }
+            self.free.push(slot);
+        }
+    }
+
+    /// Closes connections that have been silent past the idle timeout and
+    /// have no request in flight (a connection waiting on a slow profile is
+    /// busy, not idle).
+    fn sweep_idle(&mut self) {
+        if self.idle_timeout.is_zero() {
+            return;
+        }
+        let now = Instant::now();
+        let stale: Vec<usize> = self
+            .conns
+            .iter()
+            .enumerate()
+            .filter_map(|(slot, conn)| {
+                let conn = conn.as_ref()?;
+                (!conn.awaiting_service()
+                    && now.duration_since(conn.last_activity) >= self.idle_timeout)
+                    .then_some(slot)
+            })
+            .collect();
+        for slot in stale {
+            self.close(slot);
+        }
+    }
+
+    /// Publishes the wall-domain connection-count and outbox-depth gauges,
+    /// touching the registry only when a value changed.
+    fn refresh_gauges(&mut self) {
+        if !self.obs.enabled() {
+            return;
+        }
+        let live = self.counted_live as f64;
+        if live != self.last_conn_gauge {
+            self.obs
+                .gauge_set(Clock::Wall, "nnrt_rpc_connections", &[], live);
+            self.last_conn_gauge = live;
+        }
+        let outbox: usize = self
+            .conns
+            .iter()
+            .filter_map(|c| c.as_ref().map(Connection::outbox_bytes))
+            .sum();
+        let outbox = outbox as f64;
+        if outbox != self.last_outbox_gauge {
+            self.obs
+                .gauge_set(Clock::Wall, "nnrt_rpc_outbox_bytes", &[], outbox);
+            self.last_outbox_gauge = outbox;
+        }
+    }
+
+    /// Final drain: stop accepting, route the service thread's last replies
+    /// (the `Bye` frame above all), answer everything still in flight with
+    /// `ShuttingDown`, and flush for up to [`SHUTDOWN_GRACE`] before
+    /// dropping the remaining sockets.
+    fn shutdown_drain(&mut self) {
+        let _ = self.poller.deregister(self.listener.as_raw_fd());
+        let deadline = Instant::now() + SHUTDOWN_GRACE;
+
+        // The service thread drops its reply sender when its loop returns
+        // (right after posting the Bye), so this terminates promptly; the
+        // deadline only guards a wedged service thread.
+        while Instant::now() < deadline {
+            match self.replies.recv_timeout(Duration::from_millis(50)) {
+                Ok(reply) => {
+                    self.route_reply(reply);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => continue,
+                Err(mpsc::RecvTimeoutError::Disconnected) => break,
+            }
+        }
+
+        let refusal = Response::Error(ErrorFrame {
             kind: ErrorKind::ShuttingDown,
             message: "server is shutting down".to_string(),
             retry_after_secs: None,
-        }),
+        });
+        for conn in self.conns.iter_mut().flatten() {
+            conn.fill_all_unanswered(&refusal);
+            conn.begin_close();
+        }
+
+        let mut events = Vec::new();
+        loop {
+            let open: Vec<usize> = (0..self.conns.len())
+                .filter(|&s| self.conns[s].is_some())
+                .collect();
+            if open.is_empty() || Instant::now() >= deadline {
+                break;
+            }
+            for slot in open {
+                self.pump(slot);
+            }
+            if self.conns.iter().all(Option::is_none) {
+                break;
+            }
+            let _ = self
+                .poller
+                .wait(&mut events, Some(Duration::from_millis(20)));
+        }
     }
 }
 
@@ -380,6 +644,8 @@ struct ServiceLoop {
     fleet: Fleet,
     config: ServerConfig,
     commands: Receiver<Command>,
+    replies: Sender<Reply>,
+    waker: Waker,
     stop: Arc<AtomicBool>,
     final_report: Arc<Mutex<Option<String>>>,
     /// `(model, batch)` → built graph, so repeated submissions of one model
@@ -421,6 +687,16 @@ impl ServiceLoop {
                 }
             }
         }
+    }
+
+    /// Posts one answer back to the event loop and rings its doorbell.
+    fn reply(&self, conn: u64, seq: u64, response: Response) {
+        let _ = self.replies.send(Reply {
+            conn,
+            seq,
+            response,
+        });
+        self.waker.wake();
     }
 
     /// Applies one command; `false` stops the service loop.
@@ -469,12 +745,12 @@ impl ServiceLoop {
                 self.stop.store(true, Ordering::SeqCst);
                 let response = Response::Bye { report };
                 self.observe_rpc(kind, started, &response);
-                let _ = cmd.reply.send(response);
+                self.reply(cmd.conn, cmd.seq, response);
                 return false;
             }
         };
         self.observe_rpc(kind, started, &response);
-        let _ = cmd.reply.send(response);
+        self.reply(cmd.conn, cmd.seq, response);
         true
     }
 

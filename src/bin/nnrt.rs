@@ -32,7 +32,8 @@
 //!                                parseable
 //! nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu|cluster>] [--hold]
 //!            [--snapshot <path>] [--checkpoint-interval <steps>]
-//!            [--profile-threads <n>] [--json]
+//!            [--profile-threads <n>] [--max-connections <n>]
+//!            [--pipeline-depth <n>] [--json]
 //!                                run the fleet behind the nnrt-rpc TCP
 //!                                front-end instead of the built-in job mix;
 //!                                `--listen 127.0.0.1:0` picks an ephemeral
@@ -40,7 +41,10 @@
 //!                                `--hold` queues all submissions and drains
 //!                                only at shutdown (byte-identical reports);
 //!                                `--snapshot` persists the profile store on
-//!                                graceful shutdown
+//!                                graceful shutdown. `--max-connections`
+//!                                caps concurrent clients (default 4096);
+//!                                `--pipeline-depth` caps in-flight requests
+//!                                per connection (default 16)
 //!
 //! Both serve modes accept `--durable <dir>`: every fleet state transition
 //! is journaled write-ahead to `<dir>/journal.log` and the profile store is
@@ -111,7 +115,7 @@ fn model_by_name(name: &str, batch: Option<usize>) -> Option<ModelSpec> {
 fn usage_text() -> String {
     "usage: nnrt <compare|profile|grid|plan|trace> <model> [batch]\n       \
      nnrt serve [jobs] [nodes] [seed] [--backend <knl|gpu|cluster>] [--chaos <seed>] [--checkpoint-interval <steps>] [--profile-threads <n>] [--durable <dir>] [--flush-interval <secs>] [--recover] [--json]\n       \
-     nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu|cluster>] [--hold] [--snapshot <path>] [--durable <dir>] [--recover] [--profile-threads <n>] [--json]\n       \
+     nnrt serve --listen <addr> [nodes] [seed] [--backend <knl|gpu|cluster>] [--hold] [--snapshot <path>] [--durable <dir>] [--recover] [--profile-threads <n>] [--max-connections <n>] [--pipeline-depth <n>] [--json]\n       \
      nnrt submit <addr> <model> [batch] [--steps n] [--priority p] [--weight w] [--name s] [--no-retry]\n       \
      nnrt status <addr> [job_id] | nnrt shutdown <addr> [--json]\n       \
      nnrt metrics <addr> | nnrt top <addr> [--once] [--interval <secs>]\n       \
@@ -196,6 +200,8 @@ fn main() -> ExitCode {
             let mut backend = nnrt::serve::NodeBackend::Knl;
             let mut json = false;
             let mut listen: Option<String> = None;
+            let mut max_connections: Option<usize> = None;
+            let mut pipeline_depth: Option<usize> = None;
             let mut hold = false;
             let mut snapshot: Option<String> = None;
             let mut durable: Option<String> = None;
@@ -239,6 +245,20 @@ fn main() -> ExitCode {
                         Some(addr) => listen = Some(addr.clone()),
                         None => {
                             eprintln!("--listen needs an address (e.g. 127.0.0.1:0)");
+                            return usage();
+                        }
+                    },
+                    "--max-connections" => match it.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if n >= 1 => max_connections = Some(n),
+                        _ => {
+                            eprintln!("--max-connections needs a connection count >= 1");
+                            return usage();
+                        }
+                    },
+                    "--pipeline-depth" => match it.next().and_then(|s| s.parse().ok()) {
+                        Some(n) if n >= 1 => pipeline_depth = Some(n),
+                        _ => {
+                            eprintln!("--pipeline-depth needs an in-flight request count >= 1");
                             return usage();
                         }
                     },
@@ -295,6 +315,14 @@ fn main() -> ExitCode {
                 }
                 d
             });
+            if max_connections.is_some() && listen.is_none() {
+                eprintln!("--max-connections only applies with --listen");
+                return usage();
+            }
+            if pipeline_depth.is_some() && listen.is_none() {
+                eprintln!("--pipeline-depth only applies with --listen");
+                return usage();
+            }
             if let Some(addr) = listen {
                 if chaos.is_some() {
                     eprintln!("--chaos needs a known job mix; it does not combine with --listen");
@@ -318,6 +346,8 @@ fn main() -> ExitCode {
                     backend,
                     checkpoint_interval,
                     profile_threads,
+                    max_connections,
+                    pipeline_depth,
                     hold,
                     snapshot,
                     durability,
@@ -615,6 +645,8 @@ fn run_listen(
     backend: nnrt::serve::NodeBackend,
     checkpoint_interval: Option<u32>,
     profile_threads: Option<usize>,
+    max_connections: Option<usize>,
+    pipeline_depth: Option<usize>,
     hold: bool,
     snapshot: Option<String>,
     durability: Option<nnrt::serve::DurabilityConfig>,
@@ -643,6 +675,11 @@ fn run_listen(
         },
         snapshot_path: snapshot.map(std::path::PathBuf::from),
         ..ServerConfig::default()
+    };
+    let config = ServerConfig {
+        max_connections: max_connections.unwrap_or(config.max_connections),
+        pipeline_depth: pipeline_depth.unwrap_or(config.pipeline_depth),
+        ..config
     };
     // Build the fleet first (rather than letting the server build it) so a
     // handle on its observability state survives the move behind the socket
